@@ -1,0 +1,424 @@
+(** Benchmark harness: regenerates every table and figure of the paper's
+    evaluation (Section 4).
+
+      table4    analyses, hooks used, lines of code (RQ1)
+      rq2       faithfulness of instrumented execution (RQ2)
+      table5    time to instrument, binary sizes, throughput (RQ3)
+      fig8      binary size increase per hook group (RQ4)
+      monomorph on-demand monomorphization statistics (Section 4.5)
+      fig9      runtime overhead per hook group (RQ5)
+      ablation  design-choice ablations (i64 splitting)
+
+    Run with a subcommand to regenerate one experiment, or with no
+    arguments to run all of them. Numbers are produced by our Wasm
+    interpreter rather than a browser, so absolute values differ from the
+    paper; EXPERIMENTS.md records the shape comparison. *)
+
+open Wasm
+module W = Wasabi
+module H = Wasabi.Hook
+
+(* problem sizes: small enough for interpreted, fully instrumented runs *)
+let corpus_fig9 = lazy (Workloads.Corpus.make ~n:6 ~scale:1 ())
+let corpus_static = lazy (Workloads.Corpus.make ~n:8 ~scale:1 ())
+
+let group_columns = H.figure_groups
+
+let instrument_for groups m = W.Instrument.instrument ~groups m
+
+(* ------------------------------------------------------------------ *)
+(* Table 4: the eight analyses (RQ1)                                   *)
+(* ------------------------------------------------------------------ *)
+
+let analysis_loc file =
+  (* count non-empty, non-comment lines of the analysis source, as the
+     paper counts analysis LoC; falls back to 0 outside the repo root *)
+  try
+    let ic = open_in file in
+    let count = ref 0 in
+    (try
+       while true do
+         let line = String.trim (input_line ic) in
+         if String.length line > 0 && not (String.length line >= 2 && String.sub line 0 2 = "(*")
+         then incr count
+       done
+     with End_of_file -> ());
+    close_in ic;
+    !count
+  with Sys_error _ -> 0
+
+let group_names gs =
+  if H.Group_set.equal gs H.all then "all"
+  else String.concat ", " (List.map H.group_name (H.Group_set.elements gs))
+
+let table4 () =
+  Support.hr "Table 4: analyses built on top of Wasabi (RQ1)";
+  let rows =
+    [ ("Instruction mix analysis", Analyses.Instruction_mix.groups, "instruction_mix");
+      ("Basic block profiling", Analyses.Basic_block_profiling.groups, "basic_block_profiling");
+      ("Instruction coverage", Analyses.Instruction_coverage.groups, "instruction_coverage");
+      ("Branch coverage", Analyses.Branch_coverage.groups, "branch_coverage");
+      ("Call graph analysis", Analyses.Call_graph.groups, "call_graph");
+      ("Dynamic taint analysis", Analyses.Taint.groups, "taint");
+      ("Cryptominer detection", Analyses.Cryptominer.groups, "cryptominer");
+      ("Memory access tracing", Analyses.Memory_tracing.groups, "memory_tracing") ]
+  in
+  Printf.printf "%-28s %-42s %5s\n" "Analysis" "Hooks" "LOC";
+  List.iter
+    (fun (name, groups, file) ->
+       let loc = analysis_loc (Printf.sprintf "lib/analyses/%s.ml" file) in
+       Printf.printf "%-28s %-42s %5d\n" name (group_names groups) loc)
+    rows;
+  (* demonstrate each analysis end to end on one program *)
+  let entry = Workloads.Corpus.find (Lazy.force corpus_fig9) "gemm" in
+  let show name groups analysis report =
+    let res = instrument_for groups entry.Workloads.Corpus.module_ in
+    let inst, _ = W.Runtime.instantiate res analysis in
+    ignore (Interp.invoke_export inst "run" []);
+    Printf.printf "  [%s on gemm] %s" name (report ())
+  in
+  print_newline ();
+  let mix = Analyses.Instruction_mix.create () in
+  show "instruction mix" Analyses.Instruction_mix.groups (Analyses.Instruction_mix.analysis mix)
+    (fun () ->
+       Printf.sprintf "%d instructions executed, top op: %s\n"
+         (Analyses.Instruction_mix.total mix)
+         (match Analyses.Instruction_mix.sorted mix with
+          | (op, n) :: _ -> Printf.sprintf "%s (%d)" op n
+          | [] -> "-"));
+  let bb = Analyses.Basic_block_profiling.create () in
+  show "basic blocks" Analyses.Basic_block_profiling.groups
+    (Analyses.Basic_block_profiling.analysis bb)
+    (fun () ->
+       Printf.sprintf "%d distinct blocks executed\n"
+         (List.length (Analyses.Basic_block_profiling.hottest bb)));
+  let cov = Analyses.Instruction_coverage.create () in
+  show "instr coverage" Analyses.Instruction_coverage.groups
+    (Analyses.Instruction_coverage.analysis cov)
+    (fun () ->
+       Printf.sprintf "%.1f%% of static instructions executed\n"
+         (100.0 *. Analyses.Instruction_coverage.coverage cov entry.Workloads.Corpus.module_));
+  let bc = Analyses.Branch_coverage.create () in
+  show "branch coverage" Analyses.Branch_coverage.groups (Analyses.Branch_coverage.analysis bc)
+    (fun () ->
+       Printf.sprintf "%d branch locations, %d one-sided\n"
+         (Analyses.Branch_coverage.covered_locations bc)
+         (List.length (Analyses.Branch_coverage.partially_covered bc)));
+  let cg = Analyses.Call_graph.create () in
+  show "call graph" Analyses.Call_graph.groups (Analyses.Call_graph.analysis cg)
+    (fun () -> Analyses.Call_graph.report cg);
+  let taint = Analyses.Taint.create () in
+  show "taint" Analyses.Taint.groups (Analyses.Taint.analysis taint)
+    (fun () -> Analyses.Taint.report taint);
+  let miner = Analyses.Cryptominer.create () in
+  show "cryptominer" Analyses.Cryptominer.groups (Analyses.Cryptominer.analysis miner)
+    (fun () ->
+       Printf.sprintf "signature ratio %.2f, miner=%b\n"
+         (Analyses.Cryptominer.signature_ratio miner)
+         (Analyses.Cryptominer.looks_like_miner miner));
+  let mt = Analyses.Memory_tracing.create () in
+  show "memory tracing" Analyses.Memory_tracing.groups (Analyses.Memory_tracing.analysis mt)
+    (fun () -> Analyses.Memory_tracing.report mt)
+
+(* ------------------------------------------------------------------ *)
+(* RQ2: faithfulness                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let rq2 () =
+  Support.hr "RQ2: faithfulness of fully instrumented execution";
+  let entries = Lazy.force corpus_fig9 in
+  let ok = ref 0 and bad = ref 0 in
+  List.iter
+    (fun (e : Workloads.Corpus.entry) ->
+       let reference = Workloads.Corpus.run_reference e in
+       let res = W.Instrument.instrument e.module_ in
+       (try Validate.validate_module res.W.Instrument.instrumented
+        with Validate.Invalid msg ->
+          incr bad;
+          Printf.printf "  %-16s INVALID instrumented module: %s\n" e.name msg);
+       let inst, _ = W.Runtime.instantiate res W.Analysis.default in
+       let result =
+         match Interp.invoke_export inst "run" [] with
+         | [ Value.F64 x ] -> x
+         | _ -> nan
+       in
+       if Float.equal reference result || Float.abs (reference -. result) < 1e-9 then incr ok
+       else begin
+         incr bad;
+         Printf.printf "  %-16s MISMATCH: %.9f vs %.9f\n" e.name reference result
+       end)
+    entries;
+  Printf.printf "  %d/%d programs behave identically after full instrumentation\n" !ok (!ok + !bad);
+  Printf.printf "  (paper: all 32 programs unchanged; validator passes on all)\n"
+
+(* ------------------------------------------------------------------ *)
+(* Table 5: instrumentation time (RQ3)                                 *)
+(* ------------------------------------------------------------------ *)
+
+let table5 () =
+  Support.hr "Table 5: time to instrument (RQ3)";
+  Printf.printf "%-22s %12s %16s %10s\n" "Program" "Size (B)" "Time (ms)" "MB/s";
+  let reps = 5 in
+  let row name (m : Ast.module_) =
+    let size = String.length (Encode.encode m) in
+    let mean_s, sd_s = Support.time_stats ~reps (fun () -> W.Instrument.instrument m) in
+    Printf.printf "%-22s %12d %9.2f ± %4.2f %10.2f\n" name size (mean_s *. 1000.0)
+      (sd_s *. 1000.0)
+      (Support.mb size /. mean_s)
+  in
+  let entries = Lazy.force corpus_static in
+  let pb = Workloads.Corpus.polybench entries in
+  (* PolyBench average, as in the paper's presentation *)
+  let sizes =
+    List.map
+      (fun (e : Workloads.Corpus.entry) -> String.length (Encode.encode e.module_))
+      pb
+  in
+  let times =
+    List.map
+      (fun (e : Workloads.Corpus.entry) ->
+         fst (Support.time_stats ~reps (fun () -> W.Instrument.instrument e.module_)))
+      pb
+  in
+  let avg_size = Support.mean (List.map float_of_int sizes) in
+  let avg_time = Support.mean times in
+  Printf.printf "%-22s %12.0f %9.2f %17.2f\n" "PolyBench (avg of 30)" avg_size
+    (avg_time *. 1000.0)
+    (avg_size /. (1024.0 *. 1024.0) /. avg_time);
+  List.iter
+    (fun (e : Workloads.Corpus.entry) -> row e.name e.module_)
+    (Workloads.Corpus.realworld entries);
+  (* replicate pdfkit to megabyte scale for a throughput measurement
+     comparable to the paper's 9.6 MB / 39.5 MB binaries *)
+  let pdfkit = (Workloads.Corpus.find entries "pdfkit").module_ in
+  List.iter
+    (fun copies ->
+       let big = Support.replicate_module pdfkit ~copies in
+       row (Printf.sprintf "pdfkit x%d" (copies + 1)) big)
+    [ 99; 499 ];
+  (* parallel instrumentation (paper, Section 3: 4 threads on 2 cores cut
+     Unreal's time to ~0.58x of single-threaded) *)
+  let big = Support.replicate_module pdfkit ~copies:499 in
+  let serial = Support.time_best ~reps:3 (fun () -> W.Instrument.instrument big) in
+  let cores = Domain.recommended_domain_count () in
+  let par =
+    Support.time_best ~reps:3 (fun () -> W.Instrument.instrument ~domains:cores big)
+  in
+  Printf.printf "%-22s %12s %9.2f %17s\n"
+    (Printf.sprintf "pdfkit x500, %d domains" cores) "" (par *. 1000.0) "";
+  Printf.printf "  parallel / serial instrumentation time: %.2fx (paper: 0.58x, 4 threads / 2 cores)\n"
+    (par /. serial);
+  Printf.printf "  (paper: PolyBench 23 ms avg, PSPDFKit 5.1 s, Unreal 15.5 s;\n";
+  Printf.printf "   throughput grows with binary size: 1.15 -> 2.55 MB/s)\n"
+
+(* ------------------------------------------------------------------ *)
+(* Figure 8: code size increase per hook (RQ4)                         *)
+(* ------------------------------------------------------------------ *)
+
+let size_increase m groups =
+  let original = String.length (Encode.encode m) in
+  let res = instrument_for groups m in
+  let instrumented = String.length (Encode.encode res.W.Instrument.instrumented) in
+  float_of_int (instrumented - original) /. float_of_int original
+
+let fig8 () =
+  Support.hr "Figure 8: binary size increase per instrumented hook (RQ4)";
+  let entries = Lazy.force corpus_static in
+  let pb = Workloads.Corpus.polybench entries in
+  let pdfkit = (Workloads.Corpus.find entries "pdfkit").module_ in
+  let zen = (Workloads.Corpus.find entries "zen_garden").module_ in
+  Printf.printf "%-14s %16s %10s %12s\n" "Hook" "PolyBench(mean)" "pdfkit" "zen_garden";
+  let row name groups =
+    let pb_incs =
+      List.map (fun (e : Workloads.Corpus.entry) -> size_increase e.module_ groups) pb
+    in
+    Printf.printf "%-14s %15.1f%% %9.1f%% %11.1f%%\n" name
+      (Support.pct (Support.mean pb_incs))
+      (Support.pct (size_increase pdfkit groups))
+      (Support.pct (size_increase zen groups))
+  in
+  List.iter (fun g -> row (H.group_name g) (H.Group_set.singleton g)) group_columns;
+  row "all" H.all;
+  Printf.printf "  (paper: <1%% for nop..br_table; load/store 39-58%%; const 59-71%%;\n";
+  Printf.printf "   local 128-180%%; binary 83-190%%; all 495-743%%)\n"
+
+(* ------------------------------------------------------------------ *)
+(* Section 4.5: on-demand monomorphization                             *)
+(* ------------------------------------------------------------------ *)
+
+let monomorph () =
+  Support.hr "Section 4.5: on-demand monomorphization of low-level hooks";
+  let entries = Lazy.force corpus_static in
+  let pb = Workloads.Corpus.polybench entries in
+  let counts =
+    List.map
+      (fun (e : Workloads.Corpus.entry) ->
+         (W.Instrument.instrument e.module_).W.Instrument.metadata.W.Metadata.num_hooks)
+      pb
+  in
+  Printf.printf "  PolyBench hooks generated on demand: min %d, max %d\n"
+    (List.fold_left min max_int counts)
+    (List.fold_left max 0 counts);
+  List.iter
+    (fun (e : Workloads.Corpus.entry) ->
+       let res = W.Instrument.instrument e.module_ in
+       let meta = res.W.Instrument.metadata in
+       (* widest call signature actually present *)
+       let max_params =
+         Array.to_list meta.W.Metadata.hook_specs
+         |> List.filter_map (function
+           | H.S_call_pre (tys, _) -> Some (List.length tys)
+           | _ -> None)
+         |> List.fold_left max 0
+       in
+       Printf.printf
+         "  %-12s %4d hooks on demand; eager bound for calls up to %d params: %.3g\n"
+         e.name meta.W.Metadata.num_hooks max_params
+         (H.eager_call_hook_count ~max_params))
+    (Workloads.Corpus.realworld entries);
+  Printf.printf "  (paper: PolyBench 110-122 hooks, PSPDFKit 302, Unreal 783;\n";
+  Printf.printf "   eager generation would need 4^22 ~ 1.7e13 call hooks alone)\n"
+
+(* ------------------------------------------------------------------ *)
+(* Figure 9: runtime overhead per hook (RQ5)                           *)
+(* ------------------------------------------------------------------ *)
+
+let fig9 () =
+  Support.hr "Figure 9: relative runtime per instrumented hook (RQ5)";
+  let entries = Lazy.force corpus_fig9 in
+  let pb = Workloads.Corpus.polybench entries in
+  let pdfkit = (Workloads.Corpus.find entries "pdfkit").module_ in
+  let zen = (Workloads.Corpus.find entries "zen_garden").module_ in
+  (* calibrate iteration counts so every baseline measurement is well
+     above timer noise; WASABI_BENCH_FAST=1 trades accuracy for speed *)
+  let fast = Sys.getenv_opt "WASABI_BENCH_FAST" <> None in
+  let target = if fast then 0.002 else 0.006 in
+  let reps = if fast then 3 else 5 in
+  let prepare m =
+    let iters = Support.calibrated_iters m ~target in
+    let inst = Interp.instantiate ~imports:[] m in
+    (iters, inst)
+  in
+  let pb_prep = List.map (fun (e : Workloads.Corpus.entry) -> prepare e.module_) pb in
+  let pdfkit_prep = prepare pdfkit in
+  let zen_prep = prepare zen in
+  let overhead m (iters, base_inst) groups =
+    let res = instrument_for groups m in
+    let inst, _ = W.Runtime.instantiate res W.Analysis.default in
+    Support.paired_overhead ~reps ~iters base_inst inst
+  in
+  Printf.printf "%-14s %16s %10s %12s\n" "Hook" "PolyBench(mean)" "pdfkit" "zen_garden";
+  let row name groups =
+    let pb_ovh =
+      List.map2
+        (fun (e : Workloads.Corpus.entry) prep -> overhead e.module_ prep groups)
+        pb pb_prep
+    in
+    Printf.printf "%-14s %15.2fx %9.2fx %11.2fx\n" name (Support.geomean pb_ovh)
+      (overhead pdfkit pdfkit_prep groups)
+      (overhead zen zen_prep groups)
+  in
+  List.iter (fun g -> row (H.group_name g) (H.Group_set.singleton g)) group_columns;
+  row "all" H.all;
+  Printf.printf "  (paper: nop..unary ~1.02x; call <=2.8x; begin/end 1.5-9.9x; load 1.8-20x;\n";
+  Printf.printf "   const 2-32x; local 4-48.5x; binary 2.6-77.5x; all 49-163x;\n";
+  Printf.printf "   numeric PolyBench overheads exceed the diverse real-world programs')\n"
+
+(* ------------------------------------------------------------------ *)
+(* Ablation: i64 splitting                                             *)
+(* ------------------------------------------------------------------ *)
+
+let i64_kernel () =
+  (* an i64-heavy hashing loop *)
+  let open Minic.Mc_ast in
+  let open Minic.Mc_ast.Dsl in
+  Minic.Mc_compile.compile
+    (program
+       ~globals:[ ("h", TLong, Long 0xcbf29ce484222325L) ]
+       [ func "run" ~params:[] ~result:TFloat ~locals:[ ("k", TInt) ]
+           [ For ("k", i 0, i 3000,
+                  [ SetGlobal ("h", Binop (BXor, Global "h", Cast (TLong, v "k")));
+                    SetGlobal ("h", Binop (Mul, Global "h", Long 0x100000001b3L));
+                    SetGlobal ("h", Binop (BXor, Global "h",
+                                           Binop (ShrU, Global "h", Long 29L))) ]);
+             Return (Some (Cast (TFloat, Binop (BAnd, Global "h", Long 0xFFFFFL)))) ] ])
+
+let ablation () =
+  Support.hr "Ablation: cost of i64 splitting (Section 2.4.6)";
+  let m = i64_kernel () in
+  let base = Support.time_best ~reps:3 (fun () -> Support.run_uninstrumented m) in
+  let groups = H.of_list [ H.G_binary; H.G_global; H.G_const ] in
+  let split = W.Instrument.instrument ~groups m in
+  let split_t = Support.time_best ~reps:3 (fun () -> Support.run_instrumented split) in
+  let nosplit = W.Instrument.instrument ~split_i64:false ~groups m in
+  let nosplit_t = Support.time_best ~reps:3 (fun () -> Support.run_instrumented nosplit) in
+  let split_size = String.length (Encode.encode split.W.Instrument.instrumented) in
+  let nosplit_size = String.length (Encode.encode nosplit.W.Instrument.instrumented) in
+  Printf.printf "  i64-heavy kernel, hooks {binary, global, const}:\n";
+  Printf.printf "    with splitting (JS-compatible):   %6.2fx overhead, %6d B\n"
+    (split_t /. base) split_size;
+  Printf.printf "    without splitting (native hosts): %6.2fx overhead, %6d B\n"
+    (nosplit_t /. base) nosplit_size;
+  Printf.printf "    splitting costs %.1f%% extra code and %.2fx extra runtime\n"
+    (Support.pct (float_of_int (split_size - nosplit_size) /. float_of_int nosplit_size))
+    (split_t /. nosplit_t)
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel microbenchmarks of the instrumenter itself                 *)
+(* ------------------------------------------------------------------ *)
+
+let micro () =
+  Support.hr "Microbenchmarks (bechamel): instrumenter phases on gemm";
+  let open Bechamel in
+  let open Toolkit in
+  let m = (Workloads.Corpus.find (Lazy.force corpus_static) "gemm").Workloads.Corpus.module_ in
+  let bin = Encode.encode m in
+  let tests =
+    [ Test.make ~name:"decode" (Staged.stage (fun () -> ignore (Decode.decode bin)));
+      Test.make ~name:"validate" (Staged.stage (fun () -> Validate.validate_module m));
+      Test.make ~name:"instrument-all"
+        (Staged.stage (fun () -> ignore (W.Instrument.instrument m)));
+      Test.make ~name:"instrument-call"
+        (Staged.stage (fun () ->
+           ignore (W.Instrument.instrument ~groups:(H.Group_set.singleton H.G_call) m)));
+      Test.make ~name:"encode" (Staged.stage (fun () -> ignore (Encode.encode m))) ]
+  in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |] in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~stabilize:false () in
+  let grouped = Test.make_grouped ~name:"wasabi" ~fmt:"%s/%s" tests in
+  let raw = Benchmark.all cfg instances grouped in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  Hashtbl.iter
+    (fun name ols_result ->
+       match Analyze.OLS.estimates ols_result with
+       | Some [ ns ] -> Printf.printf "  %-28s %10.1f us/run\n" name (ns /. 1000.0)
+       | _ -> Printf.printf "  %-28s (no estimate)\n" name)
+    results
+
+(* ------------------------------------------------------------------ *)
+
+let all_experiments () =
+  table4 ();
+  rq2 ();
+  table5 ();
+  fig8 ();
+  monomorph ();
+  fig9 ();
+  ablation ();
+  micro ()
+
+let () =
+  match Sys.argv with
+  | [| _ |] -> all_experiments ()
+  | [| _; "table4" |] -> table4 ()
+  | [| _; "rq2" |] -> rq2 ()
+  | [| _; "table5" |] -> table5 ()
+  | [| _; "fig8" |] -> fig8 ()
+  | [| _; "monomorph" |] -> monomorph ()
+  | [| _; "fig9" |] -> fig9 ()
+  | [| _; "ablation" |] -> ablation ()
+  | [| _; "micro" |] -> micro ()
+  | _ ->
+    prerr_endline "usage: main.exe [table4|rq2|table5|fig8|monomorph|fig9|ablation|micro]";
+    exit 2

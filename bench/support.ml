@@ -1,0 +1,120 @@
+(** Shared machinery for the benchmark harness: wall-clock timing,
+    module replication (to obtain multi-megabyte binaries for the
+    instrumentation-throughput experiment), and result formatting. *)
+
+open Wasm
+
+let now () = Unix.gettimeofday ()
+
+(** Wall-clock seconds of [f ()], best of [reps]. *)
+let time_best ?(reps = 3) f =
+  let rec go best k =
+    if k = 0 then best
+    else begin
+      let t0 = now () in
+      ignore (f ());
+      let d = now () -. t0 in
+      go (Float.min best d) (k - 1)
+    end
+  in
+  go infinity reps
+
+(** Mean and standard deviation of [reps] timed runs of [f]. *)
+let time_stats ~reps f =
+  let samples =
+    List.init reps (fun _ ->
+      let t0 = now () in
+      ignore (f ());
+      now () -. t0)
+  in
+  let n = float_of_int reps in
+  let mean = List.fold_left ( +. ) 0.0 samples /. n in
+  let var = List.fold_left (fun acc x -> acc +. ((x -. mean) ** 2.0)) 0.0 samples /. n in
+  (mean, sqrt var)
+
+(** Replicate the defined functions of [m] [copies] extra times, fixing
+    intra-copy call targets, to scale a realistic module to megabyte
+    sizes. Exports, table and start keep pointing at the original copy. *)
+let replicate_module (m : Ast.module_) ~copies : Ast.module_ =
+  let n_imp = Ast.num_imported_funcs m in
+  let n_def = List.length m.Ast.funcs in
+  let shift_call k instr =
+    match instr with
+    | Ast.Call f when f >= n_imp -> Ast.Call (f + (k * n_def))
+    | i -> i
+  in
+  let copy k =
+    List.map
+      (fun (f : Ast.func) -> { f with Ast.body = List.map (shift_call k) f.Ast.body })
+      m.Ast.funcs
+  in
+  let extra = List.concat (List.init copies (fun k -> copy (k + 1))) in
+  { m with Ast.funcs = m.Ast.funcs @ extra }
+
+let kb bytes = float_of_int bytes /. 1024.0
+let mb bytes = float_of_int bytes /. (1024.0 *. 1024.0)
+
+let pct x = 100.0 *. x
+
+(** Geometric mean. *)
+let geomean = function
+  | [] -> nan
+  | xs ->
+    let n = float_of_int (List.length xs) in
+    exp (List.fold_left (fun acc x -> acc +. log x) 0.0 xs /. n)
+
+let mean = function
+  | [] -> nan
+  | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let hr title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '-')
+
+(** Run an instrumented module with the empty analysis; returns wall time. *)
+let run_instrumented (res : Wasabi.Instrument.result) =
+  let inst, _rt = Wasabi.Runtime.instantiate res Wasabi.Analysis.default in
+  let t0 = now () in
+  ignore (Interp.invoke_export inst "run" []);
+  now () -. t0
+
+let run_uninstrumented (m : Ast.module_) =
+  let inst = Interp.instantiate ~imports:[] m in
+  let t0 = now () in
+  ignore (Interp.invoke_export inst "run" []);
+  now () -. t0
+
+(** Wall time of invoking the exported [run] [iters] times on an existing
+    instance (the corpus entries are idempotent). *)
+let invoke_run_n inst iters =
+  let t0 = now () in
+  for _ = 1 to iters do
+    ignore (Interp.invoke_export inst "run" [])
+  done;
+  now () -. t0
+
+(** Number of iterations needed for the uninstrumented program to run for
+    about [target] seconds, so relative-runtime measurements rise above
+    timer noise. *)
+let calibrated_iters (m : Ast.module_) ~target =
+  let inst = Interp.instantiate ~imports:[] m in
+  let once = invoke_run_n inst 1 in
+  max 1 (int_of_float (target /. Float.max 1e-6 once))
+
+let median xs =
+  match List.sort Float.compare xs with
+  | [] -> nan
+  | sorted ->
+    let n = List.length sorted in
+    List.nth sorted (n / 2)
+
+(** Relative runtime of [instrumented] vs [baseline]: measurements are
+    interleaved (base, instr, base, instr, ...) and the median of the
+    per-pair ratios is reported, cancelling slow machine drift. *)
+let paired_overhead ~reps ~iters base_inst instr_inst =
+  let ratios =
+    List.init reps (fun _ ->
+      let tb = invoke_run_n base_inst iters in
+      let ti = invoke_run_n instr_inst iters in
+      ti /. Float.max 1e-9 tb)
+  in
+  median ratios

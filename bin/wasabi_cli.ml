@@ -1,0 +1,208 @@
+(** The [wasabi] command-line tool: instrument a WebAssembly binary on
+    disk, selecting hooks as the original tool does, and optionally run an
+    exported function under one of the bundled analyses.
+
+      wasabi instrument input.wasm -o output.wasm --hooks binary,call
+      wasabi analyze input.wasm --analysis cryptominer --invoke run
+      wasabi hooks
+*)
+
+open Cmdliner
+module W = Wasabi
+
+let read_module path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let bin = really_input_string ic len in
+  close_in ic;
+  Wasm.Decode.decode bin
+
+let write_module path m =
+  let oc = open_out_bin path in
+  output_string oc (Wasm.Encode.encode m);
+  close_out oc
+
+let parse_groups = function
+  | None | Some "all" -> W.Hook.all
+  | Some s ->
+    String.split_on_char ',' s
+    |> List.map String.trim
+    |> List.map W.Hook.group_of_name
+    |> W.Hook.of_list
+
+let hooks_arg =
+  let doc = "Comma-separated hook groups to instrument (default: all). See $(b,wasabi hooks)." in
+  Arg.(value & opt (some string) None & info [ "hooks" ] ~docv:"GROUPS" ~doc)
+
+let input_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"INPUT.wasm" ~doc:"Input binary")
+
+(* --- instrument ------------------------------------------------------ *)
+
+let instrument_cmd =
+  let output =
+    Arg.(value & opt string "out.wasm" & info [ "o"; "output" ] ~docv:"OUTPUT" ~doc:"Output path")
+  in
+  let run input output hooks =
+    let m = read_module input in
+    Wasm.Validate.validate_module m;
+    let groups = parse_groups hooks in
+    let t0 = Sys.time () in
+    let res = W.Instrument.instrument ~groups m in
+    let dt = Sys.time () -. t0 in
+    write_module output res.W.Instrument.instrumented;
+    let meta = res.W.Instrument.metadata in
+    Printf.printf "instrumented %s -> %s in %.1f ms\n" input output (dt *. 1000.0);
+    Printf.printf "  %d low-level hooks generated on demand (import module %S)\n"
+      meta.W.Metadata.num_hooks W.Hook.import_module;
+    Printf.printf "  original %d B, instrumented %d B\n"
+      (String.length (Wasm.Encode.encode m))
+      (String.length (Wasm.Encode.encode res.W.Instrument.instrumented))
+  in
+  let info = Cmd.info "instrument" ~doc:"Insert analysis hook calls into a Wasm binary" in
+  Cmd.v info Term.(const run $ input_arg $ output $ hooks_arg)
+
+(* --- analyze --------------------------------------------------------- *)
+
+type packaged_analysis =
+  | Packaged : {
+      groups : W.Hook.Group_set.t;
+      state : 'st;
+      analysis : 'st -> W.Analysis.t;
+      report : 'st -> string;
+    } -> packaged_analysis
+
+let bundled_analyses () =
+  [ ("instruction-mix",
+     Packaged { groups = Analyses.Instruction_mix.groups;
+                state = Analyses.Instruction_mix.create ();
+                analysis = Analyses.Instruction_mix.analysis;
+                report = Analyses.Instruction_mix.report });
+    ("basic-blocks",
+     Packaged { groups = Analyses.Basic_block_profiling.groups;
+                state = Analyses.Basic_block_profiling.create ();
+                analysis = Analyses.Basic_block_profiling.analysis;
+                report = Analyses.Basic_block_profiling.report ~limit:10 });
+    ("coverage",
+     Packaged { groups = Analyses.Branch_coverage.groups;
+                state = Analyses.Branch_coverage.create ();
+                analysis = Analyses.Branch_coverage.analysis;
+                report = Analyses.Branch_coverage.report });
+    ("call-graph",
+     Packaged { groups = Analyses.Call_graph.groups;
+                state = Analyses.Call_graph.create ();
+                analysis = Analyses.Call_graph.analysis;
+                report = Analyses.Call_graph.to_dot ?name:None });
+    ("cryptominer",
+     Packaged { groups = Analyses.Cryptominer.groups;
+                state = Analyses.Cryptominer.create ();
+                analysis = Analyses.Cryptominer.analysis;
+                report = Analyses.Cryptominer.report });
+    ("memory-trace",
+     Packaged { groups = Analyses.Memory_tracing.groups;
+                state = Analyses.Memory_tracing.create ();
+                analysis = Analyses.Memory_tracing.analysis;
+                report = Analyses.Memory_tracing.report });
+    ("taint",
+     Packaged { groups = Analyses.Taint.groups;
+                state = Analyses.Taint.create ();
+                analysis = Analyses.Taint.analysis;
+                report = Analyses.Taint.report });
+    ("trace",
+     Packaged { groups = Analyses.Trace.groups;
+                state = Analyses.Trace.create ();
+                analysis = Analyses.Trace.analysis;
+                report = (fun t -> Analyses.Trace.report t ^ Analyses.Trace.to_log t ^ "\n") }) ]
+
+let analyze_cmd =
+  let analysis_arg =
+    let doc = "Bundled analysis to run (instruction-mix, basic-blocks, coverage, call-graph, cryptominer, memory-trace, taint)" in
+    Arg.(value & opt string "instruction-mix" & info [ "analysis" ] ~docv:"NAME" ~doc)
+  in
+  let invoke_arg =
+    Arg.(value & opt string "run" & info [ "invoke" ] ~docv:"EXPORT" ~doc:"Exported function to call")
+  in
+  let run input analysis_name invoke =
+    let m = read_module input in
+    Wasm.Validate.validate_module m;
+    match List.assoc_opt analysis_name (bundled_analyses ()) with
+    | None ->
+      Printf.eprintf "unknown analysis %S\n" analysis_name;
+      exit 2
+    | Some (Packaged a) ->
+      let res = W.Instrument.instrument ~groups:a.groups m in
+      let inst, _ = W.Runtime.instantiate res (a.analysis a.state) in
+      let results = Wasm.Interp.invoke_export inst invoke [] in
+      Printf.printf "%s returned [%s]\n" invoke
+        (String.concat "; " (List.map Wasm.Value.to_string results));
+      print_string (a.report a.state)
+  in
+  let info = Cmd.info "analyze" ~doc:"Instrument, run, and report a bundled dynamic analysis" in
+  Cmd.v info Term.(const run $ input_arg $ analysis_arg $ invoke_arg)
+
+(* --- generate-js ------------------------------------------------------ *)
+
+let generate_js_cmd =
+  let output =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"OUTPUT.js"
+           ~doc:"Output path (default: INPUT.wasabi.js)")
+  in
+  let run input output hooks =
+    let m = read_module input in
+    Wasm.Validate.validate_module m;
+    let groups = parse_groups hooks in
+    let res = W.Instrument.instrument ~groups m in
+    let js = W.Js_codegen.generate res in
+    let out_wasm = Filename.remove_extension input ^ ".instrumented.wasm" in
+    let out_js =
+      match output with
+      | Some o -> o
+      | None -> Filename.remove_extension input ^ ".wasabi.js"
+    in
+    write_module out_wasm res.W.Instrument.instrumented;
+    let oc = open_out out_js in
+    output_string oc js;
+    close_out oc;
+    Printf.printf "wrote %s and %s\n" out_wasm out_js;
+    Printf.printf "load the instrumented binary with importObject {%S: Wasabi.lowlevelHooks}\n"
+      W.Hook.import_module
+  in
+  let info =
+    Cmd.info "generate-js"
+      ~doc:"Instrument a binary and emit the companion JavaScript runtime for browser hosts"
+  in
+  Cmd.v info Term.(const run $ input_arg $ output $ hooks_arg)
+
+(* --- hooks ----------------------------------------------------------- *)
+
+let hooks_cmd =
+  let run () =
+    print_endline "hook groups (selective instrumentation units):";
+    List.iter (fun g -> Printf.printf "  %s\n" (W.Hook.group_name g)) W.Hook.all_groups
+  in
+  let info = Cmd.info "hooks" ~doc:"List the available hook groups" in
+  Cmd.v info Term.(const run $ const ())
+
+(* --- corpus ---------------------------------------------------------- *)
+
+let corpus_cmd =
+  let dir_arg =
+    Arg.(value & opt string "corpus" & info [ "o" ] ~docv:"DIR" ~doc:"Output directory")
+  in
+  let run dir =
+    if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+    List.iter
+      (fun (e : Workloads.Corpus.entry) ->
+         let path = Filename.concat dir (e.name ^ ".wasm") in
+         write_module path e.module_;
+         Printf.printf "wrote %s\n" path)
+      (Workloads.Corpus.make ())
+  in
+  let info = Cmd.info "corpus" ~doc:"Write the 32-program benchmark corpus as .wasm files" in
+  Cmd.v info Term.(const run $ dir_arg)
+
+let () =
+  let info = Cmd.info "wasabi" ~version:"1.0.0" ~doc:"Dynamic analysis for WebAssembly" in
+  exit
+    (Cmd.eval
+       (Cmd.group info [ instrument_cmd; analyze_cmd; generate_js_cmd; hooks_cmd; corpus_cmd ]))

@@ -1,0 +1,120 @@
+(** Swiss-army tool for the Wasm substrate: validate, run, and dump
+    binaries produced by this project (or any MVP binary).
+
+      wasm_tool validate file.wasm
+      wasm_tool run file.wasm --invoke run [--arg i32:3 ...]
+      wasm_tool wat file.wasm
+      wasm_tool info file.wasm
+*)
+
+open Cmdliner
+
+let read_module path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let bin = really_input_string ic len in
+  close_in ic;
+  Wasm.Decode.decode bin
+
+let input_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"INPUT.wasm" ~doc:"Input binary")
+
+let parse_value s =
+  match String.index_opt s ':' with
+  | None -> Wasm.Value.I32 (Int32.of_string s)
+  | Some k ->
+    let ty = String.sub s 0 k in
+    let rest = String.sub s (k + 1) (String.length s - k - 1) in
+    (match ty with
+     | "i32" -> Wasm.Value.I32 (Int32.of_string rest)
+     | "i64" -> Wasm.Value.I64 (Int64.of_string rest)
+     | "f32" -> Wasm.Value.f32 (float_of_string rest)
+     | "f64" -> Wasm.Value.F64 (float_of_string rest)
+     | _ -> invalid_arg ("unknown value type " ^ ty))
+
+let validate_cmd =
+  let run input =
+    match Wasm.Validate.validate_module (read_module input) with
+    | () -> print_endline "valid"
+    | exception Wasm.Validate.Invalid msg ->
+      Printf.eprintf "invalid: %s\n" msg;
+      exit 1
+  in
+  Cmd.v (Cmd.info "validate" ~doc:"Type check a binary") Term.(const run $ input_arg)
+
+let run_cmd =
+  let invoke_arg =
+    Arg.(value & opt string "run" & info [ "invoke" ] ~docv:"EXPORT" ~doc:"Export to call")
+  in
+  let args_arg =
+    Arg.(value & opt_all string [] & info [ "arg" ] ~docv:"TY:VALUE" ~doc:"Argument (repeatable)")
+  in
+  let fuel_arg =
+    Arg.(value & opt int max_int & info [ "fuel" ] ~docv:"N" ~doc:"Instruction budget")
+  in
+  let run input invoke args fuel =
+    let m = read_module input in
+    Wasm.Validate.validate_module m;
+    let inst = Wasm.Interp.instantiate ~fuel ~imports:[] m in
+    let values = List.map parse_value args in
+    match Wasm.Interp.invoke_export inst invoke values with
+    | results ->
+      Printf.printf "[%s]\n" (String.concat "; " (List.map Wasm.Value.to_string results));
+      Printf.printf "(%d instructions executed)\n" inst.Wasm.Interp.steps
+    | exception Wasm.Value.Trap msg ->
+      Printf.eprintf "trap: %s\n" msg;
+      exit 1
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Instantiate a binary and call an export")
+    Term.(const run $ input_arg $ invoke_arg $ args_arg $ fuel_arg)
+
+let wat_cmd =
+  let run input = print_string (Wasm.Wat.to_string (read_module input)) in
+  Cmd.v (Cmd.info "wat" ~doc:"Print the text format") Term.(const run $ input_arg)
+
+let compile_cmd =
+  let output =
+    Arg.(value & opt (some string) None & info [ "o" ] ~docv:"OUTPUT.wasm" ~doc:"Output path")
+  in
+  let run input output =
+    let ic = open_in input in
+    let len = in_channel_length ic in
+    let src = really_input_string ic len in
+    close_in ic;
+    let m = Wasm.Wat_parse.parse src in
+    Wasm.Validate.validate_module m;
+    let out =
+      match output with
+      | Some o -> o
+      | None -> Filename.remove_extension input ^ ".wasm"
+    in
+    let oc = open_out_bin out in
+    output_string oc (Wasm.Encode.encode m);
+    close_out oc;
+    Printf.printf "wrote %s (%d B)\n" out (Wasm.Encode.size m)
+  in
+  Cmd.v
+    (Cmd.info "compile" ~doc:"Assemble a text-format module to binary (wat -> wasm)")
+    Term.(const run $ input_arg $ output)
+
+let info_cmd =
+  let run input =
+    let m = read_module input in
+    let open Wasm.Ast in
+    Printf.printf "types:     %d\n" (List.length m.types);
+    Printf.printf "imports:   %d (%d functions)\n" (List.length m.imports) (num_imported_funcs m);
+    Printf.printf "functions: %d defined\n" (List.length m.funcs);
+    Printf.printf "instrs:    %d\n" (instruction_count m);
+    Printf.printf "tables:    %d, memories: %d, globals: %d\n" (List.length m.tables)
+      (List.length m.memories) (List.length m.globals);
+    Printf.printf "exports:   %s\n"
+      (String.concat ", " (List.map (fun (e : export) -> e.name) m.exports));
+    Printf.printf "start:     %s\n"
+      (match m.start with None -> "-" | Some f -> string_of_int f)
+  in
+  Cmd.v (Cmd.info "info" ~doc:"Summarise a binary") Term.(const run $ input_arg)
+
+let () =
+  let info = Cmd.info "wasm_tool" ~version:"1.0.0" ~doc:"WebAssembly substrate tool" in
+  exit (Cmd.eval (Cmd.group info [ validate_cmd; run_cmd; wat_cmd; compile_cmd; info_cmd ]))

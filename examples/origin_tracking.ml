@@ -1,0 +1,39 @@
+(** Value-origin tracking: where did the value that reaches a critical
+    operation come from? Here a configuration value read from memory and a
+    computed fallback both flow into a "set_speed" call; provenance
+    reports the exact source locations of each argument — the technique of
+    origin tracking for unwanted values, built on the same shadow machine
+    as the taint analysis.
+
+    Run with: dune exec examples/origin_tracking.exe *)
+
+open Minic.Mc_ast
+open Minic.Mc_ast.Dsl
+
+(* set_speed=0, run=1 *)
+let program_under_test =
+  program
+    ~data:[ (128, "\x40\x00\x00\x00") ]  (* config value 64 at address 128 *)
+    [ func "set_speed" ~params:[ ("v", TInt) ] ~export:false [ Expr (v "v" + i 0) ];
+      func "run" ~params:[] ~result:TInt
+        ~locals:[ ("config", TInt); ("fallback", TInt) ]
+        [ "config" := iload (i 128) (i 0);
+          "fallback" := i 30 * i 2;
+          Expr (Call ("set_speed", [ v "config" ]));
+          Expr (Call ("set_speed", [ v "fallback" ]));
+          Return (Some (v "config" + v "fallback")) ] ]
+
+let () =
+  let m = Minic.Mc_compile.compile_checked program_under_test in
+  let prov = Analyses.Provenance.create ~probes:[ 0 ] () in
+  let result = Wasabi.Instrument.instrument ~groups:Analyses.Provenance.groups m in
+  let inst, _ = Wasabi.Runtime.instantiate result (Analyses.Provenance.analysis prov) in
+  ignore (Wasm.Interp.invoke_export inst "run" []);
+  print_string (Analyses.Provenance.report prov);
+  match Analyses.Provenance.probes prov with
+  | [ from_config; from_fallback ] ->
+    Printf.printf "first call's argument originates at %d site(s) (the config load)\n"
+      (Wasabi.Location.Set.cardinal from_config.Analyses.Provenance.probe_origins);
+    Printf.printf "second call's argument originates at %d site(s) (the two constants)\n"
+      (Wasabi.Location.Set.cardinal from_fallback.Analyses.Provenance.probe_origins)
+  | ps -> Printf.printf "unexpected probe count: %d\n" (List.length ps)

@@ -1,0 +1,42 @@
+(** Basic block profiling (paper, Table 4, 9 LoC): counts how often every
+    function, block, and loop is entered — the classic tool for finding
+    "hot" code. Uses only the [begin] hook. *)
+
+open Wasabi
+
+type t = {
+  counts : (Location.t * Hook.block_kind, int) Hashtbl.t;
+}
+
+let create () = { counts = Hashtbl.create 64 }
+
+let groups = Hook.of_list [ Hook.G_begin ]
+
+let analysis (t : t) : Analysis.t =
+  {
+    Analysis.default with
+    begin_ =
+      (fun loc kind ->
+         let key = (loc, kind) in
+         Hashtbl.replace t.counts key
+           (1 + Option.value ~default:0 (Hashtbl.find_opt t.counts key)));
+  }
+
+let count t loc kind = Option.value ~default:0 (Hashtbl.find_opt t.counts (loc, kind))
+
+(** Blocks sorted by execution count, hottest first. *)
+let hottest t =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.counts []
+  |> List.sort (fun (_, a) (_, b) -> Int.compare b a)
+
+let report ?(limit = 10) t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "basic block profile (hottest first):\n";
+  List.iteri
+    (fun i ((loc, kind), n) ->
+       if i < limit then
+         Buffer.add_string buf
+           (Printf.sprintf "  %-10s %-8s %8d\n" (Location.to_string loc)
+              (Hook.block_kind_name kind) n))
+    (hottest t);
+  Buffer.contents buf

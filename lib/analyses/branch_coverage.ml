@@ -1,0 +1,63 @@
+(** Branch coverage (paper, Table 4 and Figure 7, 14 LoC): records, for
+    every conditional construct, which directions were taken. Uses the
+    [if], [br_if], [br_table], and [select] hooks — a direct port of the
+    paper's Figure 7 JavaScript. *)
+
+open Wasabi
+
+type t = {
+  coverage : (Location.t, int list ref) Hashtbl.t;
+      (** branches taken at each location: conditions as 0/1, table
+          indices for [br_table] *)
+}
+
+let create () = { coverage = Hashtbl.create 64 }
+
+let groups = Hook.of_list [ Hook.G_if; Hook.G_br_if; Hook.G_br_table; Hook.G_select ]
+
+let add_branch t loc branch =
+  let branches =
+    match Hashtbl.find_opt t.coverage loc with
+    | Some r -> r
+    | None ->
+      let r = ref [] in
+      Hashtbl.add t.coverage loc r;
+      r
+  in
+  if not (List.mem branch !branches) then branches := branch :: !branches
+
+let analysis (t : t) : Analysis.t =
+  let of_bool c = if c then 1 else 0 in
+  {
+    Analysis.default with
+    if_ = (fun loc cond -> add_branch t loc (of_bool cond));
+    br_if = (fun loc _ cond -> add_branch t loc (of_bool cond));
+    br_table = (fun loc _ _ idx -> add_branch t loc idx);
+    select = (fun loc cond _ _ -> add_branch t loc (of_bool cond));
+  }
+
+let branches_at t loc =
+  match Hashtbl.find_opt t.coverage loc with
+  | Some r -> List.sort Int.compare !r
+  | None -> []
+
+(** Locations where only one direction of a two-way branch was observed. *)
+let partially_covered t =
+  Hashtbl.fold
+    (fun loc r acc -> if List.length !r = 1 then loc :: acc else acc)
+    t.coverage []
+  |> List.sort Location.compare
+
+let covered_locations t = Hashtbl.length t.coverage
+
+let report t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "branch coverage: %d branch locations executed\n" (covered_locations t));
+  let partial = partially_covered t in
+  Buffer.add_string buf
+    (Printf.sprintf "  one-sided (only one direction seen): %d\n" (List.length partial));
+  List.iter
+    (fun loc -> Buffer.add_string buf (Printf.sprintf "    %s\n" (Location.to_string loc)))
+    partial;
+  Buffer.contents buf

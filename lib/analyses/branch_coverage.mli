@@ -1,0 +1,19 @@
+(** Branch coverage (paper, Table 4 and Figure 7): which directions of
+    every conditional construct were taken. Uses the [if], [br_if],
+    [br_table], and [select] hooks. *)
+
+type t
+
+val create : unit -> t
+val groups : Wasabi.Hook.Group_set.t
+val analysis : t -> Wasabi.Analysis.t
+
+val branches_at : t -> Wasabi.Location.t -> int list
+(** Directions observed at a location (0/1 for two-way branches, table
+    indices for [br_table]), sorted. *)
+
+val partially_covered : t -> Wasabi.Location.t list
+(** Locations where only one direction of a two-way branch was observed. *)
+
+val covered_locations : t -> int
+val report : t -> string

@@ -1,0 +1,20 @@
+(** Dynamic call graph (paper, Table 4), including indirect calls resolved
+    to their actual targets. Uses only the [call] hooks. *)
+
+type t
+
+val create : unit -> t
+val groups : Wasabi.Hook.Group_set.t
+val analysis : t -> Wasabi.Analysis.t
+
+val edges : t -> (int * int) list
+val has_edge : t -> int -> int -> bool
+val num_edges : t -> int
+
+val reachable : t -> int list -> int list
+(** Functions reachable from the given roots in the recorded graph. *)
+
+val to_dot : ?name:(int -> string) -> t -> string
+(** Graphviz rendering; indirect-call edges are dashed. *)
+
+val report : t -> string

@@ -1,0 +1,51 @@
+(** Cryptominer detection (paper, Figure 1, 10 LoC): profiles the binary
+    instructions characteristic of mining workloads (i32 add / and / shl /
+    shr_u / xor) and flags executions whose instruction signature is
+    dominated by them — a re-implementation of the profiling part of
+    SEISMIC. Uses only the [binary] hook. *)
+
+open Wasabi
+
+type t = {
+  signature : (string, int) Hashtbl.t;
+  mutable total_binary : int;
+}
+
+let create () = { signature = Hashtbl.create 8; total_binary = 0 }
+
+let groups = Hook.of_list [ Hook.G_binary ]
+
+let watched = [ "i32.add"; "i32.and"; "i32.shl"; "i32.shr_u"; "i32.xor" ]
+
+let analysis (t : t) : Analysis.t =
+  {
+    Analysis.default with
+    binary =
+      (fun _ op _ _ _ ->
+         t.total_binary <- t.total_binary + 1;
+         if List.mem op watched then
+           Hashtbl.replace t.signature op
+             (1 + Option.value ~default:0 (Hashtbl.find_opt t.signature op)));
+  }
+
+let count t op = Option.value ~default:0 (Hashtbl.find_opt t.signature op)
+let watched_total t = List.fold_left (fun acc op -> acc + count t op) 0 watched
+
+(** Fraction of binary instructions that belong to the mining signature. *)
+let signature_ratio t =
+  if t.total_binary = 0 then 0.0
+  else float_of_int (watched_total t) /. float_of_int t.total_binary
+
+(** Heuristic verdict: hashing loops execute almost exclusively integer
+    bit operations. *)
+let looks_like_miner ?(threshold = 0.8) t = signature_ratio t >= threshold
+
+let report t =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf
+    (Printf.sprintf "cryptominer signature (ratio %.2f, miner=%b):\n" (signature_ratio t)
+       (looks_like_miner t));
+  List.iter
+    (fun op -> Buffer.add_string buf (Printf.sprintf "  %-10s %8d\n" op (count t op)))
+    watched;
+  Buffer.contents buf

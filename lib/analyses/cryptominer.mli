@@ -1,0 +1,18 @@
+(** Cryptominer detection (paper, Figure 1): profiles the integer
+    instructions characteristic of mining kernels. Uses only [binary]. *)
+
+type t
+
+val create : unit -> t
+val groups : Wasabi.Hook.Group_set.t
+val analysis : t -> Wasabi.Analysis.t
+
+val watched : string list
+(** The signature instructions: i32 add/and/shl/shr_u/xor. *)
+
+val count : t -> string -> int
+val signature_ratio : t -> float
+(** Fraction of executed binary instructions in the signature. *)
+
+val looks_like_miner : ?threshold:float -> t -> bool
+val report : t -> string

@@ -1,0 +1,17 @@
+(** Instruction coverage (paper, Table 4): which static instructions
+    executed at least once. Uses all hooks. *)
+
+type t
+
+val create : unit -> t
+val groups : Wasabi.Hook.Group_set.t
+val analysis : t -> Wasabi.Analysis.t
+
+val executed_count : t -> int
+val is_covered : t -> Wasabi.Location.t -> bool
+
+val coverage : t -> Wasm.Ast.module_ -> float
+(** Fraction of the module's static instructions that executed; synthetic
+    function begin/end locations are excluded. *)
+
+val report : t -> Wasm.Ast.module_ -> string

@@ -1,0 +1,61 @@
+(** Instruction mix analysis (paper, Table 4, 42 LoC): counts how often
+    each kind of instruction is executed. Serves as a basis for
+    performance and security analyses. Uses all hooks. *)
+
+open Wasabi
+
+type t = {
+  counts : (string, int) Hashtbl.t;
+  mutable total : int;
+}
+
+let create () = { counts = Hashtbl.create 64; total = 0 }
+
+let groups = Hook.all
+
+let bump t key =
+  t.total <- t.total + 1;
+  Hashtbl.replace t.counts key (1 + Option.value ~default:0 (Hashtbl.find_opt t.counts key))
+
+let analysis (t : t) : Analysis.t =
+  {
+    Analysis.default with
+    nop = (fun _ -> bump t "nop");
+    unreachable = (fun _ -> bump t "unreachable");
+    if_ = (fun _ _ -> bump t "if");
+    br = (fun _ _ -> bump t "br");
+    br_if = (fun _ _ _ -> bump t "br_if");
+    br_table = (fun _ _ _ _ -> bump t "br_table");
+    begin_ = (fun _ k -> bump t ("begin_" ^ Hook.block_kind_name k));
+    end_ = (fun _ k _ -> bump t ("end_" ^ Hook.block_kind_name k));
+    const = (fun _ v -> bump t (Wasm.Types.string_of_value_type (Wasm.Value.type_of v) ^ ".const"));
+    drop = (fun _ _ -> bump t "drop");
+    select = (fun _ _ _ _ -> bump t "select");
+    unary = (fun _ op _ _ -> bump t op);
+    binary = (fun _ op _ _ _ -> bump t op);
+    local = (fun _ op _ _ -> bump t op);
+    global = (fun _ op _ _ -> bump t op);
+    load = (fun _ op _ _ -> bump t op);
+    store = (fun _ op _ _ -> bump t op);
+    memory_size = (fun _ _ -> bump t "memory.size");
+    memory_grow = (fun _ _ _ -> bump t "memory.grow");
+    call_pre = (fun _ _ _ ti -> bump t (if ti = None then "call" else "call_indirect"));
+    return_ = (fun _ _ -> bump t "return");
+    start = (fun _ -> bump t "start");
+  }
+
+let count t key = Option.value ~default:0 (Hashtbl.find_opt t.counts key)
+let total t = t.total
+
+(** Counts sorted by frequency, most frequent first. *)
+let sorted t =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.counts []
+  |> List.sort (fun (_, a) (_, b) -> Int.compare b a)
+
+let report t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "instruction mix: %d instructions executed\n" t.total);
+  List.iter
+    (fun (k, v) -> Buffer.add_string buf (Printf.sprintf "  %-20s %8d\n" k v))
+    (sorted t);
+  Buffer.contents buf

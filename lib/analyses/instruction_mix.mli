@@ -1,0 +1,17 @@
+(** Instruction mix analysis (paper, Table 4): counts how often each kind
+    of instruction executes. Uses all hooks. *)
+
+type t
+
+val create : unit -> t
+val groups : Wasabi.Hook.Group_set.t
+val analysis : t -> Wasabi.Analysis.t
+
+val count : t -> string -> int
+(** Executions of one mnemonic, e.g. ["i32.add"]. *)
+
+val total : t -> int
+val sorted : t -> (string * int) list
+(** Counts sorted by frequency, most frequent first. *)
+
+val report : t -> string

@@ -1,0 +1,73 @@
+(** Memory access tracing (paper, Table 4, 11 LoC): records all loads and
+    stores for later off-line analysis, e.g. to detect cache-unfriendly
+    access patterns. Uses the [load] and [store] hooks. *)
+
+open Wasabi
+
+type access = {
+  acc_loc : Location.t;
+  acc_op : string;
+  acc_addr : int32;
+  acc_offset : int;
+  acc_value : Wasm.Value.t;
+  acc_is_store : bool;
+}
+
+type t = {
+  mutable trace : access list;  (** reversed *)
+  mutable loads : int;
+  mutable stores : int;
+}
+
+let create () = { trace = []; loads = 0; stores = 0 }
+
+let groups = Hook.of_list [ Hook.G_load; Hook.G_store ]
+
+let effective_address (a : access) =
+  Int64.add (Int64.logand (Int64.of_int32 a.acc_addr) 0xFFFFFFFFL) (Int64.of_int a.acc_offset)
+
+let analysis (t : t) : Analysis.t =
+  {
+    Analysis.default with
+    load =
+      (fun loc op (ma : Analysis.memarg) v ->
+         t.loads <- t.loads + 1;
+         t.trace <-
+           { acc_loc = loc; acc_op = op; acc_addr = ma.addr; acc_offset = ma.offset;
+             acc_value = v; acc_is_store = false }
+           :: t.trace);
+    store =
+      (fun loc op (ma : Analysis.memarg) v ->
+         t.stores <- t.stores + 1;
+         t.trace <-
+           { acc_loc = loc; acc_op = op; acc_addr = ma.addr; acc_offset = ma.offset;
+             acc_value = v; acc_is_store = true }
+           :: t.trace);
+  }
+
+(** Accesses in execution order. *)
+let trace t = List.rev t.trace
+
+let num_loads t = t.loads
+let num_stores t = t.stores
+
+let unique_addresses t =
+  let seen = Hashtbl.create 64 in
+  List.iter (fun a -> Hashtbl.replace seen (effective_address a) ()) t.trace;
+  Hashtbl.length seen
+
+(** Average absolute stride between consecutive accesses — a simple
+    cache-friendliness indicator. *)
+let average_stride t =
+  let rec go acc n = function
+    | a :: (b :: _ as rest) ->
+      let d = Int64.abs (Int64.sub (effective_address a) (effective_address b)) in
+      go (acc +. Int64.to_float d) (n + 1) rest
+    | _ -> if n = 0 then 0.0 else acc /. float_of_int n
+  in
+  go 0.0 0 (trace t)
+
+let report t =
+  Printf.sprintf
+    "memory trace: %d loads, %d stores, %d unique addresses, avg stride %.1f bytes\n"
+    t.loads t.stores (unique_addresses t) (average_stride t)

@@ -1,0 +1,30 @@
+(** Memory access tracing (paper, Table 4): records all loads and stores
+    for later off-line analysis. Uses the [load] and [store] hooks. *)
+
+type access = {
+  acc_loc : Wasabi.Location.t;
+  acc_op : string;
+  acc_addr : int32;
+  acc_offset : int;
+  acc_value : Wasm.Value.t;
+  acc_is_store : bool;
+}
+
+type t
+
+val create : unit -> t
+val groups : Wasabi.Hook.Group_set.t
+val analysis : t -> Wasabi.Analysis.t
+
+val effective_address : access -> int64
+val trace : t -> access list
+(** Accesses in execution order. *)
+
+val num_loads : t -> int
+val num_stores : t -> int
+val unique_addresses : t -> int
+
+val average_stride : t -> float
+(** Mean absolute address distance between consecutive accesses. *)
+
+val report : t -> string

@@ -1,0 +1,86 @@
+(** Value-origin (provenance) tracking, in the spirit of origin tracking
+    for unwanted values (Bond et al., cited in the paper's related work):
+    every runtime value carries the set of source-code locations where it
+    was created (constants, loads from initial memory), propagated through
+    the same shadow machine as the taint analysis.
+
+    Useful to answer "where did this value come from?" — e.g. the origin
+    of a zero that reaches a division, or of an index that goes out of
+    bounds. The analysis reports the origins of values observed at
+    configurable {e probe} functions. *)
+
+open Wasabi
+
+module Machine = Shadow.Make (struct
+  type t = Location.Set.t
+
+  let bottom = Location.Set.empty
+  let join = Location.Set.union
+  let is_bottom = Location.Set.is_empty
+end)
+
+type probe = {
+  probe_loc : Location.t;  (** call site of the probe *)
+  probe_func : int;
+  probe_arg : int;
+  probe_origins : Location.Set.t;
+}
+
+type t = {
+  machine : Machine.t;
+  probe_funcs : int list;
+  mutable probes : probe list;
+}
+
+let groups = Machine.groups
+
+(** [create ~probes ()] tracks origins and records them for every argument
+    of calls to the given function indices. *)
+let create ?(probes = []) () =
+  let self = ref None in
+  let hooks = {
+    Machine.default_hooks with
+    (* constants originate at their own location *)
+    const_value = (fun loc _ -> Location.Set.singleton loc);
+    (* loads merge the memory's origins with the load site itself, so
+       values materialising from initial memory are attributed *)
+    load_result =
+      (fun loc _ ~memory ~address:_ ->
+         if Location.Set.is_empty memory then Location.Set.singleton loc else memory);
+    call_observe =
+      (fun loc ~callee ~args ~table_idx:_ ->
+         let t = Option.get !self in
+         if List.mem callee t.probe_funcs then
+           List.iteri
+             (fun i origins ->
+                t.probes <-
+                  { probe_loc = loc; probe_func = callee; probe_arg = i;
+                    probe_origins = origins }
+                  :: t.probes)
+             args);
+  } in
+  let t = { machine = Machine.create ~hooks (); probe_funcs = probes; probes = [] } in
+  self := Some t;
+  t
+
+let analysis (t : t) : Analysis.t = Machine.analysis t.machine
+
+(** Probes in execution order. *)
+let probes t = List.rev t.probes
+
+(** Origins of the value currently shadowing a byte of memory. *)
+let memory_origins t addr = Machine.memory_at t.machine addr
+
+let report t =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf
+    (Printf.sprintf "provenance: %d probe observation(s)\n" (List.length t.probes));
+  List.iter
+    (fun p ->
+       Buffer.add_string buf
+         (Printf.sprintf "  probe func %d at %s, argument %d, origins {%s}\n" p.probe_func
+            (Location.to_string p.probe_loc) p.probe_arg
+            (String.concat ","
+               (List.map Location.to_string (Location.Set.elements p.probe_origins)))))
+    (probes t);
+  Buffer.contents buf

@@ -1,0 +1,23 @@
+(** Value-origin (provenance) tracking: every value carries the set of
+    source locations where it was created, propagated through the generic
+    {!Shadow} machine. Origins are reported for the arguments of calls to
+    configured probe functions. *)
+
+type probe = {
+  probe_loc : Wasabi.Location.t;
+  probe_func : int;
+  probe_arg : int;
+  probe_origins : Wasabi.Location.Set.t;
+}
+
+type t
+
+val create : ?probes:int list -> unit -> t
+val groups : Wasabi.Hook.Group_set.t
+val analysis : t -> Wasabi.Analysis.t
+
+val probes : t -> probe list
+(** Probe observations in execution order. *)
+
+val memory_origins : t -> int -> Wasabi.Location.Set.t
+val report : t -> string

@@ -1,0 +1,246 @@
+(** A generic shadow machine over the Wasabi hook API.
+
+    Mirrors the program's execution with shadow state drawn from a join
+    semilattice [L]: a stack of shadow frames (one per active function,
+    each with a shadow value stack and shadow locals), shadow globals, and
+    a byte-granular shadow memory — all outside the program's heap, which
+    Wasabi's instrumentation never touches (paper, Section 2.3).
+
+    Blocks are tracked via the [begin]/[end] hooks: entering a block
+    records the shadow stack height; leaving it truncates the shadow stack
+    to that height, preserving the top value as the block result if the
+    stack grew (exact for the MVP's zero-or-one block results).
+
+    Clients parameterise the interesting transfer functions: the shadow
+    value of a constant, of a binary result, and of a call result; and may
+    observe every call's shadow arguments (e.g. to check sinks). The taint
+    analysis ({!Taint}) and the value-origin analysis ({!Provenance}) are
+    both thin instantiations. *)
+
+open Wasabi
+
+module type LATTICE = sig
+  type t
+
+  val bottom : t
+  val join : t -> t -> t
+  val is_bottom : t -> bool
+end
+
+module Make (L : LATTICE) = struct
+  type frame = {
+    locals : (int, L.t) Hashtbl.t;
+    mutable stack : L.t list;  (** head is the top *)
+    mutable block_heights : int list;
+  }
+
+  type hooks = {
+    const_value : Location.t -> Wasm.Value.t -> L.t;
+        (** shadow value pushed by a constant *)
+    unary_result : Location.t -> string -> L.t -> L.t;
+    binary_result : Location.t -> string -> L.t -> L.t -> L.t;
+    load_result : Location.t -> string -> memory:L.t -> address:L.t -> L.t;
+        (** combine the loaded bytes' shadow with the address's shadow *)
+    call_observe : Location.t -> callee:int -> args:L.t list -> table_idx:int option -> unit;
+    call_result : Location.t -> callee:int -> args:L.t list -> frame_result:L.t option -> L.t;
+        (** shadow of a call's result: [frame_result] is what the callee's
+            frame left behind, [None] for host functions *)
+  }
+
+  let default_hooks = {
+    const_value = (fun _ _ -> L.bottom);
+    unary_result = (fun _ _ v -> v);
+    binary_result = (fun _ _ a b -> L.join a b);
+    load_result = (fun _ _ ~memory ~address:_ -> memory);
+    call_observe = (fun _ ~callee:_ ~args:_ ~table_idx:_ -> ());
+    call_result =
+      (fun _ ~callee:_ ~args ~frame_result ->
+         match frame_result with
+         | Some v -> v
+         | None -> List.fold_left L.join L.bottom args);
+  }
+
+  type t = {
+    h : hooks;
+    mutable frames : frame list;
+    globals : (int, L.t) Hashtbl.t;
+    memory : (int64, L.t) Hashtbl.t;
+    mutable pending_args : L.t list;
+    mutable pending_result : L.t option;
+    mutable call_stack : (int * L.t list) list;
+  }
+
+  let new_frame () = { locals = Hashtbl.create 8; stack = []; block_heights = [] }
+
+  let create ?(hooks = default_hooks) () = {
+    h = hooks;
+    frames = [ new_frame () ];
+    globals = Hashtbl.create 8;
+    memory = Hashtbl.create 64;
+    pending_args = [];
+    pending_result = None;
+    call_stack = [];
+  }
+
+  let groups = Hook.all
+
+  let frame t =
+    match t.frames with
+    | f :: _ -> f
+    | [] ->
+      let f = new_frame () in
+      t.frames <- [ f ];
+      f
+
+  let push t v =
+    let f = frame t in
+    f.stack <- v :: f.stack
+
+  let pop t =
+    let f = frame t in
+    match f.stack with
+    | v :: rest ->
+      f.stack <- rest;
+      v
+    | [] -> L.bottom  (* shadow underflow: conservative, not wrong *)
+
+  let pop_n t n = List.init n (fun _ -> pop t)
+
+  let peek t =
+    match (frame t).stack with
+    | v :: _ -> v
+    | [] -> L.bottom
+
+  let local t i = Option.value ~default:L.bottom (Hashtbl.find_opt (frame t).locals i)
+  let global t i = Option.value ~default:L.bottom (Hashtbl.find_opt t.globals i)
+
+  (** Width in bytes of a load/store, recovered from its mnemonic. *)
+  let access_width op (v : Wasm.Value.t) =
+    let contains sub s =
+      let n = String.length s and k = String.length sub in
+      let rec go i = i + k <= n && (String.sub s i k = sub || go (i + 1)) in
+      k = 0 || go 0
+    in
+    if contains "8" op then 1
+    else if contains "16" op then 2
+    else if contains "32" op && contains "i64" op then 4
+    else Wasm.Types.byte_width (Wasm.Value.type_of v)
+
+  let effective_address (ma : Analysis.memarg) =
+    Int64.add (Int64.logand (Int64.of_int32 ma.addr) 0xFFFFFFFFL) (Int64.of_int ma.offset)
+
+  let memory_at64 t ea width =
+    let acc = ref L.bottom in
+    for i = 0 to width - 1 do
+      match Hashtbl.find_opt t.memory (Int64.add ea (Int64.of_int i)) with
+      | Some v -> acc := L.join !acc v
+      | None -> ()
+    done;
+    !acc
+
+  let memory_at t addr = memory_at64 t (Int64.of_int addr) 1
+
+  let set_memory64 t ea width v =
+    for i = 0 to width - 1 do
+      let a = Int64.add ea (Int64.of_int i) in
+      if L.is_bottom v then Hashtbl.remove t.memory a else Hashtbl.replace t.memory a v
+    done
+
+  let set_memory t ~addr ~len v = set_memory64 t (Int64.of_int addr) len v
+
+  let enter_block t =
+    let f = frame t in
+    f.block_heights <- List.length f.stack :: f.block_heights
+
+  let leave_block t =
+    let f = frame t in
+    match f.block_heights with
+    | [] -> ()
+    | h :: rest ->
+      f.block_heights <- rest;
+      let height = List.length f.stack in
+      if height > h then begin
+        let result = peek t in
+        let rec drop k l = if k <= 0 then l else drop (k - 1) (List.tl l) in
+        f.stack <- result :: drop (height - h) f.stack
+      end
+
+  let analysis (t : t) : Analysis.t =
+    {
+      Analysis.default with
+      const = (fun loc v -> push t (t.h.const_value loc v));
+      unary = (fun loc op _ _ ->
+        let v = pop t in
+        push t (t.h.unary_result loc op v));
+      binary = (fun loc op _ _ _ ->
+        let b = pop t in
+        let a = pop t in
+        push t (t.h.binary_result loc op a b));
+      drop = (fun _ _ -> ignore (pop t));
+      select = (fun _ _ _ _ ->
+        let _cond = pop t in
+        let second = pop t in
+        let first = pop t in
+        push t (L.join first second));
+      local = (fun _ op i _ ->
+        let f = frame t in
+        match op with
+        | "local.get" -> push t (local t i)
+        | "local.set" -> Hashtbl.replace f.locals i (pop t)
+        | _ (* local.tee *) -> Hashtbl.replace f.locals i (peek t));
+      global = (fun _ op i _ ->
+        match op with
+        | "global.get" -> push t (global t i)
+        | _ (* global.set *) -> Hashtbl.replace t.globals i (pop t));
+      load = (fun loc op ma v ->
+        let address = pop t in
+        let memory = memory_at64 t (effective_address ma) (access_width op v) in
+        push t (t.h.load_result loc op ~memory ~address));
+      store = (fun _ op ma v ->
+        let value = pop t in
+        let _address = pop t in
+        set_memory64 t (effective_address ma) (access_width op v) value);
+      memory_size = (fun _ _ -> push t L.bottom);
+      memory_grow = (fun _ _ _ ->
+        let _delta = pop t in
+        push t L.bottom);
+      if_ = (fun _ _ -> ignore (pop t));
+      br_if = (fun _ _ _ -> ignore (pop t));
+      br_table = (fun _ _ _ _ -> ignore (pop t));
+      begin_ = (fun _ kind ->
+        match kind with
+        | Hook.Bfunction ->
+          let f = new_frame () in
+          List.iteri (fun i v -> Hashtbl.replace f.locals i v) t.pending_args;
+          t.pending_args <- [];
+          t.frames <- f :: t.frames
+        | _ -> enter_block t);
+      end_ = (fun _ kind _ ->
+        match kind with
+        | Hook.Bfunction ->
+          (match t.frames with
+           | f :: rest ->
+             t.pending_result <- (match f.stack with v :: _ -> Some v | [] -> None);
+             t.frames <- rest
+           | [] -> ())
+        | _ -> leave_block t);
+      call_pre = (fun loc callee args table_idx ->
+        let arg_shadows = List.rev (pop_n t (List.length args)) in
+        t.h.call_observe loc ~callee ~args:arg_shadows ~table_idx;
+        t.pending_args <- arg_shadows;
+        t.pending_result <- None;
+        t.call_stack <- (callee, arg_shadows) :: t.call_stack);
+      call_post = (fun loc results ->
+        let callee, args =
+          match t.call_stack with
+          | entry :: rest ->
+            t.call_stack <- rest;
+            entry
+          | [] -> (-1, [])
+        in
+        let shadow = t.h.call_result loc ~callee ~args ~frame_result:t.pending_result in
+        t.pending_result <- None;
+        t.pending_args <- [];
+        List.iter (fun _ -> push t shadow) results);
+    }
+end

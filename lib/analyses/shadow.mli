@@ -1,0 +1,37 @@
+(** A generic shadow machine over the Wasabi hook API: mirrors execution
+    with shadow frames (stack + locals), shadow globals, and byte-granular
+    shadow memory drawn from a join semilattice. The taint and provenance
+    analyses are thin instantiations. *)
+
+module type LATTICE = sig
+  type t
+
+  val bottom : t
+  val join : t -> t -> t
+  val is_bottom : t -> bool
+end
+
+module Make (L : LATTICE) : sig
+  type t
+
+  (** Client-overridable transfer functions; unspecified behaviour is
+      join-everything, bottom-for-fresh-values. *)
+  type hooks = {
+    const_value : Wasabi.Location.t -> Wasm.Value.t -> L.t;
+    unary_result : Wasabi.Location.t -> string -> L.t -> L.t;
+    binary_result : Wasabi.Location.t -> string -> L.t -> L.t -> L.t;
+    load_result : Wasabi.Location.t -> string -> memory:L.t -> address:L.t -> L.t;
+    call_observe :
+      Wasabi.Location.t -> callee:int -> args:L.t list -> table_idx:int option -> unit;
+    call_result :
+      Wasabi.Location.t -> callee:int -> args:L.t list -> frame_result:L.t option -> L.t;
+  }
+
+  val default_hooks : hooks
+  val create : ?hooks:hooks -> unit -> t
+  val groups : Wasabi.Hook.Group_set.t
+  val analysis : t -> Wasabi.Analysis.t
+
+  val memory_at : t -> int -> L.t
+  val set_memory : t -> addr:int -> len:int -> L.t -> unit
+end

@@ -1,0 +1,112 @@
+(** Dynamic taint analysis (paper, Table 4, 208 LoC): associates a taint
+    with every value and tracks propagation through instructions, function
+    calls, locals, globals, and linear memory (memory shadowing as
+    sketched in Section 2.3 of the paper), reporting illegal flows from
+    sources to sinks.
+
+    Implemented as an instantiation of the generic {!Shadow} machine with
+    the lattice of source-id sets: results of calls to {e source}
+    functions are freshly tainted, and every call to a {e sink} function
+    is checked for tainted arguments. *)
+
+open Wasabi
+
+module Int_set = Set.Make (Int)
+
+(** A taint is the set of source identifiers a value depends on. *)
+type taint = Int_set.t
+
+let untainted : taint = Int_set.empty
+let join = Int_set.union
+
+module Machine = Shadow.Make (struct
+  type t = taint
+
+  let bottom = untainted
+  let join = join
+  let is_bottom = Int_set.is_empty
+end)
+
+(** An illegal flow: a tainted value reached a sink. *)
+type flow = {
+  flow_sink_loc : Location.t;  (** call site of the sink *)
+  flow_sink_func : int;
+  flow_arg : int;  (** which sink argument was tainted *)
+  flow_sources : Int_set.t;
+}
+
+type t = {
+  machine : Machine.t;
+  source_funcs : Int_set.t;
+  sink_funcs : Int_set.t;
+  mutable flows : flow list;
+  mutable next_source : int;
+}
+
+let groups = Machine.groups
+
+(** Mark a fresh source; returns its id. *)
+let fresh_source t =
+  let id = t.next_source in
+  t.next_source <- id + 1;
+  id
+
+let create ?(sources = []) ?(sinks = []) () =
+  (* tie the knot: the machine's transfer functions consult the analysis
+     state, which holds the machine *)
+  let self = ref None in
+  let hooks = {
+    Machine.default_hooks with
+    call_observe =
+      (fun loc ~callee ~args ~table_idx:_ ->
+         let t = Option.get !self in
+         if Int_set.mem callee t.sink_funcs then
+           List.iteri
+             (fun i taint ->
+                if not (Int_set.is_empty taint) then
+                  t.flows <-
+                    { flow_sink_loc = loc; flow_sink_func = callee; flow_arg = i;
+                      flow_sources = taint }
+                    :: t.flows)
+             args);
+    call_result =
+      (fun loc ~callee ~args ~frame_result ->
+         let t = Option.get !self in
+         if Int_set.mem callee t.source_funcs then Int_set.singleton (fresh_source t)
+         else Machine.default_hooks.Machine.call_result loc ~callee ~args ~frame_result);
+  } in
+  let t = {
+    machine = Machine.create ~hooks ();
+    source_funcs = Int_set.of_list sources;
+    sink_funcs = Int_set.of_list sinks;
+    flows = [];
+    next_source = 0;
+  } in
+  self := Some t;
+  t
+
+let analysis (t : t) : Analysis.t = Machine.analysis t.machine
+
+(** Manually taint a memory range (e.g. a network buffer). *)
+let taint_memory t ~addr ~len =
+  let id = fresh_source t in
+  Machine.set_memory t.machine ~addr ~len (Int_set.singleton id);
+  id
+
+let flows t = List.rev t.flows
+let num_flows t = List.length t.flows
+
+(** Taint currently associated with a byte of memory (for tests). *)
+let memory_taint_at t addr = Machine.memory_at t.machine addr
+
+let report t =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf (Printf.sprintf "taint analysis: %d illegal flow(s)\n" (num_flows t));
+  List.iter
+    (fun f ->
+       Buffer.add_string buf
+         (Printf.sprintf "  sink func %d at %s, argument %d, sources {%s}\n" f.flow_sink_func
+            (Location.to_string f.flow_sink_loc) f.flow_arg
+            (String.concat "," (List.map string_of_int (Int_set.elements f.flow_sources)))))
+    (flows t);
+  Buffer.contents buf

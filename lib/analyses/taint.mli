@@ -1,0 +1,36 @@
+(** Dynamic taint analysis (paper, Table 4): tracks taints through
+    instructions, calls, locals, globals, and linear memory (memory
+    shadowing, paper Section 2.3); reports flows from sources to sinks.
+    An instantiation of the generic {!Shadow} machine. *)
+
+module Int_set : Set.S with type elt = int
+
+type taint = Int_set.t
+
+val untainted : taint
+val join : taint -> taint -> taint
+
+type flow = {
+  flow_sink_loc : Wasabi.Location.t;
+  flow_sink_func : int;
+  flow_arg : int;
+  flow_sources : Int_set.t;
+}
+
+type t
+
+val create : ?sources:int list -> ?sinks:int list -> unit -> t
+(** Results of calls to [sources] (original function indices) are freshly
+    tainted; arguments of calls to [sinks] are checked. *)
+
+val groups : Wasabi.Hook.Group_set.t
+val analysis : t -> Wasabi.Analysis.t
+
+val taint_memory : t -> addr:int -> len:int -> int
+(** Manually taint a memory range (e.g. a network buffer); returns the
+    fresh source id. *)
+
+val flows : t -> flow list
+val num_flows : t -> int
+val memory_taint_at : t -> int -> taint
+val report : t -> string

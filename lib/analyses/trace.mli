@@ -1,0 +1,23 @@
+(** Record and replay: captures the full analysis event stream and
+    replays it into any other analysis off-line, or renders it as a text
+    log. *)
+
+type event
+
+type t
+
+val create : unit -> t
+val groups : Wasabi.Hook.Group_set.t
+val analysis : t -> Wasabi.Analysis.t
+
+val events : t -> event list
+(** Events in execution order. *)
+
+val length : t -> int
+
+val replay : t -> Wasabi.Analysis.t -> unit
+(** Re-dispatch a recorded trace into another analysis. *)
+
+val event_to_string : event -> string
+val to_log : t -> string
+val report : t -> string

@@ -1,0 +1,127 @@
+(** MiniC: a small imperative language compiled to WebAssembly.
+
+    Stands in for the paper's emscripten-compiled C benchmarks: loop
+    nests, arrays in linear memory, scalar arithmetic over all four Wasm
+    value types, function calls (direct and indirect through a table),
+    structured control flow including [switch] (compiled to [br_table]),
+    and manual memory addressing. *)
+
+type ty =
+  | TInt  (** i32 *)
+  | TLong  (** i64 *)
+  | TSingle  (** f32 *)
+  | TFloat  (** f64 *)
+
+type binop =
+  | Add | Sub | Mul | Div | Rem
+  | BAnd | BOr | BXor | Shl | Shr | ShrU
+  | Eq | Ne | Lt | Le | Gt | Ge
+  | LAnd | LOr  (** logical; non-short-circuiting, operate on ints *)
+
+type unop =
+  | Neg
+  | Not  (** logical not: x == 0 *)
+  | Sqrt | Abs | Floor | Ceil  (** float only *)
+  | Clz | Popcnt  (** int/long only *)
+
+type expr =
+  | Int of int32
+  | Long of int64
+  | Single of float
+  | Float of float
+  | Var of string
+  | Global of string
+  | Binop of binop * expr * expr
+  | Unop of unop * expr
+  | Cast of ty * expr
+  | Load of ty * expr  (** typed load at a byte address *)
+  | Load8u of expr  (** byte load, zero extended to int *)
+  | Call of string * expr list
+  | CallIndirect of expr * ty list * ty option
+      (** table index, parameter types, result type *)
+  | Select of expr * expr * expr  (** cond, then, else (no short circuit) *)
+  | MemSize
+  | MemGrow of expr
+
+type stmt =
+  | Assign of string * expr
+  | SetGlobal of string * expr
+  | Store of ty * expr * expr  (** type, address, value *)
+  | Store8 of expr * expr  (** address, value (low byte of an int) *)
+  | If of expr * stmt list * stmt list
+  | While of expr * stmt list
+  | For of string * expr * expr * stmt list
+      (** [For (i, lo, hi, body)]: i from lo while i < hi, step 1 *)
+  | ForStep of string * expr * expr * expr * stmt list  (** explicit step *)
+  | Switch of expr * stmt list list * stmt list  (** cases 0..n-1, default *)
+  | Break
+  | Continue
+  | Return of expr option
+  | Expr of expr  (** evaluate for side effects, drop any result *)
+
+type func_def = {
+  fd_name : string;
+  fd_params : (string * ty) list;
+  fd_result : ty option;
+  fd_locals : (string * ty) list;
+  fd_body : stmt list;
+  fd_export : bool;
+}
+
+type program = {
+  pr_globals : (string * ty * expr) list;  (** initialisers must be constants *)
+  pr_funcs : func_def list;
+  pr_memory_pages : int;  (** 0 for no memory *)
+  pr_table : string list;  (** functions installed in the table, in order *)
+  pr_data : (int * string) list;  (** initial memory contents *)
+  pr_start : string option;
+}
+
+let program ?(globals = []) ?(memory_pages = 1) ?(table = []) ?(data = []) ?start funcs = {
+  pr_globals = globals;
+  pr_funcs = funcs;
+  pr_memory_pages = memory_pages;
+  pr_table = table;
+  pr_data = data;
+  pr_start = start;
+}
+
+let func ?(params = []) ?result ?(locals = []) ?(export = true) name body = {
+  fd_name = name;
+  fd_params = params;
+  fd_result = result;
+  fd_locals = locals;
+  fd_body = body;
+  fd_export = export;
+}
+
+(** Expression shorthands used pervasively by the workloads. Open
+    [Mc_ast.Dsl] locally — it shadows the standard comparison and
+    arithmetic operators. *)
+module Dsl = struct
+  let i k = Int (Int32.of_int k)
+  let f x = Float x
+  let v name = Var name
+  let ( + ) a b = Binop (Add, a, b)
+  let ( - ) a b = Binop (Sub, a, b)
+  let ( * ) a b = Binop (Mul, a, b)
+  let ( / ) a b = Binop (Div, a, b)
+  let ( % ) a b = Binop (Rem, a, b)
+  let ( < ) a b = Binop (Lt, a, b)
+  let ( > ) a b = Binop (Gt, a, b)
+  let ( <= ) a b = Binop (Le, a, b)
+  let ( >= ) a b = Binop (Ge, a, b)
+  let ( = ) a b = Binop (Eq, a, b)
+  let ( <> ) a b = Binop (Ne, a, b)
+  let ( && ) a b = Binop (LAnd, a, b)
+  let ( || ) a b = Binop (LOr, a, b)
+  let ( := ) name e = Assign (name, e)
+
+  (** Float array access at [base] (bytes), 8-byte elements. *)
+  let fload base idx = Load (TFloat, Binop (Add, base, Binop (Mul, idx, i 8)))
+  let fstore base idx value = Store (TFloat, Binop (Add, base, Binop (Mul, idx, i 8)), value)
+
+  (** Int array access at [base] (bytes), 4-byte elements. *)
+  let iload base idx = Load (TInt, Binop (Add, base, Binop (Mul, idx, i 4)))
+  let istore base idx value = Store (TInt, Binop (Add, base, Binop (Mul, idx, i 4)), value)
+end

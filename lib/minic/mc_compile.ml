@@ -1,0 +1,463 @@
+(** Compilation of MiniC programs to WebAssembly modules. *)
+
+open Wasm
+open Wasm.Types
+open Wasm.Ast
+open Mc_ast
+
+exception Compile_error of string
+
+let error fmt = Printf.ksprintf (fun s -> raise (Compile_error s)) fmt
+
+let wasm_ty = function
+  | TInt -> I32T
+  | TLong -> I64T
+  | TSingle -> F32T
+  | TFloat -> F64T
+
+let ty_name = function
+  | TInt -> "int"
+  | TLong -> "long"
+  | TSingle -> "single"
+  | TFloat -> "float"
+
+type env = {
+  locals : (string, int * ty) Hashtbl.t;
+  globals : (string, int * ty) Hashtbl.t;
+  funcs : (string, int * ty list * ty option) Hashtbl.t;
+  bld : Builder.t;
+  fn_result : ty option;
+}
+
+let lookup_local env name =
+  match Hashtbl.find_opt env.locals name with
+  | Some x -> x
+  | None -> error "unknown variable %S" name
+
+let lookup_global env name =
+  match Hashtbl.find_opt env.globals name with
+  | Some x -> x
+  | None -> error "unknown global %S" name
+
+let lookup_func env name =
+  match Hashtbl.find_opt env.funcs name with
+  | Some x -> x
+  | None -> error "unknown function %S" name
+
+let isize_of = function TInt -> S32 | TLong -> S64 | _ -> assert false
+let fsize_of = function TSingle -> SF32 | TFloat -> SF64 | _ -> assert false
+let is_int = function TInt | TLong -> true | TSingle | TFloat -> false
+
+let arith_op ty op =
+  if is_int ty then
+    let sz = isize_of ty in
+    let o = match op with
+      | Add -> Ast.Add | Sub -> Ast.Sub | Mul -> Ast.Mul
+      | Div -> Ast.DivS | Rem -> Ast.RemS
+      | BAnd -> Ast.And | BOr -> Ast.Or | BXor -> Ast.Xor
+      | Shl -> Ast.Shl | Shr -> Ast.ShrS | ShrU -> Ast.ShrU
+      | _ -> error "not an arithmetic operator"
+    in
+    Binary (IBin (sz, o))
+  else
+    let sz = fsize_of ty in
+    let o = match op with
+      | Add -> FAdd | Sub -> FSub | Mul -> FMul | Div -> FDiv
+      | Rem | BAnd | BOr | BXor | Shl | Shr | ShrU ->
+        error "operator not defined on %s" (ty_name ty)
+      | _ -> error "not an arithmetic operator"
+    in
+    Binary (FBin (sz, o))
+
+let compare_op ty op =
+  if is_int ty then
+    let sz = isize_of ty in
+    let o = match op with
+      | Eq -> Ast.Eq | Ne -> Ast.Ne | Lt -> LtS | Le -> LeS | Gt -> GtS | Ge -> GeS
+      | _ -> assert false
+    in
+    Compare (IRel (sz, o))
+  else
+    let sz = fsize_of ty in
+    let o = match op with
+      | Eq -> FEq | Ne -> FNe | Lt -> FLt | Le -> FLe | Gt -> FGt | Ge -> FGe
+      | _ -> assert false
+    in
+    Compare (FRel (sz, o))
+
+let cast_instrs ~from_ ~to_ =
+  match from_, to_ with
+  | a, b when a = b -> []
+  | TInt, TLong -> [ Convert I64ExtendI32S ]
+  | TInt, TSingle -> [ Convert F32ConvertI32S ]
+  | TInt, TFloat -> [ Convert F64ConvertI32S ]
+  | TLong, TInt -> [ Convert I32WrapI64 ]
+  | TLong, TSingle -> [ Convert F32ConvertI64S ]
+  | TLong, TFloat -> [ Convert F64ConvertI64S ]
+  | TSingle, TInt -> [ Convert I32TruncF32S ]
+  | TSingle, TLong -> [ Convert I64TruncF32S ]
+  | TSingle, TFloat -> [ Convert F64PromoteF32 ]
+  | TFloat, TInt -> [ Convert I32TruncF64S ]
+  | TFloat, TLong -> [ Convert I64TruncF64S ]
+  | TFloat, TSingle -> [ Convert F32DemoteF64 ]
+  | _ -> assert false
+
+let load_op ty =
+  match ty with
+  | TInt -> Ast.Load { lty = I32T; lalign = 2; loffset = 0; lpack = None }
+  | TLong -> Ast.Load { lty = I64T; lalign = 3; loffset = 0; lpack = None }
+  | TSingle -> Ast.Load { lty = F32T; lalign = 2; loffset = 0; lpack = None }
+  | TFloat -> Ast.Load { lty = F64T; lalign = 3; loffset = 0; lpack = None }
+
+let store_op ty =
+  match ty with
+  | TInt -> Ast.Store { sty = I32T; salign = 2; soffset = 0; spack = None }
+  | TLong -> Ast.Store { sty = I64T; salign = 3; soffset = 0; spack = None }
+  | TSingle -> Ast.Store { sty = F32T; salign = 2; soffset = 0; spack = None }
+  | TFloat -> Ast.Store { sty = F64T; salign = 3; soffset = 0; spack = None }
+
+(** [0/1] test of an int expression (logical normalisation). *)
+let to_bool = [ Const (Value.I32 0l); Compare (IRel (S32, Ne)) ]
+
+let rec compile_expr env (e : expr) : instr list * ty =
+  match e with
+  | Int x -> ([ Const (Value.I32 x) ], TInt)
+  | Long x -> ([ Const (Value.I64 x) ], TLong)
+  | Single x -> ([ Const (Value.f32 x) ], TSingle)
+  | Float x -> ([ Const (Value.F64 x) ], TFloat)
+  | Var name ->
+    let idx, ty = lookup_local env name in
+    ([ LocalGet idx ], ty)
+  | Global name ->
+    let idx, ty = lookup_global env name in
+    ([ GlobalGet idx ], ty)
+  | Binop ((LAnd | LOr) as op, a, b) ->
+    let ia = compile_int env a in
+    let ib = compile_int env b in
+    let o = if op = LAnd then Ast.And else Ast.Or in
+    (ia @ to_bool @ ib @ to_bool @ [ Binary (IBin (S32, o)) ], TInt)
+  | Binop ((Eq | Ne | Lt | Le | Gt | Ge) as op, a, b) ->
+    let ia, ta = compile_expr env a in
+    let ib, tb = compile_expr env b in
+    if ta <> tb then error "comparison of %s and %s" (ty_name ta) (ty_name tb);
+    (ia @ ib @ [ compare_op ta op ], TInt)
+  | Binop (op, a, b) ->
+    let ia, ta = compile_expr env a in
+    let ib, tb = compile_expr env b in
+    if ta <> tb then error "operands of %s and %s" (ty_name ta) (ty_name tb);
+    (ia @ ib @ [ arith_op ta op ], ta)
+  | Unop (Neg, a) ->
+    let ia, ta = compile_expr env a in
+    if is_int ta then
+      let zero = if ta = TInt then Const (Value.I32 0l) else Const (Value.I64 0L) in
+      ((zero :: ia) @ [ arith_op ta Sub ], ta)
+    else (ia @ [ Unary (FUn (fsize_of ta, Ast.Neg)) ], ta)
+  | Unop (Not, a) ->
+    let ia = compile_int env a in
+    (ia @ [ Test (IEqz S32) ], TInt)
+  | Unop ((Sqrt | Abs | Floor | Ceil) as op, a) ->
+    let ia, ta = compile_expr env a in
+    if is_int ta then error "%s requires a float operand" (ty_name ta);
+    let o = match op with
+      | Sqrt -> Ast.Sqrt | Abs -> Ast.Abs | Floor -> Ast.Floor | Ceil -> Ast.Ceil
+      | _ -> assert false
+    in
+    (ia @ [ Unary (FUn (fsize_of ta, o)) ], ta)
+  | Unop ((Clz | Popcnt) as op, a) ->
+    let ia, ta = compile_expr env a in
+    if not (is_int ta) then error "bit counting requires an integer operand";
+    let o = match op with Clz -> Ast.Clz | Popcnt -> Ast.Popcnt | _ -> assert false in
+    (ia @ [ Unary (IUn (isize_of ta, o)) ], ta)
+  | Cast (to_, a) ->
+    let ia, from_ = compile_expr env a in
+    (ia @ cast_instrs ~from_ ~to_, to_)
+  | Load (ty, addr) ->
+    let ia = compile_int env addr in
+    (ia @ [ load_op ty ], ty)
+  | Load8u addr ->
+    let ia = compile_int env addr in
+    (ia @ [ Load { lty = I32T; lalign = 0; loffset = 0; lpack = Some (Pack8, ZX) } ], TInt)
+  | Call (name, args) ->
+    let fidx, params, result = lookup_func env name in
+    if List.length args <> List.length params then
+      error "%S expects %d argument(s)" name (List.length params);
+    let compiled =
+      List.map2
+        (fun a expected ->
+           let ia, ta = compile_expr env a in
+           if ta <> expected then error "argument type mismatch in call to %S" name;
+           ia)
+        args params
+    in
+    (List.concat compiled @ [ Ast.Call fidx ],
+     match result with
+     | Some t -> t
+     | None -> error "call to %S used as an expression but returns nothing" name)
+  | CallIndirect (idx, params, result) ->
+    let compiled_idx = compile_int env idx in
+    (* callers must push arguments via Call wrappers; for simplicity the
+       indirect-call expression takes no value arguments beyond the index *)
+    let ti =
+      Builder.add_type env.bld
+        (func_type (List.map wasm_ty params) (Option.to_list (Option.map wasm_ty result)))
+    in
+    if params <> [] then error "indirect calls with parameters not supported directly";
+    (compiled_idx @ [ Ast.CallIndirect ti ],
+     match result with
+     | Some t -> t
+     | None -> error "indirect call used as an expression but returns nothing")
+  | Select (cond, a, b) ->
+    let ic = compile_int env cond in
+    let ia, ta = compile_expr env a in
+    let ib, tb = compile_expr env b in
+    if ta <> tb then error "select arms of %s and %s" (ty_name ta) (ty_name tb);
+    (ia @ ib @ ic @ [ Ast.Select ], ta)
+  | MemSize -> ([ MemorySize ], TInt)
+  | MemGrow e ->
+    let ie = compile_int env e in
+    (ie @ [ MemoryGrow ], TInt)
+
+and compile_int env e =
+  let ia, ta = compile_expr env e in
+  if ta <> TInt then error "expected an int expression, got %s" (ty_name ta);
+  ia
+
+(** Compile a statement list. [depth] is the number of enclosing blocks in
+    the current function body; [breaks]/[continues] hold the inside-depths
+    of the innermost break/continue targets. *)
+let rec compile_stmts env ~depth ~breaks ~continues stmts =
+  List.concat_map (compile_stmt env ~depth ~breaks ~continues) stmts
+
+and compile_stmt env ~depth ~breaks ~continues (s : stmt) : instr list =
+  match s with
+  | Assign (name, e) ->
+    let idx, ty = lookup_local env name in
+    let ie, te = compile_expr env e in
+    if te <> ty then error "assigning %s to %s variable %S" (ty_name te) (ty_name ty) name;
+    ie @ [ LocalSet idx ]
+  | SetGlobal (name, e) ->
+    let idx, ty = lookup_global env name in
+    let ie, te = compile_expr env e in
+    if te <> ty then error "assigning %s to %s global %S" (ty_name te) (ty_name ty) name;
+    ie @ [ GlobalSet idx ]
+  | Store (ty, addr, value) ->
+    let ia = compile_int env addr in
+    let iv, tv = compile_expr env value in
+    if tv <> ty then error "storing %s as %s" (ty_name tv) (ty_name ty);
+    ia @ iv @ [ store_op ty ]
+  | Store8 (addr, value) ->
+    let ia = compile_int env addr in
+    let iv = compile_int env value in
+    ia @ iv @ [ Ast.Store { sty = I32T; salign = 0; soffset = 0; spack = Some Pack8 } ]
+  | If (cond, then_, else_) ->
+    let ic = compile_int env cond in
+    let it = compile_stmts env ~depth:(depth + 1) ~breaks ~continues then_ in
+    let ie = compile_stmts env ~depth:(depth + 1) ~breaks ~continues else_ in
+    ic
+    @ (match ie with
+       | [] -> (Ast.If None :: it) @ [ End ]
+       | _ -> (Ast.If None :: it) @ (Else :: ie) @ [ End ])
+  | While (cond, body) ->
+    (* block (break d+1) { loop (continue d+2) { if !cond br 1; body; br 0 } } *)
+    let ic = compile_int env cond in
+    let ib =
+      compile_stmts env ~depth:(depth + 2) ~breaks:(depth + 1 :: breaks)
+        ~continues:(depth + 2 :: continues) body
+    in
+    [ Block None; Loop None ]
+    @ ic @ [ Test (IEqz S32); BrIf 1 ]
+    @ ib
+    @ [ Br 0; End; End ]
+  | For (var, lo, hi, body) -> compile_for env ~depth ~breaks ~continues var lo hi (Int 1l) body
+  | ForStep (var, lo, hi, step, body) ->
+    compile_for env ~depth ~breaks ~continues var lo hi step body
+  | Switch (scrutinee, cases, default) ->
+    compile_switch env ~depth ~breaks ~continues scrutinee cases default
+  | Break ->
+    (match breaks with
+     | target :: _ -> [ Br (depth - target) ]
+     | [] -> error "break outside of loop or switch")
+  | Continue ->
+    (match continues with
+     | target :: _ -> [ Br (depth - target) ]
+     | [] -> error "continue outside of loop")
+  | Return None ->
+    if env.fn_result <> None then error "missing return value";
+    [ Ast.Return ]
+  | Return (Some e) ->
+    let ie, te = compile_expr env e in
+    if Some te <> env.fn_result then error "return type mismatch";
+    ie @ [ Ast.Return ]
+  | Expr e ->
+    (match e with
+     | CallIndirect (idx, [], None) ->
+       let compiled_idx = compile_int env idx in
+       let ti = Builder.add_type env.bld (Wasm.Types.func_type [] []) in
+       compiled_idx @ [ Ast.CallIndirect ti ]
+     | Call (name, args) when (let _, _, r = lookup_func env name in r = None) ->
+       let fidx, params, _ = lookup_func env name in
+       if List.length args <> List.length params then
+         error "%S expects %d argument(s)" name (List.length params);
+       let compiled =
+         List.map2
+           (fun a expected ->
+              let ia, ta = compile_expr env a in
+              if ta <> expected then error "argument type mismatch in call to %S" name;
+              ia)
+           args params
+       in
+       List.concat compiled @ [ Ast.Call fidx ]
+     | _ ->
+       let ie, _ = compile_expr env e in
+       ie @ [ Drop ])
+
+and compile_for env ~depth ~breaks ~continues var lo hi step body =
+  let idx, ty = lookup_local env var in
+  if ty <> TInt then error "loop variable %S must be int" var;
+  let ilo = compile_int env lo in
+  let ihi = compile_int env hi in
+  let istep = compile_int env step in
+  (* ascending loops run while i < hi; a negative constant step descends
+     while i > hi, so the exit test flips *)
+  let exit_test =
+    match step with
+    | Int k when Int32.compare k 0l < 0 -> Compare (IRel (S32, LeS))
+    | Binop (Sub, Int 0l, Int _) -> Compare (IRel (S32, LeS))
+    | _ -> Compare (IRel (S32, GeS))
+  in
+  (* i = lo;
+     block (break d+1) { loop (d+2) {
+       if i >= hi br 1;   (i <= hi when descending)
+       block (continue d+3) { body }
+       i += step; br 0 } } *)
+  let ib =
+    compile_stmts env ~depth:(depth + 3) ~breaks:(depth + 1 :: breaks)
+      ~continues:(depth + 3 :: continues) body
+  in
+  ilo @ [ LocalSet idx ]
+  @ [ Block None; Loop None; LocalGet idx ]
+  @ ihi
+  @ [ exit_test; BrIf 1 ]
+  @ [ Block None ] @ ib @ [ End; LocalGet idx ]
+  @ istep
+  @ [ Binary (IBin (S32, Ast.Add)); LocalSet idx; Br 0; End; End ]
+
+and compile_switch env ~depth ~breaks ~continues scrutinee cases default =
+  let n = List.length cases in
+  let iscr = compile_int env scrutinee in
+  (* blocks from outside in: exit (d+1), default (d+2), case n-1 (d+3),
+     ..., case 0 (d+2+n); the br_table sits at depth d+2+n *)
+  let opens = List.init (n + 2) (fun _ -> Block None) in
+  let table = List.init n (fun k -> k) in
+  let case_code =
+    List.concat
+      (List.mapi
+         (fun k case ->
+            (* after closing case k's block we are at depth d+2+n-(k+1) *)
+            let case_depth = depth + 2 + n - (k + 1) in
+            let body =
+              compile_stmts env ~depth:case_depth ~breaks:(depth + 1 :: breaks) ~continues
+                case
+            in
+            (End :: body) @ [ Br (case_depth - (depth + 1)) ])
+         cases)
+  in
+  let default_code =
+    End
+    :: compile_stmts env ~depth:(depth + 1) ~breaks:(depth + 1 :: breaks) ~continues default
+  in
+  opens @ iscr @ [ BrTable (table, n) ] @ case_code @ default_code @ [ End ]
+
+(** Compile a whole program to a Wasm module. Raises {!Compile_error} on
+    type errors; the produced module always validates. *)
+let compile (p : program) : module_ =
+  let bld = Builder.create () in
+  if p.pr_memory_pages > 0 then begin
+    Builder.add_memory bld ~min_pages:p.pr_memory_pages ~max_pages:None;
+    Builder.export_memory bld ~name:"memory"
+  end;
+  let globals = Hashtbl.create 8 in
+  List.iter
+    (fun (name, ty, init) ->
+       let value =
+         match init, ty with
+         | Int x, TInt -> Value.I32 x
+         | Long x, TLong -> Value.I64 x
+         | Single x, TSingle -> Value.f32 x
+         | Float x, TFloat -> Value.F64 x
+         | _ -> error "global %S: initialiser must be a constant of type %s" name (ty_name ty)
+       in
+       let idx = Builder.add_global bld ~ty:(wasm_ty ty) ~mutable_:true ~init:value in
+       if Hashtbl.mem globals name then error "duplicate global %S" name;
+       Hashtbl.add globals name (idx, ty))
+    p.pr_globals;
+  (* two passes: declare all functions first so calls can be resolved *)
+  let funcs = Hashtbl.create 16 in
+  let handles =
+    List.map
+      (fun fd ->
+         let params = List.map (fun (_, ty) -> wasm_ty ty) fd.fd_params in
+         let results = Option.to_list (Option.map wasm_ty fd.fd_result) in
+         let fh = Builder.declare_func bld ~params ~results in
+         if Hashtbl.mem funcs fd.fd_name then error "duplicate function %S" fd.fd_name;
+         Hashtbl.add funcs fd.fd_name
+           (fh.Builder.fh_index, List.map snd fd.fd_params, fd.fd_result);
+         (fd, fh))
+      p.pr_funcs
+  in
+  List.iter
+    (fun (fd, fh) ->
+       let locals = Hashtbl.create 8 in
+       List.iteri
+         (fun k (name, ty) ->
+            if Hashtbl.mem locals name then error "duplicate parameter %S" name;
+            Hashtbl.add locals name (k, ty))
+         fd.fd_params;
+       let n_params = List.length fd.fd_params in
+       List.iteri
+         (fun k (name, ty) ->
+            if Hashtbl.mem locals name then error "duplicate local %S" name;
+            Hashtbl.add locals name (n_params + k, ty))
+         fd.fd_locals;
+       let env = { locals; globals; funcs; bld; fn_result = fd.fd_result } in
+       let body = compile_stmts env ~depth:0 ~breaks:[] ~continues:[] fd.fd_body in
+       (* a function with a result whose body does not end in an explicit
+          return would fall off the end without a value; supply a default
+          (after a trailing Return the extra const is dead code) *)
+       let body =
+         match fd.fd_result with
+         | None -> body
+         | Some ty ->
+           (match List.rev fd.fd_body with
+            | Return (Some _) :: _ -> body
+            | _ -> body @ [ Const (Value.default (wasm_ty ty)) ])
+       in
+       Builder.set_body fh ~locals:(List.map (fun (_, ty) -> wasm_ty ty) fd.fd_locals) ~body;
+       if fd.fd_export then Builder.export_func bld ~name:fd.fd_name fh.Builder.fh_index)
+    handles;
+  if p.pr_table <> [] then begin
+    Builder.add_table bld ~min_size:(List.length p.pr_table) ~max_size:None;
+    let indices =
+      List.map
+        (fun name ->
+           let idx, _, _ = try Hashtbl.find funcs name with Not_found -> error "unknown table function %S" name in
+           idx)
+        p.pr_table
+    in
+    Builder.add_elem bld ~offset:0 ~funcs:indices
+  end;
+  List.iter (fun (offset, bytes) -> Builder.add_data bld ~offset ~bytes) p.pr_data;
+  (match p.pr_start with
+   | None -> ()
+   | Some name ->
+     let idx, params, result = lookup_func { locals = Hashtbl.create 0; globals; funcs; bld; fn_result = None } name in
+     if params <> [] || result <> None then error "start function %S must take and return nothing" name;
+     Builder.set_start bld idx);
+  Builder.build bld
+
+(** Compile and validate; raises if the output is ill-typed (an internal
+    error in this compiler). *)
+let compile_checked p =
+  let m = compile p in
+  Validate.validate_module m;
+  m

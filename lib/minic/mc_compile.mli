@@ -1,0 +1,15 @@
+(** Compilation of MiniC programs to WebAssembly modules. *)
+
+exception Compile_error of string
+(** Raised on type errors, unknown identifiers, arity mismatches, ... *)
+
+val wasm_ty : Mc_ast.ty -> Wasm.Types.value_type
+
+val compile : Mc_ast.program -> Wasm.Ast.module_
+(** Compile a program. The produced module always validates; a memory is
+    exported as "memory" when the program declares pages.
+    @raise Compile_error on ill-typed programs. *)
+
+val compile_checked : Mc_ast.program -> Wasm.Ast.module_
+(** [compile] followed by {!Wasm.Validate.validate_module} (a failure here
+    is a bug in this compiler). *)

@@ -1,0 +1,138 @@
+(** Pretty-printer for MiniC programs: renders the AST in a C-like
+    concrete syntax, for debugging workloads and error reports. *)
+
+open Mc_ast
+
+let ty_name = function
+  | TInt -> "int"
+  | TLong -> "long"
+  | TSingle -> "single"
+  | TFloat -> "float"
+
+let binop_name = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Rem -> "%"
+  | BAnd -> "&"
+  | BOr -> "|"
+  | BXor -> "^"
+  | Shl -> "<<"
+  | Shr -> ">>"
+  | ShrU -> ">>>"
+  | Eq -> "=="
+  | Ne -> "!="
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | LAnd -> "&&"
+  | LOr -> "||"
+
+let unop_name = function
+  | Neg -> "-"
+  | Not -> "!"
+  | Sqrt -> "sqrt"
+  | Abs -> "abs"
+  | Floor -> "floor"
+  | Ceil -> "ceil"
+  | Clz -> "clz"
+  | Popcnt -> "popcnt"
+
+let rec expr_to_string (e : expr) : string =
+  match e with
+  | Int x -> Int32.to_string x
+  | Long x -> Int64.to_string x ^ "L"
+  | Single x -> Printf.sprintf "%gf" x
+  | Float x -> Printf.sprintf "%g" x
+  | Var n -> n
+  | Global n -> "@" ^ n
+  | Binop (op, a, b) ->
+    Printf.sprintf "(%s %s %s)" (expr_to_string a) (binop_name op) (expr_to_string b)
+  | Unop ((Neg | Not) as op, a) -> Printf.sprintf "%s%s" (unop_name op) (expr_to_string a)
+  | Unop (op, a) -> Printf.sprintf "%s(%s)" (unop_name op) (expr_to_string a)
+  | Cast (ty, a) -> Printf.sprintf "(%s)%s" (ty_name ty) (expr_to_string a)
+  | Load (ty, addr) -> Printf.sprintf "*(%s*)(%s)" (ty_name ty) (expr_to_string addr)
+  | Load8u addr -> Printf.sprintf "*(byte*)(%s)" (expr_to_string addr)
+  | Call (f, args) ->
+    Printf.sprintf "%s(%s)" f (String.concat ", " (List.map expr_to_string args))
+  | CallIndirect (idx, _, _) -> Printf.sprintf "table[%s]()" (expr_to_string idx)
+  | Select (c, a, b) ->
+    Printf.sprintf "(%s ? %s : %s)" (expr_to_string c) (expr_to_string a) (expr_to_string b)
+  | MemSize -> "memory.size()"
+  | MemGrow e -> Printf.sprintf "memory.grow(%s)" (expr_to_string e)
+
+let rec stmt_lines ~indent (s : stmt) : string list =
+  let pad = String.make indent ' ' in
+  let block body = List.concat_map (stmt_lines ~indent:(indent + 2)) body in
+  match s with
+  | Assign (n, e) -> [ Printf.sprintf "%s%s = %s;" pad n (expr_to_string e) ]
+  | SetGlobal (n, e) -> [ Printf.sprintf "%s@%s = %s;" pad n (expr_to_string e) ]
+  | Store (ty, addr, v) ->
+    [ Printf.sprintf "%s*(%s*)(%s) = %s;" pad (ty_name ty) (expr_to_string addr)
+        (expr_to_string v) ]
+  | Store8 (addr, v) ->
+    [ Printf.sprintf "%s*(byte*)(%s) = %s;" pad (expr_to_string addr) (expr_to_string v) ]
+  | If (c, then_, []) ->
+    (Printf.sprintf "%sif (%s) {" pad (expr_to_string c) :: block then_) @ [ pad ^ "}" ]
+  | If (c, then_, else_) ->
+    (Printf.sprintf "%sif (%s) {" pad (expr_to_string c) :: block then_)
+    @ [ pad ^ "} else {" ] @ block else_ @ [ pad ^ "}" ]
+  | While (c, body) ->
+    (Printf.sprintf "%swhile (%s) {" pad (expr_to_string c) :: block body) @ [ pad ^ "}" ]
+  | For (v, lo, hi, body) ->
+    (Printf.sprintf "%sfor (%s = %s; %s < %s; %s++) {" pad v (expr_to_string lo) v
+       (expr_to_string hi) v
+     :: block body)
+    @ [ pad ^ "}" ]
+  | ForStep (v, lo, hi, step, body) ->
+    (Printf.sprintf "%sfor (%s = %s; ...%s; %s += %s) {" pad v (expr_to_string lo)
+       (expr_to_string hi) v (expr_to_string step)
+     :: block body)
+    @ [ pad ^ "}" ]
+  | Switch (e, cases, default) ->
+    (Printf.sprintf "%sswitch (%s) {" pad (expr_to_string e)
+     :: List.concat
+          (List.mapi
+             (fun k body ->
+                Printf.sprintf "%s  case %d:" pad k
+                :: block body
+                @ [ Printf.sprintf "%s    break;" pad ])
+             cases))
+    @ (Printf.sprintf "%s  default:" pad :: block default)
+    @ [ pad ^ "}" ]
+  | Break -> [ pad ^ "break;" ]
+  | Continue -> [ pad ^ "continue;" ]
+  | Return None -> [ pad ^ "return;" ]
+  | Return (Some e) -> [ Printf.sprintf "%sreturn %s;" pad (expr_to_string e) ]
+  | Expr e -> [ Printf.sprintf "%s%s;" pad (expr_to_string e) ]
+
+let func_to_string (fd : func_def) : string =
+  let params =
+    String.concat ", " (List.map (fun (n, ty) -> ty_name ty ^ " " ^ n) fd.fd_params)
+  in
+  let result = match fd.fd_result with None -> "void" | Some ty -> ty_name ty in
+  let locals =
+    List.map (fun (n, ty) -> Printf.sprintf "  %s %s;" (ty_name ty) n) fd.fd_locals
+  in
+  String.concat "\n"
+    ((Printf.sprintf "%s %s(%s)%s {" result fd.fd_name params
+        (if fd.fd_export then "" else " /* internal */")
+      :: locals)
+     @ List.concat_map (stmt_lines ~indent:2) fd.fd_body
+     @ [ "}" ])
+
+(** Render a whole program. *)
+let to_string (p : program) : string =
+  let globals =
+    List.map
+      (fun (n, ty, init) -> Printf.sprintf "%s @%s = %s;" (ty_name ty) n (expr_to_string init))
+      p.pr_globals
+  in
+  let table =
+    match p.pr_table with
+    | [] -> []
+    | fs -> [ Printf.sprintf "table = [%s];" (String.concat ", " fs) ]
+  in
+  String.concat "\n\n" (globals @ table @ List.map func_to_string p.pr_funcs) ^ "\n"

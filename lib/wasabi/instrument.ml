@@ -1,0 +1,615 @@
+(** The Wasabi binary instrumenter (paper, Section 2.4).
+
+    Given a module and a set of hook {e groups} (selective
+    instrumentation), produces a new module in which every instruction of
+    an enabled group is surrounded by calls to imported low-level hooks.
+    The transformation follows Table 3 of the paper:
+
+    - values consumed or produced by an instruction are duplicated through
+      freshly generated locals and passed to the hook;
+    - hooks are imported functions, monomorphized on demand (one per
+      instruction mnemonic and concrete type variant);
+    - relative branch labels are resolved to absolute instruction
+      locations with an abstract control stack;
+    - branches and returns additionally invoke the [end] hooks of every
+      block they jump out of ([br_table] entries are extracted statically
+      and selected at runtime via {!Metadata});
+    - i64 values are split into two i32 halves before being passed to a
+      hook.
+
+    Adding the hook imports shifts the indices of all originally defined
+    functions, so instrumented code initially calls hooks through
+    placeholder indices which a final pass remaps (along with all original
+    call sites, element segments, exports and the start function). *)
+
+open Wasm
+open Wasm.Types
+open Wasm.Ast
+open Hook
+module Tracker = Validate.Stack_tracker
+
+type result = {
+  instrumented : module_;
+  metadata : Metadata.t;
+  hook_map : Hook.Map.t;
+}
+
+(** Abstract control stack entry (paper, Figure 6). *)
+type ctrl_entry = {
+  ce_kind : Hook.block_kind;
+  ce_begin : int;  (** instruction index of the block begin; -1 for the function *)
+  ce_end : int;  (** instruction index of the matching [End]; body length for the function *)
+}
+
+type fctx = {
+  fidx : int;  (** function-space index of the function being instrumented *)
+  groups : Hook.Group_set.t;
+  hooks : Hook.Map.t;
+  placeholder_base : int;  (** hook k is called as function [placeholder_base + k] *)
+  tracker : Tracker.t;
+  mutable ctrl : ctrl_entry list;
+  temp_tbl : (value_type * int, int) Hashtbl.t;
+  hook_cache : (Hook.spec, int) Hashtbl.t;
+      (** per-function cache over the shared, mutex-guarded map *)
+  mutable extra_locals : value_type list;  (** reversed *)
+  mutable n_extra : int;
+  first_temp : int;
+  split_i64 : bool;
+  mutable br_tables : Metadata.br_table_info list;
+}
+
+let enabled c g = Hook.Group_set.mem g c.groups
+
+(** Fresh (or reused) local of type [ty]; [slot] distinguishes temporaries
+    that must coexist within one instrumented instruction. Temporaries are
+    reused across instructions, so each function gains only a handful of
+    locals. *)
+let temp c ty slot =
+  match Hashtbl.find_opt c.temp_tbl (ty, slot) with
+  | Some i -> i
+  | None ->
+    let i = c.first_temp + c.n_extra in
+    c.n_extra <- c.n_extra + 1;
+    c.extra_locals <- ty :: c.extra_locals;
+    Hashtbl.add c.temp_tbl (ty, slot) i;
+    i
+
+let iconst k = Const (Value.i32_of_int k)
+
+(** Push the value held in local [l] (of type [ty]) as hook argument(s):
+    i64 values are split into low and high i32 halves (Table 3, row 6)
+    unless splitting is disabled (native-host ablation). *)
+let push_local ?(split = true) ty l =
+  match ty with
+  | I64T when split ->
+    [ LocalGet l; Convert I32WrapI64;
+      LocalGet l; Const (Value.I64 32L); Binary (IBin (S64, ShrS)); Convert I32WrapI64 ]
+  | _ -> [ LocalGet l ]
+
+(** Push an immediate as hook argument(s); for i64 the paper's row 6
+    sequence (duplicate, wrap / shift, wrap) is emitted. *)
+let push_const_split ?(split = true) v =
+  match v with
+  | Value.I64 _ when split ->
+    [ Const v; Convert I32WrapI64;
+      Const v; Const (Value.I64 32L); Binary (IBin (S64, ShrS)); Convert I32WrapI64 ]
+  | _ -> [ Const v ]
+
+(** Call hook [spec] at source location [at], with [args] already
+    flattened (each element pushes the corresponding hook arguments). *)
+let hook_ordinal c spec =
+  match Hashtbl.find_opt c.hook_cache spec with
+  | Some k -> k
+  | None ->
+    let k = Hook.Map.ordinal c.hooks spec in
+    Hashtbl.add c.hook_cache spec k;
+    k
+
+let hook_call c ~at spec args =
+  let k = hook_ordinal c spec in
+  (iconst c.fidx :: iconst at :: List.concat args) @ [ Call (c.placeholder_base + k) ]
+
+(** Instruction index executed next if a branch to [e] is taken. *)
+let target_instr (e : ctrl_entry) =
+  match e.ce_kind with
+  | Hook.Bloop -> e.ce_begin + 1
+  | Hook.Bfunction -> e.ce_end  (* the implicit end of the function *)
+  | Hook.Bblock | Hook.Bif | Hook.Belse -> e.ce_end + 1
+
+let ctrl_at c l =
+  match List.nth_opt c.ctrl l with
+  | Some e -> e
+  | None -> invalid_arg (Printf.sprintf "branch label %d exceeds control stack" l)
+
+let resolve_target c l : Metadata.target =
+  let e = ctrl_at c l in
+  { Metadata.label = l; target_loc = Location.make ~func:c.fidx ~instr:(target_instr e) }
+
+(** Blocks exited by a taken branch with label [l]: control-stack entries
+    0..l, innermost first (paper, Section 2.4.5). *)
+let ended_blocks c l =
+  List.filteri (fun i _ -> i <= l) c.ctrl
+  |> List.map (fun e ->
+    { Metadata.eb_kind = e.ce_kind;
+      eb_end_loc = Location.make ~func:c.fidx ~instr:e.ce_end;
+      eb_begin_instr = e.ce_begin })
+
+(** Explicit calls to the [end] hooks of all blocks a branch jumps out of. *)
+let end_hook_calls c (ended : Metadata.ended_block list) =
+  List.concat_map
+    (fun (eb : Metadata.ended_block) ->
+       hook_call c ~at:eb.Metadata.eb_end_loc.Location.instr (Hook.S_end eb.eb_kind)
+         [ [ iconst eb.eb_begin_instr ] ])
+    ended
+
+let known_peek c n =
+  match Tracker.peek c.tracker n with
+  | Validate.Known t -> Some t
+  | Validate.Unknown -> None
+
+(** The save / call-pre / restore / call / save / call-post / restore
+    sequence for direct and indirect calls (Table 3, row 3). *)
+let instrument_call c ~at ~(ft : func_type) ~callee_arg ~indirect ~original =
+  let n = List.length ft.params in
+  let param_temps = List.mapi (fun j ty -> (ty, temp c ty j)) ft.params in
+  let saves = List.rev_map (fun (_, t) -> LocalSet t) param_temps in
+  let restores = List.map (fun (_, t) -> LocalGet t) param_temps in
+  let arg_pushes = List.map (fun (ty, t) -> push_local ~split:c.split_i64 ty t) param_temps in
+  let idx_save, idx_restore, idx_push =
+    if indirect then
+      let ti = temp c I32T n in
+      ([ LocalSet ti ], [ LocalGet ti ], [ LocalGet ti ])
+    else ([], [], callee_arg)
+  in
+  let pre_hook =
+    hook_call c ~at (Hook.S_call_pre (ft.params, indirect)) (idx_push :: arg_pushes)
+  in
+  let post =
+    match ft.results with
+    | [] -> hook_call c ~at (Hook.S_call_post []) []
+    | [ rt ] ->
+      let tr = temp c rt (n + 1) in
+      LocalTee tr :: hook_call c ~at (Hook.S_call_post [ rt ]) [ push_local ~split:c.split_i64 rt tr ]
+    | _ -> invalid_arg "multiple results not supported"
+  in
+  idx_save @ saves @ pre_hook @ restores @ idx_restore @ [ original ] @ post
+
+(** Instrument one original instruction at index [at], returning the
+    replacement sequence. Must be called before [Tracker.step] for this
+    instruction (it inspects the abstract stack), and takes care of the
+    control-stack bookkeeping itself. *)
+let instrument_instr c ~at (ins : instr) (jumps : Interp.jump_info) : instr list =
+  let plain = [ ins ] in
+  match ins with
+  | Nop ->
+    if enabled c G_nop then ins :: hook_call c ~at S_nop [] else plain
+  | Unreachable ->
+    if enabled c G_unreachable then hook_call c ~at S_unreachable [] @ plain else plain
+  | Block _ ->
+    c.ctrl <- { ce_kind = Bblock; ce_begin = at; ce_end = jumps.Interp.end_of.(at) } :: c.ctrl;
+    if enabled c G_begin then ins :: hook_call c ~at (S_begin Bblock) [] else plain
+  | Loop _ ->
+    c.ctrl <- { ce_kind = Bloop; ce_begin = at; ce_end = jumps.Interp.end_of.(at) } :: c.ctrl;
+    (* the hook sits inside the loop: it fires once per iteration *)
+    if enabled c G_begin then ins :: hook_call c ~at (S_begin Bloop) [] else plain
+  | If _ ->
+    let cond_hook =
+      if enabled c G_if then
+        match known_peek c 0 with
+        | Some _ ->
+          let tc = temp c I32T 0 in
+          LocalTee tc :: hook_call c ~at S_if_cond [ [ LocalGet tc ] ]
+        | None -> []
+      else []
+    in
+    c.ctrl <- { ce_kind = Bif; ce_begin = at; ce_end = jumps.Interp.end_of.(at) } :: c.ctrl;
+    let begin_hook = if enabled c G_begin then hook_call c ~at (S_begin Bif) [] else [] in
+    cond_hook @ [ ins ] @ begin_hook
+  | Else ->
+    let e, rest =
+      match c.ctrl with
+      | e :: rest -> (e, rest)
+      | [] -> invalid_arg "else without open block"
+    in
+    (* the then-branch ends here; the else-branch begins *)
+    c.ctrl <- { e with ce_kind = Belse; ce_begin = at } :: rest;
+    let end_hook =
+      if enabled c G_end then hook_call c ~at (S_end Bif) [ [ iconst e.ce_begin ] ] else []
+    in
+    let begin_hook = if enabled c G_begin then hook_call c ~at (S_begin Belse) [] else [] in
+    end_hook @ [ ins ] @ begin_hook
+  | End ->
+    let e, rest =
+      match c.ctrl with
+      | e :: rest -> (e, rest)
+      | [] -> invalid_arg "unbalanced end"
+    in
+    c.ctrl <- rest;
+    let kind = e.ce_kind in
+    if enabled c G_end then
+      hook_call c ~at (S_end kind) [ [ iconst e.ce_begin ] ] @ [ ins ]
+    else plain
+  | Br l ->
+    let br_hook =
+      if enabled c G_br then
+        let t = resolve_target c l in
+        hook_call c ~at S_br [ [ iconst l ]; [ iconst t.Metadata.target_loc.Location.instr ] ]
+      else []
+    in
+    let ends = if enabled c G_end then end_hook_calls c (ended_blocks c l) else [] in
+    br_hook @ ends @ plain
+  | BrIf l ->
+    let need_cond = enabled c G_br_if || enabled c G_end in
+    if not need_cond then plain
+    else begin
+      match known_peek c 0 with
+      | None -> plain  (* dead code *)
+      | Some _ ->
+        let tc = temp c I32T 0 in
+        let hook =
+          if enabled c G_br_if then
+            let t = resolve_target c l in
+            hook_call c ~at S_br_if
+              [ [ iconst l ];
+                [ iconst t.Metadata.target_loc.Location.instr ];
+                [ LocalGet tc ] ]
+          else []
+        in
+        let ends =
+          if enabled c G_end then
+            match end_hook_calls c (ended_blocks c l) with
+            | [] -> []
+            | calls -> (LocalGet tc :: If None :: calls) @ [ End ]
+          else []
+        in
+        (LocalTee tc :: hook) @ ends @ plain
+    end
+  | BrTable (ls, d) ->
+    let entry l = (resolve_target c l, ended_blocks c l) in
+    let info =
+      { Metadata.bt_loc = Location.make ~func:c.fidx ~instr:at;
+        bt_targets = Array.of_list (List.map entry ls);
+        bt_default = entry d }
+    in
+    if enabled c G_br_table || enabled c G_end then begin
+      match known_peek c 0 with
+      | None -> plain
+      | Some _ ->
+        c.br_tables <- info :: c.br_tables;
+        let ti = temp c I32T 0 in
+        (* end hooks are selected and called at runtime from the metadata *)
+        (LocalTee ti :: hook_call c ~at S_br_table [ [ LocalGet ti ] ]) @ plain
+    end
+    else plain
+  | Return ->
+    let want_ret = enabled c G_return in
+    let want_end = enabled c G_end in
+    if not (want_ret || want_end) then plain
+    else begin
+      let results = (Tracker.results c.tracker : value_type list) in
+      (* the end-hook calls are stack neutral, so the result value only
+         needs saving around the return hook itself *)
+      let save_restore_hook =
+        match results with
+        | [] -> Some ([], [], fun () -> hook_call c ~at (Hook.S_return []) [])
+        | _ when not want_ret -> Some ([], [], fun () -> [])
+        | [ rt ] ->
+          (match known_peek c 0 with
+           | None -> None  (* dead code *)
+           | Some _ ->
+             let tr = temp c rt 0 in
+             Some
+               ( [ LocalSet tr ],
+                 [ LocalGet tr ],
+                 fun () ->
+                   hook_call c ~at (Hook.S_return [ rt ])
+                     [ push_local ~split:c.split_i64 rt tr ] ))
+        | _ -> invalid_arg "multiple results not supported"
+      in
+      match save_restore_hook with
+      | None -> plain
+      | Some (save, restore, make_ret_hook) ->
+        let ends =
+          if want_end then end_hook_calls c (ended_blocks c (List.length c.ctrl - 1))
+          else []
+        in
+        let hook = if want_ret then make_ret_hook () else [] in
+        if hook = [] && ends = [] then plain
+        else save @ hook @ ends @ restore @ plain
+    end
+  | Call f ->
+    if enabled c G_call then
+      let ft = Tracker.func_type c.tracker f in
+      instrument_call c ~at ~ft ~callee_arg:[ iconst f ] ~indirect:false ~original:ins
+    else plain
+  | CallIndirect ti ->
+    if enabled c G_call then
+      let ft = Tracker.type_at c.tracker ti in
+      instrument_call c ~at ~ft ~callee_arg:[] ~indirect:true ~original:ins
+    else plain
+  | Drop ->
+    if enabled c G_drop then
+      match known_peek c 0 with
+      | None -> plain
+      | Some ty ->
+        let t = temp c ty 0 in
+        (* the hook consumes the value in place of the drop (Table 3, row 4) *)
+        LocalSet t :: hook_call c ~at (S_drop ty) [ push_local ~split:c.split_i64 ty t ]
+    else plain
+  | Select ->
+    if enabled c G_select then
+      match known_peek c 1, known_peek c 2 with
+      | Some ty, _ | _, Some ty ->
+        let tc = temp c I32T 0 in
+        let t2 = temp c ty 1 in
+        let t1 = temp c ty 2 in
+        [ LocalSet tc; LocalSet t2; LocalSet t1 ]
+        @ hook_call c ~at (S_select ty)
+            [ [ LocalGet tc ]; push_local ~split:c.split_i64 ty t1; push_local ~split:c.split_i64 ty t2 ]
+        @ [ LocalGet t1; LocalGet t2; LocalGet tc; Select ]
+      | None, None -> plain
+    else plain
+  | LocalGet x ->
+    if enabled c G_local then
+      let ty = Tracker.local_type c.tracker x in
+      ins :: hook_call c ~at (S_local (Lget, ty)) [ [ iconst x ]; push_local ~split:c.split_i64 ty x ]
+    else plain
+  | LocalSet x ->
+    if enabled c G_local then
+      let ty = Tracker.local_type c.tracker x in
+      ins :: hook_call c ~at (S_local (Lset, ty)) [ [ iconst x ]; push_local ~split:c.split_i64 ty x ]
+    else plain
+  | LocalTee x ->
+    if enabled c G_local then
+      let ty = Tracker.local_type c.tracker x in
+      ins :: hook_call c ~at (S_local (Ltee, ty)) [ [ iconst x ]; push_local ~split:c.split_i64 ty x ]
+    else plain
+  | GlobalGet x ->
+    if enabled c G_global then
+      let ty = (Tracker.global_type c.tracker x).content in
+      let t = temp c ty 0 in
+      [ ins; LocalTee t ]
+      @ hook_call c ~at (S_global (Gget, ty)) [ [ iconst x ]; push_local ~split:c.split_i64 ty t ]
+    else plain
+  | GlobalSet x ->
+    if enabled c G_global then
+      let ty = (Tracker.global_type c.tracker x).content in
+      let t = temp c ty 0 in
+      [ LocalTee t; ins ]
+      @ hook_call c ~at (S_global (Gset, ty)) [ [ iconst x ]; push_local ~split:c.split_i64 ty t ]
+    else plain
+  | Load op ->
+    if enabled c G_load then
+      let ta = temp c I32T 0 in
+      let tv = temp c op.lty 1 in
+      [ LocalTee ta; ins; LocalTee tv ]
+      @ hook_call c ~at (S_load (string_of_instr ins, op.lty))
+          [ [ LocalGet ta ]; [ iconst op.loffset ]; push_local ~split:c.split_i64 op.lty tv ]
+    else plain
+  | Store op ->
+    if enabled c G_store then
+      let tv = temp c op.sty 1 in
+      let ta = temp c I32T 0 in
+      [ LocalSet tv; LocalTee ta; LocalGet tv; ins ]
+      @ hook_call c ~at (S_store (string_of_instr ins, op.sty))
+          [ [ LocalGet ta ]; [ iconst op.soffset ]; push_local ~split:c.split_i64 op.sty tv ]
+    else plain
+  | MemorySize ->
+    if enabled c G_memory_size then
+      let t = temp c I32T 0 in
+      [ ins; LocalTee t ] @ hook_call c ~at S_memory_size [ [ LocalGet t ] ]
+    else plain
+  | MemoryGrow ->
+    if enabled c G_memory_grow then
+      let td = temp c I32T 0 in
+      let tp = temp c I32T 1 in
+      [ LocalTee td; ins; LocalTee tp ]
+      @ hook_call c ~at S_memory_grow [ [ LocalGet td ]; [ LocalGet tp ] ]
+    else plain
+  | Const v ->
+    if enabled c G_const then
+      ins :: hook_call c ~at (S_const (Value.type_of v)) [ push_const_split ~split:c.split_i64 v ]
+    else plain
+  | Test _ | Unary _ | Convert _ ->
+    if enabled c G_unary then begin
+      let it, rt =
+        match ins with
+        | Test (IEqz sz) -> (num_type_of_isize sz, I32T)
+        | Unary (IUn (sz, _)) -> (num_type_of_isize sz, num_type_of_isize sz)
+        | Unary (FUn (sz, _)) -> (num_type_of_fsize sz, num_type_of_fsize sz)
+        | Convert op ->
+          let f, t = Tracker.cvt_types op in
+          (f, t)
+        | _ -> assert false
+      in
+      let t_in = temp c it 0 in
+      let t_res = temp c rt 1 in
+      [ LocalTee t_in; ins; LocalTee t_res ]
+      @ hook_call c ~at (S_unary (string_of_instr ins, it, rt))
+          [ push_local ~split:c.split_i64 it t_in; push_local ~split:c.split_i64 rt t_res ]
+    end
+    else plain
+  | Compare _ | Binary _ ->
+    if enabled c G_binary then begin
+      let ot, rt =
+        match ins with
+        | Compare (IRel (sz, _)) -> (num_type_of_isize sz, I32T)
+        | Compare (FRel (sz, _)) -> (num_type_of_fsize sz, I32T)
+        | Binary (IBin (sz, _)) -> (num_type_of_isize sz, num_type_of_isize sz)
+        | Binary (FBin (sz, _)) -> (num_type_of_fsize sz, num_type_of_fsize sz)
+        | _ -> assert false
+      in
+      let ta = temp c ot 0 in
+      let tb = temp c ot 1 in
+      let tr = temp c rt 2 in
+      [ LocalSet tb; LocalTee ta; LocalGet tb; ins; LocalTee tr ]
+      @ hook_call c ~at (S_binary (string_of_instr ins, ot, ot, rt))
+          [ push_local ~split:c.split_i64 ot ta; push_local ~split:c.split_i64 ot tb; push_local ~split:c.split_i64 rt tr ]
+    end
+    else plain
+
+let instrument_func ~groups ~hooks ~placeholder_base ~split_i64 ~vctx ~fidx ~is_start
+    (f : func) : func * Metadata.br_table_info list =
+  let body = Array.of_list f.body in
+  let jumps = Interp.compute_jumps body in
+  let params = vctx.Validate.Module_ctx.types.(f.ftype).params in
+  let c = {
+    fidx;
+    groups;
+    hooks;
+    placeholder_base;
+    tracker = Tracker.create_in vctx f;
+    ctrl = [ { ce_kind = Bfunction; ce_begin = -1; ce_end = Array.length body } ];
+    temp_tbl = Hashtbl.create 8;
+    hook_cache = Hashtbl.create 32;
+    extra_locals = [];
+    n_extra = 0;
+    first_temp = List.length params + List.length f.locals;
+    split_i64;
+    br_tables = [];
+  } in
+  let out = ref [] in
+  let emit is = out := List.rev_append is !out in
+  if is_start && enabled c G_start then emit (hook_call c ~at:(-1) S_start []);
+  if enabled c G_begin then emit (hook_call c ~at:(-1) (S_begin Bfunction) []);
+  Array.iteri
+    (fun at ins ->
+       let replacement = instrument_instr c ~at ins jumps in
+       Tracker.step c.tracker ins;
+       emit replacement)
+    body;
+  if enabled c G_end then
+    emit (hook_call c ~at:(Array.length body) (S_end Bfunction) [ [ iconst (-1) ] ]);
+  let f' = {
+    f with
+    locals = f.locals @ List.rev c.extra_locals;
+    body = List.rev !out;
+  } in
+  (f', c.br_tables)
+
+(** Remap a function index after hook imports have been inserted.
+    [n_imp] original imported functions keep their indices; the [h] hooks
+    take indices [n_imp .. n_imp+h-1]; originally defined functions shift
+    up by [h]. Instrumented code refers to hook [k] through the
+    placeholder index [n_orig + k]. *)
+let remap_index ~n_imp ~n_orig ~h idx =
+  if idx < n_imp then idx
+  else if idx >= n_orig then n_imp + (idx - n_orig)  (* hook placeholder *)
+  else idx + h
+
+let remap_instr remap = function
+  | Call f -> Call (remap f)
+  | i -> i
+
+(** Instrument the defined functions, optionally across several domains:
+    functions are independent — the only shared state is the mutex-guarded
+    monomorphization map (paper, Section 3). Results are kept in function
+    order regardless of scheduling. *)
+let instrument_functions ~groups ~hooks ~split_i64 ~vctx ~n_imp ~n_orig ~start ~domains funcs =
+  let arr = Array.of_list funcs in
+  let results = Array.make (Array.length arr) None in
+  let one i f =
+    let fidx = n_imp + i in
+    results.(i) <-
+      Some
+        (instrument_func ~groups ~hooks ~placeholder_base:n_orig ~split_i64 ~vctx ~fidx
+           ~is_start:(start = Some fidx) f)
+  in
+  if domains <= 1 || Array.length arr < 2 then Array.iteri one arr
+  else begin
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec go () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < Array.length arr then begin
+          one i arr.(i);
+          go ()
+        end
+      in
+      go ()
+    in
+    let spawned = List.init (domains - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    List.iter Domain.join spawned
+  end;
+  Array.to_list (Array.map Option.get results)
+
+(** Instrument [m] for the hook groups in [groups] (defaults to all).
+    [domains] > 1 instruments functions in parallel (hook ordinals then
+    depend on scheduling, but the output is always valid and equivalent).
+    The input module must be valid. *)
+let instrument ?(groups = Hook.all) ?(split_i64 = true) ?(domains = 1) (m : module_) : result =
+  let hooks = Hook.Map.create () in
+  let vctx = Validate.Module_ctx.create m in
+  let n_imp = num_imported_funcs m in
+  let n_orig = num_funcs m in
+  let br_tables = ref Location.Map.empty in
+  let instrumented_funcs =
+    instrument_functions ~groups ~hooks ~split_i64 ~vctx ~n_imp ~n_orig ~start:m.start ~domains
+      m.funcs
+  in
+  let funcs' =
+    List.map
+      (fun (f', bts) ->
+         List.iter
+           (fun (bt : Metadata.br_table_info) ->
+              br_tables := Location.Map.add bt.bt_loc bt !br_tables)
+           bts;
+         f')
+      instrumented_funcs
+  in
+  let h = Hook.Map.count hooks in
+  let specs = Hook.Map.specs hooks in
+  (* add hook signatures to the type section (re-using existing entries) *)
+  let types = ref (List.rev m.types) in
+  let n_types = ref (List.length m.types) in
+  let type_index ft =
+    let rec find i = function
+      | [] -> None
+      | t :: rest -> if equal_func_type t ft then Some (!n_types - 1 - i) else find (i + 1) rest
+    in
+    match find 0 !types with
+    | Some i -> i
+    | None ->
+      types := ft :: !types;
+      incr n_types;
+      !n_types - 1
+  in
+  let hook_imports =
+    Array.to_list specs
+    |> List.map (fun spec ->
+      { module_name = Hook.import_module;
+        item_name = Hook.name spec;
+        idesc = FuncImport (type_index (Hook.signature ~split_i64 spec)) })
+  in
+  let remap = remap_index ~n_imp ~n_orig ~h in
+  let funcs'' =
+    List.map (fun f -> { f with body = List.map (remap_instr remap) f.body }) funcs'
+  in
+  let instrumented = {
+    m with
+    types = List.rev !types;
+    imports = m.imports @ hook_imports;
+    funcs = funcs'';
+    exports =
+      List.map
+        (fun e ->
+           match e.edesc with
+           | FuncExport i -> { e with edesc = FuncExport (remap i) }
+           | _ -> e)
+        m.exports;
+    start = Option.map remap m.start;
+    elems =
+      List.map (fun e -> { e with einit = List.map remap e.einit }) m.elems;
+  } in
+  let metadata = {
+    Metadata.original = m;
+    groups;
+    split_i64;
+    br_tables = !br_tables;
+    num_hooks = h;
+    hook_specs = specs;
+    num_original_func_imports = n_imp;
+    func_names = Metadata.extract_func_names m;
+  } in
+  { instrumented; metadata; hook_map = hooks }

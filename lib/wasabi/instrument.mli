@@ -1,0 +1,26 @@
+(** The Wasabi binary instrumenter (paper, Section 2.4): inserts calls to
+    imported low-level hooks around every instruction of the selected
+    groups, following Table 3 of the paper. The instrumented module
+    faithfully preserves the original behaviour, including its memory. *)
+
+type result = {
+  instrumented : Wasm.Ast.module_;
+  metadata : Metadata.t;
+  hook_map : Hook.Map.t;
+}
+
+val instrument :
+  ?groups:Hook.Group_set.t -> ?split_i64:bool -> ?domains:int -> Wasm.Ast.module_ -> result
+(** Instrument for the given hook groups (default: all). [split_i64]
+    (default [true]) splits i64 hook arguments into two i32 halves, as
+    required when the analysis host is JavaScript; [false] is the
+    native-host ablation. [domains] (default 1) instruments functions in
+    parallel — the monomorphization map is the only shared state and is
+    mutex-guarded, mirroring the paper's Section 3. The input module must
+    be valid; the output module validates and imports its hooks from
+    [Hook.import_module]. *)
+
+val remap_index : n_imp:int -> n_orig:int -> h:int -> int -> int
+(** The function-index remapping applied after hook imports are inserted
+    (exposed for tests): original imports keep their indices, hooks take
+    the next [h] indices, defined functions shift up by [h]. *)

@@ -1,0 +1,242 @@
+(** Generation of the JavaScript runtime that accompanies an instrumented
+    binary when it runs in a browser — the "generate" arrow of the paper's
+    Figure 2.
+
+    The original Wasabi emits a [.wasabi.js] file next to the instrumented
+    binary containing (i) one monomorphic low-level hook per generated
+    import, which re-joins split i64 halves into long.js objects and calls
+    the user's high-level hook, and (ii) a [Wasabi.module.info] object
+    with static information (function types, branch tables, ...).
+
+    This module reproduces that file so the OCaml pipeline can target real
+    JavaScript hosts; inside this repository the generated code is checked
+    structurally (the in-process host is {!Runtime}). *)
+
+open Wasm.Types
+
+let escape_js_string s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+       match c with
+       | '"' -> Buffer.add_string buf "\\\""
+       | '\\' -> Buffer.add_string buf "\\\\"
+       | '\n' -> Buffer.add_string buf "\\n"
+       | c when Char.code c < 0x20 || Char.code c >= 0x7F ->
+         Buffer.add_string buf (Printf.sprintf "\\x%02x" (Char.code c))
+       | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(** JavaScript-safe identifier for a hook import name. *)
+let js_ident name =
+  String.map (fun c -> match c with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' -> c | _ -> '_') name
+
+(** Parameter names and the expressions decoding them (i64 halves are
+    joined with long.js, conditions become booleans). *)
+let decode_args ~split_i64 (tys : value_type list) ~names =
+  let rec go k tys names params exprs =
+    match tys, names with
+    | [], _ -> (List.rev params, List.rev exprs)
+    | ty :: tys', n :: names' ->
+      (match ty with
+       | I64T when split_i64 ->
+         let lo = Printf.sprintf "%s_low" n and hi = Printf.sprintf "%s_high" n in
+         go (k + 2) tys' names' (hi :: lo :: params)
+           (Printf.sprintf "new Long(%s, %s)" lo hi :: exprs)
+       | _ -> go (k + 1) tys' names' (n :: params) (n :: exprs))
+    | _ :: _, [] -> invalid_arg "decode_args: not enough names"
+  in
+  go 0 tys names [] []
+
+let bool_of n = Printf.sprintf "Boolean(%s)" n
+
+(** The body of one low-level hook: decode arguments, call the matching
+    high-level hook with pre-computed static info attached. *)
+let hook_function ~split_i64 (spec : Hook.spec) : string =
+  let name = Hook.name spec in
+  let ident = js_ident name in
+  let loc = "{func, instr}" in
+  let make params call =
+    Printf.sprintf "  %s: function (func, instr%s) {\n    %s;\n  },\n" ident
+      (String.concat "" (List.map (fun p -> ", " ^ p) params))
+      call
+  in
+  match spec with
+  | Hook.S_nop -> make [] (Printf.sprintf "Wasabi.analysis.nop(%s)" loc)
+  | S_unreachable -> make [] (Printf.sprintf "Wasabi.analysis.unreachable(%s)" loc)
+  | S_start -> make [] (Printf.sprintf "Wasabi.analysis.start(%s)" loc)
+  | S_if_cond -> make [ "cond" ] (Printf.sprintf "Wasabi.analysis.if_(%s, %s)" loc (bool_of "cond"))
+  | S_br ->
+    make [ "label"; "target" ]
+      (Printf.sprintf "Wasabi.analysis.br(%s, {label, location: {func, instr: target}})" loc)
+  | S_br_if ->
+    make [ "label"; "target"; "cond" ]
+      (Printf.sprintf "Wasabi.analysis.br_if(%s, {label, location: {func, instr: target}}, %s)"
+         loc (bool_of "cond"))
+  | S_br_table ->
+    make [ "idx" ]
+      (Printf.sprintf
+         "const entry = Wasabi.module.info.brTables[func + \":\" + instr];\n\
+         \    Wasabi.analysis.br_table(%s, entry.table, entry.default, idx);\n\
+         \    const ended = idx < entry.table.length ? entry.ended[idx] : entry.endedDefault;\n\
+         \    for (const e of ended) Wasabi.analysis.end(e.loc, e.kind, e.begin)"
+         loc)
+  | S_begin kind ->
+    make [] (Printf.sprintf "Wasabi.analysis.begin(%s, %S)" loc (Hook.block_kind_name kind))
+  | S_end kind ->
+    make [ "beginInstr" ]
+      (Printf.sprintf "Wasabi.analysis.end(%s, %S, {func, instr: beginInstr})" loc
+         (Hook.block_kind_name kind))
+  | S_const ty ->
+    let params, exprs = decode_args ~split_i64 [ ty ] ~names:[ "v" ] in
+    make params (Printf.sprintf "Wasabi.analysis.const_(%s, %s)" loc (List.hd exprs))
+  | S_drop ty ->
+    let params, exprs = decode_args ~split_i64 [ ty ] ~names:[ "v" ] in
+    make params (Printf.sprintf "Wasabi.analysis.drop(%s, %s)" loc (List.hd exprs))
+  | S_select ty ->
+    let params, exprs = decode_args ~split_i64 [ ty; ty ] ~names:[ "first"; "second" ] in
+    make (("cond" :: params))
+      (Printf.sprintf "Wasabi.analysis.select(%s, %s, %s)" loc (bool_of "cond")
+         (String.concat ", " exprs))
+  | S_unary (op, ity, rty) ->
+    let params, exprs = decode_args ~split_i64 [ ity; rty ] ~names:[ "input"; "result" ] in
+    make params
+      (Printf.sprintf "Wasabi.analysis.unary(%s, %S, %s)" loc op (String.concat ", " exprs))
+  | S_binary (op, aty, bty, rty) ->
+    let params, exprs =
+      decode_args ~split_i64 [ aty; bty; rty ] ~names:[ "first"; "second"; "result" ]
+    in
+    make params
+      (Printf.sprintf "Wasabi.analysis.binary(%s, %S, %s)" loc op (String.concat ", " exprs))
+  | S_local (op, ty) ->
+    let params, exprs = decode_args ~split_i64 [ ty ] ~names:[ "value" ] in
+    make ("index" :: params)
+      (Printf.sprintf "Wasabi.analysis.local(%s, %S, index, %s)" loc (Hook.local_op_name op)
+         (List.hd exprs))
+  | S_global (op, ty) ->
+    let params, exprs = decode_args ~split_i64 [ ty ] ~names:[ "value" ] in
+    make ("index" :: params)
+      (Printf.sprintf "Wasabi.analysis.global(%s, %S, index, %s)" loc (Hook.global_op_name op)
+         (List.hd exprs))
+  | S_load (op, ty) ->
+    let params, exprs = decode_args ~split_i64 [ ty ] ~names:[ "value" ] in
+    make ([ "addr"; "offset" ] @ params)
+      (Printf.sprintf "Wasabi.analysis.load(%s, %S, {addr, offset}, %s)" loc op (List.hd exprs))
+  | S_store (op, ty) ->
+    let params, exprs = decode_args ~split_i64 [ ty ] ~names:[ "value" ] in
+    make ([ "addr"; "offset" ] @ params)
+      (Printf.sprintf "Wasabi.analysis.store(%s, %S, {addr, offset}, %s)" loc op (List.hd exprs))
+  | S_memory_size -> make [ "size" ] (Printf.sprintf "Wasabi.analysis.memory_size(%s, size)" loc)
+  | S_memory_grow ->
+    make [ "delta"; "previous" ]
+      (Printf.sprintf "Wasabi.analysis.memory_grow(%s, delta, previous)" loc)
+  | S_call_pre (tys, indirect) ->
+    let names = List.mapi (fun k _ -> Printf.sprintf "arg%d" k) tys in
+    let params, exprs = decode_args ~split_i64 tys ~names in
+    let first = if indirect then "tableIdx" else "callee" in
+    let call =
+      if indirect then
+        Printf.sprintf
+          "const target = Wasabi.resolveTableIdx(tableIdx);\n\
+          \    Wasabi.analysis.call_pre(%s, target, [%s], tableIdx)"
+          loc (String.concat ", " exprs)
+      else
+        Printf.sprintf "Wasabi.analysis.call_pre(%s, callee, [%s], null)" loc
+          (String.concat ", " exprs)
+    in
+    make (first :: params) call
+  | S_call_post tys ->
+    let names = List.mapi (fun k _ -> Printf.sprintf "result%d" k) tys in
+    let params, exprs = decode_args ~split_i64 tys ~names in
+    make params
+      (Printf.sprintf "Wasabi.analysis.call_post(%s, [%s])" loc (String.concat ", " exprs))
+  | S_return tys ->
+    let names = List.mapi (fun k _ -> Printf.sprintf "result%d" k) tys in
+    let params, exprs = decode_args ~split_i64 tys ~names in
+    make params
+      (Printf.sprintf "Wasabi.analysis.return_(%s, [%s])" loc (String.concat ", " exprs))
+
+let js_of_target (t : Metadata.target) =
+  Printf.sprintf "{label: %d, location: {func: %d, instr: %d}}" t.Metadata.label
+    t.Metadata.target_loc.Location.func t.Metadata.target_loc.Location.instr
+
+let js_of_ended (ebs : Metadata.ended_block list) =
+  "["
+  ^ String.concat ", "
+      (List.map
+         (fun (eb : Metadata.ended_block) ->
+            Printf.sprintf "{loc: {func: %d, instr: %d}, kind: %S, begin: {func: %d, instr: %d}}"
+              eb.Metadata.eb_end_loc.Location.func eb.Metadata.eb_end_loc.Location.instr
+              (Hook.block_kind_name eb.eb_kind) eb.Metadata.eb_end_loc.Location.func
+              eb.eb_begin_instr)
+         ebs)
+  ^ "]"
+
+(** Static module information, the [Wasabi.module.info] object. *)
+let module_info (meta : Metadata.t) : string =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n  functions: [\n";
+  let n = Metadata.num_functions meta in
+  for idx = 0 to n - 1 do
+    let ft = Metadata.func_type meta idx in
+    let name =
+      match Metadata.func_name meta idx with
+      | Some name -> Printf.sprintf "\"%s\"" (escape_js_string name)
+      | None -> "null"
+    in
+    Buffer.add_string buf
+      (Printf.sprintf "    {type: \"%s\", export: %s, import: %s},\n"
+         (escape_js_string (string_of_func_type ft))
+         name
+         (if idx < meta.Metadata.num_original_func_imports then "true" else "false"))
+  done;
+  Buffer.add_string buf "  ],\n  brTables: {\n";
+  Location.Map.iter
+    (fun loc (info : Metadata.br_table_info) ->
+       let targets = Array.to_list info.Metadata.bt_targets in
+       Buffer.add_string buf
+         (Printf.sprintf "    \"%d:%d\": {table: [%s], default: %s, ended: [%s], endedDefault: %s},\n"
+            loc.Location.func loc.Location.instr
+            (String.concat ", " (List.map (fun (t, _) -> js_of_target t) targets))
+            (js_of_target (fst info.Metadata.bt_default))
+            (String.concat ", " (List.map (fun (_, e) -> js_of_ended e) targets))
+            (js_of_ended (snd info.Metadata.bt_default))))
+    meta.Metadata.br_tables;
+  Buffer.add_string buf "  }\n}";
+  Buffer.contents buf
+
+(** Generate the complete [.wasabi.js] companion source. *)
+let generate (res : Instrument.result) : string =
+  let meta = res.Instrument.metadata in
+  let split_i64 = meta.Metadata.split_i64 in
+  let buf = Buffer.create 8192 in
+  Buffer.add_string buf "// generated by wasabi — do not edit\n";
+  Buffer.add_string buf "// import object: {\"";
+  Buffer.add_string buf Hook.import_module;
+  Buffer.add_string buf "\": Wasabi.lowlevelHooks}\n";
+  Buffer.add_string buf "const Wasabi = {\n";
+  Buffer.add_string buf "  analysis: {},  // to be filled by the user's analysis script\n";
+  Buffer.add_string buf "  resolveTableIdx: function (idx) {\n";
+  Buffer.add_string buf "    const table = Wasabi.exports && Wasabi.exports.table;\n";
+  Buffer.add_string buf "    if (!table) return -1;\n";
+  Buffer.add_string buf "    const fn = table.get(idx);\n";
+  Buffer.add_string buf "    return fn === null ? -1 : Wasabi.module.info.functionIndex(fn);\n";
+  Buffer.add_string buf "  },\n";
+  Buffer.add_string buf "  module: { info: ";
+  Buffer.add_string buf (module_info meta);
+  Buffer.add_string buf " },\n";
+  Buffer.add_string buf "  lowlevelHooks: {\n";
+  Array.iter
+    (fun spec -> Buffer.add_string buf (hook_function ~split_i64 spec))
+    meta.Metadata.hook_specs;
+  Buffer.add_string buf "  },\n};\n";
+  (* default no-op high-level hooks, as the real runtime installs *)
+  Buffer.add_string buf
+    "for (const h of [\"nop\", \"unreachable\", \"if_\", \"br\", \"br_if\", \"br_table\",\n\
+    \  \"begin\", \"end\", \"const_\", \"drop\", \"select\", \"unary\", \"binary\", \"local\",\n\
+    \  \"global\", \"load\", \"store\", \"memory_size\", \"memory_grow\", \"call_pre\",\n\
+    \  \"call_post\", \"return_\", \"start\"]) {\n\
+    \  if (!Wasabi.analysis[h]) Wasabi.analysis[h] = function () {};\n\
+     }\n";
+  Buffer.contents buf

@@ -1,0 +1,8 @@
+(** Generation of the JavaScript runtime accompanying an instrumented
+    binary in a browser (the "generate" arrow of the paper's Figure 2):
+    monomorphic low-level hooks that re-join split i64 halves into long.js
+    values and dispatch to [Wasabi.analysis], plus the
+    [Wasabi.module.info] static-information object. *)
+
+val generate : Instrument.result -> string
+(** The complete [.wasabi.js] companion source. *)

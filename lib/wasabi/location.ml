@@ -1,0 +1,33 @@
+(** Code locations reported to analyses: a function index and an
+    instruction index within that function, both referring to the
+    *original* (uninstrumented) module.
+
+    Following the paper's abstract control stack (Figure 6), the implicit
+    beginning of a function body is instruction [-1] and its implicit end
+    is [length of the body]. *)
+
+type t = {
+  func : int;
+  instr : int;
+}
+
+let make ~func ~instr = { func; instr }
+
+let compare a b =
+  match Int.compare a.func b.func with
+  | 0 -> Int.compare a.instr b.instr
+  | c -> c
+
+let equal a b = compare a b = 0
+let to_string { func; instr } = Printf.sprintf "%d:%d" func instr
+let pp fmt l = Format.pp_print_string fmt (to_string l)
+
+module Map = Map.Make (struct
+  type nonrec t = t
+  let compare = compare
+end)
+
+module Set = Set.Make (struct
+  type nonrec t = t
+  let compare = compare
+end)

@@ -1,0 +1,19 @@
+(** Code locations reported to analyses: a function index and an
+    instruction index within that function, both referring to the
+    {e original} (uninstrumented) module. The implicit begin of a function
+    body is instruction [-1] and its implicit end is the body length
+    (paper, Figure 6). *)
+
+type t = {
+  func : int;
+  instr : int;
+}
+
+val make : func:int -> instr:int -> t
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+module Map : Map.S with type key = t
+module Set : Set.S with type elt = t

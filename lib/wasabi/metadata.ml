@@ -1,0 +1,65 @@
+(** Static information extracted during instrumentation and consumed by
+    the Wasabi runtime. In the original tool this is the generated
+    JavaScript ([Wasabi.module.info] plus the stored branch-table
+    entries); here it is a plain data structure handed from
+    {!Instrument} to {!Runtime}. *)
+
+(** A resolved branch target: the raw relative label (as in the binary)
+    and the absolute location of the next instruction executed if the
+    branch is taken (paper, Section 2.4.4). *)
+type target = {
+  label : int;
+  target_loc : Location.t;
+}
+
+(** A block that a taken branch exits; the runtime calls its [end] hook
+    (paper, Section 2.4.5). *)
+type ended_block = {
+  eb_kind : Hook.block_kind;
+  eb_end_loc : Location.t;  (** location of the block's [end] *)
+  eb_begin_instr : int;  (** instruction index of the matching begin *)
+}
+
+(** Statically extracted information about one [br_table] instruction:
+    for every table entry (and the default), the resolved target and the
+    list of blocks ended when that entry is taken. Selected at runtime by
+    the low-level hook. *)
+type br_table_info = {
+  bt_loc : Location.t;
+  bt_targets : (target * ended_block list) array;
+  bt_default : target * ended_block list;
+}
+
+type t = {
+  original : Wasm.Ast.module_;
+  groups : Hook.Group_set.t;  (** groups that were instrumented *)
+  split_i64 : bool;  (** whether hook arguments split i64 into two i32 *)
+  br_tables : br_table_info Location.Map.t;
+  num_hooks : int;
+  hook_specs : Hook.spec array;
+  num_original_func_imports : int;
+  func_names : (int * string) list;  (** export names of functions, by original index *)
+}
+
+let br_table_at t loc =
+  match Location.Map.find_opt loc t.br_tables with
+  | Some info -> info
+  | None -> invalid_arg (Printf.sprintf "no br_table at %s" (Location.to_string loc))
+
+(** Static information about the original module, in the spirit of the
+    [Wasabi.module.info] object available to analyses. *)
+let func_type t idx = Wasm.Ast.func_type_at t.original idx
+let num_functions t = Wasm.Ast.num_funcs t.original
+
+let func_name t idx =
+  match List.assoc_opt idx t.func_names with
+  | Some n -> Some n
+  | None -> None
+
+let extract_func_names (m : Wasm.Ast.module_) =
+  List.filter_map
+    (fun (e : Wasm.Ast.export) ->
+       match e.edesc with
+       | Wasm.Ast.FuncExport i -> Some (i, e.name)
+       | _ -> None)
+    m.exports

@@ -1,0 +1,251 @@
+(** The Wasabi runtime: provides the imported low-level hook functions and
+    dispatches them to the high-level analysis API.
+
+    This is the OCaml equivalent of the generated JavaScript of the
+    original tool: low-level hooks are monomorphic host functions that
+    decode their arguments (re-joining split i64 halves), attach
+    pre-computed static information from {!Metadata} (resolved branch
+    targets, [br_table] entries, indirect call targets) and invoke the
+    user's {!Analysis.t} callbacks. *)
+
+open Wasm
+open Wasm.Types
+
+type t = {
+  metadata : Metadata.t;
+  analysis : Analysis.t;
+  mutable instance : Interp.instance option;
+      (** the instrumented instance, needed to resolve indirect call
+          targets through the table; set right after instantiation *)
+}
+
+let create (res : Instrument.result) (analysis : Analysis.t) : t =
+  { metadata = res.metadata; analysis; instance = None }
+
+let join_i64 (lo : int32) (hi : int32) : int64 =
+  Int64.logor
+    (Int64.logand (Int64.of_int32 lo) 0xFFFFFFFFL)
+    (Int64.shift_left (Int64.of_int32 hi) 32)
+
+exception Bad_hook_args of string
+
+let bad msg = raise (Bad_hook_args msg)
+
+(** Argument decoding: consume values according to declared types,
+    re-joining i64 halves. *)
+let take_i32 = function
+  | Value.I32 x :: rest -> (x, rest)
+  | _ -> bad "expected i32"
+
+let take_int vs =
+  let x, rest = take_i32 vs in
+  (Int32.to_int x, rest)
+
+let take_bool vs =
+  let x, rest = take_i32 vs in
+  (not (Int32.equal x 0l), rest)
+
+let take_value ~split ty vs =
+  match ty, vs with
+  | I64T, Value.I32 lo :: Value.I32 hi :: rest when split -> (Value.I64 (join_i64 lo hi), rest)
+  | I64T, (Value.I64 _ as v) :: rest when not split -> (v, rest)
+  | I32T, (Value.I32 _ as v) :: rest -> (v, rest)
+  | F32T, (Value.F32 _ as v) :: rest -> (v, rest)
+  | F64T, (Value.F64 _ as v) :: rest -> (v, rest)
+  | _ -> bad "hook argument type mismatch"
+
+let take_values ~split tys vs =
+  List.fold_left
+    (fun (acc, vs) ty ->
+       let v, vs = take_value ~split ty vs in
+       (v :: acc, vs))
+    ([], vs) tys
+  |> fun (acc, vs) -> (List.rev acc, vs)
+
+let done_ = function [] -> () | _ -> bad "superfluous hook arguments"
+
+(** Map a function instance of the *instrumented* module back to its index
+    in the *original* module's function index space. *)
+let original_func_index rt (f : Interp.func_inst) : int option =
+  match rt.instance with
+  | None -> None
+  | Some inst ->
+    let n_imp = rt.metadata.Metadata.num_original_func_imports in
+    let h = rt.metadata.Metadata.num_hooks in
+    (match f with
+     | Interp.Wasm_func (j, owner) when owner == inst -> Some (n_imp + j)
+     | Interp.Wasm_func _ -> None
+     | Interp.Host_func _ ->
+       (* originally imported function: find its import position *)
+       let rec scan i =
+         if i >= n_imp + h then None
+         else if inst.Interp.inst_funcs.(i) == f then Some i
+         else scan (i + 1)
+       in
+       (match scan 0 with
+        | Some i when i < n_imp -> Some i
+        | _ -> None))
+
+let resolve_indirect rt (table_idx : int32) : int =
+  let missing = -1 in
+  match rt.instance with
+  | None -> missing
+  | Some inst ->
+    (match inst.Interp.inst_table with
+     | None -> missing
+     | Some table ->
+       let i = Int64.to_int (Int64.logand (Int64.of_int32 table_idx) 0xFFFFFFFFL) in
+       if i >= Array.length table.Interp.t_elems then missing
+       else
+         match table.Interp.t_elems.(i) with
+         | None -> missing
+         | Some f -> (match original_func_index rt f with Some k -> k | None -> missing))
+
+(** Build the host function implementing one low-level hook. *)
+let dispatch rt (spec : Hook.spec) : Value.t list -> Value.t list =
+  let a = rt.analysis in
+  let split = rt.metadata.Metadata.split_i64 in
+  let take_value = take_value ~split in
+  let take_values = take_values ~split in
+  fun args ->
+    let fidx, args = take_int args in
+    let instr, args = take_int args in
+    let loc = Location.make ~func:fidx ~instr in
+    (match spec with
+     | Hook.S_nop -> done_ args; a.nop loc
+     | S_unreachable -> done_ args; a.unreachable loc
+     | S_start -> done_ args; a.start loc
+     | S_if_cond ->
+       let cond, args = take_bool args in
+       done_ args;
+       a.if_ loc cond
+     | S_br ->
+       let label, args = take_int args in
+       let target, args = take_int args in
+       done_ args;
+       a.br loc { Metadata.label; target_loc = Location.make ~func:fidx ~instr:target }
+     | S_br_if ->
+       let label, args = take_int args in
+       let target, args = take_int args in
+       let cond, args = take_bool args in
+       done_ args;
+       a.br_if loc { Metadata.label; target_loc = Location.make ~func:fidx ~instr:target } cond
+     | S_br_table ->
+       let idx, args = take_int args in
+       done_ args;
+       let info = Metadata.br_table_at rt.metadata loc in
+       let targets = Array.map fst info.Metadata.bt_targets in
+       let default = fst info.Metadata.bt_default in
+       a.br_table loc targets default idx;
+       (* the blocks ended by the selected entry, known only at runtime *)
+       if Hook.Group_set.mem Hook.G_end rt.metadata.Metadata.groups then begin
+         let _, ended =
+           if idx < Array.length info.Metadata.bt_targets then info.Metadata.bt_targets.(idx)
+           else info.Metadata.bt_default
+         in
+         List.iter
+           (fun (eb : Metadata.ended_block) ->
+              a.end_ eb.Metadata.eb_end_loc eb.eb_kind
+                (Location.make ~func:fidx ~instr:eb.eb_begin_instr))
+           ended
+       end
+     | S_begin kind -> done_ args; a.begin_ loc kind
+     | S_end kind ->
+       let begin_instr, args = take_int args in
+       done_ args;
+       a.end_ loc kind (Location.make ~func:fidx ~instr:begin_instr)
+     | S_const ty ->
+       let v, args = take_value ty args in
+       done_ args;
+       a.const loc v
+     | S_drop ty ->
+       let v, args = take_value ty args in
+       done_ args;
+       a.drop loc v
+     | S_select ty ->
+       let cond, args = take_bool args in
+       let v1, args = take_value ty args in
+       let v2, args = take_value ty args in
+       done_ args;
+       a.select loc cond v1 v2
+     | S_unary (op, ity, rty) ->
+       let input, args = take_value ity args in
+       let result, args = take_value rty args in
+       done_ args;
+       a.unary loc op input result
+     | S_binary (op, aty, bty, rty) ->
+       let x, args = take_value aty args in
+       let y, args = take_value bty args in
+       let r, args = take_value rty args in
+       done_ args;
+       a.binary loc op x y r
+     | S_local (op, ty) ->
+       let idx, args = take_int args in
+       let v, args = take_value ty args in
+       done_ args;
+       a.local loc (Hook.local_op_name op) idx v
+     | S_global (op, ty) ->
+       let idx, args = take_int args in
+       let v, args = take_value ty args in
+       done_ args;
+       a.global loc (Hook.global_op_name op) idx v
+     | S_load (op, ty) ->
+       let addr, args = take_i32 args in
+       let offset, args = take_int args in
+       let v, args = take_value ty args in
+       done_ args;
+       a.load loc op { Analysis.addr; offset } v
+     | S_store (op, ty) ->
+       let addr, args = take_i32 args in
+       let offset, args = take_int args in
+       let v, args = take_value ty args in
+       done_ args;
+       a.store loc op { Analysis.addr; offset } v
+     | S_memory_size ->
+       let size, args = take_int args in
+       done_ args;
+       a.memory_size loc size
+     | S_memory_grow ->
+       let delta, args = take_int args in
+       let prev, args = take_int args in
+       done_ args;
+       a.memory_grow loc delta prev
+     | S_call_pre (tys, indirect) ->
+       let callee_or_table, args = take_i32 args in
+       let vs, args = take_values tys args in
+       done_ args;
+       if indirect then
+         let callee = resolve_indirect rt callee_or_table in
+         a.call_pre loc callee vs (Some (Int32.to_int callee_or_table))
+       else a.call_pre loc (Int32.to_int callee_or_table) vs None
+     | S_call_post tys ->
+       let vs, args = take_values tys args in
+       done_ args;
+       a.call_post loc vs
+     | S_return tys ->
+       let vs, args = take_values tys args in
+       done_ args;
+       a.return_ loc vs);
+    []
+
+(** Import list providing every generated low-level hook. *)
+let imports (rt : t) : Interp.imports =
+  rt.metadata.Metadata.hook_specs
+  |> Array.to_list
+  |> List.map (fun spec ->
+    let ft = Hook.signature ~split_i64:rt.metadata.Metadata.split_i64 spec in
+    ( Hook.import_module,
+      Hook.name spec,
+      Interp.host_func ~name:(Hook.name spec) ~params:ft.params ~results:ft.results
+        (dispatch rt spec) ))
+
+(** Instantiate an instrumented module with the given analysis attached.
+    [extra_imports] supplies the program's own imports (if any). *)
+let instantiate ?fuel ?(extra_imports : Interp.imports = []) (res : Instrument.result)
+    (analysis : Analysis.t) : Interp.instance * t =
+  let rt = create res analysis in
+  let inst =
+    Interp.instantiate ?fuel ~imports:(imports rt @ extra_imports) res.Instrument.instrumented
+  in
+  rt.instance <- Some inst;
+  (inst, rt)

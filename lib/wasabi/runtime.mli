@@ -1,0 +1,29 @@
+(** The Wasabi runtime: provides the imported low-level hook functions and
+    dispatches them to the high-level analysis API, re-joining split i64
+    halves, attaching pre-computed static information (resolved branch
+    targets, [br_table] entries) and resolving indirect call targets
+    through the instance's table. *)
+
+type t = {
+  metadata : Metadata.t;
+  analysis : Analysis.t;
+  mutable instance : Wasm.Interp.instance option;
+}
+
+exception Bad_hook_args of string
+(** A low-level hook received arguments inconsistent with its spec —
+    an internal error of the instrumentation. *)
+
+val create : Instrument.result -> Analysis.t -> t
+
+val imports : t -> Wasm.Interp.imports
+(** Host functions implementing every generated low-level hook. *)
+
+val instantiate :
+  ?fuel:int ->
+  ?extra_imports:Wasm.Interp.imports ->
+  Instrument.result ->
+  Analysis.t ->
+  Wasm.Interp.instance * t
+(** Instantiate an instrumented module with the analysis attached;
+    [extra_imports] supplies the program's own imports. *)

@@ -1,0 +1,314 @@
+(** Abstract syntax of WebAssembly modules (MVP).
+
+    Function bodies are *flat* instruction sequences in which [Block],
+    [Loop], [If], [Else] and [End] appear as ordinary instructions, exactly
+    as in the binary format. This representation makes instrumentation
+    natural: the paper's code locations are (function index, instruction
+    index) pairs counting instructions linearly, including block delimiters. *)
+
+open Types
+
+type iunop = Clz | Ctz | Popcnt | Ext8S | Ext16S | Ext32S  (* sign-extension operators; Ext32S is i64-only *)
+type funop = Abs | Neg | Sqrt | Ceil | Floor | Trunc | Nearest
+
+type ibinop =
+  | Add | Sub | Mul | DivS | DivU | RemS | RemU
+  | And | Or | Xor | Shl | ShrS | ShrU | Rotl | Rotr
+
+type fbinop = FAdd | FSub | FMul | FDiv | Min | Max | CopySign
+type irelop = Eq | Ne | LtS | LtU | GtS | GtU | LeS | LeU | GeS | GeU
+type frelop = FEq | FNe | FLt | FGt | FLe | FGe
+
+type unop = IUn of isize * iunop | FUn of fsize * funop
+type binop = IBin of isize * ibinop | FBin of fsize * fbinop
+type testop = IEqz of isize
+type relop = IRel of isize * irelop | FRel of fsize * frelop
+
+type cvtop =
+  | I32WrapI64
+  | I32TruncF32S | I32TruncF32U | I32TruncF64S | I32TruncF64U
+  | I64ExtendI32S | I64ExtendI32U
+  | I64TruncF32S | I64TruncF32U | I64TruncF64S | I64TruncF64U
+  | F32ConvertI32S | F32ConvertI32U | F32ConvertI64S | F32ConvertI64U
+  | F32DemoteF64
+  | F64ConvertI32S | F64ConvertI32U | F64ConvertI64S | F64ConvertI64U
+  | F64PromoteF32
+  | I32ReinterpretF32 | I64ReinterpretF64 | F32ReinterpretI32 | F64ReinterpretI64
+  (* non-trapping float-to-int conversions (post-MVP) *)
+  | I32TruncSatF32S | I32TruncSatF32U | I32TruncSatF64S | I32TruncSatF64U
+  | I64TruncSatF32S | I64TruncSatF32U | I64TruncSatF64S | I64TruncSatF64U
+
+type pack_size = Pack8 | Pack16 | Pack32
+type extension = SX | ZX
+
+type loadop = {
+  lty : num_type;
+  lalign : int;  (** log2 of the alignment *)
+  loffset : int;
+  lpack : (pack_size * extension) option;
+}
+
+type storeop = {
+  sty : num_type;
+  salign : int;
+  soffset : int;
+  spack : pack_size option;
+}
+
+(** MVP block types: no result or a single result. *)
+type block_type = value_type option
+
+type instr =
+  | Unreachable
+  | Nop
+  | Block of block_type
+  | Loop of block_type
+  | If of block_type
+  | Else
+  | End
+  | Br of int
+  | BrIf of int
+  | BrTable of int list * int  (** table, default *)
+  | Return
+  | Call of int
+  | CallIndirect of int  (** type index *)
+  | Drop
+  | Select
+  | LocalGet of int
+  | LocalSet of int
+  | LocalTee of int
+  | GlobalGet of int
+  | GlobalSet of int
+  | Load of loadop
+  | Store of storeop
+  | MemorySize
+  | MemoryGrow
+  | Const of Value.t
+  | Test of testop
+  | Compare of relop
+  | Unary of unop
+  | Binary of binop
+  | Convert of cvtop
+
+type func = {
+  ftype : int;  (** index into the module's type section *)
+  locals : value_type list;
+  body : instr list;  (** implicitly terminated by a final [End] in binary *)
+}
+
+type global = {
+  gtype : global_type;
+  ginit : instr list;  (** constant expression *)
+}
+
+type import_desc =
+  | FuncImport of int  (** type index *)
+  | TableImport of table_type
+  | MemoryImport of memory_type
+  | GlobalImport of global_type
+
+type import = {
+  module_name : string;
+  item_name : string;
+  idesc : import_desc;
+}
+
+type export_desc =
+  | FuncExport of int
+  | TableExport of int
+  | MemoryExport of int
+  | GlobalExport of int
+
+type export = {
+  name : string;
+  edesc : export_desc;
+}
+
+type elem_segment = {
+  etable : int;
+  eoffset : instr list;  (** constant expression *)
+  einit : int list;  (** function indices *)
+}
+
+type data_segment = {
+  dmemory : int;
+  doffset : instr list;  (** constant expression *)
+  dinit : string;
+}
+
+type module_ = {
+  types : func_type list;
+  imports : import list;
+  funcs : func list;
+  tables : table_type list;
+  memories : memory_type list;
+  globals : global list;
+  exports : export list;
+  start : int option;
+  elems : elem_segment list;
+  datas : data_segment list;
+}
+
+let empty_module = {
+  types = [];
+  imports = [];
+  funcs = [];
+  tables = [];
+  memories = [];
+  globals = [];
+  exports = [];
+  start = None;
+  elems = [];
+  datas = [];
+}
+
+(** Number of imported functions: these occupy the first indices of the
+    function index space. *)
+let num_imported_funcs m =
+  List.length (List.filter (fun i -> match i.idesc with FuncImport _ -> true | _ -> false) m.imports)
+
+let num_imported_globals m =
+  List.length (List.filter (fun i -> match i.idesc with GlobalImport _ -> true | _ -> false) m.imports)
+
+let num_imported_tables m =
+  List.length (List.filter (fun i -> match i.idesc with TableImport _ -> true | _ -> false) m.imports)
+
+let num_imported_memories m =
+  List.length (List.filter (fun i -> match i.idesc with MemoryImport _ -> true | _ -> false) m.imports)
+
+(** Total size of the function index space. *)
+let num_funcs m = num_imported_funcs m + List.length m.funcs
+
+(** Type of the function at index [idx] of the function index space
+    (imports first, then module-defined functions). *)
+let func_type_at m idx =
+  let n_imp = num_imported_funcs m in
+  let type_idx =
+    if idx < n_imp then
+      let rec nth_func_import k = function
+        | [] -> invalid_arg "func_type_at: import index out of range"
+        | { idesc = FuncImport ti; _ } :: rest -> if k = 0 then ti else nth_func_import (k - 1) rest
+        | _ :: rest -> nth_func_import k rest
+      in
+      nth_func_import idx m.imports
+    else (List.nth m.funcs (idx - n_imp)).ftype
+  in
+  List.nth m.types type_idx
+
+(** Global type at index [idx] of the global index space. *)
+let global_type_at m idx =
+  let n_imp = num_imported_globals m in
+  if idx < n_imp then
+    let rec nth_global_import k = function
+      | [] -> invalid_arg "global_type_at: import index out of range"
+      | { idesc = GlobalImport gt; _ } :: rest -> if k = 0 then gt else nth_global_import (k - 1) rest
+      | _ :: rest -> nth_global_import k rest
+    in
+    nth_global_import idx m.imports
+  else (List.nth m.globals (idx - n_imp)).gtype
+
+(** Number of instructions in a module, counting block delimiters. *)
+let instruction_count m =
+  List.fold_left (fun acc f -> acc + List.length f.body) 0 m.funcs
+
+(** Human-readable mnemonic of an instruction, e.g. ["i32.add"]. Used by
+    hooks that receive an [op] argument and by the text format printer. *)
+let string_of_instr instr =
+  let nt = string_of_num_type in
+  let it = function S32 -> "i32" | S64 -> "i64" in
+  let ft = function SF32 -> "f32" | SF64 -> "f64" in
+  match instr with
+  | Unreachable -> "unreachable"
+  | Nop -> "nop"
+  | Block _ -> "block"
+  | Loop _ -> "loop"
+  | If _ -> "if"
+  | Else -> "else"
+  | End -> "end"
+  | Br l -> Printf.sprintf "br %d" l
+  | BrIf l -> Printf.sprintf "br_if %d" l
+  | BrTable (ls, d) ->
+    Printf.sprintf "br_table %s %d" (String.concat " " (List.map string_of_int ls)) d
+  | Return -> "return"
+  | Call f -> Printf.sprintf "call %d" f
+  | CallIndirect t -> Printf.sprintf "call_indirect %d" t
+  | Drop -> "drop"
+  | Select -> "select"
+  | LocalGet i -> Printf.sprintf "local.get %d" i
+  | LocalSet i -> Printf.sprintf "local.set %d" i
+  | LocalTee i -> Printf.sprintf "local.tee %d" i
+  | GlobalGet i -> Printf.sprintf "global.get %d" i
+  | GlobalSet i -> Printf.sprintf "global.set %d" i
+  | Load { lty; lpack; _ } ->
+    (match lpack with
+     | None -> nt lty ^ ".load"
+     | Some (p, e) ->
+       let bits = match p with Pack8 -> "8" | Pack16 -> "16" | Pack32 -> "32" in
+       let sx = match e with SX -> "_s" | ZX -> "_u" in
+       nt lty ^ ".load" ^ bits ^ sx)
+  | Store { sty; spack; _ } ->
+    (match spack with
+     | None -> nt sty ^ ".store"
+     | Some p ->
+       let bits = match p with Pack8 -> "8" | Pack16 -> "16" | Pack32 -> "32" in
+       nt sty ^ ".store" ^ bits)
+  | MemorySize -> "memory.size"
+  | MemoryGrow -> "memory.grow"
+  | Const v -> nt (Value.type_of v) ^ ".const"
+  | Test (IEqz sz) -> it sz ^ ".eqz"
+  | Compare (IRel (sz, op)) ->
+    let s = match op with
+      | Eq -> "eq" | Ne -> "ne" | LtS -> "lt_s" | LtU -> "lt_u" | GtS -> "gt_s"
+      | GtU -> "gt_u" | LeS -> "le_s" | LeU -> "le_u" | GeS -> "ge_s" | GeU -> "ge_u"
+    in
+    it sz ^ "." ^ s
+  | Compare (FRel (sz, op)) ->
+    let s = match op with
+      | FEq -> "eq" | FNe -> "ne" | FLt -> "lt" | FGt -> "gt" | FLe -> "le" | FGe -> "ge"
+    in
+    ft sz ^ "." ^ s
+  | Unary (IUn (sz, op)) ->
+    let s = match op with
+      | Clz -> "clz" | Ctz -> "ctz" | Popcnt -> "popcnt"
+      | Ext8S -> "extend8_s" | Ext16S -> "extend16_s" | Ext32S -> "extend32_s"
+    in
+    it sz ^ "." ^ s
+  | Unary (FUn (sz, op)) ->
+    let s = match op with
+      | Abs -> "abs" | Neg -> "neg" | Sqrt -> "sqrt" | Ceil -> "ceil"
+      | Floor -> "floor" | Trunc -> "trunc" | Nearest -> "nearest"
+    in
+    ft sz ^ "." ^ s
+  | Binary (IBin (sz, op)) ->
+    let s = match op with
+      | Add -> "add" | Sub -> "sub" | Mul -> "mul" | DivS -> "div_s" | DivU -> "div_u"
+      | RemS -> "rem_s" | RemU -> "rem_u" | And -> "and" | Or -> "or" | Xor -> "xor"
+      | Shl -> "shl" | ShrS -> "shr_s" | ShrU -> "shr_u" | Rotl -> "rotl" | Rotr -> "rotr"
+    in
+    it sz ^ "." ^ s
+  | Binary (FBin (sz, op)) ->
+    let s = match op with
+      | FAdd -> "add" | FSub -> "sub" | FMul -> "mul" | FDiv -> "div"
+      | Min -> "min" | Max -> "max" | CopySign -> "copysign"
+    in
+    ft sz ^ "." ^ s
+  | Convert op ->
+    (match op with
+     | I32WrapI64 -> "i32.wrap_i64"
+     | I32TruncF32S -> "i32.trunc_f32_s" | I32TruncF32U -> "i32.trunc_f32_u"
+     | I32TruncF64S -> "i32.trunc_f64_s" | I32TruncF64U -> "i32.trunc_f64_u"
+     | I64ExtendI32S -> "i64.extend_i32_s" | I64ExtendI32U -> "i64.extend_i32_u"
+     | I64TruncF32S -> "i64.trunc_f32_s" | I64TruncF32U -> "i64.trunc_f32_u"
+     | I64TruncF64S -> "i64.trunc_f64_s" | I64TruncF64U -> "i64.trunc_f64_u"
+     | F32ConvertI32S -> "f32.convert_i32_s" | F32ConvertI32U -> "f32.convert_i32_u"
+     | F32ConvertI64S -> "f32.convert_i64_s" | F32ConvertI64U -> "f32.convert_i64_u"
+     | F32DemoteF64 -> "f32.demote_f64"
+     | F64ConvertI32S -> "f64.convert_i32_s" | F64ConvertI32U -> "f64.convert_i32_u"
+     | F64ConvertI64S -> "f64.convert_i64_s" | F64ConvertI64U -> "f64.convert_i64_u"
+     | F64PromoteF32 -> "f64.promote_f32"
+     | I32ReinterpretF32 -> "i32.reinterpret_f32" | I64ReinterpretF64 -> "i64.reinterpret_f64"
+     | F32ReinterpretI32 -> "f32.reinterpret_i32" | F64ReinterpretI64 -> "f64.reinterpret_i64"
+     | I32TruncSatF32S -> "i32.trunc_sat_f32_s" | I32TruncSatF32U -> "i32.trunc_sat_f32_u"
+     | I32TruncSatF64S -> "i32.trunc_sat_f64_s" | I32TruncSatF64U -> "i32.trunc_sat_f64_u"
+     | I64TruncSatF32S -> "i64.trunc_sat_f32_s" | I64TruncSatF32U -> "i64.trunc_sat_f32_u"
+     | I64TruncSatF64S -> "i64.trunc_sat_f64_s" | I64TruncSatF64U -> "i64.trunc_sat_f64_u")

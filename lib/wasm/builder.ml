@@ -1,0 +1,221 @@
+(** Programmatic construction of Wasm modules.
+
+    Used by the MiniC compiler, the workload generators and the test
+    suites. Function imports must be added before defined functions, so
+    that function indices handed out by the builder stay valid. *)
+
+open Types
+open Ast
+
+type func_handle = {
+  fh_index : int;  (** index in the function index space *)
+  mutable fh_locals : value_type list;
+  mutable fh_body : instr list;
+  fh_type : int;
+}
+
+type t = {
+  mutable b_types : func_type list;  (** reversed *)
+  mutable b_n_types : int;
+  mutable b_imports : import list;  (** reversed *)
+  mutable b_n_func_imports : int;
+  mutable b_funcs : func_handle list;  (** reversed *)
+  mutable b_n_funcs : int;
+  mutable b_table : table_type option;
+  mutable b_memory : memory_type option;
+  mutable b_globals : global list;  (** reversed *)
+  mutable b_n_globals : int;
+  mutable b_n_global_imports : int;
+  mutable b_exports : export list;  (** reversed *)
+  mutable b_start : int option;
+  mutable b_elems : elem_segment list;  (** reversed *)
+  mutable b_datas : data_segment list;  (** reversed *)
+}
+
+let create () = {
+  b_types = [];
+  b_n_types = 0;
+  b_imports = [];
+  b_n_func_imports = 0;
+  b_funcs = [];
+  b_n_funcs = 0;
+  b_table = None;
+  b_memory = None;
+  b_globals = [];
+  b_n_globals = 0;
+  b_n_global_imports = 0;
+  b_exports = [];
+  b_start = None;
+  b_elems = [];
+  b_datas = [];
+}
+
+(** Index of [ft] in the type section, adding it if not present. *)
+let add_type b (ft : func_type) : int =
+  let rec find i = function
+    | [] -> None
+    | t :: rest -> if equal_func_type t ft then Some (b.b_n_types - 1 - i) else find (i + 1) rest
+  in
+  match find 0 b.b_types with
+  | Some idx -> idx
+  | None ->
+    b.b_types <- ft :: b.b_types;
+    b.b_n_types <- b.b_n_types + 1;
+    b.b_n_types - 1
+
+let import_func b ~module_name ~name ~params ~results : int =
+  if b.b_n_funcs > 0 then
+    invalid_arg "Builder.import_func: imports must precede defined functions";
+  let ti = add_type b { params; results } in
+  b.b_imports <- { module_name; item_name = name; idesc = FuncImport ti } :: b.b_imports;
+  b.b_n_func_imports <- b.b_n_func_imports + 1;
+  b.b_n_func_imports - 1
+
+let import_global b ~module_name ~name ~ty ~mutable_ : int =
+  if b.b_n_globals > 0 then
+    invalid_arg "Builder.import_global: imports must precede defined globals";
+  let gt = { content = ty; mutability = (if mutable_ then Mutable else Immutable) } in
+  b.b_imports <- { module_name; item_name = name; idesc = GlobalImport gt } :: b.b_imports;
+  b.b_n_global_imports <- b.b_n_global_imports + 1;
+  b.b_n_global_imports - 1
+
+(** Declare a function; its body may be set later via the handle (for
+    mutual recursion and forward references). Returns the handle; its
+    [fh_index] is the function's index in the module. *)
+let declare_func b ~params ~results : func_handle =
+  let ti = add_type b { params; results } in
+  let fh = {
+    fh_index = b.b_n_func_imports + b.b_n_funcs;
+    fh_locals = [];
+    fh_body = [];
+    fh_type = ti;
+  } in
+  b.b_funcs <- fh :: b.b_funcs;
+  b.b_n_funcs <- b.b_n_funcs + 1;
+  fh
+
+let set_body (fh : func_handle) ~locals ~body =
+  fh.fh_locals <- locals;
+  fh.fh_body <- body
+
+(** Declare a function and give its body at once. *)
+let add_func b ~params ~results ~locals ~body : int =
+  let fh = declare_func b ~params ~results in
+  set_body fh ~locals ~body;
+  fh.fh_index
+
+let add_memory b ~min_pages ~max_pages =
+  if b.b_memory <> None then invalid_arg "Builder.add_memory: memory already defined";
+  b.b_memory <- Some { mem_limits = { lim_min = min_pages; lim_max = max_pages } }
+
+let add_table b ~min_size ~max_size =
+  if b.b_table <> None then invalid_arg "Builder.add_table: table already defined";
+  b.b_table <- Some { tbl_limits = { lim_min = min_size; lim_max = max_size } }
+
+let add_global b ~ty ~mutable_ ~init : int =
+  let gtype = { content = ty; mutability = (if mutable_ then Mutable else Immutable) } in
+  b.b_globals <- { gtype; ginit = [ Const init ] } :: b.b_globals;
+  b.b_n_globals <- b.b_n_globals + 1;
+  b.b_n_global_imports + b.b_n_globals - 1
+
+let export_func b ~name fidx = b.b_exports <- { name; edesc = FuncExport fidx } :: b.b_exports
+let export_memory b ~name = b.b_exports <- { name; edesc = MemoryExport 0 } :: b.b_exports
+let export_table b ~name = b.b_exports <- { name; edesc = TableExport 0 } :: b.b_exports
+let export_global b ~name gidx = b.b_exports <- { name; edesc = GlobalExport gidx } :: b.b_exports
+let set_start b fidx = b.b_start <- Some fidx
+
+let add_elem b ~offset ~funcs =
+  b.b_elems <- { etable = 0; eoffset = [ Const (Value.i32_of_int offset) ]; einit = funcs } :: b.b_elems
+
+let add_data b ~offset ~bytes =
+  b.b_datas <- { dmemory = 0; doffset = [ Const (Value.i32_of_int offset) ]; dinit = bytes } :: b.b_datas
+
+let build b : module_ =
+  {
+    types = List.rev b.b_types;
+    imports = List.rev b.b_imports;
+    funcs =
+      List.rev_map
+        (fun fh -> { ftype = fh.fh_type; locals = fh.fh_locals; body = fh.fh_body })
+        b.b_funcs;
+    tables = (match b.b_table with None -> [] | Some t -> [ t ]);
+    memories = (match b.b_memory with None -> [] | Some m -> [ m ]);
+    globals = List.rev b.b_globals;
+    exports = List.rev b.b_exports;
+    start = b.b_start;
+    elems = List.rev b.b_elems;
+    datas = List.rev b.b_datas;
+  }
+
+(** {1 Instruction shorthands}
+
+    Small DSL so builder clients read closer to wat. *)
+
+let i32 k = Const (Value.i32_of_int k)
+let i32' k = Const (Value.I32 k)
+let i64 k = Const (Value.I64 k)
+let f32 f = Const (Value.f32 f)
+let f64 f = Const (Value.F64 f)
+
+let local_get x = LocalGet x
+let local_set x = LocalSet x
+let local_tee x = LocalTee x
+let global_get x = GlobalGet x
+let global_set x = GlobalSet x
+
+let i32_load ?(offset = 0) () = Load { lty = I32T; lalign = 2; loffset = offset; lpack = None }
+let i64_load ?(offset = 0) () = Load { lty = I64T; lalign = 3; loffset = offset; lpack = None }
+let f64_load ?(offset = 0) () = Load { lty = F64T; lalign = 3; loffset = offset; lpack = None }
+let f32_load ?(offset = 0) () = Load { lty = F32T; lalign = 2; loffset = offset; lpack = None }
+let i32_load8_u ?(offset = 0) () = Load { lty = I32T; lalign = 0; loffset = offset; lpack = Some (Pack8, ZX) }
+let i32_store ?(offset = 0) () = Store { sty = I32T; salign = 2; soffset = offset; spack = None }
+let i64_store ?(offset = 0) () = Store { sty = I64T; salign = 3; soffset = offset; spack = None }
+let f64_store ?(offset = 0) () = Store { sty = F64T; salign = 3; soffset = offset; spack = None }
+let f32_store ?(offset = 0) () = Store { sty = F32T; salign = 2; soffset = offset; spack = None }
+let i32_store8 ?(offset = 0) () = Store { sty = I32T; salign = 0; soffset = offset; spack = Some Pack8 }
+
+let i32_add = Binary (IBin (S32, Add))
+let i32_sub = Binary (IBin (S32, Sub))
+let i32_mul = Binary (IBin (S32, Mul))
+let i32_div_s = Binary (IBin (S32, DivS))
+let i32_rem_s = Binary (IBin (S32, RemS))
+let i32_and = Binary (IBin (S32, And))
+let i32_or = Binary (IBin (S32, Or))
+let i32_xor = Binary (IBin (S32, Xor))
+let i32_shl = Binary (IBin (S32, Shl))
+let i32_shr_s = Binary (IBin (S32, ShrS))
+let i32_shr_u = Binary (IBin (S32, ShrU))
+let i32_eq = Compare (IRel (S32, Eq))
+let i32_ne = Compare (IRel (S32, Ne))
+let i32_lt_s = Compare (IRel (S32, LtS))
+let i32_lt_u = Compare (IRel (S32, LtU))
+let i32_gt_s = Compare (IRel (S32, GtS))
+let i32_le_s = Compare (IRel (S32, LeS))
+let i32_ge_s = Compare (IRel (S32, GeS))
+let i32_eqz = Test (IEqz S32)
+let i64_add = Binary (IBin (S64, Add))
+let i64_sub = Binary (IBin (S64, Sub))
+let i64_mul = Binary (IBin (S64, Mul))
+let i64_xor = Binary (IBin (S64, Xor))
+let i64_shl = Binary (IBin (S64, Shl))
+let i64_shr_u = Binary (IBin (S64, ShrU))
+let i64_eq = Compare (IRel (S64, Eq))
+let f64_add = Binary (FBin (SF64, FAdd))
+let f64_sub = Binary (FBin (SF64, FSub))
+let f64_mul = Binary (FBin (SF64, FMul))
+let f64_div = Binary (FBin (SF64, FDiv))
+let f64_sqrt = Unary (FUn (SF64, Sqrt))
+let f64_abs = Unary (FUn (SF64, Abs))
+let f64_neg = Unary (FUn (SF64, Neg))
+let f64_lt = Compare (FRel (SF64, FLt))
+let f64_gt = Compare (FRel (SF64, FGt))
+let f64_le = Compare (FRel (SF64, FLe))
+let f64_ge = Compare (FRel (SF64, FGe))
+let f64_eq = Compare (FRel (SF64, FEq))
+
+let block ?result body = (Block result :: body) @ [ End ]
+let loop ?result body = (Loop result :: body) @ [ End ]
+let if_ ?result ~then_ ~else_ () =
+  match else_ with
+  | [] -> (If result :: then_) @ [ End ]
+  | _ -> (If result :: then_) @ (Else :: else_) @ [ End ]

@@ -1,0 +1,116 @@
+(** Programmatic construction of Wasm modules, used by the MiniC compiler,
+    workload generators and tests. Function imports must be added before
+    defined functions so indices handed out stay valid. *)
+
+type func_handle = {
+  fh_index : int;  (** index in the function index space *)
+  mutable fh_locals : Types.value_type list;
+  mutable fh_body : Ast.instr list;
+  fh_type : int;
+}
+
+type t
+
+val create : unit -> t
+
+val add_type : t -> Types.func_type -> int
+(** Index of the type, adding it to the type section if new. *)
+
+val import_func :
+  t -> module_name:string -> name:string ->
+  params:Types.value_type list -> results:Types.value_type list -> int
+
+val import_global : t -> module_name:string -> name:string -> ty:Types.value_type -> mutable_:bool -> int
+
+val declare_func :
+  t -> params:Types.value_type list -> results:Types.value_type list -> func_handle
+(** Declare now, give the body later via {!set_body} (mutual recursion). *)
+
+val set_body : func_handle -> locals:Types.value_type list -> body:Ast.instr list -> unit
+
+val add_func :
+  t -> params:Types.value_type list -> results:Types.value_type list ->
+  locals:Types.value_type list -> body:Ast.instr list -> int
+
+val add_memory : t -> min_pages:int -> max_pages:int option -> unit
+val add_table : t -> min_size:int -> max_size:int option -> unit
+val add_global : t -> ty:Types.value_type -> mutable_:bool -> init:Value.t -> int
+val export_func : t -> name:string -> int -> unit
+val export_memory : t -> name:string -> unit
+val export_table : t -> name:string -> unit
+val export_global : t -> name:string -> int -> unit
+val set_start : t -> int -> unit
+val add_elem : t -> offset:int -> funcs:int list -> unit
+val add_data : t -> offset:int -> bytes:string -> unit
+val build : t -> Ast.module_
+
+(** {1 Instruction shorthands} — a tiny DSL so builder clients read close
+    to wat. *)
+
+val i32 : int -> Ast.instr
+val i32' : int32 -> Ast.instr
+val i64 : int64 -> Ast.instr
+val f32 : float -> Ast.instr
+val f64 : float -> Ast.instr
+val local_get : int -> Ast.instr
+val local_set : int -> Ast.instr
+val local_tee : int -> Ast.instr
+val global_get : int -> Ast.instr
+val global_set : int -> Ast.instr
+val i32_load : ?offset:int -> unit -> Ast.instr
+val i64_load : ?offset:int -> unit -> Ast.instr
+val f32_load : ?offset:int -> unit -> Ast.instr
+val f64_load : ?offset:int -> unit -> Ast.instr
+val i32_load8_u : ?offset:int -> unit -> Ast.instr
+val i32_store : ?offset:int -> unit -> Ast.instr
+val i64_store : ?offset:int -> unit -> Ast.instr
+val f32_store : ?offset:int -> unit -> Ast.instr
+val f64_store : ?offset:int -> unit -> Ast.instr
+val i32_store8 : ?offset:int -> unit -> Ast.instr
+val i32_add : Ast.instr
+val i32_sub : Ast.instr
+val i32_mul : Ast.instr
+val i32_div_s : Ast.instr
+val i32_rem_s : Ast.instr
+val i32_and : Ast.instr
+val i32_or : Ast.instr
+val i32_xor : Ast.instr
+val i32_shl : Ast.instr
+val i32_shr_s : Ast.instr
+val i32_shr_u : Ast.instr
+val i32_eq : Ast.instr
+val i32_ne : Ast.instr
+val i32_lt_s : Ast.instr
+val i32_lt_u : Ast.instr
+val i32_gt_s : Ast.instr
+val i32_le_s : Ast.instr
+val i32_ge_s : Ast.instr
+val i32_eqz : Ast.instr
+val i64_add : Ast.instr
+val i64_sub : Ast.instr
+val i64_mul : Ast.instr
+val i64_xor : Ast.instr
+val i64_shl : Ast.instr
+val i64_shr_u : Ast.instr
+val i64_eq : Ast.instr
+val f64_add : Ast.instr
+val f64_sub : Ast.instr
+val f64_mul : Ast.instr
+val f64_div : Ast.instr
+val f64_sqrt : Ast.instr
+val f64_abs : Ast.instr
+val f64_neg : Ast.instr
+val f64_lt : Ast.instr
+val f64_gt : Ast.instr
+val f64_le : Ast.instr
+val f64_ge : Ast.instr
+val f64_eq : Ast.instr
+
+val block : ?result:Types.value_type -> Ast.instr list -> Ast.instr list
+(** Wrap a body in [Block ... End]. *)
+
+val loop : ?result:Types.value_type -> Ast.instr list -> Ast.instr list
+
+val if_ :
+  ?result:Types.value_type -> then_:Ast.instr list -> else_:Ast.instr list -> unit ->
+  Ast.instr list

@@ -1,0 +1,365 @@
+(** Parsing of the WebAssembly binary format (MVP, version 1). *)
+
+open Types
+open Ast
+
+exception Decode_error of string
+
+let error fmt = Printf.ksprintf (fun s -> raise (Decode_error s)) fmt
+
+type stream = {
+  src : string;
+  pos : int ref;
+}
+
+let stream src = { src; pos = ref 0 }
+let eos s = !(s.pos) >= String.length s.src
+
+let byte s =
+  if eos s then error "unexpected end of input at offset %d" !(s.pos);
+  let b = Char.code s.src.[!(s.pos)] in
+  incr s.pos;
+  b
+
+let peek s = if eos s then None else Some (Char.code s.src.[!(s.pos)])
+
+let take s n =
+  if !(s.pos) + n > String.length s.src then error "unexpected end of input";
+  let str = String.sub s.src !(s.pos) n in
+  s.pos := !(s.pos) + n;
+  str
+
+let _u32 s = try Leb128.read_u32 s.src s.pos with Leb128.Overflow m -> error "%s" m
+let uint s = try Leb128.read_uint s.src s.pos with Leb128.Overflow m -> error "%s" m
+let s32 s = try Leb128.read_s32 s.src s.pos with Leb128.Overflow m -> error "%s" m
+let s64 s = try Leb128.read_s64 s.src s.pos with Leb128.Overflow m -> error "%s" m
+
+let f32_bits s =
+  let b = take s 4 in
+  let v = ref 0l in
+  for i = 3 downto 0 do
+    v := Int32.logor (Int32.shift_left !v 8) (Int32.of_int (Char.code b.[i]))
+  done;
+  !v
+
+let f64_value s =
+  let b = take s 8 in
+  let v = ref 0L in
+  for i = 7 downto 0 do
+    v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int (Char.code b.[i]))
+  done;
+  Int64.float_of_bits !v
+
+let name s =
+  let n = uint s in
+  take s n
+
+let vec s f =
+  let n = uint s in
+  List.init n (fun _ -> f s)
+
+let value_type s =
+  match byte s with
+  | 0x7F -> I32T
+  | 0x7E -> I64T
+  | 0x7D -> F32T
+  | 0x7C -> F64T
+  | b -> error "invalid value type 0x%02X" b
+
+let block_type s =
+  match peek s with
+  | Some 0x40 -> ignore (byte s); None
+  | _ -> Some (value_type s)
+
+let limits s =
+  match byte s with
+  | 0x00 -> { lim_min = uint s; lim_max = None }
+  | 0x01 ->
+    let min = uint s in
+    let max = uint s in
+    { lim_min = min; lim_max = Some max }
+  | b -> error "invalid limits flag 0x%02X" b
+
+let global_type s =
+  let content = value_type s in
+  let mutability =
+    match byte s with
+    | 0x00 -> Immutable
+    | 0x01 -> Mutable
+    | b -> error "invalid mutability 0x%02X" b
+  in
+  { content; mutability }
+
+let func_type s =
+  (match byte s with
+   | 0x60 -> ()
+   | b -> error "invalid function type tag 0x%02X" b);
+  let params = vec s value_type in
+  let results = vec s value_type in
+  { params; results }
+
+let table_type s =
+  (match byte s with
+   | 0x70 -> ()
+   | b -> error "invalid element type 0x%02X" b);
+  { tbl_limits = limits s }
+
+let memarg s =
+  let align = uint s in
+  let offset = uint s in
+  (align, offset)
+
+let load_op s lty lpack =
+  let align, offset = memarg s in
+  Load { lty; lalign = align; loffset = offset; lpack }
+
+let store_op s sty spack =
+  let align, offset = memarg s in
+  Store { sty; salign = align; soffset = offset; spack }
+
+let instr s : instr =
+  match byte s with
+  | 0x00 -> Unreachable
+  | 0x01 -> Nop
+  | 0x02 -> Block (block_type s)
+  | 0x03 -> Loop (block_type s)
+  | 0x04 -> If (block_type s)
+  | 0x05 -> Else
+  | 0x0B -> End
+  | 0x0C -> Br (uint s)
+  | 0x0D -> BrIf (uint s)
+  | 0x0E ->
+    let ls = vec s uint in
+    let d = uint s in
+    BrTable (ls, d)
+  | 0x0F -> Return
+  | 0x10 -> Call (uint s)
+  | 0x11 ->
+    let t = uint s in
+    (match byte s with
+     | 0x00 -> ()
+     | b -> error "non-zero table index 0x%02X in call_indirect" b);
+    CallIndirect t
+  | 0x1A -> Drop
+  | 0x1B -> Select
+  | 0x20 -> LocalGet (uint s)
+  | 0x21 -> LocalSet (uint s)
+  | 0x22 -> LocalTee (uint s)
+  | 0x23 -> GlobalGet (uint s)
+  | 0x24 -> GlobalSet (uint s)
+  | 0x28 -> load_op s I32T None
+  | 0x29 -> load_op s I64T None
+  | 0x2A -> load_op s F32T None
+  | 0x2B -> load_op s F64T None
+  | 0x2C -> load_op s I32T (Some (Pack8, SX))
+  | 0x2D -> load_op s I32T (Some (Pack8, ZX))
+  | 0x2E -> load_op s I32T (Some (Pack16, SX))
+  | 0x2F -> load_op s I32T (Some (Pack16, ZX))
+  | 0x30 -> load_op s I64T (Some (Pack8, SX))
+  | 0x31 -> load_op s I64T (Some (Pack8, ZX))
+  | 0x32 -> load_op s I64T (Some (Pack16, SX))
+  | 0x33 -> load_op s I64T (Some (Pack16, ZX))
+  | 0x34 -> load_op s I64T (Some (Pack32, SX))
+  | 0x35 -> load_op s I64T (Some (Pack32, ZX))
+  | 0x36 -> store_op s I32T None
+  | 0x37 -> store_op s I64T None
+  | 0x38 -> store_op s F32T None
+  | 0x39 -> store_op s F64T None
+  | 0x3A -> store_op s I32T (Some Pack8)
+  | 0x3B -> store_op s I32T (Some Pack16)
+  | 0x3C -> store_op s I64T (Some Pack8)
+  | 0x3D -> store_op s I64T (Some Pack16)
+  | 0x3E -> store_op s I64T (Some Pack32)
+  | 0x3F ->
+    (match byte s with
+     | 0x00 -> MemorySize
+     | b -> error "non-zero memory index 0x%02X" b)
+  | 0x40 ->
+    (match byte s with
+     | 0x00 -> MemoryGrow
+     | b -> error "non-zero memory index 0x%02X" b)
+  | 0x41 -> Const (Value.I32 (s32 s))
+  | 0x42 -> Const (Value.I64 (s64 s))
+  | 0x43 -> Const (Value.F32 (f32_bits s))
+  | 0x44 -> Const (Value.F64 (f64_value s))
+  | 0x45 -> Test (IEqz S32)
+  | 0x50 -> Test (IEqz S64)
+  | b when b >= 0x46 && b <= 0x4F ->
+    let ops = [| Eq; Ne; LtS; LtU; GtS; GtU; LeS; LeU; GeS; GeU |] in
+    Compare (IRel (S32, ops.(b - 0x46)))
+  | b when b >= 0x51 && b <= 0x5A ->
+    let ops = [| Eq; Ne; LtS; LtU; GtS; GtU; LeS; LeU; GeS; GeU |] in
+    Compare (IRel (S64, ops.(b - 0x51)))
+  | b when b >= 0x5B && b <= 0x60 ->
+    let ops = [| FEq; FNe; FLt; FGt; FLe; FGe |] in
+    Compare (FRel (SF32, ops.(b - 0x5B)))
+  | b when b >= 0x61 && b <= 0x66 ->
+    let ops = [| FEq; FNe; FLt; FGt; FLe; FGe |] in
+    Compare (FRel (SF64, ops.(b - 0x61)))
+  | b when b >= 0x67 && b <= 0x69 ->
+    let ops = [| Clz; Ctz; Popcnt |] in
+    Unary (IUn (S32, ops.(b - 0x67)))
+  | b when b >= 0x79 && b <= 0x7B ->
+    let ops = [| Clz; Ctz; Popcnt |] in
+    Unary (IUn (S64, ops.(b - 0x79)))
+  | b when b >= 0x6A && b <= 0x78 ->
+    let ops = [| Add; Sub; Mul; DivS; DivU; RemS; RemU; And; Or; Xor; Shl; ShrS; ShrU; Rotl; Rotr |] in
+    Binary (IBin (S32, ops.(b - 0x6A)))
+  | b when b >= 0x7C && b <= 0x8A ->
+    let ops = [| Add; Sub; Mul; DivS; DivU; RemS; RemU; And; Or; Xor; Shl; ShrS; ShrU; Rotl; Rotr |] in
+    Binary (IBin (S64, ops.(b - 0x7C)))
+  | b when b >= 0x8B && b <= 0x91 ->
+    let ops = [| Abs; Neg; Ceil; Floor; Trunc; Nearest; Sqrt |] in
+    Unary (FUn (SF32, ops.(b - 0x8B)))
+  | b when b >= 0x99 && b <= 0x9F ->
+    let ops = [| Abs; Neg; Ceil; Floor; Trunc; Nearest; Sqrt |] in
+    Unary (FUn (SF64, ops.(b - 0x99)))
+  | b when b >= 0x92 && b <= 0x98 ->
+    let ops = [| FAdd; FSub; FMul; FDiv; Min; Max; CopySign |] in
+    Binary (FBin (SF32, ops.(b - 0x92)))
+  | b when b >= 0xA0 && b <= 0xA6 ->
+    let ops = [| FAdd; FSub; FMul; FDiv; Min; Max; CopySign |] in
+    Binary (FBin (SF64, ops.(b - 0xA0)))
+  | b when b >= 0xA7 && b <= 0xBF ->
+    let ops = [|
+      I32WrapI64;
+      I32TruncF32S; I32TruncF32U; I32TruncF64S; I32TruncF64U;
+      I64ExtendI32S; I64ExtendI32U;
+      I64TruncF32S; I64TruncF32U; I64TruncF64S; I64TruncF64U;
+      F32ConvertI32S; F32ConvertI32U; F32ConvertI64S; F32ConvertI64U;
+      F32DemoteF64;
+      F64ConvertI32S; F64ConvertI32U; F64ConvertI64S; F64ConvertI64U;
+      F64PromoteF32;
+      I32ReinterpretF32; I64ReinterpretF64; F32ReinterpretI32; F64ReinterpretI64;
+    |] in
+    Convert ops.(b - 0xA7)
+  | 0xC0 -> Unary (IUn (S32, Ext8S))
+  | 0xC1 -> Unary (IUn (S32, Ext16S))
+  | 0xC2 -> Unary (IUn (S64, Ext8S))
+  | 0xC3 -> Unary (IUn (S64, Ext16S))
+  | 0xC4 -> Unary (IUn (S64, Ext32S))
+  | 0xFC ->
+    (match uint s with
+     | 0 -> Convert I32TruncSatF32S
+     | 1 -> Convert I32TruncSatF32U
+     | 2 -> Convert I32TruncSatF64S
+     | 3 -> Convert I32TruncSatF64U
+     | 4 -> Convert I64TruncSatF32S
+     | 5 -> Convert I64TruncSatF32U
+     | 6 -> Convert I64TruncSatF64S
+     | 7 -> Convert I64TruncSatF64U
+     | sub -> error "unknown 0xFC sub-opcode %d" sub)
+  | b -> error "invalid opcode 0x%02X at offset %d" b (!(s.pos) - 1)
+
+(** Read instructions until (and not including) the [End] that closes the
+    expression; nested blocks keep their own [End]s. Returns the flat
+    instruction list, [End] consumed. *)
+let expr s =
+  let rec go depth acc =
+    let i = instr s in
+    match i with
+    | End when depth = 0 -> List.rev acc
+    | End -> go (depth - 1) (i :: acc)
+    | Block _ | Loop _ | If _ -> go (depth + 1) (i :: acc)
+    | _ -> go depth (i :: acc)
+  in
+  go 0 []
+
+let import s =
+  let module_name = name s in
+  let item_name = name s in
+  let idesc =
+    match byte s with
+    | 0x00 -> FuncImport (uint s)
+    | 0x01 -> TableImport (table_type s)
+    | 0x02 -> MemoryImport { mem_limits = limits s }
+    | 0x03 -> GlobalImport (global_type s)
+    | b -> error "invalid import kind 0x%02X" b
+  in
+  { module_name; item_name; idesc }
+
+let export s =
+  let nm = name s in
+  let edesc =
+    match byte s with
+    | 0x00 -> FuncExport (uint s)
+    | 0x01 -> TableExport (uint s)
+    | 0x02 -> MemoryExport (uint s)
+    | 0x03 -> GlobalExport (uint s)
+    | b -> error "invalid export kind 0x%02X" b
+  in
+  { name = nm; edesc }
+
+let code s =
+  let size = uint s in
+  let end_pos = !(s.pos) + size in
+  let groups = vec s (fun s ->
+    let n = uint s in
+    let t = value_type s in
+    (n, t))
+  in
+  let locals = List.concat_map (fun (n, t) -> List.init n (fun _ -> t)) groups in
+  let body = expr s in
+  if !(s.pos) <> end_pos then error "code entry size mismatch";
+  (locals, body)
+
+let global s =
+  let gtype = global_type s in
+  let ginit = expr s in
+  { gtype; ginit }
+
+let elem s =
+  let etable = uint s in
+  let eoffset = expr s in
+  let einit = vec s uint in
+  { etable; eoffset; einit }
+
+let data s =
+  let dmemory = uint s in
+  let doffset = expr s in
+  let n = uint s in
+  let dinit = take s n in
+  { dmemory; doffset; dinit }
+
+(** Parse a complete binary module. Custom sections are skipped. *)
+let decode (bin : string) : module_ =
+  let s = stream bin in
+  if take s 4 <> "\x00asm" then error "bad magic number";
+  if take s 4 <> "\x01\x00\x00\x00" then error "unsupported version";
+  let m = ref empty_module in
+  let func_type_indices = ref [] in
+  let codes = ref [] in
+  let last_id = ref 0 in
+  while not (eos s) do
+    let id = byte s in
+    let size = uint s in
+    let end_pos = !(s.pos) + size in
+    if id <> 0 then begin
+      if id <= !last_id then error "out-of-order section id %d" id;
+      last_id := id
+    end;
+    (match id with
+     | 0 -> ignore (take s size)  (* custom section *)
+     | 1 -> m := { !m with types = vec s func_type }
+     | 2 -> m := { !m with imports = vec s import }
+     | 3 -> func_type_indices := vec s uint
+     | 4 -> m := { !m with tables = vec s table_type }
+     | 5 -> m := { !m with memories = vec s (fun s -> { mem_limits = limits s }) }
+     | 6 -> m := { !m with globals = vec s global }
+     | 7 -> m := { !m with exports = vec s export }
+     | 8 -> m := { !m with start = Some (uint s) }
+     | 9 -> m := { !m with elems = vec s elem }
+     | 10 -> codes := vec s code
+     | 11 -> m := { !m with datas = vec s data }
+     | _ -> error "invalid section id %d" id);
+    if !(s.pos) <> end_pos then error "section %d size mismatch" id
+  done;
+  if List.length !func_type_indices <> List.length !codes then
+    error "function and code section lengths disagree (%d vs %d)"
+      (List.length !func_type_indices) (List.length !codes);
+  let funcs =
+    List.map2
+      (fun ftype (locals, body) -> { ftype; locals; body })
+      !func_type_indices !codes
+  in
+  { !m with funcs }

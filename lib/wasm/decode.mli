@@ -1,0 +1,7 @@
+(** Parsing of the WebAssembly binary format (MVP, version 1). *)
+
+exception Decode_error of string
+
+val decode : string -> Ast.module_
+(** Parse a complete binary module. Custom sections are skipped.
+    @raise Decode_error on malformed input. *)

@@ -1,0 +1,330 @@
+(** Emission of the WebAssembly binary format (MVP, version 1). *)
+
+open Types
+open Ast
+
+let ( <+> ) buf byte = Buffer.add_char buf (Char.chr byte)
+
+let value_type_byte = function
+  | I32T -> 0x7F
+  | I64T -> 0x7E
+  | F32T -> 0x7D
+  | F64T -> 0x7C
+
+let write_value_type buf t = buf <+> value_type_byte t
+
+let write_block_type buf = function
+  | None -> buf <+> 0x40
+  | Some t -> write_value_type buf t
+
+let write_name buf s =
+  Leb128.write_uint buf (String.length s);
+  Buffer.add_string buf s
+
+let write_limits buf { lim_min; lim_max } =
+  match lim_max with
+  | None ->
+    buf <+> 0x00;
+    Leb128.write_uint buf lim_min
+  | Some max ->
+    buf <+> 0x01;
+    Leb128.write_uint buf lim_min;
+    Leb128.write_uint buf max
+
+let write_global_type buf { content; mutability } =
+  write_value_type buf content;
+  buf <+> (match mutability with Immutable -> 0x00 | Mutable -> 0x01)
+
+let write_func_type buf { params; results } =
+  buf <+> 0x60;
+  Leb128.write_uint buf (List.length params);
+  List.iter (write_value_type buf) params;
+  Leb128.write_uint buf (List.length results);
+  List.iter (write_value_type buf) results
+
+let write_memarg buf align offset =
+  Leb128.write_uint buf align;
+  Leb128.write_uint buf offset
+
+let load_opcode { lty; lpack; _ } =
+  match lty, lpack with
+  | I32T, None -> 0x28
+  | I64T, None -> 0x29
+  | F32T, None -> 0x2A
+  | F64T, None -> 0x2B
+  | I32T, Some (Pack8, SX) -> 0x2C
+  | I32T, Some (Pack8, ZX) -> 0x2D
+  | I32T, Some (Pack16, SX) -> 0x2E
+  | I32T, Some (Pack16, ZX) -> 0x2F
+  | I64T, Some (Pack8, SX) -> 0x30
+  | I64T, Some (Pack8, ZX) -> 0x31
+  | I64T, Some (Pack16, SX) -> 0x32
+  | I64T, Some (Pack16, ZX) -> 0x33
+  | I64T, Some (Pack32, SX) -> 0x34
+  | I64T, Some (Pack32, ZX) -> 0x35
+  | _ -> invalid_arg "Encode: invalid load operator"
+
+let store_opcode { sty; spack; _ } =
+  match sty, spack with
+  | I32T, None -> 0x36
+  | I64T, None -> 0x37
+  | F32T, None -> 0x38
+  | F64T, None -> 0x39
+  | I32T, Some Pack8 -> 0x3A
+  | I32T, Some Pack16 -> 0x3B
+  | I64T, Some Pack8 -> 0x3C
+  | I64T, Some Pack16 -> 0x3D
+  | I64T, Some Pack32 -> 0x3E
+  | _ -> invalid_arg "Encode: invalid store operator"
+
+let test_opcode = function
+  | IEqz S32 -> 0x45
+  | IEqz S64 -> 0x50
+
+let rel_opcode = function
+  | IRel (S32, op) ->
+    0x46 + (match op with
+      | Eq -> 0 | Ne -> 1 | LtS -> 2 | LtU -> 3 | GtS -> 4
+      | GtU -> 5 | LeS -> 6 | LeU -> 7 | GeS -> 8 | GeU -> 9)
+  | IRel (S64, op) ->
+    0x51 + (match op with
+      | Eq -> 0 | Ne -> 1 | LtS -> 2 | LtU -> 3 | GtS -> 4
+      | GtU -> 5 | LeS -> 6 | LeU -> 7 | GeS -> 8 | GeU -> 9)
+  | FRel (SF32, op) ->
+    0x5B + (match op with FEq -> 0 | FNe -> 1 | FLt -> 2 | FGt -> 3 | FLe -> 4 | FGe -> 5)
+  | FRel (SF64, op) ->
+    0x61 + (match op with FEq -> 0 | FNe -> 1 | FLt -> 2 | FGt -> 3 | FLe -> 4 | FGe -> 5)
+
+let un_opcode = function
+  | IUn (S32, Ext8S) -> 0xC0
+  | IUn (S32, Ext16S) -> 0xC1
+  | IUn (S64, Ext8S) -> 0xC2
+  | IUn (S64, Ext16S) -> 0xC3
+  | IUn (S64, Ext32S) -> 0xC4
+  | IUn (S32, Ext32S) -> invalid_arg "Encode: i32.extend32_s does not exist"
+  | IUn (S32, op) -> 0x67 + (match op with Clz -> 0 | Ctz -> 1 | Popcnt -> 2 | _ -> assert false)
+  | IUn (S64, op) -> 0x79 + (match op with Clz -> 0 | Ctz -> 1 | Popcnt -> 2 | _ -> assert false)
+  | FUn (SF32, op) ->
+    0x8B + (match op with
+      | Abs -> 0 | Neg -> 1 | Ceil -> 2 | Floor -> 3 | Trunc -> 4 | Nearest -> 5 | Sqrt -> 6)
+  | FUn (SF64, op) ->
+    0x99 + (match op with
+      | Abs -> 0 | Neg -> 1 | Ceil -> 2 | Floor -> 3 | Trunc -> 4 | Nearest -> 5 | Sqrt -> 6)
+
+let bin_opcode = function
+  | IBin (S32, op) ->
+    0x6A + (match op with
+      | Add -> 0 | Sub -> 1 | Mul -> 2 | DivS -> 3 | DivU -> 4 | RemS -> 5 | RemU -> 6
+      | And -> 7 | Or -> 8 | Xor -> 9 | Shl -> 10 | ShrS -> 11 | ShrU -> 12
+      | Rotl -> 13 | Rotr -> 14)
+  | IBin (S64, op) ->
+    0x7C + (match op with
+      | Add -> 0 | Sub -> 1 | Mul -> 2 | DivS -> 3 | DivU -> 4 | RemS -> 5 | RemU -> 6
+      | And -> 7 | Or -> 8 | Xor -> 9 | Shl -> 10 | ShrS -> 11 | ShrU -> 12
+      | Rotl -> 13 | Rotr -> 14)
+  | FBin (SF32, op) ->
+    0x92 + (match op with
+      | FAdd -> 0 | FSub -> 1 | FMul -> 2 | FDiv -> 3 | Min -> 4 | Max -> 5 | CopySign -> 6)
+  | FBin (SF64, op) ->
+    0xA0 + (match op with
+      | FAdd -> 0 | FSub -> 1 | FMul -> 2 | FDiv -> 3 | Min -> 4 | Max -> 5 | CopySign -> 6)
+
+(* saturating truncations live under the 0xFC prefix *)
+let trunc_sat_subop = function
+  | I32TruncSatF32S -> Some 0
+  | I32TruncSatF32U -> Some 1
+  | I32TruncSatF64S -> Some 2
+  | I32TruncSatF64U -> Some 3
+  | I64TruncSatF32S -> Some 4
+  | I64TruncSatF32U -> Some 5
+  | I64TruncSatF64S -> Some 6
+  | I64TruncSatF64U -> Some 7
+  | _ -> None
+
+let cvt_opcode = function
+  | I32WrapI64 -> 0xA7
+  | I32TruncF32S -> 0xA8
+  | I32TruncF32U -> 0xA9
+  | I32TruncF64S -> 0xAA
+  | I32TruncF64U -> 0xAB
+  | I64ExtendI32S -> 0xAC
+  | I64ExtendI32U -> 0xAD
+  | I64TruncF32S -> 0xAE
+  | I64TruncF32U -> 0xAF
+  | I64TruncF64S -> 0xB0
+  | I64TruncF64U -> 0xB1
+  | F32ConvertI32S -> 0xB2
+  | F32ConvertI32U -> 0xB3
+  | F32ConvertI64S -> 0xB4
+  | F32ConvertI64U -> 0xB5
+  | F32DemoteF64 -> 0xB6
+  | F64ConvertI32S -> 0xB7
+  | F64ConvertI32U -> 0xB8
+  | F64ConvertI64S -> 0xB9
+  | F64ConvertI64U -> 0xBA
+  | F64PromoteF32 -> 0xBB
+  | I32ReinterpretF32 -> 0xBC
+  | I64ReinterpretF64 -> 0xBD
+  | F32ReinterpretI32 -> 0xBE
+  | F64ReinterpretI64 -> 0xBF
+  | I32TruncSatF32S | I32TruncSatF32U | I32TruncSatF64S | I32TruncSatF64U
+  | I64TruncSatF32S | I64TruncSatF32U | I64TruncSatF64S | I64TruncSatF64U ->
+    invalid_arg "Encode: saturating truncation uses the 0xFC prefix"
+
+let add_i32_le buf (x : int32) =
+  for i = 0 to 3 do
+    buf <+> Int32.to_int (Int32.logand (Int32.shift_right_logical x (8 * i)) 0xFFl)
+  done
+
+let add_i64_le buf (x : int64) =
+  for i = 0 to 7 do
+    buf <+> Int64.to_int (Int64.logand (Int64.shift_right_logical x (8 * i)) 0xFFL)
+  done
+
+let write_instr buf instr =
+  match instr with
+  | Unreachable -> buf <+> 0x00
+  | Nop -> buf <+> 0x01
+  | Block bt -> buf <+> 0x02; write_block_type buf bt
+  | Loop bt -> buf <+> 0x03; write_block_type buf bt
+  | If bt -> buf <+> 0x04; write_block_type buf bt
+  | Else -> buf <+> 0x05
+  | End -> buf <+> 0x0B
+  | Br l -> buf <+> 0x0C; Leb128.write_uint buf l
+  | BrIf l -> buf <+> 0x0D; Leb128.write_uint buf l
+  | BrTable (ls, d) ->
+    buf <+> 0x0E;
+    Leb128.write_uint buf (List.length ls);
+    List.iter (Leb128.write_uint buf) ls;
+    Leb128.write_uint buf d
+  | Return -> buf <+> 0x0F
+  | Call f -> buf <+> 0x10; Leb128.write_uint buf f
+  | CallIndirect t -> buf <+> 0x11; Leb128.write_uint buf t; buf <+> 0x00
+  | Drop -> buf <+> 0x1A
+  | Select -> buf <+> 0x1B
+  | LocalGet i -> buf <+> 0x20; Leb128.write_uint buf i
+  | LocalSet i -> buf <+> 0x21; Leb128.write_uint buf i
+  | LocalTee i -> buf <+> 0x22; Leb128.write_uint buf i
+  | GlobalGet i -> buf <+> 0x23; Leb128.write_uint buf i
+  | GlobalSet i -> buf <+> 0x24; Leb128.write_uint buf i
+  | Load op -> buf <+> load_opcode op; write_memarg buf op.lalign op.loffset
+  | Store op -> buf <+> store_opcode op; write_memarg buf op.salign op.soffset
+  | MemorySize -> buf <+> 0x3F; buf <+> 0x00
+  | MemoryGrow -> buf <+> 0x40; buf <+> 0x00
+  | Const (Value.I32 x) -> buf <+> 0x41; Leb128.write_s32 buf x
+  | Const (Value.I64 x) -> buf <+> 0x42; Leb128.write_s64 buf x
+  | Const (Value.F32 bits) -> buf <+> 0x43; add_i32_le buf bits
+  | Const (Value.F64 f) -> buf <+> 0x44; add_i64_le buf (Int64.bits_of_float f)
+  | Test op -> buf <+> test_opcode op
+  | Compare op -> buf <+> rel_opcode op
+  | Unary op -> buf <+> un_opcode op
+  | Binary op -> buf <+> bin_opcode op
+  | Convert op ->
+    (match trunc_sat_subop op with
+     | Some sub ->
+       buf <+> 0xFC;
+       Leb128.write_uint buf sub
+     | None -> buf <+> cvt_opcode op)
+
+let write_expr buf instrs =
+  List.iter (write_instr buf) instrs;
+  buf <+> 0x0B
+
+(** Write a section: id byte, payload size, payload. Empty sections are
+    omitted entirely. *)
+let write_section buf id payload =
+  if Buffer.length payload > 0 then begin
+    buf <+> id;
+    Leb128.write_uint buf (Buffer.length payload);
+    Buffer.add_buffer buf payload
+  end
+
+let write_vec_section buf id items write_item =
+  if items <> [] then begin
+    let payload = Buffer.create 256 in
+    Leb128.write_uint payload (List.length items);
+    List.iter (write_item payload) items;
+    write_section buf id payload
+  end
+
+(** Group consecutive equal local types into (count, type) runs, as
+    required by the code section encoding. *)
+let group_locals locals =
+  let rec go acc = function
+    | [] -> List.rev acc
+    | t :: rest ->
+      (match acc with
+       | (n, t') :: acc' when t' = t -> go ((n + 1, t) :: acc') rest
+       | _ -> go ((1, t) :: acc) rest)
+  in
+  go [] locals
+
+let write_code buf (f : func) =
+  let body = Buffer.create 64 in
+  let groups = group_locals f.locals in
+  Leb128.write_uint body (List.length groups);
+  List.iter
+    (fun (n, t) ->
+       Leb128.write_uint body n;
+       write_value_type body t)
+    groups;
+  write_expr body f.body;
+  Leb128.write_uint buf (Buffer.length body);
+  Buffer.add_buffer buf body
+
+let write_import buf { module_name; item_name; idesc } =
+  write_name buf module_name;
+  write_name buf item_name;
+  match idesc with
+  | FuncImport ti -> buf <+> 0x00; Leb128.write_uint buf ti
+  | TableImport tt -> buf <+> 0x01; buf <+> 0x70; write_limits buf tt.tbl_limits
+  | MemoryImport mt -> buf <+> 0x02; write_limits buf mt.mem_limits
+  | GlobalImport gt -> buf <+> 0x03; write_global_type buf gt
+
+let write_export buf { name; edesc } =
+  write_name buf name;
+  match edesc with
+  | FuncExport i -> buf <+> 0x00; Leb128.write_uint buf i
+  | TableExport i -> buf <+> 0x01; Leb128.write_uint buf i
+  | MemoryExport i -> buf <+> 0x02; Leb128.write_uint buf i
+  | GlobalExport i -> buf <+> 0x03; Leb128.write_uint buf i
+
+(** Serialize a module to its binary representation. *)
+let encode (m : module_) : string =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "\x00asm";
+  Buffer.add_string buf "\x01\x00\x00\x00";
+  write_vec_section buf 1 m.types (fun b t -> write_func_type b t);
+  write_vec_section buf 2 m.imports write_import;
+  write_vec_section buf 3 m.funcs (fun b f -> Leb128.write_uint b f.ftype);
+  write_vec_section buf 4 m.tables (fun b t -> b <+> 0x70; write_limits b t.tbl_limits);
+  write_vec_section buf 5 m.memories (fun b mt -> write_limits b mt.mem_limits);
+  write_vec_section buf 6 m.globals
+    (fun b g ->
+       write_global_type b g.gtype;
+       write_expr b g.ginit);
+  write_vec_section buf 7 m.exports write_export;
+  (match m.start with
+   | None -> ()
+   | Some f ->
+     let payload = Buffer.create 4 in
+     Leb128.write_uint payload f;
+     write_section buf 8 payload);
+  write_vec_section buf 9 m.elems
+    (fun b e ->
+       Leb128.write_uint b e.etable;
+       write_expr b e.eoffset;
+       Leb128.write_uint b (List.length e.einit);
+       List.iter (Leb128.write_uint b) e.einit);
+  write_vec_section buf 10 m.funcs write_code;
+  write_vec_section buf 11 m.datas
+    (fun b d ->
+       Leb128.write_uint b d.dmemory;
+       write_expr b d.doffset;
+       Leb128.write_uint b (String.length d.dinit);
+       Buffer.add_string b d.dinit);
+  Buffer.contents buf
+
+(** Encoded size in bytes, without materialising intermediate strings more
+    than once. *)
+let size m = String.length (encode m)

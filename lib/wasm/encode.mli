@@ -1,0 +1,10 @@
+(** Emission of the WebAssembly binary format (MVP, version 1). *)
+
+val encode : Ast.module_ -> string
+(** Serialise a module to its binary representation. *)
+
+val size : Ast.module_ -> int
+(** [String.length (encode m)]. *)
+
+val write_instr : Buffer.t -> Ast.instr -> unit
+(** Append the encoding of a single instruction (exposed for tests). *)

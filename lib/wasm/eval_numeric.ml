@@ -1,0 +1,196 @@
+(** Evaluation of numeric instructions on runtime values. *)
+
+open Ast
+
+let type_error () = raise (Value.Trap "type mismatch in numeric operation")
+
+let f32_un f v =
+  match v with
+  | Value.F32 bits -> Value.f32 (f (Value.F32_repr.to_float bits))
+  | _ -> type_error ()
+
+let f64_un f v =
+  match v with
+  | Value.F64 x -> Value.F64 (f x)
+  | _ -> type_error ()
+
+let funop_impl = function
+  | Abs -> abs_float
+  | Neg -> (fun f -> -.f)
+  | Sqrt -> sqrt
+  | Ceil -> Float.ceil
+  | Floor -> Float.floor
+  | Trunc -> Value.F_ops.trunc
+  | Nearest -> Value.F_ops.nearest
+
+let sign_extend_i32 bits x =
+  let shift = 32 - bits in
+  Int32.shift_right (Int32.shift_left x shift) shift
+
+let sign_extend_i64 bits x =
+  let shift = 64 - bits in
+  Int64.shift_right (Int64.shift_left x shift) shift
+
+let eval_unop (op : unop) (v : Value.t) : Value.t =
+  match op, v with
+  | IUn (S32, Ext8S), Value.I32 x -> Value.I32 (sign_extend_i32 8 x)
+  | IUn (S32, Ext16S), Value.I32 x -> Value.I32 (sign_extend_i32 16 x)
+  | IUn (S64, Ext8S), Value.I64 x -> Value.I64 (sign_extend_i64 8 x)
+  | IUn (S64, Ext16S), Value.I64 x -> Value.I64 (sign_extend_i64 16 x)
+  | IUn (S64, Ext32S), Value.I64 x -> Value.I64 (sign_extend_i64 32 x)
+  | IUn (S32, Clz), Value.I32 x -> Value.i32_of_int (Value.I32_ops.clz x)
+  | IUn (S32, Ctz), Value.I32 x -> Value.i32_of_int (Value.I32_ops.ctz x)
+  | IUn (S32, Popcnt), Value.I32 x -> Value.i32_of_int (Value.I32_ops.popcnt x)
+  | IUn (S64, Clz), Value.I64 x -> Value.I64 (Int64.of_int (Value.I64_ops.clz x))
+  | IUn (S64, Ctz), Value.I64 x -> Value.I64 (Int64.of_int (Value.I64_ops.ctz x))
+  | IUn (S64, Popcnt), Value.I64 x -> Value.I64 (Int64.of_int (Value.I64_ops.popcnt x))
+  | FUn (SF32, fop), (Value.F32 _ as v) -> f32_un (funop_impl fop) v
+  | FUn (SF64, fop), (Value.F64 _ as v) -> f64_un (funop_impl fop) v
+  | _ -> type_error ()
+
+let ibinop_i32 (op : ibinop) (a : int32) (b : int32) : int32 =
+  let open Value.I32_ops in
+  match op with
+  | Add -> Int32.add a b
+  | Sub -> Int32.sub a b
+  | Mul -> Int32.mul a b
+  | DivS -> div_s a b
+  | DivU -> div_u a b
+  | RemS -> rem_s a b
+  | RemU -> rem_u a b
+  | And -> Int32.logand a b
+  | Or -> Int32.logor a b
+  | Xor -> Int32.logxor a b
+  | Shl -> shl a b
+  | ShrS -> shr_s a b
+  | ShrU -> shr_u a b
+  | Rotl -> rotl a b
+  | Rotr -> rotr a b
+
+let ibinop_i64 (op : ibinop) (a : int64) (b : int64) : int64 =
+  let open Value.I64_ops in
+  match op with
+  | Add -> Int64.add a b
+  | Sub -> Int64.sub a b
+  | Mul -> Int64.mul a b
+  | DivS -> div_s a b
+  | DivU -> div_u a b
+  | RemS -> rem_s a b
+  | RemU -> rem_u a b
+  | And -> Int64.logand a b
+  | Or -> Int64.logor a b
+  | Xor -> Int64.logxor a b
+  | Shl -> shl a b
+  | ShrS -> shr_s a b
+  | ShrU -> shr_u a b
+  | Rotl -> rotl a b
+  | Rotr -> rotr a b
+
+let fbinop_impl (op : fbinop) (a : float) (b : float) : float =
+  match op with
+  | FAdd -> a +. b
+  | FSub -> a -. b
+  | FMul -> a *. b
+  | FDiv -> a /. b
+  | Min -> Value.F_ops.fmin a b
+  | Max -> Value.F_ops.fmax a b
+  | CopySign -> Value.F_ops.copysign a b
+
+let eval_binop (op : binop) (a : Value.t) (b : Value.t) : Value.t =
+  match op, a, b with
+  | IBin (S32, iop), Value.I32 x, Value.I32 y -> Value.I32 (ibinop_i32 iop x y)
+  | IBin (S64, iop), Value.I64 x, Value.I64 y -> Value.I64 (ibinop_i64 iop x y)
+  | FBin (SF32, fop), Value.F32 x, Value.F32 y ->
+    Value.f32 (fbinop_impl fop (Value.F32_repr.to_float x) (Value.F32_repr.to_float y))
+  | FBin (SF64, fop), Value.F64 x, Value.F64 y -> Value.F64 (fbinop_impl fop x y)
+  | _ -> type_error ()
+
+let eval_testop (op : testop) (v : Value.t) : Value.t =
+  match op, v with
+  | IEqz S32, Value.I32 x -> Value.i32_of_bool (Int32.equal x 0l)
+  | IEqz S64, Value.I64 x -> Value.i32_of_bool (Int64.equal x 0L)
+  | _ -> type_error ()
+
+let irelop_impl_i32 (op : irelop) (a : int32) (b : int32) : bool =
+  let open Value.I32_ops in
+  match op with
+  | Eq -> Int32.equal a b
+  | Ne -> not (Int32.equal a b)
+  | LtS -> Int32.compare a b < 0
+  | LtU -> lt_u a b
+  | GtS -> Int32.compare a b > 0
+  | GtU -> gt_u a b
+  | LeS -> Int32.compare a b <= 0
+  | LeU -> le_u a b
+  | GeS -> Int32.compare a b >= 0
+  | GeU -> ge_u a b
+
+let irelop_impl_i64 (op : irelop) (a : int64) (b : int64) : bool =
+  let open Value.I64_ops in
+  match op with
+  | Eq -> Int64.equal a b
+  | Ne -> not (Int64.equal a b)
+  | LtS -> Int64.compare a b < 0
+  | LtU -> lt_u a b
+  | GtS -> Int64.compare a b > 0
+  | GtU -> gt_u a b
+  | LeS -> Int64.compare a b <= 0
+  | LeU -> le_u a b
+  | GeS -> Int64.compare a b >= 0
+  | GeU -> ge_u a b
+
+let frelop_impl (op : frelop) (a : float) (b : float) : bool =
+  match op with
+  | FEq -> a = b
+  | FNe -> a <> b
+  | FLt -> a < b
+  | FGt -> a > b
+  | FLe -> a <= b
+  | FGe -> a >= b
+
+let eval_relop (op : relop) (a : Value.t) (b : Value.t) : Value.t =
+  match op, a, b with
+  | IRel (S32, iop), Value.I32 x, Value.I32 y -> Value.i32_of_bool (irelop_impl_i32 iop x y)
+  | IRel (S64, iop), Value.I64 x, Value.I64 y -> Value.i32_of_bool (irelop_impl_i64 iop x y)
+  | FRel (SF32, fop), Value.F32 x, Value.F32 y ->
+    Value.i32_of_bool (frelop_impl fop (Value.F32_repr.to_float x) (Value.F32_repr.to_float y))
+  | FRel (SF64, fop), Value.F64 x, Value.F64 y -> Value.i32_of_bool (frelop_impl fop x y)
+  | _ -> type_error ()
+
+let eval_cvtop (op : cvtop) (v : Value.t) : Value.t =
+  let open Value in
+  match op, v with
+  | I32WrapI64, I64 x -> I32 (Int64.to_int32 x)
+  | I32TruncF32S, F32 b -> I32 (Cvt.i32_trunc_s (F32_repr.to_float b))
+  | I32TruncF32U, F32 b -> I32 (Cvt.i32_trunc_u (F32_repr.to_float b))
+  | I32TruncF64S, F64 f -> I32 (Cvt.i32_trunc_s f)
+  | I32TruncF64U, F64 f -> I32 (Cvt.i32_trunc_u f)
+  | I64ExtendI32S, I32 x -> I64 (Int64.of_int32 x)
+  | I64ExtendI32U, I32 x -> I64 (Int64.logand (Int64.of_int32 x) 0xFFFFFFFFL)
+  | I64TruncF32S, F32 b -> I64 (Cvt.i64_trunc_s (F32_repr.to_float b))
+  | I64TruncF32U, F32 b -> I64 (Cvt.i64_trunc_u (F32_repr.to_float b))
+  | I64TruncF64S, F64 f -> I64 (Cvt.i64_trunc_s f)
+  | I64TruncF64U, F64 f -> I64 (Cvt.i64_trunc_u f)
+  | F32ConvertI32S, I32 x -> f32 (Int32.to_float x)
+  | F32ConvertI32U, I32 x -> f32 (Cvt.u32_to_float x)
+  | F32ConvertI64S, I64 x -> f32 (Int64.to_float x)
+  | F32ConvertI64U, I64 x -> f32 (Cvt.u64_to_float x)
+  | F32DemoteF64, F64 f -> f32 f
+  | F64ConvertI32S, I32 x -> F64 (Int32.to_float x)
+  | F64ConvertI32U, I32 x -> F64 (Cvt.u32_to_float x)
+  | F64ConvertI64S, I64 x -> F64 (Int64.to_float x)
+  | F64ConvertI64U, I64 x -> F64 (Cvt.u64_to_float x)
+  | F64PromoteF32, F32 b -> F64 (F32_repr.to_float b)
+  | I32ReinterpretF32, F32 b -> I32 b
+  | I64ReinterpretF64, F64 f -> I64 (Int64.bits_of_float f)
+  | F32ReinterpretI32, I32 x -> F32 x
+  | F64ReinterpretI64, I64 x -> F64 (Int64.float_of_bits x)
+  | I32TruncSatF32S, F32 b -> I32 (Cvt.i32_trunc_sat_s (F32_repr.to_float b))
+  | I32TruncSatF32U, F32 b -> I32 (Cvt.i32_trunc_sat_u (F32_repr.to_float b))
+  | I32TruncSatF64S, F64 f -> I32 (Cvt.i32_trunc_sat_s f)
+  | I32TruncSatF64U, F64 f -> I32 (Cvt.i32_trunc_sat_u f)
+  | I64TruncSatF32S, F32 b -> I64 (Cvt.i64_trunc_sat_s (F32_repr.to_float b))
+  | I64TruncSatF32U, F32 b -> I64 (Cvt.i64_trunc_sat_u (F32_repr.to_float b))
+  | I64TruncSatF64S, F64 f -> I64 (Cvt.i64_trunc_sat_s f)
+  | I64TruncSatF64U, F64 f -> I64 (Cvt.i64_trunc_sat_u f)
+  | _ -> type_error ()

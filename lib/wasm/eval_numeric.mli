@@ -1,0 +1,8 @@
+(** Evaluation of numeric instructions on runtime values. Partial
+    operations raise [Value.Trap]. *)
+
+val eval_unop : Ast.unop -> Value.t -> Value.t
+val eval_binop : Ast.binop -> Value.t -> Value.t -> Value.t
+val eval_testop : Ast.testop -> Value.t -> Value.t
+val eval_relop : Ast.relop -> Value.t -> Value.t -> Value.t
+val eval_cvtop : Ast.cvtop -> Value.t -> Value.t

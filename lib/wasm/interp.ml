@@ -1,0 +1,547 @@
+(** A complete interpreter for WebAssembly modules (MVP).
+
+    Executes the flat instruction representation directly: for every
+    function, the matching [End] (and [Else]) of each structured
+    instruction is pre-computed once, and execution proceeds with an
+    explicit program counter, value stack and label stack.
+
+    Host functions (the mechanism by which Wasabi's low-level hooks are
+    provided) are plain OCaml closures over value lists. *)
+
+open Types
+open Ast
+
+exception Exhaustion of string
+(** Raised when the configured fuel (instruction budget) runs out. *)
+
+exception Link_error of string
+(** Raised during instantiation: missing or mismatching imports, failing
+    segment bounds, ... *)
+
+let link_error fmt = Printf.ksprintf (fun s -> raise (Link_error s)) fmt
+
+type func_inst =
+  | Wasm_func of int * instance  (** index into [instance.code], closing instance *)
+  | Host_func of host_func
+
+and host_func = {
+  h_type : func_type;
+  h_name : string;
+  h_fn : Value.t list -> Value.t list;
+}
+
+and table_inst = {
+  mutable t_elems : func_inst option array;
+  t_max : int option;
+}
+
+and global_inst = {
+  g_type : global_type;
+  mutable g_value : Value.t;
+}
+
+and extern =
+  | Extern_func of func_inst
+  | Extern_table of table_inst
+  | Extern_memory of Memory.t
+  | Extern_global of global_inst
+
+(** Pre-computed jump targets of one function body. *)
+and jump_info = {
+  end_of : int array;  (** for Block/Loop/If at pc, index of matching End *)
+  else_of : int array;  (** for If at pc, index of Else, or -1 *)
+}
+
+and code = {
+  c_func : Ast.func;
+  c_type : func_type;
+  c_body : instr array;
+  c_jumps : jump_info;
+}
+
+and instance = {
+  inst_module : module_;
+  inst_types : func_type array;
+  mutable inst_funcs : func_inst array;
+  mutable inst_code : code array;
+  mutable inst_table : table_inst option;
+  mutable inst_memory : Memory.t option;
+  mutable inst_globals : global_inst array;
+  mutable inst_exports : (string * extern) list;
+  mutable fuel : int;  (** remaining instruction budget *)
+  mutable steps : int;  (** total instructions executed *)
+  mutable call_depth : int;
+}
+
+(** Wasm implementations limit call depth; ours traps with the spec's
+    "call stack exhausted" well before the OCaml stack overflows. *)
+let max_call_depth = 10_000
+
+let func_type_of = function
+  | Wasm_func (idx, inst) -> inst.inst_code.(idx).c_type
+  | Host_func h -> h.h_type
+
+(** Compute matching [End]/[Else] indices for every structured instruction. *)
+let compute_jumps (body : instr array) : jump_info =
+  let n = Array.length body in
+  let end_of = Array.make n (-1) in
+  let else_of = Array.make n (-1) in
+  let stack = ref [] in
+  for pc = 0 to n - 1 do
+    match body.(pc) with
+    | Block _ | Loop _ | If _ -> stack := pc :: !stack
+    | Else ->
+      (match !stack with
+       | open_pc :: _ -> else_of.(open_pc) <- pc
+       | [] -> raise (Decode.Decode_error "else without open block"))
+    | End ->
+      (match !stack with
+       | open_pc :: rest ->
+         end_of.(open_pc) <- pc;
+         stack := rest
+       | [] -> raise (Decode.Decode_error "unbalanced end"))
+    | _ -> ()
+  done;
+  if !stack <> [] then raise (Decode.Decode_error "unclosed block");
+  { end_of; else_of }
+
+(** {1 Execution} *)
+
+type label = {
+  l_is_loop : bool;
+  l_start : int;  (** pc of the block instruction *)
+  l_end : int;  (** pc of the matching End *)
+  l_height : int;  (** value stack height at entry *)
+  l_arity : int;
+}
+
+type stack = {
+  mutable values : Value.t list;  (** head is the top *)
+  mutable size : int;
+}
+
+let push st v =
+  st.values <- v :: st.values;
+  st.size <- st.size + 1
+
+let pop st =
+  match st.values with
+  | v :: rest ->
+    st.values <- rest;
+    st.size <- st.size - 1;
+    v
+  | [] -> raise (Value.Trap "value stack underflow (engine bug)")
+
+let pop_n st n = List.init n (fun _ -> pop st) |> List.rev
+
+(** Drop values until the stack has height [h]. *)
+let shrink_to st h =
+  while st.size > h do
+    ignore (pop st)
+  done
+
+let pop_i32 st = Value.as_i32 (pop st)
+
+let default_fuel = max_int
+
+let use_fuel inst =
+  inst.steps <- inst.steps + 1;
+  if inst.fuel <= 0 then raise (Exhaustion "out of fuel");
+  inst.fuel <- inst.fuel - 1
+
+let rec invoke (f : func_inst) (args : Value.t list) : Value.t list =
+  match f with
+  | Host_func h -> h.h_fn args
+  | Wasm_func (idx, inst) ->
+    let code = inst.inst_code.(idx) in
+    let n_args = List.length code.c_type.params in
+    if List.length args <> n_args then
+      raise (Value.Trap "argument count mismatch");
+    if inst.call_depth >= max_call_depth then raise (Value.Trap "call stack exhausted");
+    let locals =
+      Array.of_list (args @ List.map Value.default code.c_func.locals)
+    in
+    inst.call_depth <- inst.call_depth + 1;
+    Fun.protect
+      ~finally:(fun () -> inst.call_depth <- inst.call_depth - 1)
+      (fun () -> exec_body inst code locals)
+
+and exec_body inst code locals : Value.t list =
+  let body = code.c_body in
+  let jumps = code.c_jumps in
+  let n = Array.length body in
+  let arity = List.length code.c_type.results in
+  let st = { values = []; size = 0 } in
+  let labels = ref ([] : label list) in
+  let pc = ref 0 in
+  let result = ref None in
+  (* Take the branch with relative label [k] from the current position. *)
+  let branch k =
+    let rec nth_label k = function
+      | [] -> None
+      | l :: rest -> if k = 0 then Some (l, rest) else nth_label (k - 1) rest
+    in
+    match nth_label k !labels with
+    | None ->
+      (* branching past all labels targets the function itself *)
+      result := Some (pop_n st arity)
+    | Some (l, below) ->
+      if l.l_is_loop then begin
+        (* a loop label has no results in the MVP *)
+        shrink_to st l.l_height;
+        labels := l :: below;
+        pc := l.l_start + 1
+      end
+      else begin
+        let saved = pop_n st l.l_arity in
+        shrink_to st l.l_height;
+        List.iter (push st) saved;
+        labels := below;
+        pc := l.l_end + 1
+      end
+  in
+  let memory () =
+    match inst.inst_memory with
+    | Some m -> m
+    | None -> raise (Value.Trap "no memory")
+  in
+  while !result = None do
+    if !pc >= n then
+      (* implicit end of the function body *)
+      result := Some (pop_n st arity)
+    else begin
+      use_fuel inst;
+      let i = body.(!pc) in
+      (match i with
+       | Nop -> incr pc
+       | Unreachable -> raise (Value.Trap "unreachable executed")
+       | Block bt ->
+         labels :=
+           { l_is_loop = false; l_start = !pc; l_end = jumps.end_of.(!pc);
+             l_height = st.size; l_arity = (match bt with None -> 0 | Some _ -> 1) }
+           :: !labels;
+         incr pc
+       | Loop _ ->
+         labels :=
+           { l_is_loop = true; l_start = !pc; l_end = jumps.end_of.(!pc);
+             l_height = st.size; l_arity = 0 }
+           :: !labels;
+         incr pc
+       | If bt ->
+         let cond = pop_i32 st in
+         let lbl =
+           { l_is_loop = false; l_start = !pc; l_end = jumps.end_of.(!pc);
+             l_height = st.size; l_arity = (match bt with None -> 0 | Some _ -> 1) }
+         in
+         if not (Int32.equal cond 0l) then begin
+           labels := lbl :: !labels;
+           incr pc
+         end
+         else begin
+           let else_pc = jumps.else_of.(!pc) in
+           if else_pc >= 0 then begin
+             labels := lbl :: !labels;
+             pc := else_pc + 1
+           end
+           else
+             (* no else: skip past the End; no label needed *)
+             pc := jumps.end_of.(!pc) + 1
+         end
+       | Else ->
+         (* falling off the then-branch: jump to the matching End *)
+         (match !labels with
+          | l :: _ -> pc := l.l_end
+          | [] -> raise (Value.Trap "else without label (engine bug)"))
+       | End ->
+         (match !labels with
+          | _ :: rest ->
+            labels := rest;
+            incr pc
+          | [] -> raise (Value.Trap "end without label (engine bug)"))
+       | Br k -> branch k
+       | BrIf k ->
+         let cond = pop_i32 st in
+         if Int32.equal cond 0l then incr pc else branch k
+       | BrTable (ls, d) ->
+         let idx32 = pop_i32 st in
+         let idx = Int64.to_int (Int64.logand (Int64.of_int32 idx32) 0xFFFFFFFFL) in
+         let k = if idx < List.length ls then List.nth ls idx else d in
+         branch k
+       | Return -> result := Some (pop_n st arity)
+       | Call fidx ->
+         let callee = inst.inst_funcs.(fidx) in
+         let ft = func_type_of callee in
+         let args = pop_n st (List.length ft.params) in
+         let results = invoke callee args in
+         List.iter (push st) results;
+         incr pc
+       | CallIndirect tidx ->
+         let expected = inst.inst_types.(tidx) in
+         let i = pop_i32 st in
+         let table =
+           match inst.inst_table with
+           | Some t -> t
+           | None -> raise (Value.Trap "no table")
+         in
+         let i = Int64.to_int (Int64.logand (Int64.of_int32 i) 0xFFFFFFFFL) in
+         if i >= Array.length table.t_elems then
+           raise (Value.Trap "undefined element");
+         (match table.t_elems.(i) with
+          | None -> raise (Value.Trap "uninitialized element")
+          | Some callee ->
+            if not (equal_func_type (func_type_of callee) expected) then
+              raise (Value.Trap "indirect call type mismatch");
+            let args = pop_n st (List.length expected.params) in
+            let results = invoke callee args in
+            List.iter (push st) results);
+         incr pc
+       | Drop ->
+         ignore (pop st);
+         incr pc
+       | Select ->
+         let cond = pop_i32 st in
+         let b = pop st in
+         let a = pop st in
+         push st (if Int32.equal cond 0l then b else a);
+         incr pc
+       | LocalGet x ->
+         push st locals.(x);
+         incr pc
+       | LocalSet x ->
+         locals.(x) <- pop st;
+         incr pc
+       | LocalTee x ->
+         (match st.values with
+          | v :: _ -> locals.(x) <- v
+          | [] -> raise (Value.Trap "stack underflow (engine bug)"));
+         incr pc
+       | GlobalGet x ->
+         push st inst.inst_globals.(x).g_value;
+         incr pc
+       | GlobalSet x ->
+         inst.inst_globals.(x).g_value <- pop st;
+         incr pc
+       | Load op ->
+         let addr = pop_i32 st in
+         push st (Memory.load (memory ()) op addr);
+         incr pc
+       | Store op ->
+         let v = pop st in
+         let addr = pop_i32 st in
+         Memory.store (memory ()) op addr v;
+         incr pc
+       | MemorySize ->
+         push st (Value.i32_of_int (Memory.size_pages (memory ())));
+         incr pc
+       | MemoryGrow ->
+         let delta = Int32.to_int (pop_i32 st) in
+         push st (Value.i32_of_int (Memory.grow (memory ()) delta));
+         incr pc
+       | Const v ->
+         push st v;
+         incr pc
+       | Test op ->
+         let v = pop st in
+         push st (Eval_numeric.eval_testop op v);
+         incr pc
+       | Compare op ->
+         let b = pop st in
+         let a = pop st in
+         push st (Eval_numeric.eval_relop op a b);
+         incr pc
+       | Unary op ->
+         let v = pop st in
+         push st (Eval_numeric.eval_unop op v);
+         incr pc
+       | Binary op ->
+         let b = pop st in
+         let a = pop st in
+         push st (Eval_numeric.eval_binop op a b);
+         incr pc
+       | Convert op ->
+         let v = pop st in
+         push st (Eval_numeric.eval_cvtop op v);
+         incr pc)
+    end
+  done;
+  match !result with Some vs -> vs | None -> assert false
+
+(** {1 Instantiation} *)
+
+(** Import resolution: maps (module name, item name) to an extern. *)
+type imports = (string * string * extern) list
+
+let lookup_import (imports : imports) module_name item_name =
+  let rec go = function
+    | [] -> link_error "unknown import %s.%s" module_name item_name
+    | (m, n, ext) :: rest ->
+      if String.equal m module_name && String.equal n item_name then ext else go rest
+  in
+  go imports
+
+let eval_const_expr (globals : global_inst array) = function
+  | [ Const v ] -> v
+  | [ GlobalGet i ] -> globals.(i).g_value
+  | _ -> link_error "unsupported constant expression"
+
+(** Instantiate a module: resolve imports, allocate table/memory/globals,
+    apply element and data segments, and run the start function. The
+    module is assumed to be valid (run {!Validate.validate_module} first). *)
+let instantiate ?(fuel = default_fuel) ~(imports : imports) (m : module_) : instance =
+  let inst =
+    {
+      inst_module = m;
+      inst_types = Array.of_list m.types;
+      inst_funcs = [||];
+      inst_code = [||];
+      inst_table = None;
+      inst_memory = None;
+      inst_globals = [||];
+      inst_exports = [];
+      fuel;
+      steps = 0;
+      call_depth = 0;
+    }
+  in
+  (* imported entities, in import order *)
+  let imp_funcs = ref [] and imp_tables = ref [] and imp_mems = ref [] and imp_globals = ref [] in
+  List.iter
+    (fun imp ->
+       let ext = lookup_import imports imp.module_name imp.item_name in
+       match imp.idesc, ext with
+       | FuncImport ti, Extern_func f ->
+         let expected = List.nth m.types ti in
+         if not (equal_func_type (func_type_of f) expected) then
+           link_error "import %s.%s: function type mismatch (expected %s, got %s)"
+             imp.module_name imp.item_name
+             (string_of_func_type expected)
+             (string_of_func_type (func_type_of f));
+         imp_funcs := f :: !imp_funcs
+       | TableImport _, Extern_table t -> imp_tables := t :: !imp_tables
+       | MemoryImport _, Extern_memory mem -> imp_mems := mem :: !imp_mems
+       | GlobalImport gt, Extern_global g ->
+         if g.g_type <> gt then link_error "import %s.%s: global type mismatch" imp.module_name imp.item_name;
+         imp_globals := g :: !imp_globals
+       | _, _ -> link_error "import %s.%s: kind mismatch" imp.module_name imp.item_name)
+    m.imports;
+  let imp_funcs = List.rev !imp_funcs in
+  let imp_tables = List.rev !imp_tables in
+  let imp_mems = List.rev !imp_mems in
+  let imp_globals = List.rev !imp_globals in
+  (* code for module-defined functions *)
+  inst.inst_code <-
+    Array.of_list
+      (List.map
+         (fun f ->
+            let body = Array.of_list f.body in
+            {
+              c_func = f;
+              c_type = List.nth m.types f.ftype;
+              c_body = body;
+              c_jumps = compute_jumps body;
+            })
+         m.funcs);
+  inst.inst_funcs <-
+    Array.of_list
+      (imp_funcs @ List.mapi (fun i _ -> Wasm_func (i, inst)) m.funcs);
+  (* table *)
+  inst.inst_table <-
+    (match imp_tables, m.tables with
+     | [ t ], [] -> Some t
+     | [], [ tt ] ->
+       Some
+         {
+           t_elems = Array.make tt.tbl_limits.lim_min None;
+           t_max = tt.tbl_limits.lim_max;
+         }
+     | [], [] -> None
+     | _ -> link_error "multiple tables");
+  (* memory *)
+  inst.inst_memory <-
+    (match imp_mems, m.memories with
+     | [ mem ], [] -> Some mem
+     | [], [ mt ] ->
+       Some (Memory.create ~min_pages:mt.mem_limits.lim_min ~max_pages:mt.mem_limits.lim_max)
+     | [], [] -> None
+     | _ -> link_error "multiple memories");
+  (* globals: imported first, then defined (initialisers may only refer to
+     imported globals, which are already available) *)
+  let imported_globals = Array.of_list imp_globals in
+  let defined_globals =
+    List.map
+      (fun g -> { g_type = g.gtype; g_value = eval_const_expr imported_globals g.ginit })
+      m.globals
+  in
+  inst.inst_globals <- Array.append imported_globals (Array.of_list defined_globals);
+  (* element segments *)
+  List.iter
+    (fun e ->
+       let table =
+         match inst.inst_table with
+         | Some t -> t
+         | None -> link_error "element segment without table"
+       in
+       let offset = Int32.to_int (Value.as_i32 (eval_const_expr imported_globals e.eoffset)) in
+       if offset < 0 || offset + List.length e.einit > Array.length table.t_elems then
+         link_error "element segment out of bounds";
+       List.iteri
+         (fun i fidx -> table.t_elems.(offset + i) <- Some inst.inst_funcs.(fidx))
+         e.einit)
+    m.elems;
+  (* data segments *)
+  List.iter
+    (fun d ->
+       let mem =
+         match inst.inst_memory with
+         | Some mem -> mem
+         | None -> link_error "data segment without memory"
+       in
+       let offset = Int32.to_int (Value.as_i32 (eval_const_expr imported_globals d.doffset)) in
+       (try Memory.store_string mem ~at:offset d.dinit
+        with Value.Trap _ -> link_error "data segment out of bounds"))
+    m.datas;
+  inst.inst_exports <-
+    List.map
+      (fun e ->
+         let ext =
+           match e.edesc with
+           | FuncExport i -> Extern_func inst.inst_funcs.(i)
+           | TableExport _ -> Extern_table (Option.get inst.inst_table)
+           | MemoryExport _ -> Extern_memory (Option.get inst.inst_memory)
+           | GlobalExport i -> Extern_global inst.inst_globals.(i)
+         in
+         (e.name, ext))
+      m.exports;
+  (match m.start with
+   | None -> ()
+   | Some f -> ignore (invoke inst.inst_funcs.(f) []));
+  inst
+
+(** {1 Convenience API} *)
+
+let export inst name =
+  match List.assoc_opt name inst.inst_exports with
+  | Some ext -> ext
+  | None -> link_error "unknown export %S" name
+
+let export_func inst name =
+  match export inst name with
+  | Extern_func f -> f
+  | _ -> link_error "export %S is not a function" name
+
+let export_memory inst name =
+  match export inst name with
+  | Extern_memory m -> m
+  | _ -> link_error "export %S is not a memory" name
+
+let export_global inst name =
+  match export inst name with
+  | Extern_global g -> g
+  | _ -> link_error "export %S is not a global" name
+
+(** Call an exported function by name. *)
+let invoke_export inst name args = invoke (export_func inst name) args
+
+(** Wrap an OCaml function as an importable host function. *)
+let host_func ~name ~params ~results fn =
+  Extern_func (Host_func { h_type = { params; results }; h_name = name; h_fn = fn })

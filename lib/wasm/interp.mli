@@ -1,0 +1,99 @@
+(** A complete interpreter for WebAssembly modules (MVP): instantiation
+    with import resolution, a stack-machine execution engine over the flat
+    instruction representation, host functions, and a fuel mechanism.
+
+    Traps raise [Value.Trap]. *)
+
+exception Exhaustion of string
+(** Raised when the configured fuel (instruction budget) runs out. *)
+
+exception Link_error of string
+(** Raised during instantiation: missing or mismatching imports, failing
+    segment bounds, ... *)
+
+type func_inst =
+  | Wasm_func of int * instance  (** index into [inst_code], owning instance *)
+  | Host_func of host_func
+
+and host_func = {
+  h_type : Types.func_type;
+  h_name : string;
+  h_fn : Value.t list -> Value.t list;
+}
+
+and table_inst = {
+  mutable t_elems : func_inst option array;
+  t_max : int option;
+}
+
+and global_inst = {
+  g_type : Types.global_type;
+  mutable g_value : Value.t;
+}
+
+and extern =
+  | Extern_func of func_inst
+  | Extern_table of table_inst
+  | Extern_memory of Memory.t
+  | Extern_global of global_inst
+
+(** Pre-computed jump targets of one function body. *)
+and jump_info = {
+  end_of : int array;  (** for Block/Loop/If at pc, index of the matching End *)
+  else_of : int array;  (** for If at pc, index of the Else, or -1 *)
+}
+
+and code = {
+  c_func : Ast.func;
+  c_type : Types.func_type;
+  c_body : Ast.instr array;
+  c_jumps : jump_info;
+}
+
+and instance = {
+  inst_module : Ast.module_;
+  inst_types : Types.func_type array;
+  mutable inst_funcs : func_inst array;
+  mutable inst_code : code array;
+  mutable inst_table : table_inst option;
+  mutable inst_memory : Memory.t option;
+  mutable inst_globals : global_inst array;
+  mutable inst_exports : (string * extern) list;
+  mutable fuel : int;
+  mutable steps : int;  (** total instructions executed *)
+  mutable call_depth : int;
+}
+
+val max_call_depth : int
+(** Calls deeper than this trap with "call stack exhausted". *)
+
+val func_type_of : func_inst -> Types.func_type
+
+val compute_jumps : Ast.instr array -> jump_info
+(** Matching [End]/[Else] indices for every structured instruction; also
+    used by the instrumenter's control stack. *)
+
+type imports = (string * string * extern) list
+(** (module name, item name, provided entity). *)
+
+val default_fuel : int
+
+val instantiate : ?fuel:int -> imports:imports -> Ast.module_ -> instance
+(** Resolve imports, allocate table/memory/globals, apply element and data
+    segments, run the start function. The module must be valid.
+    @raise Link_error on unresolvable or mismatching imports. *)
+
+val invoke : func_inst -> Value.t list -> Value.t list
+val export : instance -> string -> extern
+val export_func : instance -> string -> func_inst
+val export_memory : instance -> string -> Memory.t
+val export_global : instance -> string -> global_inst
+val invoke_export : instance -> string -> Value.t list -> Value.t list
+
+val host_func :
+  name:string ->
+  params:Types.value_type list ->
+  results:Types.value_type list ->
+  (Value.t list -> Value.t list) ->
+  extern
+(** Wrap an OCaml function as an importable host function. *)

@@ -1,0 +1,105 @@
+(** LEB128 variable-length integer encoding, as used throughout the
+    WebAssembly binary format (and DWARF). *)
+
+exception Overflow of string
+
+(** {1 Encoding} *)
+
+(** Append an unsigned LEB128 encoding of [x] (interpreted as unsigned
+    64-bit) to [buf]. *)
+let write_u64 buf (x : int64) =
+  let rec go x =
+    let byte = Int64.to_int (Int64.logand x 0x7FL) in
+    let rest = Int64.shift_right_logical x 7 in
+    if Int64.equal rest 0L then Buffer.add_char buf (Char.chr byte)
+    else begin
+      Buffer.add_char buf (Char.chr (byte lor 0x80));
+      go rest
+    end
+  in
+  go x
+
+let write_u32 buf (x : int32) = write_u64 buf (Int64.logand (Int64.of_int32 x) 0xFFFFFFFFL)
+
+(** Append an unsigned encoding of a non-negative OCaml int (indices,
+    counts, sizes). *)
+let write_uint buf (x : int) =
+  if x < 0 then invalid_arg "Leb128.write_uint: negative";
+  write_u64 buf (Int64.of_int x)
+
+(** Append a signed LEB128 encoding of [x]. *)
+let write_s64 buf (x : int64) =
+  let rec go x =
+    let byte = Int64.to_int (Int64.logand x 0x7FL) in
+    let rest = Int64.shift_right x 7 in
+    let sign_clear = byte land 0x40 = 0 in
+    if (Int64.equal rest 0L && sign_clear) || (Int64.equal rest (-1L) && not sign_clear) then
+      Buffer.add_char buf (Char.chr byte)
+    else begin
+      Buffer.add_char buf (Char.chr (byte lor 0x80));
+      go rest
+    end
+  in
+  go x
+
+let write_s32 buf (x : int32) = write_s64 buf (Int64.of_int32 x)
+
+(** {1 Decoding}
+
+    Decoders read from a [string] at a mutable position reference and
+    return the decoded value. They raise {!Overflow} on encodings that are
+    too long or that do not fit the requested width, and [Invalid_argument]
+    on truncated input. *)
+
+let byte_at s pos =
+  if !pos >= String.length s then invalid_arg "Leb128: unexpected end of input";
+  let b = Char.code s.[!pos] in
+  incr pos;
+  b
+
+let read_u64 s pos : int64 =
+  let rec go shift acc =
+    if shift >= 64 then raise (Overflow "u64 LEB128 too long");
+    let b = byte_at s pos in
+    let acc = Int64.logor acc (Int64.shift_left (Int64.of_int (b land 0x7F)) shift) in
+    if b land 0x80 = 0 then acc else go (shift + 7) acc
+  in
+  go 0 0L
+
+let read_u32 s pos : int32 =
+  let v = read_u64 s pos in
+  if Int64.unsigned_compare v 0xFFFFFFFFL > 0 then raise (Overflow "u32 LEB128 out of range");
+  Int64.to_int32 v
+
+(** Read an unsigned integer that must fit a non-negative OCaml int. *)
+let read_uint s pos : int =
+  let v = read_u64 s pos in
+  if Int64.compare v 0L < 0 || Int64.compare v (Int64.of_int max_int) > 0 then
+    raise (Overflow "uint LEB128 out of range");
+  Int64.to_int v
+
+let read_s64 s pos : int64 =
+  let rec go shift acc =
+    if shift >= 70 then raise (Overflow "s64 LEB128 too long");
+    let b = byte_at s pos in
+    let acc = Int64.logor acc (Int64.shift_left (Int64.of_int (b land 0x7F)) shift) in
+    if b land 0x80 = 0 then
+      let shift = shift + 7 in
+      if shift < 64 && b land 0x40 <> 0 then
+        Int64.logor acc (Int64.shift_left (-1L) shift)
+      else acc
+    else go (shift + 7) acc
+  in
+  go 0 0L
+
+let read_s32 s pos : int32 =
+  let v = read_s64 s pos in
+  if Int64.compare v (Int64.of_int32 Int32.max_int) > 0
+  || Int64.compare v (Int64.of_int32 Int32.min_int) < 0 then
+    raise (Overflow "s32 LEB128 out of range");
+  Int64.to_int32 v
+
+(** Number of bytes an unsigned encoding of [x] occupies. *)
+let uint_size (x : int) =
+  let rec go n x = if x < 0x80 then n else go (n + 1) (x lsr 7) in
+  go 1 x

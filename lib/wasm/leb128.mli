@@ -1,0 +1,37 @@
+(** LEB128 variable-length integer encoding, as used throughout the
+    WebAssembly binary format. *)
+
+exception Overflow of string
+(** Raised by decoders on encodings that are too long or out of range for
+    the requested width. *)
+
+(** {1 Encoding} *)
+
+val write_u64 : Buffer.t -> int64 -> unit
+(** Append the unsigned encoding of a 64-bit value (interpreted as
+    unsigned). *)
+
+val write_u32 : Buffer.t -> int32 -> unit
+val write_uint : Buffer.t -> int -> unit
+(** Unsigned encoding of a non-negative OCaml int (indices, counts).
+    @raise Invalid_argument on negative input. *)
+
+val write_s64 : Buffer.t -> int64 -> unit
+(** Append the signed (two's complement) encoding. *)
+
+val write_s32 : Buffer.t -> int32 -> unit
+
+(** {1 Decoding}
+
+    All decoders read from [s] at the mutable position [pos], advancing it
+    past the consumed bytes. They raise {!Overflow} on malformed or
+    out-of-range encodings and [Invalid_argument] on truncated input. *)
+
+val read_u64 : string -> int ref -> int64
+val read_u32 : string -> int ref -> int32
+val read_uint : string -> int ref -> int
+val read_s64 : string -> int ref -> int64
+val read_s32 : string -> int ref -> int32
+
+val uint_size : int -> int
+(** Number of bytes the unsigned encoding of a value occupies. *)

@@ -1,0 +1,120 @@
+(** Linear memory: a growable byte array addressed in little-endian order,
+    sized in 64 KiB pages. All accesses are bounds-checked and trap with
+    the spec's "out of bounds memory access" message. *)
+
+type t = {
+  mutable data : bytes;
+  max_pages : int option;
+}
+
+let page_size = Types.page_size
+
+(** Hard limit of the 32-bit address space: 65536 pages. *)
+let absolute_max_pages = 65536
+
+let create ~min_pages ~max_pages =
+  if min_pages < 0 || min_pages > absolute_max_pages then
+    invalid_arg "Memory.create: invalid size";
+  { data = Bytes.make (min_pages * page_size) '\x00'; max_pages }
+
+let size_pages t = Bytes.length t.data / page_size
+let size_bytes t = Bytes.length t.data
+
+(** Grow by [delta] pages. Returns the previous size in pages, or [-1] if
+    growing would exceed the maximum (the Wasm failure convention). *)
+let grow t delta =
+  if delta < 0 then -1
+  else
+    let old_pages = size_pages t in
+    let new_pages = old_pages + delta in
+    let limit = match t.max_pages with Some m -> min m absolute_max_pages | None -> absolute_max_pages in
+    if new_pages > limit then -1
+    else begin
+      let data = Bytes.make (new_pages * page_size) '\x00' in
+      Bytes.blit t.data 0 data 0 (Bytes.length t.data);
+      t.data <- data;
+      old_pages
+    end
+
+let out_of_bounds () = raise (Value.Trap "out of bounds memory access")
+
+(** Effective address of an access: unsigned i32 base plus static offset,
+    checked against the memory size for [width] bytes. *)
+let effective_address t (base : int32) (offset : int) (width : int) : int =
+  let ea = Int64.add (Int64.logand (Int64.of_int32 base) 0xFFFFFFFFL) (Int64.of_int offset) in
+  if Int64.compare ea 0L < 0
+  || Int64.compare (Int64.add ea (Int64.of_int width)) (Int64.of_int (size_bytes t)) > 0
+  then out_of_bounds ()
+  else Int64.to_int ea
+
+let load_bytes t addr offset width : int64 =
+  let ea = effective_address t addr offset width in
+  let v = ref 0L in
+  for i = width - 1 downto 0 do
+    v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int (Char.code (Bytes.get t.data (ea + i))))
+  done;
+  !v
+
+let store_bytes t addr offset width (v : int64) =
+  let ea = effective_address t addr offset width in
+  for i = 0 to width - 1 do
+    Bytes.set t.data (ea + i)
+      (Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical v (8 * i)) 0xFFL)))
+  done
+
+let sign_extend v bits =
+  let shift = 64 - bits in
+  Int64.shift_right (Int64.shift_left v shift) shift
+
+(** Execute a load instruction: [addr] is the dynamic base address. *)
+let load t (op : Ast.loadop) (addr : int32) : Value.t =
+  let open Ast in
+  let raw width = load_bytes t addr op.loffset width in
+  match op.lty, op.lpack with
+  | Types.I32T, None -> Value.I32 (Int64.to_int32 (raw 4))
+  | Types.I64T, None -> Value.I64 (raw 8)
+  | Types.F32T, None -> Value.F32 (Int64.to_int32 (raw 4))
+  | Types.F64T, None -> Value.F64 (Int64.float_of_bits (raw 8))
+  | Types.I32T, Some (Pack8, SX) -> Value.I32 (Int64.to_int32 (sign_extend (raw 1) 8))
+  | Types.I32T, Some (Pack8, ZX) -> Value.I32 (Int64.to_int32 (raw 1))
+  | Types.I32T, Some (Pack16, SX) -> Value.I32 (Int64.to_int32 (sign_extend (raw 2) 16))
+  | Types.I32T, Some (Pack16, ZX) -> Value.I32 (Int64.to_int32 (raw 2))
+  | Types.I64T, Some (Pack8, SX) -> Value.I64 (sign_extend (raw 1) 8)
+  | Types.I64T, Some (Pack8, ZX) -> Value.I64 (raw 1)
+  | Types.I64T, Some (Pack16, SX) -> Value.I64 (sign_extend (raw 2) 16)
+  | Types.I64T, Some (Pack16, ZX) -> Value.I64 (raw 2)
+  | Types.I64T, Some (Pack32, SX) -> Value.I64 (sign_extend (raw 4) 32)
+  | Types.I64T, Some (Pack32, ZX) -> Value.I64 (raw 4)
+  | _ -> invalid_arg "Memory.load: invalid load operator"
+
+(** Execute a store instruction. *)
+let store t (op : Ast.storeop) (addr : int32) (v : Value.t) =
+  let open Ast in
+  let bits64 =
+    match v with
+    | Value.I32 x -> Int64.logand (Int64.of_int32 x) 0xFFFFFFFFL
+    | Value.I64 x -> x
+    | Value.F32 b -> Int64.logand (Int64.of_int32 b) 0xFFFFFFFFL
+    | Value.F64 f -> Int64.bits_of_float f
+  in
+  let width =
+    match op.spack with
+    | None -> Types.byte_width op.sty
+    | Some Pack8 -> 1
+    | Some Pack16 -> 2
+    | Some Pack32 -> 4
+  in
+  store_bytes t addr op.soffset width bits64
+
+(** Raw byte access, for data segment initialisation and tests. *)
+let store_string t ~(at : int) (s : string) =
+  if at < 0 || at + String.length s > size_bytes t then out_of_bounds ();
+  Bytes.blit_string s 0 t.data at (String.length s)
+
+let read_byte t at =
+  if at < 0 || at >= size_bytes t then out_of_bounds ();
+  Char.code (Bytes.get t.data at)
+
+let to_string t ~at ~len =
+  if at < 0 || at + len > size_bytes t then out_of_bounds ();
+  Bytes.sub_string t.data at len

@@ -1,0 +1,34 @@
+(** Linear memory: a growable little-endian byte array sized in 64 KiB
+    pages. All accesses are bounds checked and raise [Value.Trap] on
+    failure. *)
+
+type t
+
+val page_size : int
+val absolute_max_pages : int
+(** 65536 — the 32-bit address space limit. *)
+
+val create : min_pages:int -> max_pages:int option -> t
+val size_pages : t -> int
+val size_bytes : t -> int
+
+val grow : t -> int -> int
+(** [grow t delta] grows by [delta] pages; returns the previous size in
+    pages, or [-1] if the maximum would be exceeded (the Wasm failure
+    convention). *)
+
+val effective_address : t -> int32 -> int -> int -> int
+(** [effective_address t base offset width]: unsigned base plus static
+    offset, checked for a [width]-byte access. @raise Value.Trap when out
+    of bounds. *)
+
+val load : t -> Ast.loadop -> int32 -> Value.t
+(** Execute a load at the dynamic base address. *)
+
+val store : t -> Ast.storeop -> int32 -> Value.t -> unit
+
+val store_string : t -> at:int -> string -> unit
+(** Raw byte write (data segments, tests). *)
+
+val read_byte : t -> int -> int
+val to_string : t -> at:int -> len:int -> string

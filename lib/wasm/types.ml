@@ -1,0 +1,70 @@
+(** WebAssembly types (MVP).
+
+    The four primitive value types, function types, and the types of module
+    entities (tables, memories, globals). Corresponds to the "Types" section
+    of the Mini-Wasm grammar in the paper (Figure 3). *)
+
+type num_type =
+  | I32T
+  | I64T
+  | F32T
+  | F64T
+
+(** In the MVP, value types are exactly the numeric types. *)
+type value_type = num_type
+
+(** Integer width, used to index integer operators. *)
+type isize = S32 | S64
+
+(** Float width, used to index float operators. *)
+type fsize = SF32 | SF64
+
+let num_type_of_isize = function S32 -> I32T | S64 -> I64T
+let num_type_of_fsize = function SF32 -> F32T | SF64 -> F64T
+
+type func_type = {
+  params : value_type list;
+  results : value_type list;
+}
+
+type limits = {
+  lim_min : int;
+  lim_max : int option;
+}
+
+type mutability = Immutable | Mutable
+
+type global_type = {
+  content : value_type;
+  mutability : mutability;
+}
+
+(** MVP tables always hold function references. *)
+type table_type = { tbl_limits : limits }
+
+type memory_type = { mem_limits : limits }
+
+let func_type params results = { params; results }
+
+let string_of_num_type = function
+  | I32T -> "i32"
+  | I64T -> "i64"
+  | F32T -> "f32"
+  | F64T -> "f64"
+
+let string_of_value_type = string_of_num_type
+
+let string_of_func_type { params; results } =
+  let tys l = String.concat " " (List.map string_of_value_type l) in
+  Printf.sprintf "[%s] -> [%s]" (tys params) (tys results)
+
+let equal_func_type (a : func_type) (b : func_type) =
+  a.params = b.params && a.results = b.results
+
+(** Size in bytes of a value of the given type. *)
+let byte_width = function
+  | I32T | F32T -> 4
+  | I64T | F64T -> 8
+
+(** The Wasm page size: 64 KiB. *)
+let page_size = 65536

@@ -1,0 +1,54 @@
+(** WebAssembly types (MVP): the four primitive value types, function
+    types, and the types of module entities. *)
+
+type num_type =
+  | I32T
+  | I64T
+  | F32T
+  | F64T
+
+type value_type = num_type
+(** In the MVP, value types are exactly the numeric types. *)
+
+(** Integer width, used to index integer operators. *)
+type isize = S32 | S64
+
+(** Float width, used to index float operators. *)
+type fsize = SF32 | SF64
+
+val num_type_of_isize : isize -> num_type
+val num_type_of_fsize : fsize -> num_type
+
+type func_type = {
+  params : value_type list;
+  results : value_type list;
+}
+
+type limits = {
+  lim_min : int;
+  lim_max : int option;
+}
+
+type mutability = Immutable | Mutable
+
+type global_type = {
+  content : value_type;
+  mutability : mutability;
+}
+
+type table_type = { tbl_limits : limits }
+(** MVP tables always hold function references. *)
+
+type memory_type = { mem_limits : limits }
+
+val func_type : value_type list -> value_type list -> func_type
+val string_of_num_type : num_type -> string
+val string_of_value_type : value_type -> string
+val string_of_func_type : func_type -> string
+val equal_func_type : func_type -> func_type -> bool
+
+val byte_width : value_type -> int
+(** Size in bytes of a value of the given type. *)
+
+val page_size : int
+(** The Wasm page size: 64 KiB. *)

@@ -1,0 +1,495 @@
+(** Validation (type checking) of WebAssembly modules.
+
+    The per-function algorithm follows the specification's validation
+    appendix: an abstract value stack of known/unknown types plus a stack
+    of control frames. The incremental {!Stack_tracker} is exposed
+    separately because Wasabi's instrumenter drives it instruction by
+    instruction to determine the concrete types of polymorphic
+    instructions (paper, Section 2.4.3). *)
+
+open Types
+open Ast
+
+exception Invalid of string
+
+let error fmt = Printf.ksprintf (fun s -> raise (Invalid s)) fmt
+
+(** An abstract stack slot: a known value type, or unknown (below an
+    unconditional branch, the stack is polymorphic). *)
+type vknown = Known of value_type | Unknown
+
+let string_of_vknown = function
+  | Known t -> string_of_value_type t
+  | Unknown -> "?"
+
+type frame_kind = Kfunc | Kblock | Kloop | Kif | Kelse
+
+let string_of_frame_kind = function
+  | Kfunc -> "function"
+  | Kblock -> "block"
+  | Kloop -> "loop"
+  | Kif -> "if"
+  | Kelse -> "else"
+
+type frame = {
+  kind : frame_kind;
+  bt : block_type;  (** result type of the block *)
+  height : int;  (** value stack height at block entry *)
+  mutable dead : bool;  (** code after an unconditional branch *)
+}
+
+let results_of_block_type = function
+  | None -> []
+  | Some t -> [ t ]
+
+(** Pre-computed per-module lookup tables, shared across the per-function
+    trackers; avoids quadratic list lookups on large modules. *)
+module Module_ctx = struct
+  type t = {
+    types : func_type array;
+    func_types : func_type array;  (** whole function index space *)
+    global_types : global_type array;  (** whole global index space *)
+    has_memory : bool;
+    has_table : bool;
+  }
+
+  let create (m : module_) : t =
+    let imported_func_types =
+      List.filter_map
+        (fun i -> match i.idesc with FuncImport ti -> Some (List.nth m.types ti) | _ -> None)
+        m.imports
+    in
+    let types = Array.of_list m.types in
+    let defined_func_types = List.map (fun f -> types.(f.ftype)) m.funcs in
+    let imported_global_types =
+      List.filter_map
+        (fun i -> match i.idesc with GlobalImport gt -> Some gt | _ -> None)
+        m.imports
+    in
+    let defined_global_types = List.map (fun g -> g.gtype) m.globals in
+    {
+      types;
+      func_types = Array.of_list (imported_func_types @ defined_func_types);
+      global_types = Array.of_list (imported_global_types @ defined_global_types);
+      has_memory = num_imported_memories m + List.length m.memories > 0;
+      has_table = num_imported_tables m + List.length m.tables > 0;
+    }
+end
+
+module Stack_tracker = struct
+  type t = {
+    ctx : Module_ctx.t;
+    locals : value_type array;
+    results : value_type list;
+    mutable vals : vknown list;  (** head is the stack top *)
+    mutable nvals : int;
+    mutable ctrls : frame list;  (** head is the innermost frame *)
+  }
+
+  (** Tracker for one function, given a pre-built module context. *)
+  let create_in (ctx : Module_ctx.t) (f : func) =
+    if f.ftype < 0 || f.ftype >= Array.length ctx.Module_ctx.types then
+      error "function type index %d out of range" f.ftype;
+    let ft = ctx.Module_ctx.types.(f.ftype) in
+    let bt =
+      match ft.results with
+      | [] -> None
+      | [ t ] -> Some t
+      | _ -> error "multiple results not supported in the MVP"
+    in
+    {
+      ctx;
+      locals = Array.of_list (ft.params @ f.locals);
+      results = ft.results;
+      vals = [];
+      nvals = 0;
+      ctrls = [ { kind = Kfunc; bt; height = 0; dead = false } ];
+    }
+
+  let create (m : module_) (f : func) = create_in (Module_ctx.create m) f
+
+  let cur_frame t =
+    match t.ctrls with
+    | [] -> error "control stack underflow"
+    | f :: _ -> f
+
+  let frame_at t n =
+    match List.nth_opt t.ctrls n with
+    | Some f -> f
+    | None -> error "branch label %d out of range" n
+
+  (** Depth of the control stack (the function frame counts as 1). *)
+  let depth t = List.length t.ctrls
+
+  (** True when the current position is unreachable (dead code). *)
+  let in_dead_code t = (cur_frame t).dead
+
+  let push t vt =
+    t.vals <- Known vt :: t.vals;
+    t.nvals <- t.nvals + 1
+
+  let push_vk t vk =
+    t.vals <- vk :: t.vals;
+    t.nvals <- t.nvals + 1
+
+  let pop_any t =
+    let f = cur_frame t in
+    if t.nvals = f.height then
+      if f.dead then Unknown else error "value stack underflow"
+    else
+      match t.vals with
+      | v :: rest ->
+        t.vals <- rest;
+        t.nvals <- t.nvals - 1;
+        v
+      | [] -> error "value stack underflow"
+
+  let pop_expect t vt =
+    match pop_any t with
+    | Unknown -> ()
+    | Known vt' ->
+      if vt' <> vt then
+        error "type mismatch: expected %s, found %s" (string_of_value_type vt)
+          (string_of_value_type vt')
+
+  (** Pop the types of a result list (given in stack order, last pushed on
+      top). *)
+  let pop_list t tys = List.iter (pop_expect t) (List.rev tys)
+
+  (** Peek at the [n]-th slot from the top without popping ([n = 0] is the
+      top). Returns [Unknown] when the slot is below the current frame in
+      dead code. *)
+  let peek t n =
+    let f = cur_frame t in
+    if t.nvals - n <= f.height then
+      if f.dead then Unknown else error "value stack underflow"
+    else
+      match List.nth_opt t.vals n with
+      | Some v -> v
+      | None -> error "value stack underflow"
+
+  let mark_dead t =
+    let f = cur_frame t in
+    (* truncate the stack to the frame height *)
+    let rec drop k vs = if k = 0 then vs else drop (k - 1) (List.tl vs) in
+    t.vals <- drop (t.nvals - f.height) t.vals;
+    t.nvals <- f.height;
+    f.dead <- true
+
+  let push_frame t kind bt =
+    t.ctrls <- { kind; bt; height = t.nvals; dead = false } :: t.ctrls
+
+  let pop_frame t =
+    let f = cur_frame t in
+    pop_list t (results_of_block_type f.bt);
+    if t.nvals <> f.height then
+      error "%d superfluous value(s) at end of %s" (t.nvals - f.height)
+        (string_of_frame_kind f.kind);
+    t.ctrls <- List.tl t.ctrls;
+    f
+
+  (** Result types a branch to frame [f] must provide: a loop branches to
+      the loop header (no block parameters in the MVP), anything else to
+      the instruction after the block. *)
+  let label_types (f : frame) =
+    match f.kind with
+    | Kloop -> []
+    | Kfunc | Kblock | Kif | Kelse -> results_of_block_type f.bt
+
+  let local_type t i =
+    if i < 0 || i >= Array.length t.locals then error "local index %d out of range" i;
+    t.locals.(i)
+
+  let global_type t i =
+    if i < 0 || i >= Array.length t.ctx.Module_ctx.global_types then
+      error "global index %d out of range" i
+    else t.ctx.Module_ctx.global_types.(i)
+
+  let func_type t i =
+    if i < 0 || i >= Array.length t.ctx.Module_ctx.func_types then
+      error "function index %d out of range" i
+    else t.ctx.Module_ctx.func_types.(i)
+
+  (** Entry [i] of the module's type section. *)
+  let type_at t i =
+    if i < 0 || i >= Array.length t.ctx.Module_ctx.types then
+      error "type index %d out of range" i
+    else t.ctx.Module_ctx.types.(i)
+
+  (** Result types of the function being checked. *)
+  let results t = t.results
+
+  let check_memory t = if not t.ctx.Module_ctx.has_memory then error "no memory defined"
+  let check_table t = if not t.ctx.Module_ctx.has_table then error "no table defined"
+
+  let check_align align width =
+    if align < 0 || 1 lsl align > width then error "invalid alignment %d" align
+
+  let cvt_types = function
+    | I32WrapI64 -> (I64T, I32T)
+    | I32TruncF32S | I32TruncF32U -> (F32T, I32T)
+    | I32TruncF64S | I32TruncF64U -> (F64T, I32T)
+    | I64ExtendI32S | I64ExtendI32U -> (I32T, I64T)
+    | I64TruncF32S | I64TruncF32U -> (F32T, I64T)
+    | I64TruncF64S | I64TruncF64U -> (F64T, I64T)
+    | F32ConvertI32S | F32ConvertI32U -> (I32T, F32T)
+    | F32ConvertI64S | F32ConvertI64U -> (I64T, F32T)
+    | F32DemoteF64 -> (F64T, F32T)
+    | F64ConvertI32S | F64ConvertI32U -> (I32T, F64T)
+    | F64ConvertI64S | F64ConvertI64U -> (I64T, F64T)
+    | F64PromoteF32 -> (F32T, F64T)
+    | I32ReinterpretF32 -> (F32T, I32T)
+    | I64ReinterpretF64 -> (F64T, I64T)
+    | F32ReinterpretI32 -> (I32T, F32T)
+    | F64ReinterpretI64 -> (I64T, F64T)
+    | I32TruncSatF32S | I32TruncSatF32U -> (F32T, I32T)
+    | I32TruncSatF64S | I32TruncSatF64U -> (F64T, I32T)
+    | I64TruncSatF32S | I64TruncSatF32U -> (F32T, I64T)
+    | I64TruncSatF64S | I64TruncSatF64U -> (F64T, I64T)
+
+  (** Type-check one instruction and update the abstract stacks. *)
+  let step t (instr : instr) =
+    match instr with
+    | Nop -> ()
+    | Unreachable -> mark_dead t
+    | Block bt -> push_frame t Kblock bt
+    | Loop bt -> push_frame t Kloop bt
+    | If bt ->
+      pop_expect t I32T;
+      push_frame t Kif bt
+    | Else ->
+      let f = cur_frame t in
+      if f.kind <> Kif then error "else without matching if";
+      pop_list t (results_of_block_type f.bt);
+      if t.nvals <> f.height then error "superfluous values before else";
+      t.ctrls <- { f with kind = Kelse; dead = false } :: List.tl t.ctrls
+    | End ->
+      let f = pop_frame t in
+      if f.kind = Kif && f.bt <> None then
+        error "if without else cannot produce a result";
+      if f.kind = Kfunc then error "unbalanced end"
+      else List.iter (push t) (results_of_block_type f.bt)
+    | Br n ->
+      let f = frame_at t n in
+      pop_list t (label_types f);
+      mark_dead t
+    | BrIf n ->
+      pop_expect t I32T;
+      let f = frame_at t n in
+      let tys = label_types f in
+      pop_list t tys;
+      List.iter (push t) tys
+    | BrTable (ls, d) ->
+      pop_expect t I32T;
+      let fd = frame_at t d in
+      let tys = label_types fd in
+      List.iter
+        (fun l ->
+           let f = frame_at t l in
+           if label_types f <> tys then error "br_table label types differ")
+        ls;
+      pop_list t tys;
+      mark_dead t
+    | Return ->
+      pop_list t t.results;
+      mark_dead t
+    | Call fidx ->
+      let ft = func_type t fidx in
+      pop_list t ft.params;
+      List.iter (push t) ft.results
+    | CallIndirect tidx ->
+      check_table t;
+      let ft = type_at t tidx in
+      pop_expect t I32T;
+      pop_list t ft.params;
+      List.iter (push t) ft.results
+    | Drop -> ignore (pop_any t)
+    | Select ->
+      pop_expect t I32T;
+      let a = pop_any t in
+      let b = pop_any t in
+      (match a, b with
+       | Known x, Known y when x <> y ->
+         error "select operands disagree: %s vs %s" (string_of_value_type x)
+           (string_of_value_type y)
+       | Known x, _ | _, Known x -> push t x
+       | Unknown, Unknown -> push_vk t Unknown)
+    | LocalGet i -> push t (local_type t i)
+    | LocalSet i -> pop_expect t (local_type t i)
+    | LocalTee i ->
+      let ty = local_type t i in
+      pop_expect t ty;
+      push t ty
+    | GlobalGet i -> push t (global_type t i).content
+    | GlobalSet i ->
+      let gt = global_type t i in
+      if gt.mutability = Immutable then error "global %d is immutable" i;
+      pop_expect t gt.content
+    | Load op ->
+      check_memory t;
+      let width = match op.lpack with
+        | None -> byte_width op.lty
+        | Some (Pack8, _) -> 1
+        | Some (Pack16, _) -> 2
+        | Some (Pack32, _) -> 4
+      in
+      check_align op.lalign width;
+      pop_expect t I32T;
+      push t op.lty
+    | Store op ->
+      check_memory t;
+      let width = match op.spack with
+        | None -> byte_width op.sty
+        | Some Pack8 -> 1
+        | Some Pack16 -> 2
+        | Some Pack32 -> 4
+      in
+      check_align op.salign width;
+      pop_expect t op.sty;
+      pop_expect t I32T
+    | MemorySize ->
+      check_memory t;
+      push t I32T
+    | MemoryGrow ->
+      check_memory t;
+      pop_expect t I32T;
+      push t I32T
+    | Const v -> push t (Value.type_of v)
+    | Test (IEqz sz) ->
+      pop_expect t (num_type_of_isize sz);
+      push t I32T
+    | Compare (IRel (sz, _)) ->
+      let ty = num_type_of_isize sz in
+      pop_expect t ty;
+      pop_expect t ty;
+      push t I32T
+    | Compare (FRel (sz, _)) ->
+      let ty = num_type_of_fsize sz in
+      pop_expect t ty;
+      pop_expect t ty;
+      push t I32T
+    | Unary (IUn (sz, op)) ->
+      if op = Ext32S && sz = S32 then error "i32.extend32_s does not exist";
+      let ty = num_type_of_isize sz in
+      pop_expect t ty;
+      push t ty
+    | Unary (FUn (sz, _)) ->
+      let ty = num_type_of_fsize sz in
+      pop_expect t ty;
+      push t ty
+    | Binary (IBin (sz, _)) ->
+      let ty = num_type_of_isize sz in
+      pop_expect t ty;
+      pop_expect t ty;
+      push t ty
+    | Binary (FBin (sz, _)) ->
+      let ty = num_type_of_fsize sz in
+      pop_expect t ty;
+      pop_expect t ty;
+      push t ty
+    | Convert op ->
+      let from_ty, to_ty = cvt_types op in
+      pop_expect t from_ty;
+      push t to_ty
+
+  (** Check the implicit end of the function body (our flat representation
+      does not include the function's closing [End]). *)
+  let finish t =
+    (match t.ctrls with
+     | [ f ] when f.kind = Kfunc ->
+       pop_list t t.results;
+       if t.nvals <> 0 then error "superfluous values at end of function"
+     | _ -> error "unclosed block at end of function")
+end
+
+(** Check that an initializer is a constant expression of type [expected].
+    MVP constant expressions: a single [Const] or a [GlobalGet] of an
+    imported immutable global. *)
+let check_const_expr (m : module_) (expected : value_type) = function
+  | [ Const v ] ->
+    if Value.type_of v <> expected then
+      error "constant expression has type %s, expected %s"
+        (string_of_value_type (Value.type_of v))
+        (string_of_value_type expected)
+  | [ GlobalGet i ] ->
+    if i >= num_imported_globals m then
+      error "init expression may only refer to imported globals";
+    let gt = global_type_at m i in
+    if gt.mutability <> Immutable then error "init global must be immutable";
+    if gt.content <> expected then error "init global type mismatch"
+  | _ -> error "unsupported constant expression"
+
+let check_limits { lim_min; lim_max } ~range =
+  if lim_min < 0 then error "negative limits minimum";
+  (match lim_max with
+   | Some max when max < lim_min -> error "limits maximum below minimum"
+   | _ -> ());
+  if lim_min > range then error "limits minimum exceeds valid range"
+
+let validate_func_in ctx (f : func) =
+  let tracker = Stack_tracker.create_in ctx f in
+  List.iter (Stack_tracker.step tracker) f.body;
+  Stack_tracker.finish tracker
+
+let validate_func (m : module_) (f : func) = validate_func_in (Module_ctx.create m) f
+
+(** Validate a whole module. Raises {!Invalid} on the first error. *)
+let validate_module (m : module_) =
+  List.iter
+    (fun imp ->
+       match imp.idesc with
+       | FuncImport ti ->
+         if ti < 0 || ti >= List.length m.types then
+           error "import type index %d out of range" ti
+       | TableImport tt -> check_limits tt.tbl_limits ~range:0xFFFF_FFFF
+       | MemoryImport mt -> check_limits mt.mem_limits ~range:65536
+       | GlobalImport _ -> ())
+    m.imports;
+  if num_imported_tables m + List.length m.tables > 1 then error "multiple tables";
+  if num_imported_memories m + List.length m.memories > 1 then error "multiple memories";
+  List.iter (fun t -> check_limits t.tbl_limits ~range:0xFFFF_FFFF) m.tables;
+  List.iter (fun mt -> check_limits mt.mem_limits ~range:65536) m.memories;
+  List.iter
+    (fun g -> check_const_expr m g.gtype.content g.ginit)
+    m.globals;
+  let ctx = Module_ctx.create m in
+  List.iter (validate_func_in ctx) m.funcs;
+  let n_funcs = num_funcs m in
+  let n_globals = num_imported_globals m + List.length m.globals in
+  let n_tables = num_imported_tables m + List.length m.tables in
+  let n_memories = num_imported_memories m + List.length m.memories in
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun e ->
+       if Hashtbl.mem seen e.name then error "duplicate export %S" e.name;
+       Hashtbl.add seen e.name ();
+       match e.edesc with
+       | FuncExport i -> if i >= n_funcs then error "export: function %d out of range" i
+       | TableExport i -> if i >= n_tables then error "export: table %d out of range" i
+       | MemoryExport i -> if i >= n_memories then error "export: memory %d out of range" i
+       | GlobalExport i -> if i >= n_globals then error "export: global %d out of range" i)
+    m.exports;
+  (match m.start with
+   | None -> ()
+   | Some f ->
+     if f >= n_funcs then error "start function %d out of range" f;
+     let ft = func_type_at m f in
+     if ft.params <> [] || ft.results <> [] then
+       error "start function must have type [] -> []");
+  List.iter
+    (fun e ->
+       if e.etable >= n_tables then error "element segment: no table";
+       check_const_expr m I32T e.eoffset;
+       List.iter (fun f -> if f >= n_funcs then error "element: function %d out of range" f) e.einit)
+    m.elems;
+  List.iter
+    (fun d ->
+       if d.dmemory >= n_memories then error "data segment: no memory";
+       check_const_expr m I32T d.doffset)
+    m.datas
+
+(** [true] iff the module validates. *)
+let is_valid m =
+  match validate_module m with
+  | () -> true
+  | exception Invalid _ -> false

@@ -1,0 +1,64 @@
+(** Validation (type checking) of WebAssembly modules, following the
+    specification's validation algorithm. The incremental {!Stack_tracker}
+    is exposed because Wasabi's instrumenter drives it instruction by
+    instruction to learn the concrete types of polymorphic instructions
+    (paper, Section 2.4.3). *)
+
+exception Invalid of string
+
+(** An abstract stack slot: a known value type, or unknown (below an
+    unconditional branch the stack is polymorphic). *)
+type vknown = Known of Types.value_type | Unknown
+
+val string_of_vknown : vknown -> string
+
+(** Pre-computed per-module lookup tables shared by the per-function
+    trackers (avoids quadratic lookups on large modules). *)
+module Module_ctx : sig
+  type t = {
+    types : Types.func_type array;
+    func_types : Types.func_type array;  (** whole function index space *)
+    global_types : Types.global_type array;
+    has_memory : bool;
+    has_table : bool;
+  }
+
+  val create : Ast.module_ -> t
+end
+
+(** Incremental abstract interpretation of one function body over types. *)
+module Stack_tracker : sig
+  type t
+
+  val create : Ast.module_ -> Ast.func -> t
+  val create_in : Module_ctx.t -> Ast.func -> t
+
+  val step : t -> Ast.instr -> unit
+  (** Type check one instruction and update the abstract stacks.
+      @raise Invalid on ill-typed code. *)
+
+  val finish : t -> unit
+  (** Check the implicit end of the function body. *)
+
+  val peek : t -> int -> vknown
+  (** [peek t n] is the type of the [n]-th stack slot from the top without
+      popping ([n = 0] is the top). *)
+
+  val in_dead_code : t -> bool
+  val depth : t -> int
+  (** Control stack depth; the function frame counts as 1. *)
+
+  val results : t -> Types.value_type list
+  val local_type : t -> int -> Types.value_type
+  val global_type : t -> int -> Types.global_type
+  val func_type : t -> int -> Types.func_type
+  val type_at : t -> int -> Types.func_type
+  val cvt_types : Ast.cvtop -> Types.num_type * Types.num_type
+  (** Input and output type of a conversion operator. *)
+end
+
+val validate_func : Ast.module_ -> Ast.func -> unit
+val validate_module : Ast.module_ -> unit
+(** Validate a whole module. @raise Invalid on the first error. *)
+
+val is_valid : Ast.module_ -> bool

@@ -1,0 +1,287 @@
+(** Runtime values and the numeric semantics of WebAssembly (MVP).
+
+    [f32] values are represented by their IEEE-754 single-precision bit
+    pattern (an [int32]); arithmetic converts to OCaml [float], computes,
+    and rounds back to single precision. [f64] maps directly to [float].
+
+    All partial operations (division by zero, overflowing float-to-int
+    truncation, ...) raise {!Trap} with the error message mandated by the
+    specification. *)
+
+(** Raised by numeric operations and by the interpreter on a Wasm trap. *)
+exception Trap of string
+
+let trap msg = raise (Trap msg)
+
+type t =
+  | I32 of int32
+  | I64 of int64
+  | F32 of int32  (** bit pattern *)
+  | F64 of float
+
+let type_of : t -> Types.value_type = function
+  | I32 _ -> Types.I32T
+  | I64 _ -> Types.I64T
+  | F32 _ -> Types.F32T
+  | F64 _ -> Types.F64T
+
+let default : Types.value_type -> t = function
+  | Types.I32T -> I32 0l
+  | Types.I64T -> I64 0L
+  | Types.F32T -> F32 0l
+  | Types.F64T -> F64 0.0
+
+(** Single-precision helpers: convert between the bit representation and
+    the OCaml float used to compute. [Int32.bits_of_float] performs the
+    round-to-nearest conversion to single precision. *)
+module F32_repr = struct
+  let to_float (bits : int32) : float = Int32.float_of_bits bits
+  let of_float (f : float) : int32 = Int32.bits_of_float f
+end
+
+let i32 x = I32 x
+let i64 x = I64 x
+let f32 f = F32 (F32_repr.of_float f)
+let f32_bits bits = F32 bits
+let f64 f = F64 f
+let i32_of_int x = I32 (Int32.of_int x)
+let i32_of_bool b = I32 (if b then 1l else 0l)
+
+let as_i32 = function I32 x -> x | _ -> trap "type mismatch: expected i32"
+let as_i64 = function I64 x -> x | _ -> trap "type mismatch: expected i64"
+let as_f32 = function F32 x -> F32_repr.to_float x | _ -> trap "type mismatch: expected f32"
+let as_f32_bits = function F32 x -> x | _ -> trap "type mismatch: expected f32"
+let as_f64 = function F64 x -> x | _ -> trap "type mismatch: expected f64"
+
+let to_string = function
+  | I32 x -> Printf.sprintf "i32:%ld" x
+  | I64 x -> Printf.sprintf "i64:%Ld" x
+  | F32 b -> Printf.sprintf "f32:%h" (F32_repr.to_float b)
+  | F64 f -> Printf.sprintf "f64:%h" f
+
+let pp fmt v = Format.pp_print_string fmt (to_string v)
+
+(** Structural equality suitable for tests: NaNs of the same width compare
+    equal to each other (bit patterns of NaN results are not fully
+    deterministic across evaluation strategies). *)
+let equal a b =
+  match a, b with
+  | I32 x, I32 y -> Int32.equal x y
+  | I64 x, I64 y -> Int64.equal x y
+  | F32 x, F32 y ->
+    let fx = F32_repr.to_float x and fy = F32_repr.to_float y in
+    (fx <> fx && fy <> fy) || Int32.equal x y
+  | F64 x, F64 y -> (x <> x && y <> y) || Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float y)
+  | _, _ -> false
+
+(** 32-bit integer operations. *)
+module I32_ops = struct
+  open Int32
+
+  let clz x =
+    if equal x 0l then 32
+    else
+      let rec go n x = if logand x 0x80000000l <> 0l then n else go (n + 1) (shift_left x 1) in
+      go 0 x
+
+  let ctz x =
+    if equal x 0l then 32
+    else
+      let rec go n x = if logand x 1l <> 0l then n else go (n + 1) (shift_right_logical x 1) in
+      go 0 x
+
+  let popcnt x =
+    let rec go acc x = if equal x 0l then acc else go (acc + to_int (logand x 1l)) (shift_right_logical x 1) in
+    go 0 x
+
+  let div_s a b =
+    if equal b 0l then trap "integer divide by zero"
+    else if equal a min_int && equal b (-1l) then trap "integer overflow"
+    else div a b
+
+  let div_u a b = if equal b 0l then trap "integer divide by zero" else unsigned_div a b
+
+  let rem_s a b =
+    if equal b 0l then trap "integer divide by zero"
+    else if equal a min_int && equal b (-1l) then 0l
+    else rem a b
+
+  let rem_u a b = if equal b 0l then trap "integer divide by zero" else unsigned_rem a b
+  let shl a b = shift_left a (to_int (logand b 31l))
+  let shr_s a b = shift_right a (to_int (logand b 31l))
+  let shr_u a b = shift_right_logical a (to_int (logand b 31l))
+
+  let rotl a b =
+    let n = to_int (logand b 31l) in
+    if n = 0 then a else logor (shift_left a n) (shift_right_logical a (32 - n))
+
+  let rotr a b =
+    let n = to_int (logand b 31l) in
+    if n = 0 then a else logor (shift_right_logical a n) (shift_left a (32 - n))
+
+  let lt_u a b = unsigned_compare a b < 0
+  let gt_u a b = unsigned_compare a b > 0
+  let le_u a b = unsigned_compare a b <= 0
+  let ge_u a b = unsigned_compare a b >= 0
+end
+
+(** 64-bit integer operations. *)
+module I64_ops = struct
+  open Int64
+
+  let clz x =
+    if equal x 0L then 64
+    else
+      let rec go n x = if logand x 0x8000000000000000L <> 0L then n else go (n + 1) (shift_left x 1) in
+      go 0 x
+
+  let ctz x =
+    if equal x 0L then 64
+    else
+      let rec go n x = if logand x 1L <> 0L then n else go (n + 1) (shift_right_logical x 1) in
+      go 0 x
+
+  let popcnt x =
+    let rec go acc x = if equal x 0L then acc else go (acc + to_int (logand x 1L)) (shift_right_logical x 1) in
+    go 0 x
+
+  let div_s a b =
+    if equal b 0L then trap "integer divide by zero"
+    else if equal a min_int && equal b (-1L) then trap "integer overflow"
+    else div a b
+
+  let div_u a b = if equal b 0L then trap "integer divide by zero" else unsigned_div a b
+
+  let rem_s a b =
+    if equal b 0L then trap "integer divide by zero"
+    else if equal a min_int && equal b (-1L) then 0L
+    else rem a b
+
+  let rem_u a b = if equal b 0L then trap "integer divide by zero" else unsigned_rem a b
+  let shl a b = shift_left a (to_int (logand b 63L))
+  let shr_s a b = shift_right a (to_int (logand b 63L))
+  let shr_u a b = shift_right_logical a (to_int (logand b 63L))
+
+  let rotl a b =
+    let n = to_int (logand b 63L) in
+    if n = 0 then a else logor (shift_left a n) (shift_right_logical a (64 - n))
+
+  let rotr a b =
+    let n = to_int (logand b 63L) in
+    if n = 0 then a else logor (shift_right_logical a n) (shift_left a (64 - n))
+
+  let lt_u a b = unsigned_compare a b < 0
+  let gt_u a b = unsigned_compare a b > 0
+  let le_u a b = unsigned_compare a b <= 0
+  let ge_u a b = unsigned_compare a b >= 0
+end
+
+(** Float operations shared by f32 and f64 (computed in double precision;
+    the f32 instruction implementations round results back to single). *)
+module F_ops = struct
+  let is_nan f = f <> f
+
+  (* Wasm min/max: NaN-propagating, and -0 < +0. *)
+  let fmin a b =
+    if is_nan a || is_nan b then Float.nan
+    else if a < b then a
+    else if b < a then b
+    else if a = 0.0 && (1.0 /. a < 0.0 || 1.0 /. b < 0.0) then -0.0
+    else a
+
+  let fmax a b =
+    if is_nan a || is_nan b then Float.nan
+    else if a > b then a
+    else if b > a then b
+    else if a = 0.0 && (1.0 /. a > 0.0 || 1.0 /. b > 0.0) then 0.0
+    else a
+
+  (* Round to nearest, ties to even. *)
+  let nearest f =
+    if is_nan f || Float.is_integer f then f
+    else
+      let u = Float.ceil f and d = Float.floor f in
+      let um = abs_float (f -. u) and dm = abs_float (f -. d) in
+      if um < dm then u
+      else if dm < um then d
+      else if Float.rem u 2.0 = 0.0 then u
+      else d
+
+  let trunc = Float.trunc
+  let copysign = Float.copy_sign
+end
+
+(** Float-to-integer truncations: trap on NaN and on out-of-range values. *)
+module Cvt = struct
+  let check_nan f = if F_ops.is_nan f then trap "invalid conversion to integer"
+
+  let i32_trunc_s f =
+    check_nan f;
+    let t = Float.trunc f in
+    if t >= 2147483648.0 || t < -2147483648.0 then trap "integer overflow" else Int32.of_float t
+
+  let i32_trunc_u f =
+    check_nan f;
+    let t = Float.trunc f in
+    if t >= 4294967296.0 || t <= -1.0 then trap "integer overflow"
+    else Int64.to_int32 (Int64.of_float t)
+
+  let i64_trunc_s f =
+    check_nan f;
+    let t = Float.trunc f in
+    if t >= 9223372036854775808.0 || t < -9223372036854775808.0 then trap "integer overflow"
+    else Int64.of_float t
+
+  let i64_trunc_u f =
+    check_nan f;
+    let t = Float.trunc f in
+    if t >= 18446744073709551616.0 || t <= -1.0 then trap "integer overflow"
+    else if t >= 9223372036854775808.0 then
+      Int64.logxor (Int64.of_float (t -. 9223372036854775808.0)) Int64.min_int
+    else Int64.of_float t
+
+  (* saturating (non-trapping) variants: NaN maps to 0, out-of-range
+     values clamp to the representable extremes *)
+  let i32_trunc_sat_s f =
+    if F_ops.is_nan f then 0l
+    else
+      let t = Float.trunc f in
+      if t >= 2147483648.0 then Int32.max_int
+      else if t < -2147483648.0 then Int32.min_int
+      else Int32.of_float t
+
+  let i32_trunc_sat_u f =
+    if F_ops.is_nan f then 0l
+    else
+      let t = Float.trunc f in
+      if t >= 4294967296.0 then -1l
+      else if t <= -1.0 then 0l
+      else Int64.to_int32 (Int64.of_float t)
+
+  let i64_trunc_sat_s f =
+    if F_ops.is_nan f then 0L
+    else
+      let t = Float.trunc f in
+      if t >= 9223372036854775808.0 then Int64.max_int
+      else if t < -9223372036854775808.0 then Int64.min_int
+      else Int64.of_float t
+
+  let i64_trunc_sat_u f =
+    if F_ops.is_nan f then 0L
+    else
+      let t = Float.trunc f in
+      if t >= 18446744073709551616.0 then -1L
+      else if t <= -1.0 then 0L
+      else if t >= 9223372036854775808.0 then
+        Int64.logxor (Int64.of_float (t -. 9223372036854775808.0)) Int64.min_int
+      else Int64.of_float t
+
+  let u32_to_float x = Int64.to_float (Int64.logand (Int64.of_int32 x) 0xFFFFFFFFL)
+
+  let u64_to_float x =
+    if Int64.compare x 0L >= 0 then Int64.to_float x
+    else
+      (* split into top 63 bits and low bit to avoid signedness issues *)
+      Int64.to_float (Int64.shift_right_logical x 1) *. 2.0
+      +. Int64.to_float (Int64.logand x 1L)
+end

@@ -1,0 +1,130 @@
+(** Runtime values and the numeric semantics of WebAssembly (MVP).
+
+    [f32] values are represented by their IEEE-754 single-precision bit
+    pattern; [f64] maps to OCaml [float]. All partial operations raise
+    {!Trap} with the specification's error message. *)
+
+exception Trap of string
+(** A WebAssembly trap (division by zero, invalid conversion, out-of-bounds
+    access, [unreachable], ...). *)
+
+val trap : string -> 'a
+(** [trap msg] raises {!Trap}. *)
+
+type t =
+  | I32 of int32
+  | I64 of int64
+  | F32 of int32  (** IEEE-754 single-precision bit pattern *)
+  | F64 of float
+
+val type_of : t -> Types.value_type
+val default : Types.value_type -> t
+(** The zero value of a type (used for uninitialised locals). *)
+
+(** Conversion between the f32 bit representation and the OCaml float used
+    for computation ([Int32.bits_of_float] rounds to single precision). *)
+module F32_repr : sig
+  val to_float : int32 -> float
+  val of_float : float -> int32
+end
+
+(** {1 Constructors and accessors} *)
+
+val i32 : int32 -> t
+val i64 : int64 -> t
+val f32 : float -> t
+(** Rounds to single precision. *)
+
+val f32_bits : int32 -> t
+val f64 : float -> t
+val i32_of_int : int -> t
+val i32_of_bool : bool -> t
+
+val as_i32 : t -> int32
+(** @raise Trap if the value is not an i32 (and similarly below). *)
+
+val as_i64 : t -> int64
+val as_f32 : t -> float
+val as_f32_bits : t -> int32
+val as_f64 : t -> float
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+val equal : t -> t -> bool
+(** Structural equality; NaNs of the same width compare equal. *)
+
+(** {1 Numeric primitives}
+
+    Word-level operations used by {!Eval_numeric}; exposed for direct
+    testing. *)
+
+module I32_ops : sig
+  val clz : int32 -> int
+  val ctz : int32 -> int
+  val popcnt : int32 -> int
+  val div_s : int32 -> int32 -> int32
+  val div_u : int32 -> int32 -> int32
+  val rem_s : int32 -> int32 -> int32
+  val rem_u : int32 -> int32 -> int32
+  val shl : int32 -> int32 -> int32
+  val shr_s : int32 -> int32 -> int32
+  val shr_u : int32 -> int32 -> int32
+  val rotl : int32 -> int32 -> int32
+  val rotr : int32 -> int32 -> int32
+  val lt_u : int32 -> int32 -> bool
+  val gt_u : int32 -> int32 -> bool
+  val le_u : int32 -> int32 -> bool
+  val ge_u : int32 -> int32 -> bool
+end
+
+module I64_ops : sig
+  val clz : int64 -> int
+  val ctz : int64 -> int
+  val popcnt : int64 -> int
+  val div_s : int64 -> int64 -> int64
+  val div_u : int64 -> int64 -> int64
+  val rem_s : int64 -> int64 -> int64
+  val rem_u : int64 -> int64 -> int64
+  val shl : int64 -> int64 -> int64
+  val shr_s : int64 -> int64 -> int64
+  val shr_u : int64 -> int64 -> int64
+  val rotl : int64 -> int64 -> int64
+  val rotr : int64 -> int64 -> int64
+  val lt_u : int64 -> int64 -> bool
+  val gt_u : int64 -> int64 -> bool
+  val le_u : int64 -> int64 -> bool
+  val ge_u : int64 -> int64 -> bool
+end
+
+module F_ops : sig
+  val is_nan : float -> bool
+  val fmin : float -> float -> float
+  (** NaN-propagating minimum with [-0 < +0]. *)
+
+  val fmax : float -> float -> float
+  val nearest : float -> float
+  (** Round to nearest, ties to even. *)
+
+  val trunc : float -> float
+  val copysign : float -> float -> float
+end
+
+module Cvt : sig
+  val i32_trunc_s : float -> int32
+  (** @raise Trap on NaN or out-of-range input (and similarly below). *)
+
+  val i32_trunc_u : float -> int32
+  val i64_trunc_s : float -> int64
+  val i64_trunc_u : float -> int64
+
+  (** Saturating variants: NaN maps to 0, out-of-range clamps. *)
+
+  val i32_trunc_sat_s : float -> int32
+  val i32_trunc_sat_u : float -> int32
+  val i64_trunc_sat_s : float -> int64
+  val i64_trunc_sat_u : float -> int64
+
+  val u32_to_float : int32 -> float
+  val u64_to_float : int64 -> float
+end

@@ -1,0 +1,165 @@
+(** Printer for the WebAssembly text format (linear style, one instruction
+    per line, blocks indented). Intended for debugging, examples and the
+    [wasm_tool wat] command; there is no text-format parser. *)
+
+open Types
+open Ast
+
+let vt = string_of_value_type
+
+let block_type_suffix = function
+  | None -> ""
+  | Some t -> Printf.sprintf " (result %s)" (vt t)
+
+let escape_name s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+       match c with
+       | '"' -> Buffer.add_string buf "\\\""
+       | '\\' -> Buffer.add_string buf "\\\\"
+       | c when Char.code c < 0x20 || Char.code c >= 0x7F ->
+         Buffer.add_string buf (Printf.sprintf "\\%02x" (Char.code c))
+       | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let string_of_const = function
+  | Value.I32 x -> Printf.sprintf "i32.const %ld" x
+  | Value.I64 x -> Printf.sprintf "i64.const %Ld" x
+  | Value.F32 b -> Printf.sprintf "f32.const %h" (Value.F32_repr.to_float b)
+  | Value.F64 f -> Printf.sprintf "f64.const %h" f
+
+let instr_text i =
+  match i with
+  | Block bt -> "block" ^ block_type_suffix bt
+  | Loop bt -> "loop" ^ block_type_suffix bt
+  | If bt -> "if" ^ block_type_suffix bt
+  | Const v -> string_of_const v
+  | Load op ->
+    Printf.sprintf "%s offset=%d align=%d" (string_of_instr i) op.loffset (1 lsl op.lalign)
+  | Store op ->
+    Printf.sprintf "%s offset=%d align=%d" (string_of_instr i) op.soffset (1 lsl op.salign)
+  | CallIndirect t -> Printf.sprintf "call_indirect (type %d)" t
+  | _ -> string_of_instr i
+
+let print_body buf ~indent instrs =
+  let level = ref indent in
+  List.iter
+    (fun i ->
+       (match i with
+        | End | Else -> level := max indent (!level - 1)
+        | _ -> ());
+       Buffer.add_string buf (String.make (2 * !level) ' ');
+       Buffer.add_string buf (instr_text i);
+       Buffer.add_char buf '\n';
+       match i with
+       | Block _ | Loop _ | If _ | Else -> incr level
+       | _ -> ())
+    instrs
+
+let func_sig_text (ft : func_type) =
+  let params = match ft.params with
+    | [] -> ""
+    | ps -> " (param " ^ String.concat " " (List.map vt ps) ^ ")"
+  in
+  let results = match ft.results with
+    | [] -> ""
+    | rs -> " (result " ^ String.concat " " (List.map vt rs) ^ ")"
+  in
+  params ^ results
+
+let limits_text { lim_min; lim_max } =
+  match lim_max with
+  | None -> string_of_int lim_min
+  | Some max -> Printf.sprintf "%d %d" lim_min max
+
+(** Render a module in the text format. *)
+let to_string (m : module_) : string =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "(module\n";
+  List.iteri
+    (fun i ft -> Buffer.add_string buf (Printf.sprintf "  (type (;%d;) (func%s))\n" i (func_sig_text ft)))
+    m.types;
+  List.iter
+    (fun imp ->
+       let desc =
+         match imp.idesc with
+         | FuncImport ti -> Printf.sprintf "(func (type %d))" ti
+         | TableImport tt -> Printf.sprintf "(table %s funcref)" (limits_text tt.tbl_limits)
+         | MemoryImport mt -> Printf.sprintf "(memory %s)" (limits_text mt.mem_limits)
+         | GlobalImport gt ->
+           if gt.mutability = Mutable then Printf.sprintf "(global (mut %s))" (vt gt.content)
+           else Printf.sprintf "(global %s)" (vt gt.content)
+       in
+       Buffer.add_string buf
+         (Printf.sprintf "  (import \"%s\" \"%s\" %s)\n" (escape_name imp.module_name)
+            (escape_name imp.item_name) desc))
+    m.imports;
+  List.iter
+    (fun t -> Buffer.add_string buf (Printf.sprintf "  (table %s funcref)\n" (limits_text t.tbl_limits)))
+    m.tables;
+  List.iter
+    (fun mt -> Buffer.add_string buf (Printf.sprintf "  (memory %s)\n" (limits_text mt.mem_limits)))
+    m.memories;
+  List.iteri
+    (fun i g ->
+       let ty =
+         if g.gtype.mutability = Mutable then Printf.sprintf "(mut %s)" (vt g.gtype.content)
+         else vt g.gtype.content
+       in
+       let init = match g.ginit with
+         | [ Const v ] -> string_of_const v
+         | [ GlobalGet k ] -> Printf.sprintf "global.get %d" k
+         | _ -> "..."
+       in
+       Buffer.add_string buf
+         (Printf.sprintf "  (global (;%d;) %s (%s))\n" (num_imported_globals m + i) ty init))
+    m.globals;
+  let n_imp = num_imported_funcs m in
+  List.iteri
+    (fun i f ->
+       let ft = List.nth m.types f.ftype in
+       Buffer.add_string buf (Printf.sprintf "  (func (;%d;)%s\n" (n_imp + i) (func_sig_text ft));
+       (match f.locals with
+        | [] -> ()
+        | ls ->
+          Buffer.add_string buf
+            ("    (local " ^ String.concat " " (List.map vt ls) ^ ")\n"));
+       print_body buf ~indent:2 f.body;
+       Buffer.add_string buf "  )\n")
+    m.funcs;
+  (match m.start with
+   | None -> ()
+   | Some f -> Buffer.add_string buf (Printf.sprintf "  (start %d)\n" f));
+  List.iter
+    (fun e ->
+       let init = String.concat " " (List.map string_of_int e.einit) in
+       let off = match e.eoffset with
+         | [ Const v ] -> string_of_const v
+         | _ -> "..."
+       in
+       Buffer.add_string buf (Printf.sprintf "  (elem (%s) func %s)\n" off init))
+    m.elems;
+  List.iter
+    (fun d ->
+       let off = match d.doffset with
+         | [ Const v ] -> string_of_const v
+         | _ -> "..."
+       in
+       Buffer.add_string buf
+         (Printf.sprintf "  (data (%s) \"%s\")\n" off (escape_name d.dinit)))
+    m.datas;
+  List.iter
+    (fun e ->
+       let desc =
+         match e.edesc with
+         | FuncExport i -> Printf.sprintf "(func %d)" i
+         | TableExport i -> Printf.sprintf "(table %d)" i
+         | MemoryExport i -> Printf.sprintf "(memory %d)" i
+         | GlobalExport i -> Printf.sprintf "(global %d)" i
+       in
+       Buffer.add_string buf (Printf.sprintf "  (export \"%s\" %s)\n" (escape_name e.name) desc))
+    m.exports;
+  Buffer.add_string buf ")\n";
+  Buffer.contents buf

@@ -1,0 +1,6 @@
+(** Printer for the WebAssembly text format (linear style, one instruction
+    per line, blocks indented). The parser lives in {!Wat_parse}. *)
+
+val to_string : Ast.module_ -> string
+val instr_text : Ast.instr -> string
+(** Single-instruction rendering, including immediates. *)

@@ -1,0 +1,776 @@
+(** Parser for the WebAssembly text format.
+
+    Supports the common subset used by hand-written tests and by this
+    project's own printer: modules with type/import/func/memory/table/
+    global/export/start/elem/data fields, numeric indices and [$name]
+    identifiers for functions, locals and globals, linear instruction
+    sequences, and folded s-expression instructions including
+    [(if (then ...) (else ...))]. *)
+
+open Types
+open Ast
+
+exception Parse_error of string
+
+let error fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+(* --- s-expressions ----------------------------------------------------- *)
+
+type sexp =
+  | Atom of string
+  | Str of string  (** quoted string, unescaped *)
+  | List of sexp list
+
+let is_atom_char c =
+  match c with
+  | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9'
+  | '_' | '.' | '$' | '-' | '+' | '=' | '/' | '*' | '%' | '<' | '>' | '!' | '#' | ':' | '~' | '^' | '|' | '&' | '?' | '\'' -> true
+  | _ -> false
+
+let tokenize (src : string) : sexp list =
+  let n = String.length src in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some src.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      advance ();
+      skip_ws ()
+    | Some ';' when !pos + 1 < n && src.[!pos + 1] = ';' ->
+      while !pos < n && src.[!pos] <> '\n' do advance () done;
+      skip_ws ()
+    | Some '(' when !pos + 1 < n && src.[!pos + 1] = ';' ->
+      (* block comment, may nest *)
+      let depth = ref 0 in
+      let continue_ = ref true in
+      while !continue_ do
+        if !pos + 1 >= n then error "unterminated block comment";
+        if src.[!pos] = '(' && src.[!pos + 1] = ';' then begin
+          incr depth;
+          pos := !pos + 2
+        end
+        else if src.[!pos] = ';' && src.[!pos + 1] = ')' then begin
+          decr depth;
+          pos := !pos + 2;
+          if !depth = 0 then continue_ := false
+        end
+        else advance ()
+      done;
+      skip_ws ()
+    | _ -> ()
+  in
+  let read_string () =
+    advance ();  (* opening quote *)
+    let buf = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then error "unterminated string";
+      match src.[!pos] with
+      | '"' -> advance ()
+      | '\\' ->
+        advance ();
+        if !pos >= n then error "unterminated escape";
+        let c = src.[!pos] in
+        advance ();
+        (match c with
+         | 'n' -> Buffer.add_char buf '\n'; go ()
+         | 't' -> Buffer.add_char buf '\t'; go ()
+         | 'r' -> Buffer.add_char buf '\r'; go ()
+         | '"' -> Buffer.add_char buf '"'; go ()
+         | '\\' -> Buffer.add_char buf '\\'; go ()
+         | c1 when (c1 >= '0' && c1 <= '9') || (c1 >= 'a' && c1 <= 'f') || (c1 >= 'A' && c1 <= 'F') ->
+           if !pos >= n then error "unterminated hex escape";
+           let c2 = src.[!pos] in
+           advance ();
+           let hex c =
+             match c with
+             | '0' .. '9' -> Char.code c - Char.code '0'
+             | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+             | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+             | _ -> error "bad hex escape"
+           in
+           Buffer.add_char buf (Char.chr ((hex c1 * 16) + hex c2));
+           go ()
+         | _ -> error "unknown escape \\%c" c)
+      | c ->
+        Buffer.add_char buf c;
+        advance ();
+        go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let rec read_sexp () : sexp =
+    skip_ws ();
+    match peek () with
+    | None -> error "unexpected end of input"
+    | Some '(' ->
+      advance ();
+      let items = ref [] in
+      let rec go () =
+        skip_ws ();
+        match peek () with
+        | Some ')' ->
+          advance ();
+          List (List.rev !items)
+        | None -> error "unclosed parenthesis"
+        | _ ->
+          items := read_sexp () :: !items;
+          go ()
+      in
+      go ()
+    | Some '"' -> Str (read_string ())
+    | Some c when is_atom_char c ->
+      let start = !pos in
+      while (match peek () with Some c when is_atom_char c -> true | _ -> false) do
+        advance ()
+      done;
+      Atom (String.sub src start (!pos - start))
+    | Some c -> error "unexpected character %C" c
+  in
+  let out = ref [] in
+  skip_ws ();
+  while !pos < n do
+    out := read_sexp () :: !out;
+    skip_ws ()
+  done;
+  List.rev !out
+
+(* --- name environments -------------------------------------------------- *)
+
+type env = {
+  mutable func_names : (string * int) list;
+  mutable global_names : (string * int) list;
+  mutable type_names : (string * int) list;
+}
+
+let resolve names atom what =
+  if String.length atom > 0 && atom.[0] = '$' then
+    match List.assoc_opt atom names with
+    | Some i -> i
+    | None -> error "unknown %s %s" what atom
+  else
+    match int_of_string_opt atom with
+    | Some i -> i
+    | None -> error "expected %s index, got %S" what atom
+
+(* --- types --------------------------------------------------------------- *)
+
+let value_type_of_atom = function
+  | "i32" -> I32T
+  | "i64" -> I64T
+  | "f32" -> F32T
+  | "f64" -> F64T
+  | a -> error "unknown value type %S" a
+
+let parse_value_types items =
+  List.map
+    (function Atom a -> value_type_of_atom a | _ -> error "expected a value type")
+    items
+
+(** Split leading (param ...)/(result ...) clauses from a form body,
+    ignoring $names on params. *)
+let parse_func_sig fields =
+  let params = ref [] and results = ref [] and rest = ref [] and names = ref [] in
+  let n_params = ref 0 in
+  List.iter
+    (fun field ->
+       match field with
+       | List (Atom "param" :: Atom n :: tys) when String.length n > 0 && n.[0] = '$' ->
+         (match tys with
+          | [ Atom ty ] ->
+            names := (n, !n_params) :: !names;
+            incr n_params;
+            params := value_type_of_atom ty :: !params
+          | _ -> error "named param takes exactly one type")
+       | List (Atom "param" :: tys) ->
+         let ts = parse_value_types tys in
+         n_params := !n_params + List.length ts;
+         params := List.rev_append ts !params
+       | List (Atom "result" :: tys) -> results := List.rev_append (parse_value_types tys) !results
+       | f -> rest := f :: !rest)
+    fields;
+  (List.rev !params, List.rev !results, List.rev !rest, List.rev !names)
+
+(* --- instructions -------------------------------------------------------- *)
+
+let parse_int32 a =
+  match Int32.of_string_opt a with
+  | Some x -> x
+  | None ->
+    (* large unsigned literals *)
+    (match Int64.of_string_opt a with
+     | Some x when Int64.compare x 0xFFFFFFFFL <= 0 && Int64.compare x 0L >= 0 -> Int64.to_int32 x
+     | _ -> error "bad i32 literal %S" a)
+
+let parse_int64 a =
+  match Int64.of_string_opt a with
+  | Some x -> x
+  | None -> error "bad i64 literal %S" a
+
+let parse_float a =
+  match a with
+  | "nan" -> Float.nan
+  | "-nan" -> -.Float.nan
+  | "inf" -> Float.infinity
+  | "-inf" -> Float.neg_infinity
+  | _ ->
+    (match float_of_string_opt a with
+     | Some f -> f
+     | None -> error "bad float literal %S" a)
+
+(** Leading memarg clauses like [offset=4] [align=2] (align in bytes);
+    stops at the first atom that is not a memarg, so later instructions'
+    clauses are untouched. *)
+let parse_memarg ~default_align atoms =
+  let offset = ref 0 and align = ref default_align in
+  let rec go = function
+    | Atom s :: rest when String.length s > 7 && String.sub s 0 7 = "offset=" ->
+      offset := int_of_string (String.sub s 7 (String.length s - 7));
+      go rest
+    | Atom s :: rest when String.length s > 6 && String.sub s 0 6 = "align=" ->
+      let bytes = int_of_string (String.sub s 6 (String.length s - 6)) in
+      let rec log2 k acc = if k <= 1 then acc else log2 (k / 2) (acc + 1) in
+      align := log2 bytes 0;
+      go rest
+    | rest -> rest
+  in
+  let rest = go atoms in
+  (!offset, !align, rest)
+
+let simple_instrs : (string * instr) list =
+  let i32 = S32 and i64 = S64 and f32 = SF32 and f64 = SF64 in
+  [ ("unreachable", Unreachable); ("nop", Nop); ("return", Return);
+    ("drop", Drop); ("select", Select);
+    ("memory.size", MemorySize); ("memory.grow", MemoryGrow);
+    ("i32.eqz", Test (IEqz i32)); ("i64.eqz", Test (IEqz i64)) ]
+  @ (let irel =
+       [ ("eq", Eq); ("ne", Ne); ("lt_s", LtS); ("lt_u", LtU); ("gt_s", GtS);
+         ("gt_u", GtU); ("le_s", LeS); ("le_u", LeU); ("ge_s", GeS); ("ge_u", GeU) ]
+     in
+     List.concat_map
+       (fun (sz, name) -> List.map (fun (s, op) -> (name ^ "." ^ s, Compare (IRel (sz, op)))) irel)
+       [ (i32, "i32"); (i64, "i64") ])
+  @ (let frel = [ ("eq", FEq); ("ne", FNe); ("lt", FLt); ("gt", FGt); ("le", FLe); ("ge", FGe) ] in
+     List.concat_map
+       (fun (sz, name) -> List.map (fun (s, op) -> (name ^ "." ^ s, Compare (FRel (sz, op)))) frel)
+       [ (f32, "f32"); (f64, "f64") ])
+  @ [ ("i32.extend8_s", Unary (IUn (i32, Ext8S))); ("i32.extend16_s", Unary (IUn (i32, Ext16S)));
+      ("i64.extend8_s", Unary (IUn (i64, Ext8S))); ("i64.extend16_s", Unary (IUn (i64, Ext16S)));
+      ("i64.extend32_s", Unary (IUn (i64, Ext32S)));
+      ("i32.trunc_sat_f32_s", Convert I32TruncSatF32S); ("i32.trunc_sat_f32_u", Convert I32TruncSatF32U);
+      ("i32.trunc_sat_f64_s", Convert I32TruncSatF64S); ("i32.trunc_sat_f64_u", Convert I32TruncSatF64U);
+      ("i64.trunc_sat_f32_s", Convert I64TruncSatF32S); ("i64.trunc_sat_f32_u", Convert I64TruncSatF32U);
+      ("i64.trunc_sat_f64_s", Convert I64TruncSatF64S); ("i64.trunc_sat_f64_u", Convert I64TruncSatF64U) ]
+  @ (let iun = [ ("clz", Clz); ("ctz", Ctz); ("popcnt", Popcnt) ] in
+     List.concat_map
+       (fun (sz, name) -> List.map (fun (s, op) -> (name ^ "." ^ s, Unary (IUn (sz, op)))) iun)
+       [ (i32, "i32"); (i64, "i64") ])
+  @ (let fun_ =
+       [ ("abs", Abs); ("neg", Neg); ("sqrt", Sqrt); ("ceil", Ceil); ("floor", Floor);
+         ("trunc", Trunc); ("nearest", Nearest) ]
+     in
+     List.concat_map
+       (fun (sz, name) -> List.map (fun (s, op) -> (name ^ "." ^ s, Unary (FUn (sz, op)))) fun_)
+       [ (f32, "f32"); (f64, "f64") ])
+  @ (let ibin =
+       [ ("add", Add); ("sub", Sub); ("mul", Mul); ("div_s", DivS); ("div_u", DivU);
+         ("rem_s", RemS); ("rem_u", RemU); ("and", And); ("or", Or); ("xor", Xor);
+         ("shl", Shl); ("shr_s", ShrS); ("shr_u", ShrU); ("rotl", Rotl); ("rotr", Rotr) ]
+     in
+     List.concat_map
+       (fun (sz, name) -> List.map (fun (s, op) -> (name ^ "." ^ s, Binary (IBin (sz, op)))) ibin)
+       [ (i32, "i32"); (i64, "i64") ])
+  @ (let fbin =
+       [ ("add", FAdd); ("sub", FSub); ("mul", FMul); ("div", FDiv); ("min", Min);
+         ("max", Max); ("copysign", CopySign) ]
+     in
+     List.concat_map
+       (fun (sz, name) -> List.map (fun (s, op) -> (name ^ "." ^ s, Binary (FBin (sz, op)))) fbin)
+       [ (f32, "f32"); (f64, "f64") ])
+  @ [ ("i32.wrap_i64", Convert I32WrapI64);
+      ("i32.trunc_f32_s", Convert I32TruncF32S); ("i32.trunc_f32_u", Convert I32TruncF32U);
+      ("i32.trunc_f64_s", Convert I32TruncF64S); ("i32.trunc_f64_u", Convert I32TruncF64U);
+      ("i64.extend_i32_s", Convert I64ExtendI32S); ("i64.extend_i32_u", Convert I64ExtendI32U);
+      ("i64.trunc_f32_s", Convert I64TruncF32S); ("i64.trunc_f32_u", Convert I64TruncF32U);
+      ("i64.trunc_f64_s", Convert I64TruncF64S); ("i64.trunc_f64_u", Convert I64TruncF64U);
+      ("f32.convert_i32_s", Convert F32ConvertI32S); ("f32.convert_i32_u", Convert F32ConvertI32U);
+      ("f32.convert_i64_s", Convert F32ConvertI64S); ("f32.convert_i64_u", Convert F32ConvertI64U);
+      ("f32.demote_f64", Convert F32DemoteF64);
+      ("f64.convert_i32_s", Convert F64ConvertI32S); ("f64.convert_i32_u", Convert F64ConvertI32U);
+      ("f64.convert_i64_s", Convert F64ConvertI64S); ("f64.convert_i64_u", Convert F64ConvertI64U);
+      ("f64.promote_f32", Convert F64PromoteF32);
+      ("i32.reinterpret_f32", Convert I32ReinterpretF32);
+      ("i64.reinterpret_f64", Convert I64ReinterpretF64);
+      ("f32.reinterpret_i32", Convert F32ReinterpretI32);
+      ("f64.reinterpret_i64", Convert F64ReinterpretI64) ]
+
+let load_store_instrs : (string * (int * instr)) list =
+  (* name -> natural alignment (log2), op with align/offset patched later *)
+  let l lty lpack = Load { lty; lalign = 0; loffset = 0; lpack } in
+  let s sty spack = Store { sty; salign = 0; soffset = 0; spack } in
+  [ ("i32.load", (2, l I32T None)); ("i64.load", (3, l I64T None));
+    ("f32.load", (2, l F32T None)); ("f64.load", (3, l F64T None));
+    ("i32.load8_s", (0, l I32T (Some (Pack8, SX)))); ("i32.load8_u", (0, l I32T (Some (Pack8, ZX))));
+    ("i32.load16_s", (1, l I32T (Some (Pack16, SX)))); ("i32.load16_u", (1, l I32T (Some (Pack16, ZX))));
+    ("i64.load8_s", (0, l I64T (Some (Pack8, SX)))); ("i64.load8_u", (0, l I64T (Some (Pack8, ZX))));
+    ("i64.load16_s", (1, l I64T (Some (Pack16, SX)))); ("i64.load16_u", (1, l I64T (Some (Pack16, ZX))));
+    ("i64.load32_s", (2, l I64T (Some (Pack32, SX)))); ("i64.load32_u", (2, l I64T (Some (Pack32, ZX))));
+    ("i32.store", (2, s I32T None)); ("i64.store", (3, s I64T None));
+    ("f32.store", (2, s F32T None)); ("f64.store", (3, s F64T None));
+    ("i32.store8", (0, s I32T (Some Pack8))); ("i32.store16", (1, s I32T (Some Pack16)));
+    ("i64.store8", (0, s I64T (Some Pack8))); ("i64.store16", (1, s I64T (Some Pack16)));
+    ("i64.store32", (2, s I64T (Some Pack32))) ]
+
+type ictx = {
+  env : env;
+  locals : (string * int) list;
+  mutable labels : string option list;  (** innermost first *)
+}
+
+let resolve_label ctx atom =
+  if String.length atom > 0 && atom.[0] = '$' then
+    let rec find k = function
+      | [] -> error "unknown label %s" atom
+      | Some l :: _ when l = atom -> k
+      | _ :: rest -> find (k + 1) rest
+    in
+    find 0 ctx.labels
+  else
+    match int_of_string_opt atom with
+    | Some k -> k
+    | None -> error "expected label, got %S" atom
+
+let parse_block_type fields =
+  match fields with
+  | List (Atom "result" :: tys) :: rest ->
+    (match parse_value_types tys with
+     | [ t ] -> (Some t, rest)
+     | [] -> (None, rest)
+     | _ -> error "multi-result blocks not supported")
+  | rest -> (None, rest)
+
+let take_label fields =
+  match fields with
+  | Atom a :: rest when String.length a > 0 && a.[0] = '$' -> (Some a, rest)
+  | rest -> (None, rest)
+
+(** Parse a sequence of instructions (linear atoms mixed with folded
+    forms). Appends to [acc] in reverse order. *)
+let rec parse_instrs ctx (acc : instr list) (items : sexp list) : instr list =
+  match items with
+  | [] -> acc
+  | Atom a :: rest -> parse_plain ctx acc a rest
+  | List (Atom head :: inner) :: rest ->
+    let acc = parse_folded ctx acc head inner in
+    parse_instrs ctx acc rest
+  | s :: _ ->
+    error "unexpected form %s"
+      (match s with Str _ -> "<string>" | List _ -> "()" | Atom a -> a)
+
+(** A plain (linear) instruction whose immediates follow as atoms. *)
+and parse_plain ctx acc a (rest : sexp list) : instr list =
+  let take1 rest what =
+    match rest with
+    | Atom x :: rest' -> (x, rest')
+    | _ -> error "%s expects an immediate" what
+  in
+  match a with
+  | "block" | "loop" | "if" ->
+    let label, rest = (match rest with
+      | Atom l :: r when String.length l > 0 && l.[0] = '$' -> (Some l, r)
+      | r -> (None, r))
+    in
+    let bt, rest =
+      match rest with
+      | List (Atom "result" :: tys) :: r ->
+        (match parse_value_types tys with
+         | [ t ] -> (Some t, r)
+         | _ -> error "bad block result")
+      | r -> (None, r)
+    in
+    ctx.labels <- label :: ctx.labels;
+    let ins = match a with
+      | "block" -> Block bt
+      | "loop" -> Loop bt
+      | _ -> If bt
+    in
+    parse_instrs ctx (ins :: acc) rest
+  | "else" -> parse_instrs ctx (Else :: acc) rest
+  | "end" ->
+    (match ctx.labels with
+     | _ :: tl -> ctx.labels <- tl
+     | [] -> error "end without open block");
+    parse_instrs ctx (End :: acc) rest
+  | "br" ->
+    let l, rest = take1 rest "br" in
+    parse_instrs ctx (Br (resolve_label ctx l) :: acc) rest
+  | "br_if" ->
+    let l, rest = take1 rest "br_if" in
+    parse_instrs ctx (BrIf (resolve_label ctx l) :: acc) rest
+  | "br_table" ->
+    let rec take_labels ls rest =
+      match rest with
+      | Atom x :: rest'
+        when (match int_of_string_opt x with Some _ -> true | None -> String.length x > 0 && x.[0] = '$') ->
+        take_labels (resolve_label ctx x :: ls) rest'
+      | _ -> (List.rev ls, rest)
+    in
+    let ls, rest = take_labels [] rest in
+    (match List.rev ls with
+     | d :: rev_init -> parse_instrs ctx (BrTable (List.rev rev_init, d) :: acc) rest
+     | [] -> error "br_table needs labels")
+  | "call" ->
+    let f, rest = take1 rest "call" in
+    parse_instrs ctx (Call (resolve ctx.env.func_names f "function") :: acc) rest
+  | "call_indirect" ->
+    (* (type n) clause or inline signature not supported beyond (type n) *)
+    (match rest with
+     | List [ Atom "type"; Atom t ] :: rest' ->
+       parse_instrs ctx (CallIndirect (resolve ctx.env.type_names t "type") :: acc) rest'
+     | _ -> error "call_indirect requires a (type n) clause")
+  | "local.get" | "get_local" ->
+    let x, rest = take1 rest a in
+    parse_instrs ctx (LocalGet (resolve ctx.locals x "local") :: acc) rest
+  | "local.set" | "set_local" ->
+    let x, rest = take1 rest a in
+    parse_instrs ctx (LocalSet (resolve ctx.locals x "local") :: acc) rest
+  | "local.tee" | "tee_local" ->
+    let x, rest = take1 rest a in
+    parse_instrs ctx (LocalTee (resolve ctx.locals x "local") :: acc) rest
+  | "global.get" | "get_global" ->
+    let x, rest = take1 rest a in
+    parse_instrs ctx (GlobalGet (resolve ctx.env.global_names x "global") :: acc) rest
+  | "global.set" | "set_global" ->
+    let x, rest = take1 rest a in
+    parse_instrs ctx (GlobalSet (resolve ctx.env.global_names x "global") :: acc) rest
+  | "i32.const" ->
+    let x, rest = take1 rest a in
+    parse_instrs ctx (Const (Value.I32 (parse_int32 x)) :: acc) rest
+  | "i64.const" ->
+    let x, rest = take1 rest a in
+    parse_instrs ctx (Const (Value.I64 (parse_int64 x)) :: acc) rest
+  | "f32.const" ->
+    let x, rest = take1 rest a in
+    parse_instrs ctx (Const (Value.f32 (parse_float x)) :: acc) rest
+  | "f64.const" ->
+    let x, rest = take1 rest a in
+    parse_instrs ctx (Const (Value.F64 (parse_float x)) :: acc) rest
+  | _ ->
+    (match List.assoc_opt a load_store_instrs with
+     | Some (natural, op) ->
+       let offset, align, rest = parse_memarg ~default_align:natural rest in
+       let op =
+         match op with
+         | Load l -> Load { l with lalign = align; loffset = offset }
+         | Store s -> Store { s with salign = align; soffset = offset }
+         | _ -> assert false
+       in
+       parse_instrs ctx (op :: acc) rest
+     | None ->
+       (match List.assoc_opt a simple_instrs with
+        | Some ins -> parse_instrs ctx (ins :: acc) rest
+        | None -> error "unknown instruction %S" a))
+
+(** A folded instruction: operands first, then the head. *)
+and parse_folded ctx acc head inner : instr list =
+  match head with
+  | "block" | "loop" ->
+    let label, inner = take_label inner in
+    let bt, inner = parse_block_type inner in
+    ctx.labels <- label :: ctx.labels;
+    let body = parse_instrs ctx [] inner in
+    ctx.labels <- List.tl ctx.labels;
+    (End :: body) @ ((if head = "block" then Block bt else Loop bt) :: acc)
+  | "if" ->
+    let label, inner = take_label inner in
+    let bt, inner = parse_block_type inner in
+    (* condition expressions come before the (then ...) clause *)
+    let rec split_cond cond = function
+      | List (Atom "then" :: then_body) :: rest -> (List.rev cond, then_body, rest)
+      | x :: rest -> split_cond (x :: cond) rest
+      | [] -> error "folded if requires a (then ...) clause"
+    in
+    let cond, then_body, rest = split_cond [] inner in
+    let acc = parse_instrs ctx acc cond in
+    ctx.labels <- label :: ctx.labels;
+    let then_instrs = parse_instrs ctx [] then_body in
+    let else_instrs =
+      match rest with
+      | [] -> []
+      | [ List (Atom "else" :: else_body) ] -> parse_instrs ctx [] else_body
+      | _ -> error "unexpected clauses after (then ...)"
+    in
+    ctx.labels <- List.tl ctx.labels;
+    let folded =
+      match else_instrs with
+      | [] -> End :: then_instrs
+      | _ -> (End :: else_instrs) @ (Else :: then_instrs)
+    in
+    folded @ (If bt :: acc)
+  | _ ->
+    (* (op operand1 operand2 ...): split immediates from operand forms *)
+    let imms, operands = List.partition (function List _ -> false | _ -> true) inner in
+    let acc = List.fold_left (fun acc operand ->
+      match operand with
+      | List (Atom h :: rest) -> parse_folded ctx acc h rest
+      | _ -> error "bad operand")
+      acc operands
+    in
+    parse_plain ctx acc head imms |> fun r ->
+    (* parse_plain with rest=imms consumed them and returned the result *)
+    r
+
+(* --- module fields -------------------------------------------------------- *)
+
+type partial = {
+  mutable p_types : func_type list;  (* reversed *)
+  mutable p_imports : import list;
+  mutable p_funcs : (string option * value_type list * value_type list *
+                     (string * int) list * value_type list * sexp list *
+                     string option) list;
+      (* name, params, results, local names(with params), locals, body sexps, export *)
+  mutable p_tables : table_type list;
+  mutable p_memories : memory_type list;
+  mutable p_globals : (string option * global_type * sexp list * string option) list;
+  mutable p_exports : export list;
+  mutable p_start : string option;
+  mutable p_elems : (sexp list * string list) list;
+  mutable p_datas : (sexp list * string) list;
+}
+
+let type_index_of p ft =
+  let rec find i = function
+    | [] -> None
+    | t :: rest -> if equal_func_type t ft then Some (List.length p.p_types - 1 - i) else find (i + 1) rest
+  in
+  match find 0 p.p_types with
+  | Some i -> i
+  | None ->
+    p.p_types <- ft :: p.p_types;
+    List.length p.p_types - 1
+
+let parse_limits = function
+  | [ Atom min ] -> { lim_min = int_of_string min; lim_max = None }
+  | [ Atom min; Atom max ] -> { lim_min = int_of_string min; lim_max = Some (int_of_string max) }
+  | _ -> error "bad limits"
+
+let const_expr_of env sexps =
+  (* the environment is needed for global.get in initialisers *)
+  let ctx = { env; locals = []; labels = [] } in
+  List.rev (parse_instrs ctx [] sexps)
+
+(** Parse a module from its text representation. *)
+let parse (src : string) : module_ =
+  let top =
+    match tokenize src with
+    | [ List (Atom "module" :: fields) ] -> fields
+    | fields -> fields  (* allow a bare field list *)
+  in
+  let env = { func_names = []; global_names = []; type_names = [] } in
+  let p = {
+    p_types = []; p_imports = []; p_funcs = []; p_tables = []; p_memories = [];
+    p_globals = []; p_exports = []; p_start = None; p_elems = []; p_datas = [];
+  } in
+  let n_func_imports = ref 0 in
+  let func_count = ref 0 in
+  let global_count = ref 0 in
+  (* imported functions occupy the first indices, so count them before
+     assigning indices to named module functions *)
+  List.iter
+    (fun field ->
+       match field with
+       | List (Atom "import" :: Str _ :: Str _ :: [ List (Atom "func" :: rest) ]) ->
+         (match take_label rest with
+          | Some n, _ -> env.func_names <- (n, !n_func_imports) :: env.func_names
+          | None, _ -> ());
+         incr n_func_imports
+       | _ -> ())
+    top;
+  (* first pass: establish names and indices *)
+  List.iter
+    (fun field ->
+       match field with
+       | List (Atom "type" :: rest) ->
+         let name, rest = take_label rest in
+         (match rest with
+          | [ List (Atom "func" :: sig_) ] ->
+            let params, results, _, _ = parse_func_sig sig_ in
+            let idx = List.length p.p_types in
+            p.p_types <- { params; results } :: p.p_types;
+            (match name with
+             | Some n -> env.type_names <- (n, idx) :: env.type_names
+             | None -> ())
+          | _ -> error "bad type field")
+       | List (Atom "import" :: _) ->
+         (* counted in second pass; imports must precede funcs in our subset *)
+         ()
+       | List (Atom "func" :: rest) ->
+         let name, _ = take_label rest in
+         (match name with
+          | Some n -> env.func_names <- (n, !func_count + !n_func_imports) :: env.func_names
+          | None -> ());
+         incr func_count
+       | List (Atom "global" :: rest) ->
+         let name, _ = take_label rest in
+         (match name with
+          | Some n -> env.global_names <- (n, !global_count) :: env.global_names
+          | None -> ());
+         incr global_count
+       | _ -> ())
+    top;
+  (* second pass: collect fields *)
+  List.iter
+    (fun field ->
+       match field with
+       | List (Atom "type" :: _) -> ()
+       | List (Atom "import" :: Str module_name :: Str item_name :: [ desc ]) ->
+         let idesc =
+           match desc with
+           | List (Atom "func" :: rest) ->
+             let _, rest = take_label rest in
+             (match rest with
+              | [ List [ Atom "type"; Atom t ] ] ->
+                (* explicit type-use, as the printer emits *)
+                FuncImport (resolve env.type_names t "type")
+              | _ ->
+                let params, results, _, _ = parse_func_sig rest in
+                FuncImport (type_index_of p { params; results }))
+           | List (Atom "memory" :: lims) -> MemoryImport { mem_limits = parse_limits lims }
+           | List (Atom "table" :: rest) ->
+             let lims = List.filter (function Atom "funcref" -> false | _ -> true) rest in
+             TableImport { tbl_limits = parse_limits lims }
+           | List [ Atom "global"; Atom ty ] ->
+             GlobalImport { content = value_type_of_atom ty; mutability = Immutable }
+           | List [ Atom "global"; List [ Atom "mut"; Atom ty ] ] ->
+             GlobalImport { content = value_type_of_atom ty; mutability = Mutable }
+           | _ -> error "bad import description"
+         in
+         p.p_imports <- { module_name; item_name; idesc } :: p.p_imports
+       | List (Atom "func" :: rest) ->
+         let name, rest = take_label rest in
+         let export, rest =
+           match rest with
+           | List [ Atom "export"; Str e ] :: r -> (Some e, r)
+           | r -> (None, r)
+         in
+         let params, results, rest, param_names = parse_func_sig rest in
+         let locals = ref [] and local_names = ref param_names and body = ref [] in
+         let n_locals = ref (List.length params) in
+         List.iter
+           (fun f ->
+              match f with
+              | List (Atom "local" :: Atom n :: tys) when String.length n > 0 && n.[0] = '$' ->
+                (match tys with
+                 | [ Atom ty ] ->
+                   local_names := (n, !n_locals) :: !local_names;
+                   incr n_locals;
+                   locals := value_type_of_atom ty :: !locals
+                 | _ -> error "named local takes one type")
+              | List (Atom "local" :: tys) ->
+                let ts = parse_value_types tys in
+                n_locals := !n_locals + List.length ts;
+                locals := List.rev_append ts !locals
+              | f -> body := f :: !body)
+           rest;
+         p.p_funcs <-
+           (name, params, results, !local_names, List.rev !locals, List.rev !body, export)
+           :: p.p_funcs
+       | List (Atom "memory" :: rest) ->
+         let _, rest = take_label rest in
+         p.p_memories <- { mem_limits = parse_limits rest } :: p.p_memories
+       | List (Atom "table" :: rest) ->
+         let _, rest = take_label rest in
+         let lims = List.filter (function Atom "funcref" -> false | _ -> true) rest in
+         p.p_tables <- { tbl_limits = parse_limits lims } :: p.p_tables
+       | List (Atom "global" :: rest) ->
+         let name, rest = take_label rest in
+         let export, rest =
+           match rest with
+           | List [ Atom "export"; Str e ] :: r -> (Some e, r)
+           | r -> (None, r)
+         in
+         (match rest with
+          | [ ty_form; init ] ->
+            let gtype =
+              match ty_form with
+              | Atom ty -> { content = value_type_of_atom ty; mutability = Immutable }
+              | List [ Atom "mut"; Atom ty ] ->
+                { content = value_type_of_atom ty; mutability = Mutable }
+              | _ -> error "bad global type"
+            in
+            p.p_globals <- (name, gtype, [ init ], export) :: p.p_globals
+          | _ -> error "bad global field")
+       | List (Atom "export" :: Str name :: [ desc ]) ->
+         let edesc =
+           match desc with
+           | List [ Atom "func"; Atom x ] -> FuncExport (resolve env.func_names x "function")
+           | List [ Atom "memory"; Atom x ] -> MemoryExport (int_of_string x)
+           | List [ Atom "table"; Atom x ] -> TableExport (int_of_string x)
+           | List [ Atom "global"; Atom x ] -> GlobalExport (resolve env.global_names x "global")
+           | _ -> error "bad export description"
+         in
+         p.p_exports <- { name; edesc } :: p.p_exports
+       | List [ Atom "start"; Atom f ] -> p.p_start <- Some f
+       | List (Atom "elem" :: List offset :: rest) ->
+         let funcs =
+           List.filter_map
+             (function
+               | Atom "func" -> None
+               | Atom x -> Some x
+               | _ -> error "bad elem entry")
+             rest
+         in
+         p.p_elems <- ([ List offset ], funcs) :: p.p_elems
+       | List (Atom "data" :: List offset :: strs) ->
+         let bytes =
+           String.concat "" (List.map (function Str s -> s | _ -> error "bad data") strs)
+         in
+         p.p_datas <- ([ List offset ], bytes) :: p.p_datas
+       | _ -> error "unknown module field")
+    top;
+  (* finalise: compile function bodies now that all names are known *)
+  let funcs =
+    List.rev_map
+      (fun (_, params, results, local_names, locals, body_sexps, _) ->
+         let ctx = { env; locals = local_names; labels = [] } in
+         let body = List.rev (parse_instrs ctx [] body_sexps) in
+         { ftype = type_index_of p { params; results }; locals; body })
+      p.p_funcs
+  in
+  let inline_exports =
+    List.rev p.p_funcs
+    |> List.mapi (fun k (_, _, _, _, _, _, export) -> (k, export))
+    |> List.filter_map (fun (k, export) ->
+      Option.map (fun e -> { name = e; edesc = FuncExport (!n_func_imports + k) }) export)
+  in
+  let global_exports =
+    List.rev p.p_globals
+    |> List.mapi (fun k (_, _, _, export) -> (k, export))
+    |> List.filter_map (fun (k, export) ->
+      Option.map (fun e -> { name = e; edesc = GlobalExport k }) export)
+  in
+  {
+    types = List.rev p.p_types;
+    imports = List.rev p.p_imports;
+    funcs;
+    tables = List.rev p.p_tables;
+    memories = List.rev p.p_memories;
+    globals =
+      List.rev_map
+        (fun (_, gtype, init, _) -> { gtype; ginit = const_expr_of env init })
+        p.p_globals;
+    exports = List.rev p.p_exports @ inline_exports @ global_exports;
+    start = Option.map (fun f -> resolve env.func_names f "function") p.p_start;
+    elems =
+      List.rev_map
+        (fun (offset, fs) ->
+           { etable = 0;
+             eoffset = const_expr_of env offset;
+             einit = List.map (fun f -> resolve env.func_names f "function") fs })
+        p.p_elems;
+    datas =
+      List.rev_map
+        (fun (offset, bytes) -> { dmemory = 0; doffset = const_expr_of env offset; dinit = bytes })
+        p.p_datas;
+  }

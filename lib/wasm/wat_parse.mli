@@ -1,0 +1,9 @@
+(** Parser for the WebAssembly text format: modules with
+    type/import/func/memory/table/global/export/start/elem/data fields,
+    numeric and [$name] identifiers, linear instruction sequences, and
+    folded s-expressions including [(if (then ...) (else ...))]. *)
+
+exception Parse_error of string
+
+val parse : string -> Ast.module_
+(** @raise Parse_error on malformed input. *)

@@ -1,0 +1,33 @@
+(** The benchmark corpus of the paper's evaluation (Section 4.1): the 30
+    PolyBench kernels plus the two real-world stand-ins, each exporting
+    [run : () -> f64]. *)
+
+type kind = Polybench | Realworld
+
+type entry = {
+  name : string;
+  kind : kind;
+  module_ : Wasm.Ast.module_;
+}
+
+(** Build the corpus. [n] scales the PolyBench problem size and [scale]
+    the real-world programs; the defaults keep interpreted, fully
+    instrumented runs fast enough for CI. *)
+let make ?(n = Polybench.default_n) ?(scale = 1) () =
+  List.map (fun (name, m) -> { name; kind = Polybench; module_ = m }) (Polybench.all ~n ())
+  @ List.map (fun (name, m) -> { name; kind = Realworld; module_ = m }) (Realworld.all ~scale ())
+
+let polybench entries = List.filter (fun e -> e.kind = Polybench) entries
+let realworld entries = List.filter (fun e -> e.kind = Realworld) entries
+
+let find entries name =
+  match List.find_opt (fun e -> e.name = name) entries with
+  | Some e -> e
+  | None -> invalid_arg (Printf.sprintf "unknown corpus entry %S" name)
+
+(** Uninstrumented reference execution; returns the checksum. *)
+let run_reference ?(fuel = max_int) (e : entry) : float =
+  let inst = Wasm.Interp.instantiate ~fuel ~imports:[] e.module_ in
+  match Wasm.Interp.invoke_export inst "run" [] with
+  | [ Wasm.Value.F64 x ] -> x
+  | _ -> invalid_arg (e.name ^ ": run did not return a single f64")

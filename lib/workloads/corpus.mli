@@ -1,0 +1,24 @@
+(** The benchmark corpus of the paper's evaluation (Section 4.1): the 30
+    PolyBench kernels plus the two real-world stand-ins, each exporting
+    [run : () -> f64]. *)
+
+type kind = Polybench | Realworld
+
+type entry = {
+  name : string;
+  kind : kind;
+  module_ : Wasm.Ast.module_;
+}
+
+val make : ?n:int -> ?scale:int -> unit -> entry list
+(** [n] scales the PolyBench problem size, [scale] the real-world
+    programs; defaults keep fully instrumented interpreted runs fast. *)
+
+val polybench : entry list -> entry list
+val realworld : entry list -> entry list
+
+val find : entry list -> string -> entry
+(** @raise Invalid_argument on unknown names. *)
+
+val run_reference : ?fuel:int -> entry -> float
+(** Uninstrumented execution; returns the checksum. *)

@@ -1,0 +1,812 @@
+(** The 30 PolyBench/C 4.2 kernels, written in MiniC and compiled to Wasm
+    by {!Minic.Mc_compile}. These stand in for the emscripten-compiled
+    PolyBench binaries of the paper's evaluation (Section 4.1).
+
+    Every kernel follows the PolyBench structure: deterministic
+    initialisation (the same index formulas as the C sources), the kernel
+    loop nest, and a checksum over the output array, returned by an
+    exported function [run : () -> f64]. Problem sizes are scaled down
+    (interpreted execution) but preserve the loop-nest shapes and
+    instruction mix. *)
+
+open Minic
+open Mc_ast
+open Mc_ast.Dsl
+
+(** float(e) for an int expression. *)
+let fl e = Cast (TFloat, e)
+
+(** Default problem size; kernels derive their extents from it. *)
+let default_n = 8
+
+(* Distinct array base addresses; at n <= 32 every array fits in 64 KiB:
+   the largest use is 3D n^3 * 8 bytes = 256 KiB for n=32 -> use 8 pages. *)
+let base k = i (Stdlib.( * ) k 65536)
+
+let pages = 9
+
+(* locals shared by most kernels *)
+let ijk = [ ("i", TInt); ("j", TInt); ("k", TInt); ("acc", TFloat); ("n", TInt) ]
+
+(** Sum the [count] f64 values starting at [arr] into "acc". *)
+let checksum ?(var = "acc") arr count =
+  [ var := f 0.0;
+    For ("i", i 0, count, [ var := v var + fload arr (v "i") ]);
+  ]
+
+let kernel ?(locals = ijk) ~n name body =
+  let fd =
+    func "run" ~params:[] ~result:TFloat ~locals
+      (("n" := i n) :: body)
+  in
+  (name, program ~memory_pages:pages [ fd ])
+
+(* 2D index i*n + j as an expression *)
+let idx2 a b = v a * v "n" + v b
+let idx2' a b = a * v "n" + b
+
+(** init A[i][j] = ((i*j+c1) mod n) / n, the PolyBench pattern *)
+let init2d arr c1 =
+  For ("i", i 0, v "n",
+       [ For ("j", i 0, v "n",
+              [ fstore arr (idx2 "i" "j")
+                  (fl (Binop (Rem, v "i" * v "j" + i c1, v "n")) / fl (v "n")) ]) ])
+
+let init1d arr c1 =
+  For ("i", i 0, v "n",
+       [ fstore arr (v "i") (fl (Binop (Rem, v "i" + i c1, v "n")) / fl (v "n")) ])
+
+(* ------------------------------------------------------------------ *)
+(* Linear algebra / BLAS                                               *)
+(* ------------------------------------------------------------------ *)
+
+let gemm ~n =
+  let a = base 0 and b = base 1 and c = base 2 in
+  kernel ~n "gemm"
+    ([ init2d a 1; init2d b 2; init2d c 3 ]
+     @ [ For ("i", i 0, v "n",
+              [ For ("j", i 0, v "n",
+                     [ fstore c (idx2 "i" "j") (fload c (idx2 "i" "j") * f 1.2);
+                       For ("k", i 0, v "n",
+                            [ fstore c (idx2 "i" "j")
+                                (fload c (idx2 "i" "j")
+                                 + f 1.5 * fload a (idx2 "i" "k") * fload b (idx2 "k" "j")) ]) ]) ]) ]
+     @ checksum c (v "n" * v "n")
+     @ [ Return (Some (v "acc")) ])
+
+let two_mm ~n =
+  let a = base 0 and b = base 1 and c = base 2 and d = base 3 and tmp = base 4 in
+  kernel ~n "2mm"
+    ([ init2d a 1; init2d b 2; init2d c 3; init2d d 4 ]
+     @ [ For ("i", i 0, v "n",
+              [ For ("j", i 0, v "n",
+                     [ fstore tmp (idx2 "i" "j") (f 0.0);
+                       For ("k", i 0, v "n",
+                            [ fstore tmp (idx2 "i" "j")
+                                (fload tmp (idx2 "i" "j")
+                                 + f 1.5 * fload a (idx2 "i" "k") * fload b (idx2 "k" "j")) ]) ]) ]);
+         For ("i", i 0, v "n",
+              [ For ("j", i 0, v "n",
+                     [ fstore d (idx2 "i" "j") (fload d (idx2 "i" "j") * f 1.2);
+                       For ("k", i 0, v "n",
+                            [ fstore d (idx2 "i" "j")
+                                (fload d (idx2 "i" "j")
+                                 + fload tmp (idx2 "i" "k") * fload c (idx2 "k" "j")) ]) ]) ]) ]
+     @ checksum d (v "n" * v "n")
+     @ [ Return (Some (v "acc")) ])
+
+let three_mm ~n =
+  let a = base 0 and b = base 1 and c = base 2 and d = base 3 in
+  let e = base 4 and ff = base 5 and g = base 6 in
+  let mm dst x y =
+    For ("i", i 0, v "n",
+         [ For ("j", i 0, v "n",
+                [ fstore dst (idx2 "i" "j") (f 0.0);
+                  For ("k", i 0, v "n",
+                       [ fstore dst (idx2 "i" "j")
+                           (fload dst (idx2 "i" "j")
+                            + fload x (idx2 "i" "k") * fload y (idx2 "k" "j")) ]) ]) ])
+  in
+  kernel ~n "3mm"
+    ([ init2d a 1; init2d b 2; init2d c 3; init2d d 4 ]
+     @ [ mm e a b; mm ff c d; mm g e ff ]
+     @ checksum g (v "n" * v "n")
+     @ [ Return (Some (v "acc")) ])
+
+let atax ~n =
+  let a = base 0 and x = base 1 and y = base 2 and tmp = base 3 in
+  kernel ~n "atax"
+    ([ init2d a 1; init1d x 2 ]
+     @ [ For ("i", i 0, v "n", [ fstore y (v "i") (f 0.0) ]);
+         For ("i", i 0, v "n",
+              [ fstore tmp (v "i") (f 0.0);
+                For ("j", i 0, v "n",
+                     [ fstore tmp (v "i")
+                         (fload tmp (v "i") + fload a (idx2 "i" "j") * fload x (v "j")) ]);
+                For ("j", i 0, v "n",
+                     [ fstore y (v "j")
+                         (fload y (v "j") + fload a (idx2 "i" "j") * fload tmp (v "i")) ]) ]) ]
+     @ checksum y (v "n")
+     @ [ Return (Some (v "acc")) ])
+
+let bicg ~n =
+  let a = base 0 and s = base 1 and q = base 2 and p = base 3 and r = base 4 in
+  kernel ~n "bicg"
+    ([ init2d a 1; init1d p 2; init1d r 3 ]
+     @ [ For ("i", i 0, v "n", [ fstore s (v "i") (f 0.0) ]);
+         For ("i", i 0, v "n",
+              [ fstore q (v "i") (f 0.0);
+                For ("j", i 0, v "n",
+                     [ fstore s (v "j")
+                         (fload s (v "j") + fload r (v "i") * fload a (idx2 "i" "j"));
+                       fstore q (v "i")
+                         (fload q (v "i") + fload a (idx2 "i" "j") * fload p (v "j")) ]) ]) ]
+     @ checksum s (v "n")
+     @ [ "j" := i 0;
+         While (v "j" < v "n",
+                [ "acc" := v "acc" + fload q (v "j"); "j" := v "j" + i 1 ]);
+         Return (Some (v "acc")) ])
+
+let mvt ~n =
+  let a = base 0 and x1 = base 1 and x2 = base 2 and y1 = base 3 and y2 = base 4 in
+  kernel ~n "mvt"
+    ([ init2d a 1; init1d x1 2; init1d x2 3; init1d y1 4; init1d y2 5 ]
+     @ [ For ("i", i 0, v "n",
+              [ For ("j", i 0, v "n",
+                     [ fstore x1 (v "i")
+                         (fload x1 (v "i") + fload a (idx2 "i" "j") * fload y1 (v "j")) ]) ]);
+         For ("i", i 0, v "n",
+              [ For ("j", i 0, v "n",
+                     [ fstore x2 (v "i")
+                         (fload x2 (v "i") + fload a (idx2 "j" "i") * fload y2 (v "j")) ]) ]) ]
+     @ checksum x1 (v "n")
+     @ [ For ("j", i 0, v "n", [ "acc" := v "acc" + fload x2 (v "j") ]);
+         Return (Some (v "acc")) ])
+
+let gemver ~n =
+  let a = base 0 and u1 = base 1 and v1 = base 2 and u2 = base 3 and v2 = base 4 in
+  let w = base 5 and x = base 6 and y = base 7 and z = base 8 in
+  kernel ~n "gemver"
+    ([ init2d a 1; init1d u1 1; init1d v1 2; init1d u2 3; init1d v2 4;
+       init1d y 5; init1d z 6;
+       For ("i", i 0, v "n", [ fstore w (v "i") (f 0.0); fstore x (v "i") (f 0.0) ]) ]
+     @ [ For ("i", i 0, v "n",
+              [ For ("j", i 0, v "n",
+                     [ fstore a (idx2 "i" "j")
+                         (fload a (idx2 "i" "j")
+                          + fload u1 (v "i") * fload v1 (v "j")
+                          + fload u2 (v "i") * fload v2 (v "j")) ]) ]);
+         For ("i", i 0, v "n",
+              [ For ("j", i 0, v "n",
+                     [ fstore x (v "i")
+                         (fload x (v "i") + f 1.2 * fload a (idx2 "j" "i") * fload y (v "j")) ]) ]);
+         For ("i", i 0, v "n",
+              [ fstore x (v "i") (fload x (v "i") + fload z (v "i")) ]);
+         For ("i", i 0, v "n",
+              [ For ("j", i 0, v "n",
+                     [ fstore w (v "i")
+                         (fload w (v "i") + f 1.5 * fload a (idx2 "i" "j") * fload x (v "j")) ]) ]) ]
+     @ checksum w (v "n")
+     @ [ Return (Some (v "acc")) ])
+
+let gesummv ~n =
+  let a = base 0 and b = base 1 and x = base 2 and y = base 3 and tmp = base 4 in
+  kernel ~n "gesummv"
+    ([ init2d a 1; init2d b 2; init1d x 3 ]
+     @ [ For ("i", i 0, v "n",
+              [ fstore tmp (v "i") (f 0.0);
+                fstore y (v "i") (f 0.0);
+                For ("j", i 0, v "n",
+                     [ fstore tmp (v "i")
+                         (fload tmp (v "i") + fload a (idx2 "i" "j") * fload x (v "j"));
+                       fstore y (v "i")
+                         (fload y (v "i") + fload b (idx2 "i" "j") * fload x (v "j")) ]);
+                fstore y (v "i") (f 1.5 * fload tmp (v "i") + f 1.2 * fload y (v "i")) ]) ]
+     @ checksum y (v "n")
+     @ [ Return (Some (v "acc")) ])
+
+let symm ~n =
+  let a = base 0 and b = base 1 and c = base 2 in
+  kernel ~n ~locals:(ijk @ [ ("temp2", TFloat) ]) "symm"
+    ([ init2d a 1; init2d b 2; init2d c 3 ]
+     @ [ For ("i", i 0, v "n",
+              [ For ("j", i 0, v "n",
+                     [ "temp2" := f 0.0;
+                       For ("k", i 0, v "i",
+                            [ fstore c (idx2 "k" "j")
+                                (fload c (idx2 "k" "j")
+                                 + f 1.5 * fload b (idx2 "i" "j") * fload a (idx2 "i" "k"));
+                              "temp2" := v "temp2"
+                                         + fload b (idx2 "k" "j") * fload a (idx2 "i" "k") ]);
+                       fstore c (idx2 "i" "j")
+                         (f 1.2 * fload c (idx2 "i" "j")
+                          + f 1.5 * fload b (idx2 "i" "j") * fload a (idx2 "i" "i")
+                          + f 1.5 * v "temp2") ]) ]) ]
+     @ checksum c (v "n" * v "n")
+     @ [ Return (Some (v "acc")) ])
+
+let syrk ~n =
+  let a = base 0 and c = base 1 in
+  kernel ~n "syrk"
+    ([ init2d a 1; init2d c 2 ]
+     @ [ For ("i", i 0, v "n",
+              [ For ("j", i 0, v "i" + i 1,
+                     [ fstore c (idx2 "i" "j") (fload c (idx2 "i" "j") * f 1.2) ]);
+                For ("k", i 0, v "n",
+                     [ For ("j", i 0, v "i" + i 1,
+                            [ fstore c (idx2 "i" "j")
+                                (fload c (idx2 "i" "j")
+                                 + f 1.5 * fload a (idx2 "i" "k") * fload a (idx2 "j" "k")) ]) ]) ]) ]
+     @ checksum c (v "n" * v "n")
+     @ [ Return (Some (v "acc")) ])
+
+let syr2k ~n =
+  let a = base 0 and b = base 1 and c = base 2 in
+  kernel ~n "syr2k"
+    ([ init2d a 1; init2d b 2; init2d c 3 ]
+     @ [ For ("i", i 0, v "n",
+              [ For ("j", i 0, v "i" + i 1,
+                     [ fstore c (idx2 "i" "j") (fload c (idx2 "i" "j") * f 1.2) ]);
+                For ("k", i 0, v "n",
+                     [ For ("j", i 0, v "i" + i 1,
+                            [ fstore c (idx2 "i" "j")
+                                (fload c (idx2 "i" "j")
+                                 + fload a (idx2 "j" "k") * f 1.5 * fload b (idx2 "i" "k")
+                                 + fload b (idx2 "j" "k") * f 1.5 * fload a (idx2 "i" "k")) ]) ]) ]) ]
+     @ checksum c (v "n" * v "n")
+     @ [ Return (Some (v "acc")) ])
+
+let trmm ~n =
+  let a = base 0 and b = base 1 in
+  kernel ~n "trmm"
+    ([ init2d a 1; init2d b 2 ]
+     @ [ For ("i", i 0, v "n",
+              [ For ("j", i 0, v "n",
+                     [ For ("k", v "i" + i 1, v "n",
+                            [ fstore b (idx2 "i" "j")
+                                (fload b (idx2 "i" "j")
+                                 + fload a (idx2 "k" "i") * fload b (idx2 "k" "j")) ]);
+                       fstore b (idx2 "i" "j") (f 1.5 * fload b (idx2 "i" "j")) ]) ]) ]
+     @ checksum b (v "n" * v "n")
+     @ [ Return (Some (v "acc")) ])
+
+(* ------------------------------------------------------------------ *)
+(* Linear algebra kernels and solvers                                  *)
+(* ------------------------------------------------------------------ *)
+
+let doitgen ~n =
+  (* 3D tensor contraction; nr = nq = np = n *)
+  let a = base 0 and c4 = base 1 and sum = base 2 in
+  let idx3 r q p = (v r * v "n" + v q) * v "n" + v p in
+  kernel ~n ~locals:(ijk @ [ ("r", TInt); ("q", TInt); ("p", TInt); ("s", TInt) ]) "doitgen"
+    ([ For ("r", i 0, v "n",
+            [ For ("q", i 0, v "n",
+                   [ For ("p", i 0, v "n",
+                          [ fstore a (idx3 "r" "q" "p")
+                              (fl (Binop (Rem, (v "r" * v "q" + v "p"), v "n")) / fl (v "n")) ]) ]) ]);
+       init2d c4 1 ]
+     @ [ For ("r", i 0, v "n",
+              [ For ("q", i 0, v "n",
+                     [ For ("p", i 0, v "n",
+                            [ fstore sum (v "p") (f 0.0);
+                              For ("s", i 0, v "n",
+                                   [ fstore sum (v "p")
+                                       (fload sum (v "p")
+                                        + fload a (idx3 "r" "q" "s") * fload c4 (idx2 "s" "p")) ]) ]);
+                       For ("p", i 0, v "n",
+                            [ fstore a (idx3 "r" "q" "p") (fload sum (v "p")) ]) ]) ]) ]
+     @ [ "acc" := f 0.0;
+         For ("i", i 0, v "n" * v "n" * v "n", [ "acc" := v "acc" + fload a (v "i") ]);
+         Return (Some (v "acc")) ])
+
+let cholesky ~n =
+  let a = base 0 in
+  (* make A positive definite: A = I*n + small symmetric part *)
+  kernel ~n "cholesky"
+    ([ For ("i", i 0, v "n",
+            [ For ("j", i 0, v "n",
+                   [ fstore a (idx2 "i" "j")
+                       (Select (v "i" = v "j",
+                                fl (v "n" + v "i") + f 1.0,
+                                f 1.0 / fl (v "i" + v "j" + i 1))) ]) ]) ]
+     @ [ For ("i", i 0, v "n",
+              [ For ("j", i 0, v "i",
+                     [ For ("k", i 0, v "j",
+                            [ fstore a (idx2 "i" "j")
+                                (fload a (idx2 "i" "j")
+                                 - fload a (idx2 "i" "k") * fload a (idx2 "j" "k")) ]);
+                       fstore a (idx2 "i" "j") (fload a (idx2 "i" "j") / fload a (idx2 "j" "j")) ]);
+                For ("k", i 0, v "i",
+                     [ fstore a (idx2 "i" "i")
+                         (fload a (idx2 "i" "i")
+                          - fload a (idx2 "i" "k") * fload a (idx2 "i" "k")) ]);
+                fstore a (idx2 "i" "i") (Unop (Sqrt, fload a (idx2 "i" "i"))) ]) ]
+     @ checksum a (v "n" * v "n")
+     @ [ Return (Some (v "acc")) ])
+
+let lu ~n =
+  let a = base 0 in
+  kernel ~n "lu"
+    ([ For ("i", i 0, v "n",
+            [ For ("j", i 0, v "n",
+                   [ fstore a (idx2 "i" "j")
+                       (Select (v "i" = v "j",
+                                fl (v "n" * i 2 + v "i"),
+                                f 1.0 / fl (v "i" + v "j" + i 1))) ]) ]) ]
+     @ [ For ("i", i 0, v "n",
+              [ For ("j", i 0, v "i",
+                     [ For ("k", i 0, v "j",
+                            [ fstore a (idx2 "i" "j")
+                                (fload a (idx2 "i" "j")
+                                 - fload a (idx2 "i" "k") * fload a (idx2 "k" "j")) ]);
+                       fstore a (idx2 "i" "j") (fload a (idx2 "i" "j") / fload a (idx2 "j" "j")) ]);
+                For ("j", v "i", v "n",
+                     [ For ("k", i 0, v "i",
+                            [ fstore a (idx2 "i" "j")
+                                (fload a (idx2 "i" "j")
+                                 - fload a (idx2 "i" "k") * fload a (idx2 "k" "j")) ]) ]) ]) ]
+     @ checksum a (v "n" * v "n")
+     @ [ Return (Some (v "acc")) ])
+
+let ludcmp ~n =
+  let a = base 0 and b = base 1 and x = base 2 and y = base 3 in
+  kernel ~n ~locals:(ijk @ [ ("w", TFloat) ]) "ludcmp"
+    ([ For ("i", i 0, v "n",
+            [ fstore b (v "i") (fl (v "i" + i 1) / fl (v "n") / f 2.0 + f 4.0);
+              For ("j", i 0, v "n",
+                   [ fstore a (idx2 "i" "j")
+                       (Select (v "i" = v "j",
+                                fl (v "n" * i 2 + v "i"),
+                                f 1.0 / fl (v "i" + v "j" + i 1))) ]) ]) ]
+     @ [ For ("i", i 0, v "n",
+              [ For ("j", i 0, v "i",
+                     [ "w" := fload a (idx2 "i" "j");
+                       For ("k", i 0, v "j",
+                            [ "w" := v "w" - fload a (idx2 "i" "k") * fload a (idx2 "k" "j") ]);
+                       fstore a (idx2 "i" "j") (v "w" / fload a (idx2 "j" "j")) ]);
+                For ("j", v "i", v "n",
+                     [ "w" := fload a (idx2 "i" "j");
+                       For ("k", i 0, v "i",
+                            [ "w" := v "w" - fload a (idx2 "i" "k") * fload a (idx2 "k" "j") ]);
+                       fstore a (idx2 "i" "j") (v "w") ]) ]);
+         For ("i", i 0, v "n",
+              [ "w" := fload b (v "i");
+                For ("j", i 0, v "i",
+                     [ "w" := v "w" - fload a (idx2 "i" "j") * fload y (v "j") ]);
+                fstore y (v "i") (v "w") ]);
+         ForStep ("i", v "n" - i 1, i 0 - i 1, i 0 - i 1,
+                  [ "w" := fload y (v "i");
+                    For ("j", v "i" + i 1, v "n",
+                         [ "w" := v "w" - fload a (idx2 "i" "j") * fload x (v "j") ]);
+                    fstore x (v "i") (v "w" / fload a (idx2 "i" "i")) ]) ]
+     @ checksum x (v "n")
+     @ [ Return (Some (v "acc")) ])
+
+let trisolv ~n =
+  let l = base 0 and x = base 1 and b = base 2 in
+  kernel ~n "trisolv"
+    ([ For ("i", i 0, v "n",
+            [ fstore b (v "i") (fl (v "i") / fl (v "n") / f 2.0);
+              For ("j", i 0, v "i" + i 1,
+                   [ fstore l (idx2 "i" "j")
+                       (Select (v "i" = v "j",
+                                fl (v "n" + v "i") + f 1.0,
+                                fl (v "i" + v "j") / fl (v "n"))) ]) ]) ]
+     @ [ For ("i", i 0, v "n",
+              [ fstore x (v "i") (fload b (v "i"));
+                For ("j", i 0, v "i",
+                     [ fstore x (v "i")
+                         (fload x (v "i") - fload l (idx2 "i" "j") * fload x (v "j")) ]);
+                fstore x (v "i") (fload x (v "i") / fload l (idx2 "i" "i")) ]) ]
+     @ checksum x (v "n")
+     @ [ Return (Some (v "acc")) ])
+
+let durbin ~n =
+  let r = base 0 and y = base 1 and z = base 2 in
+  kernel ~n
+    ~locals:(ijk @ [ ("alpha", TFloat); ("beta", TFloat); ("sum", TFloat) ])
+    "durbin"
+    ([ For ("i", i 0, v "n",
+            [ fstore r (v "i") (fl (v "n" + i 1 - v "i") / fl (v "n") / f 2.0) ]) ]
+     @ [ fstore y (i 0) (Unop (Neg, fload r (i 0)));
+         "beta" := f 1.0;
+         "alpha" := Unop (Neg, fload r (i 0));
+         For ("k", i 1, v "n",
+              [ "beta" := (f 1.0 - v "alpha" * v "alpha") * v "beta";
+                "sum" := f 0.0;
+                For ("i", i 0, v "k",
+                     [ "sum" := v "sum" + fload r (v "k" - v "i" - i 1) * fload y (v "i") ]);
+                "alpha" := Unop (Neg, fload r (v "k") + v "sum") / v "beta";
+                For ("i", i 0, v "k",
+                     [ fstore z (v "i")
+                         (fload y (v "i") + v "alpha" * fload y (v "k" - v "i" - i 1)) ]);
+                For ("i", i 0, v "k", [ fstore y (v "i") (fload z (v "i")) ]);
+                fstore y (v "k") (v "alpha") ]) ]
+     @ checksum y (v "n")
+     @ [ Return (Some (v "acc")) ])
+
+let gramschmidt ~n =
+  let a = base 0 and q = base 1 and r = base 2 in
+  kernel ~n ~locals:(ijk @ [ ("nrm", TFloat) ]) "gramschmidt"
+    ([ For ("i", i 0, v "n",
+            [ For ("j", i 0, v "n",
+                   [ fstore a (idx2 "i" "j")
+                       (fl (Binop (Rem, v "i" * v "j" + i 1, v "n")) / fl (v "n") + f 1.0) ]) ]) ]
+     @ [ For ("k", i 0, v "n",
+              [ "nrm" := f 0.0;
+                For ("i", i 0, v "n",
+                     [ "nrm" := v "nrm" + fload a (idx2 "i" "k") * fload a (idx2 "i" "k") ]);
+                fstore r (idx2 "k" "k") (Unop (Sqrt, v "nrm"));
+                For ("i", i 0, v "n",
+                     [ fstore q (idx2 "i" "k") (fload a (idx2 "i" "k") / fload r (idx2 "k" "k")) ]);
+                For ("j", v "k" + i 1, v "n",
+                     [ fstore r (idx2 "k" "j") (f 0.0);
+                       For ("i", i 0, v "n",
+                            [ fstore r (idx2 "k" "j")
+                                (fload r (idx2 "k" "j")
+                                 + fload q (idx2 "i" "k") * fload a (idx2 "i" "j")) ]);
+                       For ("i", i 0, v "n",
+                            [ fstore a (idx2 "i" "j")
+                                (fload a (idx2 "i" "j")
+                                 - fload q (idx2 "i" "k") * fload r (idx2 "k" "j")) ]) ]) ]) ]
+     @ checksum r (v "n" * v "n")
+     @ [ Return (Some (v "acc")) ])
+
+(* ------------------------------------------------------------------ *)
+(* Data mining                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let covariance ~n =
+  let data = base 0 and cov = base 1 and mean = base 2 in
+  kernel ~n "covariance"
+    ([ init2d data 1 ]
+     @ [ For ("j", i 0, v "n",
+              [ fstore mean (v "j") (f 0.0);
+                For ("i", i 0, v "n",
+                     [ fstore mean (v "j") (fload mean (v "j") + fload data (idx2 "i" "j")) ]);
+                fstore mean (v "j") (fload mean (v "j") / fl (v "n")) ]);
+         For ("i", i 0, v "n",
+              [ For ("j", i 0, v "n",
+                     [ fstore data (idx2 "i" "j")
+                         (fload data (idx2 "i" "j") - fload mean (v "j")) ]) ]);
+         For ("i", i 0, v "n",
+              [ For ("j", v "i", v "n",
+                     [ fstore cov (idx2 "i" "j") (f 0.0);
+                       For ("k", i 0, v "n",
+                            [ fstore cov (idx2 "i" "j")
+                                (fload cov (idx2 "i" "j")
+                                 + fload data (idx2 "k" "i") * fload data (idx2 "k" "j")) ]);
+                       fstore cov (idx2 "i" "j") (fload cov (idx2 "i" "j") / fl (v "n" - i 1));
+                       fstore cov (idx2 "j" "i") (fload cov (idx2 "i" "j")) ]) ]) ]
+     @ checksum cov (v "n" * v "n")
+     @ [ Return (Some (v "acc")) ])
+
+let correlation ~n =
+  let data = base 0 and corr = base 1 and mean = base 2 and stddev = base 3 in
+  kernel ~n "correlation"
+    ([ init2d data 1 ]
+     @ [ For ("j", i 0, v "n",
+              [ fstore mean (v "j") (f 0.0);
+                For ("i", i 0, v "n",
+                     [ fstore mean (v "j") (fload mean (v "j") + fload data (idx2 "i" "j")) ]);
+                fstore mean (v "j") (fload mean (v "j") / fl (v "n")) ]);
+         For ("j", i 0, v "n",
+              [ fstore stddev (v "j") (f 0.0);
+                For ("i", i 0, v "n",
+                     [ fstore stddev (v "j")
+                         (fload stddev (v "j")
+                          + (fload data (idx2 "i" "j") - fload mean (v "j"))
+                            * (fload data (idx2 "i" "j") - fload mean (v "j"))) ]);
+                fstore stddev (v "j") (Unop (Sqrt, fload stddev (v "j") / fl (v "n")));
+                If (fload stddev (v "j") <= f 0.1, [ fstore stddev (v "j") (f 1.0) ], []) ]);
+         For ("i", i 0, v "n",
+              [ For ("j", i 0, v "n",
+                     [ fstore data (idx2 "i" "j")
+                         ((fload data (idx2 "i" "j") - fload mean (v "j"))
+                          / (Unop (Sqrt, fl (v "n")) * fload stddev (v "j"))) ]) ]);
+         For ("i", i 0, v "n",
+              [ fstore corr (idx2 "i" "i") (f 1.0);
+                For ("j", v "i" + i 1, v "n",
+                     [ fstore corr (idx2 "i" "j") (f 0.0);
+                       For ("k", i 0, v "n",
+                            [ fstore corr (idx2 "i" "j")
+                                (fload corr (idx2 "i" "j")
+                                 + fload data (idx2 "k" "i") * fload data (idx2 "k" "j")) ]);
+                       fstore corr (idx2 "j" "i") (fload corr (idx2 "i" "j")) ]) ]) ]
+     @ checksum corr (v "n" * v "n")
+     @ [ Return (Some (v "acc")) ])
+
+(* ------------------------------------------------------------------ *)
+(* Medley                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let floyd_warshall ~n =
+  let path = base 0 in
+  (* integer kernel, as in PolyBench *)
+  kernel ~n "floyd-warshall"
+    ([ For ("i", i 0, v "n",
+            [ For ("j", i 0, v "n",
+                   [ istore path (idx2 "i" "j")
+                       (Select (Binop (Rem, v "i" * v "j", i 7) = i 0,
+                                Binop (Rem, v "i" + v "j", i 13) + i 1,
+                                i 999)) ]) ]) ]
+     @ [ For ("k", i 0, v "n",
+              [ For ("i", i 0, v "n",
+                     [ For ("j", i 0, v "n",
+                            [ istore path (idx2 "i" "j")
+                                (Select
+                                   (iload path (idx2 "i" "j")
+                                    <= iload path (idx2 "i" "k") + iload path (idx2 "k" "j"),
+                                    iload path (idx2 "i" "j"),
+                                    iload path (idx2 "i" "k") + iload path (idx2 "k" "j"))) ]) ]) ]) ]
+     @ [ "acc" := f 0.0;
+         For ("i", i 0, v "n" * v "n",
+              [ "acc" := v "acc" + fl (iload path (v "i")) ]);
+         Return (Some (v "acc")) ])
+
+let nussinov ~n =
+  let seq = base 0 and table = base 1 in
+  (* RNA folding dynamic program over an integer table *)
+  let max2 a b = Select (a >= b, a, b) in
+  kernel ~n "nussinov"
+    ([ For ("i", i 0, v "n", [ istore seq (v "i") (Binop (Rem, v "i" + i 1, i 4)) ]);
+       For ("i", i 0, v "n" * v "n", [ istore table (v "i") (i 0) ]) ]
+     @ [ ForStep ("i", v "n" - i 1, i 0 - i 1, i 0 - i 1,
+                  [ For ("j", v "i" + i 1, v "n",
+                         [ If (v "j" - i 1 >= i 0,
+                               [ istore table (idx2 "i" "j")
+                                   (max2 (iload table (idx2 "i" "j"))
+                                      (iload table (idx2' (v "i") (v "j" - i 1)))) ], []);
+                           If (v "i" + i 1 < v "n",
+                               [ istore table (idx2 "i" "j")
+                                   (max2 (iload table (idx2 "i" "j"))
+                                      (iload table (idx2' (v "i" + i 1) (v "j")))) ], []);
+                           If ((v "j" - i 1 >= i 0) && (v "i" + i 1 < v "n"),
+                               [ If (v "i" < v "j" - i 1,
+                                     [ istore table (idx2 "i" "j")
+                                         (max2 (iload table (idx2 "i" "j"))
+                                            (iload table (idx2' (v "i" + i 1) (v "j" - i 1))
+                                             + Select (iload seq (v "i") + iload seq (v "j") = i 3,
+                                                       i 1, i 0))) ],
+                                     [ istore table (idx2 "i" "j")
+                                         (max2 (iload table (idx2 "i" "j"))
+                                            (iload table (idx2' (v "i" + i 1) (v "j" - i 1)))) ]) ], []);
+                           For ("k", v "i" + i 1, v "j",
+                                [ istore table (idx2 "i" "j")
+                                    (max2 (iload table (idx2 "i" "j"))
+                                       (iload table (idx2' (v "i") (v "k"))
+                                        + iload table (idx2' (v "k" + i 1) (v "j")))) ]) ]) ]) ]
+     @ [ "acc" := f 0.0;
+         For ("i", i 0, v "n" * v "n", [ "acc" := v "acc" + fl (iload table (v "i")) ]);
+         Return (Some (v "acc")) ])
+
+let deriche ~n =
+  (* recursive 2D edge-detection filter; simplified coefficient setup *)
+  let img_in = base 0 and img_out = base 1 and y1 = base 2 and y2 = base 3 in
+  kernel ~n
+    ~locals:(ijk @ [ ("xm1", TFloat); ("ym1", TFloat); ("ym2", TFloat) ])
+    "deriche"
+    ([ init2d img_in 1 ]
+     @ [ (* horizontal forward pass *)
+         For ("i", i 0, v "n",
+              [ "ym1" := f 0.0; "ym2" := f 0.0; "xm1" := f 0.0;
+                For ("j", i 0, v "n",
+                     [ fstore y1 (idx2 "i" "j")
+                         (f 0.5 * fload img_in (idx2 "i" "j") + f 0.25 * v "xm1"
+                          + f 0.125 * v "ym1" + f 0.0625 * v "ym2");
+                       "xm1" := fload img_in (idx2 "i" "j");
+                       "ym2" := v "ym1";
+                       "ym1" := fload y1 (idx2 "i" "j") ]) ]);
+         (* horizontal backward pass *)
+         For ("i", i 0, v "n",
+              [ "ym1" := f 0.0; "ym2" := f 0.0; "xm1" := f 0.0;
+                ForStep ("j", v "n" - i 1, i 0 - i 1, i 0 - i 1,
+                         [ fstore y2 (idx2 "i" "j")
+                             (f 0.25 * v "xm1" + f 0.125 * v "ym1" + f 0.0625 * v "ym2");
+                           "xm1" := fload img_in (idx2 "i" "j");
+                           "ym2" := v "ym1";
+                           "ym1" := fload y2 (idx2 "i" "j") ]) ]);
+         For ("i", i 0, v "n",
+              [ For ("j", i 0, v "n",
+                     [ fstore img_out (idx2 "i" "j")
+                         (fload y1 (idx2 "i" "j") + fload y2 (idx2 "i" "j")) ]) ]) ]
+     @ checksum img_out (v "n" * v "n")
+     @ [ Return (Some (v "acc")) ])
+
+(* ------------------------------------------------------------------ *)
+(* Stencils                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let jacobi_1d ~n =
+  let a = base 0 and b = base 1 in
+  kernel ~n ~locals:(ijk @ [ ("t", TInt) ]) "jacobi-1d"
+    ([ For ("i", i 0, v "n",
+            [ fstore a (v "i") (fl (v "i" + i 2) / fl (v "n"));
+              fstore b (v "i") (fl (v "i" + i 3) / fl (v "n")) ]) ]
+     @ [ For ("t", i 0, i 10,
+              [ For ("i", i 1, v "n" - i 1,
+                     [ fstore b (v "i")
+                         (f 0.33333 * (fload a (v "i" - i 1) + fload a (v "i") + fload a (v "i" + i 1))) ]);
+                For ("i", i 1, v "n" - i 1,
+                     [ fstore a (v "i")
+                         (f 0.33333 * (fload b (v "i" - i 1) + fload b (v "i") + fload b (v "i" + i 1))) ]) ]) ]
+     @ checksum a (v "n")
+     @ [ Return (Some (v "acc")) ])
+
+let jacobi_2d ~n =
+  let a = base 0 and b = base 1 in
+  kernel ~n ~locals:(ijk @ [ ("t", TInt) ]) "jacobi-2d"
+    ([ init2d a 1; init2d b 2 ]
+     @ [ For ("t", i 0, i 4,
+              [ For ("i", i 1, v "n" - i 1,
+                     [ For ("j", i 1, v "n" - i 1,
+                            [ fstore b (idx2 "i" "j")
+                                (f 0.2
+                                 * (fload a (idx2 "i" "j")
+                                    + fload a (idx2' (v "i") (v "j" - i 1))
+                                    + fload a (idx2' (v "i") (v "j" + i 1))
+                                    + fload a (idx2' (v "i" + i 1) (v "j"))
+                                    + fload a (idx2' (v "i" - i 1) (v "j")))) ]) ]);
+                For ("i", i 1, v "n" - i 1,
+                     [ For ("j", i 1, v "n" - i 1,
+                            [ fstore a (idx2 "i" "j")
+                                (f 0.2
+                                 * (fload b (idx2 "i" "j")
+                                    + fload b (idx2' (v "i") (v "j" - i 1))
+                                    + fload b (idx2' (v "i") (v "j" + i 1))
+                                    + fload b (idx2' (v "i" + i 1) (v "j"))
+                                    + fload b (idx2' (v "i" - i 1) (v "j")))) ]) ]) ]) ]
+     @ checksum a (v "n" * v "n")
+     @ [ Return (Some (v "acc")) ])
+
+let seidel_2d ~n =
+  let a = base 0 in
+  kernel ~n ~locals:(ijk @ [ ("t", TInt) ]) "seidel-2d"
+    ([ init2d a 1 ]
+     @ [ For ("t", i 0, i 4,
+              [ For ("i", i 1, v "n" - i 1,
+                     [ For ("j", i 1, v "n" - i 1,
+                            [ fstore a (idx2 "i" "j")
+                                ((fload a (idx2' (v "i" - i 1) (v "j" - i 1))
+                                  + fload a (idx2' (v "i" - i 1) (v "j"))
+                                  + fload a (idx2' (v "i" - i 1) (v "j" + i 1))
+                                  + fload a (idx2' (v "i") (v "j" - i 1))
+                                  + fload a (idx2 "i" "j")
+                                  + fload a (idx2' (v "i") (v "j" + i 1))
+                                  + fload a (idx2' (v "i" + i 1) (v "j" - i 1))
+                                  + fload a (idx2' (v "i" + i 1) (v "j"))
+                                  + fload a (idx2' (v "i" + i 1) (v "j" + i 1)))
+                                 / f 9.0) ]) ]) ]) ]
+     @ checksum a (v "n" * v "n")
+     @ [ Return (Some (v "acc")) ])
+
+let fdtd_2d ~n =
+  let ex = base 0 and ey = base 1 and hz = base 2 in
+  kernel ~n ~locals:(ijk @ [ ("t", TInt) ]) "fdtd-2d"
+    ([ For ("i", i 0, v "n",
+            [ For ("j", i 0, v "n",
+                   [ fstore ex (idx2 "i" "j") (fl (v "i" * (v "j" + i 1)) / fl (v "n"));
+                     fstore ey (idx2 "i" "j") (fl (v "i" * (v "j" + i 2)) / fl (v "n"));
+                     fstore hz (idx2 "i" "j") (fl (v "i" * (v "j" + i 3)) / fl (v "n")) ]) ]) ]
+     @ [ For ("t", i 0, i 4,
+              [ For ("j", i 0, v "n", [ fstore ey (idx2' (i 0) (v "j")) (fl (v "t")) ]);
+                For ("i", i 1, v "n",
+                     [ For ("j", i 0, v "n",
+                            [ fstore ey (idx2 "i" "j")
+                                (fload ey (idx2 "i" "j")
+                                 - f 0.5 * (fload hz (idx2 "i" "j") - fload hz (idx2' (v "i" - i 1) (v "j")))) ]) ]);
+                For ("i", i 0, v "n",
+                     [ For ("j", i 1, v "n",
+                            [ fstore ex (idx2 "i" "j")
+                                (fload ex (idx2 "i" "j")
+                                 - f 0.5 * (fload hz (idx2 "i" "j") - fload hz (idx2' (v "i") (v "j" - i 1)))) ]) ]);
+                For ("i", i 0, v "n" - i 1,
+                     [ For ("j", i 0, v "n" - i 1,
+                            [ fstore hz (idx2 "i" "j")
+                                (fload hz (idx2 "i" "j")
+                                 - f 0.7
+                                   * (fload ex (idx2' (v "i") (v "j" + i 1)) - fload ex (idx2 "i" "j")
+                                      + fload ey (idx2' (v "i" + i 1) (v "j")) - fload ey (idx2 "i" "j"))) ]) ]) ]) ]
+     @ checksum hz (v "n" * v "n")
+     @ [ Return (Some (v "acc")) ])
+
+let heat_3d ~n =
+  let a = base 0 and b = base 4 in
+  let idx3 x y z = (x * v "n" + y) * v "n" + z in
+  let stencil src dst =
+    For ("i", i 1, v "n" - i 1,
+         [ For ("j", i 1, v "n" - i 1,
+                [ For ("k", i 1, v "n" - i 1,
+                       [ fstore dst (idx3 (v "i") (v "j") (v "k"))
+                           (f 0.125
+                            * (fload src (idx3 (v "i" + i 1) (v "j") (v "k"))
+                               - f 2.0 * fload src (idx3 (v "i") (v "j") (v "k"))
+                               + fload src (idx3 (v "i" - i 1) (v "j") (v "k")))
+                            + f 0.125
+                              * (fload src (idx3 (v "i") (v "j" + i 1) (v "k"))
+                                 - f 2.0 * fload src (idx3 (v "i") (v "j") (v "k"))
+                                 + fload src (idx3 (v "i") (v "j" - i 1) (v "k")))
+                            + f 0.125
+                              * (fload src (idx3 (v "i") (v "j") (v "k" + i 1))
+                                 - f 2.0 * fload src (idx3 (v "i") (v "j") (v "k"))
+                                 + fload src (idx3 (v "i") (v "j") (v "k" - i 1)))
+                            + fload src (idx3 (v "i") (v "j") (v "k"))) ]) ]) ])
+  in
+  kernel ~n ~locals:(ijk @ [ ("t", TInt) ]) "heat-3d"
+    ([ For ("i", i 0, v "n",
+            [ For ("j", i 0, v "n",
+                   [ For ("k", i 0, v "n",
+                          [ fstore a (idx3 (v "i") (v "j") (v "k"))
+                              (fl (v "i" + v "j" + (v "n" - v "k")) * f 10.0 / fl (v "n"));
+                            fstore b (idx3 (v "i") (v "j") (v "k"))
+                              (fl (v "i" + v "j" + (v "n" - v "k")) * f 10.0 / fl (v "n")) ]) ]) ]) ]
+     @ [ For ("t", i 0, i 2, [ stencil a b; stencil b a ]) ]
+     @ [ "acc" := f 0.0;
+         For ("i", i 0, v "n" * v "n" * v "n", [ "acc" := v "acc" + fload a (v "i") ]);
+         Return (Some (v "acc")) ])
+
+let adi ~n =
+  (* alternating direction implicit; simplified tridiagonal sweeps *)
+  let u = base 0 and vv = base 1 and p = base 2 and q = base 3 in
+  kernel ~n ~locals:(ijk @ [ ("t", TInt) ]) "adi"
+    ([ init2d u 1 ]
+     @ [ For ("t", i 0, i 2,
+              [ (* column sweep *)
+                For ("i", i 1, v "n" - i 1,
+                     [ fstore vv (idx2' (i 0) (v "i")) (f 1.0);
+                       fstore p (idx2' (v "i") (i 0)) (f 0.0);
+                       fstore q (idx2' (v "i") (i 0)) (f 1.0);
+                       For ("j", i 1, v "n" - i 1,
+                            [ fstore p (idx2 "i" "j")
+                                (Unop (Neg, f 0.25)
+                                 / (f 0.25 * fload p (idx2' (v "i") (v "j" - i 1)) - f 1.5));
+                              fstore q (idx2 "i" "j")
+                                ((Unop (Neg, f 0.25) * fload u (idx2' (v "j") (v "i" - i 1))
+                                  + (f 1.0 + f 0.5) * fload u (idx2' (v "j") (v "i"))
+                                  - f 0.25 * fload u (idx2' (v "j") (v "i" + i 1))
+                                  - f 0.25 * fload q (idx2' (v "i") (v "j" - i 1)))
+                                 / (f 0.25 * fload p (idx2' (v "i") (v "j" - i 1)) - f 1.5)) ]);
+                       fstore vv (idx2' (v "n" - i 1) (v "i")) (f 1.0);
+                       ForStep ("j", v "n" - i 2, i 0, i 0 - i 1,
+                                [ fstore vv (idx2 "j" "i")
+                                    (fload p (idx2 "i" "j") * fload vv (idx2' (v "j" + i 1) (v "i"))
+                                     + fload q (idx2 "i" "j")) ]) ]);
+                (* row sweep *)
+                For ("i", i 1, v "n" - i 1,
+                     [ fstore u (idx2' (v "i") (i 0)) (f 1.0);
+                       fstore p (idx2' (v "i") (i 0)) (f 0.0);
+                       fstore q (idx2' (v "i") (i 0)) (f 1.0);
+                       For ("j", i 1, v "n" - i 1,
+                            [ fstore p (idx2 "i" "j")
+                                (Unop (Neg, f 0.25)
+                                 / (f 0.25 * fload p (idx2' (v "i") (v "j" - i 1)) - f 1.5));
+                              fstore q (idx2 "i" "j")
+                                ((Unop (Neg, f 0.25) * fload vv (idx2' (v "i" - i 1) (v "j"))
+                                  + (f 1.0 + f 0.5) * fload vv (idx2 "i" "j")
+                                  - f 0.25 * fload vv (idx2' (v "i" + i 1) (v "j"))
+                                  - f 0.25 * fload q (idx2' (v "i") (v "j" - i 1)))
+                                 / (f 0.25 * fload p (idx2' (v "i") (v "j" - i 1)) - f 1.5)) ]);
+                       fstore u (idx2' (v "i") (v "n" - i 1)) (f 1.0);
+                       ForStep ("j", v "n" - i 2, i 0, i 0 - i 1,
+                                [ fstore u (idx2 "i" "j")
+                                    (fload p (idx2 "i" "j") * fload u (idx2' (v "i") (v "j" + i 1))
+                                     + fload q (idx2 "i" "j")) ]) ]) ]) ]
+     @ checksum u (v "n" * v "n")
+     @ [ Return (Some (v "acc")) ])
+
+(** All 30 kernels with their default problem size. *)
+let generators =
+  [ two_mm; three_mm; adi; atax; bicg; cholesky; correlation; covariance;
+    deriche; doitgen; durbin; fdtd_2d; floyd_warshall; gemm; gemver; gesummv;
+    gramschmidt; heat_3d; jacobi_1d; jacobi_2d; lu; ludcmp; mvt; nussinov;
+    seidel_2d; symm; syr2k; syrk; trisolv; trmm ]
+
+(** [all ~n ()] builds every kernel as (name, compiled module). *)
+let all ?(n = default_n) () =
+  List.map
+    (fun gen ->
+       let name, p = gen ~n in
+       (name, Mc_compile.compile p))
+    generators
+
+let names = List.map (fun gen -> fst (gen ~n:2)) generators

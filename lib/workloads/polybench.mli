@@ -1,0 +1,22 @@
+(** The 30 PolyBench/C 4.2 kernels, written in MiniC: same loop-nest
+    shapes, deterministic PolyBench-style initialisation, checksum over
+    the output array. Each exports [run : () -> f64]. *)
+
+val default_n : int
+(** Default problem size. *)
+
+val generators : (n:int -> string * Minic.Mc_ast.program) list
+(** All 30 kernels as (name, program) generators. *)
+
+val names : string list
+
+val all : ?n:int -> unit -> (string * Wasm.Ast.module_) list
+(** Every kernel, compiled. *)
+
+(** Individual kernels (exposed for targeted examples and tests). *)
+
+val gemm : n:int -> string * Minic.Mc_ast.program
+val jacobi_2d : n:int -> string * Minic.Mc_ast.program
+val mvt : n:int -> string * Minic.Mc_ast.program
+val floyd_warshall : n:int -> string * Minic.Mc_ast.program
+val cholesky : n:int -> string * Minic.Mc_ast.program

@@ -1,0 +1,277 @@
+(** Synthetic stand-ins for the paper's two real-world programs (the
+    Unreal Engine 4 "Zen Garden" demo and the PSPDFKit benchmark), which
+    are proprietary binaries we cannot ship.
+
+    What matters for the evaluation's shape is that these programs are
+    {e diverse}: many small functions, direct and indirect calls, byte-
+    granular memory traffic, integer hashing (i64), f32 and f64 math, and
+    branchy control flow — in contrast to PolyBench's pure numeric loop
+    nests. Both export [run : () -> f64] returning a deterministic
+    checksum. *)
+
+open Minic
+open Mc_ast
+open Mc_ast.Dsl
+
+let fl e = Cast (TFloat, e)
+
+(* ------------------------------------------------------------------ *)
+(* "pdfkit": text layout, compression, and checksumming                *)
+(* ------------------------------------------------------------------ *)
+
+(** Memory map: document bytes at 0; line-length table at 32 KiB; match
+    table at 40 KiB; glyph histogram at 48 KiB. *)
+let pdfkit ?(doc_len = 2000) () =
+  let doc = 0 and lines = 32768 and histo = 49152 in
+  let funcs =
+    [
+      (* xorshift-style PRNG over an i64 global *)
+      func "next_rand" ~params:[] ~result:TLong ~export:false
+        [ SetGlobal ("rng", Binop (BXor, Global "rng", Binop (Shl, Global "rng", Long 13L)));
+          SetGlobal ("rng", Binop (BXor, Global "rng", Binop (ShrU, Global "rng", Long 7L)));
+          SetGlobal ("rng", Binop (BXor, Global "rng", Binop (Shl, Global "rng", Long 17L)));
+          Return (Some (Global "rng")) ];
+      (* generate a pseudo-document of letters, spaces and newlines *)
+      func "gen_doc" ~params:[ ("len", TInt) ] ~export:false
+        ~locals:[ ("k", TInt); ("r", TInt) ]
+        [ For ("k", i 0, v "len",
+               [ "r" := Cast (TInt, Binop (BAnd, Call ("next_rand", []), Long 63L));
+                 If (v "r" < i 10,
+                     [ Store8 (i doc + v "k", i 32) ],  (* space *)
+                     [ If (v "r" = i 10,
+                           [ Store8 (i doc + v "k", i 10) ],  (* newline *)
+                           [ Store8 (i doc + v "k", i 97 + Binop (Rem, v "r", i 26)) ]) ]) ]) ];
+      (* character class: 0 space, 1 newline, 2 letter, 3 other *)
+      func "char_class" ~params:[ ("c", TInt) ] ~result:TInt ~export:false
+        [ If (v "c" = i 32, [ Return (Some (i 0)) ], []);
+          If (v "c" = i 10, [ Return (Some (i 1)) ], []);
+          If ((v "c" >= i 97) && (v "c" <= i 122), [ Return (Some (i 2)) ], []);
+          Return (Some (i 3)) ];
+      (* count words using a small state machine over char classes *)
+      func "count_words" ~params:[ ("len", TInt) ] ~result:TInt ~export:false
+        ~locals:[ ("k", TInt); ("in_word", TInt); ("words", TInt); ("cls", TInt) ]
+        [ "in_word" := i 0;
+          "words" := i 0;
+          For ("k", i 0, v "len",
+               [ "cls" := Call ("char_class", [ Load8u (i doc + v "k") ]);
+                 Switch (v "cls",
+                         [ [ "in_word" := i 0 ];  (* space *)
+                           [ "in_word" := i 0 ];  (* newline *)
+                           [ If (Unop (Not, v "in_word"),
+                                 [ "words" := v "words" + i 1; "in_word" := i 1 ], []) ] ],
+                         [ (* other: keep state *) ]) ]);
+          Return (Some (v "words")) ];
+      (* greedy word wrap: store each line's length, return line count *)
+      func "layout" ~params:[ ("len", TInt); ("width", TInt) ] ~result:TInt ~export:false
+        ~locals:[ ("k", TInt); ("col", TInt); ("line", TInt); ("c", TInt) ]
+        [ "col" := i 0;
+          "line" := i 0;
+          For ("k", i 0, v "len",
+               [ "c" := Load8u (i doc + v "k");
+                 If ((v "c" = i 10) || (v "col" >= v "width"),
+                     [ istore (i lines) (v "line") (v "col");
+                       "line" := v "line" + i 1;
+                       "col" := i 0 ],
+                     [ "col" := v "col" + i 1 ]) ]);
+          istore (i lines) (v "line") (v "col");
+          Return (Some (v "line" + i 1)) ];
+      (* LZ77-style match length at two positions *)
+      func "match_len" ~params:[ ("a", TInt); ("b", TInt); ("limit", TInt) ] ~result:TInt
+        ~export:false ~locals:[ ("k", TInt) ]
+        [ "k" := i 0;
+          While ((v "k" < v "limit")
+                 && (Load8u (i doc + v "a" + v "k") = Load8u (i doc + v "b" + v "k")),
+                 [ "k" := v "k" + i 1 ]);
+          Return (Some (v "k")) ];
+      (* back-window compression: returns the "compressed" size *)
+      func "compress" ~params:[ ("len", TInt) ] ~result:TInt ~export:false
+        ~locals:[ ("pos", TInt); ("cand", TInt); ("best", TInt); ("size", TInt);
+                  ("window", TInt); ("l", TInt) ]
+        [ "pos" := i 0;
+          "size" := i 0;
+          While (v "pos" < v "len",
+                 [ "best" := i 0;
+                   "window" := Select (v "pos" < i 32, v "pos", i 32);
+                   For ("cand", v "pos" - v "window", v "pos",
+                        [ "l" := Call ("match_len",
+                                       [ v "cand"; v "pos"; v "len" - v "pos" ]);
+                          If (v "l" > v "best", [ "best" := v "l" ], []) ]);
+                   If (v "best" >= i 3,
+                       [ "size" := v "size" + i 2; "pos" := v "pos" + v "best" ],
+                       [ "size" := v "size" + i 1; "pos" := v "pos" + i 1 ]) ]);
+          Return (Some (v "size")) ];
+      (* bitwise CRC-32 *)
+      func "crc32" ~params:[ ("len", TInt) ] ~result:TInt ~export:false
+        ~locals:[ ("k", TInt); ("bit", TInt); ("crc", TInt) ]
+        [ "crc" := i (-1);
+          For ("k", i 0, v "len",
+               [ "crc" := Binop (BXor, v "crc", Load8u (i doc + v "k"));
+                 For ("bit", i 0, i 8,
+                      [ "crc" := Select (Binop (BAnd, v "crc", i 1) <> i 0,
+                                         Binop (BXor, Binop (ShrU, v "crc", i 1),
+                                                Int 0xEDB88320l),
+                                         Binop (ShrU, v "crc", i 1)) ]) ]);
+          Return (Some (Binop (BXor, v "crc", i (-1)))) ];
+      (* FNV-1a over the document (64-bit) *)
+      func "hash64" ~params:[ ("len", TInt) ] ~result:TLong ~export:false
+        ~locals:[ ("k", TInt); ("h", TLong) ]
+        [ "h" := Long 0xcbf29ce484222325L;
+          For ("k", i 0, v "len",
+               [ "h" := Binop (BXor, v "h", Cast (TLong, Load8u (i doc + v "k")));
+                 "h" := Binop (Mul, v "h", Long 0x100000001b3L) ]);
+          Return (Some (v "h")) ];
+      (* glyph "rendering": f32 advance widths accumulated per line *)
+      func "render" ~params:[ ("nlines", TInt) ] ~result:TFloat ~export:false
+        ~locals:[ ("k", TInt); ("w", TSingle); ("total", TFloat) ]
+        [ "total" := f 0.0;
+          For ("k", i 0, v "nlines",
+               [ "w" := Binop (Mul, Cast (TSingle, iload (i lines) (v "k")), Single 7.25);
+                 fstore (i histo) (Binop (Rem, v "k", i 64)) (Cast (TFloat, v "w"));
+                 "total" := v "total" + Cast (TFloat, v "w") ]);
+          Return (Some (v "total")) ];
+      (* filters dispatched indirectly, as a PDF pipeline would *)
+      func "filter_crc" ~params:[] ~result:TInt ~export:false
+        [ Return (Some (Call ("crc32", [ Global "doclen" ]))) ];
+      func "filter_words" ~params:[] ~result:TInt ~export:false
+        [ Return (Some (Call ("count_words", [ Global "doclen" ]))) ];
+      func "filter_compress" ~params:[] ~result:TInt ~export:false
+        [ Return (Some (Call ("compress", [ Global "doclen" ]))) ];
+      func "run" ~params:[] ~result:TFloat
+        ~locals:[ ("nlines", TInt); ("k", TInt); ("acc", TFloat) ]
+        [ SetGlobal ("rng", Long 88172645463325252L);
+          Expr (Call ("gen_doc", [ Global "doclen" ]));
+          "nlines" := Call ("layout", [ Global "doclen"; i 60 ]);
+          "acc" := Call ("render", [ v "nlines" ]);
+          (* run the three filters through the table *)
+          For ("k", i 0, i 3,
+               [ "acc" := v "acc"
+                          + fl (Binop (BAnd, CallIndirect (v "k", [], Some TInt),
+                                       Int 0xFFFFl)) ]);
+          "acc" := v "acc"
+                   + fl (Cast (TInt, Binop (BAnd, Call ("hash64", [ Global "doclen" ]),
+                                            Long 0xFFFFL)));
+          Return (Some (v "acc")) ];
+    ]
+  in
+  program
+    ~globals:[ ("rng", TLong, Long 1L); ("doclen", TInt, Int (Int32.of_int doc_len)) ]
+    ~memory_pages:1
+    ~table:[ "filter_crc"; "filter_words"; "filter_compress" ]
+    funcs
+
+(* ------------------------------------------------------------------ *)
+(* "zen_garden": scene transform, particles, rasterisation             *)
+(* ------------------------------------------------------------------ *)
+
+(** Memory map: vertex array (x,y,z f64 triples) at 0; particle array
+    (x,y,vx,vy) at 16 KiB; 64x64 byte framebuffer at 48 KiB. *)
+let zen_garden ?(verts = 60) ?(particles = 40) ?(frames = 4) () =
+  let vbase = 0 and pbase = 16384 and fb = 49152 in
+  let fbw = 64 in
+  let funcs =
+    [
+      func "next_rand" ~params:[] ~result:TLong ~export:false
+        [ SetGlobal ("rng", Binop (BXor, Global "rng", Binop (Shl, Global "rng", Long 13L)));
+          SetGlobal ("rng", Binop (BXor, Global "rng", Binop (ShrU, Global "rng", Long 7L)));
+          SetGlobal ("rng", Binop (BXor, Global "rng", Binop (Shl, Global "rng", Long 17L)));
+          Return (Some (Global "rng")) ];
+      (* uniform float in [0,1) from the PRNG *)
+      func "frand" ~params:[] ~result:TFloat ~export:false
+        [ Return (Some (fl (Cast (TInt, Binop (BAnd, Call ("next_rand", []), Long 0xFFFFL)))
+                        / f 65536.0)) ];
+      (* sine by Taylor series (no trig instructions in Wasm) *)
+      func "sin_approx" ~params:[ ("x", TFloat) ] ~result:TFloat ~export:false
+        ~locals:[ ("x2", TFloat) ]
+        [ "x2" := v "x" * v "x";
+          Return (Some (v "x" * (f 1.0 - v "x2" / f 6.0 * (f 1.0 - v "x2" / f 20.0
+                                                           * (f 1.0 - v "x2" / f 42.0))))) ];
+      func "cos_approx" ~params:[ ("x", TFloat) ] ~result:TFloat ~export:false
+        ~locals:[ ("x2", TFloat) ]
+        [ "x2" := v "x" * v "x";
+          Return (Some (f 1.0 - v "x2" / f 2.0 * (f 1.0 - v "x2" / f 12.0
+                                                  * (f 1.0 - v "x2" / f 30.0)))) ];
+      func "init_scene" ~params:[] ~export:false ~locals:[ ("k", TInt) ]
+        [ For ("k", i 0, i (Stdlib.( * ) verts 3),
+               [ fstore (i vbase) (v "k") (Call ("frand", []) * f 2.0 - f 1.0) ]);
+          For ("k", i 0, i (Stdlib.( * ) particles 4),
+               [ fstore (i pbase) (v "k") (Call ("frand", [])) ]) ];
+      (* rotate all vertices around the y axis *)
+      func "rotate_scene" ~params:[ ("angle", TFloat) ] ~export:false
+        ~locals:[ ("k", TInt); ("s", TFloat); ("c", TFloat); ("x", TFloat); ("z", TFloat) ]
+        [ "s" := Call ("sin_approx", [ v "angle" ]);
+          "c" := Call ("cos_approx", [ v "angle" ]);
+          For ("k", i 0, i verts,
+               [ "x" := fload (i vbase) (v "k" * i 3);
+                 "z" := fload (i vbase) (v "k" * i 3 + i 2);
+                 fstore (i vbase) (v "k" * i 3) (v "c" * v "x" + v "s" * v "z");
+                 fstore (i vbase) (v "k" * i 3 + i 2)
+                   (f 0.0 - v "s" * v "x" + v "c" * v "z") ]) ];
+      (* project and splat vertices into the byte framebuffer *)
+      func "rasterize" ~params:[] ~export:false
+        ~locals:[ ("k", TInt); ("px", TInt); ("py", TInt); ("d", TFloat); ("old", TInt) ]
+        [ For ("k", i 0, i verts,
+               [ "d" := fload (i vbase) (v "k" * i 3 + i 2) + f 3.0;
+                 "px" := Cast (TInt, (fload (i vbase) (v "k" * i 3) / v "d" + f 0.5)
+                                     * f 64.0);
+                 "py" := Cast (TInt, (fload (i vbase) (v "k" * i 3 + i 1) / v "d" + f 0.5)
+                                     * f 64.0);
+                 If ((v "px" >= i 0) && (v "px" < i fbw)
+                     && ((v "py" >= i 0) && (v "py" < i fbw)),
+                     [ "old" := Load8u (i fb + v "py" * i fbw + v "px");
+                       Store8 (i fb + v "py" * i fbw + v "px",
+                               Select (v "old" < i 255, v "old" + i 1, v "old")) ],
+                     []) ]) ];
+      (* particle physics step with ground bounce *)
+      func "step_particles" ~params:[ ("dt", TFloat) ] ~export:false
+        ~locals:[ ("k", TInt); ("y", TFloat); ("vy", TFloat) ]
+        [ For ("k", i 0, i particles,
+               [ fstore (i pbase) (v "k" * i 4)
+                   (fload (i pbase) (v "k" * i 4) + fload (i pbase) (v "k" * i 4 + i 2) * v "dt");
+                 "vy" := fload (i pbase) (v "k" * i 4 + i 3) - f 9.81 * v "dt";
+                 "y" := fload (i pbase) (v "k" * i 4 + i 1) + v "vy" * v "dt";
+                 If (v "y" < f 0.0,
+                     [ "y" := f 0.0 - v "y"; "vy" := f 0.0 - v "vy" * f 0.8 ],
+                     []);
+                 fstore (i pbase) (v "k" * i 4 + i 1) (v "y");
+                 fstore (i pbase) (v "k" * i 4 + i 3) (v "vy") ]) ];
+      (* per-frame effects picked through the table, engine-style *)
+      func "effect_blur" ~params:[] ~export:false ~locals:[ ("k", TInt) ]
+        [ For ("k", i 1, i (Stdlib.( - ) (Stdlib.( * ) fbw fbw) 1),
+               [ Store8 (i fb + v "k",
+                         (Load8u (i fb + v "k" - i 1) + Load8u (i fb + v "k")
+                          + Load8u (i fb + v "k" + i 1)) / i 3) ]) ];
+      func "effect_fade" ~params:[] ~export:false ~locals:[ ("k", TInt) ]
+        [ For ("k", i 0, i (Stdlib.( * ) fbw fbw),
+               [ Store8 (i fb + v "k", Load8u (i fb + v "k") * i 7 / i 8) ]) ];
+      func "frame" ~params:[ ("t", TInt) ] ~export:false
+        [ Expr (Call ("rotate_scene", [ fl (v "t") * f 0.1 ]));
+          Expr (Call ("step_particles", [ f 0.016 ]));
+          Expr (Call ("rasterize", []));
+          (* alternate the two effects through the table *)
+          Expr (CallIndirect (Binop (Rem, v "t", i 2), [], None)) ];
+      func "run" ~params:[] ~result:TFloat
+        ~locals:[ ("t", TInt); ("k", TInt); ("acc", TFloat) ]
+        [ SetGlobal ("rng", Long 2463534242L);
+          Expr (Call ("init_scene", []));
+          For ("t", i 0, i frames, [ Expr (Call ("frame", [ v "t" ])) ]);
+          "acc" := f 0.0;
+          For ("k", i 0, i (Stdlib.( * ) fbw fbw),
+               [ "acc" := v "acc" + fl (Load8u (i fb + v "k")) ]);
+          For ("k", i 0, i (Stdlib.( * ) particles 4),
+               [ "acc" := v "acc" + fload (i pbase) (v "k") ]);
+          Return (Some (v "acc")) ];
+    ]
+  in
+  program
+    ~globals:[ ("rng", TLong, Long 1L) ]
+    ~memory_pages:1
+    ~table:[ "effect_blur"; "effect_fade" ]
+    funcs
+
+(** Both real-world stand-ins, compiled. *)
+let all ?(scale = 1) () =
+  [ ("pdfkit", Mc_compile.compile (pdfkit ~doc_len:(Stdlib.( * ) 1200 scale) ()));
+    ("zen_garden",
+     Mc_compile.compile
+       (zen_garden ~verts:(Stdlib.( * ) 50 scale) ~particles:(Stdlib.( * ) 30 scale)
+          ~frames:4 ())) ]

@@ -1,0 +1,17 @@
+(** Synthetic stand-ins for the paper's proprietary real-world programs
+    (Unreal Engine "Zen Garden" and PSPDFKit): large, diverse MiniC
+    programs — many functions, indirect calls, byte-level memory traffic,
+    i64 hashing, f32/f64 math. Both export [run : () -> f64]. *)
+
+val pdfkit : ?doc_len:int -> unit -> Minic.Mc_ast.program
+(** Text layout, word counting (a [switch] state machine), LZ77-style
+    compression, CRC-32, FNV-1a hashing, glyph rendering, with a filter
+    pipeline dispatched through the table. *)
+
+val zen_garden :
+  ?verts:int -> ?particles:int -> ?frames:int -> unit -> Minic.Mc_ast.program
+(** Scene rotation (Taylor-series trigonometry), point rasterisation into
+    a byte framebuffer, particle physics with bounce, per-frame effects
+    dispatched through the table. *)
+
+val all : ?scale:int -> unit -> (string * Wasm.Ast.module_) list

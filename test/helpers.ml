@@ -1,0 +1,47 @@
+(** Shared test helpers: small module constructors and value checks. *)
+
+open Wasm
+
+let value = Alcotest.testable Value.pp Value.equal
+
+let check_values msg expected actual =
+  Alcotest.(check (list value)) msg expected actual
+
+(** A module with a single exported function "f" of the given signature. *)
+let single_func ?(imports = []) ?memory ~params ~results ~locals body =
+  let b = Builder.create () in
+  List.iter
+    (fun (module_name, name, ps, rs) ->
+       ignore (Builder.import_func b ~module_name ~name ~params:ps ~results:rs))
+    imports;
+  (match memory with
+   | Some pages -> Builder.add_memory b ~min_pages:pages ~max_pages:None
+   | None -> ());
+  let f = Builder.add_func b ~params ~results ~locals ~body in
+  Builder.export_func b ~name:"f" f;
+  Builder.build b
+
+(** Validate, instantiate and invoke "f" in one go. *)
+let run_f ?(imports = []) ?(externs = []) ?memory ~params ~results ~locals body args =
+  let m = single_func ~imports ?memory ~params ~results ~locals body in
+  Validate.validate_module m;
+  let inst = Interp.instantiate ~imports:externs m in
+  Interp.invoke_export inst "f" args
+
+let i32 = Value.i32_of_int
+let i64 x = Value.I64 (Int64.of_int x)
+let f64 x = Value.F64 x
+
+(** [contains s sub] tests for a substring without extra dependencies. *)
+let contains s sub =
+  let n = String.length s and k = String.length sub in
+  let rec go i = i + k <= n && (String.sub s i k = sub || go (i + 1)) in
+  k = 0 || go 0
+
+(** Expect a trap whose message contains [substring]. *)
+let check_traps msg substring f =
+  match f () with
+  | _ -> Alcotest.failf "%s: expected a trap containing %S" msg substring
+  | exception Value.Trap m ->
+    if not (contains m substring) then
+      Alcotest.failf "%s: trap %S does not mention %S" msg m substring

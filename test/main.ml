@@ -1,0 +1,18 @@
+let () =
+  Alcotest.run "wasabi"
+    [
+      ("wasm:value", Test_wasm_value.suite);
+      ("wasm:binary", Test_wasm_binary.suite);
+      ("wasm:validate", Test_wasm_validate.suite);
+      ("wasm:wat", Test_wat.suite);
+      ("wasm:spec", Test_spec_corpus.suite);
+      ("wasm:interp", Test_wasm_interp.suite);
+      ("wasm:linking", Test_linking.suite);
+      ("wasabi:hooks", Test_hooks.suite);
+      ("wasabi:instrument", Test_instrument.suite);
+      ("analyses", Test_analyses.suite);
+      ("minic", Test_minic.suite);
+      ("faithfulness", Test_faithfulness.suite);
+      ("extensions", Test_extensions.suite);
+      ("workloads", Test_workloads.suite);
+    ]

@@ -1,0 +1,349 @@
+(** The eight paper analyses: behavioural tests on small programs with
+    known ground truth. *)
+
+open Minic
+open Mc_ast
+open Mc_ast.Dsl
+module W = Wasabi
+
+let case name fn = Alcotest.test_case name `Quick fn
+
+let run_with_analysis ?entry:(fname = "run") m groups analysis =
+  let res = W.Instrument.instrument ~groups m in
+  let inst, _ = W.Runtime.instantiate res analysis in
+  ignore (Wasm.Interp.invoke_export inst fname []);
+  res
+
+(* a tiny program with known instruction counts: 10-iteration loop *)
+let counting_program =
+  Mc_compile.compile_checked
+    (program
+       [ func "run" ~params:[] ~result:TInt ~locals:[ ("k", TInt); ("acc", TInt) ]
+           [ "acc" := i 0;
+             For ("k", i 0, i 10, [ "acc" := v "acc" + v "k" ]);
+             Return (Some (v "acc")) ] ])
+
+let test_instruction_mix () =
+  let mix = Analyses.Instruction_mix.create () in
+  ignore
+    (run_with_analysis counting_program Analyses.Instruction_mix.groups
+       (Analyses.Instruction_mix.analysis mix));
+  (* the loop body's add executes 10 times, the increment 10 times, and
+     the exit comparison 11 times: 10+10 adds, 11 ge_s *)
+  Alcotest.(check int) "i32.add" 20 (Analyses.Instruction_mix.count mix "i32.add");
+  Alcotest.(check int) "i32.ge_s" 11 (Analyses.Instruction_mix.count mix "i32.ge_s");
+  Alcotest.(check int) "return" 1 (Analyses.Instruction_mix.count mix "return");
+  Alcotest.(check bool) "total counts everything" true
+    (Stdlib.( > ) (Analyses.Instruction_mix.total mix) 100)
+
+let test_basic_block_profiling () =
+  let bb = Analyses.Basic_block_profiling.create () in
+  ignore
+    (run_with_analysis counting_program Analyses.Basic_block_profiling.groups
+       (Analyses.Basic_block_profiling.analysis bb));
+  (* hottest block is the loop header: once per iteration + exit check *)
+  match Analyses.Basic_block_profiling.hottest bb with
+  | ((_, kind), n) :: _ ->
+    Alcotest.(check string) "hottest is a loop" "loop" (W.Hook.block_kind_name kind);
+    Alcotest.(check int) "11 iterations (10 + exit)" 11 n
+  | [] -> Alcotest.fail "no blocks recorded"
+
+let test_instruction_coverage () =
+  let p =
+    Mc_compile.compile_checked
+      (program
+         [ func "run" ~params:[] ~result:TInt
+             [ If (i 1, [ Return (Some (i 10)) ], [ Return (Some (i 20)) ]) ] ])
+  in
+  let cov = Analyses.Instruction_coverage.create () in
+  ignore
+    (run_with_analysis p Analyses.Instruction_coverage.groups
+       (Analyses.Instruction_coverage.analysis cov));
+  let ratio = Analyses.Instruction_coverage.coverage cov p in
+  Alcotest.(check bool) "partial coverage: else branch never runs" true
+    (Stdlib.( && ) (Stdlib.( > ) ratio 0.3) (Stdlib.( < ) ratio 1.0))
+
+let test_branch_coverage () =
+  (* a condition that is always true and one exercised both ways *)
+  let p =
+    Mc_compile.compile_checked
+      (program
+         [ func "run" ~params:[] ~result:TInt ~locals:[ ("k", TInt); ("acc", TInt) ]
+             [ For ("k", i 0, i 4,
+                    [ If (v "k" >= i 0, [ "acc" := v "acc" + i 1 ], []);  (* always true *)
+                      If (Binop (Rem, v "k", i 2) = i 0,
+                          [ "acc" := v "acc" + i 10 ], [ "acc" := v "acc" - i 1 ]) ]);
+               Return (Some (v "acc")) ] ])
+  in
+  let bc = Analyses.Branch_coverage.create () in
+  ignore
+    (run_with_analysis p Analyses.Branch_coverage.groups (Analyses.Branch_coverage.analysis bc));
+  let one_sided = Analyses.Branch_coverage.partially_covered bc in
+  (* the always-true if is one-sided; loop exit br_ifs go both ways *)
+  Alcotest.(check bool) "at least one one-sided branch" true (Stdlib.( >= ) (List.length one_sided) 1);
+  Alcotest.(check bool) "some branches fully covered" true
+    (Stdlib.( > ) (Analyses.Branch_coverage.covered_locations bc) (List.length one_sided))
+
+let test_call_graph () =
+  let p =
+    Mc_compile.compile_checked
+      (program
+         ~table:[ "c" ]
+         [ func "a" ~params:[] ~result:TInt ~export:false [ Return (Some (Call ("b", []) + i 1)) ];
+           func "b" ~params:[] ~result:TInt ~export:false [ Return (Some (i 1)) ];
+           func "c" ~params:[] ~result:TInt ~export:false [ Return (Some (i 2)) ];
+           func "run" ~params:[] ~result:TInt
+             [ Return (Some (Call ("a", []) + CallIndirect (i 0, [], Some TInt))) ] ])
+  in
+  (* indices by declaration order: a=0 b=1 c=2 run=3 *)
+  let cg = Analyses.Call_graph.create () in
+  ignore (run_with_analysis p Analyses.Call_graph.groups (Analyses.Call_graph.analysis cg));
+  Alcotest.(check bool) "run -> a" true (Analyses.Call_graph.has_edge cg 3 0);
+  Alcotest.(check bool) "a -> b" true (Analyses.Call_graph.has_edge cg 0 1);
+  Alcotest.(check bool) "run -> c via table" true (Analyses.Call_graph.has_edge cg 3 2);
+  Alcotest.(check bool) "no bogus b -> c" false (Analyses.Call_graph.has_edge cg 1 2);
+  Alcotest.(check (list int)) "reachable from run" [ 0; 1; 2; 3 ]
+    (Analyses.Call_graph.reachable cg [ 3 ]);
+  Alcotest.(check (list int)) "reachable from a" [ 0; 1 ]
+    (Analyses.Call_graph.reachable cg [ 0 ]);
+  let dot = Analyses.Call_graph.to_dot cg in
+  Alcotest.(check bool) "dot has dashed indirect edge" true
+    (Helpers.contains dot "style=dashed")
+
+let test_cryptominer () =
+  let hashy =
+    Mc_compile.compile_checked
+      (program
+         [ func "run" ~params:[] ~result:TInt ~locals:[ ("k", TInt); ("h", TInt) ]
+             [ For ("k", i 0, i 50,
+                    [ "h" := Binop (BXor, v "h", Binop (Shl, v "h", i 5));
+                      "h" := Binop (BAnd, v "h" + v "k", i 0xFFFFFF);
+                      "h" := Binop (BXor, v "h", Binop (ShrU, v "h", i 3)) ]);
+               Return (Some (v "h")) ] ])
+  in
+  let det = Analyses.Cryptominer.create () in
+  ignore (run_with_analysis hashy Analyses.Cryptominer.groups (Analyses.Cryptominer.analysis det));
+  Alcotest.(check bool) "high signature ratio" true
+    (Stdlib.( > ) (Analyses.Cryptominer.signature_ratio det) 0.7);
+  Alcotest.(check int) "xor counted" 100 (Analyses.Cryptominer.count det "i32.xor")
+
+let test_memory_tracing () =
+  let p =
+    Mc_compile.compile_checked
+      (program
+         [ func "run" ~params:[] ~result:TInt ~locals:[ ("k", TInt); ("acc", TInt) ]
+             [ For ("k", i 0, i 8, [ istore (i 0) (v "k") (v "k") ]);
+               For ("k", i 0, i 4, [ "acc" := v "acc" + iload (i 0) (v "k" * i 2) ]);
+               Return (Some (v "acc")) ] ])
+  in
+  let mt = Analyses.Memory_tracing.create () in
+  ignore (run_with_analysis p Analyses.Memory_tracing.groups (Analyses.Memory_tracing.analysis mt));
+  Alcotest.(check int) "stores" 8 (Analyses.Memory_tracing.num_stores mt);
+  Alcotest.(check int) "loads" 4 (Analyses.Memory_tracing.num_loads mt);
+  Alcotest.(check int) "unique addresses" 8 (Analyses.Memory_tracing.unique_addresses mt);
+  let trace = Analyses.Memory_tracing.trace mt in
+  Alcotest.(check int) "trace in order" 12 (List.length trace);
+  match trace with
+  | first :: _ ->
+    Alcotest.(check bool) "first access is the store of k=0" true
+      first.Analyses.Memory_tracing.acc_is_store
+  | [] -> Alcotest.fail "empty trace"
+
+(* --- taint ------------------------------------------------------------ *)
+
+let taint_program body =
+  (* source=0, sink=1, run=2 *)
+  Mc_compile.compile_checked
+    (program
+       [ func "source" ~params:[] ~result:TInt ~export:false [ Return (Some (i 1234)) ];
+         func "sink" ~params:[ ("x", TInt) ] ~export:false [ Expr (v "x" + i 0); ];
+         func "run" ~params:[] ~result:TInt
+           ~locals:[ ("s", TInt); ("t", TInt) ]
+           body ])
+
+let run_taint p =
+  let taint = Analyses.Taint.create ~sources:[ 0 ] ~sinks:[ 1 ] () in
+  ignore (run_with_analysis p Analyses.Taint.groups (Analyses.Taint.analysis taint));
+  taint
+
+let test_taint_direct_flow () =
+  let p = taint_program
+      [ "s" := Call ("source", []);
+        Expr (Call ("sink", [ v "s" ]));
+        Return (Some (i 0)) ]
+  in
+  Alcotest.(check int) "one flow" 1 (Analyses.Taint.num_flows (run_taint p))
+
+let test_taint_through_arithmetic () =
+  let p = taint_program
+      [ "s" := Call ("source", []);
+        "t" := v "s" * i 3 + i 7;
+        Expr (Call ("sink", [ v "t" ]));
+        Return (Some (i 0)) ]
+  in
+  Alcotest.(check int) "flow through arithmetic" 1 (Analyses.Taint.num_flows (run_taint p))
+
+let test_taint_through_memory () =
+  let p = taint_program
+      [ "s" := Call ("source", []);
+        istore (i 0) (i 5) (v "s");
+        "t" := iload (i 0) (i 5);
+        Expr (Call ("sink", [ v "t" ]));
+        Return (Some (i 0)) ]
+  in
+  Alcotest.(check int) "flow through memory" 1 (Analyses.Taint.num_flows (run_taint p))
+
+let test_taint_memory_overwrite_clears () =
+  let p = taint_program
+      [ "s" := Call ("source", []);
+        istore (i 0) (i 5) (v "s");
+        istore (i 0) (i 5) (i 99);  (* overwrite with a clean value *)
+        "t" := iload (i 0) (i 5);
+        Expr (Call ("sink", [ v "t" ]));
+        Return (Some (i 0)) ]
+  in
+  Alcotest.(check int) "overwrite clears the taint" 0 (Analyses.Taint.num_flows (run_taint p))
+
+let test_taint_untainted_ok () =
+  let p = taint_program
+      [ "s" := Call ("source", []);
+        "t" := i 5 * i 8;
+        Expr (Call ("sink", [ v "t" ]));
+        Return (Some (v "s")) ]
+  in
+  Alcotest.(check int) "no false positive" 0 (Analyses.Taint.num_flows (run_taint p))
+
+let test_taint_through_call () =
+  (* the taint survives a round trip through a helper function *)
+  let p =
+    Mc_compile.compile_checked
+      (program
+         [ func "source" ~params:[] ~result:TInt ~export:false [ Return (Some (i 1)) ];
+           func "sink" ~params:[ ("x", TInt) ] ~export:false [ Expr (v "x" + i 0) ];
+           func "id" ~params:[ ("x", TInt) ] ~result:TInt ~export:false
+             [ Return (Some (v "x" + i 0)) ];
+           func "run" ~params:[] ~result:TInt ~locals:[ ("s", TInt) ]
+             [ "s" := Call ("id", [ Call ("source", []) ]);
+               Expr (Call ("sink", [ v "s" ]));
+               Return (Some (i 0)) ] ])
+  in
+  let taint = Analyses.Taint.create ~sources:[ 0 ] ~sinks:[ 1 ] () in
+  ignore (run_with_analysis p Analyses.Taint.groups (Analyses.Taint.analysis taint));
+  Alcotest.(check int) "flow through callee" 1 (Analyses.Taint.num_flows taint)
+
+let test_taint_through_select_and_global () =
+  let p =
+    Mc_compile.compile_checked
+      (program
+         ~globals:[ ("g", TInt, Int 0l) ]
+         [ func "source" ~params:[] ~result:TInt ~export:false [ Return (Some (i 1)) ];
+           func "sink" ~params:[ ("x", TInt) ] ~export:false [ Expr (v "x" + i 0) ];
+           func "run" ~params:[] ~result:TInt ~locals:[ ("s", TInt) ]
+             [ "s" := Call ("source", []);
+               SetGlobal ("g", Select (i 1, v "s", i 0));
+               Expr (Call ("sink", [ Global "g" ]));
+               Return (Some (i 0)) ] ])
+  in
+  let taint = Analyses.Taint.create ~sources:[ 0 ] ~sinks:[ 1 ] () in
+  ignore (run_with_analysis p Analyses.Taint.groups (Analyses.Taint.analysis taint));
+  Alcotest.(check int) "flow through select and global" 1 (Analyses.Taint.num_flows taint)
+
+let test_taint_manual_memory () =
+  (* taint a memory region by hand, as for an untrusted network buffer *)
+  let p =
+    Mc_compile.compile_checked
+      (program
+         [ func "sink" ~params:[ ("x", TInt) ] ~export:false [ Expr (v "x" + i 0) ];
+           func "run" ~params:[] ~result:TInt ~locals:[ ("t", TInt) ]
+             [ "t" := iload (i 0) (i 8);
+               Expr (Call ("sink", [ v "t" ]));
+               Return (Some (i 0)) ] ])
+  in
+  let taint = Analyses.Taint.create ~sinks:[ 0 ] () in
+  ignore (Analyses.Taint.taint_memory taint ~addr:32 ~len:4);
+  ignore (run_with_analysis p Analyses.Taint.groups (Analyses.Taint.analysis taint));
+  Alcotest.(check int) "byte 32 is tainted" 1
+    (Analyses.Taint.Int_set.cardinal (Analyses.Taint.memory_taint_at taint 32));
+  Alcotest.(check int) "flow from tainted buffer at addr 32? (load was at 32..35? no: 32+len)" 1
+    (Analyses.Taint.num_flows taint)
+
+(* --- provenance --------------------------------------------------------- *)
+
+let test_provenance_const_origin () =
+  (* probe=0, run=1: the probed value originates at its two constants *)
+  let p =
+    Mc_compile.compile_checked
+      (program
+         [ func "probe" ~params:[ ("x", TInt) ] ~export:false [ Expr (v "x" + i 0) ];
+           func "run" ~params:[] ~result:TInt ~locals:[ ("a", TInt) ]
+             [ "a" := i 40 + i 2;
+               Expr (Call ("probe", [ v "a" ]));
+               Return (Some (v "a")) ] ])
+  in
+  let prov = Analyses.Provenance.create ~probes:[ 0 ] () in
+  ignore (run_with_analysis p Analyses.Provenance.groups (Analyses.Provenance.analysis prov));
+  match Analyses.Provenance.probes prov with
+  | [ probe ] ->
+    (* both constant sites contribute to the sum's origin set *)
+    Alcotest.(check int) "two origins" 2
+      (Wasabi.Location.Set.cardinal probe.Analyses.Provenance.probe_origins)
+  | ps -> Alcotest.failf "expected 1 probe, got %d" (List.length ps)
+
+let test_provenance_through_memory () =
+  let p =
+    Mc_compile.compile_checked
+      (program
+         [ func "probe" ~params:[ ("x", TInt) ] ~export:false [ Expr (v "x" + i 0) ];
+           func "run" ~params:[] ~result:TInt ~locals:[ ("t", TInt) ]
+             [ istore (i 0) (i 3) (i 77);
+               "t" := iload (i 0) (i 3);
+               Expr (Call ("probe", [ v "t" ]));
+               Return (Some (v "t")) ] ])
+  in
+  let prov = Analyses.Provenance.create ~probes:[ 0 ] () in
+  ignore (run_with_analysis p Analyses.Provenance.groups (Analyses.Provenance.analysis prov));
+  match Analyses.Provenance.probes prov with
+  | [ probe ] ->
+    (* the origin survives the store/load round trip: it is the const 77's
+       location (possibly joined with address-constant sites) *)
+    Alcotest.(check bool) "has an origin" false
+      (Wasabi.Location.Set.is_empty probe.Analyses.Provenance.probe_origins)
+  | ps -> Alcotest.failf "expected 1 probe, got %d" (List.length ps)
+
+let test_analysis_combine () =
+  let mix = Analyses.Instruction_mix.create () in
+  let cg = Analyses.Call_graph.create () in
+  let combined =
+    W.Analysis.combine (Analyses.Instruction_mix.analysis mix) (Analyses.Call_graph.analysis cg)
+  in
+  let p =
+    Mc_compile.compile_checked
+      (program
+         [ func "helper" ~params:[] ~result:TInt ~export:false [ Return (Some (i 2)) ];
+           func "run" ~params:[] ~result:TInt [ Return (Some (Call ("helper", []) * i 2)) ] ])
+  in
+  ignore (run_with_analysis p W.Hook.all combined);
+  Alcotest.(check bool) "mix sees instructions" true (Stdlib.( > ) (Analyses.Instruction_mix.total mix) 0);
+  Alcotest.(check int) "call graph sees the call" 1 (Analyses.Call_graph.num_edges cg)
+
+let suite =
+  [
+    case "instruction mix counts" test_instruction_mix;
+    case "basic block profile" test_basic_block_profiling;
+    case "instruction coverage" test_instruction_coverage;
+    case "branch coverage" test_branch_coverage;
+    case "call graph" test_call_graph;
+    case "cryptominer signature" test_cryptominer;
+    case "memory tracing" test_memory_tracing;
+    case "taint: direct flow" test_taint_direct_flow;
+    case "taint: through arithmetic" test_taint_through_arithmetic;
+    case "taint: through memory (shadowing)" test_taint_through_memory;
+    case "taint: overwrite clears" test_taint_memory_overwrite_clears;
+    case "taint: no false positives" test_taint_untainted_ok;
+    case "taint: through calls" test_taint_through_call;
+    case "taint: select + global" test_taint_through_select_and_global;
+    case "taint: manual memory tainting" test_taint_manual_memory;
+    case "provenance: constant origins" test_provenance_const_origin;
+    case "provenance: through memory" test_provenance_through_memory;
+    case "analysis composition" test_analysis_combine;
+  ]

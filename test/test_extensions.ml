@@ -1,0 +1,122 @@
+(** Extension components: JS runtime generation (Figure 2's "generate"
+    arrow) and the record/replay trace analysis. *)
+
+open Minic
+open Mc_ast
+open Mc_ast.Dsl
+module W = Wasabi
+
+let case name fn = Alcotest.test_case name `Quick fn
+
+let sample_program =
+  Mc_compile.compile_checked
+    (program
+       ~table:[ "helper" ]
+       [ func "helper" ~params:[] ~result:TInt ~export:false [ Return (Some (i 7)) ];
+         func "run" ~params:[] ~result:TFloat ~locals:[ ("k", TInt); ("acc", TInt); ("h", TLong) ]
+           [ "h" := Long 7L;
+             For ("k", i 0, i 5,
+                  [ "acc" := v "acc" + CallIndirect (i 0, [], Some TInt);
+                    "h" := Binop (Mul, v "h", Long 0x100000001b3L);
+                    istore (i 0) (v "k") (v "acc") ]);
+             Return (Some (Cast (TFloat, v "acc") + Cast (TFloat, Binop (BAnd, v "h", Long 0xFFL)))) ] ])
+
+(* --- JS codegen -------------------------------------------------------- *)
+
+let test_js_mentions_all_hooks () =
+  let res = W.Instrument.instrument sample_program in
+  let js = W.Js_codegen.generate res in
+  Array.iter
+    (fun spec ->
+       let id =
+         String.map
+           (fun c -> match c with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' -> c | _ -> '_')
+           (W.Hook.name spec)
+       in
+       if not (Helpers.contains js (id ^ ": function")) then
+         Alcotest.failf "generated JS lacks hook %s" id)
+    res.W.Instrument.metadata.W.Metadata.hook_specs
+
+let test_js_structure () =
+  let res = W.Instrument.instrument sample_program in
+  let js = W.Js_codegen.generate res in
+  let count c = String.fold_left (fun acc ch -> if Stdlib.( = ) ch c then Stdlib.( + ) acc 1 else acc) 0 js in
+  Alcotest.(check int) "balanced braces" (count '{') (count '}');
+  Alcotest.(check int) "balanced parens" (count '(') (count ')');
+  Alcotest.(check bool) "i64 halves joined with long.js" true
+    (Helpers.contains js "new Long(");
+  Alcotest.(check bool) "module info present" true (Helpers.contains js "module: { info:");
+  Alcotest.(check bool) "indirect calls resolved" true (Helpers.contains js "resolveTableIdx");
+  Alcotest.(check bool) "import module documented" true
+    (Helpers.contains js W.Hook.import_module)
+
+let test_js_no_split () =
+  let res = W.Instrument.instrument ~split_i64:false sample_program in
+  let js = W.Js_codegen.generate res in
+  Alcotest.(check bool) "no joins when splitting is off" false (Helpers.contains js "new Long(")
+
+let test_js_br_table_metadata () =
+  let p =
+    program
+      [ func "run" ~params:[] ~result:TFloat ~locals:[ ("r", TInt) ]
+          [ Switch (i 1, [ [ "r" := i 1 ]; [ "r" := i 2 ] ], [ "r" := i 3 ]);
+            Return (Some (Cast (TFloat, v "r"))) ] ]
+  in
+  let res = W.Instrument.instrument (Mc_compile.compile_checked p) in
+  let js = W.Js_codegen.generate res in
+  Alcotest.(check bool) "brTables table present" true (Helpers.contains js "brTables");
+  Alcotest.(check bool) "has a resolved entry" true (Helpers.contains js "endedDefault")
+
+(* --- trace record/replay ---------------------------------------------- *)
+
+let record_trace m =
+  let trace = Analyses.Trace.create () in
+  let res = W.Instrument.instrument m in
+  let inst, _ = W.Runtime.instantiate res (Analyses.Trace.analysis trace) in
+  let result = Wasm.Interp.invoke_export inst "run" [] in
+  (trace, result)
+
+let test_trace_replay_equals_live () =
+  (* replaying the trace into instruction-mix gives the same counts as a
+     live run of instruction-mix *)
+  let trace, _ = record_trace sample_program in
+  let live = Analyses.Instruction_mix.create () in
+  let res = W.Instrument.instrument sample_program in
+  let inst, _ = W.Runtime.instantiate res (Analyses.Instruction_mix.analysis live) in
+  ignore (Wasm.Interp.invoke_export inst "run" []);
+  let replayed = Analyses.Instruction_mix.create () in
+  Analyses.Trace.replay trace (Analyses.Instruction_mix.analysis replayed);
+  Alcotest.(check int) "same total" (Analyses.Instruction_mix.total live)
+    (Analyses.Instruction_mix.total replayed);
+  List.iter
+    (fun (op, n) ->
+       Alcotest.(check int) op n (Analyses.Instruction_mix.count replayed op))
+    (Analyses.Instruction_mix.sorted live)
+
+let test_trace_replay_call_graph () =
+  let trace, _ = record_trace sample_program in
+  let cg = Analyses.Call_graph.create () in
+  Analyses.Trace.replay trace (Analyses.Call_graph.analysis cg);
+  (* run=1 calls helper=0 through the table *)
+  Alcotest.(check bool) "indirect edge recovered offline" true
+    (Analyses.Call_graph.has_edge cg 1 0)
+
+let test_trace_log_renders () =
+  let trace, _ = record_trace sample_program in
+  let log = Analyses.Trace.to_log trace in
+  Alcotest.(check bool) "nonempty" true (Stdlib.( > ) (String.length log) 100);
+  Alcotest.(check bool) "has store events" true (Helpers.contains log "i32.store");
+  Alcotest.(check bool) "has i64 values" true (Helpers.contains log "i64:");
+  Alcotest.(check int) "one line per event" (Analyses.Trace.length trace)
+    (List.length (String.split_on_char '\n' log))
+
+let suite =
+  [
+    case "JS: every hook generated" test_js_mentions_all_hooks;
+    case "JS: structure and long.js joins" test_js_structure;
+    case "JS: no joins without splitting" test_js_no_split;
+    case "JS: br_table metadata embedded" test_js_br_table_metadata;
+    case "trace: replay = live (instruction mix)" test_trace_replay_equals_live;
+    case "trace: offline call graph" test_trace_replay_call_graph;
+    case "trace: text log" test_trace_log_renders;
+  ]

@@ -1,0 +1,209 @@
+(** RQ2 at test scale: instrumented execution is observably identical to
+    the original — over the whole benchmark corpus and over randomly
+    generated MiniC programs (property-based). *)
+
+open Minic
+open Mc_ast
+module W = Wasabi
+
+let case name fn = Alcotest.test_case name `Quick fn
+
+let corpus = lazy (Workloads.Corpus.make ~n:4 ())
+
+let checksum_of m =
+  let inst = Wasm.Interp.instantiate ~imports:[] m in
+  match Wasm.Interp.invoke_export inst "run" [] with
+  | [ Wasm.Value.F64 x ] -> x
+  | other ->
+    Alcotest.failf "run returned %s"
+      (String.concat ";" (List.map Wasm.Value.to_string other))
+
+let instrumented_checksum ?groups m =
+  let res = W.Instrument.instrument ?groups m in
+  Wasm.Validate.validate_module res.W.Instrument.instrumented;
+  let inst, _ = W.Runtime.instantiate res W.Analysis.default in
+  match Wasm.Interp.invoke_export inst "run" [] with
+  | [ Wasm.Value.F64 x ] -> x
+  | _ -> Alcotest.fail "instrumented run returned junk"
+
+let test_corpus_fully_instrumented () =
+  List.iter
+    (fun (e : Workloads.Corpus.entry) ->
+       let expected = checksum_of e.module_ in
+       let actual = instrumented_checksum e.module_ in
+       Alcotest.(check (float 1e-9)) e.name expected actual)
+    (Lazy.force corpus)
+
+let test_corpus_instrumented_binary_roundtrip () =
+  (* the behaviour also survives encode -> decode of the instrumented
+     module, i.e. what the CLI writes to disk is equivalent *)
+  List.iter
+    (fun (e : Workloads.Corpus.entry) ->
+       let expected = checksum_of e.module_ in
+       let res = W.Instrument.instrument e.module_ in
+       let reloaded = Wasm.Decode.decode (Wasm.Encode.encode res.W.Instrument.instrumented) in
+       (* re-attach the runtime to the reloaded module *)
+       let res' = { res with W.Instrument.instrumented = reloaded } in
+       let inst, _ = W.Runtime.instantiate res' W.Analysis.default in
+       match Wasm.Interp.invoke_export inst "run" [] with
+       | [ Wasm.Value.F64 actual ] ->
+         Alcotest.(check (float 1e-9)) e.name expected actual
+       | _ -> Alcotest.fail "junk result")
+    (Lazy.force corpus)
+
+let test_begin_end_balance_corpus () =
+  List.iter
+    (fun (e : Workloads.Corpus.entry) ->
+       let depth = ref 0 and bad = ref false in
+       let analysis =
+         { W.Analysis.default with
+           begin_ = (fun _ _ -> incr depth);
+           end_ = (fun _ _ _ -> decr depth; if Stdlib.( < ) !depth 0 then bad := true) }
+       in
+       let res = W.Instrument.instrument ~groups:(W.Hook.of_list [ W.Hook.G_begin; W.Hook.G_end ])
+           e.module_
+       in
+       let inst, _ = W.Runtime.instantiate res analysis in
+       ignore (Wasm.Interp.invoke_export inst "run" []);
+       Alcotest.(check bool) (e.name ^ ": depth never negative") false !bad;
+       Alcotest.(check int) (e.name ^ ": balanced") 0 !depth)
+    (Lazy.force corpus)
+
+(* --- random program generation ---------------------------------------- *)
+
+(** Random MiniC programs: two int variables, bounded loops, arithmetic
+    without division, memory accesses masked into the first pages. *)
+module Gen_prog = struct
+  open QCheck.Gen
+
+  let gen_leaf =
+    oneof
+      [ map (fun k -> Int (Int32.of_int k)) (int_range (-100) 100);
+        return (Var "a");
+        return (Var "b");
+        return (Load (TInt, Binop (BAnd, Var "a", Int 252l))) ]
+
+  let gen_binop = oneofl [ Add; Sub; Mul; BAnd; BOr; BXor ]
+  let gen_cmp = oneofl [ Eq; Ne; Lt; Le; Gt; Ge ]
+
+  let rec gen_expr n =
+    if n <= 0 then gen_leaf
+    else
+      frequency
+        [ (3, gen_leaf);
+          (4,
+           gen_binop >>= fun op ->
+           gen_expr (n - 1) >>= fun x ->
+           gen_expr (n / 2) >>= fun y -> return (Binop (op, x, y)));
+          (1,
+           gen_cmp >>= fun op ->
+           gen_expr (n / 2) >>= fun x ->
+           gen_expr (n / 2) >>= fun y -> return (Binop (op, x, y)));
+          (1,
+           gen_expr (n / 2) >>= fun c ->
+           gen_expr (n / 2) >>= fun x ->
+           gen_expr (n / 2) >>= fun y -> return (Select (c, x, y))) ]
+
+  let gen_assign =
+    oneofl [ "a"; "b" ] >>= fun lhs ->
+    gen_expr 3 >>= fun e -> return (Assign (lhs, e))
+
+  let gen_store =
+    gen_expr 2 >>= fun addr ->
+    gen_expr 2 >>= fun value ->
+    return (Store (TInt, Binop (BAnd, addr, Int 252l), value))
+
+  let rec gen_stmt depth =
+    if depth <= 0 then oneof [ gen_assign; gen_store ]
+    else
+      frequency
+        [ (4, gen_assign);
+          (2, gen_store);
+          (2,
+           gen_expr 2 >>= fun cond ->
+           list_size (int_range 1 3) (gen_stmt (depth - 1)) >>= fun then_ ->
+           list_size (int_range 0 2) (gen_stmt (depth - 1)) >>= fun else_ ->
+           return (If (cond, then_, else_)));
+          (2,
+           int_range 1 4 >>= fun bound ->
+           list_size (int_range 1 3) (gen_stmt (depth - 1)) >>= fun body ->
+           let var = Printf.sprintf "k%d" depth in
+           return (For (var, Int 0l, Int (Int32.of_int bound), body)));
+          (1,
+           int_range 0 2 >>= fun ncases ->
+           list_repeat ncases (list_size (int_range 1 2) (gen_stmt (depth - 1)))
+           >>= fun cases ->
+           list_size (int_range 0 2) (gen_stmt (depth - 1)) >>= fun default ->
+           gen_expr 1 >>= fun scrut ->
+           return (Switch (Binop (BAnd, scrut, Int 3l), cases, default))) ]
+
+  let gen_program =
+    list_size (int_range 3 10) (gen_stmt 2) >>= fun stmts ->
+    let checksum_loop =
+      For ("k1", Int 0l, Int 64l,
+           [ Assign ("a", Binop (Add, Var "a", Load (TInt, Binop (Mul, Var "k1", Int 4l)))) ])
+    in
+    let body =
+      (Assign ("a", Int 17l) :: Assign ("b", Int 23l) :: stmts)
+      @ [ checksum_loop;
+          Return (Some (Cast (TFloat, Binop (BXor, Var "a", Binop (Mul, Var "b", Int 31l))))) ]
+    in
+    return
+      (program
+         [ func "run" ~params:[] ~result:TFloat
+             ~locals:[ ("a", TInt); ("b", TInt); ("k1", TInt); ("k2", TInt) ]
+             body ])
+
+  let arbitrary =
+    QCheck.make gen_program
+      ~print:(fun p ->
+        match Mc_compile.compile p with
+        | m -> Wasm.Wat.to_string m
+        | exception Mc_compile.Compile_error msg -> "compile error: " ^ msg)
+end
+
+let prop_random_faithful =
+  QCheck.Test.make ~name:"random programs: instrumented = original" ~count:120
+    Gen_prog.arbitrary (fun p ->
+      let m = Mc_compile.compile_checked p in
+      let expected = checksum_of m in
+      let actual = instrumented_checksum m in
+      Float.equal expected actual)
+
+let group_subsets =
+  (* deterministic selection of interesting subsets *)
+  [ [ W.Hook.G_binary ];
+    [ W.Hook.G_local; W.Hook.G_const ];
+    [ W.Hook.G_begin; W.Hook.G_end ];
+    [ W.Hook.G_br; W.Hook.G_br_if; W.Hook.G_br_table; W.Hook.G_end ];
+    [ W.Hook.G_load; W.Hook.G_store; W.Hook.G_select ];
+    [ W.Hook.G_call; W.Hook.G_return ] ]
+
+let prop_random_faithful_selective =
+  QCheck.Test.make ~name:"random programs: selective instrumentation faithful" ~count:60
+    Gen_prog.arbitrary (fun p ->
+      let m = Mc_compile.compile_checked p in
+      let expected = checksum_of m in
+      List.for_all
+        (fun gs ->
+           Float.equal expected (instrumented_checksum ~groups:(W.Hook.of_list gs) m))
+        group_subsets)
+
+let prop_random_instrumented_validates =
+  QCheck.Test.make ~name:"random programs: instrumented module validates" ~count:120
+    Gen_prog.arbitrary (fun p ->
+      let m = Mc_compile.compile_checked p in
+      let res = W.Instrument.instrument m in
+      Wasm.Validate.is_valid res.W.Instrument.instrumented)
+
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_random_faithful; prop_random_faithful_selective; prop_random_instrumented_validates ]
+
+let suite =
+  [
+    case "corpus: fully instrumented behaviour" test_corpus_fully_instrumented;
+    case "corpus: instrumented binary round trip" test_corpus_instrumented_binary_roundtrip;
+    case "corpus: begin/end balance" test_begin_end_balance_corpus;
+  ]
+  @ qcheck_cases

@@ -1,0 +1,141 @@
+(** Hook machinery: monomorphization map, names, signatures, index
+    remapping. *)
+
+module H = Wasabi.Hook
+
+let case name fn = Alcotest.test_case name `Quick fn
+
+let test_group_names_roundtrip () =
+  List.iter
+    (fun g -> Alcotest.(check bool) (H.group_name g) true (H.group_of_name (H.group_name g) = g))
+    H.all_groups;
+  (match H.group_of_name "bogus" with
+   | _ -> Alcotest.fail "expected Invalid_argument"
+   | exception Invalid_argument _ -> ())
+
+let test_map_ordinals_stable () =
+  let m = H.Map.create () in
+  let a = H.Map.ordinal m H.S_nop in
+  let b = H.Map.ordinal m (H.S_const Wasm.Types.I32T) in
+  let a' = H.Map.ordinal m H.S_nop in
+  Alcotest.(check int) "first is 0" 0 a;
+  Alcotest.(check int) "second is 1" 1 b;
+  Alcotest.(check int) "repeat returns the same ordinal" a a';
+  Alcotest.(check int) "count" 2 (H.Map.count m);
+  let specs = H.Map.specs m in
+  Alcotest.(check bool) "specs in ordinal order" true
+    (specs.(0) = H.S_nop && specs.(1) = H.S_const Wasm.Types.I32T)
+
+let test_map_thread_safety () =
+  (* hammer the map from several domains; ordinals stay consistent *)
+  let m = H.Map.create () in
+  let spec_of k = H.S_binary (Printf.sprintf "op%d" (k mod 50), Wasm.Types.I32T, Wasm.Types.I32T, Wasm.Types.I32T) in
+  let worker () =
+    for k = 0 to 999 do
+      ignore (H.Map.ordinal m (spec_of k))
+    done
+  in
+  let domains = List.init 4 (fun _ -> Domain.spawn worker) in
+  worker ();
+  List.iter Domain.join domains;
+  Alcotest.(check int) "exactly 50 distinct hooks" 50 (H.Map.count m);
+  (* each spec's ordinal is unique and within range *)
+  let specs = H.Map.specs m in
+  let seen = Hashtbl.create 64 in
+  Array.iter
+    (fun s ->
+       Alcotest.(check bool) "no duplicate spec" false (Hashtbl.mem seen s);
+       Hashtbl.add seen s ())
+    specs
+
+let test_signatures_are_js_safe () =
+  (* with splitting on, no hook signature contains an i64 parameter *)
+  let res =
+    Wasabi.Instrument.instrument
+      (Minic.Mc_compile.compile (Workloads.Realworld.pdfkit ~doc_len:50 ()))
+  in
+  Array.iter
+    (fun spec ->
+       let ft = H.signature spec in
+       Alcotest.(check bool)
+         (H.name spec ^ " has no i64 params")
+         false
+         (List.mem Wasm.Types.I64T ft.Wasm.Types.params);
+       Alcotest.(check (list bool)) "hooks return nothing" []
+         (List.map (fun _ -> true) ft.Wasm.Types.results))
+    res.Wasabi.Instrument.metadata.Wasabi.Metadata.hook_specs
+
+let test_names_unique_per_module () =
+  (* within one instrumented module, hook import names are unique: the
+     name encodes the op and the monomorphic type variant *)
+  List.iter
+    (fun (e : Workloads.Corpus.entry) ->
+       let res = Wasabi.Instrument.instrument e.module_ in
+       let names =
+         Array.to_list
+           (Array.map H.name res.Wasabi.Instrument.metadata.Wasabi.Metadata.hook_specs)
+       in
+       Alcotest.(check int) e.name (List.length names)
+         (List.length (List.sort_uniq String.compare names)))
+    (Workloads.Corpus.make ~n:4 ())
+
+let test_remap_index () =
+  (* 2 original imports, 5 original functions total, 3 hooks *)
+  let remap = Wasabi.Instrument.remap_index ~n_imp:2 ~n_orig:5 ~h:3 in
+  Alcotest.(check int) "import 0 fixed" 0 (remap 0);
+  Alcotest.(check int) "import 1 fixed" 1 (remap 1);
+  Alcotest.(check int) "defined 2 shifts" 5 (remap 2);
+  Alcotest.(check int) "defined 4 shifts" 7 (remap 4);
+  Alcotest.(check int) "hook placeholder 5 -> 2" 2 (remap 5);
+  Alcotest.(check int) "hook placeholder 7 -> 4" 4 (remap 7)
+
+let test_eager_bound () =
+  Alcotest.(check (float 0.1)) "0 params" 1.0 (H.eager_call_hook_count ~max_params:0);
+  Alcotest.(check (float 0.1)) "1 param" 5.0 (H.eager_call_hook_count ~max_params:1);
+  Alcotest.(check (float 1.0)) "2 params" 21.0 (H.eager_call_hook_count ~max_params:2);
+  (* the paper's 4^22 example *)
+  Alcotest.(check bool) "22 params explodes" true
+    (H.eager_call_hook_count ~max_params:22 > 1.7e13)
+
+let prop_selective_size_monotone =
+  (* instrumenting for more groups never shrinks the output *)
+  let gemm =
+    lazy
+      ((Workloads.Corpus.find (Workloads.Corpus.make ~n:4 ()) "gemm").Workloads.Corpus.module_)
+  in
+  let arb_groups =
+    QCheck.make
+      QCheck.Gen.(
+        list_size (int_range 0 6) (oneofl H.all_groups) >|= fun gs -> H.of_list gs)
+      ~print:(fun gs ->
+        String.concat "," (List.map H.group_name (H.Group_set.elements gs)))
+  in
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"selective instrumentation size is monotone" ~count:40
+       (QCheck.pair arb_groups arb_groups)
+       (fun (a, b) ->
+          let size groups =
+            String.length
+              (Wasm.Encode.encode
+                 (Wasabi.Instrument.instrument ~groups (Lazy.force gemm))
+                   .Wasabi.Instrument.instrumented)
+          in
+          size (H.Group_set.union a b) >= max (size a) (size b)))
+
+let test_figure_groups () =
+  Alcotest.(check int) "21 figure columns" 21 (List.length H.figure_groups);
+  Alcotest.(check int) "22 groups total" 22 (List.length H.all_groups);
+  Alcotest.(check bool) "start not in figures" false (List.mem H.G_start H.figure_groups)
+
+let suite =
+  [
+    case "group name round trip" test_group_names_roundtrip;
+    case "map ordinals stable" test_map_ordinals_stable;
+    case "map is thread safe" test_map_thread_safety;
+    case "signatures are JS safe" test_signatures_are_js_safe;
+    case "hook names unique per module" test_names_unique_per_module;
+    case "index remapping" test_remap_index;
+    case "eager monomorphization bound" test_eager_bound;
+    case "figure groups" test_figure_groups;
+    prop_selective_size_monotone;
+  ]

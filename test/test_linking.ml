@@ -1,0 +1,150 @@
+(** Instantiation and linking: imported functions, globals, memories and
+    tables — including entities shared between two instances — and import
+    error reporting. *)
+
+open Wasm
+open Helpers
+module B = Wasm.Builder
+
+let case name fn = Alcotest.test_case name `Quick fn
+
+let test_imported_global () =
+  let bld = B.create () in
+  let g = B.import_global bld ~module_name:"env" ~name:"base" ~ty:Types.I32T ~mutable_:false in
+  let f = B.add_func bld ~params:[] ~results:[ Types.I32T ] ~locals:[]
+      ~body:[ B.global_get g; B.i32 2; B.i32_mul ]
+  in
+  B.export_func bld ~name:"f" f;
+  let m = B.build bld in
+  Validate.validate_module m;
+  let ext = Interp.Extern_global { Interp.g_type = { Types.content = Types.I32T; mutability = Types.Immutable }; g_value = i32 21 } in
+  let inst = Interp.instantiate ~imports:[ ("env", "base", ext) ] m in
+  check_values "21*2" [ i32 42 ] (Interp.invoke_export inst "f" [])
+
+let test_global_init_from_import () =
+  (* a defined global initialised from an imported immutable global *)
+  let m =
+    { Ast.empty_module with
+      Ast.imports =
+        [ { Ast.module_name = "env"; item_name = "base";
+            idesc = Ast.GlobalImport { Types.content = Types.I32T; mutability = Types.Immutable } } ];
+      types = [ Types.func_type [] [ Types.I32T ] ];
+      globals =
+        [ { Ast.gtype = { Types.content = Types.I32T; mutability = Types.Mutable };
+            ginit = [ Ast.GlobalGet 0 ] } ];
+      funcs = [ { Ast.ftype = 0; locals = []; body = [ Ast.GlobalGet 1 ] } ];
+      exports = [ { Ast.name = "f"; edesc = Ast.FuncExport 0 } ] }
+  in
+  Validate.validate_module m;
+  let ext = Interp.Extern_global { Interp.g_type = { Types.content = Types.I32T; mutability = Types.Immutable }; g_value = i32 7 } in
+  let inst = Interp.instantiate ~imports:[ ("env", "base", ext) ] m in
+  check_values "initialised from import" [ i32 7 ] (Interp.invoke_export inst "f" [])
+
+let make_writer () =
+  (* a module exporting its memory and a poke function *)
+  let bld = B.create () in
+  B.add_memory bld ~min_pages:1 ~max_pages:None;
+  B.export_memory bld ~name:"memory";
+  let poke = B.add_func bld ~params:[ Types.I32T; Types.I32T ] ~results:[] ~locals:[]
+      ~body:[ B.local_get 0; B.local_get 1; B.i32_store () ]
+  in
+  B.export_func bld ~name:"poke" poke;
+  B.build bld
+
+let make_reader () =
+  (* a module importing a memory and reading from it *)
+  let m =
+    { Ast.empty_module with
+      Ast.imports =
+        [ { Ast.module_name = "shared"; item_name = "memory";
+            idesc = Ast.MemoryImport { Types.mem_limits = { Types.lim_min = 1; lim_max = None } } } ];
+      types = [ Types.func_type [ Types.I32T ] [ Types.I32T ] ];
+      funcs = [ { Ast.ftype = 0; locals = []; body = [ Ast.LocalGet 0; B.i32_load () ] } ];
+      exports = [ { Ast.name = "peek"; edesc = Ast.FuncExport 0 } ] }
+  in
+  m
+
+let test_shared_memory () =
+  let writer = Interp.instantiate ~imports:[] (make_writer ()) in
+  let mem = Interp.export_memory writer "memory" in
+  let reader_m = make_reader () in
+  Validate.validate_module reader_m;
+  let reader =
+    Interp.instantiate ~imports:[ ("shared", "memory", Interp.Extern_memory mem) ] reader_m
+  in
+  ignore (Interp.invoke_export writer "poke" [ i32 64; i32 12345 ]);
+  check_values "reader sees writer's store" [ i32 12345 ]
+    (Interp.invoke_export reader "peek" [ i32 64 ])
+
+let test_cross_instance_call () =
+  (* instance B imports a function exported by instance A *)
+  let bld = B.create () in
+  let triple = B.add_func bld ~params:[ Types.I32T ] ~results:[ Types.I32T ] ~locals:[]
+      ~body:[ B.local_get 0; B.i32 3; B.i32_mul ]
+  in
+  B.export_func bld ~name:"triple" triple;
+  let a = Interp.instantiate ~imports:[] (B.build bld) in
+  let triple_fn = Interp.export_func a "triple" in
+  let bld2 = B.create () in
+  let imp = B.import_func bld2 ~module_name:"a" ~name:"triple"
+      ~params:[ Types.I32T ] ~results:[ Types.I32T ]
+  in
+  let f = B.add_func bld2 ~params:[] ~results:[ Types.I32T ] ~locals:[]
+      ~body:[ B.i32 14; Ast.Call imp ]
+  in
+  B.export_func bld2 ~name:"f" f;
+  let m2 = B.build bld2 in
+  Validate.validate_module m2;
+  let b = Interp.instantiate ~imports:[ ("a", "triple", Interp.Extern_func triple_fn) ] m2 in
+  check_values "cross-instance call" [ i32 42 ] (Interp.invoke_export b "f" [])
+
+let expect_link_error name substring f =
+  match f () with
+  | _ -> Alcotest.failf "%s: expected Link_error" name
+  | exception Interp.Link_error msg ->
+    if not (contains msg substring) then
+      Alcotest.failf "%s: %S does not mention %S" name msg substring
+
+let test_link_errors () =
+  let reader_m = make_reader () in
+  expect_link_error "missing import" "unknown import" (fun () ->
+    Interp.instantiate ~imports:[] reader_m);
+  (* kind mismatch: provide a function where a memory is expected *)
+  let bogus = Interp.host_func ~name:"memory" ~params:[] ~results:[] (fun _ -> []) in
+  expect_link_error "kind mismatch" "kind mismatch" (fun () ->
+    Interp.instantiate ~imports:[ ("shared", "memory", bogus) ] reader_m);
+  (* function type mismatch *)
+  let bld = B.create () in
+  ignore (B.import_func bld ~module_name:"env" ~name:"f" ~params:[ Types.I32T ] ~results:[]);
+  let m = B.build bld in
+  let wrong = Interp.host_func ~name:"f" ~params:[ Types.F64T ] ~results:[] (fun _ -> []) in
+  expect_link_error "signature mismatch" "type mismatch" (fun () ->
+    Interp.instantiate ~imports:[ ("env", "f", wrong) ] m)
+
+let test_element_out_of_bounds () =
+  let bld = B.create () in
+  let f = B.add_func bld ~params:[] ~results:[] ~locals:[] ~body:[] in
+  B.add_table bld ~min_size:1 ~max_size:None;
+  B.add_elem bld ~offset:5 ~funcs:[ f ];
+  let m = B.build bld in
+  expect_link_error "element segment oob" "element segment" (fun () ->
+    Interp.instantiate ~imports:[] m)
+
+let test_data_out_of_bounds () =
+  let bld = B.create () in
+  B.add_memory bld ~min_pages:1 ~max_pages:None;
+  B.add_data bld ~offset:65534 ~bytes:"hello";
+  let m = B.build bld in
+  expect_link_error "data segment oob" "data segment" (fun () ->
+    Interp.instantiate ~imports:[] m)
+
+let suite =
+  [
+    case "imported immutable global" test_imported_global;
+    case "global initialised from import" test_global_init_from_import;
+    case "memory shared between instances" test_shared_memory;
+    case "cross-instance function call" test_cross_instance_call;
+    case "link errors" test_link_errors;
+    case "element segment bounds" test_element_out_of_bounds;
+    case "data segment bounds" test_data_out_of_bounds;
+  ]

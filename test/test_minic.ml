@@ -1,0 +1,261 @@
+(** MiniC compiler: compiled programs validate and compute correctly. *)
+
+open Wasm
+open Minic
+open Mc_ast
+open Mc_ast.Dsl
+
+let case name fn = Alcotest.test_case name `Quick fn
+
+let run_program ?(fuel = 100_000_000) p fname args =
+  let m = Mc_compile.compile_checked p in
+  let inst = Interp.instantiate ~fuel ~imports:[] m in
+  Interp.invoke_export inst fname args
+
+let check_i32 msg expected actual =
+  Helpers.check_values msg [ Helpers.i32 expected ] actual
+
+let test_arith () =
+  let p =
+    program
+      [ func "calc" ~params:[ ("x", TInt) ] ~result:TInt
+          [ Return (Some ((v "x" * i 3 + i 4) / i 2)) ] ]
+  in
+  check_i32 "(5*3+4)/2" 9 (run_program p "calc" [ Helpers.i32 5 ])
+
+let test_float_arith () =
+  let p =
+    program
+      [ func "hypot2" ~params:[ ("a", TFloat); ("b", TFloat) ] ~result:TFloat
+          [ Return (Some (v "a" * v "a" + v "b" * v "b")) ] ]
+  in
+  Helpers.check_values "3^2+4^2" [ Helpers.f64 25.0 ]
+    (run_program p "hypot2" [ Helpers.f64 3.0; Helpers.f64 4.0 ])
+
+let test_while_loop () =
+  (* gcd via Euclid *)
+  let p =
+    program
+      [ func "gcd" ~params:[ ("a", TInt); ("b", TInt) ] ~result:TInt ~locals:[ ("t", TInt) ]
+          [ While (v "b" <> i 0,
+                   [ "t" := v "b";
+                     "b" := v "a" % v "b";
+                     "a" := v "t" ]);
+            Return (Some (v "a")) ] ]
+  in
+  check_i32 "gcd(48,18)" 6 (run_program p "gcd" [ Helpers.i32 48; Helpers.i32 18 ])
+
+let test_for_loop () =
+  let p =
+    program
+      [ func "sum" ~params:[ ("n", TInt) ] ~result:TInt
+          ~locals:[ ("k", TInt); ("acc", TInt) ]
+          [ "acc" := i 0;
+            For ("k", i 1, v "n" + i 1, [ "acc" := v "acc" + v "k" ]);
+            Return (Some (v "acc")) ] ]
+  in
+  check_i32 "sum 1..100" 5050 (run_program p "sum" [ Helpers.i32 100 ])
+
+let test_for_step_break_continue () =
+  let p =
+    program
+      [ func "quirky" ~params:[] ~result:TInt ~locals:[ ("k", TInt); ("acc", TInt) ]
+          [ "acc" := i 0;
+            ForStep ("k", i 0, i 100, i 2,
+                     [ If (v "k" = i 10, [ Continue ], []);
+                       If (v "k" > i 20, [ Break ], []);
+                       "acc" := v "acc" + v "k" ]);
+            Return (Some (v "acc")) ] ]
+  in
+  (* 0+2+4+6+8+12+14+16+18+20 = 100 *)
+  check_i32 "break/continue" 100 (run_program p "quirky" [])
+
+let test_recursion () =
+  let p =
+    program
+      [ func "fib" ~params:[ ("n", TInt) ] ~result:TInt
+          [ If (v "n" < i 2, [ Return (Some (v "n")) ], []);
+            Return (Some (Call ("fib", [ v "n" - i 1 ]) + Call ("fib", [ v "n" - i 2 ]))) ] ]
+  in
+  check_i32 "fib 15" 610 (run_program p "fib" [ Helpers.i32 15 ])
+
+let test_memory () =
+  let p =
+    program
+      [ func "reverse_sum" ~params:[ ("n", TInt) ] ~result:TInt
+          ~locals:[ ("k", TInt); ("acc", TInt) ]
+          [ For ("k", i 0, v "n", [ istore (i 0) (v "k") (v "k" * v "k") ]);
+            "acc" := i 0;
+            For ("k", i 0, v "n", [ "acc" := v "acc" + iload (i 0) (v "k") ]);
+            Return (Some (v "acc")) ] ]
+  in
+  (* sum of squares 0..9 = 285 *)
+  check_i32 "array of squares" 285 (run_program p "reverse_sum" [ Helpers.i32 10 ])
+
+let test_switch () =
+  let p =
+    program
+      [ func "classify" ~params:[ ("x", TInt) ] ~result:TInt ~locals:[ ("r", TInt) ]
+          [ Switch (v "x",
+                    [ [ "r" := i 100 ];  (* case 0 *)
+                      [ "r" := i 200 ];  (* case 1 *)
+                      [ "r" := i 300 ] ],  (* case 2 *)
+                    [ "r" := i (-1) ]);
+            Return (Some (v "r")) ] ]
+  in
+  let run x = run_program p "classify" [ Helpers.i32 x ] in
+  check_i32 "case 0" 100 (run 0);
+  check_i32 "case 1" 200 (run 1);
+  check_i32 "case 2" 300 (run 2);
+  check_i32 "default" (-1) (run 7)
+
+let test_globals () =
+  let p =
+    program
+      ~globals:[ ("counter", TInt, Int 0l) ]
+      [ func "bump" ~params:[] ~result:TInt
+          [ SetGlobal ("counter", Global "counter" + i 1);
+            Return (Some (Global "counter")) ] ]
+  in
+  let m = Mc_compile.compile_checked p in
+  let inst = Interp.instantiate ~imports:[] m in
+  check_i32 "1st" 1 (Interp.invoke_export inst "bump" []);
+  check_i32 "2nd" 2 (Interp.invoke_export inst "bump" [])
+
+let test_long_arith () =
+  let p =
+    program
+      [ func "mix64" ~params:[ ("x", TLong) ] ~result:TInt
+          ~locals:[ ("h", TLong) ]
+          [ "h" := Binop (BXor, v "x", Binop (ShrU, v "x", Long 33L));
+            "h" := Binop (Mul, v "h", Long 0xff51afd7ed558ccdL);
+            Return (Some (Cast (TInt, Binop (BAnd, v "h", Long 0xFFFFL)))) ] ]
+  in
+  let r = run_program p "mix64" [ Value.I64 42L ] in
+  (* reference value computed with OCaml Int64 semantics *)
+  let h = Int64.logxor 42L (Int64.shift_right_logical 42L 33) in
+  let h = Int64.mul h 0xff51afd7ed558ccdL in
+  let expected = Int64.to_int (Int64.logand h 0xFFFFL) in
+  check_i32 "murmur-style mix" expected r
+
+let test_single_arith () =
+  let p =
+    program
+      [ func "f32ops" ~params:[] ~result:TFloat
+          ~locals:[ ("s", TSingle) ]
+          [ "s" := Binop (Add, Single 1.5, Single 2.25);
+            Return (Some (Cast (TFloat, v "s"))) ] ]
+  in
+  Helpers.check_values "f32 add" [ Helpers.f64 3.75 ] (run_program p "f32ops" [])
+
+let test_select_expr () =
+  let p =
+    program
+      [ func "max3" ~params:[ ("a", TInt); ("b", TInt) ] ~result:TInt
+          [ Return (Some (Select (v "a" > v "b", v "a", v "b"))) ] ]
+  in
+  check_i32 "max" 9 (run_program p "max3" [ Helpers.i32 4; Helpers.i32 9 ])
+
+let test_indirect_call () =
+  let p =
+    program
+      ~table:[ "ten"; "twenty" ]
+      [ func "ten" ~params:[] ~result:TInt [ Return (Some (i 10)) ];
+        func "twenty" ~params:[] ~result:TInt [ Return (Some (i 20)) ];
+        func "dispatch" ~params:[ ("which", TInt) ] ~result:TInt
+          [ Return (Some (CallIndirect (v "which", [], Some TInt))) ] ]
+  in
+  check_i32 "table[0]" 10 (run_program p "dispatch" [ Helpers.i32 0 ]);
+  check_i32 "table[1]" 20 (run_program p "dispatch" [ Helpers.i32 1 ])
+
+let test_data_and_start () =
+  let p =
+    program
+      ~data:[ (64, "\x07\x00\x00\x00") ]
+      ~start:"init"
+      [ func "init" ~params:[] ~export:false
+          [ istore (i 0) (i 20) (iload (i 64) (i 0) * i 6) ];
+        func "get" ~params:[] ~result:TInt [ Return (Some (iload (i 0) (i 20))) ] ]
+  in
+  check_i32 "start ran over data" 42 (run_program p "get" [])
+
+let test_nested_loops () =
+  (* matrix multiply 3x3, the classic PolyBench shape *)
+  let n = 3 in
+  let a = 0 and b = 1024 and c = 2048 in
+  let p =
+    program
+      [ func "matmul" ~params:[] ~result:TFloat
+          ~locals:[ ("i", TInt); ("j", TInt); ("k", TInt); ("acc", TFloat) ]
+          [ For ("i", i 0, i n,
+                 [ For ("j", i 0, i n,
+                        [ fstore (i a) (v "i" * i n + v "j")
+                            (Cast (TFloat, v "i" + v "j"));
+                          fstore (i b) (v "i" * i n + v "j")
+                            (Cast (TFloat, v "i" - v "j")) ]) ]);
+            For ("i", i 0, i n,
+                 [ For ("j", i 0, i n,
+                        [ "acc" := f 0.0;
+                          For ("k", i 0, i n,
+                               [ "acc" := v "acc"
+                                          + fload (i a) (v "i" * i n + v "k")
+                                            * fload (i b) (v "k" * i n + v "j") ]);
+                          fstore (i c) (v "i" * i n + v "j") (v "acc") ]) ]);
+            Return (Some (fload (i c) (i 8))) ] ]
+  in
+  (* C[2][2] = sum_k A[2][k] * B[k][2] = (2)(−2)+(3)(−1)+(4)(0) = -7 *)
+  Helpers.check_values "C[2][2]" [ Helpers.f64 (-7.0) ] (run_program p "matmul" [])
+
+let test_instrumented_minic () =
+  (* a compiled MiniC program survives full instrumentation (RQ2 again) *)
+  let p =
+    program
+      [ func "work" ~params:[ ("n", TInt) ] ~result:TInt
+          ~locals:[ ("k", TInt); ("acc", TInt) ]
+          [ "acc" := i 1;
+            For ("k", i 0, v "n",
+                 [ "acc" := v "acc" * i 3 + v "k";
+                   istore (i 0) (v "k" % i 16) (v "acc") ]);
+            Return (Some (v "acc" + iload (i 0) (i 2))) ] ]
+  in
+  let m = Mc_compile.compile_checked p in
+  let res = Wasabi.Instrument.instrument m in
+  Validate.validate_module res.Wasabi.Instrument.instrumented;
+  let expected = Interp.invoke_export (Interp.instantiate ~imports:[] m) "work" [ Helpers.i32 20 ] in
+  let inst, _ = Wasabi.Runtime.instantiate res Wasabi.Analysis.default in
+  Helpers.check_values "same result" expected (Interp.invoke_export inst "work" [ Helpers.i32 20 ])
+
+let test_type_errors () =
+  let bad =
+    program [ func "bad" ~params:[] ~result:TInt [ Return (Some (Float 1.0)) ] ]
+  in
+  (match Mc_compile.compile_checked bad with
+   | _ -> Alcotest.fail "expected a compile error"
+   | exception Mc_compile.Compile_error _ -> ());
+  let bad2 =
+    program [ func "bad2" ~params:[] [ Expr (Binop (Add, Int 1l, Float 2.0)) ] ]
+  in
+  (match Mc_compile.compile_checked bad2 with
+   | _ -> Alcotest.fail "expected a compile error"
+   | exception Mc_compile.Compile_error _ -> ())
+
+let suite =
+  [
+    case "arith" test_arith;
+    case "float arith" test_float_arith;
+    case "while (gcd)" test_while_loop;
+    case "for (sum)" test_for_loop;
+    case "for with step/break/continue" test_for_step_break_continue;
+    case "recursion (fib)" test_recursion;
+    case "memory arrays" test_memory;
+    case "switch -> br_table" test_switch;
+    case "globals" test_globals;
+    case "i64 arithmetic" test_long_arith;
+    case "f32 arithmetic" test_single_arith;
+    case "select" test_select_expr;
+    case "indirect calls" test_indirect_call;
+    case "data segments + start" test_data_and_start;
+    case "nested loops (matmul)" test_nested_loops;
+    case "instrumented MiniC is faithful" test_instrumented_minic;
+    case "type errors rejected" test_type_errors;
+  ]

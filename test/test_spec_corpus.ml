@@ -1,0 +1,516 @@
+(** A spec-style corpus: small text-format programs with golden results,
+    playing the role of the official suite the paper instruments (63
+    programs, Section 4.3). Every program is executed uninstrumented and
+    fully instrumented; results must agree with the golden value and the
+    instrumented module must validate. *)
+
+open Wasm
+open Helpers
+
+(* (name, wat source, arguments, expected results) *)
+let corpus : (string * string * Value.t list * Value.t list) list =
+  [
+    ("const", {|(module (func (export "f") (result i32) i32.const -7))|}, [], [ i32 (-7) ]);
+    ("add-overflow",
+     {|(module (func (export "f") (result i32) i32.const 2147483647 i32.const 1 i32.add))|},
+     [], [ Value.I32 Int32.min_int ]);
+    ("mul-wrap",
+     {|(module (func (export "f") (result i32) i32.const 65536 i32.const 65536 i32.mul))|},
+     [], [ i32 0 ]);
+    ("div-s-neg",
+     {|(module (func (export "f") (result i32) i32.const -7 i32.const 2 i32.div_s))|},
+     [], [ i32 (-3) ]);
+    ("rem-sign",
+     {|(module (func (export "f") (result i32) i32.const -5 i32.const 3 i32.rem_s))|},
+     [], [ i32 (-2) ]);
+    ("shr-u",
+     {|(module (func (export "f") (result i32) i32.const -1 i32.const 28 i32.shr_u))|},
+     [], [ i32 15 ]);
+    ("shl-mask",
+     {|(module (func (export "f") (result i32) i32.const 1 i32.const 33 i32.shl))|},
+     [], [ i32 2 ]);
+    ("rotl",
+     {|(module (func (export "f") (result i32) i32.const 0x80000001 i32.const 1 i32.rotl))|},
+     [], [ i32 3 ]);
+    ("clz-zero", {|(module (func (export "f") (result i32) i32.const 0 i32.clz))|}, [], [ i32 32 ]);
+    ("i64-mul",
+     {|(module (func (export "f") (result i64) i64.const 123456789 i64.const 987654321 i64.mul))|},
+     [], [ Value.I64 121932631112635269L ]);
+    ("i64-shr-s",
+     {|(module (func (export "f") (result i64) i64.const -16 i64.const 2 i64.shr_s))|},
+     [], [ Value.I64 (-4L) ]);
+    ("eqz", {|(module (func (export "f") (param i32) (result i32) local.get 0 i32.eqz))|},
+     [ i32 0 ], [ i32 1 ]);
+    ("lt-u-wraparound",
+     {|(module (func (export "f") (result i32) i32.const -1 i32.const 1 i32.lt_u))|},
+     [], [ i32 0 ]);
+    ("f64-arith",
+     {|(module (func (export "f") (result f64) f64.const 0.1 f64.const 0.2 f64.add))|},
+     [], [ f64 (0.1 +. 0.2) ]);
+    ("f64-min-nan",
+     {|(module (func (export "f") (result f64) f64.const nan f64.const 1 f64.min))|},
+     [], [ f64 Float.nan ]);
+    ("f64-neg-zero",
+     {|(module (func (export "f") (result f64) f64.const -0 f64.const 0 f64.min))|},
+     [], [ f64 (-0.0) ]);
+    ("f32-demote",
+     {|(module (func (export "f") (result f32) f64.const 0.1 f32.demote_f64))|},
+     [], [ Value.f32 0.1 ]);
+    ("f64-floor",
+     {|(module (func (export "f") (result f64) f64.const -2.5 f64.floor))|},
+     [], [ f64 (-3.0) ]);
+    ("nearest-even",
+     {|(module (func (export "f") (result f64) f64.const 0.5 f64.nearest))|},
+     [], [ f64 0.0 ]);
+    ("sqrt", {|(module (func (export "f") (result f64) f64.const 6.25 f64.sqrt))|}, [], [ f64 2.5 ]);
+    ("copysign",
+     {|(module (func (export "f") (result f64) f64.const 3 f64.const -1 f64.copysign))|},
+     [], [ f64 (-3.0) ]);
+    ("trunc-sat-edge",
+     {|(module (func (export "f") (result i32) f64.const 2147483520 i32.trunc_f64_s))|},
+     [], [ i32 2147483520 ]);
+    ("convert-u",
+     {|(module (func (export "f") (result f64) i32.const -1 f64.convert_i32_u))|},
+     [], [ f64 4294967295.0 ]);
+    ("reinterpret",
+     {|(module (func (export "f") (result i64) f64.const 2 i64.reinterpret_f64))|},
+     [], [ Value.I64 0x4000000000000000L ]);
+    ("extend-u",
+     {|(module (func (export "f") (result i64) i32.const -1 i64.extend_i32_u))|},
+     [], [ Value.I64 4294967295L ]);
+    ("wrap",
+     {|(module (func (export "f") (result i32) i64.const 4294967298 i32.wrap_i64))|},
+     [], [ i32 2 ]);
+    ("nested-blocks",
+     {|(module
+         (func (export "f") (result i32)
+           (block (result i32)
+             (block (result i32)
+               i32.const 1
+               br 1))))|},
+     [], [ i32 1 ]);
+    ("loop-counter",
+     {|(module
+         (func (export "f") (result i32)
+           (local $n i32)
+           block
+             loop
+               local.get $n
+               i32.const 100
+               i32.ge_s
+               br_if 1
+               local.get $n
+               i32.const 7
+               i32.add
+               local.set $n
+               br 0
+             end
+           end
+           local.get $n))|},
+     [], [ i32 105 ]);
+    ("early-return",
+     {|(module
+         (func (export "f") (param i32) (result i32)
+           (if (local.get 0) (then i32.const 11 return))
+           i32.const 22))|},
+     [ i32 1 ], [ i32 11 ]);
+    ("select-types",
+     {|(module
+         (func (export "f") (result f64)
+           f64.const 1.25 f64.const 2.5 i32.const 1 select))|},
+     [], [ f64 1.25 ]);
+    ("memory-pack",
+     {|(module
+         (memory 1)
+         (func (export "f") (result i32)
+           i32.const 0
+           i32.const -2
+           i32.store8
+           i32.const 0
+           i32.load8_u))|},
+     [], [ i32 254 ]);
+    ("memory-sign-extend",
+     {|(module
+         (memory 1)
+         (func (export "f") (result i32)
+           i32.const 0
+           i32.const 128
+           i32.store8
+           i32.const 0
+           i32.load8_s))|},
+     [], [ i32 (-128) ]);
+    ("memory-grow-size",
+     {|(module
+         (memory 1 3)
+         (func (export "f") (result i32)
+           i32.const 1
+           memory.grow
+           drop
+           memory.size))|},
+     [], [ i32 2 ]);
+    ("memory-grow-fail",
+     {|(module
+         (memory 1 2)
+         (func (export "f") (result i32)
+           i32.const 5
+           memory.grow))|},
+     [], [ i32 (-1) ]);
+    ("call-chain",
+     {|(module
+         (func $a (param i32) (result i32) (i32.add (local.get 0) (i32.const 1)))
+         (func $b (param i32) (result i32) (call $a (i32.mul (local.get 0) (i32.const 2))))
+         (func (export "f") (param i32) (result i32) (call $b (local.get 0))))|},
+     [ i32 20 ], [ i32 41 ]);
+    ("mutual-recursion",
+     {|(module
+         (func $even (param i32) (result i32)
+           (if (result i32) (i32.eqz (local.get 0))
+             (then i32.const 1)
+             (else (call $odd (i32.sub (local.get 0) (i32.const 1))))))
+         (func $odd (param i32) (result i32)
+           (if (result i32) (i32.eqz (local.get 0))
+             (then i32.const 0)
+             (else (call $even (i32.sub (local.get 0) (i32.const 1))))))
+         (func (export "f") (param i32) (result i32) (call $even (local.get 0))))|},
+     [ i32 10 ], [ i32 1 ]);
+    ("global-state",
+     {|(module
+         (global $g (mut i64) (i64.const 40))
+         (func (export "f") (result i64)
+           global.get $g
+           i64.const 2
+           i64.add
+           global.set $g
+           global.get $g))|},
+     [], [ Value.I64 42L ]);
+    ("tee",
+     {|(module
+         (func (export "f") (param i32) (result i32)
+           (local $t i32)
+           local.get 0
+           local.tee $t
+           local.get $t
+           i32.add))|},
+     [ i32 21 ], [ i32 42 ]);
+    ("drop-keeps-order",
+     {|(module
+         (func (export "f") (result i32)
+           i32.const 1
+           i32.const 2
+           drop))|},
+     [], [ i32 1 ]);
+    ("unreachable-after-br",
+     {|(module
+         (func (export "f") (result i32)
+           (block (result i32)
+             i32.const 5
+             br 0
+             unreachable)))|},
+     [], [ i32 5 ]);
+    (* post-MVP extension operators *)
+    ("extend8_s",
+     {|(module (func (export "f") (result i32) i32.const 0x80 i32.extend8_s))|},
+     [], [ i32 (-128) ]);
+    ("extend16_s",
+     {|(module (func (export "f") (result i32) i32.const 0x8000 i32.extend16_s))|},
+     [], [ i32 (-32768) ]);
+    ("extend8_s-positive",
+     {|(module (func (export "f") (result i32) i32.const 0x17F i32.extend8_s))|},
+     [], [ i32 127 ]);
+    ("i64-extend32_s",
+     {|(module (func (export "f") (result i64) i64.const 0x80000000 i64.extend32_s))|},
+     [], [ Value.I64 (-2147483648L) ]);
+    ("trunc-sat-nan",
+     {|(module (func (export "f") (result i32) f64.const nan i32.trunc_sat_f64_s))|},
+     [], [ i32 0 ]);
+    ("trunc-sat-clamp-high",
+     {|(module (func (export "f") (result i32) f64.const 1e300 i32.trunc_sat_f64_s))|},
+     [], [ Value.I32 Int32.max_int ]);
+    ("trunc-sat-clamp-low",
+     {|(module (func (export "f") (result i32) f64.const -1e300 i32.trunc_sat_f64_s))|},
+     [], [ Value.I32 Int32.min_int ]);
+    ("trunc-sat-u-negative",
+     {|(module (func (export "f") (result i32) f64.const -5.5 i32.trunc_sat_f64_u))|},
+     [], [ i32 0 ]);
+    ("trunc-sat-u-max",
+     {|(module (func (export "f") (result i32) f64.const 1e300 i32.trunc_sat_f64_u))|},
+     [], [ Value.I32 (-1l) ]);
+    ("trunc-sat-i64",
+     {|(module (func (export "f") (result i64) f64.const -1e300 i64.trunc_sat_f64_s))|},
+     [], [ Value.I64 Int64.min_int ]);
+    (* f32 arithmetic rounds to single precision *)
+    ("f32-add",
+     {|(module (func (export "f") (result f32) f32.const 1.5 f32.const 2.25 f32.add))|},
+     [], [ Value.f32 3.75 ]);
+    ("f32-mul-rounding",
+     {|(module (func (export "f") (result f32) f32.const 0.1 f32.const 10 f32.mul))|},
+     [], [ Value.f32_bits (Int32.bits_of_float (Int32.float_of_bits (Int32.bits_of_float 0.1) *. 10.0)) ]);
+    ("f32-sqrt",
+     {|(module (func (export "f") (result f32) f32.const 2 f32.sqrt))|},
+     [], [ Value.f32 (sqrt 2.0) ]);
+    ("f32-compare",
+     {|(module (func (export "f") (result i32) f32.const 1.5 f32.const 1.5 f32.le))|},
+     [], [ i32 1 ]);
+    ("f32-nan-compare",
+     {|(module (func (export "f") (result i32) f32.const nan f32.const nan f32.eq))|},
+     [], [ i32 0 ]);
+    (* i64 comparisons and shifts *)
+    ("i64-lt-u",
+     {|(module (func (export "f") (result i32) i64.const -1 i64.const 1 i64.lt_u))|},
+     [], [ i32 0 ]);
+    ("i64-ge-s",
+     {|(module (func (export "f") (result i32) i64.const -9223372036854775808 i64.const 0 i64.ge_s))|},
+     [], [ i32 0 ]);
+    ("i64-rotl",
+     {|(module (func (export "f") (result i64) i64.const 1 i64.const 63 i64.rotl))|},
+     [], [ Value.I64 Int64.min_int ]);
+    ("i64-clz",
+     {|(module (func (export "f") (result i64) i64.const 1 i64.clz))|},
+     [], [ Value.I64 63L ]);
+    (* packed i64 memory accesses *)
+    ("i64-store32-load32",
+     {|(module
+         (memory 1)
+         (func (export "f") (result i64)
+           i32.const 0
+           i64.const -1
+           i64.store32
+           i32.const 0
+           i64.load32_u))|},
+     [], [ Value.I64 4294967295L ]);
+    ("i64-load16-sign",
+     {|(module
+         (memory 1)
+         (func (export "f") (result i64)
+           i32.const 0
+           i64.const 0x8000
+           i64.store16
+           i32.const 0
+           i64.load16_s))|},
+     [], [ Value.I64 (-32768L) ]);
+    (* control flow corners *)
+    ("block-result-through-br_if",
+     {|(module
+         (func (export "f") (param i32) (result i32)
+           (block (result i32)
+             i32.const 7
+             local.get 0
+             br_if 0
+             drop
+             i32.const 9)))|},
+     [ i32 1 ], [ i32 7 ]);
+    ("if-inside-loop",
+     {|(module
+         (func (export "f") (param i32) (result i32)
+           (local $acc i32)
+           block
+             loop
+               local.get 0
+               i32.eqz
+               br_if 1
+               (if (i32.rem_s (local.get 0) (i32.const 2))
+                 (then local.get $acc i32.const 1 i32.add local.set $acc))
+               local.get 0
+               i32.const 1
+               i32.sub
+               local.set 0
+               br 0
+             end
+           end
+           local.get $acc))|},
+     [ i32 10 ], [ i32 5 ]);
+    ("nested-br_table",
+     {|(module
+         (func (export "f") (param i32) (result i32)
+           (local $r i32)
+           i32.const 99
+           local.set $r
+           (block $exit
+             (block $b1
+               (block $b0
+                 local.get 0
+                 br_table $b0 $b1 $exit)
+               i32.const 10
+               local.set $r
+               br $exit)
+             i32.const 20
+             local.set $r)
+           local.get $r
+           i32.const 1
+           i32.add))|},
+     [ i32 0 ], [ i32 11 ]);
+    ("select-after-call",
+     {|(module
+         (func $one (result i32) i32.const 1)
+         (func (export "f") (result f64)
+           f64.const 2.5
+           f64.const 3.5
+           call $one
+           select))|},
+     [], [ f64 2.5 ]);
+    ("start-initialises",
+     {|(module
+         (memory 1)
+         (global $g (mut i32) (i32.const 0))
+         (func $boot (global.set $g (i32.const 41)))
+         (start $boot)
+         (func (export "f") (result i32)
+           global.get $g
+           i32.const 1
+           i32.add))|},
+     [], [ i32 42 ]);
+    ("deep-block-nesting",
+     {|(module
+         (func (export "f") (result i32)
+           (block (result i32)
+             (block (result i32)
+               (block (result i32)
+                 (block (result i32)
+                   i32.const 3
+                   br 2))))
+           i32.const 4
+           i32.add))|},
+     [], [ i32 7 ]);
+    ("loop-with-result",
+     {|(module
+         (func (export "f") (result i32)
+           (loop (result i32) i32.const 5)
+           i32.const 2
+           i32.mul))|},
+     [], [ i32 10 ]);
+    ("i64-div-u-large",
+     {|(module (func (export "f") (result i64) i64.const -1 i64.const 3 i64.div_u))|},
+     [], [ Value.I64 6148914691236517205L ]);
+    ("i64-rem-u",
+     {|(module (func (export "f") (result i64) i64.const -1 i64.const 10 i64.rem_u))|},
+     [], [ Value.I64 5L ]);
+    ("tee-chain",
+     {|(module
+         (func (export "f") (result i32)
+           (local $a i32) (local $b i32)
+           i32.const 6
+           local.tee $a
+           local.tee $b
+           local.get $a
+           i32.add
+           local.get $b
+           i32.add))|},
+     [], [ i32 18 ]);
+    ("store16-load16",
+     {|(module
+         (memory 1)
+         (func (export "f") (result i32)
+           i32.const 2
+           i32.const 0x1F0F3
+           i32.store16
+           i32.const 2
+           i32.load16_u))|},
+     [], [ i32 0xF0F3 ]);
+    ("immutable-global",
+     {|(module
+         (global $c i32 (i32.const 11))
+         (func (export "f") (result i32)
+           global.get $c
+           global.get $c
+           i32.mul))|},
+     [], [ i32 121 ]);
+    ("select-f32",
+     {|(module
+         (func (export "f") (param i32) (result f32)
+           f32.const 1.5
+           f32.const -1.5
+           local.get 0
+           select))|},
+     [ i32 0 ], [ Value.f32 (-1.5) ]);
+    ("br-value-from-if",
+     {|(module
+         (func (export "f") (param i32) (result i32)
+           (block (result i32)
+             (if (result i32) (local.get 0)
+               (then i32.const 1 br 1)
+               (else i32.const 2)))))|},
+     [ i32 1 ], [ i32 1 ]);
+    ("f64-max-neg-zero",
+     {|(module (func (export "f") (result f64) f64.const -0 f64.const 0 f64.max))|},
+     [], [ f64 0.0 ]);
+    ("i32-rotr",
+     {|(module (func (export "f") (result i32) i32.const 3 i32.const 1 i32.rotr))|},
+     [], [ Value.I32 0x80000001l ]);
+  ]
+
+(* programs expected to trap, with the trap message fragment *)
+let trapping : (string * string * string) list =
+  [
+    ("div-zero", {|(module (func (export "f") (result i32) i32.const 1 i32.const 0 i32.div_s))|},
+     "divide by zero");
+    ("div-overflow",
+     {|(module (func (export "f") (result i32) i32.const -2147483648 i32.const -1 i32.div_s))|},
+     "integer overflow");
+    ("unreachable", {|(module (func (export "f") unreachable))|}, "unreachable");
+    ("oob", {|(module (memory 1) (func (export "f") (result i32) i32.const 70000 i32.load))|},
+     "out of bounds");
+    ("trunc-nan",
+     {|(module (func (export "f") (result i32) f64.const nan i32.trunc_f64_s))|},
+     "invalid conversion");
+    ("trunc-overflow",
+     {|(module (func (export "f") (result i32) f64.const 1e300 i32.trunc_f64_s))|},
+     "integer overflow");
+    ("uninitialized-table",
+     {|(module
+         (type $s (func))
+         (table 2 funcref)
+         (func (export "f") i32.const 1 call_indirect (type $s)))|},
+     "uninitialized element");
+    ("indirect-type-mismatch",
+     {|(module
+         (type $takes_arg (func (param i32) (result i32)))
+         (table 1 funcref)
+         (elem (i32.const 0) $noargs)
+         (func $noargs (result i32) i32.const 1)
+         (func (export "f") (result i32)
+           i32.const 7
+           i32.const 0
+           call_indirect (type $takes_arg)))|},
+     "indirect call type mismatch");
+    ("oob-store",
+     {|(module
+         (memory 1)
+         (func (export "f")
+           i32.const 65535
+           i64.const 1
+           i64.store))|},
+     "out of bounds");
+    ("i64-div-zero",
+     {|(module (func (export "f") (result i64) i64.const 9 i64.const 0 i64.div_u))|},
+     "divide by zero");
+  ]
+
+let run_original src args =
+  let m = Wat_parse.parse src in
+  Validate.validate_module m;
+  Interp.invoke_export (Interp.instantiate ~imports:[] m) "f" args
+
+let run_instrumented src args =
+  let m = Wat_parse.parse src in
+  let res = Wasabi.Instrument.instrument m in
+  Validate.validate_module res.Wasabi.Instrument.instrumented;
+  let inst, _ = Wasabi.Runtime.instantiate res Wasabi.Analysis.default in
+  Interp.invoke_export inst "f" args
+
+let golden_cases =
+  List.map
+    (fun (name, src, args, expected) ->
+       Alcotest.test_case name `Quick (fun () ->
+         check_values (name ^ " (original)") expected (run_original src args);
+         check_values (name ^ " (instrumented)") expected (run_instrumented src args)))
+    corpus
+
+let trap_cases =
+  List.map
+    (fun (name, src, fragment) ->
+       Alcotest.test_case ("trap: " ^ name) `Quick (fun () ->
+         check_traps (name ^ " original") fragment (fun () -> run_original src []);
+         check_traps (name ^ " instrumented") fragment (fun () -> run_instrumented src [])))
+    trapping
+
+let suite = golden_cases @ trap_cases

@@ -1,0 +1,215 @@
+(** Binary format: LEB128, encode/decode round trips (hand-written,
+    corpus-wide, and property-based), and malformed-input handling. *)
+
+open Wasm
+module B = Wasm.Builder
+
+let case name f = Alcotest.test_case name `Quick f
+
+(* --- LEB128 ----------------------------------------------------------- *)
+
+let leb_u64_roundtrip x =
+  let buf = Buffer.create 10 in
+  Leb128.write_u64 buf x;
+  let s = Buffer.contents buf in
+  let pos = ref 0 in
+  let y = Leb128.read_u64 s pos in
+  Int64.equal x y && !pos = String.length s
+
+let leb_s64_roundtrip x =
+  let buf = Buffer.create 10 in
+  Leb128.write_s64 buf x;
+  let s = Buffer.contents buf in
+  let pos = ref 0 in
+  let y = Leb128.read_s64 s pos in
+  Int64.equal x y && !pos = String.length s
+
+let test_leb_examples () =
+  (* known encodings from the spec/DWARF documentation *)
+  let enc_u x =
+    let buf = Buffer.create 8 in
+    Leb128.write_uint buf x;
+    Buffer.contents buf
+  in
+  Alcotest.(check string) "0" "\x00" (enc_u 0);
+  Alcotest.(check string) "2" "\x02" (enc_u 2);
+  Alcotest.(check string) "127" "\x7f" (enc_u 127);
+  Alcotest.(check string) "128" "\x80\x01" (enc_u 128);
+  Alcotest.(check string) "624485" "\xe5\x8e\x26" (enc_u 624485);
+  let enc_s x =
+    let buf = Buffer.create 8 in
+    Leb128.write_s64 buf x;
+    Buffer.contents buf
+  in
+  Alcotest.(check string) "-1" "\x7f" (enc_s (-1L));
+  Alcotest.(check string) "-123456" "\xc0\xbb\x78" (enc_s (-123456L));
+  Alcotest.(check string) "63" "\x3f" (enc_s 63L);
+  Alcotest.(check string) "64" "\xc0\x00" (enc_s 64L)
+
+let test_leb_boundaries () =
+  List.iter
+    (fun x -> Alcotest.(check bool) (Int64.to_string x) true (leb_u64_roundtrip x))
+    [ 0L; 1L; 127L; 128L; 0xFFFFFFFFL; Int64.max_int; -1L (* = 2^64-1 unsigned *) ];
+  List.iter
+    (fun x -> Alcotest.(check bool) (Int64.to_string x) true (leb_s64_roundtrip x))
+    [ 0L; -1L; 63L; -64L; 64L; -65L; Int64.max_int; Int64.min_int ]
+
+let test_leb_overflow_rejected () =
+  (* 6 continuation bytes exceed a u32 *)
+  let s = "\xff\xff\xff\xff\xff\x0f" in
+  let pos = ref 0 in
+  (match Leb128.read_u32 s pos with
+   | _ -> Alcotest.fail "expected overflow"
+   | exception Leb128.Overflow _ -> ());
+  (* truncated input *)
+  let pos = ref 0 in
+  (match Leb128.read_u64 "\x80" pos with
+   | _ -> Alcotest.fail "expected truncation error"
+   | exception Invalid_argument _ -> ())
+
+let prop_leb_u64 =
+  QCheck.Test.make ~name:"leb128 u64 roundtrip" ~count:1000 QCheck.int64 (fun x ->
+    leb_u64_roundtrip x)
+
+let prop_leb_s64 =
+  QCheck.Test.make ~name:"leb128 s64 roundtrip" ~count:1000 QCheck.int64 (fun x ->
+    leb_s64_roundtrip x)
+
+(* --- module round trips ----------------------------------------------- *)
+
+let module_roundtrip m =
+  let bin = Encode.encode m in
+  let m' = Decode.decode bin in
+  let bin' = Encode.encode m' in
+  Alcotest.(check string) "stable after one round trip" bin bin'
+
+let test_corpus_roundtrip () =
+  List.iter
+    (fun (e : Workloads.Corpus.entry) -> module_roundtrip e.module_)
+    (Workloads.Corpus.make ~n:4 ())
+
+let test_instrumented_roundtrip () =
+  List.iter
+    (fun (e : Workloads.Corpus.entry) ->
+       let res = Wasabi.Instrument.instrument e.module_ in
+       module_roundtrip res.Wasabi.Instrument.instrumented)
+    (Workloads.Corpus.make ~n:4 ())
+
+let test_roundtrip_preserves_structure () =
+  let e = Workloads.Corpus.find (Workloads.Corpus.make ~n:4 ()) "pdfkit" in
+  let m = e.module_ in
+  let m' = Decode.decode (Encode.encode m) in
+  Alcotest.(check int) "types" (List.length m.Ast.types) (List.length m'.Ast.types);
+  Alcotest.(check int) "funcs" (List.length m.Ast.funcs) (List.length m'.Ast.funcs);
+  Alcotest.(check int) "instruction count" (Ast.instruction_count m) (Ast.instruction_count m');
+  Alcotest.(check bool) "same exports" true (m.Ast.exports = m'.Ast.exports);
+  Alcotest.(check bool) "same bodies" true
+    (List.for_all2 (fun (a : Ast.func) b -> a.Ast.body = b.Ast.body) m.Ast.funcs m'.Ast.funcs)
+
+let test_bad_binaries_rejected () =
+  let expect_error name bin =
+    match Decode.decode bin with
+    | _ -> Alcotest.failf "%s: expected Decode_error" name
+    | exception Decode.Decode_error _ -> ()
+  in
+  expect_error "empty" "";
+  expect_error "bad magic" "\x00bad\x01\x00\x00\x00";
+  expect_error "bad version" "\x00asm\x02\x00\x00\x00";
+  expect_error "truncated section" "\x00asm\x01\x00\x00\x00\x01\x05\x01";
+  expect_error "invalid section id" "\x00asm\x01\x00\x00\x00\x0D\x01\x00";
+  expect_error "out-of-order sections" "\x00asm\x01\x00\x00\x00\x03\x01\x00\x01\x01\x00"
+
+let test_custom_sections_skipped () =
+  (* insert a custom section between the magic and a valid type section *)
+  let bld = B.create () in
+  let f = B.add_func bld ~params:[] ~results:[ Types.I32T ] ~locals:[] ~body:[ B.i32 1 ] in
+  B.export_func bld ~name:"f" f;
+  let m = B.build bld in
+  let bin = Encode.encode m in
+  let custom = "\x00\x07\x04name\x01\x02" in
+  let with_custom =
+    String.sub bin 0 8 ^ custom ^ String.sub bin 8 (String.length bin - 8)
+  in
+  let m' = Decode.decode with_custom in
+  Alcotest.(check int) "function preserved" 1 (List.length m'.Ast.funcs)
+
+(* random expression modules for property-based round trips *)
+let gen_const_instr =
+  QCheck.Gen.(
+    oneof
+      [ map (fun x -> Ast.Const (Value.I32 x)) int32;
+        map (fun x -> Ast.Const (Value.I64 x)) int64;
+        map (fun x -> Ast.Const (Value.F64 x)) (float_bound_inclusive 1e9);
+        map (fun x -> Ast.Const (Value.f32 x)) (float_bound_inclusive 1e9) ])
+
+let gen_i32_op =
+  QCheck.Gen.(
+    oneofl
+      Ast.[ Binary (IBin (Types.S32, Add)); Binary (IBin (Types.S32, Sub));
+            Binary (IBin (Types.S32, Mul)); Binary (IBin (Types.S32, And));
+            Binary (IBin (Types.S32, Or)); Binary (IBin (Types.S32, Xor));
+            Binary (IBin (Types.S32, Shl)); Binary (IBin (Types.S32, Rotl));
+            Compare (IRel (Types.S32, Eq)); Compare (IRel (Types.S32, LtS));
+            Test (IEqz Types.S32); Unary (IUn (Types.S32, Clz));
+            Unary (IUn (Types.S32, Popcnt)) ])
+
+(** A random well-typed i32 expression in postfix form, [depth] operations. *)
+let rec gen_i32_expr depth =
+  QCheck.Gen.(
+    if depth = 0 then map (fun x -> [ Ast.Const (Value.I32 x) ]) int32
+    else
+      gen_i32_op >>= fun op ->
+      let arity =
+        match op with
+        | Ast.Binary _ | Ast.Compare _ -> 2
+        | _ -> 1
+      in
+      if arity = 2 then
+        gen_i32_expr (depth - 1) >>= fun a ->
+        gen_i32_expr (depth / 2) >>= fun b -> return (a @ b @ [ op ])
+      else gen_i32_expr (depth - 1) >>= fun a -> return (a @ [ op ]))
+
+let module_of_body body =
+  let bld = B.create () in
+  let f = B.add_func bld ~params:[] ~results:[ Types.I32T ] ~locals:[] ~body in
+  B.export_func bld ~name:"f" f;
+  B.build bld
+
+let arb_expr_module =
+  QCheck.make
+    ~print:(fun m -> Wat.to_string m)
+    QCheck.Gen.(gen_i32_expr 8 >|= module_of_body)
+
+let prop_module_roundtrip =
+  QCheck.Test.make ~name:"random module encode/decode roundtrip" ~count:300 arb_expr_module
+    (fun m ->
+       let bin = Encode.encode m in
+       let m' = Decode.decode bin in
+       Encode.encode m' = bin)
+
+let prop_random_valid =
+  QCheck.Test.make ~name:"random expression modules validate" ~count:300 arb_expr_module
+    (fun m -> Validate.is_valid m)
+
+let prop_wat_roundtrip =
+  QCheck.Test.make ~name:"random modules: wat print/parse preserves encoding" ~count:200
+    arb_expr_module (fun m ->
+      let m' = Wat_parse.parse (Wat.to_string m) in
+      Encode.encode m' = Encode.encode m)
+
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_leb_u64; prop_leb_s64; prop_module_roundtrip; prop_random_valid; prop_wat_roundtrip ]
+
+let suite =
+  [
+    case "LEB128 known encodings" test_leb_examples;
+    case "LEB128 boundary values" test_leb_boundaries;
+    case "LEB128 overflow rejected" test_leb_overflow_rejected;
+    case "corpus round trips" test_corpus_roundtrip;
+    case "instrumented corpus round trips" test_instrumented_roundtrip;
+    case "round trip preserves structure" test_roundtrip_preserves_structure;
+    case "malformed binaries rejected" test_bad_binaries_rejected;
+    case "custom sections skipped" test_custom_sections_skipped;
+  ]
+  @ qcheck_cases

@@ -1,0 +1,196 @@
+(** Validator: well-typed modules pass, each class of type error is
+    rejected with a meaningful message. *)
+
+open Wasm
+open Wasm.Ast
+module B = Wasm.Builder
+
+let case name f = Alcotest.test_case name `Quick f
+
+let simple_module ?(params = []) ?(results = []) ?(locals = []) ?memory ?table body =
+  let bld = B.create () in
+  (match memory with Some p -> B.add_memory bld ~min_pages:p ~max_pages:None | None -> ());
+  (match table with Some s -> B.add_table bld ~min_size:s ~max_size:None | None -> ());
+  ignore (B.add_func bld ~params ~results ~locals ~body);
+  B.build bld
+
+let expect_invalid name substring m =
+  match Validate.validate_module m with
+  | () -> Alcotest.failf "%s: expected Invalid" name
+  | exception Validate.Invalid msg ->
+    if not (Helpers.contains msg substring) then
+      Alcotest.failf "%s: message %S does not mention %S" name msg substring
+
+let test_corpus_valid () =
+  List.iter
+    (fun (e : Workloads.Corpus.entry) -> Validate.validate_module e.module_)
+    (Workloads.Corpus.make ~n:4 ())
+
+let test_stack_underflow () =
+  expect_invalid "add on empty stack" "underflow"
+    (simple_module ~results:[ Types.I32T ] [ B.i32 1; B.i32_add ])
+
+let test_type_mismatch () =
+  expect_invalid "i32 + f64" "type mismatch"
+    (simple_module ~results:[ Types.I32T ] [ B.i32 1; B.f64 2.0; B.i32_add ])
+
+let test_wrong_result () =
+  expect_invalid "returns f64 from i32 function" "type mismatch"
+    (simple_module ~results:[ Types.I32T ] [ B.f64 1.0 ])
+
+let test_superfluous_values () =
+  expect_invalid "two values left" "superfluous"
+    (simple_module ~results:[ Types.I32T ] [ B.i32 1; B.i32 2 ])
+
+let test_missing_result () =
+  expect_invalid "nothing left" "underflow"
+    (simple_module ~results:[ Types.I32T ] [])
+
+let test_bad_local () =
+  expect_invalid "local out of range" "local index"
+    (simple_module ~results:[ Types.I32T ] [ B.local_get 3 ])
+
+let test_local_type_mismatch () =
+  expect_invalid "set f64 local with i32" "type mismatch"
+    (simple_module ~locals:[ Types.F64T ] [ B.i32 1; B.local_set 0 ])
+
+let test_bad_label () =
+  expect_invalid "br 5" "label"
+    (simple_module [ Br 5 ])
+
+let test_unbalanced_blocks () =
+  expect_invalid "unclosed block" "unclosed"
+    (simple_module [ Block None ]);
+  expect_invalid "stray end" "unbalanced" (simple_module [ End ])
+
+let test_else_without_if () =
+  expect_invalid "else at top" "else" (simple_module [ Else; End ])
+
+let test_if_result_needs_else () =
+  expect_invalid "if (result i32) without else" "without else"
+    (simple_module ~results:[ Types.I32T ] [ B.i32 1; If (Some Types.I32T); B.i32 2; End ])
+
+let test_select_mismatch () =
+  expect_invalid "select arms differ" "select"
+    (simple_module ~results:[ Types.I32T ] [ B.i32 1; B.f64 2.0; B.i32 0; Select ])
+
+let test_memory_required () =
+  expect_invalid "load without memory" "no memory"
+    (simple_module ~results:[ Types.I32T ] [ B.i32 0; B.i32_load () ])
+
+let test_table_required () =
+  expect_invalid "call_indirect without table" "no table"
+    (simple_module ~results:[ Types.I32T ] [ B.i32 0; CallIndirect 0 ])
+
+let test_bad_alignment () =
+  expect_invalid "align 8 bytes on i32 load" "alignment"
+    (simple_module ~memory:1 ~results:[ Types.I32T ]
+       [ B.i32 0; Load { lty = Types.I32T; lalign = 3; loffset = 0; lpack = None } ])
+
+let test_immutable_global () =
+  let bld = B.create () in
+  ignore (B.add_global bld ~ty:Types.I32T ~mutable_:false ~init:(Value.I32 1l));
+  ignore (B.add_func bld ~params:[] ~results:[] ~locals:[] ~body:[ B.i32 2; B.global_set 0 ]);
+  expect_invalid "set immutable global" "immutable" (B.build bld)
+
+let test_bad_call_index () =
+  expect_invalid "call unknown function" "function index"
+    (simple_module [ Call 42 ])
+
+let test_bad_export () =
+  let bld = B.create () in
+  ignore (B.add_func bld ~params:[] ~results:[] ~locals:[] ~body:[]);
+  B.export_func bld ~name:"f" 9;
+  expect_invalid "export of missing function" "out of range" (B.build bld)
+
+let test_duplicate_export () =
+  let bld = B.create () in
+  let f = B.add_func bld ~params:[] ~results:[] ~locals:[] ~body:[] in
+  B.export_func bld ~name:"f" f;
+  B.export_func bld ~name:"f" f;
+  expect_invalid "duplicate export name" "duplicate" (B.build bld)
+
+let test_bad_start () =
+  let bld = B.create () in
+  let f = B.add_func bld ~params:[ Types.I32T ] ~results:[] ~locals:[] ~body:[] in
+  B.set_start bld f;
+  expect_invalid "start with params" "start function" (B.build bld)
+
+let test_br_table_arity () =
+  (* one label targets a block with a result, the other without *)
+  let body =
+    [ Block (Some Types.I32T); Block None;
+      B.i32 0; BrTable ([ 0 ], 1);
+      End; B.i32 1; End ]
+  in
+  expect_invalid "br_table label types differ" "br_table"
+    (simple_module ~results:[ Types.I32T ] body)
+
+let test_dead_code_is_valid () =
+  (* values of any type may be consumed after an unconditional branch *)
+  Validate.validate_module
+    (simple_module ~results:[ Types.I32T ]
+       [ Block (Some Types.I32T); B.i32 1; Br 0; B.f64 1.0; Drop; B.i32_add; End ]);
+  Validate.validate_module
+    (simple_module ~results:[ Types.I32T ] [ Unreachable; B.i32_add ])
+
+let test_loop_label_types () =
+  (* a branch to a loop takes no values even when the loop has a result *)
+  Validate.validate_module
+    (simple_module ~results:[ Types.I32T ]
+       [ Loop (Some Types.I32T); B.i32 0; BrIf 0; B.i32 5; End ])
+
+let test_global_init_checked () =
+  let m =
+    { empty_module with
+      globals = [ { gtype = { Types.content = Types.I32T; mutability = Types.Mutable };
+                    ginit = [ Const (Value.F64 1.0) ] } ] }
+  in
+  expect_invalid "global init type" "constant expression" m
+
+let test_multiple_memories_rejected () =
+  let m =
+    { empty_module with
+      memories =
+        [ { Types.mem_limits = { Types.lim_min = 1; lim_max = None } };
+          { Types.mem_limits = { Types.lim_min = 1; lim_max = None } } ] }
+  in
+  expect_invalid "two memories" "multiple memories" m
+
+let test_limits_checked () =
+  let m =
+    { empty_module with
+      memories = [ { Types.mem_limits = { Types.lim_min = 5; lim_max = Some 2 } } ] }
+  in
+  expect_invalid "max < min" "maximum" m
+
+let suite =
+  [
+    case "corpus modules are valid" test_corpus_valid;
+    case "stack underflow" test_stack_underflow;
+    case "operand type mismatch" test_type_mismatch;
+    case "wrong result type" test_wrong_result;
+    case "superfluous values" test_superfluous_values;
+    case "missing result" test_missing_result;
+    case "bad local index" test_bad_local;
+    case "local type mismatch" test_local_type_mismatch;
+    case "bad branch label" test_bad_label;
+    case "unbalanced blocks" test_unbalanced_blocks;
+    case "else without if" test_else_without_if;
+    case "if with result needs else" test_if_result_needs_else;
+    case "select arm mismatch" test_select_mismatch;
+    case "load needs memory" test_memory_required;
+    case "call_indirect needs table" test_table_required;
+    case "over-aligned access" test_bad_alignment;
+    case "immutable global assignment" test_immutable_global;
+    case "bad call index" test_bad_call_index;
+    case "bad export index" test_bad_export;
+    case "duplicate export names" test_duplicate_export;
+    case "start signature" test_bad_start;
+    case "br_table arity check" test_br_table_arity;
+    case "dead code validates" test_dead_code_is_valid;
+    case "loop label types" test_loop_label_types;
+    case "global initialiser checked" test_global_init_checked;
+    case "single memory only" test_multiple_memories_rejected;
+    case "limits checked" test_limits_checked;
+  ]

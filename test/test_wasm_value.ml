@@ -1,0 +1,176 @@
+(** Numeric semantics: unit tests against known values plus qcheck
+    properties for the word-level operations and conversions. *)
+
+open Wasm
+
+let case name fn = Alcotest.test_case name `Quick fn
+
+(* --- unit: known values ------------------------------------------------ *)
+
+let test_i32_edge_cases () =
+  Alcotest.(check int32) "min/-1 rem" 0l (Value.I32_ops.rem_s Int32.min_int (-1l));
+  Alcotest.(check int32) "shl by 32 wraps to 0 shift" 5l (Value.I32_ops.shl 5l 32l);
+  Alcotest.(check int32) "shr_u -1 by 31" 1l (Value.I32_ops.shr_u (-1l) 31l);
+  Alcotest.(check int32) "rotl full circle" 0x12345678l (Value.I32_ops.rotl 0x12345678l 32l);
+  Alcotest.(check bool) "u-compare wraps" true (Value.I32_ops.gt_u (-1l) 0l)
+
+let test_i64_edge_cases () =
+  Alcotest.(check int64) "min/-1 rem" 0L (Value.I64_ops.rem_s Int64.min_int (-1L));
+  Alcotest.(check int64) "rotr" 0x8000000000000000L (Value.I64_ops.rotr 1L 1L);
+  Alcotest.(check int) "popcnt -1" 64 (Value.I64_ops.popcnt (-1L));
+  Alcotest.(check int) "ctz min_int" 63 (Value.I64_ops.ctz Int64.min_int)
+
+let test_float_semantics () =
+  Alcotest.(check bool) "min(nan, 1) is nan" true (Float.is_nan (Value.F_ops.fmin Float.nan 1.0));
+  Alcotest.(check bool) "max(1, nan) is nan" true (Float.is_nan (Value.F_ops.fmax 1.0 Float.nan));
+  Alcotest.(check (float 0.0)) "min(-0, +0) = -0" (1.0 /. -0.0)
+    (1.0 /. Value.F_ops.fmin (-0.0) 0.0);
+  Alcotest.(check (float 0.0)) "max(-0, +0) = +0" (1.0 /. 0.0)
+    (1.0 /. Value.F_ops.fmax (-0.0) 0.0);
+  Alcotest.(check (float 0.0)) "nearest -0.5 = -0" (1.0 /. -0.0)
+    (1.0 /. Value.F_ops.nearest (-0.5))
+
+let test_f32_rounding () =
+  (* 0.1 is not representable; f32 rounds to a different double than f64 *)
+  let f32_01 = Value.F32_repr.to_float (Value.F32_repr.of_float 0.1) in
+  Alcotest.(check bool) "f32(0.1) <> 0.1" true (f32_01 <> 0.1);
+  Alcotest.(check bool) "but close" true (Float.abs (f32_01 -. 0.1) < 1e-8);
+  (* integers in f32 range are exact *)
+  Alcotest.(check (float 0.0)) "2^20 exact" 1048576.0
+    (Value.F32_repr.to_float (Value.F32_repr.of_float 1048576.0))
+
+let test_trunc_boundaries () =
+  Alcotest.(check int32) "max int32" 2147483647l (Value.Cvt.i32_trunc_s 2147483647.0);
+  Alcotest.(check int32) "min int32" Int32.min_int (Value.Cvt.i32_trunc_s (-2147483648.0));
+  Helpers.check_traps "2^31 overflows" "overflow" (fun () ->
+    Value.Cvt.i32_trunc_s 2147483648.0);
+  Alcotest.(check int32) "u32 max" (-1l) (Value.Cvt.i32_trunc_u 4294967295.0);
+  Helpers.check_traps "2^32 overflows unsigned" "overflow" (fun () ->
+    Value.Cvt.i32_trunc_u 4294967296.0);
+  Alcotest.(check int64) "u64 top bit" Int64.min_int (Value.Cvt.i64_trunc_u 9223372036854775808.0)
+
+let test_trunc_sat () =
+  Alcotest.(check int32) "sat nan" 0l (Value.Cvt.i32_trunc_sat_s Float.nan);
+  Alcotest.(check int32) "sat high" Int32.max_int (Value.Cvt.i32_trunc_sat_s 1e20);
+  Alcotest.(check int32) "sat low" Int32.min_int (Value.Cvt.i32_trunc_sat_s (-1e20));
+  Alcotest.(check int32) "sat u high" (-1l) (Value.Cvt.i32_trunc_sat_u 1e20);
+  Alcotest.(check int32) "sat u low" 0l (Value.Cvt.i32_trunc_sat_u (-3.5));
+  Alcotest.(check int64) "sat i64 exact" 123L (Value.Cvt.i64_trunc_sat_s 123.9)
+
+let test_u64_to_float () =
+  Alcotest.(check (float 0.0)) "positive" 42.0 (Value.Cvt.u64_to_float 42L);
+  Alcotest.(check (float 1e4)) "max u64" 1.8446744073709552e19 (Value.Cvt.u64_to_float (-1L))
+
+(* --- properties -------------------------------------------------------- *)
+
+let i32_arb = QCheck.int32
+let i64_arb = QCheck.int64
+
+let prop name arb f = QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count:500 arb f)
+
+let props =
+  [
+    prop "i32: rotl then rotr is identity" QCheck.(pair int32 int32) (fun (x, n) ->
+      Int32.equal x (Value.I32_ops.rotr (Value.I32_ops.rotl x n) n));
+    prop "i64: rotl then rotr is identity" QCheck.(pair int64 int64) (fun (x, n) ->
+      Int64.equal x (Value.I64_ops.rotr (Value.I64_ops.rotl x n) n));
+    prop "i32: clz in [0;32]" i32_arb (fun x ->
+      let n = Value.I32_ops.clz x in
+      n >= 0 && n <= 32);
+    prop "i32: popcnt(x) + popcnt(~x) = 32" i32_arb (fun x ->
+      Value.I32_ops.popcnt x + Value.I32_ops.popcnt (Int32.lognot x) = 32);
+    prop "i32: div_u * b + rem_u = a" QCheck.(pair int32 int32) (fun (a, b) ->
+      QCheck.assume (not (Int32.equal b 0l));
+      let q = Value.I32_ops.div_u a b and r = Value.I32_ops.rem_u a b in
+      Int32.equal a (Int32.add (Int32.mul q b) r));
+    prop "i64: div_s * b + rem_s = a" QCheck.(pair int64 int64) (fun (a, b) ->
+      QCheck.assume (not (Int64.equal b 0L));
+      QCheck.assume (not (Int64.equal a Int64.min_int && Int64.equal b (-1L)));
+      let q = Value.I64_ops.div_s a b and r = Value.I64_ops.rem_s a b in
+      Int64.equal a (Int64.add (Int64.mul q b) r));
+    prop "i32: shl = mul by power of two" QCheck.(pair int32 (int_range 0 31)) (fun (x, n) ->
+      Int32.equal (Value.I32_ops.shl x (Int32.of_int n))
+        (Int32.mul x (Int32.shift_left 1l n)));
+    prop "f64: nearest is integral or nan" QCheck.float (fun f ->
+      let r = Value.F_ops.nearest f in
+      Float.is_nan r || Float.is_integer r || Float.is_integer (Float.abs r) || not (Float.is_finite f));
+    prop "f64: min <= both (when not nan)" QCheck.(pair float float) (fun (a, b) ->
+      QCheck.assume (not (Float.is_nan a) && not (Float.is_nan b));
+      let m = Value.F_ops.fmin a b in
+      m <= a && m <= b);
+    prop "f32 bits roundtrip" i32_arb (fun bits ->
+      (* converting bits -> float -> bits is the identity except for NaNs *)
+      let f = Value.F32_repr.to_float bits in
+      Float.is_nan f || Int32.equal bits (Value.F32_repr.of_float f));
+    prop "sat trunc never raises" QCheck.float (fun f ->
+      ignore (Value.Cvt.i32_trunc_sat_s f);
+      ignore (Value.Cvt.i32_trunc_sat_u f);
+      ignore (Value.Cvt.i64_trunc_sat_s f);
+      ignore (Value.Cvt.i64_trunc_sat_u f);
+      true);
+    prop "extend-then-wrap is identity" i32_arb (fun x ->
+      match
+        Eval_numeric.eval_cvtop Ast.I32WrapI64
+          (Eval_numeric.eval_cvtop Ast.I64ExtendI32S (Value.I32 x))
+      with
+      | Value.I32 y -> Int32.equal x y
+      | _ -> false);
+    prop "reinterpret roundtrip f64" QCheck.float (fun f ->
+      match
+        Eval_numeric.eval_cvtop Ast.F64ReinterpretI64
+          (Eval_numeric.eval_cvtop Ast.I64ReinterpretF64 (Value.F64 f))
+      with
+      | Value.F64 g -> Value.equal (Value.F64 f) (Value.F64 g)
+      | _ -> false);
+  ]
+
+(* --- memory ------------------------------------------------------------ *)
+
+let test_memory_endianness () =
+  let mem = Memory.create ~min_pages:1 ~max_pages:None in
+  Memory.store mem { Ast.sty = Types.I32T; salign = 2; soffset = 0; spack = None } 0l
+    (Value.I32 0x0A0B0C0Dl);
+  Alcotest.(check int) "little endian low byte first" 0x0D (Memory.read_byte mem 0);
+  Alcotest.(check int) "high byte last" 0x0A (Memory.read_byte mem 3)
+
+let test_memory_grow_limits () =
+  let mem = Memory.create ~min_pages:1 ~max_pages:(Some 3) in
+  Alcotest.(check int) "grow by 1" 1 (Memory.grow mem 1);
+  Alcotest.(check int) "grow to max" 2 (Memory.grow mem 1);
+  Alcotest.(check int) "past max fails" (-1) (Memory.grow mem 1);
+  Alcotest.(check int) "zero grow ok" 3 (Memory.grow mem 0);
+  Alcotest.(check int) "negative fails" (-1) (Memory.grow mem (-1))
+
+let test_memory_effective_address_overflow () =
+  let mem = Memory.create ~min_pages:1 ~max_pages:None in
+  (* base + offset overflows 32 bits: must trap, not wrap around *)
+  Helpers.check_traps "wraparound" "out of bounds" (fun () ->
+    Memory.load mem { Ast.lty = Types.I32T; lalign = 2; loffset = 0x7FFFFFFF; lpack = None }
+      0x7FFFFFFFl)
+
+let prop_memory_roundtrip =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"memory i64 store/load roundtrip" ~count:300
+       QCheck.(pair int64 (int_range 0 65528))
+       (fun (v, addr) ->
+          let mem = Memory.create ~min_pages:1 ~max_pages:None in
+          let sop = { Ast.sty = Types.I64T; salign = 3; soffset = 0; spack = None } in
+          let lop = { Ast.lty = Types.I64T; lalign = 3; loffset = 0; lpack = None } in
+          Memory.store mem sop (Int32.of_int addr) (Value.I64 v);
+          Value.equal (Value.I64 v) (Memory.load mem lop (Int32.of_int addr))))
+
+let suite =
+  [
+    case "i32 edge cases" test_i32_edge_cases;
+    case "i64 edge cases" test_i64_edge_cases;
+    case "float min/max/nearest" test_float_semantics;
+    case "f32 rounding" test_f32_rounding;
+    case "trunc boundaries" test_trunc_boundaries;
+    case "saturating trunc" test_trunc_sat;
+    case "u64 to float" test_u64_to_float;
+    case "memory endianness" test_memory_endianness;
+    case "memory grow limits" test_memory_grow_limits;
+    case "effective address overflow" test_memory_effective_address_overflow;
+    prop_memory_roundtrip;
+  ]
+  @ props

@@ -1,0 +1,255 @@
+(** Text format: parser (linear and folded forms, names, memargs) and
+    printer/parser round trips. *)
+
+open Wasm
+open Helpers
+
+let case name fn = Alcotest.test_case name `Quick fn
+
+let run_wat ?(fname = "f") src args =
+  let m = Wat_parse.parse src in
+  Validate.validate_module m;
+  let inst = Interp.instantiate ~imports:[] m in
+  Interp.invoke_export inst fname args
+
+let test_linear () =
+  let r =
+    run_wat
+      {|(module
+          (func (export "f") (param i32) (result i32)
+            local.get 0
+            i32.const 10
+            i32.add))|}
+      [ i32 32 ]
+  in
+  check_values "32+10" [ i32 42 ] r
+
+let test_folded () =
+  let r =
+    run_wat
+      {|(module
+          (func (export "f") (result i32)
+            (i32.mul (i32.add (i32.const 2) (i32.const 3)) (i32.const 4))))|}
+      []
+  in
+  check_values "(2+3)*4" [ i32 20 ] r
+
+let test_folded_if () =
+  let src =
+    {|(module
+        (func (export "f") (param i32) (result i32)
+          (if (result i32) (i32.gt_s (local.get 0) (i32.const 5))
+            (then (i32.const 100))
+            (else (i32.const 200)))))|}
+  in
+  check_values "then" [ i32 100 ] (run_wat src [ i32 9 ]);
+  check_values "else" [ i32 200 ] (run_wat src [ i32 1 ])
+
+let test_named_identifiers () =
+  let src =
+    {|(module
+        (func $double (param $x i32) (result i32)
+          (i32.mul (local.get $x) (i32.const 2)))
+        (func (export "f") (param i32) (result i32)
+          (call $double (local.get 0))))|}
+  in
+  check_values "call by name" [ i32 14 ] (run_wat src [ i32 7 ])
+
+let test_block_labels () =
+  let src =
+    {|(module
+        (func (export "f") (param i32) (result i32)
+          (local $acc i32)
+          block $exit
+            loop $continue
+              local.get 0
+              i32.eqz
+              br_if $exit
+              local.get $acc
+              local.get 0
+              i32.add
+              local.set $acc
+              local.get 0
+              i32.const 1
+              i32.sub
+              local.set 0
+              br $continue
+            end
+          end
+          local.get $acc))|}
+  in
+  check_values "sum via labels" [ i32 55 ] (run_wat src [ i32 10 ])
+
+let test_memory_and_memarg () =
+  let src =
+    {|(module
+        (memory 1)
+        (func (export "f") (result i32)
+          i32.const 8
+          i32.const 77
+          i32.store offset=4
+          i32.const 4
+          i32.load offset=8))|}
+  in
+  check_values "store/load with offsets" [ i32 77 ] (run_wat src [])
+
+let test_consecutive_memargs () =
+  (* regression: an earlier load must not steal a later load's memarg *)
+  let src =
+    {|(module
+        (memory 1)
+        (func (export "f") (result i32)
+          i32.const 0
+          i32.const 5
+          i32.store offset=4
+          i32.const 0
+          i32.const 7
+          i32.store offset=12
+          i32.const 0
+          i32.load offset=4
+          i32.const 0
+          i32.load offset=12
+          i32.add))|}
+  in
+  check_values "5+7" [ i32 12 ] (run_wat src [])
+
+let test_globals_data_start () =
+  let src =
+    {|(module
+        (memory 1)
+        (global $g (mut i32) (i32.const 5))
+        (data (i32.const 64) "\2a\00\00\00")
+        (func $init
+          global.get $g
+          i32.const 64
+          i32.load
+          i32.add
+          global.set $g)
+        (start $init)
+        (func (export "f") (result i32)
+          global.get $g))|}
+  in
+  check_values "5 + 42 from data" [ i32 47 ] (run_wat src [])
+
+let test_table_and_indirect () =
+  let src =
+    {|(module
+        (type $sig (func (result i32)))
+        (table 2 funcref)
+        (elem (i32.const 0) $ten $twenty)
+        (func $ten (result i32) i32.const 10)
+        (func $twenty (result i32) i32.const 20)
+        (func (export "f") (param i32) (result i32)
+          local.get 0
+          call_indirect (type $sig)))|}
+  in
+  check_values "table 0" [ i32 10 ] (run_wat src [ i32 0 ]);
+  check_values "table 1" [ i32 20 ] (run_wat src [ i32 1 ])
+
+let test_br_table_text () =
+  let src =
+    {|(module
+        (func (export "f") (param i32) (result i32)
+          block $b2
+            block $b1
+              block $b0
+                local.get 0
+                br_table $b0 $b1 $b2
+              end
+              i32.const 10
+              return
+            end
+            i32.const 20
+            return
+          end
+          i32.const 30))|}
+  in
+  check_values "case 0" [ i32 10 ] (run_wat src [ i32 0 ]);
+  check_values "case 1" [ i32 20 ] (run_wat src [ i32 1 ]);
+  check_values "default" [ i32 30 ] (run_wat src [ i32 5 ])
+
+let test_comments () =
+  let src =
+    {|(module
+        ;; line comment
+        (; block (; nested ;) comment ;)
+        (func (export "f") (result i32)
+          i32.const 3 ;; trailing
+          i32.const 4
+          i32.add))|}
+  in
+  check_values "comments ignored" [ i32 7 ] (run_wat src [])
+
+let test_imports_text () =
+  let src =
+    {|(module
+        (import "env" "add1" (func $add1 (param i32) (result i32)))
+        (func (export "f") (param i32) (result i32)
+          (call $add1 (local.get 0))))|}
+  in
+  let m = Wat_parse.parse src in
+  Validate.validate_module m;
+  let ext =
+    Interp.host_func ~name:"add1" ~params:[ Types.I32T ] ~results:[ Types.I32T ]
+      (function [ Value.I32 x ] -> [ Value.I32 (Int32.add x 1l) ] | _ -> assert false)
+  in
+  let inst = Interp.instantiate ~imports:[ ("env", "add1", ext) ] m in
+  check_values "imported call" [ i32 6 ] (Interp.invoke_export inst "f" [ i32 5 ])
+
+let test_print_parse_roundtrip () =
+  (* our printer's output parses back to a behaviourally equal module *)
+  List.iter
+    (fun (e : Workloads.Corpus.entry) ->
+       let text = Wat.to_string e.module_ in
+       let m' = Wat_parse.parse text in
+       Validate.validate_module m';
+       let expected = Interp.invoke_export (Interp.instantiate ~imports:[] e.module_) "run" [] in
+       let actual = Interp.invoke_export (Interp.instantiate ~imports:[] m') "run" [] in
+       check_values e.name expected actual)
+    (Workloads.Corpus.make ~n:4 ())
+
+let test_instrumented_print_parse_roundtrip () =
+  (* instrumented modules (hook imports with (type n) uses) also survive
+     the text format *)
+  let e = Workloads.Corpus.find (Workloads.Corpus.make ~n:4 ()) "gemm" in
+  let res = Wasabi.Instrument.instrument e.module_ in
+  let text = Wat.to_string res.Wasabi.Instrument.instrumented in
+  let reparsed = Wat_parse.parse text in
+  Validate.validate_module reparsed;
+  let expected = Interp.invoke_export (Interp.instantiate ~imports:[] e.module_) "run" [] in
+  let res' = { res with Wasabi.Instrument.instrumented = reparsed } in
+  let inst, _ = Wasabi.Runtime.instantiate res' Wasabi.Analysis.default in
+  check_values "same behaviour" expected (Interp.invoke_export inst "run" [])
+
+let test_parse_errors () =
+  let bad name src substring =
+    match Wat_parse.parse src with
+    | _ -> Alcotest.failf "%s: expected Parse_error" name
+    | exception Wat_parse.Parse_error msg ->
+      if not (Helpers.contains msg substring) then
+        Alcotest.failf "%s: %S does not mention %S" name msg substring
+  in
+  bad "unclosed paren" "(module (func" "unclosed";
+  bad "unknown instruction" "(module (func i32.bogus))" "unknown instruction";
+  bad "unknown label" "(module (func br $nope))" "unknown label";
+  bad "unknown function" "(module (func call $nope))" "unknown function";
+  bad "bad literal" "(module (func i32.const zzz))" "bad i32"
+
+let suite =
+  [
+    case "linear instructions" test_linear;
+    case "folded expressions" test_folded;
+    case "folded if/then/else" test_folded_if;
+    case "$names for funcs/params" test_named_identifiers;
+    case "block labels" test_block_labels;
+    case "memory and memarg" test_memory_and_memarg;
+    case "consecutive memargs" test_consecutive_memargs;
+    case "globals, data, start" test_globals_data_start;
+    case "table and call_indirect" test_table_and_indirect;
+    case "br_table with labels" test_br_table_text;
+    case "comments" test_comments;
+    case "imports with names" test_imports_text;
+    case "print/parse round trip over corpus" test_print_parse_roundtrip;
+    case "instrumented print/parse round trip" test_instrumented_print_parse_roundtrip;
+    case "parse errors" test_parse_errors;
+  ]

@@ -1,0 +1,101 @@
+(** Workloads: the PolyBench kernels and real-world stand-ins are valid,
+    deterministic, size-scalable, and produce finite checksums; the MiniC
+    pretty-printer renders them. *)
+
+open Wasm
+
+let case name fn = Alcotest.test_case name `Quick fn
+
+let run_checksum m =
+  let inst = Interp.instantiate ~fuel:500_000_000 ~imports:[] m in
+  match Interp.invoke_export inst "run" [] with
+  | [ Value.F64 x ] -> x
+  | _ -> Alcotest.fail "run did not return one f64"
+
+let test_all_kernels_finite () =
+  List.iter
+    (fun (name, m) ->
+       Validate.validate_module m;
+       let x = run_checksum m in
+       if Float.is_nan x || not (Float.is_finite x) then
+         Alcotest.failf "%s: checksum %f not finite" name x)
+    (Workloads.Polybench.all ~n:6 () @ Workloads.Realworld.all ())
+
+let test_deterministic () =
+  List.iter
+    (fun (e : Workloads.Corpus.entry) ->
+       let a = Workloads.Corpus.run_reference e in
+       let b = Workloads.Corpus.run_reference e in
+       Alcotest.(check (float 0.0)) e.name a b)
+    (Workloads.Corpus.make ~n:4 ())
+
+let test_scaling () =
+  (* problem size changes work, not code size (PolyBench-style) *)
+  let at n name =
+    let m = List.assoc name (Workloads.Polybench.all ~n ()) in
+    let inst = Interp.instantiate ~fuel:500_000_000 ~imports:[] m in
+    ignore (Interp.invoke_export inst "run" []);
+    (String.length (Encode.encode m), inst.Interp.steps)
+  in
+  let size4, steps4 = at 4 "gemm" in
+  let size8, steps8 = at 8 "gemm" in
+  Alcotest.(check bool) "code size nearly constant" true (abs (size8 - size4) < 8);
+  Alcotest.(check bool) "work grows superlinearly" true (steps8 > steps4 * 4)
+
+let test_corpus_registry () =
+  let entries = Workloads.Corpus.make ~n:4 () in
+  Alcotest.(check int) "32 programs" 32 (List.length entries);
+  Alcotest.(check int) "30 PolyBench" 30 (List.length (Workloads.Corpus.polybench entries));
+  Alcotest.(check int) "2 real-world" 2 (List.length (Workloads.Corpus.realworld entries));
+  Alcotest.(check bool) "find works" true
+    ((Workloads.Corpus.find entries "gemm").Workloads.Corpus.name = "gemm");
+  (match Workloads.Corpus.find entries "nope" with
+   | _ -> Alcotest.fail "expected Invalid_argument"
+   | exception Invalid_argument _ -> ());
+  (* all names unique *)
+  let names = List.map (fun (e : Workloads.Corpus.entry) -> e.name) entries in
+  Alcotest.(check int) "unique names" (List.length names)
+    (List.length (List.sort_uniq String.compare names))
+
+let test_realworld_diversity () =
+  (* the stand-ins exercise the instruction classes the paper's real-world
+     programs are chosen for: calls, indirect calls, i64, f32, byte memory *)
+  let check name ops m =
+    let mix = Analyses.Instruction_mix.create () in
+    let res = Wasabi.Instrument.instrument m in
+    let inst, _ = Wasabi.Runtime.instantiate res (Analyses.Instruction_mix.analysis mix) in
+    ignore (Interp.invoke_export inst "run" []);
+    List.iter
+      (fun op ->
+         if Analyses.Instruction_mix.count mix op = 0 then
+           Alcotest.failf "%s executed no %s" name op)
+      ops
+  in
+  check "pdfkit"
+    [ "call"; "call_indirect"; "i64.mul"; "i32.load8_u"; "i32.store8" ]
+    (Minic.Mc_compile.compile (Workloads.Realworld.pdfkit ~doc_len:300 ()));
+  check "zen_garden"
+    [ "call"; "call_indirect"; "i64.xor"; "i32.load8_u"; "i32.store8"; "f64.mul" ]
+    (Minic.Mc_compile.compile (Workloads.Realworld.zen_garden ~verts:10 ~particles:8 ~frames:2 ()))
+
+let test_pretty_printer () =
+  let _, p = Workloads.Polybench.gemm ~n:4 in
+  let text = Minic.Mc_print.to_string p in
+  Alcotest.(check bool) "has function header" true (Helpers.contains text "float run()");
+  Alcotest.(check bool) "has loops" true (Helpers.contains text "for (");
+  Alcotest.(check bool) "has float stores" true (Helpers.contains text "*(float*)");
+  let pdf = Workloads.Realworld.pdfkit () in
+  let text = Minic.Mc_print.to_string pdf in
+  Alcotest.(check bool) "switch rendered" true (Helpers.contains text "switch (");
+  Alcotest.(check bool) "globals rendered" true (Helpers.contains text "@rng");
+  Alcotest.(check bool) "table rendered" true (Helpers.contains text "table = [")
+
+let suite =
+  [
+    case "all 32 programs valid and finite" test_all_kernels_finite;
+    case "deterministic checksums" test_deterministic;
+    case "problem size scales work, not code" test_scaling;
+    case "corpus registry" test_corpus_registry;
+    case "real-world stand-ins are diverse" test_realworld_diversity;
+    case "MiniC pretty printer" test_pretty_printer;
+  ]
