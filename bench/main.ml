@@ -15,6 +15,7 @@
     paper; EXPERIMENTS.md records the shape comparison. *)
 
 open Wasm
+open Bench_support
 module W = Wasabi
 module H = Wasabi.Hook
 
@@ -30,22 +31,9 @@ let instrument_for groups m = W.Instrument.instrument ~groups m
 (* Table 4: the eight analyses (RQ1)                                   *)
 (* ------------------------------------------------------------------ *)
 
-let analysis_loc file =
-  (* count non-empty, non-comment lines of the analysis source, as the
-     paper counts analysis LoC; falls back to 0 outside the repo root *)
-  try
-    let ic = open_in file in
-    let count = ref 0 in
-    (try
-       while true do
-         let line = String.trim (input_line ic) in
-         if String.length line > 0 && not (String.length line >= 2 && String.sub line 0 2 = "(*")
-         then incr count
-       done
-     with End_of_file -> ());
-    close_in ic;
-    !count
-  with Sys_error _ -> 0
+(* non-empty, non-comment lines of the analysis source, as the paper
+   counts analysis LoC; block-comment aware (see Support.ml_loc_of_string) *)
+let analysis_loc = Support.ml_loc_of_file
 
 let group_names gs =
   if H.Group_set.equal gs H.all then "all"
@@ -364,6 +352,54 @@ let ablation () =
     (split_t /. nosplit_t)
 
 (* ------------------------------------------------------------------ *)
+(* Interpreter throughput microbenchmark                               *)
+(* ------------------------------------------------------------------ *)
+
+(** Instructions/second of the execution engine on the PolyBench corpus,
+    uninstrumented and fully instrumented (empty analysis). This is the
+    denominator of every RQ5-style overhead number, so EXPERIMENTS.md
+    tracks it across interpreter changes. *)
+let interp_bench () =
+  Support.hr "bench interp: interpreter throughput on PolyBench (Minstr/s)";
+  let fast = Sys.getenv_opt "WASABI_BENCH_FAST" <> None in
+  let target = if fast then 0.004 else 0.05 in
+  let entries = Workloads.Corpus.polybench (Lazy.force corpus_fig9) in
+  Printf.printf "%-16s %12s %12s %10s\n" "Program" "uninstr" "instr-all" "slowdown";
+  let tot_steps_u = ref 0 and tot_time_u = ref 0.0 in
+  let tot_steps_i = ref 0 and tot_time_i = ref 0.0 in
+  let rates =
+    List.map
+      (fun (e : Workloads.Corpus.entry) ->
+         let iters = Support.calibrated_iters e.module_ ~target in
+         let base = Interp.instantiate ~imports:[] e.module_ in
+         let res = W.Instrument.instrument e.module_ in
+         let instr, _ = W.Runtime.instantiate res W.Analysis.default in
+         (* warm up, then measure *)
+         ignore (Support.interp_rate base ~iters:1);
+         ignore (Support.interp_rate instr ~iters:1);
+         let su, tu, ru = Support.interp_rate base ~iters in
+         let si, ti, ri = Support.interp_rate instr ~iters in
+         tot_steps_u := !tot_steps_u + su;
+         tot_time_u := !tot_time_u +. tu;
+         tot_steps_i := !tot_steps_i + si;
+         tot_time_i := !tot_time_i +. ti;
+         Printf.printf "%-16s %12.2f %12.2f %9.2fx\n" e.name (ru /. 1e6) (ri /. 1e6)
+           (ti /. float_of_int iters /. (tu /. float_of_int iters));
+         (ru, ri))
+      entries
+  in
+  let agg_u = float_of_int !tot_steps_u /. Float.max 1e-9 !tot_time_u in
+  let agg_i = float_of_int !tot_steps_i /. Float.max 1e-9 !tot_time_i in
+  Printf.printf "%-16s %12.2f %12.2f\n" "aggregate" (agg_u /. 1e6) (agg_i /. 1e6);
+  Printf.printf "%-16s %12.2f %12.2f\n" "geomean"
+    (Support.geomean (List.map fst rates) /. 1e6)
+    (Support.geomean (List.map snd rates) /. 1e6);
+  Printf.printf
+    "  (uninstrumented interpreted instructions/s; instrumented runs execute\n";
+  Printf.printf
+    "   the instrumented module's own instructions, hook calls excluded)\n"
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks of the instrumenter itself                 *)
 (* ------------------------------------------------------------------ *)
 
@@ -419,6 +455,7 @@ let () =
   | [| _; "fig9" |] -> fig9 ()
   | [| _; "ablation" |] -> ablation ()
   | [| _; "micro" |] -> micro ()
+  | [| _; "interp" |] -> interp_bench ()
   | _ ->
-    prerr_endline "usage: main.exe [table4|rq2|table5|fig8|monomorph|fig9|ablation|micro]";
+    prerr_endline "usage: main.exe [table4|rq2|table5|fig8|monomorph|fig9|ablation|micro|interp]";
     exit 2

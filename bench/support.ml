@@ -51,6 +51,51 @@ let replicate_module (m : Ast.module_) ~copies : Ast.module_ =
   let extra = List.concat (List.init copies (fun k -> copy (k + 1))) in
   { m with Ast.funcs = m.Ast.funcs @ extra }
 
+(** Count non-empty, non-comment lines of OCaml source, as the paper
+    counts analysis LoC (Table 4). Block comments [(* ... *)] may span
+    lines and nest; a line counts when any non-whitespace appears outside
+    a comment. String literals are not special-cased — a ["(*"] inside a
+    string would be miscounted, which the analysis sources avoid. *)
+let ml_loc_of_string src =
+  let n = String.length src in
+  let count = ref 0 and depth = ref 0 in
+  let line_has_code = ref false in
+  let i = ref 0 in
+  let flush_line () =
+    if !line_has_code then incr count;
+    line_has_code := false
+  in
+  while !i < n do
+    let c = src.[!i] in
+    if c = '\n' then begin
+      flush_line ();
+      incr i
+    end
+    else if c = '(' && !i + 1 < n && src.[!i + 1] = '*' then begin
+      incr depth;
+      i := !i + 2
+    end
+    else if !depth > 0 then
+      if c = '*' && !i + 1 < n && src.[!i + 1] = ')' then begin
+        decr depth;
+        i := !i + 2
+      end
+      else incr i
+    else begin
+      if c <> ' ' && c <> '\t' && c <> '\r' then line_has_code := true;
+      incr i
+    end
+  done;
+  flush_line ();
+  !count
+
+(** [ml_loc_of_string] over a file; 0 when the file is not readable (the
+    benchmark may run outside the repo root). *)
+let ml_loc_of_file file =
+  match In_channel.with_open_bin file In_channel.input_all with
+  | src -> ml_loc_of_string src
+  | exception Sys_error _ -> 0
+
 let kb bytes = float_of_int bytes /. 1024.0
 let mb bytes = float_of_int bytes /. (1024.0 *. 1024.0)
 
@@ -99,6 +144,15 @@ let calibrated_iters (m : Ast.module_) ~target =
   let inst = Interp.instantiate ~imports:[] m in
   let once = invoke_run_n inst 1 in
   max 1 (int_of_float (target /. Float.max 1e-6 once))
+
+(** Interpreter throughput of invoking the exported [run] [iters] times:
+    (instructions executed, wall seconds, instructions/second). Relies on
+    [Interp.steps] counting retired instructions. *)
+let interp_rate inst ~iters =
+  let s0 = inst.Interp.steps in
+  let t = invoke_run_n inst iters in
+  let steps = inst.Interp.steps - s0 in
+  (steps, t, float_of_int steps /. Float.max 1e-9 t)
 
 let median xs =
   match List.sort Float.compare xs with

@@ -17,10 +17,14 @@ type t = {
   mutable instance : Interp.instance option;
       (** the instrumented instance, needed to resolve indirect call
           targets through the table; set right after instantiation *)
+  mutable indirect_cache : int array;
+      (** per-table-slot resolution of {!resolve_indirect}, filled lazily.
+          MVP tables are immutable once element segments have been
+          applied, so entries never need invalidation. *)
 }
 
 let create (res : Instrument.result) (analysis : Analysis.t) : t =
-  { metadata = res.metadata; analysis; instance = None }
+  { metadata = res.metadata; analysis; instance = None; indirect_cache = [||] }
 
 let join_i64 (lo : int32) (hi : int32) : int64 =
   Int64.logor
@@ -86,6 +90,9 @@ let original_func_index rt (f : Interp.func_inst) : int option =
         | Some i when i < n_imp -> Some i
         | _ -> None))
 
+(* cache sentinel: a table slot whose resolution has not been computed *)
+let unresolved = min_int
+
 let resolve_indirect rt (table_idx : int32) : int =
   let missing = -1 in
   match rt.instance with
@@ -94,12 +101,25 @@ let resolve_indirect rt (table_idx : int32) : int =
     (match inst.Interp.inst_table with
      | None -> missing
      | Some table ->
+       let elems = table.Interp.t_elems in
        let i = Int64.to_int (Int64.logand (Int64.of_int32 table_idx) 0xFFFFFFFFL) in
-       if i >= Array.length table.Interp.t_elems then missing
-       else
-         match table.Interp.t_elems.(i) with
-         | None -> missing
-         | Some f -> (match original_func_index rt f with Some k -> k | None -> missing))
+       if i >= Array.length elems then missing
+       else begin
+         if Array.length rt.indirect_cache <> Array.length elems then
+           rt.indirect_cache <- Array.make (Array.length elems) unresolved;
+         let cached = rt.indirect_cache.(i) in
+         if cached <> unresolved then cached
+         else begin
+           let r =
+             match elems.(i) with
+             | None -> missing
+             | Some f ->
+               (match original_func_index rt f with Some k -> k | None -> missing)
+           in
+           rt.indirect_cache.(i) <- r;
+           r
+         end
+       end)
 
 (** Build the host function implementing one low-level hook. *)
 let dispatch rt (spec : Hook.spec) : Value.t list -> Value.t list =

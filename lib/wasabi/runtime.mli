@@ -8,6 +8,9 @@ type t = {
   metadata : Metadata.t;
   analysis : Analysis.t;
   mutable instance : Wasm.Interp.instance option;
+  mutable indirect_cache : int array;
+      (** per-table-slot resolution of indirect call targets, filled
+          lazily (MVP tables are immutable after instantiation) *)
 }
 
 exception Bad_hook_args of string

@@ -6,3 +6,19 @@ val eval_binop : Ast.binop -> Value.t -> Value.t -> Value.t
 val eval_testop : Ast.testop -> Value.t -> Value.t
 val eval_relop : Ast.relop -> Value.t -> Value.t -> Value.t
 val eval_cvtop : Ast.cvtop -> Value.t -> Value.t
+
+(** {1 Scalar operator implementations}
+
+    The word-level semantics behind the [eval_*] dispatchers, exposed so
+    the interpreter's pre-decoded opcodes can evaluate an operator that
+    was resolved at instantiation time without re-examining the operand
+    tags. Trapping operators (division, remainder) trap exactly as their
+    [eval_*] counterparts do. *)
+
+val ibinop_i32 : Ast.ibinop -> int32 -> int32 -> int32
+val ibinop_i64 : Ast.ibinop -> int64 -> int64 -> int64
+val fbinop_impl : Ast.fbinop -> float -> float -> float
+val irelop_impl_i32 : Ast.irelop -> int32 -> int32 -> bool
+val irelop_impl_i64 : Ast.irelop -> int64 -> int64 -> bool
+val frelop_impl : Ast.frelop -> float -> float -> bool
+val funop_impl : Ast.funop -> float -> float

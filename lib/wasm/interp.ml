@@ -2,11 +2,16 @@
 
     Executes the flat instruction representation directly: for every
     function, the matching [End] (and [Else]) of each structured
-    instruction is pre-computed once, and execution proceeds with an
-    explicit program counter, value stack and label stack.
+    instruction, [br_table] target arrays, and straight-line run lengths
+    are pre-computed once, and execution proceeds with an explicit program
+    counter over a preallocated, growable, array-backed operand stack
+    (one per instance, shared by all frames). The dispatch loop performs
+    no list traversals, and fuel is accounted once per basic block rather
+    than per instruction.
 
     Host functions (the mechanism by which Wasabi's low-level hooks are
-    provided) are plain OCaml closures over value lists. *)
+    provided) are plain OCaml closures over value lists; values only take
+    list form at that boundary and at the public {!invoke} API. *)
 
 open Types
 open Ast
@@ -19,6 +24,114 @@ exception Link_error of string
     segment bounds, ... *)
 
 let link_error fmt = Printf.ksprintf (fun s -> raise (Link_error s)) fmt
+
+(** Pre-decoded instructions: the form the dispatch loop actually
+    executes. Decoding happens once per function at instantiation time
+    ({!prepare_code}) and resolves everything that the generic [Ast.instr]
+    form would re-examine on every execution — operator tags ([i32.add]
+    becomes its own opcode rather than [Binary (IBin (S32, Add))]), jump
+    targets (absolute instruction indices instead of [End] scans),
+    [br_table] targets (an [int array] with the default appended), and
+    memory access shapes (width-specific opcodes carrying their static
+    offset).
+
+    Short straight-line idioms are additionally fused into
+    superinstructions ([XIncrL], [XBrIfRelLL], [XF64LoadScaled], ...);
+    each covers [k] original instructions and advances the program counter
+    by [k], so instruction indices — the paper's code locations — are
+    unchanged. Interior positions of a fused group hold {!XFusedTail} and
+    are unreachable: fusion never spans a branch target. Fuel and step
+    accounting are unaffected because both are batched per straight-line
+    run of the *original* instruction stream. *)
+type xinstr =
+  | XUnreachable
+  | XNop
+  | XBlock of int * int  (** label target (just past the matching [End]), arity *)
+  | XLoop  (** label target is the next instruction *)
+  | XIf of int * int  (** no-else form: end target, arity *)
+  | XIfElse of int * int * int  (** else target, end target, arity *)
+  | XElse of int  (** end target (falling off the then-branch) *)
+  | XEnd
+  | XBr of int
+  | XBrIf of int
+  | XBrTable of int array  (** targets with the default appended *)
+  | XReturn
+  | XCall of int
+  | XCallIndirect of int
+  | XDrop
+  | XSelect
+  | XLocalGet of int
+  | XLocalSet of int
+  | XLocalTee of int
+  | XGlobalGet of int
+  | XGlobalSet of int
+  | XConst of Value.t
+  (* width-specific memory accesses (the int is the static offset) *)
+  | XI32Load of int
+  | XI64Load of int
+  | XF32Load of int
+  | XF64Load of int
+  | XI32Store of int
+  | XI64Store of int
+  | XF32Store of int
+  | XF64Store of int
+  | XLoadGen of Ast.loadop  (** packed accesses *)
+  | XStoreGen of Ast.storeop
+  | XMemorySize
+  | XMemoryGrow
+  (* operator-resolved numerics *)
+  | XI32Eqz
+  | XI32Bin of Ast.ibinop
+  | XI32Rel of Ast.irelop
+  | XI64Bin of Ast.ibinop
+  | XI64Rel of Ast.irelop
+  | XF64Bin of Ast.fbinop
+  | XF64Rel of Ast.frelop
+  | XF64Un of Ast.funop
+  | XF64ConvertI32S
+  | XI32TruncF64S
+  (* generic fallbacks for the long tail *)
+  | XTestGen of Ast.testop
+  | XCompareGen of Ast.relop
+  | XUnaryGen of Ast.unop
+  | XBinaryGen of Ast.binop
+  | XConvertGen of Ast.cvtop
+  (* fused superinstructions; the trailing comment gives the original
+     sequence and its length *)
+  | XI32BinLL of Ast.ibinop * int * int
+      (** [local.get a; local.get b; i32.binop] (3) *)
+  | XI32BinLC of Ast.ibinop * int * int32
+      (** [local.get a; i32.const c; i32.binop] (3) *)
+  | XI32BinSL of Ast.ibinop * int  (** [local.get b; i32.binop] (2) *)
+  | XI32BinSC of Ast.ibinop * int32  (** [i32.const c; i32.binop] (2) *)
+  | XF64BinLL of Ast.fbinop * int * int
+      (** [local.get a; local.get b; f64.binop] (3) *)
+  | XF64BinSL of Ast.fbinop * int  (** [local.get b; f64.binop] (2) *)
+  | XF64BinSC of Ast.fbinop * float  (** [f64.const c; f64.binop] (2) *)
+  | XIncrL of int * int32
+      (** [local.get x; i32.const c; i32.add; local.set x] (4) *)
+  | XBrIfRelLL of Ast.irelop * int * int * int
+      (** [local.get a; local.get b; i32.relop; br_if k] (4) *)
+  | XBrIfRelLC of Ast.irelop * int * int32 * int
+      (** [local.get a; i32.const c; i32.relop; br_if k] (4) *)
+  | XBrIfRel of Ast.irelop * int  (** [i32.relop; br_if k] (2) *)
+  | XBrIfEqz of int  (** [i32.eqz; br_if k] (2) *)
+  | XI32LoadScaled of int32 * int
+      (** [i32.const c; i32.mul; i32.add; i32.load off] (4): address
+          [base + idx*c] with both operands popped *)
+  | XF64LoadScaled of int32 * int  (** same for [f64.load] *)
+  | XI32LoadL of int * int  (** [local.get a; i32.load off] (2) *)
+  | XF64LoadL of int * int  (** [local.get a; f64.load off] (2) *)
+  | XFusedTail
+      (** interior of a fused group; unreachable (traps as an engine bug) *)
+
+(** The operand stack: a growable array with the top at [size - 1].
+    Popped slots are not cleared; values they keep alive are bounded by
+    the high-water mark of the stack. *)
+type stack = {
+  mutable data : Value.t array;
+  mutable size : int;
+}
 
 type func_inst =
   | Wasm_func of int * instance  (** index into [instance.code], closing instance *)
@@ -50,13 +163,27 @@ and extern =
 and jump_info = {
   end_of : int array;  (** for Block/Loop/If at pc, index of matching End *)
   else_of : int array;  (** for If at pc, index of Else, or -1 *)
+  max_depth : int;  (** deepest block nesting, bounds the label stack *)
 }
 
 and code = {
   c_func : Ast.func;
   c_type : func_type;
   c_body : instr array;
+  c_xbody : xinstr array;
+      (** pre-decoded form of [c_body], same indexing; what the dispatch
+          loop executes *)
   c_jumps : jump_info;
+  c_arity : int;  (** number of results *)
+  c_nparams : int;
+  c_local_defaults : Value.t array;  (** zero values of the declared locals *)
+  c_frame_size : int;  (** params + declared locals *)
+  c_br_tables : int array array;
+      (** for BrTable at pc: the targets with the default appended;
+          [[||]] at every other pc *)
+  c_run_len : int array;
+      (** instructions from pc to the next control transfer, inclusive;
+          the granularity of batched fuel accounting *)
 }
 
 and instance = {
@@ -68,6 +195,7 @@ and instance = {
   mutable inst_memory : Memory.t option;
   mutable inst_globals : global_inst array;
   mutable inst_exports : (string * extern) list;
+  inst_stack : stack;  (** the operand stack shared by all frames *)
   mutable fuel : int;  (** remaining instruction budget *)
   mutable steps : int;  (** total instructions executed *)
   mutable call_depth : int;
@@ -87,9 +215,13 @@ let compute_jumps (body : instr array) : jump_info =
   let end_of = Array.make n (-1) in
   let else_of = Array.make n (-1) in
   let stack = ref [] in
+  let depth = ref 0 and max_depth = ref 0 in
   for pc = 0 to n - 1 do
     match body.(pc) with
-    | Block _ | Loop _ | If _ -> stack := pc :: !stack
+    | Block _ | Loop _ | If _ ->
+      stack := pc :: !stack;
+      incr depth;
+      if !depth > !max_depth then max_depth := !depth
     | Else ->
       (match !stack with
        | open_pc :: _ -> else_of.(open_pc) <- pc
@@ -98,273 +230,650 @@ let compute_jumps (body : instr array) : jump_info =
       (match !stack with
        | open_pc :: rest ->
          end_of.(open_pc) <- pc;
-         stack := rest
+         stack := rest;
+         decr depth
        | [] -> raise (Decode.Decode_error "unbalanced end"))
     | _ -> ()
   done;
   if !stack <> [] then raise (Decode.Decode_error "unclosed block");
-  { end_of; else_of }
+  { end_of; else_of; max_depth = !max_depth }
+
+let bt_arity : block_type -> int = function None -> 0 | Some _ -> 1
+
+(** Pre-compute everything the dispatch loop needs about one function:
+    side tables, and the pre-decoded (operator-resolved, partially fused)
+    instruction array that execution actually runs over. *)
+let prepare_code (types : func_type array) (f : Ast.func) : code =
+  let body = Array.of_list f.body in
+  let jumps = compute_jumps body in
+  let end_of = jumps.end_of and else_of = jumps.else_of in
+  let ftype = types.(f.ftype) in
+  let nparams = List.length ftype.params in
+  let local_defaults = Array.of_list (List.map Value.default f.locals) in
+  let n = Array.length body in
+  let br_tables = Array.make n [||] in
+  let run_len = Array.make n 1 in
+  for pc = n - 1 downto 0 do
+    match body.(pc) with
+    | BrTable (ls, d) ->
+      let tbl = Array.make (List.length ls + 1) d in
+      List.iteri (fun i k -> tbl.(i) <- k) ls;
+      br_tables.(pc) <- tbl
+    | If _ | Else | Br _ | BrIf _ | Return | Unreachable -> ()
+    | _ -> if pc < n - 1 then run_len.(pc) <- run_len.(pc + 1) + 1
+  done;
+  (* the end target of each Else: just past the End of its matching If *)
+  let else_end = Array.make (max n 1) 0 in
+  let open_blocks = ref [] in
+  for pc = 0 to n - 1 do
+    match body.(pc) with
+    | Block _ | Loop _ | If _ -> open_blocks := pc :: !open_blocks
+    | Else ->
+      (match !open_blocks with
+       | open_pc :: _ -> else_end.(pc) <- end_of.(open_pc) + 1
+       | [] -> ())
+    | End -> (match !open_blocks with _ :: rest -> open_blocks := rest | [] -> ())
+    | _ -> ()
+  done;
+  (* leaders: every position a jump can target (label targets and else
+     branches); a fused group must not contain one except as its head *)
+  let leader = Array.make (n + 1) false in
+  if n > 0 then leader.(0) <- true;
+  for pc = 0 to n - 1 do
+    match body.(pc) with
+    | Block _ | If _ ->
+      leader.(end_of.(pc) + 1) <- true;
+      if else_of.(pc) >= 0 then leader.(else_of.(pc) + 1) <- true
+    | Loop _ ->
+      leader.(pc + 1) <- true;
+      leader.(end_of.(pc) + 1) <- true
+    | _ -> ()
+  done;
+  (* single-instruction decode: resolve operators and jump targets *)
+  let decode1 pc (i : instr) : xinstr =
+    match i with
+    | Unreachable -> XUnreachable
+    | Nop -> XNop
+    | Block bt -> XBlock (end_of.(pc) + 1, bt_arity bt)
+    | Loop _ -> XLoop
+    | If bt ->
+      if else_of.(pc) >= 0 then XIfElse (else_of.(pc) + 1, end_of.(pc) + 1, bt_arity bt)
+      else XIf (end_of.(pc) + 1, bt_arity bt)
+    | Else -> XElse else_end.(pc)
+    | End -> XEnd
+    | Br k -> XBr k
+    | BrIf k -> XBrIf k
+    | BrTable _ -> XBrTable br_tables.(pc)
+    | Return -> XReturn
+    | Call fidx -> XCall fidx
+    | CallIndirect tidx -> XCallIndirect tidx
+    | Drop -> XDrop
+    | Select -> XSelect
+    | LocalGet x -> XLocalGet x
+    | LocalSet x -> XLocalSet x
+    | LocalTee x -> XLocalTee x
+    | GlobalGet x -> XGlobalGet x
+    | GlobalSet x -> XGlobalSet x
+    | Const v -> XConst v
+    | Load { lty = I32T; loffset; lpack = None; _ } -> XI32Load loffset
+    | Load { lty = I64T; loffset; lpack = None; _ } -> XI64Load loffset
+    | Load { lty = F32T; loffset; lpack = None; _ } -> XF32Load loffset
+    | Load { lty = F64T; loffset; lpack = None; _ } -> XF64Load loffset
+    | Load op -> XLoadGen op
+    | Store { sty = I32T; soffset; spack = None; _ } -> XI32Store soffset
+    | Store { sty = I64T; soffset; spack = None; _ } -> XI64Store soffset
+    | Store { sty = F32T; soffset; spack = None; _ } -> XF32Store soffset
+    | Store { sty = F64T; soffset; spack = None; _ } -> XF64Store soffset
+    | Store op -> XStoreGen op
+    | MemorySize -> XMemorySize
+    | MemoryGrow -> XMemoryGrow
+    | Test (IEqz S32) -> XI32Eqz
+    | Test op -> XTestGen op
+    | Compare (IRel (S32, r)) -> XI32Rel r
+    | Compare (IRel (S64, r)) -> XI64Rel r
+    | Compare (FRel (SF64, r)) -> XF64Rel r
+    | Compare op -> XCompareGen op
+    | Unary (FUn (SF64, u)) -> XF64Un u
+    | Unary op -> XUnaryGen op
+    | Binary (IBin (S32, op)) -> XI32Bin op
+    | Binary (IBin (S64, op)) -> XI64Bin op
+    | Binary (FBin (SF64, op)) -> XF64Bin op
+    | Binary op -> XBinaryGen op
+    | Convert F64ConvertI32S -> XF64ConvertI32S
+    | Convert I32TruncF64S -> XI32TruncF64S
+    | Convert op -> XConvertGen op
+  in
+  (* fusion: longest window first; interior positions must not be leaders *)
+  let xbody = Array.make n XNop in
+  let fusible p len =
+    p + len <= n
+    &&
+    let ok = ref true in
+    for q = p + 1 to p + len - 1 do
+      if leader.(q) then ok := false
+    done;
+    !ok
+  in
+  let pc = ref 0 in
+  while !pc < n do
+    let p = !pc in
+    let fuse4 =
+      if not (fusible p 4) then None
+      else
+        match body.(p), body.(p + 1), body.(p + 2), body.(p + 3) with
+        | LocalGet x, Const (Value.I32 c), Binary (IBin (S32, Add)), LocalSet y
+          when x = y ->
+          Some (XIncrL (x, c))
+        | LocalGet a, LocalGet b, Compare (IRel (S32, r)), BrIf k ->
+          Some (XBrIfRelLL (r, a, b, k))
+        | LocalGet a, Const (Value.I32 c), Compare (IRel (S32, r)), BrIf k ->
+          Some (XBrIfRelLC (r, a, c, k))
+        | ( Const (Value.I32 c),
+            Binary (IBin (S32, Mul)),
+            Binary (IBin (S32, Add)),
+            Load { lty = I32T; loffset; lpack = None; _ } ) ->
+          Some (XI32LoadScaled (c, loffset))
+        | ( Const (Value.I32 c),
+            Binary (IBin (S32, Mul)),
+            Binary (IBin (S32, Add)),
+            Load { lty = F64T; loffset; lpack = None; _ } ) ->
+          Some (XF64LoadScaled (c, loffset))
+        | _ -> None
+    in
+    let fuse3 () =
+      if not (fusible p 3) then None
+      else
+        match body.(p), body.(p + 1), body.(p + 2) with
+        | LocalGet a, LocalGet b, Binary (IBin (S32, op)) -> Some (XI32BinLL (op, a, b))
+        | LocalGet a, Const (Value.I32 c), Binary (IBin (S32, op)) ->
+          Some (XI32BinLC (op, a, c))
+        | LocalGet a, LocalGet b, Binary (FBin (SF64, op)) -> Some (XF64BinLL (op, a, b))
+        | _ -> None
+    in
+    let fuse2 () =
+      if not (fusible p 2) then None
+      else
+        match body.(p), body.(p + 1) with
+        | LocalGet b, Binary (IBin (S32, op)) -> Some (XI32BinSL (op, b))
+        | Const (Value.I32 c), Binary (IBin (S32, op)) -> Some (XI32BinSC (op, c))
+        | LocalGet b, Binary (FBin (SF64, op)) -> Some (XF64BinSL (op, b))
+        | Const (Value.F64 c), Binary (FBin (SF64, op)) -> Some (XF64BinSC (op, c))
+        | Compare (IRel (S32, r)), BrIf k -> Some (XBrIfRel (r, k))
+        | Test (IEqz S32), BrIf k -> Some (XBrIfEqz k)
+        | LocalGet a, Load { lty = I32T; loffset; lpack = None; _ } ->
+          Some (XI32LoadL (a, loffset))
+        | LocalGet a, Load { lty = F64T; loffset; lpack = None; _ } ->
+          Some (XF64LoadL (a, loffset))
+        | _ -> None
+    in
+    let fused, len =
+      match fuse4 with
+      | Some x -> Some x, 4
+      | None ->
+        (match fuse3 () with
+         | Some x -> Some x, 3
+         | None -> (match fuse2 () with Some x -> Some x, 2 | None -> None, 1))
+    in
+    (match fused with
+     | Some x ->
+       xbody.(p) <- x;
+       for q = p + 1 to p + len - 1 do
+         xbody.(q) <- XFusedTail
+       done
+     | None -> xbody.(p) <- decode1 p body.(p));
+    pc := p + len
+  done;
+  {
+    c_func = f;
+    c_type = ftype;
+    c_body = body;
+    c_xbody = xbody;
+    c_jumps = jumps;
+    c_arity = List.length ftype.results;
+    c_nparams = nparams;
+    c_local_defaults = local_defaults;
+    c_frame_size = nparams + Array.length local_defaults;
+    c_br_tables = br_tables;
+    c_run_len = run_len;
+  }
 
 (** {1 Execution} *)
 
-type label = {
-  l_is_loop : bool;
-  l_start : int;  (** pc of the block instruction *)
-  l_end : int;  (** pc of the matching End *)
-  l_height : int;  (** value stack height at entry *)
-  l_arity : int;
-}
+let dummy_value = Value.I32 0l
 
-type stack = {
-  mutable values : Value.t list;  (** head is the top *)
-  mutable size : int;
-}
+let create_stack () = { data = Array.make 256 dummy_value; size = 0 }
+
+let grow_stack st =
+  let data = Array.make (2 * Array.length st.data) dummy_value in
+  Array.blit st.data 0 data 0 st.size;
+  st.data <- data
 
 let push st v =
-  st.values <- v :: st.values;
+  if st.size = Array.length st.data then grow_stack st;
+  Array.unsafe_set st.data st.size v;
   st.size <- st.size + 1
 
 let pop st =
-  match st.values with
-  | v :: rest ->
-    st.values <- rest;
-    st.size <- st.size - 1;
-    v
-  | [] -> raise (Value.Trap "value stack underflow (engine bug)")
+  if st.size = 0 then raise (Value.Trap "value stack underflow (engine bug)");
+  st.size <- st.size - 1;
+  Array.unsafe_get st.data st.size
 
-let pop_n st n = List.init n (fun _ -> pop st) |> List.rev
-
-(** Drop values until the stack has height [h]. *)
-let shrink_to st h =
-  while st.size > h do
-    ignore (pop st)
-  done
+(** Pop [n] values; the result lists them bottom-to-top (first function
+    argument first). The loop below iterates in a defined order — unlike
+    side-effecting pops inside [List.init], whose evaluation order the
+    stdlib does not specify. *)
+let pop_n st n =
+  if st.size < n then raise (Value.Trap "value stack underflow (engine bug)");
+  let base = st.size - n in
+  let rec build i acc = if i < base then acc else build (i - 1) (st.data.(i) :: acc) in
+  let vs = build (st.size - 1) [] in
+  st.size <- base;
+  vs
 
 let pop_i32 st = Value.as_i32 (pop st)
 
 let default_fuel = max_int
-
-let use_fuel inst =
-  inst.steps <- inst.steps + 1;
-  if inst.fuel <= 0 then raise (Exhaustion "out of fuel");
-  inst.fuel <- inst.fuel - 1
 
 let rec invoke (f : func_inst) (args : Value.t list) : Value.t list =
   match f with
   | Host_func h -> h.h_fn args
   | Wasm_func (idx, inst) ->
     let code = inst.inst_code.(idx) in
-    let n_args = List.length code.c_type.params in
-    if List.length args <> n_args then
+    if List.length args <> code.c_nparams then
       raise (Value.Trap "argument count mismatch");
-    if inst.call_depth >= max_call_depth then raise (Value.Trap "call stack exhausted");
-    let locals =
-      Array.of_list (args @ List.map Value.default code.c_func.locals)
-    in
-    inst.call_depth <- inst.call_depth + 1;
-    Fun.protect
-      ~finally:(fun () -> inst.call_depth <- inst.call_depth - 1)
-      (fun () -> exec_body inst code locals)
+    let st = inst.inst_stack in
+    List.iter (push st) args;
+    call_wasm inst idx st;
+    pop_n st code.c_arity
 
-and exec_body inst code locals : Value.t list =
-  let body = code.c_body in
-  let jumps = code.c_jumps in
-  let n = Array.length body in
-  let arity = List.length code.c_type.results in
-  let st = { values = []; size = 0 } in
-  let labels = ref ([] : label list) in
+(** Call function [idx] of [cinst] with its arguments on top of
+    [from_st]; afterwards the results are there instead. When caller and
+    callee share the instance (the common case) results need no copying:
+    the callee's frame base is exactly where the caller expects them. *)
+and call_wasm (cinst : instance) (idx : int) (from_st : stack) : unit =
+  let code = cinst.inst_code.(idx) in
+  if cinst.call_depth >= max_call_depth then
+    raise (Value.Trap "call stack exhausted");
+  let locals = Array.make code.c_frame_size dummy_value in
+  (* popping yields the last argument first: fill right to left *)
+  for i = code.c_nparams - 1 downto 0 do
+    locals.(i) <- pop from_st
+  done;
+  Array.blit code.c_local_defaults 0 locals code.c_nparams
+    (Array.length code.c_local_defaults);
+  let st = cinst.inst_stack in
+  let base = st.size in
+  cinst.call_depth <- cinst.call_depth + 1;
+  (try exec_body cinst code locals with
+   | e ->
+     cinst.call_depth <- cinst.call_depth - 1;
+     st.size <- base;
+     raise e);
+  cinst.call_depth <- cinst.call_depth - 1;
+  if st != from_st then begin
+    (* cross-instance call: move the results over *)
+    for i = base to base + code.c_arity - 1 do
+      push from_st st.data.(i)
+    done;
+    st.size <- base
+  end
+
+and call_host (h : host_func) (st : stack) : unit =
+  let args = pop_n st (List.length h.h_type.params) in
+  List.iter (push st) (h.h_fn args)
+
+(** Run [code] with the operand base at the current stack size; on normal
+    exit exactly [c_arity] results sit at that base. *)
+and exec_body inst (code : code) (locals : Value.t array) : unit =
+  let xbody = code.c_xbody in
+  let run_len = code.c_run_len in
+  let n = Array.length xbody in
+  let arity = code.c_arity in
+  let st = inst.inst_stack in
+  let base = st.size in
+  (* label stack: flat [| target; height; arity; is_loop |] records *)
+  let lbl = Array.make (4 * code.c_jumps.max_depth) 0 in
+  let nlbl = ref 0 in
   let pc = ref 0 in
-  let result = ref None in
+  let running = ref true in
+  (* fuel and steps are charged for a whole straight-line run at once:
+     positions below [charged_upto] on the current run are paid for; any
+     control transfer resets it so the target's run is charged afresh *)
+  let charged_upto = ref 0 in
+  let mem = inst.inst_memory in
+  let memory () =
+    match mem with Some m -> m | None -> raise (Value.Trap "no memory")
+  in
+  let ret () =
+    if st.size - arity < base then
+      raise (Value.Trap "value stack underflow (engine bug)");
+    Array.blit st.data (st.size - arity) st.data base arity;
+    st.size <- base + arity;
+    running := false
+  in
+  let push_label target height larity is_loop =
+    let o = 4 * !nlbl in
+    lbl.(o) <- target;
+    lbl.(o + 1) <- height;
+    lbl.(o + 2) <- larity;
+    lbl.(o + 3) <- is_loop;
+    incr nlbl
+  in
   (* Take the branch with relative label [k] from the current position. *)
   let branch k =
-    let rec nth_label k = function
-      | [] -> None
-      | l :: rest -> if k = 0 then Some (l, rest) else nth_label (k - 1) rest
-    in
-    match nth_label k !labels with
-    | None ->
-      (* branching past all labels targets the function itself *)
-      result := Some (pop_n st arity)
-    | Some (l, below) ->
-      if l.l_is_loop then begin
-        (* a loop label has no results in the MVP *)
-        shrink_to st l.l_height;
-        labels := l :: below;
-        pc := l.l_start + 1
-      end
-      else begin
-        let saved = pop_n st l.l_arity in
-        shrink_to st l.l_height;
-        List.iter (push st) saved;
-        labels := below;
-        pc := l.l_end + 1
-      end
+    if k >= !nlbl then ret ()
+    else begin
+      let o = 4 * (!nlbl - 1 - k) in
+      let height = lbl.(o + 1) and larity = lbl.(o + 2) in
+      Array.blit st.data (st.size - larity) st.data height larity;
+      st.size <- height + larity;
+      (* a loop label survives its branch, a block label does not *)
+      nlbl := !nlbl - k - 1 + lbl.(o + 3);
+      pc := lbl.(o);
+      charged_upto := 0
+    end
   in
-  let memory () =
-    match inst.inst_memory with
-    | Some m -> m
-    | None -> raise (Value.Trap "no memory")
-  in
-  while !result = None do
+  while !running do
     if !pc >= n then
       (* implicit end of the function body *)
-      result := Some (pop_n st arity)
+      ret ()
     else begin
-      use_fuel inst;
-      let i = body.(!pc) in
-      (match i with
-       | Nop -> incr pc
-       | Unreachable -> raise (Value.Trap "unreachable executed")
-       | Block bt ->
-         labels :=
-           { l_is_loop = false; l_start = !pc; l_end = jumps.end_of.(!pc);
-             l_height = st.size; l_arity = (match bt with None -> 0 | Some _ -> 1) }
-           :: !labels;
-         incr pc
-       | Loop _ ->
-         labels :=
-           { l_is_loop = true; l_start = !pc; l_end = jumps.end_of.(!pc);
-             l_height = st.size; l_arity = 0 }
-           :: !labels;
-         incr pc
-       | If bt ->
-         let cond = pop_i32 st in
-         let lbl =
-           { l_is_loop = false; l_start = !pc; l_end = jumps.end_of.(!pc);
-             l_height = st.size; l_arity = (match bt with None -> 0 | Some _ -> 1) }
-         in
-         if not (Int32.equal cond 0l) then begin
-           labels := lbl :: !labels;
-           incr pc
-         end
-         else begin
-           let else_pc = jumps.else_of.(!pc) in
-           if else_pc >= 0 then begin
-             labels := lbl :: !labels;
-             pc := else_pc + 1
-           end
-           else
-             (* no else: skip past the End; no label needed *)
-             pc := jumps.end_of.(!pc) + 1
-         end
-       | Else ->
-         (* falling off the then-branch: jump to the matching End *)
-         (match !labels with
-          | l :: _ -> pc := l.l_end
-          | [] -> raise (Value.Trap "else without label (engine bug)"))
-       | End ->
-         (match !labels with
-          | _ :: rest ->
-            labels := rest;
-            incr pc
-          | [] -> raise (Value.Trap "end without label (engine bug)"))
-       | Br k -> branch k
-       | BrIf k ->
-         let cond = pop_i32 st in
-         if Int32.equal cond 0l then incr pc else branch k
-       | BrTable (ls, d) ->
-         let idx32 = pop_i32 st in
-         let idx = Int64.to_int (Int64.logand (Int64.of_int32 idx32) 0xFFFFFFFFL) in
-         let k = if idx < List.length ls then List.nth ls idx else d in
-         branch k
-       | Return -> result := Some (pop_n st arity)
-       | Call fidx ->
-         let callee = inst.inst_funcs.(fidx) in
-         let ft = func_type_of callee in
-         let args = pop_n st (List.length ft.params) in
-         let results = invoke callee args in
-         List.iter (push st) results;
-         incr pc
-       | CallIndirect tidx ->
-         let expected = inst.inst_types.(tidx) in
-         let i = pop_i32 st in
-         let table =
-           match inst.inst_table with
-           | Some t -> t
-           | None -> raise (Value.Trap "no table")
-         in
-         let i = Int64.to_int (Int64.logand (Int64.of_int32 i) 0xFFFFFFFFL) in
-         if i >= Array.length table.t_elems then
-           raise (Value.Trap "undefined element");
-         (match table.t_elems.(i) with
-          | None -> raise (Value.Trap "uninitialized element")
-          | Some callee ->
-            if not (equal_func_type (func_type_of callee) expected) then
-              raise (Value.Trap "indirect call type mismatch");
-            let args = pop_n st (List.length expected.params) in
-            let results = invoke callee args in
-            List.iter (push st) results);
-         incr pc
-       | Drop ->
-         ignore (pop st);
-         incr pc
-       | Select ->
-         let cond = pop_i32 st in
-         let b = pop st in
-         let a = pop st in
-         push st (if Int32.equal cond 0l then b else a);
-         incr pc
-       | LocalGet x ->
-         push st locals.(x);
-         incr pc
-       | LocalSet x ->
-         locals.(x) <- pop st;
-         incr pc
-       | LocalTee x ->
-         (match st.values with
-          | v :: _ -> locals.(x) <- v
-          | [] -> raise (Value.Trap "stack underflow (engine bug)"));
-         incr pc
-       | GlobalGet x ->
-         push st inst.inst_globals.(x).g_value;
-         incr pc
-       | GlobalSet x ->
-         inst.inst_globals.(x).g_value <- pop st;
-         incr pc
-       | Load op ->
-         let addr = pop_i32 st in
-         push st (Memory.load (memory ()) op addr);
-         incr pc
-       | Store op ->
-         let v = pop st in
-         let addr = pop_i32 st in
-         Memory.store (memory ()) op addr v;
-         incr pc
-       | MemorySize ->
-         push st (Value.i32_of_int (Memory.size_pages (memory ())));
-         incr pc
-       | MemoryGrow ->
-         let delta = Int32.to_int (pop_i32 st) in
-         push st (Value.i32_of_int (Memory.grow (memory ()) delta));
-         incr pc
-       | Const v ->
-         push st v;
-         incr pc
-       | Test op ->
-         let v = pop st in
-         push st (Eval_numeric.eval_testop op v);
-         incr pc
-       | Compare op ->
-         let b = pop st in
-         let a = pop st in
-         push st (Eval_numeric.eval_relop op a b);
-         incr pc
-       | Unary op ->
-         let v = pop st in
-         push st (Eval_numeric.eval_unop op v);
-         incr pc
-       | Binary op ->
-         let b = pop st in
-         let a = pop st in
-         push st (Eval_numeric.eval_binop op a b);
-         incr pc
-       | Convert op ->
-         let v = pop st in
-         push st (Eval_numeric.eval_cvtop op v);
-         incr pc)
+      if !pc >= !charged_upto then begin
+        if inst.fuel <= 0 then raise (Exhaustion "out of fuel");
+        let k = Array.unsafe_get run_len !pc in
+        inst.steps <- inst.steps + k;
+        inst.fuel <- inst.fuel - k;
+        charged_upto := !pc + k
+      end;
+      match Array.unsafe_get xbody !pc with
+      | XNop -> incr pc
+      | XUnreachable -> raise (Value.Trap "unreachable executed")
+      | XBlock (target, larity) ->
+        push_label target st.size larity 0;
+        incr pc
+      | XLoop ->
+        (* a loop label has no results in the MVP *)
+        push_label (!pc + 1) st.size 0 1;
+        incr pc
+      | XIf (end_target, larity) ->
+        let cond = pop_i32 st in
+        if not (Int32.equal cond 0l) then begin
+          push_label end_target st.size larity 0;
+          incr pc
+        end
+        else begin
+          (* no else: skip past the End; no label needed *)
+          pc := end_target;
+          charged_upto := 0
+        end
+      | XIfElse (else_target, end_target, larity) ->
+        let cond = pop_i32 st in
+        push_label end_target st.size larity 0;
+        if not (Int32.equal cond 0l) then incr pc
+        else begin
+          pc := else_target;
+          charged_upto := 0
+        end
+      | XElse end_target ->
+        (* falling off the then-branch: the block is done *)
+        if !nlbl = 0 then raise (Value.Trap "else without label (engine bug)");
+        decr nlbl;
+        pc := end_target;
+        charged_upto := 0
+      | XEnd ->
+        if !nlbl = 0 then raise (Value.Trap "end without label (engine bug)");
+        decr nlbl;
+        incr pc
+      | XBr k -> branch k
+      | XBrIf k ->
+        let cond = pop_i32 st in
+        if Int32.equal cond 0l then incr pc else branch k
+      | XBrTable tbl ->
+        let idx32 = pop_i32 st in
+        let idx = Int64.to_int (Int64.logand (Int64.of_int32 idx32) 0xFFFFFFFFL) in
+        let last = Array.length tbl - 1 in
+        branch (if idx < last then tbl.(idx) else tbl.(last))
+      | XReturn -> ret ()
+      | XCall fidx ->
+        (match inst.inst_funcs.(fidx) with
+         | Wasm_func (j, ci) -> call_wasm ci j st
+         | Host_func h -> call_host h st);
+        incr pc
+      | XCallIndirect tidx ->
+        let expected = inst.inst_types.(tidx) in
+        let i = pop_i32 st in
+        let table =
+          match inst.inst_table with
+          | Some t -> t
+          | None -> raise (Value.Trap "no table")
+        in
+        let i = Int64.to_int (Int64.logand (Int64.of_int32 i) 0xFFFFFFFFL) in
+        if i >= Array.length table.t_elems then
+          raise (Value.Trap "undefined element");
+        (match table.t_elems.(i) with
+         | None -> raise (Value.Trap "uninitialized element")
+         | Some callee ->
+           if not (equal_func_type (func_type_of callee) expected) then
+             raise (Value.Trap "indirect call type mismatch");
+           (match callee with
+            | Wasm_func (j, ci) -> call_wasm ci j st
+            | Host_func h -> call_host h st));
+        incr pc
+      | XDrop ->
+        ignore (pop st);
+        incr pc
+      | XSelect ->
+        let cond = pop_i32 st in
+        let b = pop st in
+        let a = pop st in
+        push st (if Int32.equal cond 0l then b else a);
+        incr pc
+      | XLocalGet x ->
+        push st locals.(x);
+        incr pc
+      | XLocalSet x ->
+        locals.(x) <- pop st;
+        incr pc
+      | XLocalTee x ->
+        if st.size = 0 then raise (Value.Trap "stack underflow (engine bug)");
+        locals.(x) <- st.data.(st.size - 1);
+        incr pc
+      | XGlobalGet x ->
+        push st inst.inst_globals.(x).g_value;
+        incr pc
+      | XGlobalSet x ->
+        inst.inst_globals.(x).g_value <- pop st;
+        incr pc
+      | XConst v ->
+        push st v;
+        incr pc
+      | XI32Load off ->
+        push st (Value.I32 (Memory.load_i32 (memory ()) (pop_i32 st) off));
+        incr pc
+      | XI64Load off ->
+        push st (Value.I64 (Memory.load_i64 (memory ()) (pop_i32 st) off));
+        incr pc
+      | XF32Load off ->
+        push st (Value.F32 (Memory.load_f32_bits (memory ()) (pop_i32 st) off));
+        incr pc
+      | XF64Load off ->
+        push st (Value.F64 (Memory.load_f64 (memory ()) (pop_i32 st) off));
+        incr pc
+      | XI32Store off ->
+        let v = pop_i32 st in
+        let addr = pop_i32 st in
+        Memory.store_i32 (memory ()) addr off v;
+        incr pc
+      | XI64Store off ->
+        let v = Value.as_i64 (pop st) in
+        let addr = pop_i32 st in
+        Memory.store_i64 (memory ()) addr off v;
+        incr pc
+      | XF32Store off ->
+        let v = Value.as_f32_bits (pop st) in
+        let addr = pop_i32 st in
+        Memory.store_f32_bits (memory ()) addr off v;
+        incr pc
+      | XF64Store off ->
+        let v = Value.as_f64 (pop st) in
+        let addr = pop_i32 st in
+        Memory.store_f64 (memory ()) addr off v;
+        incr pc
+      | XLoadGen op ->
+        let addr = pop_i32 st in
+        push st (Memory.load (memory ()) op addr);
+        incr pc
+      | XStoreGen op ->
+        let v = pop st in
+        let addr = pop_i32 st in
+        Memory.store (memory ()) op addr v;
+        incr pc
+      | XMemorySize ->
+        push st (Value.i32_of_int (Memory.size_pages (memory ())));
+        incr pc
+      | XMemoryGrow ->
+        let delta = Int32.to_int (pop_i32 st) in
+        push st (Value.i32_of_int (Memory.grow (memory ()) delta));
+        incr pc
+      | XI32Eqz ->
+        push st (Value.i32_of_bool (Int32.equal (pop_i32 st) 0l));
+        incr pc
+      | XI32Bin op ->
+        let b = pop_i32 st in
+        let a = pop_i32 st in
+        push st (Value.I32 (Eval_numeric.ibinop_i32 op a b));
+        incr pc
+      | XI32Rel r ->
+        let b = pop_i32 st in
+        let a = pop_i32 st in
+        push st (Value.i32_of_bool (Eval_numeric.irelop_impl_i32 r a b));
+        incr pc
+      | XI64Bin op ->
+        let b = Value.as_i64 (pop st) in
+        let a = Value.as_i64 (pop st) in
+        push st (Value.I64 (Eval_numeric.ibinop_i64 op a b));
+        incr pc
+      | XI64Rel r ->
+        let b = Value.as_i64 (pop st) in
+        let a = Value.as_i64 (pop st) in
+        push st (Value.i32_of_bool (Eval_numeric.irelop_impl_i64 r a b));
+        incr pc
+      | XF64Bin op ->
+        let b = Value.as_f64 (pop st) in
+        let a = Value.as_f64 (pop st) in
+        push st (Value.F64 (Eval_numeric.fbinop_impl op a b));
+        incr pc
+      | XF64Rel r ->
+        let b = Value.as_f64 (pop st) in
+        let a = Value.as_f64 (pop st) in
+        push st (Value.i32_of_bool (Eval_numeric.frelop_impl r a b));
+        incr pc
+      | XF64Un u ->
+        push st (Value.F64 (Eval_numeric.funop_impl u (Value.as_f64 (pop st))));
+        incr pc
+      | XF64ConvertI32S ->
+        push st (Value.F64 (Int32.to_float (pop_i32 st)));
+        incr pc
+      | XI32TruncF64S ->
+        push st (Value.I32 (Value.Cvt.i32_trunc_s (Value.as_f64 (pop st))));
+        incr pc
+      | XTestGen op ->
+        let v = pop st in
+        push st (Eval_numeric.eval_testop op v);
+        incr pc
+      | XCompareGen op ->
+        let b = pop st in
+        let a = pop st in
+        push st (Eval_numeric.eval_relop op a b);
+        incr pc
+      | XUnaryGen op ->
+        let v = pop st in
+        push st (Eval_numeric.eval_unop op v);
+        incr pc
+      | XBinaryGen op ->
+        let b = pop st in
+        let a = pop st in
+        push st (Eval_numeric.eval_binop op a b);
+        incr pc
+      | XConvertGen op ->
+        let v = pop st in
+        push st (Eval_numeric.eval_cvtop op v);
+        incr pc
+      (* fused superinstructions: pc advances by the original length *)
+      | XI32BinLL (op, a, b) ->
+        push st
+          (Value.I32
+             (Eval_numeric.ibinop_i32 op
+                (Value.as_i32 locals.(a))
+                (Value.as_i32 locals.(b))));
+        pc := !pc + 3
+      | XI32BinLC (op, a, c) ->
+        push st (Value.I32 (Eval_numeric.ibinop_i32 op (Value.as_i32 locals.(a)) c));
+        pc := !pc + 3
+      | XI32BinSL (op, b) ->
+        let a = pop_i32 st in
+        push st (Value.I32 (Eval_numeric.ibinop_i32 op a (Value.as_i32 locals.(b))));
+        pc := !pc + 2
+      | XI32BinSC (op, c) ->
+        let a = pop_i32 st in
+        push st (Value.I32 (Eval_numeric.ibinop_i32 op a c));
+        pc := !pc + 2
+      | XF64BinLL (op, a, b) ->
+        push st
+          (Value.F64
+             (Eval_numeric.fbinop_impl op
+                (Value.as_f64 locals.(a))
+                (Value.as_f64 locals.(b))));
+        pc := !pc + 3
+      | XF64BinSL (op, b) ->
+        let a = Value.as_f64 (pop st) in
+        push st (Value.F64 (Eval_numeric.fbinop_impl op a (Value.as_f64 locals.(b))));
+        pc := !pc + 2
+      | XF64BinSC (op, c) ->
+        let a = Value.as_f64 (pop st) in
+        push st (Value.F64 (Eval_numeric.fbinop_impl op a c));
+        pc := !pc + 2
+      | XIncrL (x, c) ->
+        locals.(x) <- Value.I32 (Int32.add (Value.as_i32 locals.(x)) c);
+        pc := !pc + 4
+      | XBrIfRelLL (r, a, b, k) ->
+        if
+          Eval_numeric.irelop_impl_i32 r
+            (Value.as_i32 locals.(a))
+            (Value.as_i32 locals.(b))
+        then branch k
+        else pc := !pc + 4
+      | XBrIfRelLC (r, a, c, k) ->
+        if Eval_numeric.irelop_impl_i32 r (Value.as_i32 locals.(a)) c then branch k
+        else pc := !pc + 4
+      | XBrIfRel (r, k) ->
+        let b = pop_i32 st in
+        let a = pop_i32 st in
+        if Eval_numeric.irelop_impl_i32 r a b then branch k else pc := !pc + 2
+      | XBrIfEqz k ->
+        if Int32.equal (pop_i32 st) 0l then branch k else pc := !pc + 2
+      | XI32LoadScaled (c, off) ->
+        let idx = pop_i32 st in
+        let base = pop_i32 st in
+        let addr = Int32.add base (Int32.mul idx c) in
+        push st (Value.I32 (Memory.load_i32 (memory ()) addr off));
+        pc := !pc + 4
+      | XF64LoadScaled (c, off) ->
+        let idx = pop_i32 st in
+        let base = pop_i32 st in
+        let addr = Int32.add base (Int32.mul idx c) in
+        push st (Value.F64 (Memory.load_f64 (memory ()) addr off));
+        pc := !pc + 4
+      | XI32LoadL (a, off) ->
+        push st (Value.I32 (Memory.load_i32 (memory ()) (Value.as_i32 locals.(a)) off));
+        pc := !pc + 2
+      | XF64LoadL (a, off) ->
+        push st (Value.F64 (Memory.load_f64 (memory ()) (Value.as_i32 locals.(a)) off));
+        pc := !pc + 2
+      | XFusedTail ->
+        raise (Value.Trap "fused instruction interior reached (engine bug)")
     end
-  done;
-  match !result with Some vs -> vs | None -> assert false
+  done
 
 (** {1 Instantiation} *)
 
@@ -398,6 +907,7 @@ let instantiate ?(fuel = default_fuel) ~(imports : imports) (m : module_) : inst
       inst_memory = None;
       inst_globals = [||];
       inst_exports = [];
+      inst_stack = create_stack ();
       fuel;
       steps = 0;
       call_depth = 0;
@@ -410,7 +920,7 @@ let instantiate ?(fuel = default_fuel) ~(imports : imports) (m : module_) : inst
        let ext = lookup_import imports imp.module_name imp.item_name in
        match imp.idesc, ext with
        | FuncImport ti, Extern_func f ->
-         let expected = List.nth m.types ti in
+         let expected = inst.inst_types.(ti) in
          if not (equal_func_type (func_type_of f) expected) then
            link_error "import %s.%s: function type mismatch (expected %s, got %s)"
              imp.module_name imp.item_name
@@ -428,19 +938,8 @@ let instantiate ?(fuel = default_fuel) ~(imports : imports) (m : module_) : inst
   let imp_tables = List.rev !imp_tables in
   let imp_mems = List.rev !imp_mems in
   let imp_globals = List.rev !imp_globals in
-  (* code for module-defined functions *)
-  inst.inst_code <-
-    Array.of_list
-      (List.map
-         (fun f ->
-            let body = Array.of_list f.body in
-            {
-              c_func = f;
-              c_type = List.nth m.types f.ftype;
-              c_body = body;
-              c_jumps = compute_jumps body;
-            })
-         m.funcs);
+  (* code for module-defined functions, with all side tables precomputed *)
+  inst.inst_code <- Array.of_list (List.map (prepare_code inst.inst_types) m.funcs);
   inst.inst_funcs <-
     Array.of_list
       (imp_funcs @ List.mapi (fun i _ -> Wasm_func (i, inst)) m.funcs);

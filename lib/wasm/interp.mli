@@ -2,6 +2,11 @@
     with import resolution, a stack-machine execution engine over the flat
     instruction representation, host functions, and a fuel mechanism.
 
+    The execution engine runs over a preallocated, growable, array-backed
+    operand stack (one per instance, shared by all frames); per-function
+    side tables (jump targets, [br_table] target arrays, straight-line run
+    lengths for batched fuel accounting) are precomputed at instantiation.
+
     Traps raise [Value.Trap]. *)
 
 exception Exhaustion of string
@@ -10,6 +15,98 @@ exception Exhaustion of string
 exception Link_error of string
 (** Raised during instantiation: missing or mismatching imports, failing
     segment bounds, ... *)
+
+type stack = {
+  mutable data : Value.t array;
+  mutable size : int;
+}
+(** The operand stack: top of stack at [data.(size - 1)]. *)
+
+(** Pre-decoded instructions: what the dispatch loop executes. Decoding
+    (once per function, at instantiation) resolves operator tags into
+    dedicated opcodes, jump targets into absolute instruction indices,
+    [br_table] targets into [int array]s, and memory accesses into
+    width-specific opcodes; short straight-line idioms are fused into
+    superinstructions covering 2–4 original instructions. Instruction
+    indexing is preserved: a fused opcode sits at the index of its first
+    original instruction and advances the program counter by the group
+    length, and the interior slots hold [XFusedTail] (unreachable —
+    fusion never spans a branch target). *)
+type xinstr =
+  | XUnreachable
+  | XNop
+  | XBlock of int * int  (** label target (just past the matching [End]), arity *)
+  | XLoop  (** label target is the next instruction *)
+  | XIf of int * int  (** no-else form: end target, arity *)
+  | XIfElse of int * int * int  (** else target, end target, arity *)
+  | XElse of int  (** end target (falling off the then-branch) *)
+  | XEnd
+  | XBr of int
+  | XBrIf of int
+  | XBrTable of int array  (** targets with the default appended *)
+  | XReturn
+  | XCall of int
+  | XCallIndirect of int
+  | XDrop
+  | XSelect
+  | XLocalGet of int
+  | XLocalSet of int
+  | XLocalTee of int
+  | XGlobalGet of int
+  | XGlobalSet of int
+  | XConst of Value.t
+  | XI32Load of int  (** width-specific memory access; the int is the static offset *)
+  | XI64Load of int
+  | XF32Load of int
+  | XF64Load of int
+  | XI32Store of int
+  | XI64Store of int
+  | XF32Store of int
+  | XF64Store of int
+  | XLoadGen of Ast.loadop  (** packed accesses *)
+  | XStoreGen of Ast.storeop
+  | XMemorySize
+  | XMemoryGrow
+  | XI32Eqz
+  | XI32Bin of Ast.ibinop
+  | XI32Rel of Ast.irelop
+  | XI64Bin of Ast.ibinop
+  | XI64Rel of Ast.irelop
+  | XF64Bin of Ast.fbinop
+  | XF64Rel of Ast.frelop
+  | XF64Un of Ast.funop
+  | XF64ConvertI32S
+  | XI32TruncF64S
+  | XTestGen of Ast.testop
+  | XCompareGen of Ast.relop
+  | XUnaryGen of Ast.unop
+  | XBinaryGen of Ast.binop
+  | XConvertGen of Ast.cvtop
+  | XI32BinLL of Ast.ibinop * int * int
+      (** [local.get a; local.get b; i32.binop] (3 instructions) *)
+  | XI32BinLC of Ast.ibinop * int * int32
+      (** [local.get a; i32.const c; i32.binop] (3) *)
+  | XI32BinSL of Ast.ibinop * int  (** [local.get b; i32.binop] (2) *)
+  | XI32BinSC of Ast.ibinop * int32  (** [i32.const c; i32.binop] (2) *)
+  | XF64BinLL of Ast.fbinop * int * int
+      (** [local.get a; local.get b; f64.binop] (3) *)
+  | XF64BinSL of Ast.fbinop * int  (** [local.get b; f64.binop] (2) *)
+  | XF64BinSC of Ast.fbinop * float  (** [f64.const c; f64.binop] (2) *)
+  | XIncrL of int * int32
+      (** [local.get x; i32.const c; i32.add; local.set x] (4) *)
+  | XBrIfRelLL of Ast.irelop * int * int * int
+      (** [local.get a; local.get b; i32.relop; br_if k] (4) *)
+  | XBrIfRelLC of Ast.irelop * int * int32 * int
+      (** [local.get a; i32.const c; i32.relop; br_if k] (4) *)
+  | XBrIfRel of Ast.irelop * int  (** [i32.relop; br_if k] (2) *)
+  | XBrIfEqz of int  (** [i32.eqz; br_if k] (2) *)
+  | XI32LoadScaled of int32 * int
+      (** [i32.const c; i32.mul; i32.add; i32.load off] (4): address
+          [base + idx*c] *)
+  | XF64LoadScaled of int32 * int  (** same for [f64.load] *)
+  | XI32LoadL of int * int  (** [local.get a; i32.load off] (2) *)
+  | XF64LoadL of int * int  (** [local.get a; f64.load off] (2) *)
+  | XFusedTail  (** interior of a fused group; unreachable *)
 
 type func_inst =
   | Wasm_func of int * instance  (** index into [inst_code], owning instance *)
@@ -41,13 +138,29 @@ and extern =
 and jump_info = {
   end_of : int array;  (** for Block/Loop/If at pc, index of the matching End *)
   else_of : int array;  (** for If at pc, index of the Else, or -1 *)
+  max_depth : int;  (** deepest block nesting, bounds the label stack *)
 }
 
+(** One function's body plus every side table the dispatch loop needs:
+    arities, local defaults, [br_table] targets as [int array], and the
+    straight-line run lengths used to batch fuel accounting. *)
 and code = {
   c_func : Ast.func;
   c_type : Types.func_type;
   c_body : Ast.instr array;
+  c_xbody : xinstr array;
+      (** pre-decoded form of [c_body], same indexing; what the dispatch
+          loop executes *)
   c_jumps : jump_info;
+  c_arity : int;  (** number of results *)
+  c_nparams : int;
+  c_local_defaults : Value.t array;  (** zero values of the declared locals *)
+  c_frame_size : int;  (** params + declared locals *)
+  c_br_tables : int array array;
+      (** for BrTable at pc: targets with the default appended; [[||]]
+          elsewhere *)
+  c_run_len : int array;
+      (** instructions from pc to the next control transfer, inclusive *)
 }
 
 and instance = {
@@ -59,6 +172,7 @@ and instance = {
   mutable inst_memory : Memory.t option;
   mutable inst_globals : global_inst array;
   mutable inst_exports : (string * extern) list;
+  inst_stack : stack;  (** the operand stack shared by all frames *)
   mutable fuel : int;
   mutable steps : int;  (** total instructions executed *)
   mutable call_depth : int;

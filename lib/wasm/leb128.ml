@@ -57,47 +57,72 @@ let byte_at s pos =
   incr pos;
   b
 
-let read_u64 s pos : int64 =
-  let rec go shift acc =
-    if shift >= 64 then raise (Overflow "u64 LEB128 too long");
+(** Read an unsigned LEB128 value of at most [bits] bits, enforcing the
+    spec's ceiling on encoded length: at most [ceil bits/7] bytes, and the
+    unused high bits of the final byte must be zero. Non-minimal (padded)
+    encodings within those limits are legal and accepted. *)
+let read_unsigned ~bits s pos : int64 =
+  let max_bytes = (bits + 6) / 7 in
+  let rec go i shift acc =
+    if i >= max_bytes then
+      raise (Overflow (Printf.sprintf "u%d LEB128 too long" bits));
     let b = byte_at s pos in
-    let acc = Int64.logor acc (Int64.shift_left (Int64.of_int (b land 0x7F)) shift) in
-    if b land 0x80 = 0 then acc else go (shift + 7) acc
+    let payload = b land 0x7F in
+    let acc = Int64.logor acc (Int64.shift_left (Int64.of_int payload) shift) in
+    if b land 0x80 <> 0 then go (i + 1) (shift + 7) acc
+    else begin
+      let used = bits - shift in
+      if used < 7 && payload lsr used <> 0 then
+        raise (Overflow (Printf.sprintf "u%d LEB128 out of range" bits));
+      acc
+    end
   in
-  go 0 0L
+  go 0 0 0L
 
-let read_u32 s pos : int32 =
-  let v = read_u64 s pos in
-  if Int64.unsigned_compare v 0xFFFFFFFFL > 0 then raise (Overflow "u32 LEB128 out of range");
-  Int64.to_int32 v
-
-(** Read an unsigned integer that must fit a non-negative OCaml int. *)
-let read_uint s pos : int =
-  let v = read_u64 s pos in
-  if Int64.compare v 0L < 0 || Int64.compare v (Int64.of_int max_int) > 0 then
-    raise (Overflow "uint LEB128 out of range");
-  Int64.to_int v
-
-let read_s64 s pos : int64 =
-  let rec go shift acc =
-    if shift >= 70 then raise (Overflow "s64 LEB128 too long");
+(** Read a signed LEB128 value of at most [bits] bits: at most
+    [ceil bits/7] bytes, and the unused high bits of the final byte must
+    all replicate the value's sign bit. *)
+let read_signed ~bits s pos : int64 =
+  let max_bytes = (bits + 6) / 7 in
+  let rec go i shift acc =
+    if i >= max_bytes then
+      raise (Overflow (Printf.sprintf "s%d LEB128 too long" bits));
     let b = byte_at s pos in
-    let acc = Int64.logor acc (Int64.shift_left (Int64.of_int (b land 0x7F)) shift) in
-    if b land 0x80 = 0 then
-      let shift = shift + 7 in
-      if shift < 64 && b land 0x40 <> 0 then
-        Int64.logor acc (Int64.shift_left (-1L) shift)
+    let payload = b land 0x7F in
+    let acc = Int64.logor acc (Int64.shift_left (Int64.of_int payload) shift) in
+    if b land 0x80 <> 0 then go (i + 1) (shift + 7) acc
+    else if bits - shift >= 7 then
+      (* the whole payload is significant: ordinary sign extension *)
+      if shift + 7 < 64 && payload land 0x40 <> 0 then
+        Int64.logor acc (Int64.shift_left (-1L) (shift + 7))
       else acc
-    else go (shift + 7) acc
+    else begin
+      (* final byte of a maximal-length encoding: the top [7 - used]
+         payload bits must replicate the sign bit *)
+      let used = bits - shift in
+      let sign = (payload lsr (used - 1)) land 1 in
+      let excess = payload lsr used in
+      let expected = if sign = 1 then (1 lsl (7 - used)) - 1 else 0 in
+      if excess <> expected then
+        raise (Overflow (Printf.sprintf "s%d LEB128 out of range" bits));
+      if sign = 1 && shift + used < 64 then
+        Int64.logor acc (Int64.shift_left (-1L) (shift + used))
+      else acc
+    end
   in
-  go 0 0L
+  go 0 0 0L
 
-let read_s32 s pos : int32 =
-  let v = read_s64 s pos in
-  if Int64.compare v (Int64.of_int32 Int32.max_int) > 0
-  || Int64.compare v (Int64.of_int32 Int32.min_int) < 0 then
-    raise (Overflow "s32 LEB128 out of range");
-  Int64.to_int32 v
+let read_u64 s pos : int64 = read_unsigned ~bits:64 s pos
+
+(* the width bound guarantees the value fits: no range check needed *)
+let read_u32 s pos : int32 = Int64.to_int32 (read_unsigned ~bits:32 s pos)
+
+(** Read an unsigned integer that must fit a non-negative OCaml int. The
+    binary format's counts, sizes and indices are all u32. *)
+let read_uint s pos : int = Int64.to_int (read_unsigned ~bits:32 s pos)
+
+let read_s64 s pos : int64 = read_signed ~bits:64 s pos
+let read_s32 s pos : int32 = Int64.to_int32 (read_signed ~bits:32 s pos)
 
 (** Number of bytes an unsigned encoding of [x] occupies. *)
 let uint_size (x : int) =

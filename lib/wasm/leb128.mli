@@ -27,9 +27,21 @@ val write_s32 : Buffer.t -> int32 -> unit
     past the consumed bytes. They raise {!Overflow} on malformed or
     out-of-range encodings and [Invalid_argument] on truncated input. *)
 
+val read_unsigned : bits:int -> string -> int ref -> int64
+(** Strict width-checked decoding: at most [ceil bits/7] bytes, and the
+    unused high bits of the final byte must be zero. Non-minimal (padded)
+    encodings within those limits are accepted. *)
+
+val read_signed : bits:int -> string -> int ref -> int64
+(** As {!read_unsigned}, except the unused high bits of a maximal-length
+    encoding's final byte must replicate the sign bit. *)
+
 val read_u64 : string -> int ref -> int64
 val read_u32 : string -> int ref -> int32
+
 val read_uint : string -> int ref -> int
+(** u32 decoding into an OCaml [int] (the format's counts and indices). *)
+
 val read_s64 : string -> int ref -> int64
 val read_s32 : string -> int ref -> int32
 

@@ -1,6 +1,11 @@
 (** Linear memory: a growable byte array addressed in little-endian order,
     sized in 64 KiB pages. All accesses are bounds-checked and trap with
-    the spec's "out of bounds memory access" message. *)
+    the spec's "out of bounds memory access" message.
+
+    The access paths are allocation-free up to the result value: effective
+    addresses are computed in native [int]s (a 63-bit int exactly holds
+    unsigned-i32 base + offset + width) and multi-byte accesses go through
+    the [Bytes] little-endian intrinsics rather than per-byte loops. *)
 
 type t = {
   mutable data : bytes;
@@ -23,7 +28,9 @@ let size_bytes t = Bytes.length t.data
 (** Grow by [delta] pages. Returns the previous size in pages, or [-1] if
     growing would exceed the maximum (the Wasm failure convention). *)
 let grow t delta =
-  if delta < 0 then -1
+  (* the early bound on [delta] also keeps [old_pages + delta] from
+     overflowing the OCaml int *)
+  if delta < 0 || delta > absolute_max_pages then -1
   else
     let old_pages = size_pages t in
     let new_pages = old_pages + delta in
@@ -39,72 +46,88 @@ let grow t delta =
 let out_of_bounds () = raise (Value.Trap "out of bounds memory access")
 
 (** Effective address of an access: unsigned i32 base plus static offset,
-    checked against the memory size for [width] bytes. *)
+    checked against the memory size for [width] bytes. Base and offset are
+    both below 2^32, so the sum cannot overflow a native int. *)
 let effective_address t (base : int32) (offset : int) (width : int) : int =
-  let ea = Int64.add (Int64.logand (Int64.of_int32 base) 0xFFFFFFFFL) (Int64.of_int offset) in
-  if Int64.compare ea 0L < 0
-  || Int64.compare (Int64.add ea (Int64.of_int width)) (Int64.of_int (size_bytes t)) > 0
-  then out_of_bounds ()
-  else Int64.to_int ea
+  let ea = (Int32.to_int base land 0xFFFFFFFF) + offset in
+  if ea + width > Bytes.length t.data then out_of_bounds ();
+  ea
 
-let load_bytes t addr offset width : int64 =
-  let ea = effective_address t addr offset width in
-  let v = ref 0L in
-  for i = width - 1 downto 0 do
-    v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int (Char.code (Bytes.get t.data (ea + i))))
-  done;
-  !v
+(** {1 Width-specific accessors} — the interpreter's fast path for
+    unpacked loads and stores. *)
 
-let store_bytes t addr offset width (v : int64) =
-  let ea = effective_address t addr offset width in
-  for i = 0 to width - 1 do
-    Bytes.set t.data (ea + i)
-      (Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical v (8 * i)) 0xFFL)))
-  done
+let load_i32 t (base : int32) (offset : int) : int32 =
+  Bytes.get_int32_le t.data (effective_address t base offset 4)
 
-let sign_extend v bits =
-  let shift = 64 - bits in
-  Int64.shift_right (Int64.shift_left v shift) shift
+let load_i64 t (base : int32) (offset : int) : int64 =
+  Bytes.get_int64_le t.data (effective_address t base offset 8)
+
+let load_f64 t (base : int32) (offset : int) : float =
+  Int64.float_of_bits (load_i64 t base offset)
+
+(** f32 loads return the raw bit pattern (the [Value.F32] representation). *)
+let load_f32_bits = load_i32
+
+let store_i32 t (base : int32) (offset : int) (v : int32) =
+  Bytes.set_int32_le t.data (effective_address t base offset 4) v
+
+let store_i64 t (base : int32) (offset : int) (v : int64) =
+  Bytes.set_int64_le t.data (effective_address t base offset 8) v
+
+let store_f64 t (base : int32) (offset : int) (v : float) =
+  store_i64 t base offset (Int64.bits_of_float v)
+
+let store_f32_bits = store_i32
+
+(** {1 Generic operator execution} — packed and unpacked. *)
 
 (** Execute a load instruction: [addr] is the dynamic base address. *)
 let load t (op : Ast.loadop) (addr : int32) : Value.t =
   let open Ast in
-  let raw width = load_bytes t addr op.loffset width in
   match op.lty, op.lpack with
-  | Types.I32T, None -> Value.I32 (Int64.to_int32 (raw 4))
-  | Types.I64T, None -> Value.I64 (raw 8)
-  | Types.F32T, None -> Value.F32 (Int64.to_int32 (raw 4))
-  | Types.F64T, None -> Value.F64 (Int64.float_of_bits (raw 8))
-  | Types.I32T, Some (Pack8, SX) -> Value.I32 (Int64.to_int32 (sign_extend (raw 1) 8))
-  | Types.I32T, Some (Pack8, ZX) -> Value.I32 (Int64.to_int32 (raw 1))
-  | Types.I32T, Some (Pack16, SX) -> Value.I32 (Int64.to_int32 (sign_extend (raw 2) 16))
-  | Types.I32T, Some (Pack16, ZX) -> Value.I32 (Int64.to_int32 (raw 2))
-  | Types.I64T, Some (Pack8, SX) -> Value.I64 (sign_extend (raw 1) 8)
-  | Types.I64T, Some (Pack8, ZX) -> Value.I64 (raw 1)
-  | Types.I64T, Some (Pack16, SX) -> Value.I64 (sign_extend (raw 2) 16)
-  | Types.I64T, Some (Pack16, ZX) -> Value.I64 (raw 2)
-  | Types.I64T, Some (Pack32, SX) -> Value.I64 (sign_extend (raw 4) 32)
-  | Types.I64T, Some (Pack32, ZX) -> Value.I64 (raw 4)
+  | Types.I32T, None -> Value.I32 (load_i32 t addr op.loffset)
+  | Types.I64T, None -> Value.I64 (load_i64 t addr op.loffset)
+  | Types.F32T, None -> Value.F32 (load_f32_bits t addr op.loffset)
+  | Types.F64T, None -> Value.F64 (load_f64 t addr op.loffset)
+  | Types.I32T, Some (Pack8, SX) ->
+    Value.I32 (Int32.of_int (Bytes.get_int8 t.data (effective_address t addr op.loffset 1)))
+  | Types.I32T, Some (Pack8, ZX) ->
+    Value.I32 (Int32.of_int (Bytes.get_uint8 t.data (effective_address t addr op.loffset 1)))
+  | Types.I32T, Some (Pack16, SX) ->
+    Value.I32 (Int32.of_int (Bytes.get_int16_le t.data (effective_address t addr op.loffset 2)))
+  | Types.I32T, Some (Pack16, ZX) ->
+    Value.I32 (Int32.of_int (Bytes.get_uint16_le t.data (effective_address t addr op.loffset 2)))
+  | Types.I64T, Some (Pack8, SX) ->
+    Value.I64 (Int64.of_int (Bytes.get_int8 t.data (effective_address t addr op.loffset 1)))
+  | Types.I64T, Some (Pack8, ZX) ->
+    Value.I64 (Int64.of_int (Bytes.get_uint8 t.data (effective_address t addr op.loffset 1)))
+  | Types.I64T, Some (Pack16, SX) ->
+    Value.I64 (Int64.of_int (Bytes.get_int16_le t.data (effective_address t addr op.loffset 2)))
+  | Types.I64T, Some (Pack16, ZX) ->
+    Value.I64 (Int64.of_int (Bytes.get_uint16_le t.data (effective_address t addr op.loffset 2)))
+  | Types.I64T, Some (Pack32, SX) -> Value.I64 (Int64.of_int32 (load_i32 t addr op.loffset))
+  | Types.I64T, Some (Pack32, ZX) ->
+    Value.I64 (Int64.logand (Int64.of_int32 (load_i32 t addr op.loffset)) 0xFFFFFFFFL)
   | _ -> invalid_arg "Memory.load: invalid load operator"
 
 (** Execute a store instruction. *)
 let store t (op : Ast.storeop) (addr : int32) (v : Value.t) =
   let open Ast in
-  let bits64 =
-    match v with
-    | Value.I32 x -> Int64.logand (Int64.of_int32 x) 0xFFFFFFFFL
-    | Value.I64 x -> x
-    | Value.F32 b -> Int64.logand (Int64.of_int32 b) 0xFFFFFFFFL
-    | Value.F64 f -> Int64.bits_of_float f
-  in
-  let width =
-    match op.spack with
-    | None -> Types.byte_width op.sty
-    | Some Pack8 -> 1
-    | Some Pack16 -> 2
-    | Some Pack32 -> 4
-  in
-  store_bytes t addr op.soffset width bits64
+  match op.sty, op.spack, v with
+  | Types.I32T, None, Value.I32 x -> store_i32 t addr op.soffset x
+  | Types.I64T, None, Value.I64 x -> store_i64 t addr op.soffset x
+  | Types.F32T, None, Value.F32 b -> store_f32_bits t addr op.soffset b
+  | Types.F64T, None, Value.F64 f -> store_f64 t addr op.soffset f
+  | Types.I32T, Some Pack8, Value.I32 x ->
+    Bytes.set_int8 t.data (effective_address t addr op.soffset 1) (Int32.to_int x land 0xFF)
+  | Types.I32T, Some Pack16, Value.I32 x ->
+    Bytes.set_int16_le t.data (effective_address t addr op.soffset 2) (Int32.to_int x land 0xFFFF)
+  | Types.I64T, Some Pack8, Value.I64 x ->
+    Bytes.set_int8 t.data (effective_address t addr op.soffset 1) (Int64.to_int x land 0xFF)
+  | Types.I64T, Some Pack16, Value.I64 x ->
+    Bytes.set_int16_le t.data (effective_address t addr op.soffset 2) (Int64.to_int x land 0xFFFF)
+  | Types.I64T, Some Pack32, Value.I64 x -> store_i32 t addr op.soffset (Int64.to_int32 x)
+  | _ -> raise (Value.Trap "type mismatch in store operation")
 
 (** Raw byte access, for data segment initialisation and tests. *)
 let store_string t ~(at : int) (s : string) =

@@ -22,6 +22,22 @@ val effective_address : t -> int32 -> int -> int -> int
     offset, checked for a [width]-byte access. @raise Value.Trap when out
     of bounds. *)
 
+(** {1 Width-specific accessors}
+
+    The interpreter's fast path for unpacked accesses: [base] is the
+    dynamic address, the [int] the instruction's static offset. All are
+    bounds checked and trap like {!load}/{!store}. f32 values travel as
+    their bit pattern (the [Value.F32] representation). *)
+
+val load_i32 : t -> int32 -> int -> int32
+val load_i64 : t -> int32 -> int -> int64
+val load_f64 : t -> int32 -> int -> float
+val load_f32_bits : t -> int32 -> int -> int32
+val store_i32 : t -> int32 -> int -> int32 -> unit
+val store_i64 : t -> int32 -> int -> int64 -> unit
+val store_f64 : t -> int32 -> int -> float -> unit
+val store_f32_bits : t -> int32 -> int -> int32 -> unit
+
 val load : t -> Ast.loadop -> int32 -> Value.t
 (** Execute a load at the dynamic base address. *)
 

@@ -45,7 +45,12 @@ let f32 f = F32 (F32_repr.of_float f)
 let f32_bits bits = F32 bits
 let f64 f = F64 f
 let i32_of_int x = I32 (Int32.of_int x)
-let i32_of_bool b = I32 (if b then 1l else 0l)
+
+(* Comparison and test results are shared so the interpreter's hottest
+   consumers (loop conditions) allocate nothing. *)
+let i32_zero = I32 0l
+let i32_one = I32 1l
+let i32_of_bool b = if b then i32_one else i32_zero
 
 let as_i32 = function I32 x -> x | _ -> trap "type mismatch: expected i32"
 let as_i64 = function I64 x -> x | _ -> trap "type mismatch: expected i64"

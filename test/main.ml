@@ -15,4 +15,5 @@ let () =
       ("faithfulness", Test_faithfulness.suite);
       ("extensions", Test_extensions.suite);
       ("workloads", Test_workloads.suite);
+      ("bench:support", Test_bench.suite);
     ]

@@ -196,6 +196,79 @@ let prop_random_instrumented_validates =
       let res = W.Instrument.instrument m in
       Wasm.Validate.is_valid res.W.Instrument.instrumented)
 
+let test_stress_module_faithful () =
+  (* a hand-built module exercising interpreter fast paths the MiniC
+     corpus does not reach: mixed-type multi-argument calls (split i64
+     hook arguments), call_indirect through the table, a dense br_table
+     and f64 memory round trips — instrumented and uninstrumented runs
+     must agree exactly *)
+  let module B = Wasm.Builder in
+  let open Wasm.Ast in
+  let open Wasm.Types in
+  let bld = B.create () in
+  B.add_memory bld ~min_pages:1 ~max_pages:None;
+  let kernel =
+    B.add_func bld ~params:[ I32T; I64T; F64T; I32T ] ~results:[ F64T ] ~locals:[]
+      ~body:
+        [ B.local_get 0; Convert F64ConvertI32S; B.f64 1000.0; B.f64_mul;
+          B.local_get 1; Convert F64ConvertI64S; B.f64 100.0; B.f64_mul; B.f64_add;
+          B.local_get 2; B.f64 10.0; B.f64_mul; B.f64_add;
+          B.local_get 3; Convert F64ConvertI32S; B.f64_add ]
+  in
+  B.add_table bld ~min_size:1 ~max_size:None;
+  B.add_elem bld ~offset:0 ~funcs:[ kernel ];
+  let ti = B.add_type bld (func_type [ I32T; I64T; F64T; I32T ] [ F64T ]) in
+  let select =
+    B.add_func bld ~params:[ I32T ] ~results:[ I32T ] ~locals:[]
+      ~body:
+        [ Block (Some I32T); Block None; Block None; Block None;
+          B.local_get 0;
+          BrTable (List.init 16 (fun i -> i mod 3), 2);
+          End; B.i32 5; Br 2;
+          End; B.i32 7; Br 1;
+          End; B.i32 11;
+          End ]
+  in
+  (* local 0 = loop counter i, local 1 = accumulator *)
+  let addr = [ B.local_get 0; B.i32 15; B.i32_and; B.i32 3; B.i32_shl ] in
+  let run =
+    B.add_func bld ~params:[] ~results:[ F64T ] ~locals:[ I32T; F64T ]
+      ~body:
+        ([ B.i32 0; B.local_set 0;
+           Block None; Loop None;
+           B.local_get 0; B.i32 48; B.i32_ge_s; BrIf 1 ]
+         (* acc += kernel (i, 3i, float i, select (i land 15)), directly *)
+         @ [ B.local_get 1;
+             B.local_get 0;
+             B.local_get 0; Convert I64ExtendI32S; B.i64 3L; B.i64_mul;
+             B.local_get 0; Convert F64ConvertI32S;
+             B.local_get 0; B.i32 15; B.i32_and; Call select;
+             Call kernel; B.f64_add; B.local_set 1 ]
+         (* acc += kernel (i + 7, i, i / 2, 9), through the table *)
+         @ [ B.local_get 1;
+             B.local_get 0; B.i32 7; B.i32_add;
+             B.local_get 0; Convert I64ExtendI32S;
+             B.local_get 0; Convert F64ConvertI32S; B.f64 0.5; B.f64_mul;
+             B.i32 9;
+             B.i32 0; CallIndirect ti; B.f64_add; B.local_set 1 ]
+         (* round-trip the accumulator through linear memory *)
+         @ addr @ [ B.local_get 1; B.f64_store () ]
+         @ addr @ [ B.f64_load (); B.local_set 1 ]
+         @ [ B.local_get 0; B.i32 1; B.i32_add; B.local_set 0;
+             Br 0; End; End;
+             B.local_get 1 ])
+  in
+  B.export_func bld ~name:"run" run;
+  let m = B.build bld in
+  Wasm.Validate.validate_module m;
+  let expected = checksum_of m in
+  Alcotest.(check bool) "finite, non-zero checksum" true
+    (Float.is_finite expected && expected <> 0.0);
+  Alcotest.(check (float 0.0)) "fully instrumented" expected (instrumented_checksum m);
+  Alcotest.(check (float 0.0)) "call and br_table hooks only" expected
+    (instrumented_checksum
+       ~groups:(W.Hook.of_list [ W.Hook.G_call; W.Hook.G_br_table ]) m)
+
 let qcheck_cases =
   List.map QCheck_alcotest.to_alcotest
     [ prop_random_faithful; prop_random_faithful_selective; prop_random_instrumented_validates ]
@@ -205,5 +278,6 @@ let suite =
     case "corpus: fully instrumented behaviour" test_corpus_fully_instrumented;
     case "corpus: instrumented binary round trip" test_corpus_instrumented_binary_roundtrip;
     case "corpus: begin/end balance" test_begin_end_balance_corpus;
+    case "stress module: calls, call_indirect, br_table" test_stress_module_faithful;
   ]
   @ qcheck_cases

@@ -54,6 +54,57 @@ let test_leb_boundaries () =
     (fun x -> Alcotest.(check bool) (Int64.to_string x) true (leb_s64_roundtrip x))
     [ 0L; -1L; 63L; -64L; 64L; -65L; Int64.max_int; Int64.min_int ]
 
+let test_leb_strict_widths () =
+  let u32 s = let pos = ref 0 in Leb128.read_u32 s pos in
+  let u64 s = let pos = ref 0 in Leb128.read_u64 s pos in
+  let s32 s = let pos = ref 0 in Leb128.read_s32 s pos in
+  let s64 s = let pos = ref 0 in Leb128.read_s64 s pos in
+  let rejects name f s =
+    match f s with
+    | _ -> Alcotest.failf "%s: expected Overflow" name
+    | exception Leb128.Overflow _ -> ()
+  in
+  (* padded (non-minimal) encodings inside the width limit are legal *)
+  Alcotest.(check int32) "padded zero u32" 0l (u32 "\x80\x80\x80\x80\x00");
+  Alcotest.(check int32) "u32 max (maximal form)" (-1l) (u32 "\xff\xff\xff\xff\x0f");
+  (* a 6th byte is never legal for u32, even encoding zero *)
+  rejects "u32 six bytes" u32 "\x80\x80\x80\x80\x80\x00";
+  (* in-bounds length, but the final byte sets bits beyond bit 31 *)
+  rejects "u32 excess bits (0x7f)" u32 "\xff\xff\xff\xff\x7f";
+  rejects "u32 excess bits (0x10)" u32 "\x80\x80\x80\x80\x10";
+  (* u64: at most 10 bytes, and the 10th may only contribute bit 63 *)
+  Alcotest.(check int64) "u64 2^63 (maximal form)" Int64.min_int
+    (u64 "\x80\x80\x80\x80\x80\x80\x80\x80\x80\x01");
+  rejects "u64 eleven bytes" u64 "\x80\x80\x80\x80\x80\x80\x80\x80\x80\x80\x00";
+  rejects "u64 excess bits" u64 "\x80\x80\x80\x80\x80\x80\x80\x80\x80\x02";
+  (* s64: the unused bits of a maximal-length final byte must replicate
+     the sign bit *)
+  Alcotest.(check int64) "s64 min_int (maximal form)" Int64.min_int
+    (s64 "\x80\x80\x80\x80\x80\x80\x80\x80\x80\x7f");
+  rejects "s64 bad sign extension" s64 "\x80\x80\x80\x80\x80\x80\x80\x80\x80\x01";
+  rejects "s32 bad sign extension" s32 "\xff\xff\xff\xff\x4f";
+  (* the extreme values round-trip through their natural width *)
+  let roundtrip_s32 x =
+    let buf = Buffer.create 8 in
+    Leb128.write_s32 buf x;
+    let s = Buffer.contents buf in
+    let pos = ref 0 in
+    let y = Leb128.read_s32 s pos in
+    Alcotest.(check int32) (Int32.to_string x) x y;
+    Alcotest.(check int) "consumed fully" (String.length s) !pos
+  in
+  roundtrip_s32 Int32.min_int;
+  roundtrip_s32 Int32.max_int;
+  let buf = Buffer.create 12 in
+  Leb128.write_s64 buf Int64.min_int;
+  let s = Buffer.contents buf in
+  let pos = ref 0 in
+  Alcotest.(check int64) "s64 min_int round trip" Int64.min_int (Leb128.read_s64 s pos);
+  (* truncated input is a distinct error from overflow *)
+  (match u32 "\x80\x80" with
+   | _ -> Alcotest.fail "expected truncation error"
+   | exception Invalid_argument _ -> ())
+
 let test_leb_overflow_rejected () =
   (* 6 continuation bytes exceed a u32 *)
   let s = "\xff\xff\xff\xff\xff\x0f" in
@@ -206,6 +257,7 @@ let suite =
     case "LEB128 known encodings" test_leb_examples;
     case "LEB128 boundary values" test_leb_boundaries;
     case "LEB128 overflow rejected" test_leb_overflow_rejected;
+    case "LEB128 strict width checks" test_leb_strict_widths;
     case "corpus round trips" test_corpus_roundtrip;
     case "instrumented corpus round trips" test_instrumented_roundtrip;
     case "round trip preserves structure" test_roundtrip_preserves_structure;

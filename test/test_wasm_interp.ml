@@ -314,6 +314,82 @@ let test_i64_memory () =
   check_values "i64 roundtrip" [ Value.I64 0x0123456789ABCDEFL ]
     (run_f ~memory:1 ~params:[] ~results:[ Types.I64T ] ~locals:[] body [])
 
+let test_multi_arg_ordering () =
+  (* regression for the operand-stack pop_n: with >= 4 differently-typed
+     arguments, each argument must land in its own parameter slot, in
+     order, whether the function is entered via invoke, Call or
+     CallIndirect. The weighted sum is order-sensitive: any permutation
+     of the arguments changes the result. *)
+  let bld = B.create () in
+  let sig_params = [ Types.I32T; Types.I64T; Types.F64T; Types.I32T ] in
+  let callee = B.add_func bld ~params:sig_params ~results:[ Types.F64T ] ~locals:[]
+      ~body:
+        [ B.local_get 0; Convert F64ConvertI32S; B.f64 1000.0; B.f64_mul;
+          B.local_get 1; Convert F64ConvertI64S; B.f64 100.0; B.f64_mul; B.f64_add;
+          B.local_get 2; B.f64 10.0; B.f64_mul; B.f64_add;
+          B.local_get 3; Convert F64ConvertI32S; B.f64_add ]
+  in
+  B.add_table bld ~min_size:1 ~max_size:None;
+  B.add_elem bld ~offset:0 ~funcs:[ callee ];
+  let ti = B.add_type bld (Types.func_type sig_params [ Types.F64T ]) in
+  let push_args = [ B.i32 1; B.i64 2L; B.f64 3.0; B.i32 4 ] in
+  let via_call = B.add_func bld ~params:[] ~results:[ Types.F64T ] ~locals:[]
+      ~body:(push_args @ [ Call callee ])
+  in
+  let via_indirect = B.add_func bld ~params:[] ~results:[ Types.F64T ] ~locals:[]
+      ~body:(push_args @ [ B.i32 0; CallIndirect ti ])
+  in
+  B.export_func bld ~name:"callee" callee;
+  B.export_func bld ~name:"via_call" via_call;
+  B.export_func bld ~name:"via_indirect" via_indirect;
+  let m = B.build bld in
+  Validate.validate_module m;
+  let inst = Interp.instantiate ~imports:[] m in
+  let expect = [ f64 1234.0 ] in
+  check_values "direct invoke" expect
+    (Interp.invoke_export inst "callee" [ i32 1; i64 2; f64 3.0; i32 4 ]);
+  check_values "via call" expect (Interp.invoke_export inst "via_call" []);
+  check_values "via call_indirect" expect (Interp.invoke_export inst "via_indirect" [])
+
+let test_br_table_large () =
+  (* the precomputed br_table side table with a 100-entry target list:
+     every entry dispatches correctly, and out-of-range selectors
+     (including negative ones, which are huge unsigned) take the
+     default *)
+  let targets = List.init 100 (fun i -> i mod 3) in
+  let body =
+    [ Block (Some Types.I32T);
+      Block None;
+      Block None;
+      Block None;
+      B.local_get 0;
+      BrTable (targets, 2);
+      End;
+      B.i32 100; Br 2;
+      End;
+      B.i32 200; Br 1;
+      End;
+      B.i32 300;
+      End ]
+  in
+  let run v = run_f ~params:[ Types.I32T ] ~results:[ Types.I32T ] ~locals:[] body [ i32 v ] in
+  let expect i = [ i32 (match i mod 3 with 0 -> 100 | 1 -> 200 | _ -> 300) ] in
+  List.iter
+    (fun i -> check_values (Printf.sprintf "entry %d" i) (expect i) (run i))
+    [ 0; 1; 2; 3; 49; 97; 98; 99 ];
+  check_values "100 (one past the end) -> default" [ i32 300 ] (run 100);
+  check_values "-1 (unsigned huge) -> default" [ i32 300 ] (run (-1))
+
+let test_deep_operand_stack () =
+  (* push 3000 constants before consuming any: the shared operand stack
+     must grow well past its initial capacity and keep every slot *)
+  let n = 3000 in
+  let body =
+    List.init n (fun _ -> B.i32 1) @ List.init (n - 1) (fun _ -> B.i32_add)
+  in
+  check_values "sum of 3000 ones" [ i32 n ]
+    (run_f ~params:[] ~results:[ Types.I32T ] ~locals:[] body [])
+
 let suite =
   [
     case "consts" test_consts;
@@ -343,4 +419,7 @@ let suite =
     case "fuel" test_fuel;
     case "call stack exhaustion" test_call_stack_exhaustion;
     case "i64 memory" test_i64_memory;
+    case "multi-arg ordering (call / call_indirect)" test_multi_arg_ordering;
+    case "br_table with 100 entries" test_br_table_large;
+    case "deep operand stack" test_deep_operand_stack;
   ]

@@ -141,6 +141,23 @@ let test_memory_grow_limits () =
   Alcotest.(check int) "zero grow ok" 3 (Memory.grow mem 0);
   Alcotest.(check int) "negative fails" (-1) (Memory.grow mem (-1))
 
+let test_memory_grow_address_space_cap () =
+  (* the 32-bit address space cap (65536 pages) applies independently of
+     the declared maximum; failed grows must not change the size. None of
+     these grows may succeed, so no multi-GiB buffer is ever allocated. *)
+  let mem = Memory.create ~min_pages:1 ~max_pages:(Some 70000) in
+  Alcotest.(check int) "declared max beyond 2^32 is clamped" (-1) (Memory.grow mem 65536);
+  Alcotest.(check int) "absurd delta fails" (-1) (Memory.grow mem max_int);
+  Alcotest.(check int) "size unchanged by failed grows" 1 (Memory.size_pages mem);
+  Alcotest.(check int) "ordinary grow still works" 1 (Memory.grow mem 1);
+  let unlimited = Memory.create ~min_pages:0 ~max_pages:None in
+  Alcotest.(check int) "no declared max: 65537 pages still refused" (-1)
+    (Memory.grow unlimited 65537);
+  Alcotest.(check int) "still zero pages" 0 (Memory.size_pages unlimited);
+  (match Memory.create ~min_pages:65537 ~max_pages:None with
+   | _ -> Alcotest.fail "expected invalid_arg for min_pages > 65536"
+   | exception Invalid_argument _ -> ())
+
 let test_memory_effective_address_overflow () =
   let mem = Memory.create ~min_pages:1 ~max_pages:None in
   (* base + offset overflows 32 bits: must trap, not wrap around *)
@@ -170,6 +187,7 @@ let suite =
     case "u64 to float" test_u64_to_float;
     case "memory endianness" test_memory_endianness;
     case "memory grow limits" test_memory_grow_limits;
+    case "memory grow address space cap" test_memory_grow_address_space_cap;
     case "effective address overflow" test_memory_effective_address_overflow;
     prop_memory_roundtrip;
   ]
