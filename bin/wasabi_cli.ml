@@ -4,23 +4,40 @@
 
       wasabi instrument input.wasm -o output.wasm --hooks binary,call
       wasabi analyze input.wasm --analysis cryptominer --invoke run
+      wasabi fuzz --seed 42 --gen 2000 --mut 2000
       wasabi hooks
+
+    Structured pipeline failures exit with distinct codes and a one-line
+    message (decode 3, validate 4, link 5, trap 6, exhaustion 7) instead
+    of an uncaught-exception backtrace.
 *)
 
 open Cmdliner
 module W = Wasabi
 
-let read_module path =
+let read_file path =
   let ic = open_in_bin path in
-  let len = in_channel_length ic in
-  let bin = really_input_string ic len in
-  close_in ic;
-  Wasm.Decode.decode bin
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
 
-let write_module path m =
+let write_file path data =
   let oc = open_out_bin path in
-  output_string oc (Wasm.Encode.encode m);
-  close_out oc
+  Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () -> output_string oc data)
+
+let read_module path = Wasm.Decode.decode (read_file path)
+let write_module path m = write_file path (Wasm.Encode.encode m)
+
+(** Run a subcommand body under the structured-error boundary: taxonomy
+    failures become one-line messages with their distinct exit code. *)
+let structured f =
+  try f () with
+  | e ->
+    (match Wasm.Error.classify e with
+     | Some err ->
+       Printf.eprintf "wasabi: %s\n" (Wasm.Error.to_string err);
+       exit (Wasm.Error.exit_code err)
+     | None -> raise e)
 
 let parse_groups = function
   | None | Some "all" -> W.Hook.all
@@ -44,6 +61,7 @@ let instrument_cmd =
     Arg.(value & opt string "out.wasm" & info [ "o"; "output" ] ~docv:"OUTPUT" ~doc:"Output path")
   in
   let run input output hooks =
+    structured @@ fun () ->
     let m = read_module input in
     Wasm.Validate.validate_module m;
     let groups = parse_groups hooks in
@@ -123,6 +141,7 @@ let analyze_cmd =
     Arg.(value & opt string "run" & info [ "invoke" ] ~docv:"EXPORT" ~doc:"Exported function to call")
   in
   let run input analysis_name invoke =
+    structured @@ fun () ->
     let m = read_module input in
     Wasm.Validate.validate_module m;
     match List.assoc_opt analysis_name (bundled_analyses ()) with
@@ -148,6 +167,7 @@ let generate_js_cmd =
            ~doc:"Output path (default: INPUT.wasabi.js)")
   in
   let run input output hooks =
+    structured @@ fun () ->
     let m = read_module input in
     Wasm.Validate.validate_module m;
     let groups = parse_groups hooks in
@@ -160,9 +180,7 @@ let generate_js_cmd =
       | None -> Filename.remove_extension input ^ ".wasabi.js"
     in
     write_module out_wasm res.W.Instrument.instrumented;
-    let oc = open_out out_js in
-    output_string oc js;
-    close_out oc;
+    write_file out_js js;
     Printf.printf "wrote %s and %s\n" out_wasm out_js;
     Printf.printf "load the instrumented binary with importObject {%S: Wasabi.lowlevelHooks}\n"
       W.Hook.import_module
@@ -182,6 +200,69 @@ let hooks_cmd =
   in
   let info = Cmd.info "hooks" ~doc:"List the available hook groups" in
   Cmd.v info Term.(const run $ const ())
+
+(* --- fuzz ------------------------------------------------------------ *)
+
+let fuzz_cmd =
+  let seed_arg =
+    Arg.(value & opt int Fuzz.Harness.default_seed
+         & info [ "seed" ] ~docv:"SEED" ~doc:"Campaign seed; every case replays from (seed, index)")
+  in
+  let gen_arg =
+    Arg.(value & opt int 5000 & info [ "gen" ] ~docv:"N" ~doc:"Number of generated-module cases")
+  in
+  let mut_arg =
+    Arg.(value & opt int 5000 & info [ "mut" ] ~docv:"N" ~doc:"Number of mutated-binary cases")
+  in
+  let out_arg =
+    Arg.(value & opt string "fuzz-out"
+         & info [ "o"; "out" ] ~docv:"DIR" ~doc:"Directory for failing inputs (original + minimized)")
+  in
+  let replay_arg =
+    let doc = "Replay a single case instead of running a campaign: $(docv) is gen:INDEX or mut:INDEX." in
+    Arg.(value & opt (some string) None & info [ "replay" ] ~docv:"CASE" ~doc)
+  in
+  let quiet_arg =
+    Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Suppress progress output")
+  in
+  let run seed gen mut out replay quiet =
+    match replay with
+    | Some spec ->
+      let case, index =
+        match String.split_on_char ':' spec with
+        | [ "gen"; i ] -> (Fuzz.Harness.Generated, int_of_string i)
+        | [ "mut"; i ] -> (Fuzz.Harness.Mutated, int_of_string i)
+        | _ ->
+          Printf.eprintf "bad --replay spec %S (expected gen:INDEX or mut:INDEX)\n" spec;
+          exit 2
+      in
+      let disposition = Fuzz.Harness.replay ~seed ~index case in
+      Printf.printf "seed %d, %s case %d: %s\n" seed
+        (match case with Fuzz.Harness.Generated -> "generated" | Fuzz.Harness.Mutated -> "mutated")
+        index disposition;
+      if String.length disposition >= 4 && String.sub disposition 0 4 = "FAIL" then exit 1
+    | None ->
+      let log = if quiet then fun _ -> () else fun s -> Printf.eprintf "%s\n%!" s in
+      let stats, failures =
+        Fuzz.Harness.run ~log ~out_dir:out ~seed ~gen_count:gen ~mut_count:mut ()
+      in
+      Printf.printf "%s\n" (Fuzz.Harness.summary stats);
+      List.iter
+        (fun (f : Fuzz.Harness.failure) ->
+           Printf.printf "  FAIL [%s] replay with: wasabi fuzz --seed %d --replay %s:%d\n"
+             f.Fuzz.Harness.oracle seed
+             (match f.Fuzz.Harness.case with
+              | Fuzz.Harness.Generated -> "gen"
+              | Fuzz.Harness.Mutated -> "mut")
+             f.Fuzz.Harness.index)
+        failures;
+      if failures <> [] then exit 1
+  in
+  let info =
+    Cmd.info "fuzz"
+      ~doc:"Differential fuzzing: generated + mutated modules against the totality, round-trip and differential-equivalence oracles"
+  in
+  Cmd.v info Term.(const run $ seed_arg $ gen_arg $ mut_arg $ out_arg $ replay_arg $ quiet_arg)
 
 (* --- corpus ---------------------------------------------------------- *)
 
@@ -205,4 +286,5 @@ let () =
   let info = Cmd.info "wasabi" ~version:"1.0.0" ~doc:"Dynamic analysis for WebAssembly" in
   exit
     (Cmd.eval
-       (Cmd.group info [ instrument_cmd; analyze_cmd; generate_js_cmd; hooks_cmd; corpus_cmd ]))
+       (Cmd.group info
+          [ instrument_cmd; analyze_cmd; generate_js_cmd; hooks_cmd; fuzz_cmd; corpus_cmd ]))

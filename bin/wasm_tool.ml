@@ -11,10 +11,24 @@ open Cmdliner
 
 let read_module path =
   let ic = open_in_bin path in
-  let len = in_channel_length ic in
-  let bin = really_input_string ic len in
-  close_in ic;
+  let bin =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
   Wasm.Decode.decode bin
+
+(* Taxonomy failures become a one-line message and a per-phase exit code
+   (decode 3, validate 4, link 5, trap 6, exhaustion 7); anything else is
+   a genuine bug and keeps its backtrace. *)
+let structured f =
+  try f () with
+  | e ->
+    (match Wasm.Error.classify e with
+     | Some err ->
+       Printf.eprintf "wasm_tool: %s\n" (Wasm.Error.to_string err);
+       exit (Wasm.Error.exit_code err)
+     | None -> raise e)
 
 let input_arg =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"INPUT.wasm" ~doc:"Input binary")
@@ -34,11 +48,9 @@ let parse_value s =
 
 let validate_cmd =
   let run input =
-    match Wasm.Validate.validate_module (read_module input) with
-    | () -> print_endline "valid"
-    | exception Wasm.Validate.Invalid msg ->
-      Printf.eprintf "invalid: %s\n" msg;
-      exit 1
+    structured (fun () ->
+      Wasm.Validate.validate_module (read_module input);
+      print_endline "valid")
   in
   Cmd.v (Cmd.info "validate" ~doc:"Type check a binary") Term.(const run $ input_arg)
 
@@ -53,24 +65,21 @@ let run_cmd =
     Arg.(value & opt int max_int & info [ "fuel" ] ~docv:"N" ~doc:"Instruction budget")
   in
   let run input invoke args fuel =
-    let m = read_module input in
-    Wasm.Validate.validate_module m;
-    let inst = Wasm.Interp.instantiate ~fuel ~imports:[] m in
-    let values = List.map parse_value args in
-    match Wasm.Interp.invoke_export inst invoke values with
-    | results ->
+    structured (fun () ->
+      let m = read_module input in
+      Wasm.Validate.validate_module m;
+      let inst = Wasm.Interp.instantiate ~fuel ~imports:[] m in
+      let values = List.map parse_value args in
+      let results = Wasm.Interp.invoke_export inst invoke values in
       Printf.printf "[%s]\n" (String.concat "; " (List.map Wasm.Value.to_string results));
-      Printf.printf "(%d instructions executed)\n" inst.Wasm.Interp.steps
-    | exception Wasm.Value.Trap msg ->
-      Printf.eprintf "trap: %s\n" msg;
-      exit 1
+      Printf.printf "(%d instructions executed)\n" inst.Wasm.Interp.steps)
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Instantiate a binary and call an export")
     Term.(const run $ input_arg $ invoke_arg $ args_arg $ fuel_arg)
 
 let wat_cmd =
-  let run input = print_string (Wasm.Wat.to_string (read_module input)) in
+  let run input = structured (fun () -> print_string (Wasm.Wat.to_string (read_module input))) in
   Cmd.v (Cmd.info "wat" ~doc:"Print the text format") Term.(const run $ input_arg)
 
 let compile_cmd =
@@ -78,21 +87,25 @@ let compile_cmd =
     Arg.(value & opt (some string) None & info [ "o" ] ~docv:"OUTPUT.wasm" ~doc:"Output path")
   in
   let run input output =
-    let ic = open_in input in
-    let len = in_channel_length ic in
-    let src = really_input_string ic len in
-    close_in ic;
-    let m = Wasm.Wat_parse.parse src in
-    Wasm.Validate.validate_module m;
-    let out =
-      match output with
-      | Some o -> o
-      | None -> Filename.remove_extension input ^ ".wasm"
-    in
-    let oc = open_out_bin out in
-    output_string oc (Wasm.Encode.encode m);
-    close_out oc;
-    Printf.printf "wrote %s (%d B)\n" out (Wasm.Encode.size m)
+    structured (fun () ->
+      let ic = open_in input in
+      let src =
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      let m = Wasm.Wat_parse.parse src in
+      Wasm.Validate.validate_module m;
+      let out =
+        match output with
+        | Some o -> o
+        | None -> Filename.remove_extension input ^ ".wasm"
+      in
+      let oc = open_out_bin out in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () -> output_string oc (Wasm.Encode.encode m));
+      Printf.printf "wrote %s (%d B)\n" out (Wasm.Encode.size m))
   in
   Cmd.v
     (Cmd.info "compile" ~doc:"Assemble a text-format module to binary (wat -> wasm)")
@@ -100,6 +113,7 @@ let compile_cmd =
 
 let info_cmd =
   let run input =
+    structured @@ fun () ->
     let m = read_module input in
     let open Wasm.Ast in
     Printf.printf "types:     %d\n" (List.length m.types);

@@ -1,0 +1,217 @@
+(** Campaign driver: deterministic fuzzing with replayable failures.
+
+    Every case is fully determined by the campaign [seed] and its case
+    [index] ({!Rng.for_case}); the generator stream and the mutation
+    stream live in disjoint index spaces, so a failure report is always
+    just a [(seed, index)] pair. Failing mutated inputs are additionally
+    minimized (greedy chunk removal preserving the violation kind) and
+    both the original and minimized binaries are dumped to the output
+    directory. *)
+
+open Wasm
+
+type case_kind = Generated | Mutated
+
+let kind_name = function Generated -> "gen" | Mutated -> "mut"
+
+type failure = {
+  case : case_kind;
+  seed : int;
+  index : int;
+  oracle : string;  (** violation kind, e.g. "totality-decode" *)
+  detail : string;
+  input : string;  (** the offending binary *)
+  minimized : string option;
+}
+
+type stats = {
+  mutable gen_cases : int;
+  mutable mut_cases : int;
+  mutable mut_decoded : int;  (** mutants that still decoded *)
+  mutable mut_valid : int;  (** mutants that still validated *)
+  mutable skips : int;
+  mutable violations : int;
+}
+
+let fresh_stats () =
+  { gen_cases = 0; mut_cases = 0; mut_decoded = 0; mut_valid = 0; skips = 0; violations = 0 }
+
+(* generator cases use the index directly; mutation cases are offset so
+   the two streams never share a per-case RNG *)
+let mut_index_base = 0x4000_0000
+
+(** {1 Case construction} *)
+
+let gen_case ~seed ~index : Gen.info =
+  Gen.generate (Rng.for_case ~seed ~index)
+
+(** A mutated binary: a fresh small generated module, encoded, then
+    structure-aware mutated — all from the case's own RNG. *)
+let mut_case ~seed ~index : string =
+  let rng = Rng.for_case ~seed ~index:(mut_index_base + index) in
+  let base = Encode.encode (Gen.generate rng).Gen.module_ in
+  Mutate.mutate rng base
+
+(** {1 Oracles per case} *)
+
+(** First violation of the generated-module pipeline, or the skip/pass
+    disposition. *)
+let check_generated (info : Gen.info) : [ `Pass | `Skip | `Fail of string * string ] =
+  let m = info.Gen.module_ in
+  match Oracle.validate_total m with
+  | Error crash -> `Fail ("totality-validate", crash)
+  | Ok false -> `Fail ("gen-invalid", "generator produced an invalid module")
+  | Ok true ->
+    (match Oracle.round_trip_generated m with
+     | Oracle.Violation { kind; detail } -> `Fail (kind, detail)
+     | Oracle.Skip _ | Oracle.Pass ->
+       (match Oracle.differential info with
+        | Oracle.Violation { kind; detail } -> `Fail (kind, detail)
+        | Oracle.Skip _ -> `Skip
+        | Oracle.Pass -> `Pass))
+
+(** The mutated-binary pipeline: totality of decode; then, as far as the
+    mutant remains meaningful, validate / round-trip / execute. Returns
+    the depth reached so the campaign can report corpus quality. *)
+let check_mutated (bin : string) : [ `Pass of [ `Rejected | `Decoded | `Valid ] | `Skip | `Fail of string * string ] =
+  match Oracle.decode_total bin with
+  | Error crash -> `Fail ("totality-decode", crash)
+  | Ok None -> `Pass `Rejected
+  | Ok (Some m) ->
+    (match Oracle.validate_total m with
+     | Error crash -> `Fail ("totality-validate", crash)
+     | Ok false -> `Pass `Decoded
+     | Ok true ->
+       (match Oracle.round_trip_bytes m with
+        | Oracle.Violation { kind; detail } -> `Fail (kind, detail)
+        | Oracle.Skip _ | Oracle.Pass ->
+          (match Oracle.execution_total m with
+           | Oracle.Violation { kind; detail } -> `Fail (kind, detail)
+           | Oracle.Skip _ -> `Skip
+           | Oracle.Pass -> `Pass `Valid)))
+
+(** {1 Minimization}
+
+    Greedy ddmin-style chunk removal: repeatedly try deleting windows of
+    shrinking size, keeping any deletion that preserves the violation
+    kind. Bounded by an evaluation budget — minimization is best-effort
+    triage help, not a guarantee. *)
+
+let minimize_budget = 400
+
+let violation_kind bin =
+  match check_mutated bin with `Fail (kind, _) -> Some kind | _ -> None
+
+let minimize (bin : string) : string option =
+  match violation_kind bin with
+  | None -> None
+  | Some kind ->
+    let evals = ref 0 in
+    let still_fails cand =
+      incr evals;
+      !evals <= minimize_budget && violation_kind cand = Some kind
+    in
+    let remove s at len =
+      String.sub s 0 at ^ String.sub s (at + len) (String.length s - at - len)
+    in
+    let cur = ref bin in
+    let chunk = ref (max 1 (String.length bin / 2)) in
+    while !chunk >= 1 && !evals <= minimize_budget do
+      let progress = ref false in
+      let pos = ref 0 in
+      while !pos < String.length !cur && !evals <= minimize_budget do
+        let len = min !chunk (String.length !cur - !pos) in
+        let cand = remove !cur !pos len in
+        if String.length cand < String.length !cur && still_fails cand then begin
+          cur := cand;
+          progress := true
+          (* keep [pos]: the next window slid into place *)
+        end
+        else pos := !pos + len
+      done;
+      if not !progress then chunk := !chunk / 2
+    done;
+    if String.length !cur < String.length bin then Some !cur else None
+
+(** {1 Failure reporting} *)
+
+let write_file path data =
+  let oc = open_out_bin path in
+  Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () -> output_string oc data)
+
+let dump_failure ~out_dir (f : failure) =
+  match out_dir with
+  | None -> ()
+  | Some dir ->
+    if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+    let stem = Printf.sprintf "%s/failure-%s-seed%d-case%d" dir (kind_name f.case) f.seed f.index in
+    write_file (stem ^ ".wasm") f.input;
+    (match f.minimized with Some m -> write_file (stem ^ ".min.wasm") m | None -> ());
+    write_file (stem ^ ".txt")
+      (Printf.sprintf "case: %s\nseed: %d\nindex: %d\noracle: %s\ndetail: %s\nreplay: wasabi fuzz --seed %d --replay %s:%d\n"
+         (kind_name f.case) f.seed f.index f.oracle f.detail f.seed (kind_name f.case) f.index)
+
+(** {1 The campaign} *)
+
+let default_seed = 0x5EED
+
+let run ?(log = fun (_ : string) -> ()) ?out_dir ~seed ~gen_count ~mut_count () :
+  stats * failure list =
+  let stats = fresh_stats () in
+  let failures = ref [] in
+  let record case index oracle detail input minimized =
+    stats.violations <- stats.violations + 1;
+    let f = { case; seed; index; oracle; detail; input; minimized } in
+    failures := f :: !failures;
+    dump_failure ~out_dir f;
+    log
+      (Printf.sprintf "FAIL [%s] (seed %d, index %d): %s — %s" oracle seed index
+         (kind_name case) detail)
+  in
+  for index = 0 to gen_count - 1 do
+    stats.gen_cases <- stats.gen_cases + 1;
+    let info = gen_case ~seed ~index in
+    (match check_generated info with
+     | `Pass -> ()
+     | `Skip -> stats.skips <- stats.skips + 1
+     | `Fail (oracle, detail) ->
+       record Generated index oracle detail (Encode.encode info.Gen.module_) None);
+    if (index + 1) mod 1000 = 0 then log (Printf.sprintf "gen: %d/%d" (index + 1) gen_count)
+  done;
+  for index = 0 to mut_count - 1 do
+    stats.mut_cases <- stats.mut_cases + 1;
+    let bin = mut_case ~seed ~index in
+    (match check_mutated bin with
+     | `Pass `Rejected -> ()
+     | `Pass `Decoded -> stats.mut_decoded <- stats.mut_decoded + 1
+     | `Pass `Valid ->
+       stats.mut_decoded <- stats.mut_decoded + 1;
+       stats.mut_valid <- stats.mut_valid + 1
+     | `Skip -> stats.skips <- stats.skips + 1
+     | `Fail (oracle, detail) -> record Mutated index oracle detail bin (minimize bin));
+    if (index + 1) mod 1000 = 0 then log (Printf.sprintf "mut: %d/%d" (index + 1) mut_count)
+  done;
+  (stats, List.rev !failures)
+
+(** Re-run a single case; returns a human-readable disposition. *)
+let replay ~seed ~index (case : case_kind) : string =
+  match case with
+  | Generated ->
+    let info = gen_case ~seed ~index in
+    (match check_generated info with
+     | `Pass -> "pass"
+     | `Skip -> "skip (base run exhausted its fuel)"
+     | `Fail (oracle, detail) -> Printf.sprintf "FAIL [%s]: %s" oracle detail)
+  | Mutated ->
+    let bin = mut_case ~seed ~index in
+    (match check_mutated bin with
+     | `Pass `Rejected -> "pass (mutant rejected by decoder)"
+     | `Pass `Decoded -> "pass (mutant decoded, rejected by validation)"
+     | `Pass `Valid -> "pass (mutant fully valid and executed)"
+     | `Skip -> "skip (oversized memory/table)"
+     | `Fail (oracle, detail) -> Printf.sprintf "FAIL [%s]: %s" oracle detail)
+
+let summary (s : stats) =
+  Printf.sprintf
+    "%d generated + %d mutated cases: %d violations, %d skips (mutants: %d decoded, %d valid)"
+    s.gen_cases s.mut_cases s.violations s.skips s.mut_decoded s.mut_valid

@@ -1,0 +1,184 @@
+(** Structure-aware mutation of encoded Wasm binaries.
+
+    A mutation round first tries to parse the top-level section skeleton
+    (magic/version, then a list of [id, LEB size, payload] spans) and
+    then applies 1–4 stacked mutations, mixing blind byte-level noise
+    (bit flips, inserts, deletes, truncation) with structural edits that
+    byte noise almost never reaches: duplicating / deleting / swapping
+    whole sections, rewriting a section's size field, re-encoding a
+    LEB128 as a semantically identical over-long form, and corrupting
+    index bytes inside a specific section (e.g. type indices in the
+    function section). If the skeleton doesn't parse (e.g. the input is
+    already heavily mutated), only byte-level mutations apply. *)
+
+type section = {
+  hdr_start : int;  (** offset of the id byte *)
+  payload_start : int;
+  payload_len : int;
+}
+
+let header_len = 8
+
+(** Best-effort span parse; returns [] when the skeleton is broken. *)
+let sections (bin : string) : section list =
+  let n = String.length bin in
+  let rec leb pos shift acc =
+    if pos >= n || shift > 28 then None
+    else
+      let b = Char.code bin.[pos] in
+      let acc = acc lor ((b land 0x7F) lsl shift) in
+      if b land 0x80 = 0 then Some (acc, pos + 1) else leb (pos + 1) (shift + 7) acc
+  in
+  let rec go pos acc =
+    if pos >= n then List.rev acc
+    else
+      match leb (pos + 1) 0 0 with
+      | None -> List.rev acc
+      | Some (size, payload_start) ->
+        if payload_start + size > n then List.rev acc
+        else
+          go (payload_start + size)
+            ({ hdr_start = pos; payload_start; payload_len = size } :: acc)
+  in
+  if n < header_len then [] else go header_len []
+
+let splice bin ~at ~remove ~insert =
+  String.sub bin 0 at ^ insert ^ String.sub bin (at + remove) (String.length bin - at - remove)
+
+let encode_uleb v =
+  let buf = Buffer.create 5 in
+  let rec go v =
+    let b = v land 0x7F and rest = v lsr 7 in
+    if rest = 0 then Buffer.add_char buf (Char.chr b)
+    else begin
+      Buffer.add_char buf (Char.chr (b lor 0x80));
+      go rest
+    end
+  in
+  go v;
+  Buffer.contents buf
+
+(* byte-level mutations: applicable to anything *)
+
+let bit_flip rng bin =
+  if String.length bin = 0 then bin
+  else
+    let i = Rng.int rng (String.length bin) in
+    let b = Char.code bin.[i] lxor (1 lsl Rng.int rng 8) in
+    splice bin ~at:i ~remove:1 ~insert:(String.make 1 (Char.chr b))
+
+let byte_set rng bin =
+  if String.length bin = 0 then bin
+  else
+    let i = Rng.int rng (String.length bin) in
+    splice bin ~at:i ~remove:1 ~insert:(String.make 1 (Char.chr (Rng.int rng 256)))
+
+let byte_insert rng bin =
+  let i = Rng.int rng (String.length bin + 1) in
+  splice bin ~at:i ~remove:0 ~insert:(String.make 1 (Char.chr (Rng.int rng 256)))
+
+let byte_delete rng bin =
+  if String.length bin = 0 then bin
+  else splice bin ~at:(Rng.int rng (String.length bin)) ~remove:1 ~insert:""
+
+let truncate rng bin =
+  if String.length bin = 0 then bin else String.sub bin 0 (Rng.int rng (String.length bin))
+
+(* structural mutations: need a parsed section skeleton *)
+
+let section_span s =
+  (s.hdr_start, s.payload_start + s.payload_len - s.hdr_start)
+
+let dup_section rng bin secs =
+  let s = Rng.choose_list rng secs in
+  let at, len = section_span s in
+  let sec = String.sub bin at len in
+  (* reinsert at a section boundary (possibly out of order) *)
+  let bounds = header_len :: List.map (fun s -> s.hdr_start) secs in
+  let ins = Rng.choose_list rng bounds in
+  splice bin ~at:ins ~remove:0 ~insert:sec
+
+let del_section rng bin secs =
+  let s = Rng.choose_list rng secs in
+  let at, len = section_span s in
+  splice bin ~at ~remove:len ~insert:""
+
+let swap_sections rng bin secs =
+  match secs with
+  | [] | [ _ ] -> bin
+  | _ ->
+    let a = Rng.choose_list rng secs and b = Rng.choose_list rng secs in
+    if a.hdr_start = b.hdr_start then bin
+    else
+      let a, b = if a.hdr_start < b.hdr_start then (a, b) else (b, a) in
+      let a_at, a_len = section_span a and b_at, b_len = section_span b in
+      let sa = String.sub bin a_at a_len and sb = String.sub bin b_at b_len in
+      String.sub bin 0 a_at ^ sb
+      ^ String.sub bin (a_at + a_len) (b_at - a_at - a_len)
+      ^ sa
+      ^ String.sub bin (b_at + b_len) (String.length bin - b_at - b_len)
+
+(** Rewrite a section's size LEB to a wrong value (too small, too large,
+    or enormous) without touching the payload. *)
+let resize_section rng bin secs =
+  let s = Rng.choose_list rng secs in
+  let leb_at = s.hdr_start + 1 in
+  let leb_len = s.payload_start - leb_at in
+  let forged =
+    match Rng.int rng 4 with
+    | 0 -> encode_uleb (s.payload_len + 1 + Rng.int rng 64)
+    | 1 -> encode_uleb (max 0 (s.payload_len - 1 - Rng.int rng (max 1 s.payload_len)))
+    | 2 -> encode_uleb 0xFFFF_FFF
+    | _ -> "\xFF\xFF\xFF\xFF\x7F" (* 5-byte maximal LEB *)
+  in
+  splice bin ~at:leb_at ~remove:leb_len ~insert:forged
+
+(** Re-encode some single-byte LEB (a byte < 0x80 inside a section
+    payload) as the over-long two-byte form of the same value: exercises
+    the decoder's over-long handling without changing meaning. *)
+let overlong_leb rng bin secs =
+  let s = Rng.choose_list rng secs in
+  if s.payload_len = 0 then bin
+  else
+    let i = s.payload_start + Rng.int rng s.payload_len in
+    let b = Char.code bin.[i] in
+    if b land 0x80 <> 0 then bin
+    else splice bin ~at:i ~remove:1 ~insert:(String.init 2 (function 0 -> Char.chr (b lor 0x80) | _ -> '\x00'))
+
+(** Corrupt one byte inside a section payload — with the skeleton intact
+    this reaches indices (type/func/local) far more often than blind
+    byte noise over the whole file. *)
+let corrupt_payload rng bin secs =
+  let s = Rng.choose_list rng secs in
+  if s.payload_len = 0 then bin
+  else
+    let i = s.payload_start + Rng.int rng s.payload_len in
+    let forged =
+      match Rng.int rng 3 with
+      | 0 -> Char.chr (Rng.int rng 256)
+      | 1 -> '\xFF'
+      | _ -> Char.chr ((Char.code bin.[i] + 1) land 0xFF)
+    in
+    splice bin ~at:i ~remove:1 ~insert:(String.make 1 forged)
+
+let mutate_once rng bin =
+  let secs = sections bin in
+  let structural = secs <> [] in
+  match Rng.int rng (if structural then 11 else 5) with
+  | 0 -> bit_flip rng bin
+  | 1 -> byte_set rng bin
+  | 2 -> byte_insert rng bin
+  | 3 -> byte_delete rng bin
+  | 4 -> truncate rng bin
+  | 5 -> dup_section rng bin secs
+  | 6 -> del_section rng bin secs
+  | 7 -> swap_sections rng bin secs
+  | 8 -> resize_section rng bin secs
+  | 9 -> overlong_leb rng bin secs
+  | _ -> corrupt_payload rng bin secs
+
+(** Apply 1–4 stacked mutations. *)
+let mutate rng bin =
+  let rounds = Rng.range rng 1 4 in
+  let rec go n bin = if n = 0 then bin else go (n - 1) (mutate_once rng bin) in
+  go rounds bin

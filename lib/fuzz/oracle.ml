@@ -1,0 +1,270 @@
+(** The three fuzzing oracles: totality, round-trip, differential
+    equivalence (paper, Section 4.2's observational-equivalence claim,
+    turned into an executable property).
+
+    {b Totality}: feeding any byte string through decode (and, when it
+    decodes, validate / instantiate / execute) may only raise the
+    structured taxonomy exceptions ({!Error.classify} returns [Some]).
+    [Stack_overflow], [Invalid_argument], [Out_of_memory], [Failure] or
+    any other escape is a violation.
+
+    {b Round-trip}: [decode (encode m) = m] for generated modules
+    (structurally — the generator emits no NaN constants, so [=] is
+    exact), and [encode ∘ decode] is idempotent on the bytes of any
+    mutated binary that still decodes.
+
+    {b Differential equivalence}: executing a generated module
+    uninstrumented and instrumented (all hook groups, the no-op
+    {!Wasabi.Analysis.default}) must produce the same result values, the
+    same trap, and the same final memory and exported globals. The
+    instrumented run gets its fuel scaled by {!hook_fuel_scale}; when the
+    {e base} run already exhausts its fuel the case is skipped (the two
+    executions are then cut off at incomparable points). *)
+
+open Wasm
+
+type verdict =
+  | Pass
+  | Skip of string  (** oracle not applicable to this case *)
+  | Violation of { kind : string; detail : string }
+
+let base_fuel = 100_000
+let hook_fuel_scale = 1024
+
+(* execution gates for arbitrary (mutated) valid modules: keep
+   adversarial resource claims from slowing the campaign down — these
+   are skips, not failures *)
+let max_exec_memory_pages = 64
+let max_exec_table_size = 65_536
+
+let violation kind fmt = Printf.ksprintf (fun detail -> Violation { kind; detail }) fmt
+
+(** Run [f]; a structured failure is data, anything else a crash (the
+    crash string includes a backtrace when the runtime records them). *)
+let guarded f =
+  match f () with
+  | v -> Ok (Ok v)
+  | exception e ->
+    (match Error.classify e with
+     | Some err -> Ok (Error err)
+     | None ->
+       let bt = Printexc.get_backtrace () in
+       Error (Printexc.to_string e ^ if bt = "" then "" else "\n" ^ bt))
+
+(** {1 Totality} *)
+
+let decode_total (bin : string) : (Ast.module_ option, string) result =
+  match guarded (fun () -> Decode.decode bin) with
+  | Ok (Ok m) -> Ok (Some m)
+  | Ok (Error _) -> Ok None
+  | Error crash -> Error crash
+
+let validate_total (m : Ast.module_) : (bool, string) result =
+  match guarded (fun () -> Validate.validate_module m) with
+  | Ok (Ok ()) -> Ok true
+  | Ok (Error _) -> Ok false
+  | Error crash -> Error crash
+
+(** {1 Round-trip} *)
+
+let round_trip_generated (m : Ast.module_) : verdict =
+  match guarded (fun () -> Decode.decode (Encode.encode m)) with
+  | Ok (Ok m') ->
+    if m' = m then Pass
+    else violation "round-trip" "decode (encode m) differs structurally from m"
+  | Ok (Error err) -> violation "round-trip" "re-decode rejected: %s" (Error.to_string err)
+  | Error crash -> violation "totality-decode" "re-decode crashed: %s" crash
+
+(** Byte idempotence for a decoded-from-mutation module: encoding, then
+    decoding, then encoding again must reproduce the first encoding. *)
+let round_trip_bytes (m : Ast.module_) : verdict =
+  match guarded (fun () -> Encode.encode m) with
+  | Error crash -> violation "totality-encode" "encode crashed: %s" crash
+  | Ok (Error err) -> violation "totality-encode" "encode raised taxonomy error: %s" (Error.to_string err)
+  | Ok (Ok bytes1) ->
+    (match guarded (fun () -> Encode.encode (Decode.decode bytes1)) with
+     | Ok (Ok bytes2) ->
+       if String.equal bytes1 bytes2 then Pass
+       else violation "round-trip" "encode/decode/encode is not idempotent"
+     | Ok (Error err) ->
+       violation "round-trip" "own encoding rejected: %s" (Error.to_string err)
+     | Error crash -> violation "totality-decode" "re-decode crashed: %s" crash)
+
+(** {1 Execution} *)
+
+type run_result = {
+  outcome : (Value.t list, Error.t) result;
+  mem_digest : string option;  (** MD5 of final memory, when exported *)
+  globals : (string * Value.t) list;  (** exported globals, post-run *)
+}
+
+let exported_globals (m : Ast.module_) =
+  List.filter_map
+    (fun (e : Ast.export) -> match e.edesc with Ast.GlobalExport _ -> Some e.name | _ -> None)
+    m.exports
+
+let exports_memory (m : Ast.module_) name =
+  List.exists
+    (fun (e : Ast.export) -> match e.edesc with Ast.MemoryExport _ -> e.name = name | _ -> false)
+    m.exports
+
+let snapshot (m : Ast.module_) (inst : Interp.instance) outcome : run_result =
+  let mem_digest =
+    if exports_memory m "mem" then
+      let mem = Interp.export_memory inst "mem" in
+      Some (Digest.string (Memory.to_string mem ~at:0 ~len:(Memory.size_bytes mem)))
+    else None
+  in
+  let globals =
+    List.map (fun n -> (n, (Interp.export_global inst n).Interp.g_value)) (exported_globals m)
+  in
+  { outcome; mem_digest; globals }
+
+(** Instantiate and call [run]; crashes surface as [Error crash]. *)
+let run_plain (m : Ast.module_) ~fuel : (run_result, string) result =
+  match
+    guarded (fun () ->
+      let inst = Interp.instantiate ~fuel ~imports:[] m in
+      let vs = Interp.invoke_export inst "run" [] in
+      (inst, vs))
+  with
+  | Error crash -> Error crash
+  | Ok (Ok (inst, vs)) -> Ok (snapshot m inst (Ok vs))
+  | Ok (Error err) ->
+    (* the instance is lost when instantiation itself failed; traps
+       during [run] need the post-trap state, so re-run in two phases *)
+    (match
+       guarded (fun () ->
+         let inst = Interp.instantiate ~fuel ~imports:[] m in
+         (try ignore (Interp.invoke_export inst "run" []) with _ -> ());
+         inst)
+     with
+     | Ok (Ok inst) -> Ok (snapshot m inst (Error err))
+     | _ -> Ok { outcome = Error err; mem_digest = None; globals = [] })
+
+let run_instrumented (m : Ast.module_) ~fuel : (run_result, string) result =
+  match
+    guarded (fun () ->
+      let res = Wasabi.Instrument.instrument m in
+      let inst, _rt = Wasabi.Runtime.instantiate ~fuel res Wasabi.Analysis.default in
+      let vs = Interp.invoke_export inst "run" [] in
+      (inst, vs))
+  with
+  | Error crash -> Error crash
+  | Ok (Ok (inst, vs)) -> Ok (snapshot m inst (Ok vs))
+  | Ok (Error err) ->
+    (match
+       guarded (fun () ->
+         let res = Wasabi.Instrument.instrument m in
+         let inst, _rt = Wasabi.Runtime.instantiate ~fuel res Wasabi.Analysis.default in
+         (try ignore (Interp.invoke_export inst "run" []) with _ -> ());
+         inst)
+     with
+     | Ok (Ok inst) -> Ok (snapshot m inst (Error err))
+     | _ -> Ok { outcome = Error err; mem_digest = None; globals = [] })
+
+let string_of_outcome = function
+  | Ok vs -> "values [" ^ String.concat "; " (List.map Value.to_string vs) ^ "]"
+  | Error (e : Error.t) -> Error.to_string e
+
+let outcomes_agree a b =
+  match a, b with
+  | Ok va, Ok vb -> List.length va = List.length vb && List.for_all2 Value.equal va vb
+  | Error (ea : Error.t), Error (eb : Error.t) ->
+    ea.Error.phase = eb.Error.phase && ea.Error.code = eb.Error.code
+    && ea.Error.message = eb.Error.message
+  | _ -> false
+
+let is_out_of_fuel = function
+  | Error (e : Error.t) -> e.Error.code = "out-of-fuel"
+  | Ok _ -> false
+
+let engine_bug = function
+  | Error (e : Error.t) when Error.is_engine_bug e -> true
+  | _ -> false
+
+(** The differential oracle for a generated module. *)
+let differential (info : Gen.info) : verdict =
+  let m = info.Gen.module_ in
+  match run_plain m ~fuel:base_fuel with
+  | Error crash -> violation "totality-exec" "uninstrumented run crashed: %s" crash
+  | Ok base ->
+    if engine_bug base.outcome then
+      violation "engine-bug" "uninstrumented run: %s" (string_of_outcome base.outcome)
+    else if is_out_of_fuel base.outcome then Skip "base-exhausted"
+    else (
+      match run_instrumented m ~fuel:(base_fuel * hook_fuel_scale) with
+      | Error crash -> violation "totality-exec" "instrumented run crashed: %s" crash
+      | Ok instr ->
+        if engine_bug instr.outcome then
+          violation "engine-bug" "instrumented run: %s" (string_of_outcome instr.outcome)
+        else if not (outcomes_agree base.outcome instr.outcome) then
+          violation "differential" "outcome diverged: base %s vs instrumented %s"
+            (string_of_outcome base.outcome) (string_of_outcome instr.outcome)
+        else if base.mem_digest <> instr.mem_digest then
+          violation "differential" "final memory diverged"
+        else (
+          let diverged =
+            List.filter
+              (fun (n, v) ->
+                 match List.assoc_opt n instr.globals with
+                 | Some v' -> not (Value.equal v v')
+                 | None -> true)
+              base.globals
+          in
+          match diverged with
+          | [] -> Pass
+          | (n, v) :: _ ->
+            let v' =
+              match List.assoc_opt n instr.globals with
+              | Some v' -> Value.to_string v'
+              | None -> "<missing>"
+            in
+            violation "differential" "global %s diverged: base %s vs instrumented %s" n
+              (Value.to_string v) v'))
+
+(** Execution totality for an arbitrary valid module (mutation pipeline):
+    instantiating with no imports and invoking the first nullary exported
+    function may fail only inside the taxonomy. Modules whose declared
+    memory/table would make execution needlessly expensive are skipped,
+    not failed. *)
+let execution_total (m : Ast.module_) : verdict =
+  let big_memory =
+    List.exists (fun (mt : Types.memory_type) -> mt.Types.mem_limits.Types.lim_min > max_exec_memory_pages) m.memories
+    || List.exists
+         (fun (i : Ast.import) ->
+            match i.Ast.idesc with
+            | Ast.MemoryImport mt -> mt.Types.mem_limits.Types.lim_min > max_exec_memory_pages
+            | _ -> false)
+         m.imports
+  in
+  let big_table =
+    List.exists (fun (tt : Types.table_type) -> tt.Types.tbl_limits.Types.lim_min > max_exec_table_size) m.tables
+  in
+  if big_memory || big_table then Skip "oversized-memory-or-table"
+  else (
+    let nullary_export =
+      (* the first exported function whose type takes no parameters *)
+      let n_imported = Ast.num_imported_funcs m in
+      List.find_map
+        (fun (e : Ast.export) ->
+           match e.Ast.edesc with
+           | Ast.FuncExport i when i >= n_imported ->
+             (match List.nth_opt m.funcs (i - n_imported) with
+              | Some f ->
+                (match List.nth_opt m.types f.Ast.ftype with
+                 | Some ft when ft.Types.params = [] -> Some e.Ast.name
+                 | _ -> None)
+              | None -> None)
+           | _ -> None)
+        m.exports
+    in
+    match
+      guarded (fun () ->
+        let inst = Interp.instantiate ~fuel:base_fuel ~imports:[] m in
+        match nullary_export with
+        | Some name -> ignore (Interp.invoke_export inst name [])
+        | None -> ())
+    with
+    | Ok _ -> Pass
+    | Error crash -> violation "totality-exec" "execution crashed: %s" crash)

@@ -1,0 +1,54 @@
+(** Deterministic PRNG for the fuzzing harness: splitmix64.
+
+    [Random.State] would work, but its stream is only specified per OCaml
+    release; splitmix64 gives bit-identical case generation across
+    compiler versions, so a [(seed, index)] pair in a bug report replays
+    forever. Each fuzz case derives its own generator from the campaign
+    seed and the case index ({!for_case}), so cases are independent of
+    how many random draws their predecessors made. *)
+
+type t = { mutable state : int64 }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let next t =
+  t.state <- Int64.add t.state golden;
+  mix t.state
+
+let create seed = { state = mix (Int64.of_int seed) }
+
+(** Generator for case [index] of the campaign started from [seed]. *)
+let for_case ~seed ~index =
+  { state = mix (Int64.add (mix (Int64.of_int seed)) (Int64.of_int index)) }
+
+let bits64 t = next t
+let int32 t = Int64.to_int32 (next t)
+
+(** Uniform-ish in [\[0, n)]; modulo bias is irrelevant at fuzzing scale. *)
+let int t n =
+  if n <= 0 then invalid_arg "Rng.int: bound must be positive";
+  Int64.to_int (Int64.unsigned_rem (next t) (Int64.of_int n))
+
+(** Inclusive range. *)
+let range t lo hi = lo + int t (hi - lo + 1)
+
+let bool t = Int64.logand (next t) 1L = 1L
+
+(** [true] with probability [pct]/100. *)
+let chance t pct = int t 100 < pct
+
+let choose t arr = arr.(int t (Array.length arr))
+let choose_list t l = List.nth l (int t (List.length l))
+
+(** Small ints with a bias toward interesting boundary values. *)
+let interesting_i32 = [| 0l; 1l; -1l; 2l; 7l; 127l; 128l; 255l; 256l; 0x7FFFFFFFl; 0x80000000l; 0xFFFFl |]
+let interesting_i64 =
+  [| 0L; 1L; -1L; 2L; 255L; 0x7FFFFFFFL; 0x80000000L; 0x7FFFFFFFFFFFFFFFL; 0x8000000000000000L |]
+
+let i32_const t = if chance t 50 then choose t interesting_i32 else int32 t
+let i64_const t = if chance t 50 then choose t interesting_i64 else bits64 t

@@ -159,8 +159,11 @@ let dispatch rt (spec : Hook.spec) : Value.t list -> Value.t list =
        a.br_table loc targets default idx;
        (* the blocks ended by the selected entry, known only at runtime *)
        if Hook.Group_set.mem Hook.G_end rt.metadata.Metadata.groups then begin
+         (* the index is an unsigned i32: negative here means >= 2^31,
+            which is out of range and takes the default *)
          let _, ended =
-           if idx < Array.length info.Metadata.bt_targets then info.Metadata.bt_targets.(idx)
+           if idx >= 0 && idx < Array.length info.Metadata.bt_targets then
+             info.Metadata.bt_targets.(idx)
            else info.Metadata.bt_default
          in
          List.iter

@@ -1,22 +1,50 @@
-(** Parsing of the WebAssembly binary format (MVP, version 1). *)
+(** Parsing of the WebAssembly binary format (MVP, version 1).
+
+    Decoding is a hardened, total function over arbitrary byte strings:
+    every failure raises the structured {!Decode_error} (with a stable
+    taxonomy code and the byte offset of the offending input) — never
+    [Stack_overflow], [Invalid_argument], [Out_of_memory] or an uncaught
+    [Failure]. Attacker-controlled counts are clamped against the
+    remaining input before any allocation ({!limits}), and block nesting
+    and per-function local counts are bounded. *)
 
 open Types
 open Ast
 
-exception Decode_error of string
+exception Decode_error = Error.Decode_error
 
-let error fmt = Printf.ksprintf (fun s -> raise (Decode_error s)) fmt
+(** Decode-time resource limits: graceful degradation on adversarial
+    inputs. The defaults are far above anything a legitimate MVP module
+    produces but small enough that rejection happens before any
+    pathological allocation. *)
+type limits = {
+  max_nesting : int;  (** deepest block/loop/if nesting inside one body *)
+  max_locals : int;  (** declared locals per function (spec impl. limit) *)
+  max_items : int;  (** hard cap on any single vector length *)
+}
+
+let default_limits = { max_nesting = 1_024; max_locals = 50_000; max_items = 2_000_000 }
 
 type stream = {
   src : string;
   pos : int ref;
+  lim : limits;
 }
 
-let stream src = { src; pos = ref 0 }
+let stream ?(limits = default_limits) src = { src; pos = ref 0; lim = limits }
 let eos s = !(s.pos) >= String.length s.src
+let remaining s = String.length s.src - !(s.pos)
+
+let error_at off code fmt =
+  Printf.ksprintf
+    (fun message ->
+       raise (Decode_error { Error.phase = Error.Decode; code; offset = Some off; message }))
+    fmt
+
+let error s code fmt = error_at !(s.pos) code fmt
 
 let byte s =
-  if eos s then error "unexpected end of input at offset %d" !(s.pos);
+  if eos s then error s "unexpected-eof" "unexpected end of input";
   let b = Char.code s.src.[!(s.pos)] in
   incr s.pos;
   b
@@ -24,15 +52,24 @@ let byte s =
 let peek s = if eos s then None else Some (Char.code s.src.[!(s.pos)])
 
 let take s n =
-  if !(s.pos) + n > String.length s.src then error "unexpected end of input";
+  if n < 0 || n > remaining s then error s "unexpected-eof" "unexpected end of input";
   let str = String.sub s.src !(s.pos) n in
   s.pos := !(s.pos) + n;
   str
 
-let _u32 s = try Leb128.read_u32 s.src s.pos with Leb128.Overflow m -> error "%s" m
-let uint s = try Leb128.read_uint s.src s.pos with Leb128.Overflow m -> error "%s" m
-let s32 s = try Leb128.read_s32 s.src s.pos with Leb128.Overflow m -> error "%s" m
-let s64 s = try Leb128.read_s64 s.src s.pos with Leb128.Overflow m -> error "%s" m
+(* LEB128 readers: [Leb128.Overflow] signals an over-long or out-of-range
+   encoding, [Invalid_argument] a truncated one; both become structured
+   decode errors here, anchored at the integer's first byte. *)
+let leb reader s =
+  let off = !(s.pos) in
+  try reader s.src s.pos with
+  | Leb128.Overflow m -> error_at off "malformed-leb128" "%s" m
+  | Invalid_argument _ -> error_at off "unexpected-eof" "unexpected end of input in LEB128"
+
+let uint s = leb Leb128.read_uint s
+let s32 s = leb Leb128.read_s32 s
+let s64 s = leb Leb128.read_s64 s
+let _u32 s = leb Leb128.read_u32 s
 
 let f32_bits s =
   let b = take s 4 in
@@ -54,9 +91,26 @@ let name s =
   let n = uint s in
   take s n
 
-let vec s f =
+(** Read a vector header and check the claimed length against the
+    remaining input {e before} materialising anything: every element of
+    every MVP vector consumes at least one byte, so a count larger than
+    the bytes left is malformed regardless of the element type. This is
+    what keeps a 5-byte file from requesting a multi-gigabyte list. *)
+let vec_len s =
+  let off = !(s.pos) in
   let n = uint s in
-  List.init n (fun _ -> f s)
+  if n > remaining s then
+    error_at off "vec-too-long" "vector of %d elements exceeds the %d bytes of remaining input"
+      n (remaining s);
+  if n > s.lim.max_items then
+    error_at off "vec-too-long" "vector of %d elements exceeds the decoder limit of %d"
+      n s.lim.max_items;
+  n
+
+let vec s f =
+  let n = vec_len s in
+  let rec go i acc = if i = 0 then List.rev acc else go (i - 1) (f s :: acc) in
+  go n []
 
 let value_type s =
   match byte s with
@@ -64,21 +118,21 @@ let value_type s =
   | 0x7E -> I64T
   | 0x7D -> F32T
   | 0x7C -> F64T
-  | b -> error "invalid value type 0x%02X" b
+  | b -> error_at (!(s.pos) - 1) "bad-value-type" "invalid value type 0x%02X" b
 
 let block_type s =
   match peek s with
   | Some 0x40 -> ignore (byte s); None
   | _ -> Some (value_type s)
 
-let limits s =
+let limits_ s =
   match byte s with
   | 0x00 -> { lim_min = uint s; lim_max = None }
   | 0x01 ->
     let min = uint s in
     let max = uint s in
     { lim_min = min; lim_max = Some max }
-  | b -> error "invalid limits flag 0x%02X" b
+  | b -> error_at (!(s.pos) - 1) "bad-limits-flag" "invalid limits flag 0x%02X" b
 
 let global_type s =
   let content = value_type s in
@@ -86,14 +140,14 @@ let global_type s =
     match byte s with
     | 0x00 -> Immutable
     | 0x01 -> Mutable
-    | b -> error "invalid mutability 0x%02X" b
+    | b -> error_at (!(s.pos) - 1) "bad-mutability" "invalid mutability 0x%02X" b
   in
   { content; mutability }
 
 let func_type s =
   (match byte s with
    | 0x60 -> ()
-   | b -> error "invalid function type tag 0x%02X" b);
+   | b -> error_at (!(s.pos) - 1) "bad-functype-tag" "invalid function type tag 0x%02X" b);
   let params = vec s value_type in
   let results = vec s value_type in
   { params; results }
@@ -101,8 +155,8 @@ let func_type s =
 let table_type s =
   (match byte s with
    | 0x70 -> ()
-   | b -> error "invalid element type 0x%02X" b);
-  { tbl_limits = limits s }
+   | b -> error_at (!(s.pos) - 1) "bad-elemtype" "invalid element type 0x%02X" b);
+  { tbl_limits = limits_ s }
 
 let memarg s =
   let align = uint s in
@@ -138,7 +192,7 @@ let instr s : instr =
     let t = uint s in
     (match byte s with
      | 0x00 -> ()
-     | b -> error "non-zero table index 0x%02X in call_indirect" b);
+     | b -> error_at (!(s.pos) - 1) "nonzero-table-index" "non-zero table index 0x%02X in call_indirect" b);
     CallIndirect t
   | 0x1A -> Drop
   | 0x1B -> Select
@@ -173,11 +227,11 @@ let instr s : instr =
   | 0x3F ->
     (match byte s with
      | 0x00 -> MemorySize
-     | b -> error "non-zero memory index 0x%02X" b)
+     | b -> error_at (!(s.pos) - 1) "nonzero-memory-index" "non-zero memory index 0x%02X" b)
   | 0x40 ->
     (match byte s with
      | 0x00 -> MemoryGrow
-     | b -> error "non-zero memory index 0x%02X" b)
+     | b -> error_at (!(s.pos) - 1) "nonzero-memory-index" "non-zero memory index 0x%02X" b)
   | 0x41 -> Const (Value.I32 (s32 s))
   | 0x42 -> Const (Value.I64 (s64 s))
   | 0x43 -> Const (Value.F32 (f32_bits s))
@@ -248,19 +302,24 @@ let instr s : instr =
      | 5 -> Convert I64TruncSatF32U
      | 6 -> Convert I64TruncSatF64S
      | 7 -> Convert I64TruncSatF64U
-     | sub -> error "unknown 0xFC sub-opcode %d" sub)
-  | b -> error "invalid opcode 0x%02X at offset %d" b (!(s.pos) - 1)
+     | sub -> error s "bad-subopcode" "unknown 0xFC sub-opcode %d" sub)
+  | b -> error_at (!(s.pos) - 1) "bad-opcode" "invalid opcode 0x%02X at offset %d" b (!(s.pos) - 1)
 
 (** Read instructions until (and not including) the [End] that closes the
     expression; nested blocks keep their own [End]s. Returns the flat
-    instruction list, [End] consumed. *)
+    instruction list, [End] consumed. Nesting is bounded by
+    [limits.max_nesting]. *)
 let expr s =
   let rec go depth acc =
     let i = instr s in
     match i with
     | End when depth = 0 -> List.rev acc
     | End -> go (depth - 1) (i :: acc)
-    | Block _ | Loop _ | If _ -> go (depth + 1) (i :: acc)
+    | Block _ | Loop _ | If _ ->
+      if depth + 1 > s.lim.max_nesting then
+        error s "nesting-too-deep" "block nesting exceeds the decoder limit of %d"
+          s.lim.max_nesting;
+      go (depth + 1) (i :: acc)
     | _ -> go depth (i :: acc)
   in
   go 0 []
@@ -272,9 +331,9 @@ let import s =
     match byte s with
     | 0x00 -> FuncImport (uint s)
     | 0x01 -> TableImport (table_type s)
-    | 0x02 -> MemoryImport { mem_limits = limits s }
+    | 0x02 -> MemoryImport { mem_limits = limits_ s }
     | 0x03 -> GlobalImport (global_type s)
-    | b -> error "invalid import kind 0x%02X" b
+    | b -> error_at (!(s.pos) - 1) "bad-import-kind" "invalid import kind 0x%02X" b
   in
   { module_name; item_name; idesc }
 
@@ -286,21 +345,28 @@ let export s =
     | 0x01 -> TableExport (uint s)
     | 0x02 -> MemoryExport (uint s)
     | 0x03 -> GlobalExport (uint s)
-    | b -> error "invalid export kind 0x%02X" b
+    | b -> error_at (!(s.pos) - 1) "bad-export-kind" "invalid export kind 0x%02X" b
   in
   { name = nm; edesc }
 
 let code s =
   let size = uint s in
+  if size > remaining s then error s "unexpected-eof" "code entry size exceeds remaining input";
   let end_pos = !(s.pos) + size in
   let groups = vec s (fun s ->
     let n = uint s in
     let t = value_type s in
     (n, t))
   in
+  (* the group counts are attacker-controlled and independent of the
+     entry's byte size: bound their sum before expanding to a list *)
+  let total = List.fold_left (fun acc (n, _) -> acc + n) 0 groups in
+  if total > s.lim.max_locals then
+    error s "too-many-locals" "%d declared locals exceed the decoder limit of %d" total
+      s.lim.max_locals;
   let locals = List.concat_map (fun (n, t) -> List.init n (fun _ -> t)) groups in
   let body = expr s in
-  if !(s.pos) <> end_pos then error "code entry size mismatch";
+  if !(s.pos) <> end_pos then error s "size-mismatch" "code entry size mismatch";
   (locals, body)
 
 let global s =
@@ -321,11 +387,12 @@ let data s =
   let dinit = take s n in
   { dmemory; doffset; dinit }
 
-(** Parse a complete binary module. Custom sections are skipped. *)
-let decode (bin : string) : module_ =
-  let s = stream bin in
-  if take s 4 <> "\x00asm" then error "bad magic number";
-  if take s 4 <> "\x01\x00\x00\x00" then error "unsupported version";
+(** Parse a complete binary module. Custom sections are skipped.
+    @raise Decode_error on any malformed input. *)
+let decode ?limits (bin : string) : module_ =
+  let s = stream ?limits bin in
+  if take s 4 <> "\x00asm" then error_at 0 "bad-magic" "bad magic number";
+  if take s 4 <> "\x01\x00\x00\x00" then error_at 4 "bad-version" "unsupported version";
   let m = ref empty_module in
   let func_type_indices = ref [] in
   let codes = ref [] in
@@ -333,9 +400,11 @@ let decode (bin : string) : module_ =
   while not (eos s) do
     let id = byte s in
     let size = uint s in
+    if size > remaining s then
+      error s "unexpected-eof" "section %d size %d exceeds remaining input" id size;
     let end_pos = !(s.pos) + size in
     if id <> 0 then begin
-      if id <= !last_id then error "out-of-order section id %d" id;
+      if id <= !last_id then error s "section-order" "out-of-order section id %d" id;
       last_id := id
     end;
     (match id with
@@ -344,18 +413,18 @@ let decode (bin : string) : module_ =
      | 2 -> m := { !m with imports = vec s import }
      | 3 -> func_type_indices := vec s uint
      | 4 -> m := { !m with tables = vec s table_type }
-     | 5 -> m := { !m with memories = vec s (fun s -> { mem_limits = limits s }) }
+     | 5 -> m := { !m with memories = vec s (fun s -> { mem_limits = limits_ s }) }
      | 6 -> m := { !m with globals = vec s global }
      | 7 -> m := { !m with exports = vec s export }
      | 8 -> m := { !m with start = Some (uint s) }
      | 9 -> m := { !m with elems = vec s elem }
      | 10 -> codes := vec s code
      | 11 -> m := { !m with datas = vec s data }
-     | _ -> error "invalid section id %d" id);
-    if !(s.pos) <> end_pos then error "section %d size mismatch" id
+     | _ -> error s "bad-section-id" "invalid section id %d" id);
+    if !(s.pos) <> end_pos then error s "size-mismatch" "section %d size mismatch" id
   done;
   if List.length !func_type_indices <> List.length !codes then
-    error "function and code section lengths disagree (%d vs %d)"
+    error s "func-code-mismatch" "function and code section lengths disagree (%d vs %d)"
       (List.length !func_type_indices) (List.length !codes);
   let funcs =
     List.map2

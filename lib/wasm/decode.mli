@@ -1,7 +1,24 @@
-(** Parsing of the WebAssembly binary format (MVP, version 1). *)
+(** Parsing of the WebAssembly binary format (MVP, version 1).
 
-exception Decode_error of string
+    Decoding is total over arbitrary byte strings: every failure raises
+    the structured {!Decode_error} (phase, stable code, byte offset) —
+    never [Stack_overflow], [Invalid_argument] or an uncaught [Failure].
+    Attacker-controlled counts are clamped against the remaining input
+    before allocation; nesting depth and per-function local counts are
+    bounded by {!limits}. *)
 
-val decode : string -> Ast.module_
+exception Decode_error of Error.t
+(** Rebinding of {!Error.Decode_error}: matching either name catches the
+    same exception. *)
+
+type limits = {
+  max_nesting : int;  (** deepest block/loop/if nesting inside one body *)
+  max_locals : int;  (** declared locals per function *)
+  max_items : int;  (** hard cap on any single vector length *)
+}
+
+val default_limits : limits
+
+val decode : ?limits:limits -> string -> Ast.module_
 (** Parse a complete binary module. Custom sections are skipped.
     @raise Decode_error on malformed input. *)

@@ -1,0 +1,127 @@
+(** The unified error taxonomy of the Wasm pipeline.
+
+    Every structured failure mode of the library — malformed binaries,
+    invalid modules, unresolvable imports, runtime traps and resource
+    exhaustion — is described by one record: a {e phase} (which pipeline
+    stage rejected the input), a stable {e code} (a machine-readable
+    bucket for triage, e.g. by the fuzzing harness), an optional byte
+    {e offset} into the input (decode-phase errors), and a human-readable
+    message.
+
+    The five public exceptions are declared here and re-exported under
+    their historical names ([Decode.Decode_error], [Validate.Invalid],
+    [Interp.Link_error], [Interp.Exhaustion], [Value.Trap]) via exception
+    rebinding, so matching on either name catches the same exception.
+    {!classify} is the single chokepoint that maps an arbitrary exception
+    to its structured description; an exception it does not recognise
+    (e.g. [Stack_overflow], [Invalid_argument], [Out_of_memory],
+    [Failure]) is by definition an engine bug on untrusted-input paths —
+    the fuzzing harness treats exactly that set as totality violations. *)
+
+type phase =
+  | Decode  (** binary parsing of untrusted bytes *)
+  | Validate  (** type checking of a decoded module *)
+  | Link  (** instantiation: imports, segments *)
+  | Run  (** execution: traps and exhaustion *)
+
+let phase_name = function
+  | Decode -> "decode"
+  | Validate -> "validate"
+  | Link -> "link"
+  | Run -> "run"
+
+type t = {
+  phase : phase;
+  code : string;
+      (** stable kebab-case bucket, e.g. ["unexpected-eof"],
+          ["malformed-leb128"], ["section-order"], ["divide-by-zero"] *)
+  offset : int option;  (** byte offset into the input, when known *)
+  message : string;
+}
+
+let make ~phase ~code ?offset fmt =
+  Printf.ksprintf (fun message -> { phase; code; offset; message }) fmt
+
+let to_string e =
+  match e.offset with
+  | Some off -> Printf.sprintf "%s error [%s] at byte %d: %s" (phase_name e.phase) e.code off e.message
+  | None -> Printf.sprintf "%s error [%s]: %s" (phase_name e.phase) e.code e.message
+
+(** {1 The exception surface}
+
+    [Decode_error] carries the full structured description (decoding is
+    where offsets and fine-grained codes matter); the other four carry
+    the message only, for compatibility with the historical API, and are
+    structured on the fly by {!classify}. *)
+
+exception Decode_error of t
+
+exception Invalid of string
+(** re-exported as [Validate.Invalid] *)
+
+exception Link_error of string
+(** re-exported as [Interp.Link_error] *)
+
+exception Trap of string
+(** re-exported as [Value.Trap] *)
+
+exception Exhaustion of string
+(** re-exported as [Interp.Exhaustion] *)
+
+let decode_error ~code ?offset fmt =
+  Printf.ksprintf
+    (fun message -> raise (Decode_error { phase = Decode; code; offset; message }))
+    fmt
+
+(** Canonical codes of the spec-mandated trap messages, so fuzzing
+    buckets and exit-code mapping do not depend on prose. *)
+let trap_code msg =
+  match msg with
+  | "integer divide by zero" -> "divide-by-zero"
+  | "integer overflow" -> "integer-overflow"
+  | "invalid conversion to integer" -> "invalid-conversion"
+  | "out of bounds memory access" -> "oob-memory-access"
+  | "unreachable executed" -> "unreachable"
+  | "undefined element" -> "undefined-element"
+  | "uninitialized element" -> "uninitialized-element"
+  | "indirect call type mismatch" -> "indirect-call-mismatch"
+  | "no memory" -> "no-memory"
+  | "no table" -> "no-table"
+  | _ -> "trap"
+
+(** [true] iff the error message indicates an internal invariant
+    violation rather than a property of the input. The interpreter tags
+    such traps with "(engine bug)"; the fuzzer escalates them. *)
+let is_engine_bug e =
+  let s = e.message and sub = "(engine bug)" in
+  let n = String.length s and k = String.length sub in
+  let rec go i = i + k <= n && (String.sub s i k = sub || go (i + 1)) in
+  go 0
+
+(** Map an exception to its structured description; [None] means the
+    exception is not part of the structured error surface (an escape of
+    the taxonomy — a bug on any untrusted-input path). *)
+let classify : exn -> t option = function
+  | Decode_error e -> Some e
+  | Invalid message -> Some { phase = Validate; code = "invalid-module"; offset = None; message }
+  | Link_error message -> Some { phase = Link; code = "link"; offset = None; message }
+  | Trap message -> Some { phase = Run; code = trap_code message; offset = None; message }
+  | Exhaustion message ->
+    Some
+      {
+        phase = Run;
+        code =
+          (if message = "call stack exhausted" then "call-stack-exhausted" else "out-of-fuel");
+        offset = None;
+        message;
+      }
+  | _ -> None
+
+(** Process exit code for a structured error, used by the CLI tools:
+    decode 3, validate 4, link 5, trap 6, exhaustion 7. *)
+let exit_code e =
+  match e.phase with
+  | Decode -> 3
+  | Validate -> 4
+  | Link -> 5
+  | Run -> if e.code = "out-of-fuel" || e.code = "call-stack-exhausted" then 7 else 6

@@ -1,0 +1,53 @@
+(** The unified error taxonomy of the Wasm pipeline.
+
+    All structured failure modes — malformed binaries, invalid modules,
+    link failures, traps, exhaustion — are described by one record
+    (phase + stable code + optional byte offset + message). The public
+    exceptions are declared here and re-exported under their historical
+    names ([Decode.Decode_error], [Validate.Invalid],
+    [Interp.Link_error], [Interp.Exhaustion], [Value.Trap]); {!classify}
+    maps any exception back to its structured description. An exception
+    {!classify} does not recognise is, on untrusted-input paths, an
+    engine bug — the fuzzing harness treats it as a totality violation. *)
+
+type phase =
+  | Decode  (** binary parsing of untrusted bytes *)
+  | Validate  (** type checking of a decoded module *)
+  | Link  (** instantiation: imports, segments *)
+  | Run  (** execution: traps and exhaustion *)
+
+val phase_name : phase -> string
+
+type t = {
+  phase : phase;
+  code : string;  (** stable kebab-case triage bucket *)
+  offset : int option;  (** byte offset into the input, when known *)
+  message : string;
+}
+
+val make : phase:phase -> code:string -> ?offset:int -> ('a, unit, string, t) format4 -> 'a
+val to_string : t -> string
+
+exception Decode_error of t
+exception Invalid of string
+exception Link_error of string
+exception Trap of string
+exception Exhaustion of string
+
+val decode_error : code:string -> ?offset:int -> ('a, unit, string, 'b) format4 -> 'a
+(** Raise {!Decode_error} with a formatted message. *)
+
+val trap_code : string -> string
+(** Canonical code of a spec-mandated trap message (["trap"] otherwise). *)
+
+val is_engine_bug : t -> bool
+(** [true] iff the message is tagged "(engine bug)" — an internal
+    invariant violation rather than a property of the input. *)
+
+val classify : exn -> t option
+(** Structured description of an exception, or [None] for exceptions
+    outside the structured surface (crashes, from the point of view of
+    untrusted-input handling). *)
+
+val exit_code : t -> int
+(** CLI exit code: decode 3, validate 4, link 5, trap 6, exhaustion 7. *)

@@ -16,10 +16,14 @@
 open Types
 open Ast
 
-exception Exhaustion of string
-(** Raised when the configured fuel (instruction budget) runs out. *)
+(* Canonical declarations live in {!Error}; the rebindings keep the
+   historical [Interp.Exhaustion] / [Interp.Link_error] names working. *)
 
-exception Link_error of string
+exception Exhaustion = Error.Exhaustion
+(** Raised when the configured fuel (instruction budget) runs out, or the
+    call-depth limit is hit ("call stack exhausted"). *)
+
+exception Link_error = Error.Link_error
 (** Raised during instantiation: missing or mismatching imports, failing
     segment bounds, ... *)
 
@@ -225,17 +229,17 @@ let compute_jumps (body : instr array) : jump_info =
     | Else ->
       (match !stack with
        | open_pc :: _ -> else_of.(open_pc) <- pc
-       | [] -> raise (Decode.Decode_error "else without open block"))
+       | [] -> Error.decode_error ~code:"control" "else without open block")
     | End ->
       (match !stack with
        | open_pc :: rest ->
          end_of.(open_pc) <- pc;
          stack := rest;
          decr depth
-       | [] -> raise (Decode.Decode_error "unbalanced end"))
+       | [] -> Error.decode_error ~code:"control" "unbalanced end")
     | _ -> ()
   done;
-  if !stack <> [] then raise (Decode.Decode_error "unclosed block");
+  if !stack <> [] then Error.decode_error ~code:"control" "unclosed block";
   { end_of; else_of; max_depth = !max_depth }
 
 let bt_arity : block_type -> int = function None -> 0 | Some _ -> 1
@@ -493,7 +497,7 @@ let rec invoke (f : func_inst) (args : Value.t list) : Value.t list =
 and call_wasm (cinst : instance) (idx : int) (from_st : stack) : unit =
   let code = cinst.inst_code.(idx) in
   if cinst.call_depth >= max_call_depth then
-    raise (Value.Trap "call stack exhausted");
+    raise (Exhaustion "call stack exhausted");
   let locals = Array.make code.c_frame_size dummy_value in
   (* popping yields the last argument first: fill right to left *)
   for i = code.c_nparams - 1 downto 0 do

@@ -179,7 +179,8 @@ and instance = {
 }
 
 val max_call_depth : int
-(** Calls deeper than this trap with "call stack exhausted". *)
+(** Calls deeper than this raise [Exhaustion "call stack exhausted"]
+    instead of overflowing the OCaml stack. *)
 
 val func_type_of : func_inst -> Types.func_type
 

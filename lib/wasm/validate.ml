@@ -10,7 +10,9 @@
 open Types
 open Ast
 
-exception Invalid of string
+(* Canonical declaration in {!Error}; rebinding keeps [Validate.Invalid]
+   working as a name. *)
+exception Invalid = Error.Invalid
 
 let error fmt = Printf.ksprintf (fun s -> raise (Invalid s)) fmt
 
@@ -54,13 +56,20 @@ module Module_ctx = struct
   }
 
   let create (m : module_) : t =
+    let types = Array.of_list m.types in
+    (* both index spaces come straight from the (unvalidated) binary:
+       range-check before dereferencing so a bad type index is an
+       [Invalid], not an [Invalid_argument] crash *)
+    let type_at ti =
+      if ti < 0 || ti >= Array.length types then error "type index %d out of range" ti;
+      types.(ti)
+    in
     let imported_func_types =
       List.filter_map
-        (fun i -> match i.idesc with FuncImport ti -> Some (List.nth m.types ti) | _ -> None)
+        (fun i -> match i.idesc with FuncImport ti -> Some (type_at ti) | _ -> None)
         m.imports
     in
-    let types = Array.of_list m.types in
-    let defined_func_types = List.map (fun f -> types.(f.ftype)) m.funcs in
+    let defined_func_types = List.map (fun f -> type_at f.ftype) m.funcs in
     let imported_global_types =
       List.filter_map
         (fun i -> match i.idesc with GlobalImport gt -> Some gt | _ -> None)
@@ -223,7 +232,9 @@ module Stack_tracker = struct
   let check_table t = if not t.ctx.Module_ctx.has_table then error "no table defined"
 
   let check_align align width =
-    if align < 0 || 1 lsl align > width then error "invalid alignment %d" align
+    (* [1 lsl align] is undefined for shifts >= word size: reject huge
+       (attacker-controlled) exponents before shifting *)
+    if align < 0 || align > 31 || 1 lsl align > width then error "invalid alignment %d" align
 
   let cvt_types = function
     | I32WrapI64 -> (I64T, I32T)

@@ -8,8 +8,10 @@
     truncation, ...) raise {!Trap} with the error message mandated by the
     specification. *)
 
-(** Raised by numeric operations and by the interpreter on a Wasm trap. *)
-exception Trap of string
+(** Raised by numeric operations and by the interpreter on a Wasm trap.
+    The canonical declaration lives in {!Error} (the unified taxonomy);
+    this rebinding keeps the historical [Value.Trap] name working. *)
+exception Trap = Error.Trap
 
 let trap msg = raise (Trap msg)
 

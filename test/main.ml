@@ -7,6 +7,7 @@ let () =
       ("wasm:wat", Test_wat.suite);
       ("wasm:spec", Test_spec_corpus.suite);
       ("wasm:interp", Test_wasm_interp.suite);
+      ("wasm:malformed", Test_malformed.suite);
       ("wasm:linking", Test_linking.suite);
       ("wasabi:hooks", Test_hooks.suite);
       ("wasabi:instrument", Test_instrument.suite);
@@ -16,4 +17,5 @@ let () =
       ("extensions", Test_extensions.suite);
       ("workloads", Test_workloads.suite);
       ("bench:support", Test_bench.suite);
+      ("fuzz", Test_fuzz.suite);
     ]

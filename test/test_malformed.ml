@@ -1,0 +1,174 @@
+(** Malformed-binary corpus: crafted bad inputs asserting the exact
+    structured decode error (taxonomy code, and where it matters, the
+    byte offset). These pin down the hardened decoder's behaviour on
+    adversarial input — each case is one of the failure shapes the
+    mutation fuzzer keeps rediscovering. *)
+
+open Wasm
+
+(* --- tiny binary-writer DSL --- *)
+
+let uleb n =
+  let buf = Buffer.create 5 in
+  let rec go n =
+    let b = n land 0x7F and rest = n lsr 7 in
+    if rest = 0 then Buffer.add_char buf (Char.chr b)
+    else begin
+      Buffer.add_char buf (Char.chr (b lor 0x80));
+      go rest
+    end
+  in
+  go n;
+  Buffer.contents buf
+
+let byte b = String.make 1 (Char.chr b)
+let section id payload = byte id ^ uleb (String.length payload) ^ payload
+let vec items = uleb (List.length items) ^ String.concat "" items
+let header = "\x00asm\x01\x00\x00\x00"
+let module_ sections = header ^ String.concat "" sections
+
+(* one [] -> [] function type *)
+let type_section = section 1 (vec [ "\x60\x00\x00" ])
+let func_section = section 3 (vec [ uleb 0 ])
+
+(* a module with one function whose (unterminated) body is [body] *)
+let module_with_body body =
+  let entry = uleb (String.length body + 1) ^ vec [] ^ body in
+  module_ [ type_section; func_section; section 10 (vec [ entry ]) ]
+
+(* --- assertion helpers --- *)
+
+let check_code name expected bin =
+  match Decode.decode bin with
+  | _ -> Alcotest.failf "%s: decoded instead of raising [%s]" name expected
+  | exception Decode.Decode_error e -> Alcotest.(check string) name expected e.Error.code
+  | exception e ->
+    Alcotest.failf "%s: raised %s instead of Decode_error [%s]" name (Printexc.to_string e)
+      expected
+
+let check_offset name expected bin =
+  match Decode.decode bin with
+  | _ -> Alcotest.failf "%s: decoded" name
+  | exception Decode.Decode_error e ->
+    Alcotest.(check (option int)) name (Some expected) e.Error.offset
+
+(* --- the corpus --- *)
+
+let test_header_errors () =
+  check_code "empty input" "unexpected-eof" "";
+  check_code "bad magic" "bad-magic" "\x00foo\x01\x00\x00\x00";
+  check_code "bad version" "bad-version" "\x00asm\x02\x00\x00\x00";
+  check_code "truncated header" "unexpected-eof" "\x00asm\x01\x00";
+  check_offset "bad magic offset" 0 "\x00bad\x01\x00\x00\x00";
+  check_offset "bad version offset" 4 "\x00asm\x09\x00\x00\x00"
+
+let test_section_structure () =
+  check_code "truncated section" "unexpected-eof" (header ^ "\x01\x0A");
+  check_code "truncated size LEB" "unexpected-eof" (header ^ "\x01\x80");
+  check_code "over-long size LEB" "malformed-leb128"
+    (header ^ "\x01\x80\x80\x80\x80\x80\x80\x00");
+  check_code "out-of-order sections" "section-order"
+    (module_ [ section 5 (vec [ "\x00" ^ uleb 1 ]); type_section ]);
+  check_code "duplicate section" "section-order" (module_ [ type_section; type_section ]);
+  check_code "invalid section id" "bad-section-id" (module_ [ section 13 "" ]);
+  check_code "section size mismatch" "size-mismatch"
+    (module_ [ section 1 (vec [ "\x60\x00\x00" ] ^ "\x00") ]);
+  check_code "function/code count mismatch" "func-code-mismatch"
+    (module_ [ type_section; func_section ])
+
+let test_vec_and_types () =
+  (* a 2-byte payload claiming a 1000-element vector: must be rejected
+     before any allocation *)
+  check_code "vec longer than input" "vec-too-long" (module_ [ section 1 (uleb 1000) ]);
+  check_code "bad functype tag" "bad-functype-tag" (module_ [ section 1 (vec [ "\x61" ]) ]);
+  check_code "bad value type" "bad-value-type"
+    (module_ [ section 1 (vec [ "\x60" ^ vec [ "\x7A" ] ]) ]);
+  check_code "bad limits flag" "bad-limits-flag" (module_ [ section 5 (vec [ "\x02\x01" ]) ]);
+  check_code "bad mutability" "bad-mutability" (module_ [ section 6 (vec [ "\x7F\x02" ]) ]);
+  check_code "bad elemtype" "bad-elemtype" (module_ [ section 4 (vec [ "\x71" ]) ]);
+  check_code "bad import kind" "bad-import-kind"
+    (module_ [ section 2 (vec [ uleb 0 ^ uleb 0 ^ "\x07" ]) ]);
+  check_code "bad export kind" "bad-export-kind"
+    (module_ [ section 7 (vec [ uleb 0 ^ "\x09" ]) ])
+
+let test_code_bodies () =
+  check_code "bad opcode" "bad-opcode" (module_with_body "\x1C");
+  check_code "bad 0xFC sub-opcode" "bad-subopcode" (module_with_body "\xFC\x0A");
+  check_code "non-zero table index" "nonzero-table-index" (module_with_body "\x11\x00\x01");
+  check_code "non-zero memory index" "nonzero-memory-index" (module_with_body "\x3F\x01");
+  check_code "truncated body" "unexpected-eof" (module_with_body "\x41");
+  (* code entry whose declared size exceeds the input *)
+  check_code "oversized code entry" "unexpected-eof"
+    (module_ [ type_section; func_section; section 10 (uleb 1 ^ uleb 100) ])
+
+let test_resource_limits () =
+  (* nesting depth: default limit is 1024 open blocks *)
+  let deep = String.concat "" (List.init 1100 (fun _ -> "\x02\x40")) in
+  check_code "nesting too deep" "nesting-too-deep" (module_with_body deep);
+  (* just inside the custom limit decodes fine *)
+  let shallow =
+    String.concat "" (List.init 10 (fun _ -> "\x02\x40"))
+    ^ String.concat "" (List.init 10 (fun _ -> "\x0B"))
+    ^ "\x0B" (* the expression's own End *)
+  in
+  let m = Decode.decode (module_with_body shallow) in
+  Alcotest.(check int) "shallow nesting decodes" 1 (List.length m.Ast.funcs);
+  (* a tighter configured limit rejects it *)
+  (match
+     Decode.decode
+       ~limits:{ Decode.default_limits with Decode.max_nesting = 5 }
+       (module_with_body shallow)
+   with
+   | _ -> Alcotest.fail "tight nesting limit not enforced"
+   | exception Decode.Decode_error e ->
+     Alcotest.(check string) "tight nesting limit" "nesting-too-deep" e.Error.code);
+  (* locals: two run-length groups summing to 100_000 in a few bytes *)
+  let locals = vec [ uleb 50_000 ^ "\x7F"; uleb 50_000 ^ "\x7F" ] in
+  let entry = uleb (String.length locals + 1) ^ locals ^ "\x0B" in
+  check_code "too many locals" "too-many-locals"
+    (module_ [ type_section; func_section; section 10 (vec [ entry ]) ])
+
+let test_taxonomy () =
+  (* exceptions rebound across modules are the same exception *)
+  (try Error.decode_error ~code:"x" "boom"
+   with Decode.Decode_error e -> Alcotest.(check string) "rebinding" "x" e.Error.code);
+  (* classify covers the full structured surface, and nothing else *)
+  let code e = match Error.classify e with Some t -> t.Error.code | None -> "<crash>" in
+  Alcotest.(check string) "trap" "divide-by-zero" (code (Value.Trap "integer divide by zero"));
+  Alcotest.(check string) "exhaustion" "out-of-fuel" (code (Interp.Exhaustion "out of fuel"));
+  Alcotest.(check string) "call depth" "call-stack-exhausted"
+    (code (Interp.Exhaustion "call stack exhausted"));
+  Alcotest.(check string) "invalid" "invalid-module" (code (Validate.Invalid "x"));
+  Alcotest.(check string) "link" "link" (code (Interp.Link_error "x"));
+  Alcotest.(check string) "crash is unclassified" "<crash>" (code (Invalid_argument "x"));
+  Alcotest.(check string) "failure is unclassified" "<crash>" (code (Failure "x"));
+  (* exit codes are distinct per phase *)
+  let ec e = match Error.classify e with Some t -> Error.exit_code t | None -> 0 in
+  Alcotest.(check (list int)) "exit codes" [ 4; 5; 6; 7 ]
+    [ ec (Validate.Invalid "x"); ec (Interp.Link_error "x");
+      ec (Value.Trap "unreachable executed"); ec (Interp.Exhaustion "out of fuel") ];
+  (try ignore (Decode.decode "") with Decode.Decode_error e ->
+    Alcotest.(check int) "decode exit code" 3 (Error.exit_code e))
+
+let test_control_errors () =
+  (* compute_jumps raises structured control errors on unbalanced bodies *)
+  let check name body =
+    match Interp.compute_jumps (Array.of_list body) with
+    | _ -> Alcotest.failf "%s: accepted" name
+    | exception Decode.Decode_error e -> Alcotest.(check string) name "control" e.Error.code
+  in
+  check "unbalanced end" [ Ast.End; Ast.End ];
+  check "unclosed block" [ Ast.Block None ];
+  check "else without if" [ Ast.Else ]
+
+let suite =
+  let case name f = Alcotest.test_case name `Quick f in
+  [
+    case "header errors" test_header_errors;
+    case "section structure" test_section_structure;
+    case "vectors and types" test_vec_and_types;
+    case "code bodies" test_code_bodies;
+    case "resource limits" test_resource_limits;
+    case "error taxonomy" test_taxonomy;
+    case "control errors" test_control_errors;
+  ]

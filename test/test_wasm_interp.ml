@@ -296,7 +296,7 @@ let test_fuel () =
     ignore (Interp.invoke_export inst "f" []))
 
 let test_call_stack_exhaustion () =
-  (* unbounded recursion traps instead of crashing the host stack *)
+  (* unbounded recursion raises Exhaustion instead of crashing the host stack *)
   let bld = B.create () in
   let fh = B.declare_func bld ~params:[] ~results:[ Types.I32T ] in
   B.set_body fh ~locals:[] ~body:[ Call fh.B.fh_index ];
@@ -304,7 +304,7 @@ let test_call_stack_exhaustion () =
   let m = B.build bld in
   Validate.validate_module m;
   let inst = Interp.instantiate ~imports:[] m in
-  check_traps "deep recursion" "call stack exhausted" (fun () ->
+  Alcotest.check_raises "deep recursion" (Interp.Exhaustion "call stack exhausted") (fun () ->
     ignore (Interp.invoke_export inst "f" []));
   (* the guard unwinds: a subsequent shallow call still works *)
   Alcotest.(check int) "depth restored" 0 inst.Interp.call_depth
