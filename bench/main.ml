@@ -400,6 +400,56 @@ let interp_bench () =
     "   the instrumented module's own instructions, hook calls excluded)\n"
 
 (* ------------------------------------------------------------------ *)
+(* Static analysis smoke: call graph, lint, selective instrumentation  *)
+(* ------------------------------------------------------------------ *)
+
+(** Time the static subsystem over the whole corpus and demonstrate
+    call-graph-driven selective instrumentation end to end: the lint
+    must be clean everywhere, and pruning must shrink the real-world
+    binaries without changing their checksum. *)
+let static_bench () =
+  Support.hr "bench static: call graph + soundness lint over the corpus";
+  let entries = Lazy.force corpus_fig9 in
+  let t0 = Sys.time () in
+  let cg_edges =
+    List.fold_left
+      (fun acc (e : Workloads.Corpus.entry) ->
+         acc + List.length (Static.Callgraph.edges (Static.Callgraph.build e.module_)))
+      0 entries
+  in
+  let cg_t = Sys.time () -. t0 in
+  Printf.printf "  call graphs for %d workloads: %d edges total in %.1f ms\n"
+    (List.length entries) cg_edges (cg_t *. 1000.0);
+  let t0 = Sys.time () in
+  let errs = ref 0 in
+  List.iter
+    (fun (e : Workloads.Corpus.entry) ->
+       let res = W.Instrument.instrument ~prune_unreachable:true e.module_ in
+       errs := !errs + List.length (Lint.errors (Lint.check res)))
+    entries;
+  let lint_t = Sys.time () -. t0 in
+  Printf.printf "  lint over every instrumented workload: %d errors in %.1f ms\n" !errs
+    (lint_t *. 1000.0);
+  List.iter
+    (fun (e : Workloads.Corpus.entry) ->
+       let full = W.Instrument.instrument e.module_ in
+       let sel = W.Instrument.instrument ~prune_unreachable:true e.module_ in
+       let fs = String.length (Encode.encode full.W.Instrument.instrumented) in
+       let ss = String.length (Encode.encode sel.W.Instrument.instrumented) in
+       let reference = Workloads.Corpus.run_reference e in
+       let inst, _ = W.Runtime.instantiate sel W.Analysis.default in
+       let result =
+         match Interp.invoke_export inst "run" [] with [ Value.F64 x ] -> x | _ -> nan
+       in
+       Printf.printf
+         "  %-12s full %6d B, selective %6d B (-%.1f%%), %d pruned, behaviour %s\n" e.name fs
+         ss
+         (Support.pct (float_of_int (fs - ss) /. float_of_int fs))
+         (List.length sel.W.Instrument.metadata.W.Metadata.pruned_funcs)
+         (if Float.abs (reference -. result) < 1e-9 then "identical" else "DIVERGED"))
+    (Workloads.Corpus.realworld entries)
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks of the instrumenter itself                 *)
 (* ------------------------------------------------------------------ *)
 
@@ -456,6 +506,8 @@ let () =
   | [| _; "ablation" |] -> ablation ()
   | [| _; "micro" |] -> micro ()
   | [| _; "interp" |] -> interp_bench ()
+  | [| _; "static" |] -> static_bench ()
   | _ ->
-    prerr_endline "usage: main.exe [table4|rq2|table5|fig8|monomorph|fig9|ablation|micro|interp]";
+    prerr_endline
+      "usage: main.exe [table4|rq2|table5|fig8|monomorph|fig9|ablation|micro|interp|static]";
     exit 2

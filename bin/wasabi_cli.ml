@@ -4,12 +4,14 @@
 
       wasabi instrument input.wasm -o output.wasm --hooks binary,call
       wasabi analyze input.wasm --analysis cryptominer --invoke run
+      wasabi callgraph input.wasm --dot -o input.dot
+      wasabi lint input.wasm --selective
       wasabi fuzz --seed 42 --gen 2000 --mut 2000
       wasabi hooks
 
     Structured pipeline failures exit with distinct codes and a one-line
     message (decode 3, validate 4, link 5, trap 6, exhaustion 7) instead
-    of an uncaught-exception backtrace.
+    of an uncaught-exception backtrace; lint soundness errors exit 8.
 *)
 
 open Cmdliner
@@ -60,25 +62,37 @@ let instrument_cmd =
   let output =
     Arg.(value & opt string "out.wasm" & info [ "o"; "output" ] ~docv:"OUTPUT" ~doc:"Output path")
   in
-  let run input output hooks =
+  let selective =
+    Arg.(value & flag
+         & info [ "selective" ]
+             ~doc:"Leave functions unreachable from any export/start root uninstrumented \
+                   (static call-graph pruning; skipped indices are recorded in the metadata)")
+  in
+  let run input output hooks selective =
     structured @@ fun () ->
     let m = read_module input in
     Wasm.Validate.validate_module m;
     let groups = parse_groups hooks in
     let t0 = Sys.time () in
-    let res = W.Instrument.instrument ~groups m in
+    let res = W.Instrument.instrument ~groups ~prune_unreachable:selective m in
     let dt = Sys.time () -. t0 in
     write_module output res.W.Instrument.instrumented;
     let meta = res.W.Instrument.metadata in
     Printf.printf "instrumented %s -> %s in %.1f ms\n" input output (dt *. 1000.0);
     Printf.printf "  %d low-level hooks generated on demand (import module %S)\n"
       meta.W.Metadata.num_hooks W.Hook.import_module;
+    (match meta.W.Metadata.pruned_funcs with
+     | [] -> ()
+     | pruned ->
+       Printf.printf "  %d statically-unreachable function%s left uninstrumented\n"
+         (List.length pruned)
+         (if List.length pruned = 1 then "" else "s"));
     Printf.printf "  original %d B, instrumented %d B\n"
       (String.length (Wasm.Encode.encode m))
       (String.length (Wasm.Encode.encode res.W.Instrument.instrumented))
   in
   let info = Cmd.info "instrument" ~doc:"Insert analysis hook calls into a Wasm binary" in
-  Cmd.v info Term.(const run $ input_arg $ output $ hooks_arg)
+  Cmd.v info Term.(const run $ input_arg $ output $ hooks_arg $ selective)
 
 (* --- analyze --------------------------------------------------------- *)
 
@@ -201,6 +215,138 @@ let hooks_cmd =
   let info = Cmd.info "hooks" ~doc:"List the available hook groups" in
   Cmd.v info Term.(const run $ const ())
 
+(* --- callgraph ------------------------------------------------------- *)
+
+let callgraph_cmd =
+  let dot_arg =
+    Arg.(value & flag & info [ "dot" ] ~doc:"Emit GraphViz DOT instead of the text rendering")
+  in
+  let out_arg =
+    Arg.(value & opt (some string) None
+         & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write to FILE instead of stdout")
+  in
+  let no_tighten_arg =
+    Arg.(value & flag
+         & info [ "no-tighten" ]
+             ~doc:"Skip the constant-stack analysis that resolves constant-index indirect \
+                   calls exactly (faster, coarser)")
+  in
+  let run input dot out no_tighten =
+    structured @@ fun () ->
+    let m = read_module input in
+    Wasm.Validate.validate_module m;
+    let cg = Static.Callgraph.build ~tighten:(not no_tighten) m in
+    let text =
+      if dot then Static.Callgraph.to_dot cg
+      else begin
+        let name i =
+          match Static.Callgraph.func_name cg i with
+          | Some n -> Printf.sprintf "f%d (%s)" i n
+          | None -> Printf.sprintf "f%d" i
+        in
+        let indirect = Static.Callgraph.indirect_edges cg in
+        let edge_lines =
+          List.map
+            (fun (a, b) ->
+               Printf.sprintf "  %s -> %s%s" (name a) (name b)
+                 (if List.mem (a, b) indirect then "  [indirect]" else ""))
+            (Static.Callgraph.edges cg)
+        in
+        let dead_line =
+          match Static.Callgraph.dead_functions cg with
+          | [] -> []
+          | dead -> [ "unreachable: " ^ String.concat ", " (List.map name dead) ]
+        in
+        String.concat "\n" ((Static.Callgraph.summary cg :: edge_lines) @ dead_line) ^ "\n"
+      end
+    in
+    match out with
+    | Some path ->
+      write_file path text;
+      Printf.printf "wrote %s\n" path
+    | None -> print_string text
+  in
+  let info =
+    Cmd.info "callgraph"
+      ~doc:"Static call graph: direct and type/table-resolved indirect edges, export-rooted \
+            reachability, unreachable-function report"
+  in
+  Cmd.v info Term.(const run $ input_arg $ dot_arg $ out_arg $ no_tighten_arg)
+
+(* --- lint ------------------------------------------------------------ *)
+
+(** Distinct from the taxonomy codes (3..7): the pipeline succeeded but
+    the instrumented module failed soundness verification. *)
+let lint_exit_code = 8
+
+let lint_cmd =
+  let input_opt =
+    Arg.(value & pos 0 (some file) None & info [] ~docv:"INPUT.wasm" ~doc:"Input binary")
+  in
+  let selective_arg =
+    Arg.(value & flag
+         & info [ "selective" ] ~doc:"Instrument with static call-graph pruning before linting")
+  in
+  let corpus_arg =
+    Arg.(value & flag
+         & info [ "corpus" ]
+             ~doc:"Lint every workload of the built-in benchmark corpus instead of a file")
+  in
+  let fuzz_arg =
+    Arg.(value & opt (some int) None
+         & info [ "fuzz" ] ~docv:"N"
+             ~doc:"Lint N fixed-seed generated modules (full and pruned instrumentation) \
+                   instead of a file")
+  in
+  let seed_arg =
+    Arg.(value & opt int Fuzz.Harness.default_seed
+         & info [ "seed" ] ~docv:"SEED" ~doc:"Seed for --fuzz module generation")
+  in
+  let run input hooks selective corpus fuzz seed =
+    structured @@ fun () ->
+    let groups = parse_groups hooks in
+    let errors = ref 0 in
+    let lint_one label m =
+      Wasm.Validate.validate_module m;
+      let res = W.Instrument.instrument ~groups ~prune_unreachable:selective m in
+      match Lint.check res with
+      | [] -> Printf.printf "%s: clean\n" label
+      | findings ->
+        List.iter (fun f -> Printf.printf "%s: %s\n" label (Lint.to_string f)) findings;
+        errors := !errors + List.length (Lint.errors findings)
+    in
+    (match corpus, fuzz, input with
+     | true, _, _ ->
+       List.iter
+         (fun (e : Workloads.Corpus.entry) -> lint_one e.name e.module_)
+         (Workloads.Corpus.make ())
+     | false, Some n, _ ->
+       for index = 0 to n - 1 do
+         let info = Fuzz.Harness.gen_case ~seed ~index in
+         (match Fuzz.Oracle.lint_instrumented info.Fuzz.Gen.module_ with
+          | Fuzz.Oracle.Pass | Fuzz.Oracle.Skip _ -> ()
+          | Fuzz.Oracle.Violation { kind; detail } ->
+            incr errors;
+            Printf.printf "gen case %d (seed %d): [%s] %s\n" index seed kind detail);
+         if (index + 1) mod 500 = 0 then Printf.eprintf "lint: %d/%d\n%!" (index + 1) n
+       done;
+       Printf.printf "linted %d generated modules (seed %d): %d violation%s\n" n seed !errors
+         (if !errors = 1 then "" else "s")
+     | false, None, Some path -> lint_one path (read_module path)
+     | false, None, None ->
+       Printf.eprintf "wasabi lint: need INPUT.wasm, --corpus, or --fuzz N\n";
+       exit 2);
+    if !errors > 0 then exit lint_exit_code
+  in
+  let info =
+    Cmd.info "lint"
+      ~doc:"Instrument and statically verify instrumentation soundness (original \
+            instructions preserved in order and stack shape, hook imports match their \
+            specs, sections unchanged up to remapping); soundness errors exit 8"
+  in
+  Cmd.v info
+    Term.(const run $ input_opt $ hooks_arg $ selective_arg $ corpus_arg $ fuzz_arg $ seed_arg)
+
 (* --- fuzz ------------------------------------------------------------ *)
 
 let fuzz_cmd =
@@ -260,7 +406,7 @@ let fuzz_cmd =
   in
   let info =
     Cmd.info "fuzz"
-      ~doc:"Differential fuzzing: generated + mutated modules against the totality, round-trip and differential-equivalence oracles"
+      ~doc:"Differential fuzzing: generated + mutated modules against the totality, round-trip, instrumentation-soundness and differential-equivalence oracles"
   in
   Cmd.v info Term.(const run $ seed_arg $ gen_arg $ mut_arg $ out_arg $ replay_arg $ quiet_arg)
 
@@ -287,4 +433,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ instrument_cmd; analyze_cmd; generate_js_cmd; hooks_cmd; fuzz_cmd; corpus_cmd ]))
+          [ instrument_cmd; analyze_cmd; generate_js_cmd; hooks_cmd; callgraph_cmd; lint_cmd;
+            fuzz_cmd; corpus_cmd ]))

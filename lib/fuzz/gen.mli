@@ -1,0 +1,26 @@
+(** Type-directed generation of random-but-valid Wasm modules.
+
+    The generator is a grammar over typed expressions and statements;
+    validity holds by construction — every generated module must pass
+    [Validate.validate_module], and a rejection is a generator bug that
+    the harness reports as a violation. The output deliberately includes
+    deterministic fault-injection surface (trapping arithmetic,
+    mostly-masked memory addresses, partially-initialised
+    [call_indirect] tables, guarded [unreachable]) so the differential
+    oracle also compares traps, and is structurally terminating (bounded
+    loops, acyclic calls) so it finishes well inside the harness's base
+    fuel. *)
+
+(** What the oracles need to know about a generated module. *)
+type info = {
+  module_ : Wasm.Ast.module_;
+  has_memory : bool;
+  n_globals : int;
+}
+
+val generate : Rng.t -> info
+(** Generate one module from the given per-case RNG. Deterministic: the
+    same RNG state yields the same module. Every module exports a
+    nullary [run] function (the harness's entry point) plus its memory
+    and globals when present, so the differential oracle can compare
+    final state. *)

@@ -65,10 +65,15 @@ let check_generated (info : Gen.info) : [ `Pass | `Skip | `Fail of string * stri
     (match Oracle.round_trip_generated m with
      | Oracle.Violation { kind; detail } -> `Fail (kind, detail)
      | Oracle.Skip _ | Oracle.Pass ->
-       (match Oracle.differential info with
+       (* static soundness before the (more expensive) differential runs:
+          a lint finding pinpoints the broken invariant directly *)
+       (match Oracle.lint_instrumented m with
         | Oracle.Violation { kind; detail } -> `Fail (kind, detail)
-        | Oracle.Skip _ -> `Skip
-        | Oracle.Pass -> `Pass))
+        | Oracle.Skip _ | Oracle.Pass ->
+          (match Oracle.differential info with
+           | Oracle.Violation { kind; detail } -> `Fail (kind, detail)
+           | Oracle.Skip _ -> `Skip
+           | Oracle.Pass -> `Pass)))
 
 (** The mutated-binary pipeline: totality of decode; then, as far as the
     mutant remains meaningful, validate / round-trip / execute. Returns

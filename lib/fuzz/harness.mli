@@ -1,0 +1,79 @@
+(** Campaign driver: deterministic fuzzing with replayable failures.
+
+    Every case is fully determined by the campaign seed and its case
+    index ({!Rng.for_case}); the generator stream and the mutation
+    stream live in disjoint index spaces, so a failure report is always
+    just a [(seed, index)] pair. *)
+
+type case_kind = Generated | Mutated
+
+val kind_name : case_kind -> string
+(** ["gen"] / ["mut"], as used in replay specs and failure file names. *)
+
+type failure = {
+  case : case_kind;
+  seed : int;
+  index : int;
+  oracle : string;  (** violation kind, e.g. "totality-decode" *)
+  detail : string;
+  input : string;  (** the offending binary *)
+  minimized : string option;
+}
+
+type stats = {
+  mutable gen_cases : int;
+  mutable mut_cases : int;
+  mutable mut_decoded : int;  (** mutants that still decoded *)
+  mutable mut_valid : int;  (** mutants that still validated *)
+  mutable skips : int;
+  mutable violations : int;
+}
+
+val fresh_stats : unit -> stats
+
+(** {1 Case construction} *)
+
+val gen_case : seed:int -> index:int -> Gen.info
+(** The generated module for a [(seed, index)] pair. Deterministic. *)
+
+val mut_case : seed:int -> index:int -> string
+(** The mutated binary for a [(seed, index)] pair: a fresh small
+    generated module, encoded, then structure-aware mutated — all from
+    the case's own RNG. Deterministic. *)
+
+(** {1 Oracles per case} *)
+
+val check_generated : Gen.info -> [ `Pass | `Skip | `Fail of string * string ]
+(** The generated-module pipeline — validate, round-trip, static
+    instrumentation lint, differential execution — stopping at the first
+    violation [(kind, detail)]. *)
+
+val check_mutated :
+  string -> [ `Pass of [ `Rejected | `Decoded | `Valid ] | `Skip | `Fail of string * string ]
+(** The mutated-binary pipeline: totality of decode; then, as far as the
+    mutant remains meaningful, validate / round-trip / execute. The
+    [`Pass] payload reports the depth reached, for corpus-quality
+    statistics. *)
+
+val minimize : string -> string option
+(** Greedy ddmin-style chunk removal preserving the violation kind of
+    {!check_mutated}; [None] when the input does not fail or could not
+    be shrunk within the evaluation budget. *)
+
+(** {1 The campaign} *)
+
+val default_seed : int
+
+val run :
+  ?log:(string -> unit) -> ?out_dir:string -> seed:int -> gen_count:int ->
+  mut_count:int -> unit -> stats * failure list
+(** Run a campaign of [gen_count] generated and [mut_count] mutated
+    cases. Failures are returned in case order and, when [out_dir] is
+    given, dumped there ([.wasm], minimized [.min.wasm], and a [.txt]
+    replay recipe each). *)
+
+val replay : seed:int -> index:int -> case_kind -> string
+(** Re-run a single case; returns a human-readable disposition. *)
+
+val summary : stats -> string
+(** One-line campaign summary. *)

@@ -1,0 +1,17 @@
+(** Structure-aware binary mutation for the fuzzing campaign.
+
+    Mutators operate on an encoded module's bytes, informed by a
+    best-effort parse of its section layout: besides classic byte-level
+    havoc (bit flips, inserts, deletes, truncation), sections can be
+    duplicated, dropped, swapped, resized with a lying size prefix, or
+    given overlong LEB128 encodings. Mutants are {e expected} to be
+    mostly invalid — the oracles assert the decoder rejects them
+    gracefully (totality), not that they decode. *)
+
+val mutate_once : Rng.t -> string -> string
+(** Apply one randomly chosen mutation to the binary. *)
+
+val mutate : Rng.t -> string -> string
+(** Apply a small random number of stacked mutations ({!mutate_once}
+    iterated); the result may coincide with the input when mutations
+    cancel out. *)

@@ -1,6 +1,7 @@
-(** The three fuzzing oracles: totality, round-trip, differential
+(** The four fuzzing oracles: totality, round-trip, differential
     equivalence (paper, Section 4.2's observational-equivalence claim,
-    turned into an executable property).
+    turned into an executable property), and static instrumentation
+    soundness.
 
     {b Totality}: feeding any byte string through decode (and, when it
     decodes, validate / instantiate / execute) may only raise the
@@ -19,7 +20,14 @@
     same trap, and the same final memory and exported globals. The
     instrumented run gets its fuel scaled by {!hook_fuel_scale}; when the
     {e base} run already exhausts its fuel the case is skipped (the two
-    executions are then cut off at incomparable points). *)
+    executions are then cut off at incomparable points).
+
+    {b Instrumentation soundness}: the static lint ({!Lint.check}) must
+    report no errors on the instrumented module — once with full
+    instrumentation and once with call-graph-driven selective pruning —
+    so the structural faithfulness invariants are checked on every
+    generated case, not only the behavioural ones the differential
+    oracle can observe. *)
 
 open Wasm
 
@@ -222,6 +230,31 @@ let differential (info : Gen.info) : verdict =
             in
             violation "differential" "global %s diverged: base %s vs instrumented %s" n
               (Value.to_string v) v'))
+
+(** {1 Instrumentation soundness} *)
+
+(** Instrument the module and run the static soundness lint over the
+    result, once with full instrumentation and once with selective
+    pruning. Any [Error]-severity finding — or an instrument/lint crash
+    outside the error taxonomy — is a violation. *)
+let lint_instrumented (m : Ast.module_) : verdict =
+  let one ~prune_unreachable tag =
+    match
+      guarded (fun () ->
+        Lint.errors (Lint.check (Wasabi.Instrument.instrument ~prune_unreachable m)))
+    with
+    | Error crash -> violation "totality-lint" "%s: instrument/lint crashed: %s" tag crash
+    | Ok (Error err) ->
+      violation "totality-lint" "%s: instrument/lint raised: %s" tag (Error.to_string err)
+    | Ok (Ok []) -> Pass
+    | Ok (Ok (f :: _ as errs)) ->
+      violation "lint" "%s: %d soundness error%s; first: %s" tag (List.length errs)
+        (if List.length errs = 1 then "" else "s")
+        (Lint.to_string f)
+  in
+  match one ~prune_unreachable:false "full" with
+  | Pass -> one ~prune_unreachable:true "pruned"
+  | v -> v
 
 (** Execution totality for an arbitrary valid module (mutation pipeline):
     instantiating with no imports and invoking the first nullary exported

@@ -1,0 +1,63 @@
+(** The four fuzzing oracles: totality, round-trip, differential
+    equivalence (paper, Section 4.2's observational-equivalence claim,
+    turned into an executable property), and static instrumentation
+    soundness via {!Lint.check}. *)
+
+type verdict =
+  | Pass
+  | Skip of string  (** oracle not applicable to this case *)
+  | Violation of { kind : string; detail : string }
+
+val base_fuel : int
+(** Interpreter fuel for uninstrumented runs. *)
+
+val hook_fuel_scale : int
+(** Fuel multiplier for instrumented runs (hook calls cost fuel too). *)
+
+(** {1 Totality}
+
+    Feeding any byte string through decode (and, when it decodes,
+    validate / instantiate / execute) may only raise the structured
+    taxonomy exceptions; any other escape is returned as [Error crash]
+    with the exception text (and backtrace when recorded). *)
+
+val decode_total : string -> (Wasm.Ast.module_ option, string) result
+(** [Ok (Some m)] decoded, [Ok None] rejected inside the taxonomy. *)
+
+val validate_total : Wasm.Ast.module_ -> (bool, string) result
+(** [Ok true] valid, [Ok false] rejected inside the taxonomy. *)
+
+(** {1 Round-trip} *)
+
+val round_trip_generated : Wasm.Ast.module_ -> verdict
+(** [decode (encode m)] must equal [m] structurally (the generator emits
+    no NaN constants, so [=] is exact). *)
+
+val round_trip_bytes : Wasm.Ast.module_ -> verdict
+(** Byte idempotence for a decoded-from-mutation module: encode, decode,
+    encode again must reproduce the first encoding. *)
+
+(** {1 Execution} *)
+
+type run_result = {
+  outcome : (Wasm.Value.t list, Wasm.Error.t) result;
+  mem_digest : string option;  (** MD5 of final memory, when exported *)
+  globals : (string * Wasm.Value.t) list;  (** exported globals, post-run *)
+}
+
+val differential : Gen.info -> verdict
+(** Execute the module uninstrumented and instrumented (all hook groups,
+    the no-op analysis): result values, trap identity, final memory and
+    exported globals must agree. [Skip] when the base run exhausts its
+    fuel (the two executions are then cut off at incomparable points). *)
+
+val lint_instrumented : Wasm.Ast.module_ -> verdict
+(** Instrument the module — once fully, once with call-graph-driven
+    selective pruning — and run the static soundness lint over each
+    result; any [Error]-severity finding is a violation. *)
+
+val execution_total : Wasm.Ast.module_ -> verdict
+(** Execution totality for an arbitrary valid module (mutation
+    pipeline): instantiate with no imports and invoke the first nullary
+    exported function; only taxonomy failures are acceptable. Modules
+    declaring oversized memories/tables are skipped, not failed. *)

@@ -1,0 +1,202 @@
+(** Whole-module static call graph (see callgraph.mli). *)
+
+open Wasm
+open Wasm.Ast
+
+module Pair_set = Set.Make (struct
+  type t = int * int
+
+  let compare = compare
+end)
+
+type t = {
+  n_funcs : int;
+  n_imports : int;
+  direct : Pair_set.t;
+  indirect : Pair_set.t;
+  succ : int list array;
+  roots : int list;
+  reachable_ : bool array;
+  table_escapes_ : bool;
+  names : (int, string) Hashtbl.t;
+}
+
+(** Static table layout: [Some slots] when every element segment has a
+    constant offset into a module-defined, non-escaping table, so slot
+    contents cannot change at run time. *)
+let table_layout (m : module_) ~escapes =
+  let imported_table =
+    List.exists (fun i -> match i.idesc with TableImport _ -> true | _ -> false) m.imports
+  in
+  if escapes || imported_table || m.tables = [] then None
+  else
+    let constant_offset e = match e.eoffset with [ Const (Value.I32 c) ] -> Some c | _ -> None in
+    let offsets = List.map constant_offset m.elems in
+    if List.exists Option.is_none offsets then None
+    else begin
+      let size =
+        List.fold_left2
+          (fun acc e off -> max acc (Int32.to_int (Option.get off) + List.length e.einit))
+          0 m.elems offsets
+      in
+      let slots = Array.make size None in
+      List.iter2
+        (fun e off ->
+           List.iteri (fun i f -> slots.(Int32.to_int (Option.get off) + i) <- Some f) e.einit)
+        m.elems offsets;
+      Some slots
+    end
+
+let build ?(tighten = true) (m : module_) : t =
+  let ctx = Validate.Module_ctx.create m in
+  let func_types = ctx.Validate.Module_ctx.func_types in
+  let types = ctx.Validate.Module_ctx.types in
+  let n_imports = num_imported_funcs m in
+  let n_funcs = Array.length func_types in
+  let exported_table =
+    List.exists (fun e -> match e.edesc with TableExport _ -> true | _ -> false) m.exports
+  in
+  let imported_table =
+    List.exists (fun i -> match i.idesc with TableImport _ -> true | _ -> false) m.imports
+  in
+  let table_escapes_ = exported_table || imported_table in
+  let layout = table_layout m ~escapes:table_escapes_ in
+  let elem_funcs = List.sort_uniq compare (List.concat_map (fun e -> e.einit) m.elems) in
+  let has_table = ctx.Validate.Module_ctx.has_table in
+  let candidates_of_type ft =
+    if not has_table then []
+    else
+      let pool =
+        if table_escapes_ then List.init n_funcs Fun.id else elem_funcs
+      in
+      List.filter (fun f -> Types.equal_func_type func_types.(f) ft) pool
+  in
+  let direct = ref Pair_set.empty in
+  let indirect = ref Pair_set.empty in
+  List.iteri
+    (fun i (f : func) ->
+       let caller = n_imports + i in
+       let sv =
+         if tighten && List.exists (function CallIndirect _ -> true | _ -> false) f.body
+         then Some (Stackval.analyze ctx (Cfg.build ctx f))
+         else None
+       in
+       List.iteri
+         (fun pc ins ->
+            match ins with
+            | Call callee -> direct := Pair_set.add (caller, callee) !direct
+            | CallIndirect ti ->
+              let ft = types.(ti) in
+              let exact =
+                match layout, sv with
+                | Some slots, Some sv ->
+                  (match Stackval.top_of_stack sv pc with
+                   | Some (Value.I32 k) ->
+                     let k = Int32.to_int k in
+                     if k >= 0 && k < Array.length slots then
+                       (* out-of-range or type-mismatched slots trap: no edge *)
+                       Some
+                         (match slots.(k) with
+                          | Some callee when Types.equal_func_type func_types.(callee) ft ->
+                            [ callee ]
+                          | _ -> [])
+                     else Some []
+                   | _ -> None)
+                | _ -> None
+              in
+              let targets =
+                match exact with Some ts -> ts | None -> candidates_of_type ft
+              in
+              List.iter
+                (fun callee -> indirect := Pair_set.add (caller, callee) !indirect)
+                targets
+            | _ -> ())
+         f.body)
+    m.funcs;
+  let succ = Array.make (max n_funcs 1) [] in
+  Pair_set.iter (fun (a, b) -> succ.(a) <- b :: succ.(a)) (Pair_set.union !direct !indirect);
+  Array.iteri (fun i l -> succ.(i) <- List.sort_uniq compare l) succ;
+  let export_roots =
+    List.filter_map (fun e -> match e.edesc with FuncExport i -> Some i | _ -> None) m.exports
+  in
+  let roots =
+    List.sort_uniq compare
+      (export_roots
+       @ Option.to_list m.start
+       @ (if table_escapes_ then elem_funcs else []))
+  in
+  let reachable_ = Array.make (max n_funcs 1) false in
+  let rec visit f =
+    if f < n_funcs && not reachable_.(f) then begin
+      reachable_.(f) <- true;
+      List.iter visit succ.(f)
+    end
+  in
+  List.iter visit roots;
+  let names = Hashtbl.create 16 in
+  List.iter
+    (fun e ->
+       match e.edesc with
+       | FuncExport i -> if not (Hashtbl.mem names i) then Hashtbl.add names i e.name
+       | _ -> ())
+    m.exports;
+  { n_funcs; n_imports; direct = !direct; indirect = !indirect; succ; roots;
+    reachable_; table_escapes_; names }
+
+let n_funcs t = t.n_funcs
+let n_imports t = t.n_imports
+let edges t = Pair_set.elements (Pair_set.union t.direct t.indirect)
+let direct_edges t = Pair_set.elements t.direct
+let indirect_edges t = Pair_set.elements t.indirect
+let callees t f = if f < 0 || f >= t.n_funcs then [] else t.succ.(f)
+let has_edge t a b = Pair_set.mem (a, b) t.direct || Pair_set.mem (a, b) t.indirect
+let roots t = t.roots
+let table_escapes t = t.table_escapes_
+let is_reachable t f = f >= 0 && f < t.n_funcs && t.reachable_.(f)
+
+let dead_functions t =
+  List.filter (fun f -> not t.reachable_.(f))
+    (List.init (t.n_funcs - t.n_imports) (fun i -> t.n_imports + i))
+
+let func_name t f = Hashtbl.find_opt t.names f
+
+let node_label t f =
+  match func_name t f with
+  | Some n -> Printf.sprintf "f%d %S" f n
+  | None -> Printf.sprintf "f%d" f
+
+let to_dot t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "digraph callgraph {\n  node [shape=ellipse fontname=monospace];\n";
+  for f = 0 to t.n_funcs - 1 do
+    let attrs = ref [] in
+    if f < t.n_imports then attrs := "shape=box" :: !attrs;
+    if not t.reachable_.(f) then attrs := "style=filled" :: "fillcolor=lightgrey" :: !attrs;
+    if List.mem f t.roots then attrs := "penwidth=2" :: !attrs;
+    Buffer.add_string buf
+      (Printf.sprintf "  f%d [label=\"%s\"%s];\n" f (node_label t f)
+         (if !attrs = [] then "" else " " ^ String.concat " " !attrs))
+  done;
+  Pair_set.iter
+    (fun (a, b) -> Buffer.add_string buf (Printf.sprintf "  f%d -> f%d;\n" a b))
+    t.direct;
+  Pair_set.iter
+    (fun (a, b) -> Buffer.add_string buf (Printf.sprintf "  f%d -> f%d [style=dashed];\n" a b))
+    t.indirect;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let summary t =
+  let dead = dead_functions t in
+  Printf.sprintf
+    "%d functions (%d imported), %d direct + %d indirect edges, %d roots%s, %d unreachable%s"
+    t.n_funcs t.n_imports
+    (Pair_set.cardinal t.direct) (Pair_set.cardinal t.indirect)
+    (List.length t.roots)
+    (if t.table_escapes_ then " (table escapes)" else "")
+    (List.length dead)
+    (match dead with
+     | [] -> ""
+     | l ->
+       Printf.sprintf " [%s]"
+         (String.concat " " (List.map (fun f -> Printf.sprintf "f%d" f) l)))

@@ -1,0 +1,60 @@
+(** Whole-module static call graph with type-and-table-based indirect-call
+    resolution (after Paccamiccio et al., "Building Call Graph of
+    WebAssembly Programs via Abstract Semantics") and export-rooted
+    reachability.
+
+    [call_indirect] edges are over-approximated: a site of type [ft] may
+    target any function of type [ft] listed in an element segment — or any
+    function of type [ft] at all when the table escapes (is imported or
+    exported, so the host can repopulate it). When the table layout is
+    fully static and {!Stackval} proves the index constant, the target is
+    resolved exactly. The graph is therefore a sound superset of any
+    dynamically observed call graph, and functions unreachable from the
+    roots (function exports, the start function, escaping table entries)
+    can safely be skipped by selective instrumentation. *)
+
+open Wasm
+
+type t
+
+val build : ?tighten:bool -> Ast.module_ -> t
+(** [tighten] (default [true]) runs {!Stackval} per function to resolve
+    constant-index indirect calls exactly. The module must be valid. *)
+
+val n_funcs : t -> int
+(** Size of the function index space (imports first). *)
+
+val n_imports : t -> int
+
+val edges : t -> (int * int) list
+(** All caller/callee pairs, sorted, deduplicated. *)
+
+val direct_edges : t -> (int * int) list
+val indirect_edges : t -> (int * int) list
+
+val callees : t -> int -> int list
+val has_edge : t -> int -> int -> bool
+
+val roots : t -> int list
+(** Entry points callable by the host: function exports, the start
+    function, and element-segment entries when the table escapes. *)
+
+val table_escapes : t -> bool
+
+val is_reachable : t -> int -> bool
+(** Reachable from the {!roots}. *)
+
+val dead_functions : t -> int list
+(** Module-defined functions not reachable from any root: candidates for
+    skipping during instrumentation. *)
+
+val func_name : t -> int -> string option
+(** Export name of a function, if any. *)
+
+val to_dot : t -> string
+(** GraphViz rendering; dead functions are greyed out, indirect edges
+    dashed. *)
+
+val summary : t -> string
+(** One-paragraph human-readable summary (counts of nodes, edges, roots,
+    dead functions). *)

@@ -1,0 +1,262 @@
+(** Per-function control-flow graph construction (see cfg.mli).
+
+    One linear scan resolves structured control flow: a control stack of
+    open blocks (mirroring the instrumenter's abstract control stack,
+    paper Section 2.4.4) turns relative branch labels into absolute
+    instruction indices — [loop] targets its first body instruction,
+    [block]/[if] target the instruction after their [End], the function
+    label targets the virtual exit at pc = body length. A second scan over
+    the recorded leaders cuts basic blocks and wires edges. *)
+
+open Wasm
+open Wasm.Ast
+
+type edge_kind =
+  | Fallthrough
+  | Jump
+  | Taken
+  | NotTaken
+  | IfTrue
+  | IfFalse
+  | Case of int
+  | Default
+
+type edge = {
+  dst : int;
+  kind : edge_kind;
+  carried : int option;
+}
+
+type block = {
+  id : int;
+  first : int;
+  last : int;
+  succs : edge list;
+  preds : int list;
+  stack_in : Validate.vknown list;
+  dead_in : bool;
+}
+
+type t = {
+  func : Ast.func;
+  body : Ast.instr array;
+  nlocals : int;
+  nparams : int;
+  results : Types.value_type list;
+  blocks : block array;
+  block_at : int array;
+  entry : int;
+  exit_ : int;
+  stacks : Validate.vknown list array;
+  dead : bool array;
+}
+
+(** Open structured block during the scan. [c_arity] is the branch arity of
+    the block's label (values a taken branch carries through unwinding). *)
+type centry = {
+  ckind : [ `Block | `Loop | `If ];
+  c_begin : int;
+  c_end : int;
+}
+
+let bt_arity : block_type -> int = function None -> 0 | Some _ -> 1
+
+let build (ctx : Validate.Module_ctx.t) (f : func) : t =
+  let body = Array.of_list f.body in
+  let n = Array.length body in
+  let ft = ctx.Validate.Module_ctx.types.(f.ftype) in
+  let nparams = List.length ft.Types.params in
+  let nlocals = nparams + List.length f.locals in
+  let results = ft.Types.results in
+  let jumps = Interp.compute_jumps body in
+  let end_of = jumps.Interp.end_of and else_of = jumps.Interp.else_of in
+  (* abstract stack shapes: run the validator alongside *)
+  let stacks = Array.make (n + 1) [] in
+  let dead = Array.make (n + 1) false in
+  let tr = Validate.Stack_tracker.create_in ctx f in
+  for pc = 0 to n - 1 do
+    stacks.(pc) <- Validate.Stack_tracker.stack tr;
+    dead.(pc) <- Validate.Stack_tracker.in_dead_code tr;
+    Validate.Stack_tracker.step tr body.(pc)
+  done;
+  stacks.(n) <- Validate.Stack_tracker.stack tr;
+  dead.(n) <- Validate.Stack_tracker.in_dead_code tr;
+  Validate.Stack_tracker.finish tr;
+  (* branch-label resolution: target pc and carried arity *)
+  let ctrl = ref [] in
+  let rec resolve stack l =
+    match stack, l with
+    | [], _ -> (n, List.length results)  (* the function label *)
+    | e :: _, 0 ->
+      let target = match e.ckind with `Loop -> e.c_begin + 1 | _ -> e.c_end + 1 in
+      let arity =
+        match e.ckind, body.(e.c_begin) with
+        | `Loop, _ -> 0  (* MVP loops have no label results *)
+        | _, (Block bt | If bt) -> bt_arity bt
+        | _ -> 0
+      in
+      (target, arity)
+    | _ :: rest, l -> resolve rest (l - 1)
+  in
+  let branch l =
+    let target, arity = resolve !ctrl l in
+    (target, Some arity)
+  in
+  (* terminator edges, by pc; None = plain fallthrough *)
+  let term = Array.make (max n 1) None in
+  let leader = Array.make (n + 1) false in
+  if n > 0 then leader.(0) <- true;
+  leader.(n) <- true;
+  let set_term pc edges =
+    term.(pc) <- Some edges;
+    List.iter (fun (_, t, _) -> leader.(t) <- true) edges;
+    if pc + 1 <= n then leader.(pc + 1) <- true
+  in
+  for pc = 0 to n - 1 do
+    match body.(pc) with
+    | Block _ -> ctrl := { ckind = `Block; c_begin = pc; c_end = end_of.(pc) } :: !ctrl
+    | Loop _ -> ctrl := { ckind = `Loop; c_begin = pc; c_end = end_of.(pc) } :: !ctrl
+    | If _ ->
+      ctrl := { ckind = `If; c_begin = pc; c_end = end_of.(pc) } :: !ctrl;
+      let false_target = if else_of.(pc) >= 0 then else_of.(pc) + 1 else end_of.(pc) + 1 in
+      set_term pc [ (IfTrue, pc + 1, None); (IfFalse, false_target, None) ]
+    | Else ->
+      (* reached by falling out of the then-arm: skip past the matching End *)
+      (match !ctrl with
+       | e :: _ -> set_term pc [ (Jump, e.c_end + 1, None) ]
+       | [] -> Error.decode_error ~code:"control" "else without open block")
+    | End -> (match !ctrl with _ :: rest -> ctrl := rest | [] -> ())
+    | Br l ->
+      let t, a = branch l in
+      set_term pc [ (Jump, t, a) ]
+    | BrIf l ->
+      let t, a = branch l in
+      set_term pc [ (Taken, t, a); (NotTaken, pc + 1, None) ]
+    | BrTable (ls, d) ->
+      let cases = List.mapi (fun i l -> let t, a = branch l in (Case i, t, a)) ls in
+      let t, a = branch d in
+      set_term pc (cases @ [ (Default, t, a) ])
+    | Return -> set_term pc [ (Jump, n, Some (List.length results)) ]
+    | Unreachable -> set_term pc []
+    | _ -> ()
+  done;
+  (* cut blocks at leaders *)
+  let block_at = Array.make (n + 1) 0 in
+  let firsts = ref [] in
+  for pc = n downto 0 do
+    if leader.(pc) then firsts := pc :: !firsts
+  done;
+  let firsts = Array.of_list !firsts in
+  let n_blocks = Array.length firsts in
+  Array.iteri
+    (fun id first ->
+       let last = if id + 1 < n_blocks then firsts.(id + 1) - 1 else n in
+       for pc = first to min last n do
+         block_at.(pc) <- id
+       done)
+    firsts;
+  if n = 0 then block_at.(0) <- 0;
+  let exit_ = if n = 0 then 0 else block_at.(n) in
+  let succ_arr = Array.make (max n_blocks 1) [] in
+  let pred_arr = Array.make (max n_blocks 1) [] in
+  Array.iteri
+    (fun id first ->
+       if first < n then begin
+         let last = if id + 1 < n_blocks then firsts.(id + 1) - 1 else n - 1 in
+         let edges =
+           match term.(last) with
+           | Some es -> List.map (fun (kind, t, carried) -> { kind; dst = block_at.(t); carried }) es
+           | None -> [ { kind = Fallthrough; dst = block_at.(last + 1); carried = None } ]
+         in
+         succ_arr.(id) <- edges;
+         List.iter (fun e -> pred_arr.(e.dst) <- id :: pred_arr.(e.dst)) edges
+       end)
+    firsts;
+  let blocks =
+    Array.init (max n_blocks 1) (fun id ->
+      let first = if n_blocks = 0 then 0 else firsts.(id) in
+      let last = if id + 1 < n_blocks then firsts.(id + 1) - 1 else if first >= n then first - 1 else n - 1 in
+      { id;
+        first;
+        last;
+        succs = succ_arr.(id);
+        preds = List.sort_uniq compare pred_arr.(id);
+        stack_in = stacks.(min first n);
+        dead_in = dead.(min first n) })
+  in
+  { func = f; body; nlocals; nparams; results; blocks; block_at;
+    entry = 0; exit_; stacks; dead }
+
+let successors t id = t.blocks.(id).succs
+let predecessors t id = t.blocks.(id).preds
+
+let reachable_blocks t =
+  let seen = Array.make (Array.length t.blocks) false in
+  let rec go id =
+    if not seen.(id) then begin
+      seen.(id) <- true;
+      List.iter (fun e -> go e.dst) t.blocks.(id).succs
+    end
+  in
+  go t.entry;
+  seen
+
+let unreachable_blocks t =
+  let seen = reachable_blocks t in
+  Array.to_list t.blocks
+  |> List.filter (fun b -> (not seen.(b.id)) && b.id <> t.exit_)
+
+let restrict t ~keep =
+  let n_blocks = Array.length t.blocks in
+  let pred_arr = Array.make n_blocks [] in
+  let blocks =
+    Array.map
+      (fun b ->
+         let succs =
+           List.filter (fun e -> e.kind = Fallthrough || keep b.last e) b.succs
+         in
+         List.iter (fun e -> pred_arr.(e.dst) <- b.id :: pred_arr.(e.dst)) succs;
+         { b with succs })
+      t.blocks
+  in
+  let blocks =
+    Array.map (fun b -> { b with preds = List.sort_uniq compare pred_arr.(b.id) }) blocks
+  in
+  { t with blocks }
+
+let string_of_kind = function
+  | Fallthrough -> ""
+  | Jump -> "jump"
+  | Taken -> "T"
+  | NotTaken -> "F"
+  | IfTrue -> "T"
+  | IfFalse -> "F"
+  | Case i -> Printf.sprintf "case %d" i
+  | Default -> "default"
+
+let to_dot ?(label = "cfg") t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "digraph %S {\n  node [shape=box fontname=monospace];\n" label);
+  Array.iter
+    (fun b ->
+       let text =
+         if b.id = t.exit_ && b.first >= Array.length t.body then "(exit)"
+         else begin
+           let lines = ref [] in
+           for pc = min b.last (b.first + 5) downto b.first do
+             lines := Printf.sprintf "%d: %s" pc (Ast.string_of_instr t.body.(pc)) :: !lines
+           done;
+           if b.last > b.first + 5 then lines := !lines @ [ "..." ];
+           String.concat "\\l" !lines ^ "\\l"
+         end
+       in
+       Buffer.add_string buf (Printf.sprintf "  b%d [label=\"%s\"];\n" b.id text);
+       List.iter
+         (fun e ->
+            let k = string_of_kind e.kind in
+            if k = "" then Buffer.add_string buf (Printf.sprintf "  b%d -> b%d;\n" b.id e.dst)
+            else Buffer.add_string buf (Printf.sprintf "  b%d -> b%d [label=%S];\n" b.id e.dst k))
+         b.succs)
+    t.blocks;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

@@ -1,0 +1,81 @@
+(** Per-function control-flow graphs over the flat instruction form.
+
+    Basic blocks partition the body's instruction indices; block delimiters
+    ([Block], [Loop], [End], [Else]) are ordinary instructions, so every
+    program point of the instrumenter's location scheme maps to exactly one
+    block. A virtual exit block (at pc = body length) collects [Return],
+    branches to the function label, and the fall-off-the-end edge.
+
+    Construction runs the validation algorithm ({!Wasm.Validate.Stack_tracker})
+    alongside the structural scan, so every program point carries the
+    abstract stack shape the validator computed there. *)
+
+open Wasm
+
+(** Why an edge is taken. [Jump] covers unconditional [br], [return]
+    (modelled as a branch to the function label), and the skip over an
+    else-arm when the then-arm completes. *)
+type edge_kind =
+  | Fallthrough
+  | Jump
+  | Taken  (** [br_if], condition true *)
+  | NotTaken  (** [br_if], condition false *)
+  | IfTrue
+  | IfFalse
+  | Case of int  (** [br_table] entry *)
+  | Default  (** [br_table] default *)
+
+type edge = {
+  dst : int;  (** successor block id *)
+  kind : edge_kind;
+  carried : int option;
+      (** [Some a]: a label-targeted branch; only the top [a] values survive
+          the stack unwinding. [None]: the whole stack flows through. *)
+}
+
+type block = {
+  id : int;
+  first : int;  (** pc of the first instruction; body length for the exit block *)
+  last : int;  (** pc of the last instruction; [first > last] for the exit block *)
+  succs : edge list;
+  preds : int list;
+  stack_in : Validate.vknown list;  (** abstract stack at entry, top first *)
+  dead_in : bool;  (** validator dead-code flag at entry *)
+}
+
+type t = {
+  func : Ast.func;
+  body : Ast.instr array;
+  nlocals : int;  (** parameters + declared locals *)
+  nparams : int;
+  results : Types.value_type list;
+  blocks : block array;
+  block_at : int array;  (** pc -> block id, length [Array.length body + 1] *)
+  entry : int;
+  exit_ : int;
+  stacks : Validate.vknown list array;  (** per-pc abstract stack, top first *)
+  dead : bool array;  (** per-pc validator dead-code flag *)
+}
+
+val build : Validate.Module_ctx.t -> Ast.func -> t
+(** Build the CFG of one function. The function must be valid.
+    @raise Validate.Invalid on ill-typed code. *)
+
+val successors : t -> int -> edge list
+val predecessors : t -> int -> int list
+
+val reachable_blocks : t -> bool array
+(** Graph reachability from the entry block. *)
+
+val unreachable_blocks : t -> block list
+(** Non-exit blocks unreachable from the entry block: statically dead code. *)
+
+val restrict : t -> keep:(int -> edge -> bool) -> t
+(** [restrict t ~keep] drops terminator edges for which [keep last_pc edge]
+    is false ([last_pc] is the pc of the block's terminating instruction)
+    and recomputes predecessor lists. Fallthrough edges of non-terminator
+    blocks are always kept. *)
+
+val to_dot : ?label:string -> t -> string
+(** GraphViz rendering: one node per block with its instruction range and
+    mnemonics, edges annotated with their kind. *)

@@ -1,0 +1,71 @@
+(** Worklist fixpoint solver (see dataflow.mli). *)
+
+module type LATTICE = sig
+  type t
+
+  val bottom : t
+  val join : t -> t -> t
+  val equal : t -> t -> bool
+end
+
+type direction = Forward | Backward
+
+module Make (L : LATTICE) = struct
+  type result = {
+    before : L.t array;
+    after : L.t array;
+  }
+
+  let solve ?(direction = Forward) ?(edge = fun _ fact -> fact) (cfg : Cfg.t)
+      ~(init : L.t) ~(transfer : Cfg.t -> int -> L.t -> L.t) : result =
+    let n = Array.length cfg.Cfg.blocks in
+    let before = Array.make n L.bottom in
+    let after = Array.make n L.bottom in
+    (* incoming.(id): edges whose fact flows into block [id], paired with
+       the block the fact is read from *)
+    let incoming = Array.make n [] in
+    let outgoing = Array.make n [] in
+    Array.iter
+      (fun (b : Cfg.block) ->
+         List.iter
+           (fun (e : Cfg.edge) ->
+              match direction with
+              | Forward ->
+                incoming.(e.Cfg.dst) <- (b.Cfg.id, e) :: incoming.(e.Cfg.dst);
+                outgoing.(b.Cfg.id) <- e.Cfg.dst :: outgoing.(b.Cfg.id)
+              | Backward ->
+                incoming.(b.Cfg.id) <- (e.Cfg.dst, e) :: incoming.(b.Cfg.id);
+                outgoing.(e.Cfg.dst) <- b.Cfg.id :: outgoing.(e.Cfg.dst))
+           b.Cfg.succs)
+      cfg.Cfg.blocks;
+    let seed = match direction with Forward -> cfg.Cfg.entry | Backward -> cfg.Cfg.exit_ in
+    let on_list = Array.make n false in
+    let work = Queue.create () in
+    let push id =
+      if not on_list.(id) then begin
+        on_list.(id) <- true;
+        Queue.add id work
+      end
+    in
+    let processed = Array.make n false in
+    push seed;
+    while not (Queue.is_empty work) do
+      let id = Queue.pop work in
+      on_list.(id) <- false;
+      let in_fact =
+        List.fold_left
+          (fun acc (src, e) -> L.join acc (edge e after.(src)))
+          (if id = seed then init else L.bottom)
+          incoming.(id)
+      in
+      before.(id) <- in_fact;
+      let out_fact = transfer cfg id in_fact in
+      let changed = not (L.equal out_fact after.(id)) in
+      if changed then after.(id) <- out_fact;
+      if changed || not processed.(id) then begin
+        processed.(id) <- true;
+        List.iter push (List.sort_uniq compare outgoing.(id))
+      end
+    done;
+    { before; after }
+  end

@@ -1,0 +1,40 @@
+(** Generic worklist dataflow solver over {!Cfg} basic blocks,
+    functorized over a join-semilattice. Supports forward and backward
+    problems and an optional per-edge transfer (used by the stack-value
+    analysis to model branch-time stack unwinding). *)
+
+module type LATTICE = sig
+  type t
+
+  val bottom : t
+  (** Identity of {!join}; the fact of unreached blocks. *)
+
+  val join : t -> t -> t
+  val equal : t -> t -> bool
+end
+
+type direction = Forward | Backward
+
+module Make (L : LATTICE) : sig
+  type result = {
+    before : L.t array;
+        (** Per block: the fact where flow enters it — at block entry for
+            forward problems, at block exit for backward problems. *)
+    after : L.t array;
+        (** Per block: the fact where flow leaves it (the transfer of
+            [before]). *)
+  }
+
+  val solve :
+    ?direction:direction ->
+    ?edge:(Cfg.edge -> L.t -> L.t) ->
+    Cfg.t ->
+    init:L.t ->
+    transfer:(Cfg.t -> int -> L.t -> L.t) ->
+    result
+  (** Iterate to a fixpoint. [init] seeds the entry block (forward) or the
+      exit block (backward); all other blocks start at [L.bottom].
+      [transfer cfg id fact] flows [fact] through block [id]; [edge]
+      (default: identity) adjusts a fact as it crosses a specific edge.
+      Blocks unreachable in the chosen direction keep [L.bottom]. *)
+end

@@ -1,0 +1,52 @@
+(** Instrumentation-soundness lint: statically verifies that an
+    instrumented module is a faithful rewriting of its original (in the
+    spirit of BREWasm's post-rewrite soundness checks), complementing the
+    fuzzer's dynamic differential oracle.
+
+    Checked invariants:
+    - the instrumented import section is the original one followed by
+      exactly the monomorphized hook imports recorded in the metadata
+      (names, import module, signatures);
+    - memory, data, table, global and type sections are unchanged (the
+      original types remain a prefix), exports / element segments / start
+      are unchanged up to the hook-insertion index remapping;
+    - every original instruction reappears in the instrumented body, in
+      order, with an {e identical abstract stack shape} at each original
+      program point (so every inserted hook-call sequence is
+      stack-neutral) — [drop] may be realised as a store to a fresh
+      temporary, per the paper's Table 3;
+    - inserted instructions come only from the instrumenter's vocabulary:
+      constants, reads of any local, writes to fresh temporaries, calls to
+      hook imports, i64-splitting arithmetic, and the [if]/[end] wrapper
+      around conditional end-hooks;
+    - functions pruned by selective instrumentation are kept verbatim
+      (calls remapped only) and are indeed unreachable in the static call
+      graph.
+
+    Branch/return sites the instrumenter skipped inside
+    statically-unreachable code ([Metadata.dead_skipped]) are surfaced as
+    [Info] findings. *)
+
+type severity = Error | Warning | Info
+
+type finding = {
+  severity : severity;
+  code : string;  (** machine-readable class, e.g. ["order"], ["hook-import"] *)
+  func : int option;  (** original function index *)
+  at : int option;  (** original instruction index *)
+  message : string;
+}
+
+val check : Wasabi.Instrument.result -> finding list
+(** All findings, errors first. The original module is taken from the
+    result's metadata. *)
+
+val errors : finding list -> finding list
+(** Only the [Error]-severity findings. *)
+
+val to_string : finding -> string
+(** One-line rendering, e.g. ["error[order] f3@17: original instruction
+    i32.add lost"]. *)
+
+val report : finding list -> string
+(** Multi-line rendering plus a one-line summary. *)

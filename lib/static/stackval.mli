@@ -1,0 +1,27 @@
+(** Constant / stack-value analysis: an abstract interpretation over
+    {!Dataflow} that tracks statically-known constants through locals and
+    the operand stack (folding pure numeric operators with the
+    interpreter's own {!Wasm.Eval_numeric} semantics).
+
+    Its product is the statically-known top-of-stack value at every
+    program point, which tightens [br_table] / [br_if] edge sets
+    ({!tighten}) and resolves constant-index [call_indirect] targets
+    exactly (used by {!Callgraph}). *)
+
+open Wasm
+
+type t
+
+val analyze : Validate.Module_ctx.t -> Cfg.t -> t
+
+val top_of_stack : t -> int -> Value.t option
+(** [top_of_stack t pc] is the statically-known value on top of the
+    operand stack just before executing the instruction at [pc], if the
+    analysis proved it constant on every path. *)
+
+val tighten : t -> Cfg.t -> Cfg.t
+(** Narrow terminator edges using known constants: a [br_if] whose
+    condition is constant keeps only its taken (or not-taken) edge, a
+    [br_table] with a constant index keeps only the selected case. The
+    result exposes statically-dead successors via
+    {!Cfg.unreachable_blocks}. *)

@@ -56,7 +56,17 @@ type fctx = {
   first_temp : int;
   split_i64 : bool;
   mutable br_tables : Metadata.br_table_info list;
+  mutable dead_skipped : int list;
+      (** instruction indices where instrumentation was skipped because the
+          stack type is polymorphic (statically-unreachable code) *)
 }
+
+(** A branch/return in statically-unreachable code: its operand types are
+    polymorphic, so no hook arguments can be materialised. The site is
+    recorded so the lint can surface it instead of a silent fallthrough. *)
+let skip_dead c ~at plain =
+  c.dead_skipped <- at :: c.dead_skipped;
+  plain
 
 let enabled c g = Hook.Group_set.mem g c.groups
 
@@ -243,7 +253,7 @@ let instrument_instr c ~at (ins : instr) (jumps : Interp.jump_info) : instr list
     if not need_cond then plain
     else begin
       match known_peek c 0 with
-      | None -> plain  (* dead code *)
+      | None -> skip_dead c ~at plain
       | Some _ ->
         let tc = temp c I32T 0 in
         let hook =
@@ -273,7 +283,7 @@ let instrument_instr c ~at (ins : instr) (jumps : Interp.jump_info) : instr list
     in
     if enabled c G_br_table || enabled c G_end then begin
       match known_peek c 0 with
-      | None -> plain
+      | None -> skip_dead c ~at plain
       | Some _ ->
         c.br_tables <- info :: c.br_tables;
         let ti = temp c I32T 0 in
@@ -295,7 +305,9 @@ let instrument_instr c ~at (ins : instr) (jumps : Interp.jump_info) : instr list
         | _ when not want_ret -> Some ([], [], fun () -> [])
         | [ rt ] ->
           (match known_peek c 0 with
-           | None -> None  (* dead code *)
+           | None ->
+             c.dead_skipped <- at :: c.dead_skipped;
+             None
            | Some _ ->
              let tr = temp c rt 0 in
              Some
@@ -449,7 +461,7 @@ let instrument_instr c ~at (ins : instr) (jumps : Interp.jump_info) : instr list
     else plain
 
 let instrument_func ~groups ~hooks ~placeholder_base ~split_i64 ~vctx ~fidx ~is_start
-    (f : func) : func * Metadata.br_table_info list =
+    (f : func) : func * Metadata.br_table_info list * int list =
   let body = Array.of_list f.body in
   let jumps = Interp.compute_jumps body in
   let params = vctx.Validate.Module_ctx.types.(f.ftype).params in
@@ -467,6 +479,7 @@ let instrument_func ~groups ~hooks ~placeholder_base ~split_i64 ~vctx ~fidx ~is_
     first_temp = List.length params + List.length f.locals;
     split_i64;
     br_tables = [];
+    dead_skipped = [];
   } in
   let out = ref [] in
   let emit is = out := List.rev_append is !out in
@@ -485,7 +498,7 @@ let instrument_func ~groups ~hooks ~placeholder_base ~split_i64 ~vctx ~fidx ~is_
     locals = f.locals @ List.rev c.extra_locals;
     body = List.rev !out;
   } in
-  (f', c.br_tables)
+  (f', c.br_tables, List.rev c.dead_skipped)
 
 (** Remap a function index after hook imports have been inserted.
     [n_imp] original imported functions keep their indices; the [h] hooks
@@ -505,15 +518,21 @@ let remap_instr remap = function
     functions are independent — the only shared state is the mutex-guarded
     monomorphization map (paper, Section 3). Results are kept in function
     order regardless of scheduling. *)
-let instrument_functions ~groups ~hooks ~split_i64 ~vctx ~n_imp ~n_orig ~start ~domains funcs =
+let instrument_functions ~groups ~hooks ~split_i64 ~vctx ~n_imp ~n_orig ~start ~domains
+    ~instrument_fidx funcs =
   let arr = Array.of_list funcs in
   let results = Array.make (Array.length arr) None in
   let one i f =
     let fidx = n_imp + i in
     results.(i) <-
       Some
-        (instrument_func ~groups ~hooks ~placeholder_base:n_orig ~split_i64 ~vctx ~fidx
-           ~is_start:(start = Some fidx) f)
+        (if instrument_fidx fidx then
+           instrument_func ~groups ~hooks ~placeholder_base:n_orig ~split_i64 ~vctx ~fidx
+             ~is_start:(start = Some fidx) f
+         else
+           (* pruned: the body is kept verbatim; the final remapping pass
+              still fixes its call sites for the shifted index space *)
+           (f, [], []))
   in
   if domains <= 1 || Array.length arr < 2 then Array.iteri one arr
   else begin
@@ -538,23 +557,34 @@ let instrument_functions ~groups ~hooks ~split_i64 ~vctx ~n_imp ~n_orig ~start ~
     [domains] > 1 instruments functions in parallel (hook ordinals then
     depend on scheduling, but the output is always valid and equivalent).
     The input module must be valid. *)
-let instrument ?(groups = Hook.all) ?(split_i64 = true) ?(domains = 1) (m : module_) : result =
+let instrument ?(groups = Hook.all) ?(split_i64 = true) ?(domains = 1)
+    ?(prune_unreachable = false) (m : module_) : result =
   let hooks = Hook.Map.create () in
   let vctx = Validate.Module_ctx.create m in
   let n_imp = num_imported_funcs m in
   let n_orig = num_funcs m in
+  let pruned_funcs =
+    if prune_unreachable then Static.Callgraph.dead_functions (Static.Callgraph.build m)
+    else []
+  in
+  let instrument_fidx fidx = not (List.mem fidx pruned_funcs) in
   let br_tables = ref Location.Map.empty in
+  let dead_skipped = ref [] in
   let instrumented_funcs =
     instrument_functions ~groups ~hooks ~split_i64 ~vctx ~n_imp ~n_orig ~start:m.start ~domains
-      m.funcs
+      ~instrument_fidx m.funcs
   in
   let funcs' =
-    List.map
-      (fun (f', bts) ->
+    List.mapi
+      (fun i (f', bts, dead) ->
          List.iter
            (fun (bt : Metadata.br_table_info) ->
               br_tables := Location.Map.add bt.bt_loc bt !br_tables)
            bts;
+         List.iter
+           (fun at ->
+              dead_skipped := Location.make ~func:(n_imp + i) ~instr:at :: !dead_skipped)
+           dead;
          f')
       instrumented_funcs
   in
@@ -611,5 +641,7 @@ let instrument ?(groups = Hook.all) ?(split_i64 = true) ?(domains = 1) (m : modu
     hook_specs = specs;
     num_original_func_imports = n_imp;
     func_names = Metadata.extract_func_names m;
+    dead_skipped = List.rev !dead_skipped;
+    pruned_funcs;
   } in
   { instrumented; metadata; hook_map = hooks }

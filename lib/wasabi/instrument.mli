@@ -10,14 +10,19 @@ type result = {
 }
 
 val instrument :
-  ?groups:Hook.Group_set.t -> ?split_i64:bool -> ?domains:int -> Wasm.Ast.module_ -> result
+  ?groups:Hook.Group_set.t -> ?split_i64:bool -> ?domains:int ->
+  ?prune_unreachable:bool -> Wasm.Ast.module_ -> result
 (** Instrument for the given hook groups (default: all). [split_i64]
     (default [true]) splits i64 hook arguments into two i32 halves, as
     required when the analysis host is JavaScript; [false] is the
     native-host ablation. [domains] (default 1) instruments functions in
     parallel — the monomorphization map is the only shared state and is
-    mutex-guarded, mirroring the paper's Section 3. The input module must
-    be valid; the output module validates and imports its hooks from
+    mutex-guarded, mirroring the paper's Section 3. [prune_unreachable]
+    (default [false]) consults the static call graph and leaves functions
+    unreachable from any export/start root uninstrumented (their bodies
+    are kept verbatim, only call sites are remapped); the skipped indices
+    are recorded in [Metadata.pruned_funcs]. The input module must be
+    valid; the output module validates and imports its hooks from
     [Hook.import_module]. *)
 
 val remap_index : n_imp:int -> n_orig:int -> h:int -> int -> int

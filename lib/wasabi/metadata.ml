@@ -39,6 +39,13 @@ type t = {
   hook_specs : Hook.spec array;
   num_original_func_imports : int;
   func_names : (int * string) list;  (** export names of functions, by original index *)
+  dead_skipped : Location.t list;
+      (** statically-unreachable branch/return sites the instrumenter left
+          uninstrumented (their stack type is polymorphic, so no hook
+          arguments can be materialised) *)
+  pruned_funcs : int list;
+      (** original indices of functions selective instrumentation skipped
+          entirely (statically unreachable from any export/start root) *)
 }
 
 let br_table_at t loc =

@@ -36,6 +36,10 @@ type t = {
   hook_specs : Hook.spec array;
   num_original_func_imports : int;
   func_names : (int * string) list;
+  dead_skipped : Location.t list;
+      (** statically-unreachable branch/return sites left uninstrumented *)
+  pruned_funcs : int list;
+      (** original indices of functions skipped by selective instrumentation *)
 }
 
 val br_table_at : t -> Location.t -> br_table_info

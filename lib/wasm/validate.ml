@@ -165,6 +165,14 @@ module Stack_tracker = struct
       top). *)
   let pop_list t tys = List.iter (pop_expect t) (List.rev tys)
 
+  (** Snapshot of the abstract value stack, top first. Static analyses
+      (CFG edge metadata, the instrumentation-soundness lint) compare
+      these shapes across program points. *)
+  let stack t = t.vals
+
+  (** Current value-stack height. *)
+  let value_depth t = t.nvals
+
   (** Peek at the [n]-th slot from the top without popping ([n = 0] is the
       top). Returns [Unknown] when the slot is below the current frame in
       dead code. *)

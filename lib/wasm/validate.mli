@@ -44,6 +44,12 @@ module Stack_tracker : sig
   (** [peek t n] is the type of the [n]-th stack slot from the top without
       popping ([n = 0] is the top). *)
 
+  val stack : t -> vknown list
+  (** Snapshot of the abstract value stack, top first. *)
+
+  val value_depth : t -> int
+  (** Current value-stack height. *)
+
   val in_dead_code : t -> bool
   val depth : t -> int
   (** Control stack depth; the function frame counts as 1. *)

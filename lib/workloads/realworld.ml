@@ -136,6 +136,28 @@ let pdfkit ?(doc_len = 2000) () =
         [ Return (Some (Call ("count_words", [ Global "doclen" ]))) ];
       func "filter_compress" ~params:[] ~result:TInt ~export:false
         [ Return (Some (Call ("compress", [ Global "doclen" ]))) ];
+      (* linked-in but never called: the inverse/diagnostic paths a real
+         PDF library ships and a benchmark never exercises (alternative
+         checksum, decompression probe, its table-typed filter wrapper) *)
+      func "adler32" ~params:[ ("len", TInt) ] ~result:TInt ~export:false
+        ~locals:[ ("k", TInt); ("a", TInt); ("b", TInt) ]
+        [ "a" := i 1;
+          "b" := i 0;
+          For ("k", i 0, v "len",
+               [ "a" := Binop (Rem, v "a" + Load8u (i doc + v "k"), i 65521);
+                 "b" := Binop (Rem, v "b" + v "a", i 65521) ]);
+          Return (Some (Binop (BOr, Binop (Shl, v "b", i 16), v "a"))) ];
+      func "decompress_probe" ~params:[ ("len", TInt) ] ~result:TInt ~export:false
+        ~locals:[ ("pos", TInt); ("out", TInt) ]
+        [ "pos" := i 0;
+          "out" := i 0;
+          While (v "pos" < v "len",
+                 [ "out" := v "out"
+                            + Call ("match_len", [ i 0; v "pos"; v "len" - v "pos" ]) + i 1;
+                   "pos" := v "pos" + i 2 ]);
+          Return (Some (v "out")) ];
+      func "filter_adler" ~params:[] ~result:TInt ~export:false
+        [ Return (Some (Call ("adler32", [ Global "doclen" ]))) ];
       func "run" ~params:[] ~result:TFloat
         ~locals:[ ("nlines", TInt); ("k", TInt); ("acc", TFloat) ]
         [ SetGlobal ("rng", Long 88172645463325252L);
@@ -249,6 +271,23 @@ let zen_garden ?(verts = 60) ?(particles = 40) ?(frames = 4) () =
           Expr (Call ("rasterize", []));
           (* alternate the two effects through the table *)
           Expr (CallIndirect (Binop (Rem, v "t", i 2), [], None)) ];
+      (* dead engine code: an unused trig helper, an effect that was
+         never registered in the table, and a culling pass the demo's
+         camera never needs — all reachable only from each other *)
+      func "tan_approx" ~params:[ ("x", TFloat) ] ~result:TFloat ~export:false
+        [ Return (Some (Call ("sin_approx", [ v "x" ]) / Call ("cos_approx", [ v "x" ]))) ];
+      func "effect_invert" ~params:[] ~export:false ~locals:[ ("k", TInt) ]
+        [ For ("k", i 0, i (Stdlib.( * ) fbw fbw),
+               [ Store8 (i fb + v "k", i 255 - Load8u (i fb + v "k")) ]) ];
+      func "frustum_cull" ~params:[ ("fov", TFloat) ] ~result:TInt ~export:false
+        ~locals:[ ("k", TInt); ("kept", TInt); ("lim", TFloat) ]
+        [ "lim" := Call ("tan_approx", [ v "fov" / f 2.0 ]);
+          "kept" := i 0;
+          For ("k", i 0, i verts,
+               [ If (fload (i vbase) (v "k" * i 3) / (fload (i vbase) (v "k" * i 3 + i 2) + f 3.0)
+                     < v "lim",
+                     [ "kept" := v "kept" + i 1 ], []) ]);
+          Return (Some (v "kept")) ];
       func "run" ~params:[] ~result:TFloat
         ~locals:[ ("t", TInt); ("k", TInt); ("acc", TFloat) ]
         [ SetGlobal ("rng", Long 2463534242L);

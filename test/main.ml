@@ -11,6 +11,7 @@ let () =
       ("wasm:linking", Test_linking.suite);
       ("wasabi:hooks", Test_hooks.suite);
       ("wasabi:instrument", Test_instrument.suite);
+      ("static", Test_static.suite);
       ("analyses", Test_analyses.suite);
       ("minic", Test_minic.suite);
       ("faithfulness", Test_faithfulness.suite);

@@ -1,0 +1,391 @@
+(** Tests for the static-analysis subsystem ([lib/static]): CFG shape,
+    the worklist dataflow solver, the constant stack-value analysis, the
+    static call graph with indirect-call resolution, selective
+    instrumentation, and the instrumentation-soundness lint — including
+    its agreement with the {e dynamic} call-graph analysis over the whole
+    benchmark corpus. *)
+
+open Wasm
+open Wasm.Ast
+module B = Builder
+module W = Wasabi
+module Cfg = Static.Cfg
+module Callgraph = Static.Callgraph
+
+let cfg_of ~params ~results ~locals body =
+  let m = Helpers.single_func ~params ~results ~locals body in
+  Validate.validate_module m;
+  (Cfg.build (Validate.Module_ctx.create m) (List.hd m.funcs), m)
+
+(* ------------------------------------------------------------------ *)
+(* CFG construction                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_cfg_straightline () =
+  let cfg, _ = cfg_of ~params:[] ~results:[] ~locals:[] [ B.i32 1; Drop ] in
+  Alcotest.(check int) "two blocks (body + exit)" 2 (Array.length cfg.Cfg.blocks);
+  (match Cfg.successors cfg cfg.Cfg.entry with
+   | [ { Cfg.dst; kind = Cfg.Fallthrough; carried = None } ] ->
+     Alcotest.(check int) "falls through to the exit block" cfg.Cfg.exit_ dst
+   | _ -> Alcotest.fail "expected a single fallthrough edge");
+  Alcotest.(check int) "no unreachable blocks" 0 (List.length (Cfg.unreachable_blocks cfg))
+
+let test_cfg_if_else () =
+  (* 0:const 1:if 2:const 3:drop 4:else 5:const 6:drop 7:end *)
+  let body = (B.i32 1 :: B.if_ ~then_:[ B.i32 2; Drop ] ~else_:[ B.i32 3; Drop ] ()) in
+  let cfg, _ = cfg_of ~params:[] ~results:[] ~locals:[] body in
+  Alcotest.(check int) "four blocks" 4 (Array.length cfg.Cfg.blocks);
+  (match Cfg.successors cfg 0 with
+   | [ { Cfg.kind = Cfg.IfTrue; dst = t; _ }; { Cfg.kind = Cfg.IfFalse; dst = f; _ } ] ->
+     Alcotest.(check int) "then-arm starts after the if" 2 cfg.Cfg.blocks.(t).Cfg.first;
+     Alcotest.(check int) "else-arm starts after the else" 5 cfg.Cfg.blocks.(f).Cfg.first
+   | _ -> Alcotest.fail "expected IfTrue/IfFalse out of the condition block");
+  (* falling out of the then-arm jumps past the matching end *)
+  let then_block = cfg.Cfg.block_at.(2) in
+  (match Cfg.successors cfg then_block with
+   | [ { Cfg.kind = Cfg.Jump; dst; _ } ] ->
+     Alcotest.(check int) "then-arm jumps to the exit" cfg.Cfg.exit_ dst
+   | _ -> Alcotest.fail "expected a jump over the else-arm")
+
+let test_cfg_loop_backedge () =
+  (* 0:block 1:loop 2:const 3:br_if(loop) 4:end 5:end *)
+  let body = [ Block None; Loop None; B.i32 1; BrIf 0; End; End ] in
+  let cfg, _ = cfg_of ~params:[] ~results:[] ~locals:[] body in
+  let header = cfg.Cfg.block_at.(2) in
+  (match Cfg.successors cfg header with
+   | [ { Cfg.kind = Cfg.Taken; dst; carried }; { Cfg.kind = Cfg.NotTaken; dst = nt; _ } ] ->
+     Alcotest.(check int) "back edge targets the loop header" header dst;
+     Alcotest.(check (option int)) "loop labels carry no values" (Some 0) carried;
+     Alcotest.(check int) "fall-through continues after the br_if" 4
+       cfg.Cfg.blocks.(nt).Cfg.first
+   | _ -> Alcotest.fail "expected Taken/NotTaken out of the loop body");
+  Alcotest.(check (list int)) "header is its own predecessor"
+    [ cfg.Cfg.entry; header ]
+    (Cfg.predecessors cfg header)
+
+let test_cfg_dead_code () =
+  (* 0:return 1:const 2:drop — pc 1.. is statically dead *)
+  let cfg, _ = cfg_of ~params:[] ~results:[] ~locals:[] [ Return; B.i32 1; Drop ] in
+  (match Cfg.unreachable_blocks cfg with
+   | [ b ] -> Alcotest.(check int) "the dead block starts after the return" 1 b.Cfg.first
+   | bs -> Alcotest.failf "expected exactly one unreachable block, got %d" (List.length bs));
+  Alcotest.(check bool) "validator dead flag recorded" true cfg.Cfg.dead.(1);
+  (match Cfg.successors cfg cfg.Cfg.entry with
+   | [ { Cfg.kind = Cfg.Jump; dst; carried } ] ->
+     Alcotest.(check int) "return jumps to the exit" cfg.Cfg.exit_ dst;
+     Alcotest.(check (option int)) "return carries the result arity" (Some 0) carried
+   | _ -> Alcotest.fail "expected return to be a jump to the exit")
+
+(* ------------------------------------------------------------------ *)
+(* Dataflow solver                                                     *)
+(* ------------------------------------------------------------------ *)
+
+module Reach = Static.Dataflow.Make (struct
+  type t = bool
+  let bottom = false
+  let join = ( || )
+  let equal = Bool.equal
+end)
+
+let test_dataflow_directions () =
+  (* return; const; drop — the middle block is forward-unreachable but
+     still reaches the exit backwards *)
+  let cfg, _ = cfg_of ~params:[] ~results:[] ~locals:[] [ Return; B.i32 1; Drop ] in
+  let transfer _ _ fact = fact in
+  let fwd = Reach.solve cfg ~init:true ~transfer in
+  let bwd = Reach.solve ~direction:Static.Dataflow.Backward cfg ~init:true ~transfer in
+  let dead_block = cfg.Cfg.block_at.(1) in
+  Alcotest.(check bool) "entry is forward-reachable" true fwd.Reach.before.(cfg.Cfg.entry);
+  Alcotest.(check bool) "dead block stays at bottom forward" false
+    fwd.Reach.before.(dead_block);
+  Alcotest.(check bool) "exit is forward-reachable" true fwd.Reach.before.(cfg.Cfg.exit_);
+  Alcotest.(check bool) "dead block reaches the exit backward" true
+    bwd.Reach.before.(dead_block);
+  (* the fixpoint must agree with plain graph reachability everywhere *)
+  let seen = Cfg.reachable_blocks cfg in
+  Array.iteri
+    (fun id b ->
+       Alcotest.(check bool)
+         (Printf.sprintf "solver agrees with reachable_blocks at block %d" id)
+         seen.(id) b)
+    fwd.Reach.before
+
+(* ------------------------------------------------------------------ *)
+(* Constant stack-value analysis                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_stackval_folds_constants () =
+  let body = [ B.i32 3; B.i32 4; B.i32_add; Drop ] in
+  let m = Helpers.single_func ~params:[] ~results:[] ~locals:[] body in
+  Validate.validate_module m;
+  let ctx = Validate.Module_ctx.create m in
+  let cfg = Cfg.build ctx (List.hd m.funcs) in
+  let sv = Static.Stackval.analyze ctx cfg in
+  Alcotest.(check (option Helpers.value)) "top before the add"
+    (Some (Helpers.i32 4)) (Static.Stackval.top_of_stack sv 2);
+  Alcotest.(check (option Helpers.value)) "3 + 4 folded to 7"
+    (Some (Helpers.i32 7)) (Static.Stackval.top_of_stack sv 3)
+
+let test_stackval_tightens_brif () =
+  (* 0:block 1:const-1 2:br_if 3:const-5 4:drop 5:end — the branch is
+     always taken, so pcs 3..4 are statically dead after tightening *)
+  let body = [ Block None; B.i32 1; BrIf 0; B.i32 5; Drop; End ] in
+  let m = Helpers.single_func ~params:[] ~results:[] ~locals:[] body in
+  Validate.validate_module m;
+  let ctx = Validate.Module_ctx.create m in
+  let cfg = Cfg.build ctx (List.hd m.funcs) in
+  Alcotest.(check int) "nothing unreachable before tightening" 0
+    (List.length (Cfg.unreachable_blocks cfg));
+  let tight = Static.Stackval.tighten (Static.Stackval.analyze ctx cfg) cfg in
+  (match Cfg.unreachable_blocks tight with
+   | [ b ] -> Alcotest.(check int) "not-taken arm is dead" 3 b.Cfg.first
+   | bs -> Alcotest.failf "expected one dead block after tightening, got %d" (List.length bs))
+
+(* ------------------------------------------------------------------ *)
+(* Static call graph                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_callgraph_direct_and_dead () =
+  let b = B.create () in
+  let leaf = B.add_func b ~params:[] ~results:[] ~locals:[] ~body:[ Nop ] in
+  let main = B.add_func b ~params:[] ~results:[] ~locals:[] ~body:[ Call leaf ] in
+  let dead = B.add_func b ~params:[] ~results:[] ~locals:[] ~body:[ Call leaf ] in
+  B.export_func b ~name:"main" main;
+  let m = B.build b in
+  Validate.validate_module m;
+  let cg = Callgraph.build m in
+  Alcotest.(check bool) "main -> leaf" true (Callgraph.has_edge cg main leaf);
+  Alcotest.(check bool) "dead -> leaf recorded too" true (Callgraph.has_edge cg dead leaf);
+  Alcotest.(check (list int)) "roots are the exports" [ main ] (Callgraph.roots cg);
+  Alcotest.(check bool) "leaf reachable" true (Callgraph.is_reachable cg leaf);
+  Alcotest.(check (list int)) "uncalled unexported function is dead" [ dead ]
+    (Callgraph.dead_functions cg)
+
+let indirect_module ~export_table =
+  let b = B.create () in
+  let g0 = B.add_func b ~params:[] ~results:[ Types.I32T ] ~locals:[] ~body:[ B.i32 10 ] in
+  let g1 = B.add_func b ~params:[] ~results:[ Types.I32T ] ~locals:[] ~body:[ B.i32 20 ] in
+  let ty = B.add_type b { Types.params = []; results = [ Types.I32T ] } in
+  let caller =
+    B.add_func b ~params:[] ~results:[ Types.I32T ] ~locals:[]
+      ~body:[ B.i32 1; CallIndirect ty ]
+  in
+  B.add_table b ~min_size:2 ~max_size:None;
+  B.add_elem b ~offset:0 ~funcs:[ g0; g1 ];
+  B.export_func b ~name:"main" caller;
+  if export_table then B.export_table b ~name:"table";
+  let m = B.build b in
+  Validate.validate_module m;
+  (m, g0, g1, caller)
+
+let test_callgraph_indirect_exact () =
+  let m, g0, g1, caller = indirect_module ~export_table:false in
+  let cg = Callgraph.build m in
+  Alcotest.(check bool) "constant index resolves to slot 1" true
+    (Callgraph.has_edge cg caller g1);
+  Alcotest.(check bool) "slot 0 is not a target" false (Callgraph.has_edge cg caller g0);
+  Alcotest.(check (list int)) "unselected slot is dead" [ g0 ] (Callgraph.dead_functions cg);
+  (* without the constant analysis, any type-compatible elem entry remains *)
+  let coarse = Callgraph.build ~tighten:false m in
+  Alcotest.(check bool) "coarse: slot 0 possible" true (Callgraph.has_edge coarse caller g0);
+  Alcotest.(check bool) "coarse: slot 1 possible" true (Callgraph.has_edge coarse caller g1);
+  Alcotest.(check (list int)) "coarse: nothing dead" [] (Callgraph.dead_functions coarse)
+
+let test_callgraph_escaping_table () =
+  let m, _g0, _g1, _caller = indirect_module ~export_table:true in
+  let cg = Callgraph.build m in
+  Alcotest.(check bool) "exported table escapes" true (Callgraph.table_escapes cg);
+  (* the host can re-point slots, so nothing behind the table may be pruned *)
+  Alcotest.(check (list int)) "nothing is dead" [] (Callgraph.dead_functions cg)
+
+(* ------------------------------------------------------------------ *)
+(* Static vs dynamic call graph over the corpus                        *)
+(* ------------------------------------------------------------------ *)
+
+let corpus = lazy (Workloads.Corpus.make ~n:4 ())
+
+let test_static_superset_of_dynamic () =
+  List.iter
+    (fun (e : Workloads.Corpus.entry) ->
+       let cg = Callgraph.build e.module_ in
+       let dyn = Analyses.Call_graph.create () in
+       let res = W.Instrument.instrument ~groups:Analyses.Call_graph.groups e.module_ in
+       let inst, _ = W.Runtime.instantiate res (Analyses.Call_graph.analysis dyn) in
+       ignore (Interp.invoke_export inst "run" []);
+       List.iter
+         (fun (caller, callee) ->
+            if not (Callgraph.has_edge cg caller callee) then
+              Alcotest.failf "%s: dynamic edge %d -> %d missing from the static graph" e.name
+                caller callee;
+            if not (Callgraph.is_reachable cg callee) then
+              Alcotest.failf "%s: dynamically-called f%d is statically unreachable" e.name
+                callee)
+         (Analyses.Call_graph.edges dyn))
+    (Lazy.force corpus)
+
+let test_selective_instrumentation_realworld () =
+  List.iter
+    (fun (e : Workloads.Corpus.entry) ->
+       let full = W.Instrument.instrument e.module_ in
+       let sel = W.Instrument.instrument ~prune_unreachable:true e.module_ in
+       let full_size = String.length (Encode.encode full.W.Instrument.instrumented) in
+       let sel_size = String.length (Encode.encode sel.W.Instrument.instrumented) in
+       Alcotest.(check bool)
+         (e.name ^ ": pruning leaves dead helpers uninstrumented") true
+         (List.length sel.W.Instrument.metadata.W.Metadata.pruned_funcs > 0);
+       Alcotest.(check bool) (e.name ^ ": selective binary is smaller") true
+         (sel_size < full_size);
+       (match Lint.errors (Lint.check sel) with
+        | [] -> ()
+        | f :: _ ->
+          Alcotest.failf "%s: lint rejects the pruned module: %s" e.name (Lint.to_string f));
+       (* identical behaviour, differential-oracle style *)
+       let reference = Workloads.Corpus.run_reference e in
+       let inst, _ = W.Runtime.instantiate sel W.Analysis.default in
+       (match Interp.invoke_export inst "run" [] with
+        | [ Value.F64 x ] ->
+          Alcotest.(check (float 1e-9)) (e.name ^ ": checksum unchanged") reference x
+        | vs -> Alcotest.failf "%s: run returned %d values" e.name (List.length vs)))
+    (Workloads.Corpus.realworld (Lazy.force corpus))
+
+let test_lint_clean_on_corpus () =
+  List.iter
+    (fun (e : Workloads.Corpus.entry) ->
+       let res = W.Instrument.instrument e.module_ in
+       match Lint.errors (Lint.check res) with
+       | [] -> ()
+       | f :: _ -> Alcotest.failf "%s: %s" e.name (Lint.to_string f))
+    (Lazy.force corpus)
+
+let test_lint_oracle_on_generated_modules () =
+  for index = 0 to 49 do
+    let info = Fuzz.Harness.gen_case ~seed:Fuzz.Harness.default_seed ~index in
+    match Fuzz.Oracle.lint_instrumented info.Fuzz.Gen.module_ with
+    | Fuzz.Oracle.Pass | Fuzz.Oracle.Skip _ -> ()
+    | Fuzz.Oracle.Violation { kind; detail } ->
+      Alcotest.failf "generated case %d: [%s] %s" index kind detail
+  done
+
+(* ------------------------------------------------------------------ *)
+(* The lint flags deliberately broken instrumentation                  *)
+(* ------------------------------------------------------------------ *)
+
+let codes findings = List.map (fun (f : Lint.finding) -> f.Lint.code) (Lint.errors findings)
+
+let has_code c findings = List.mem c (codes findings)
+
+let sample_result () =
+  let m =
+    Helpers.single_func ~params:[] ~results:[] ~locals:[]
+      [ B.i32 1; Drop; B.i32 2; Drop ]
+  in
+  Validate.validate_module m;
+  W.Instrument.instrument m
+
+let test_lint_flags_dropped_hook_import () =
+  let res = sample_result () in
+  let inst = res.W.Instrument.instrumented in
+  let broken = { inst with imports = List.tl inst.imports } in
+  let findings = Lint.check { res with W.Instrument.instrumented = broken } in
+  Alcotest.(check bool) "hook-import error reported" true
+    (has_code "hook-import" findings || has_code "import" findings)
+
+let test_lint_flags_lost_instruction () =
+  let res = sample_result () in
+  let inst = res.W.Instrument.instrumented in
+  let f = List.hd inst.funcs in
+  (* delete the image of the last original instruction *)
+  let n = List.length f.body in
+  let body = List.filteri (fun i _ -> i < n - 1) f.body in
+  let broken = { inst with funcs = [ { f with body } ] } in
+  let findings = Lint.check { res with W.Instrument.instrumented = broken } in
+  Alcotest.(check bool) "lost original instruction reported" true
+    (has_code "order" findings || has_code "invalid" findings
+     || has_code "stack-shape" findings)
+
+let test_lint_flags_rogue_insertion () =
+  let res = sample_result () in
+  let inst = res.W.Instrument.instrumented in
+  let f = List.hd inst.funcs in
+  (* a nop is harmless at runtime but outside the insertion vocabulary *)
+  let broken = { inst with funcs = [ { f with body = Nop :: f.body } ] } in
+  let findings = Lint.check { res with W.Instrument.instrumented = broken } in
+  Alcotest.(check bool) "vocabulary violation reported" true (has_code "insertion" findings)
+
+let test_lint_flags_unbalanced_insertion () =
+  let res = sample_result () in
+  let inst = res.W.Instrument.instrumented in
+  let f = List.hd inst.funcs in
+  (* an in-vocabulary constant that nothing consumes: not stack-neutral *)
+  let broken = { inst with funcs = [ { f with body = f.body @ [ B.i32 9 ] } ] } in
+  let findings = Lint.check { res with W.Instrument.instrumented = broken } in
+  Alcotest.(check bool) "stack-shape violation reported" true
+    (has_code "stack-shape" findings || has_code "invalid" findings)
+
+let test_lint_flags_changed_export () =
+  let res = sample_result () in
+  let inst = res.W.Instrument.instrumented in
+  let exports =
+    List.map (fun (e : export) -> { e with name = e.name ^ "_renamed" }) inst.exports
+  in
+  let findings = Lint.check { res with W.Instrument.instrumented = { inst with exports } } in
+  Alcotest.(check bool) "export change reported" true (has_code "export" findings)
+
+(* ------------------------------------------------------------------ *)
+(* Dead-branch diagnostics from the instrumenter                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_dead_skip_diagnostics () =
+  (* br_if / return / br_table in code the validator knows is dead: the
+     instrumenter cannot compute their stack shapes and must skip their
+     hooks, recording each location instead of silently falling through *)
+  let body = [ B.i32 7; Block None; Br 0; BrIf 0; Return; BrTable ([ 0 ], 0); End ] in
+  let m = Helpers.single_func ~params:[] ~results:[ Types.I32T ] ~locals:[] body in
+  Validate.validate_module m;
+  let res = W.Instrument.instrument m in
+  let md = res.W.Instrument.metadata in
+  Alcotest.(check int) "three skipped sites recorded" 3
+    (List.length md.W.Metadata.dead_skipped);
+  Alcotest.(check (list int)) "at the br_if, return and br_table" [ 3; 4; 5 ]
+    (List.map (fun (l : W.Location.t) -> l.W.Location.instr) md.W.Metadata.dead_skipped);
+  Validate.validate_module res.W.Instrument.instrumented;
+  let findings = Lint.check res in
+  Alcotest.(check (list string)) "no lint errors" [] (codes findings);
+  Alcotest.(check int) "surfaced as info findings" 3
+    (List.length
+       (List.filter (fun (f : Lint.finding) -> f.Lint.code = "dead-skip") findings));
+  (* the instrumented function still runs *)
+  let inst, _ = W.Runtime.instantiate res W.Analysis.default in
+  Helpers.check_values "dead-code function still runs" [ Helpers.i32 7 ]
+    (Interp.invoke_export inst "f" [])
+
+let suite =
+  [
+    Alcotest.test_case "cfg: straight-line" `Quick test_cfg_straightline;
+    Alcotest.test_case "cfg: if/else diamond" `Quick test_cfg_if_else;
+    Alcotest.test_case "cfg: loop back edge" `Quick test_cfg_loop_backedge;
+    Alcotest.test_case "cfg: dead code after return" `Quick test_cfg_dead_code;
+    Alcotest.test_case "dataflow: forward vs backward" `Quick test_dataflow_directions;
+    Alcotest.test_case "stackval: constant folding" `Quick test_stackval_folds_constants;
+    Alcotest.test_case "stackval: br_if tightening" `Quick test_stackval_tightens_brif;
+    Alcotest.test_case "callgraph: direct edges and dead functions" `Quick
+      test_callgraph_direct_and_dead;
+    Alcotest.test_case "callgraph: exact indirect resolution" `Quick
+      test_callgraph_indirect_exact;
+    Alcotest.test_case "callgraph: escaping table" `Quick test_callgraph_escaping_table;
+    Alcotest.test_case "corpus: static graph covers dynamic edges" `Slow
+      test_static_superset_of_dynamic;
+    Alcotest.test_case "corpus: selective instrumentation" `Slow
+      test_selective_instrumentation_realworld;
+    Alcotest.test_case "corpus: lint clean everywhere" `Slow test_lint_clean_on_corpus;
+    Alcotest.test_case "fuzz: lint oracle on generated modules" `Slow
+      test_lint_oracle_on_generated_modules;
+    Alcotest.test_case "lint: dropped hook import" `Quick test_lint_flags_dropped_hook_import;
+    Alcotest.test_case "lint: lost original instruction" `Quick
+      test_lint_flags_lost_instruction;
+    Alcotest.test_case "lint: rogue insertion" `Quick test_lint_flags_rogue_insertion;
+    Alcotest.test_case "lint: unbalanced insertion" `Quick test_lint_flags_unbalanced_insertion;
+    Alcotest.test_case "lint: changed export" `Quick test_lint_flags_changed_export;
+    Alcotest.test_case "instrument: dead-branch skip diagnostics" `Quick
+      test_dead_skip_diagnostics;
+  ]
