@@ -313,6 +313,87 @@ let fig9 () =
   Printf.printf "   numeric PolyBench overheads exceed the diverse real-world programs')\n"
 
 (* ------------------------------------------------------------------ *)
+(* bench overhead: the paper-style overhead report, machine-readable   *)
+(* ------------------------------------------------------------------ *)
+
+(** Per-hook-group overhead (paper, Section 6.2 / Figure 9) over the
+    whole corpus, emitted as JSON: for every workload, the paired
+    uninstrumented-vs-instrumented runtime ratio under each single hook
+    group plus "all". The human-readable progress goes to stderr so
+    stdout stays a clean JSON document (or use [overhead FILE]). *)
+let overhead_bench out_path =
+  let fast = Sys.getenv_opt "WASABI_BENCH_FAST" <> None in
+  let target = if fast then 0.002 else 0.006 in
+  let reps = if fast then 3 else 5 in
+  let entries = Lazy.force corpus_fig9 in
+  let columns =
+    List.map (fun g -> (H.group_name g, H.Group_set.singleton g)) group_columns
+    @ [ ("all", H.all) ]
+  in
+  Printf.eprintf "bench overhead: %d workloads x %d hook groups (reps %d, target %.3fs)\n%!"
+    (List.length entries) (List.length columns) reps target;
+  let results =
+    List.map
+      (fun (e : Workloads.Corpus.entry) ->
+         let m = e.module_ in
+         let iters = Support.calibrated_iters m ~target in
+         let base = Interp.instantiate ~imports:[] m in
+         let cells =
+           List.map
+             (fun (name, groups) ->
+                let res = instrument_for groups m in
+                let inst, _ = W.Runtime.instantiate res W.Analysis.default in
+                (name, Support.paired_overhead ~reps ~iters base inst))
+             columns
+         in
+         Printf.eprintf "  %-16s iters %4d   all %6.2fx\n%!" e.name iters
+           (List.assoc "all" cells);
+         (e, iters, cells))
+      entries
+  in
+  let geomeans =
+    List.map
+      (fun (name, _) ->
+         (name, Support.geomean (List.map (fun (_, _, cells) -> List.assoc name cells) results)))
+      columns
+  in
+  Printf.eprintf "  %-16s %17s %6.2fx\n%!" "geomean" "" (List.assoc "all" geomeans);
+  let b = Buffer.create 4096 in
+  let num v = if Float.is_finite v then Printf.sprintf "%.4f" v else "null" in
+  Buffer.add_string b "{\n";
+  Buffer.add_string b "  \"benchmark\": \"overhead\",\n";
+  Buffer.add_string b
+    (Printf.sprintf "  \"config\": {\"fast\": %b, \"reps\": %d, \"target_seconds\": %g},\n"
+       fast reps target);
+  Buffer.add_string b
+    (Printf.sprintf "  \"hook_groups\": [%s],\n"
+       (String.concat ", " (List.map (fun (n, _) -> "\"" ^ n ^ "\"") columns)));
+  Buffer.add_string b "  \"workloads\": [";
+  List.iteri
+    (fun i ((e : Workloads.Corpus.entry), iters, cells) ->
+       if i > 0 then Buffer.add_char b ',';
+       Buffer.add_string b
+         (Printf.sprintf "\n    {\"name\": \"%s\", \"kind\": \"%s\", \"iters\": %d, \"overheads\": {%s}}"
+            e.name
+            (match e.kind with Workloads.Corpus.Polybench -> "polybench" | Workloads.Corpus.Realworld -> "realworld")
+            iters
+            (String.concat ", "
+               (List.map (fun (n, v) -> Printf.sprintf "\"%s\": %s" n (num v)) cells))))
+    results;
+  Buffer.add_string b "\n  ],\n";
+  Buffer.add_string b
+    (Printf.sprintf "  \"geomean\": {%s}\n"
+       (String.concat ", " (List.map (fun (n, v) -> Printf.sprintf "\"%s\": %s" n (num v)) geomeans)));
+  Buffer.add_string b "}\n";
+  match out_path with
+  | None -> print_string (Buffer.contents b)
+  | Some path ->
+    let oc = open_out path in
+    Fun.protect ~finally:(fun () -> close_out_noerr oc)
+      (fun () -> output_string oc (Buffer.contents b));
+    Printf.eprintf "wrote %s\n" path
+
+(* ------------------------------------------------------------------ *)
 (* Ablation: i64 splitting                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -507,7 +588,9 @@ let () =
   | [| _; "micro" |] -> micro ()
   | [| _; "interp" |] -> interp_bench ()
   | [| _; "static" |] -> static_bench ()
+  | [| _; "overhead" |] -> overhead_bench None
+  | [| _; "overhead"; path |] -> overhead_bench (Some path)
   | _ ->
     prerr_endline
-      "usage: main.exe [table4|rq2|table5|fig8|monomorph|fig9|ablation|micro|interp|static]";
+      "usage: main.exe [table4|rq2|table5|fig8|monomorph|fig9|ablation|micro|interp|static|overhead [FILE]]";
     exit 2

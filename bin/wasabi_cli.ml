@@ -207,13 +207,69 @@ let generate_js_cmd =
 
 (* --- hooks ----------------------------------------------------------- *)
 
+(** Monomorphization-cache statistics of one instrumentation run: the
+    generated hooks with their signatures and request counts, and the
+    hit/miss summary of the on-demand cache (paper, Section 2.4.3). *)
+let print_hook_stats (hook_map : W.Hook.Map.t) =
+  let requests = W.Hook.Map.requests hook_map in
+  Printf.printf "%-12s %-28s %-28s %9s\n" "group" "hook" "signature" "requests";
+  Array.iter
+    (fun (spec, reqs) ->
+       Printf.printf "%-12s %-28s %-28s %9d\n"
+         (W.Hook.group_name (W.Hook.group_of_spec spec))
+         (W.Hook.name spec)
+         (Wasm.Types.string_of_func_type (W.Hook.signature spec))
+         reqs)
+    requests;
+  let total = W.Hook.Map.total_requests hook_map in
+  Printf.printf
+    "monomorphization cache: %d hooks generated for %d requests (%d hits, %d misses, %.1f%% hit rate)\n"
+    (W.Hook.Map.count hook_map) total (W.Hook.Map.hits hook_map) (W.Hook.Map.misses hook_map)
+    (if total = 0 then 0.0 else 100.0 *. Float.of_int (W.Hook.Map.hits hook_map) /. Float.of_int total)
+
 let hooks_cmd =
-  let run () =
-    print_endline "hook groups (selective instrumentation units):";
-    List.iter (fun g -> Printf.printf "  %s\n" (W.Hook.group_name g)) W.Hook.all_groups
+  let stats_arg =
+    Arg.(value & flag
+         & info [ "stats" ]
+             ~doc:"Instrument INPUT (or the built-in corpus when no input is given) and \
+                   print monomorphization-cache statistics: generated hooks by kind and \
+                   type signature, request counts, hit/miss totals")
   in
-  let info = Cmd.info "hooks" ~doc:"List the available hook groups" in
-  Cmd.v info Term.(const run $ const ())
+  let input_opt =
+    Arg.(value & pos 0 (some file) None & info [] ~docv:"INPUT.wasm" ~doc:"Input binary for --stats")
+  in
+  let run stats input hooks =
+    structured @@ fun () ->
+    if not stats then begin
+      print_endline "hook groups (selective instrumentation units):";
+      List.iter (fun g -> Printf.printf "  %s\n" (W.Hook.group_name g)) W.Hook.all_groups
+    end
+    else begin
+      let groups = parse_groups hooks in
+      let modules =
+        match input with
+        | Some path -> [ (path, read_module path) ]
+        | None ->
+          List.map
+            (fun (e : Workloads.Corpus.entry) -> (e.name, e.module_))
+            (Workloads.Corpus.make ())
+      in
+      List.iteri
+        (fun i (label, m) ->
+           if i > 0 then print_newline ();
+           Printf.printf "== %s ==\n" label;
+           Wasm.Validate.validate_module m;
+           let res = W.Instrument.instrument ~groups m in
+           print_hook_stats res.W.Instrument.hook_map)
+        modules
+    end
+  in
+  let info =
+    Cmd.info "hooks"
+      ~doc:"List the available hook groups, or (with --stats) print \
+            monomorphization-cache statistics for an instrumentation run"
+  in
+  Cmd.v info Term.(const run $ stats_arg $ input_opt $ hooks_arg)
 
 (* --- callgraph ------------------------------------------------------- *)
 
@@ -371,7 +427,13 @@ let fuzz_cmd =
   let quiet_arg =
     Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Suppress progress output")
   in
-  let run seed gen mut out replay quiet =
+  let metrics_out_arg =
+    Arg.(value & opt (some string) None
+         & info [ "metrics-out" ] ~docv:"FILE"
+             ~doc:"Write campaign metrics (cases/s, per-oracle timing histograms) to FILE: \
+                   Prometheus text when it ends in .prom, JSON otherwise")
+  in
+  let run seed gen mut out replay quiet metrics_out =
     match replay with
     | Some spec ->
       let case, index =
@@ -385,13 +447,24 @@ let fuzz_cmd =
       let disposition = Fuzz.Harness.replay ~seed ~index case in
       Printf.printf "seed %d, %s case %d: %s\n" seed
         (match case with Fuzz.Harness.Generated -> "generated" | Fuzz.Harness.Mutated -> "mutated")
-        index disposition;
-      if String.length disposition >= 4 && String.sub disposition 0 4 = "FAIL" then exit 1
+        index
+        (Fuzz.Harness.disposition_to_string disposition);
+      (match disposition with Fuzz.Harness.Fail _ -> exit 1 | Fuzz.Harness.Pass _ | Fuzz.Harness.Skip _ -> ())
     | None ->
       let log = if quiet then fun _ -> () else fun s -> Printf.eprintf "%s\n%!" s in
+      let metrics = Option.map (fun _ -> Obs.Metrics.create ()) metrics_out in
       let stats, failures =
-        Fuzz.Harness.run ~log ~out_dir:out ~seed ~gen_count:gen ~mut_count:mut ()
+        Fuzz.Harness.run ~log ~out_dir:out ?metrics ~seed ~gen_count:gen ~mut_count:mut ()
       in
+      (match metrics_out, metrics with
+       | Some path, Some reg ->
+         let text =
+           if Filename.check_suffix path ".prom" then Obs.Metrics.to_prometheus reg
+           else Obs.Metrics.to_json reg
+         in
+         write_file path text;
+         Printf.eprintf "wrote %s\n" path
+       | _ -> ());
       Printf.printf "%s\n" (Fuzz.Harness.summary stats);
       List.iter
         (fun (f : Fuzz.Harness.failure) ->
@@ -408,7 +481,188 @@ let fuzz_cmd =
     Cmd.info "fuzz"
       ~doc:"Differential fuzzing: generated + mutated modules against the totality, round-trip, instrumentation-soundness and differential-equivalence oracles"
   in
-  Cmd.v info Term.(const run $ seed_arg $ gen_arg $ mut_arg $ out_arg $ replay_arg $ quiet_arg)
+  Cmd.v info
+    Term.(const run $ seed_arg $ gen_arg $ mut_arg $ out_arg $ replay_arg $ quiet_arg
+          $ metrics_out_arg)
+
+(* --- profile --------------------------------------------------------- *)
+
+let profile_cmd =
+  let input_opt =
+    Arg.(value & pos 0 (some file) None & info [] ~docv:"INPUT.wasm" ~doc:"Input binary")
+  in
+  let corpus_arg =
+    Arg.(value & flag
+         & info [ "corpus" ]
+             ~doc:"Profile every workload of the built-in benchmark corpus instead of a file")
+  in
+  let invoke_arg =
+    Arg.(value & opt string "run" & info [ "invoke" ] ~docv:"EXPORT" ~doc:"Exported function to call")
+  in
+  let top_arg =
+    Arg.(value & opt int 20 & info [ "top" ] ~docv:"N" ~doc:"Rows of the function/opcode tables")
+  in
+  let folded_arg =
+    Arg.(value & opt (some string) None
+         & info [ "folded" ] ~docv:"FILE"
+             ~doc:"Write folded stacks (flamegraph.pl / speedscope input) to FILE")
+  in
+  let trace_out_arg =
+    Arg.(value & opt (some string) None
+         & info [ "trace-out" ] ~docv:"FILE"
+             ~doc:"Write the pipeline + run spans as Chrome trace-event JSON (Perfetto-loadable)")
+  in
+  let metrics_out_arg =
+    Arg.(value & opt (some string) None
+         & info [ "metrics-out" ] ~docv:"FILE"
+             ~doc:"Write per-workload profile metrics to FILE: Prometheus text when it ends \
+                   in .prom, JSON otherwise")
+  in
+  let run input hooks corpus invoke top folded trace_out metrics_out =
+    structured @@ fun () ->
+    if trace_out <> None then begin
+      Obs.Span.set_enabled true;
+      Obs.Span.reset ()
+    end;
+    let workloads =
+      if corpus then
+        List.map (fun (e : Workloads.Corpus.entry) -> (e.name, e.module_)) (Workloads.Corpus.make ())
+      else
+        match input with
+        | Some path -> [ (Filename.remove_extension (Filename.basename path), read_module path) ]
+        | None ->
+          Printf.eprintf "wasabi profile: need INPUT.wasm or --corpus\n";
+          exit 2
+    in
+    let registry = Obs.Metrics.create () in
+    let folded_buf = Buffer.create 256 in
+    let many = List.length workloads > 1 in
+    List.iteri
+      (fun i (label, m) ->
+         if i > 0 then print_newline ();
+         Printf.printf "== %s ==\n" label;
+         Obs.Span.with_ label @@ fun () ->
+         Wasm.Validate.validate_module m;
+         let prof = Obs.Profile.create () in
+         let inst, hook_map =
+           match hooks with
+           | None ->
+             let inst = Wasm.Interp.instantiate ~fuel:max_int ~imports:[] m in
+             Wasm.Interp.set_profiler inst (Some prof);
+             (inst, None)
+           | Some _ ->
+             let groups = parse_groups hooks in
+             let res = W.Instrument.instrument ~groups m in
+             let inst, rt = W.Runtime.instantiate ~fuel:max_int res W.Analysis.default in
+             W.Runtime.attach_profiler rt (Some prof);
+             (inst, Some res.W.Instrument.hook_map)
+         in
+         let t0 = Obs.Clock.now_ns () in
+         let results =
+           Obs.Span.with_ "run" (fun () -> Wasm.Interp.invoke_export inst invoke [])
+         in
+         let wall_ns = Int64.sub (Obs.Clock.now_ns ()) t0 in
+         Printf.printf "%s returned [%s] in %.3f ms (%d instructions)\n\n" invoke
+           (String.concat "; " (List.map Wasm.Value.to_string results))
+           (Obs.Clock.ns_to_ms wall_ns) inst.Wasm.Interp.steps;
+         print_string (Wasm.Profile_report.func_table ~top inst prof);
+         print_newline ();
+         print_string (Wasm.Profile_report.render_opcode_mix ~top inst prof);
+         (match hook_map with
+          | None -> ()
+          | Some hm ->
+            print_newline ();
+            (* hook-overhead breakdown: dispatch count and time per group *)
+            let timers = Obs.Profile.timer_list prof in
+            if timers <> [] then begin
+              Printf.printf "%-24s %12s %12s %10s\n" "hook dispatch" "calls" "total ms" "avg ns";
+              List.iter
+                (fun (key, calls, ns) ->
+                   Printf.printf "%-24s %12d %12.3f %10.0f\n" key calls (Obs.Clock.ns_to_ms ns)
+                     (if calls = 0 then 0.0 else Int64.to_float ns /. Float.of_int calls))
+                timers;
+              let hook_ns = List.fold_left (fun acc (_, _, ns) -> Int64.add acc ns) 0L timers in
+              Printf.printf "hook dispatch total: %.3f ms (%.1f%% of wall time)\n\n"
+                (Obs.Clock.ns_to_ms hook_ns)
+                (if Int64.equal wall_ns 0L then 0.0
+                  else 100.0 *. Int64.to_float hook_ns /. Int64.to_float wall_ns)
+            end;
+            print_hook_stats hm);
+         (* folded stacks, one workload's paths prefixed by its name *)
+         List.iter
+           (fun line ->
+              if many then Buffer.add_string folded_buf (label ^ ";");
+              Buffer.add_string folded_buf line;
+              Buffer.add_char folded_buf '\n')
+           (Wasm.Profile_report.folded inst prof);
+         (* machine-readable summary *)
+         let labels = [ ("workload", label) ] in
+         Obs.Metrics.set
+           (Obs.Metrics.gauge ~registry ~labels ~help:"Wall time of the profiled invocation"
+              "profile_run_seconds")
+           (Obs.Clock.ns_to_s wall_ns);
+         Obs.Metrics.inc ~by:(Float.of_int inst.Wasm.Interp.steps)
+           (Obs.Metrics.counter ~registry ~labels ~help:"Instructions retired"
+              "profile_instructions_total");
+         let calls =
+           List.fold_left
+             (fun acc (r : Obs.Profile.func_row) -> acc + r.fr_calls)
+             0 (Obs.Profile.func_rows prof)
+         in
+         Obs.Metrics.inc ~by:(Float.of_int calls)
+           (Obs.Metrics.counter ~registry ~labels ~help:"Wasm function calls"
+              "profile_calls_total");
+         List.iter
+           (fun (key, n, ns) ->
+              let labels = ("hook", key) :: labels in
+              Obs.Metrics.inc ~by:(Float.of_int n)
+                (Obs.Metrics.counter ~registry ~labels ~help:"Hook dispatches"
+                   "profile_hook_dispatch_total");
+              Obs.Metrics.set
+                (Obs.Metrics.gauge ~registry ~labels ~help:"Time in hook dispatch"
+                   "profile_hook_dispatch_seconds")
+                (Obs.Clock.ns_to_s ns))
+           (Obs.Profile.timer_list prof);
+         match hook_map with
+         | None -> ()
+         | Some hm ->
+           Obs.Metrics.set
+             (Obs.Metrics.gauge ~registry ~labels ~help:"Monomorphic hooks generated"
+                "profile_monomorph_generated") (Float.of_int (W.Hook.Map.count hm));
+           Obs.Metrics.set
+             (Obs.Metrics.gauge ~registry ~labels ~help:"Monomorphization cache hits"
+                "profile_monomorph_hits") (Float.of_int (W.Hook.Map.hits hm)))
+      workloads;
+    (match folded with
+     | None -> ()
+     | Some path ->
+       write_file path (Buffer.contents folded_buf);
+       Printf.eprintf "wrote %s\n" path);
+    (match trace_out with
+     | None -> ()
+     | Some path ->
+       write_file path (Obs.Span.to_chrome_json ());
+       Printf.eprintf "wrote %s\n" path);
+    match metrics_out with
+    | None -> ()
+    | Some path ->
+      let text =
+        if Filename.check_suffix path ".prom" then Obs.Metrics.to_prometheus registry
+        else Obs.Metrics.to_json registry
+      in
+      write_file path text;
+      Printf.eprintf "wrote %s\n" path
+  in
+  let info =
+    Cmd.info "profile"
+      ~doc:"Run a binary (or the benchmark corpus) under the interpreter profiler: hot \
+            functions (calls, self/inclusive time), executed opcode mix, hook-dispatch \
+            overhead when instrumented (--hooks), folded stacks, Chrome trace JSON and \
+            machine-readable metrics"
+  in
+  Cmd.v info
+    Term.(const run $ input_opt $ hooks_arg $ corpus_arg $ invoke_arg $ top_arg $ folded_arg
+          $ trace_out_arg $ metrics_out_arg)
 
 (* --- corpus ---------------------------------------------------------- *)
 
@@ -434,4 +688,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ instrument_cmd; analyze_cmd; generate_js_cmd; hooks_cmd; callgraph_cmd; lint_cmd;
-            fuzz_cmd; corpus_cmd ]))
+            fuzz_cmd; profile_cmd; corpus_cmd ]))

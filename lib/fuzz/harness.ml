@@ -54,23 +54,39 @@ let mut_case ~seed ~index : string =
 
 (** {1 Oracles per case} *)
 
+(** Run oracle [f], recording its wall time under
+    [fuzz_oracle_seconds{oracle=...}] when a metrics registry is given. *)
+let timed metrics oracle f =
+  match metrics with
+  | None -> f ()
+  | Some registry ->
+    let h =
+      Obs.Metrics.histogram ~registry ~help:"Oracle wall time per case"
+        ~labels:[ ("oracle", oracle) ] "fuzz_oracle_seconds"
+    in
+    let t0 = Obs.Clock.now_ns () in
+    let r = f () in
+    Obs.Metrics.observe h (Obs.Clock.ns_to_s (Int64.sub (Obs.Clock.now_ns ()) t0));
+    r
+
 (** First violation of the generated-module pipeline, or the skip/pass
     disposition. *)
-let check_generated (info : Gen.info) : [ `Pass | `Skip | `Fail of string * string ] =
+let check_generated ?metrics (info : Gen.info) : [ `Pass | `Skip | `Fail of string * string ] =
+  let timed oracle f = timed metrics oracle f in
   let m = info.Gen.module_ in
-  match Oracle.validate_total m with
+  match timed "totality-validate" (fun () -> Oracle.validate_total m) with
   | Error crash -> `Fail ("totality-validate", crash)
   | Ok false -> `Fail ("gen-invalid", "generator produced an invalid module")
   | Ok true ->
-    (match Oracle.round_trip_generated m with
+    (match timed "round-trip" (fun () -> Oracle.round_trip_generated m) with
      | Oracle.Violation { kind; detail } -> `Fail (kind, detail)
      | Oracle.Skip _ | Oracle.Pass ->
        (* static soundness before the (more expensive) differential runs:
           a lint finding pinpoints the broken invariant directly *)
-       (match Oracle.lint_instrumented m with
+       (match timed "lint" (fun () -> Oracle.lint_instrumented m) with
         | Oracle.Violation { kind; detail } -> `Fail (kind, detail)
         | Oracle.Skip _ | Oracle.Pass ->
-          (match Oracle.differential info with
+          (match timed "differential" (fun () -> Oracle.differential info) with
            | Oracle.Violation { kind; detail } -> `Fail (kind, detail)
            | Oracle.Skip _ -> `Skip
            | Oracle.Pass -> `Pass)))
@@ -78,19 +94,20 @@ let check_generated (info : Gen.info) : [ `Pass | `Skip | `Fail of string * stri
 (** The mutated-binary pipeline: totality of decode; then, as far as the
     mutant remains meaningful, validate / round-trip / execute. Returns
     the depth reached so the campaign can report corpus quality. *)
-let check_mutated (bin : string) : [ `Pass of [ `Rejected | `Decoded | `Valid ] | `Skip | `Fail of string * string ] =
-  match Oracle.decode_total bin with
+let check_mutated ?metrics (bin : string) : [ `Pass of [ `Rejected | `Decoded | `Valid ] | `Skip | `Fail of string * string ] =
+  let timed oracle f = timed metrics oracle f in
+  match timed "totality-decode" (fun () -> Oracle.decode_total bin) with
   | Error crash -> `Fail ("totality-decode", crash)
   | Ok None -> `Pass `Rejected
   | Ok (Some m) ->
-    (match Oracle.validate_total m with
+    (match timed "totality-validate" (fun () -> Oracle.validate_total m) with
      | Error crash -> `Fail ("totality-validate", crash)
      | Ok false -> `Pass `Decoded
      | Ok true ->
-       (match Oracle.round_trip_bytes m with
+       (match timed "round-trip" (fun () -> Oracle.round_trip_bytes m) with
         | Oracle.Violation { kind; detail } -> `Fail (kind, detail)
         | Oracle.Skip _ | Oracle.Pass ->
-          (match Oracle.execution_total m with
+          (match timed "execution" (fun () -> Oracle.execution_total m) with
            | Oracle.Violation { kind; detail } -> `Fail (kind, detail)
            | Oracle.Skip _ -> `Skip
            | Oracle.Pass -> `Pass `Valid)))
@@ -160,10 +177,20 @@ let dump_failure ~out_dir (f : failure) =
 
 let default_seed = 0x5EED
 
-let run ?(log = fun (_ : string) -> ()) ?out_dir ~seed ~gen_count ~mut_count () :
+let run ?(log = fun (_ : string) -> ()) ?out_dir ?metrics ~seed ~gen_count ~mut_count () :
   stats * failure list =
   let stats = fresh_stats () in
   let failures = ref [] in
+  let campaign_start = Obs.Clock.now_ns () in
+  let case_counter kind =
+    Option.map
+      (fun registry ->
+         Obs.Metrics.counter ~registry ~help:"Fuzz cases executed"
+           ~labels:[ ("kind", kind) ] "fuzz_cases_total")
+      metrics
+  in
+  let gen_counter = case_counter "gen" and mut_counter = case_counter "mut" in
+  let bump = function None -> () | Some c -> Obs.Metrics.inc c in
   let record case index oracle detail input minimized =
     stats.violations <- stats.violations + 1;
     let f = { case; seed; index; oracle; detail; input; minimized } in
@@ -175,8 +202,9 @@ let run ?(log = fun (_ : string) -> ()) ?out_dir ~seed ~gen_count ~mut_count () 
   in
   for index = 0 to gen_count - 1 do
     stats.gen_cases <- stats.gen_cases + 1;
+    bump gen_counter;
     let info = gen_case ~seed ~index in
-    (match check_generated info with
+    (match check_generated ?metrics info with
      | `Pass -> ()
      | `Skip -> stats.skips <- stats.skips + 1
      | `Fail (oracle, detail) ->
@@ -185,8 +213,9 @@ let run ?(log = fun (_ : string) -> ()) ?out_dir ~seed ~gen_count ~mut_count () 
   done;
   for index = 0 to mut_count - 1 do
     stats.mut_cases <- stats.mut_cases + 1;
+    bump mut_counter;
     let bin = mut_case ~seed ~index in
-    (match check_mutated bin with
+    (match check_mutated ?metrics bin with
      | `Pass `Rejected -> ()
      | `Pass `Decoded -> stats.mut_decoded <- stats.mut_decoded + 1
      | `Pass `Valid ->
@@ -196,25 +225,51 @@ let run ?(log = fun (_ : string) -> ()) ?out_dir ~seed ~gen_count ~mut_count () 
      | `Fail (oracle, detail) -> record Mutated index oracle detail bin (minimize bin));
     if (index + 1) mod 1000 = 0 then log (Printf.sprintf "mut: %d/%d" (index + 1) mut_count)
   done;
+  (match metrics with
+   | None -> ()
+   | Some registry ->
+     let elapsed = Obs.Clock.ns_to_s (Int64.sub (Obs.Clock.now_ns ()) campaign_start) in
+     let cases = stats.gen_cases + stats.mut_cases in
+     let g =
+       Obs.Metrics.gauge ~registry ~help:"Campaign throughput" "fuzz_cases_per_second"
+     in
+     Obs.Metrics.set g (if elapsed > 0.0 then Float.of_int cases /. elapsed else 0.0);
+     Obs.Metrics.inc ~by:(Float.of_int stats.violations)
+       (Obs.Metrics.counter ~registry ~help:"Oracle violations" "fuzz_violations_total");
+     Obs.Metrics.inc ~by:(Float.of_int stats.skips)
+       (Obs.Metrics.counter ~registry ~help:"Skipped cases" "fuzz_skips_total"));
   (stats, List.rev !failures)
 
-(** Re-run a single case; returns a human-readable disposition. *)
-let replay ~seed ~index (case : case_kind) : string =
+(** Structured outcome of replaying one case: the caller decides on exit
+    codes and formatting instead of sniffing a rendered string. *)
+type disposition =
+  | Pass of string  (** detail, e.g. how deep a mutant survived *)
+  | Skip of string
+  | Fail of { oracle : string; detail : string }
+
+let disposition_to_string = function
+  | Pass "" -> "pass"
+  | Pass why -> Printf.sprintf "pass (%s)" why
+  | Skip why -> Printf.sprintf "skip (%s)" why
+  | Fail { oracle; detail } -> Printf.sprintf "FAIL [%s]: %s" oracle detail
+
+(** Re-run a single case. *)
+let replay ~seed ~index (case : case_kind) : disposition =
   match case with
   | Generated ->
     let info = gen_case ~seed ~index in
     (match check_generated info with
-     | `Pass -> "pass"
-     | `Skip -> "skip (base run exhausted its fuel)"
-     | `Fail (oracle, detail) -> Printf.sprintf "FAIL [%s]: %s" oracle detail)
+     | `Pass -> Pass ""
+     | `Skip -> Skip "base run exhausted its fuel"
+     | `Fail (oracle, detail) -> Fail { oracle; detail })
   | Mutated ->
     let bin = mut_case ~seed ~index in
     (match check_mutated bin with
-     | `Pass `Rejected -> "pass (mutant rejected by decoder)"
-     | `Pass `Decoded -> "pass (mutant decoded, rejected by validation)"
-     | `Pass `Valid -> "pass (mutant fully valid and executed)"
-     | `Skip -> "skip (oversized memory/table)"
-     | `Fail (oracle, detail) -> Printf.sprintf "FAIL [%s]: %s" oracle detail)
+     | `Pass `Rejected -> Pass "mutant rejected by decoder"
+     | `Pass `Decoded -> Pass "mutant decoded, rejected by validation"
+     | `Pass `Valid -> Pass "mutant fully valid and executed"
+     | `Skip -> Skip "oversized memory/table"
+     | `Fail (oracle, detail) -> Fail { oracle; detail })
 
 let summary (s : stats) =
   Printf.sprintf

@@ -43,12 +43,15 @@ val mut_case : seed:int -> index:int -> string
 
 (** {1 Oracles per case} *)
 
-val check_generated : Gen.info -> [ `Pass | `Skip | `Fail of string * string ]
+val check_generated :
+  ?metrics:Obs.Metrics.registry -> Gen.info -> [ `Pass | `Skip | `Fail of string * string ]
 (** The generated-module pipeline — validate, round-trip, static
     instrumentation lint, differential execution — stopping at the first
-    violation [(kind, detail)]. *)
+    violation [(kind, detail)]. [?metrics] records each oracle's wall
+    time under [fuzz_oracle_seconds{oracle=...}]. *)
 
 val check_mutated :
+  ?metrics:Obs.Metrics.registry ->
   string -> [ `Pass of [ `Rejected | `Decoded | `Valid ] | `Skip | `Fail of string * string ]
 (** The mutated-binary pipeline: totality of decode; then, as far as the
     mutant remains meaningful, validate / round-trip / execute. The
@@ -65,15 +68,24 @@ val minimize : string -> string option
 val default_seed : int
 
 val run :
-  ?log:(string -> unit) -> ?out_dir:string -> seed:int -> gen_count:int ->
-  mut_count:int -> unit -> stats * failure list
+  ?log:(string -> unit) -> ?out_dir:string -> ?metrics:Obs.Metrics.registry ->
+  seed:int -> gen_count:int -> mut_count:int -> unit -> stats * failure list
 (** Run a campaign of [gen_count] generated and [mut_count] mutated
     cases. Failures are returned in case order and, when [out_dir] is
     given, dumped there ([.wasm], minimized [.min.wasm], and a [.txt]
-    replay recipe each). *)
+    replay recipe each). [?metrics] records case counters, per-oracle
+    timing histograms and the campaign's cases/second. *)
 
-val replay : seed:int -> index:int -> case_kind -> string
-(** Re-run a single case; returns a human-readable disposition. *)
+(** Structured outcome of replaying one case. *)
+type disposition =
+  | Pass of string  (** detail, e.g. how deep a mutant survived; may be empty *)
+  | Skip of string
+  | Fail of { oracle : string; detail : string }
+
+val disposition_to_string : disposition -> string
+
+val replay : seed:int -> index:int -> case_kind -> disposition
+(** Re-run a single case. *)
 
 val summary : stats -> string
 (** One-line campaign summary. *)

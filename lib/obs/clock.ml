@@ -1,0 +1,12 @@
+(** Monotonic time source for all observability accounting.
+
+    Wraps the CLOCK_MONOTONIC stub that ships with bechamel, so spans and
+    profiles are immune to wall-clock adjustments. All of [lib/obs]
+    measures in integer nanoseconds and converts to floating-point units
+    only at exposition time. *)
+
+let now_ns : unit -> int64 = Monotonic_clock.now
+
+let ns_to_us ns = Int64.to_float ns /. 1e3
+let ns_to_ms ns = Int64.to_float ns /. 1e6
+let ns_to_s ns = Int64.to_float ns /. 1e9

@@ -1,0 +1,9 @@
+(** Monotonic time source for all observability accounting. *)
+
+val now_ns : unit -> int64
+(** Nanoseconds on the monotonic clock (CLOCK_MONOTONIC); differences are
+    meaningful, absolute values are not. *)
+
+val ns_to_us : int64 -> float
+val ns_to_ms : int64 -> float
+val ns_to_s : int64 -> float

@@ -1,0 +1,189 @@
+(** Interpreter profiler: a shadow call stack with per-function call
+    counts and self/inclusive time, per-instruction-site execution counts,
+    folded stacks for flamegraphs, and string-keyed counters/timers for
+    hook-dispatch accounting.
+
+    A profile is an explicit value (not global state like {!Span}): the
+    interpreter carries [t option] in its instance and the entire
+    accounting sits behind one [match] per straight-line run and per call,
+    so an un-profiled execution pays nothing.
+
+    Self/inclusive accounting works the classic way: each shadow frame
+    records its start time and the total time spent in callees; on exit,
+    [self = total - children] goes to the function, [total] is added to
+    the parent's child time, and inclusive time is only credited for the
+    outermost activation of a function (per-function on-stack counts), so
+    recursion does not double-count. *)
+
+type func_stat = {
+  mutable calls : int;
+  mutable self_ns : int64;
+  mutable incl_ns : int64;
+  mutable on_stack : int;
+}
+
+type t = {
+  clock : unit -> int64;
+  (* shadow call stack, parallel arrays grown on demand *)
+  mutable depth : int;
+  mutable st_fid : int array;
+  mutable st_start : int64 array;
+  mutable st_child : int64 array;
+  funcs : (int, func_stat) Hashtbl.t;  (** fid -> call/time stats *)
+  folded : (string, int64 ref) Hashtbl.t;  (** "fid;fid;..." -> self ns *)
+  sites : (int, int array) Hashtbl.t;  (** fid -> per-position exec counts *)
+  counters : (string, int ref) Hashtbl.t;
+  timers : (string, (int ref * int64 ref)) Hashtbl.t;  (** key -> count, ns *)
+}
+
+let create ?(clock = Clock.now_ns) () =
+  {
+    clock;
+    depth = 0;
+    st_fid = Array.make 64 0;
+    st_start = Array.make 64 0L;
+    st_child = Array.make 64 0L;
+    funcs = Hashtbl.create 64;
+    folded = Hashtbl.create 64;
+    sites = Hashtbl.create 64;
+    counters = Hashtbl.create 16;
+    timers = Hashtbl.create 16;
+  }
+
+let func_stat t fid =
+  match Hashtbl.find_opt t.funcs fid with
+  | Some s -> s
+  | None ->
+    let s = { calls = 0; self_ns = 0L; incl_ns = 0L; on_stack = 0 } in
+    Hashtbl.add t.funcs fid s;
+    s
+
+let grow t =
+  let n = Array.length t.st_fid in
+  let extend a zero =
+    let a' = Array.make (2 * n) zero in
+    Array.blit a 0 a' 0 n;
+    a'
+  in
+  t.st_fid <- extend t.st_fid 0;
+  t.st_start <- extend t.st_start 0L;
+  t.st_child <- extend t.st_child 0L
+
+let enter t fid =
+  if t.depth >= Array.length t.st_fid then grow t;
+  let d = t.depth in
+  t.st_fid.(d) <- fid;
+  t.st_start.(d) <- t.clock ();
+  t.st_child.(d) <- 0L;
+  t.depth <- d + 1;
+  let s = func_stat t fid in
+  s.calls <- s.calls + 1;
+  s.on_stack <- s.on_stack + 1
+
+(* Key of the current stack (inclusive of the frame being popped), for
+   folded-stack accumulation. *)
+let stack_key t depth =
+  let b = Buffer.create (4 * (depth + 1)) in
+  for i = 0 to depth do
+    if i > 0 then Buffer.add_char b ';';
+    Buffer.add_string b (string_of_int t.st_fid.(i))
+  done;
+  Buffer.contents b
+
+let leave t =
+  if t.depth > 0 then begin
+    let d = t.depth - 1 in
+    t.depth <- d;
+    let fid = t.st_fid.(d) in
+    let total = Int64.sub (t.clock ()) t.st_start.(d) in
+    let total = if Int64.compare total 0L < 0 then 0L else total in
+    let self = Int64.sub total t.st_child.(d) in
+    let self = if Int64.compare self 0L < 0 then 0L else self in
+    let s = func_stat t fid in
+    s.self_ns <- Int64.add s.self_ns self;
+    s.on_stack <- s.on_stack - 1;
+    if s.on_stack = 0 then s.incl_ns <- Int64.add s.incl_ns total;
+    if d > 0 then t.st_child.(d - 1) <- Int64.add t.st_child.(d - 1) total;
+    let key = stack_key t d in
+    (match Hashtbl.find_opt t.folded key with
+     | Some r -> r := Int64.add !r self
+     | None -> Hashtbl.add t.folded key (ref self))
+  end
+
+(** Credit one straight-line run of [len] instructions starting at [pc]
+    inside function [fid] (whose body has [body_len] positions). Called
+    from the interpreter's existing fuel charge point, so the off-path
+    cost is a single [option] match. *)
+let bump_run t ~fid ~body_len ~pc ~len =
+  let arr =
+    match Hashtbl.find_opt t.sites fid with
+    | Some a -> a
+    | None ->
+      let a = Array.make body_len 0 in
+      Hashtbl.add t.sites fid a;
+      a
+  in
+  let stop = min (pc + len) (Array.length arr) in
+  for i = pc to stop - 1 do
+    Array.unsafe_set arr i (Array.unsafe_get arr i + 1)
+  done
+
+(** {1 String-keyed counters and timers (hook dispatch, cache stats)} *)
+
+let count ?(by = 1) t key =
+  match Hashtbl.find_opt t.counters key with
+  | Some r -> r := !r + by
+  | None -> Hashtbl.add t.counters key (ref by)
+
+let add_time t key ns =
+  match Hashtbl.find_opt t.timers key with
+  | Some (c, total) ->
+    incr c;
+    total := Int64.add !total ns
+  | None -> Hashtbl.add t.timers key (ref 1, ref ns)
+
+(** {1 Accessors} *)
+
+type func_row = { fr_fid : int; fr_calls : int; fr_self_ns : int64; fr_incl_ns : int64 }
+
+let func_rows t =
+  Hashtbl.fold
+    (fun fid s acc ->
+       { fr_fid = fid; fr_calls = s.calls; fr_self_ns = s.self_ns; fr_incl_ns = s.incl_ns }
+       :: acc)
+    t.funcs []
+  |> List.sort (fun a b ->
+       match Int64.compare b.fr_self_ns a.fr_self_ns with
+       | 0 -> compare a.fr_fid b.fr_fid
+       | c -> c)
+
+let total_self_ns t =
+  Hashtbl.fold (fun _ s acc -> Int64.add acc s.self_ns) t.funcs 0L
+
+let site_counts t fid = Hashtbl.find_opt t.sites fid
+
+let iter_sites t f = Hashtbl.iter f t.sites
+
+(** Folded-stack lines ("a;b;c <ns>"), fid paths rendered through
+    [name_of], sorted for deterministic output. Zero-duration paths are
+    kept: they still witness that the path executed. *)
+let folded_lines ~name_of t =
+  Hashtbl.fold
+    (fun key ns acc ->
+       let names =
+         String.split_on_char ';' key
+         |> List.map (fun s -> name_of (int_of_string s))
+         |> String.concat ";"
+       in
+       (names, !ns) :: acc)
+    t.folded []
+  |> List.sort compare
+  |> List.map (fun (path, ns) -> Printf.sprintf "%s %Ld" path ns)
+
+let counter_list t =
+  Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.counters []
+  |> List.sort compare
+
+let timer_list t =
+  Hashtbl.fold (fun k (c, ns) acc -> (k, !c, !ns) :: acc) t.timers []
+  |> List.sort compare

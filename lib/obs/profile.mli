@@ -1,0 +1,56 @@
+(** Interpreter profiler: shadow call stack (per-function call counts,
+    self/inclusive time), per-instruction-site execution counts, folded
+    stacks for flamegraphs, and string-keyed counters/timers for
+    hook-dispatch accounting.
+
+    A profile is an explicit value; the interpreter holds a [t option]
+    and pays one [match] per straight-line run / per call when profiling
+    is off. Recursion is handled: inclusive time is credited only to the
+    outermost activation of a function. *)
+
+type t
+
+val create : ?clock:(unit -> int64) -> unit -> t
+(** [?clock] defaults to {!Clock.now_ns}; tests inject a fake clock for
+    deterministic timings. *)
+
+(** {1 Shadow call stack} *)
+
+val enter : t -> int -> unit
+(** Push function [fid]; counts one call. *)
+
+val leave : t -> unit
+(** Pop the current frame, attributing self time to the function and
+    total time to the parent's child accumulator and the folded stack.
+    A no-op on an empty stack. *)
+
+val bump_run : t -> fid:int -> body_len:int -> pc:int -> len:int -> unit
+(** Credit one execution of the straight-line run [pc, pc+len) in the
+    body of [fid] (with [body_len] instruction positions). *)
+
+(** {1 String-keyed counters and timers} *)
+
+val count : ?by:int -> t -> string -> unit
+val add_time : t -> string -> int64 -> unit
+(** [add_time t key ns] adds one timed event of [ns] under [key]. *)
+
+(** {1 Accessors} *)
+
+type func_row = { fr_fid : int; fr_calls : int; fr_self_ns : int64; fr_incl_ns : int64 }
+
+val func_rows : t -> func_row list
+(** Per-function stats, sorted by self time (descending, fid tiebreak). *)
+
+val total_self_ns : t -> int64
+
+val site_counts : t -> int -> int array option
+(** Per-position execution counts for one function's body. *)
+
+val iter_sites : t -> (int -> int array -> unit) -> unit
+
+val folded_lines : name_of:(int -> string) -> t -> string list
+(** Folded-stack lines ([a;b;c <ns>]) for flamegraph tools, sorted. *)
+
+val counter_list : t -> (string * int) list
+val timer_list : t -> (string * int * int64) list
+(** [(key, events, total_ns)] per timer, sorted by key. *)

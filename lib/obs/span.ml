@@ -1,0 +1,106 @@
+(** Monotonic-clock span tracing for the pipeline phases, emitted as
+    Chrome trace-event JSON (loadable in Perfetto or chrome://tracing).
+
+    Tracing is off by default and gated by a single flag: a disabled
+    {!with_} is one branch and a closure call, so the library phases can
+    stay permanently wrapped without costing anything in production.
+    Spans nest naturally — Chrome "complete" events on the same track are
+    nested by their [ts]/[dur] intervals, which a stack of {!with_} calls
+    produces by construction.
+
+    The collector is global (like {!Metrics.default}): the pipeline spans
+    come from deep inside library code, and threading a collector through
+    every decode/validate/instrument signature would put an observability
+    concern into every API. A mutex guards the buffer so parallel
+    instrumentation domains can trace safely. *)
+
+type event = {
+  ev_name : string;
+  ev_ts_ns : int64;  (** start, relative to the first event of the trace *)
+  ev_dur_ns : int64;
+  ev_depth : int;  (** nesting depth at emission, 0 = top level *)
+}
+
+type state = {
+  mutable enabled : bool;
+  mutable events : event list;  (** reversed *)
+  mutable depth : int;
+  mutable epoch : int64 option;  (** raw clock of the trace's first span *)
+  lock : Mutex.t;
+}
+
+let state =
+  { enabled = false; events = []; depth = 0; epoch = None; lock = Mutex.create () }
+
+let set_enabled on = state.enabled <- on
+let enabled () = state.enabled
+
+let reset () =
+  Mutex.lock state.lock;
+  state.events <- [];
+  state.depth <- 0;
+  state.epoch <- None;
+  Mutex.unlock state.lock
+
+(** Rebase a raw clock reading against the trace epoch (established by the
+    first span to start). Must be called with the lock held. *)
+let rebase_locked raw =
+  match state.epoch with
+  | Some e -> Int64.sub raw e
+  | None ->
+    state.epoch <- Some raw;
+    0L
+
+let add_event ev =
+  Mutex.lock state.lock;
+  state.events <- ev :: state.events;
+  Mutex.unlock state.lock
+
+(** Record a complete event directly (tests use this to build
+    deterministic traces; [with_] uses it with live clock readings). *)
+let add_complete ?(depth = 0) ~name ~ts_ns ~dur_ns () =
+  add_event { ev_name = name; ev_ts_ns = ts_ns; ev_dur_ns = dur_ns; ev_depth = depth }
+
+let with_ name f =
+  if not state.enabled then f ()
+  else begin
+    Mutex.lock state.lock;
+    let t0 = rebase_locked (Clock.now_ns ()) in
+    let depth = state.depth in
+    state.depth <- depth + 1;
+    Mutex.unlock state.lock;
+    let finish () =
+      let t1 = Int64.sub (Clock.now_ns ()) (Option.value ~default:0L state.epoch) in
+      state.depth <- depth;
+      add_event
+        { ev_name = name; ev_ts_ns = t0; ev_dur_ns = Int64.sub t1 t0; ev_depth = depth }
+    in
+    Fun.protect ~finally:finish f
+  end
+
+(** Events in emission order (a span appears after all its children). *)
+let events () = List.rev state.events
+
+(** {1 Chrome trace-event JSON}
+
+    One "complete" event (["ph": "X"]) per span, all on pid 1 / tid 1,
+    timestamps in (fractional) microseconds as the format specifies. *)
+
+let chrome_json_of_events evs =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+  List.iteri
+    (fun i ev ->
+       if i > 0 then Buffer.add_char b ',';
+       Buffer.add_string b
+         (Printf.sprintf
+            "\n  {\"name\": \"%s\", \"cat\": \"wasabi\", \"ph\": \"X\", \"pid\": 1, \
+             \"tid\": 1, \"ts\": %.3f, \"dur\": %.3f}"
+            (Metrics.json_escape ev.ev_name)
+            (Clock.ns_to_us ev.ev_ts_ns)
+            (Clock.ns_to_us ev.ev_dur_ns)))
+    evs;
+  Buffer.add_string b "\n]}\n";
+  Buffer.contents b
+
+let to_chrome_json () = chrome_json_of_events (events ())

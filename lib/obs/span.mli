@@ -1,0 +1,35 @@
+(** Monotonic-clock span tracing for pipeline phases, emitted as Chrome
+    trace-event JSON.
+
+    Off by default; when disabled, {!with_} runs its thunk directly. The
+    collector is global and mutex-guarded, so spans can be recorded from
+    parallel instrumentation domains. *)
+
+type event = {
+  ev_name : string;
+  ev_ts_ns : int64;  (** start, relative to the first event of the trace *)
+  ev_dur_ns : int64;
+  ev_depth : int;  (** nesting depth at emission, 0 = top level *)
+}
+
+val set_enabled : bool -> unit
+val enabled : unit -> bool
+
+val reset : unit -> unit
+(** Drop all recorded events and restart the trace epoch. *)
+
+val with_ : string -> (unit -> 'a) -> 'a
+(** [with_ name f] runs [f] inside a span named [name]. When tracing is
+    disabled this is just [f ()]. The span is recorded even when [f]
+    raises. *)
+
+val add_complete : ?depth:int -> name:string -> ts_ns:int64 -> dur_ns:int64 -> unit -> unit
+(** Record a complete event with explicit timestamps (used by tests to
+    build deterministic traces). *)
+
+val events : unit -> event list
+(** Recorded events in emission order (a span appears after its children). *)
+
+val to_chrome_json : unit -> string
+(** The recorded trace as a Chrome trace-event JSON document
+    (["ph": "X"] complete events, timestamps in microseconds). *)

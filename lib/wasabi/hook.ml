@@ -242,10 +242,15 @@ module Map = struct
     tbl : (spec, int) Hashtbl.t;
     mutable order : spec list;  (** reversed *)
     mutable next : int;
+    reqs : (spec, int ref) Hashtbl.t;
+        (** instrumentation sites that requested each spec; requests
+            beyond the first are monomorphization-cache hits *)
     lock : Mutex.t;
   }
 
-  let create () = { tbl = Hashtbl.create 64; order = []; next = 0; lock = Mutex.create () }
+  let create () =
+    { tbl = Hashtbl.create 64; order = []; next = 0;
+      reqs = Hashtbl.create 64; lock = Mutex.create () }
 
   (** Ordinal of [s], generating the hook on first request. Thread safe. *)
   let ordinal t s =
@@ -267,6 +272,36 @@ module Map = struct
 
   (** All generated specs, in ordinal order. *)
   let specs t = Array.of_list (List.rev t.order)
+
+  (** Record a batch of per-spec request counts (one instrumented
+      function's worth) under a single lock acquisition, so the parallel
+      instrumentation path is not serialized per site. *)
+  let note_requests t (batch : (spec * int) list) =
+    Mutex.lock t.lock;
+    List.iter
+      (fun (s, n) ->
+         match Hashtbl.find_opt t.reqs s with
+         | Some r -> r := !r + n
+         | None -> Hashtbl.add t.reqs s (ref n))
+      batch;
+    Mutex.unlock t.lock
+
+  (** Requests per generated spec, in ordinal order. *)
+  let requests t =
+    Array.of_list
+      (List.rev_map
+         (fun s ->
+            (s, match Hashtbl.find_opt t.reqs s with Some r -> !r | None -> 0))
+         t.order)
+
+  let total_requests t =
+    Hashtbl.fold (fun _ r acc -> acc + !r) t.reqs 0
+
+  (** Cache hits: sites that found their hook already generated. *)
+  let hits t = max 0 (total_requests t - t.next)
+
+  (** Cache misses, i.e. hooks actually generated. *)
+  let misses t = t.next
 end
 
 (** Number of monomorphic hooks eager generation would need for calls with

@@ -116,6 +116,21 @@ module Map : sig
   val count : t -> int
   val specs : t -> spec array
   (** All generated specs, in ordinal order. *)
+
+  val note_requests : t -> (spec * int) list -> unit
+  (** Record a batch of per-spec request counts (typically one
+      instrumented function's worth) under one lock acquisition. *)
+
+  val requests : t -> (spec * int) array
+  (** Per-spec request counts, in ordinal order. *)
+
+  val total_requests : t -> int
+
+  val hits : t -> int
+  (** Requests that found their hook already generated. *)
+
+  val misses : t -> int
+  (** Requests that had to generate a hook (= {!count}). *)
 end
 
 val eager_call_hook_count : max_params:int -> float

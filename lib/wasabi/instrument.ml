@@ -51,6 +51,9 @@ type fctx = {
   temp_tbl : (value_type * int, int) Hashtbl.t;
   hook_cache : (Hook.spec, int) Hashtbl.t;
       (** per-function cache over the shared, mutex-guarded map *)
+  req_counts : (Hook.spec, int ref) Hashtbl.t;
+      (** hook requests by this function, flushed to the shared map in one
+          batch when the function is done (monomorphization-cache stats) *)
   mutable extra_locals : value_type list;  (** reversed *)
   mutable n_extra : int;
   first_temp : int;
@@ -108,6 +111,9 @@ let push_const_split ?(split = true) v =
 (** Call hook [spec] at source location [at], with [args] already
     flattened (each element pushes the corresponding hook arguments). *)
 let hook_ordinal c spec =
+  (match Hashtbl.find_opt c.req_counts spec with
+   | Some r -> incr r
+   | None -> Hashtbl.add c.req_counts spec (ref 1));
   match Hashtbl.find_opt c.hook_cache spec with
   | Some k -> k
   | None ->
@@ -474,6 +480,7 @@ let instrument_func ~groups ~hooks ~placeholder_base ~split_i64 ~vctx ~fidx ~is_
     ctrl = [ { ce_kind = Bfunction; ce_begin = -1; ce_end = Array.length body } ];
     temp_tbl = Hashtbl.create 8;
     hook_cache = Hashtbl.create 32;
+    req_counts = Hashtbl.create 32;
     extra_locals = [];
     n_extra = 0;
     first_temp = List.length params + List.length f.locals;
@@ -498,6 +505,8 @@ let instrument_func ~groups ~hooks ~placeholder_base ~split_i64 ~vctx ~fidx ~is_
     locals = f.locals @ List.rev c.extra_locals;
     body = List.rev !out;
   } in
+  Hook.Map.note_requests hooks
+    (Hashtbl.fold (fun s r acc -> (s, !r) :: acc) c.req_counts []);
   (f', c.br_tables, List.rev c.dead_skipped)
 
 (** Remap a function index after hook imports have been inserted.
@@ -559,21 +568,26 @@ let instrument_functions ~groups ~hooks ~split_i64 ~vctx ~n_imp ~n_orig ~start ~
     The input module must be valid. *)
 let instrument ?(groups = Hook.all) ?(split_i64 = true) ?(domains = 1)
     ?(prune_unreachable = false) (m : module_) : result =
+  Obs.Span.with_ "instrument" @@ fun () ->
   let hooks = Hook.Map.create () in
   let vctx = Validate.Module_ctx.create m in
   let n_imp = num_imported_funcs m in
   let n_orig = num_funcs m in
   let pruned_funcs =
-    if prune_unreachable then Static.Callgraph.dead_functions (Static.Callgraph.build m)
+    if prune_unreachable then
+      Obs.Span.with_ "instrument.prune" @@ fun () ->
+      Static.Callgraph.dead_functions (Static.Callgraph.build m)
     else []
   in
   let instrument_fidx fidx = not (List.mem fidx pruned_funcs) in
   let br_tables = ref Location.Map.empty in
   let dead_skipped = ref [] in
   let instrumented_funcs =
+    Obs.Span.with_ "instrument.functions" @@ fun () ->
     instrument_functions ~groups ~hooks ~split_i64 ~vctx ~n_imp ~n_orig ~start:m.start ~domains
       ~instrument_fidx m.funcs
   in
+  Obs.Span.with_ "instrument.assemble" @@ fun () ->
   let funcs' =
     List.mapi
       (fun i (f', bts, dead) ->

@@ -21,10 +21,22 @@ type t = {
       (** per-table-slot resolution of {!resolve_indirect}, filled lazily.
           MVP tables are immutable once element segments have been
           applied, so entries never need invalidation. *)
+  mutable prof : Obs.Profile.t option;
+      (** when set, every hook dispatch is counted and timed under
+          ["hook.<group>"]; [None] costs one match per dispatch *)
 }
 
 let create (res : Instrument.result) (analysis : Analysis.t) : t =
-  { metadata = res.metadata; analysis; instance = None; indirect_cache = [||] }
+  { metadata = res.metadata; analysis; instance = None; indirect_cache = [||];
+    prof = None }
+
+(** Attach a profiler to both the runtime (hook-dispatch accounting) and
+    the instrumented instance, when one is already present. *)
+let attach_profiler (rt : t) (p : Obs.Profile.t option) : unit =
+  rt.prof <- p;
+  match rt.instance with
+  | Some inst -> Interp.set_profiler inst p
+  | None -> ()
 
 let join_i64 (lo : int32) (hi : int32) : int64 =
   Int64.logor
@@ -127,7 +139,8 @@ let dispatch rt (spec : Hook.spec) : Value.t list -> Value.t list =
   let split = rt.metadata.Metadata.split_i64 in
   let take_value = take_value ~split in
   let take_values = take_values ~split in
-  fun args ->
+  let timer_key = "hook." ^ Hook.group_name (Hook.group_of_spec spec) in
+  let body args =
     let fidx, args = take_int args in
     let instr, args = take_int args in
     let loc = Location.make ~func:fidx ~instr in
@@ -250,6 +263,15 @@ let dispatch rt (spec : Hook.spec) : Value.t list -> Value.t list =
        done_ args;
        a.return_ loc vs);
     []
+  in
+  fun args ->
+    match rt.prof with
+    | None -> body args
+    | Some p ->
+      let t0 = Obs.Clock.now_ns () in
+      let r = body args in
+      Obs.Profile.add_time p timer_key (Int64.sub (Obs.Clock.now_ns ()) t0);
+      r
 
 (** Import list providing every generated low-level hook. *)
 let imports (rt : t) : Interp.imports =

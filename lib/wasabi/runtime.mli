@@ -11,6 +11,9 @@ type t = {
   mutable indirect_cache : int array;
       (** per-table-slot resolution of indirect call targets, filled
           lazily (MVP tables are immutable after instantiation) *)
+  mutable prof : Obs.Profile.t option;
+      (** when set, every hook dispatch is counted and timed under
+          ["hook.<group>"] *)
 }
 
 exception Bad_hook_args of string
@@ -18,6 +21,10 @@ exception Bad_hook_args of string
     an internal error of the instrumentation. *)
 
 val create : Instrument.result -> Analysis.t -> t
+
+val attach_profiler : t -> Obs.Profile.t option -> unit
+(** Attach (or detach) a profiler to both the runtime (hook-dispatch
+    timing) and the instrumented instance, when one is present. *)
 
 val imports : t -> Wasm.Interp.imports
 (** Host functions implementing every generated low-level hook. *)

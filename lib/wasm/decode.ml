@@ -390,6 +390,7 @@ let data s =
 (** Parse a complete binary module. Custom sections are skipped.
     @raise Decode_error on any malformed input. *)
 let decode ?limits (bin : string) : module_ =
+  Obs.Span.with_ "decode" @@ fun () ->
   let s = stream ?limits bin in
   if take s 4 <> "\x00asm" then error_at 0 "bad-magic" "bad magic number";
   if take s 4 <> "\x01\x00\x00\x00" then error_at 4 "bad-version" "unsupported version";

@@ -291,6 +291,7 @@ let write_export buf { name; edesc } =
 
 (** Serialize a module to its binary representation. *)
 let encode (m : module_) : string =
+  Obs.Span.with_ "encode" @@ fun () ->
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "\x00asm";
   Buffer.add_string buf "\x01\x00\x00\x00";

@@ -203,6 +203,9 @@ and instance = {
   mutable fuel : int;  (** remaining instruction budget *)
   mutable steps : int;  (** total instructions executed *)
   mutable call_depth : int;
+  mutable inst_prof : Obs.Profile.t option;
+      (** when set, the interpreter feeds it call and per-site execution
+          counts; [None] costs one match per call / per straight-line run *)
 }
 
 (** Wasm implementations limit call depth; ours traps with the spec's
@@ -508,11 +511,14 @@ and call_wasm (cinst : instance) (idx : int) (from_st : stack) : unit =
   let st = cinst.inst_stack in
   let base = st.size in
   cinst.call_depth <- cinst.call_depth + 1;
-  (try exec_body cinst code locals with
+  (match cinst.inst_prof with None -> () | Some p -> Obs.Profile.enter p idx);
+  (try exec_body cinst idx code locals with
    | e ->
+     (match cinst.inst_prof with None -> () | Some p -> Obs.Profile.leave p);
      cinst.call_depth <- cinst.call_depth - 1;
      st.size <- base;
      raise e);
+  (match cinst.inst_prof with None -> () | Some p -> Obs.Profile.leave p);
   cinst.call_depth <- cinst.call_depth - 1;
   if st != from_st then begin
     (* cross-instance call: move the results over *)
@@ -528,7 +534,7 @@ and call_host (h : host_func) (st : stack) : unit =
 
 (** Run [code] with the operand base at the current stack size; on normal
     exit exactly [c_arity] results sit at that base. *)
-and exec_body inst (code : code) (locals : Value.t array) : unit =
+and exec_body inst (fid : int) (code : code) (locals : Value.t array) : unit =
   let xbody = code.c_xbody in
   let run_len = code.c_run_len in
   let n = Array.length xbody in
@@ -587,7 +593,10 @@ and exec_body inst (code : code) (locals : Value.t array) : unit =
         let k = Array.unsafe_get run_len !pc in
         inst.steps <- inst.steps + k;
         inst.fuel <- inst.fuel - k;
-        charged_upto := !pc + k
+        charged_upto := !pc + k;
+        match inst.inst_prof with
+        | None -> ()
+        | Some p -> Obs.Profile.bump_run p ~fid ~body_len:n ~pc:!pc ~len:k
       end;
       match Array.unsafe_get xbody !pc with
       | XNop -> incr pc
@@ -915,6 +924,7 @@ let instantiate ?(fuel = default_fuel) ~(imports : imports) (m : module_) : inst
       fuel;
       steps = 0;
       call_depth = 0;
+      inst_prof = None;
     }
   in
   (* imported entities, in import order *)
@@ -1021,6 +1031,8 @@ let instantiate ?(fuel = default_fuel) ~(imports : imports) (m : module_) : inst
   inst
 
 (** {1 Convenience API} *)
+
+let set_profiler inst p = inst.inst_prof <- p
 
 let export inst name =
   match List.assoc_opt name inst.inst_exports with

@@ -176,6 +176,9 @@ and instance = {
   mutable fuel : int;
   mutable steps : int;  (** total instructions executed *)
   mutable call_depth : int;
+  mutable inst_prof : Obs.Profile.t option;
+      (** attached profiler; [None] (the default) costs one match per
+          call and per straight-line run *)
 }
 
 val max_call_depth : int
@@ -197,6 +200,11 @@ val instantiate : ?fuel:int -> imports:imports -> Ast.module_ -> instance
 (** Resolve imports, allocate table/memory/globals, apply element and data
     segments, run the start function. The module must be valid.
     @raise Link_error on unresolvable or mismatching imports. *)
+
+val set_profiler : instance -> Obs.Profile.t option -> unit
+(** Attach (or detach) a profiler; subsequent execution feeds it
+    per-function call counts, self/inclusive times and per-site
+    execution counts. *)
 
 val invoke : func_inst -> Value.t list -> Value.t list
 val export : instance -> string -> extern

@@ -1,0 +1,20 @@
+(** Rendering of interpreter profiles against a live instance: hot
+    function tables, executed opcode mix (computed over the original,
+    pre-fusion bodies), and folded stacks for flamegraph tools. *)
+
+val func_name : Interp.instance -> int -> string
+(** Display name of defined function [fid] (an [inst_code] index): its
+    export name when exported, [func[i]] in the function index space
+    otherwise. *)
+
+val func_table : ?top:int -> Interp.instance -> Obs.Profile.t -> string
+(** Table of the hottest functions by self time: calls, self/inclusive
+    milliseconds, share of total self time. [top] defaults to 20. *)
+
+val opcode_mix : Interp.instance -> Obs.Profile.t -> (string * int) list
+(** Executed opcode mix (immediates stripped), count-descending. *)
+
+val render_opcode_mix : ?top:int -> Interp.instance -> Obs.Profile.t -> string
+
+val folded : Interp.instance -> Obs.Profile.t -> string list
+(** Flamegraph folded-stack lines ([main;callee <ns>]). *)

@@ -454,6 +454,7 @@ let validate_func (m : module_) (f : func) = validate_func_in (Module_ctx.create
 
 (** Validate a whole module. Raises {!Invalid} on the first error. *)
 let validate_module (m : module_) =
+  Obs.Span.with_ "validate" @@ fun () ->
   List.iter
     (fun imp ->
        match imp.idesc with

@@ -19,4 +19,5 @@ let () =
       ("workloads", Test_workloads.suite);
       ("bench:support", Test_bench.suite);
       ("fuzz", Test_fuzz.suite);
+      ("obs", Test_obs.suite);
     ]
