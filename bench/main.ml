@@ -321,7 +321,7 @@ let fig9 () =
     uninstrumented-vs-instrumented runtime ratio under each single hook
     group plus "all". The human-readable progress goes to stderr so
     stdout stays a clean JSON document (or use [overhead FILE]). *)
-let overhead_bench out_path =
+let overhead_matrix () =
   let fast = Sys.getenv_opt "WASABI_BENCH_FAST" <> None in
   let target = if fast then 0.002 else 0.006 in
   let reps = if fast then 3 else 5 in
@@ -358,6 +358,10 @@ let overhead_bench out_path =
       columns
   in
   Printf.eprintf "  %-16s %17s %6.2fx\n%!" "geomean" "" (List.assoc "all" geomeans);
+  (fast, reps, target, columns, results, geomeans)
+
+let overhead_bench out_path =
+  let fast, reps, target, columns, results, geomeans = overhead_matrix () in
   let b = Buffer.create 4096 in
   let num v = if Float.is_finite v then Printf.sprintf "%.4f" v else "null" in
   Buffer.add_string b "{\n";
@@ -392,6 +396,97 @@ let overhead_bench out_path =
     Fun.protect ~finally:(fun () -> close_out_noerr oc)
       (fun () -> output_string oc (Buffer.contents b));
     Printf.eprintf "wrote %s\n" path
+
+(** Extract [geomean.all] from an overhead JSON document written by
+    {!overhead_bench}, with a small string scan — the bench links no JSON
+    library. The scan anchors on the ["geomean"] object so the per-
+    workload ["all"] cells are skipped. *)
+let parse_baseline_geomean path =
+  let s = In_channel.with_open_bin path In_channel.input_all in
+  let find pat from =
+    let n = String.length s and k = String.length pat in
+    let rec go i =
+      if i + k > n then None else if String.sub s i k = pat then Some (i + k) else go (i + 1)
+    in
+    go from
+  in
+  match find "\"geomean\"" 0 with
+  | None -> None
+  | Some g ->
+    (match find "\"all\":" g with
+     | None -> None
+     | Some start ->
+       let n = String.length s in
+       let stop = ref start in
+       while
+         !stop < n
+         && (match s.[!stop] with '0' .. '9' | '.' | '-' | '+' | 'e' | ' ' -> true | _ -> false)
+       do
+         incr stop
+       done;
+       float_of_string_opt (String.trim (String.sub s start (!stop - start))))
+
+(** CI regression gate: recompute the overhead matrix and fail (exit 1)
+    when the full-hook geomean slowdown regresses more than 10% over the
+    committed baseline. The matrix is made of paired same-machine ratios,
+    so baseline and fresh numbers are comparable across hosts. *)
+let overhead_check baseline_path =
+  let baseline =
+    match parse_baseline_geomean baseline_path with
+    | Some v when Float.is_finite v && v > 0.0 -> v
+    | _ ->
+      Printf.eprintf "overhead-check: cannot parse geomean.all from %s\n" baseline_path;
+      exit 2
+  in
+  let _, _, _, _, _, geomeans = overhead_matrix () in
+  let fresh = List.assoc "all" geomeans in
+  let ratio = fresh /. baseline in
+  Printf.printf "overhead-check: baseline %.2fx, current %.2fx (%+.1f%% vs baseline)\n" baseline
+    fresh ((ratio -. 1.0) *. 100.0);
+  if ratio > 1.10 then begin
+    Printf.eprintf "overhead-check: FAIL — full-hook geomean regressed more than 10%%\n";
+    exit 1
+  end
+  else print_endline "overhead-check: OK"
+
+(* ------------------------------------------------------------------ *)
+(* Encoder throughput                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(** Encoding throughput (MB/s): every corpus module in its original and
+    fully instrumented form. Tracks the effect of the section buffer
+    size hints and the allocation-free local-run emission. *)
+let encode_bench () =
+  Support.hr "bench encode: encoder throughput (MB/s)";
+  let fast = Sys.getenv_opt "WASABI_BENCH_FAST" <> None in
+  let budget = if fast then 2e6 else 20e6 in
+  let entries = Lazy.force corpus_fig9 in
+  let tot_bytes = ref 0.0 and tot_time = ref 0.0 in
+  let measure name (m : Ast.module_) =
+    let size = String.length (Encode.encode m) in
+    let iters = max 1 (int_of_float (budget /. float_of_int size)) in
+    let t =
+      Support.time_best ~reps:3 (fun () ->
+        for _ = 1 to iters do
+          ignore (Encode.encode m)
+        done)
+    in
+    let bytes = float_of_int (size * iters) in
+    tot_bytes := !tot_bytes +. bytes;
+    tot_time := !tot_time +. t;
+    Printf.printf "  %-24s %8d B x %5d %9.1f MB/s\n" name size iters
+      (bytes /. Float.max 1e-9 t /. 1e6)
+  in
+  List.iter
+    (fun (e : Workloads.Corpus.entry) ->
+       measure e.name e.module_;
+       measure (e.name ^ "+hooks") (W.Instrument.instrument e.module_).W.Instrument.instrumented)
+    (Workloads.Corpus.realworld entries);
+  List.iter
+    (fun (e : Workloads.Corpus.entry) -> measure e.name e.module_)
+    (Workloads.Corpus.polybench entries);
+  Printf.printf "  %-24s %26.1f MB/s aggregate\n" "total"
+    (!tot_bytes /. Float.max 1e-9 !tot_time /. 1e6)
 
 (* ------------------------------------------------------------------ *)
 (* Ablation: i64 splitting                                             *)
@@ -590,7 +685,9 @@ let () =
   | [| _; "static" |] -> static_bench ()
   | [| _; "overhead" |] -> overhead_bench None
   | [| _; "overhead"; path |] -> overhead_bench (Some path)
+  | [| _; "overhead-check"; baseline |] -> overhead_check baseline
+  | [| _; "encode" |] -> encode_bench ()
   | _ ->
     prerr_endline
-      "usage: main.exe [table4|rq2|table5|fig8|monomorph|fig9|ablation|micro|interp|static|overhead [FILE]]";
+      "usage: main.exe [table4|rq2|table5|fig8|monomorph|fig9|ablation|micro|interp|static|encode|overhead [FILE]|overhead-check BASELINE]";
     exit 2

@@ -11,7 +11,9 @@
 
     Structured pipeline failures exit with distinct codes and a one-line
     message (decode 3, validate 4, link 5, trap 6, exhaustion 7) instead
-    of an uncaught-exception backtrace; lint soundness errors exit 8.
+    of an uncaught-exception backtrace; lint soundness errors exit 8, and
+    hook-dispatch argument errors (a bug in the instrumentation, not the
+    input program) exit 9.
 *)
 
 open Cmdliner
@@ -572,8 +574,15 @@ let profile_cmd =
           | None -> ()
           | Some hm ->
             print_newline ();
-            (* hook-overhead breakdown: dispatch count and time per group *)
-            let timers = Obs.Profile.timer_list prof in
+            (* hook-overhead breakdown: dispatch count and time per group,
+               then the decode-vs-analysis split of the same time (the
+               "dispatch." timers re-slice the per-group totals, so they
+               are excluded from the per-group sum) *)
+            let phases, timers =
+              List.partition
+                (fun (key, _, _) -> String.starts_with ~prefix:"dispatch." key)
+                (Obs.Profile.timer_list prof)
+            in
             if timers <> [] then begin
               Printf.printf "%-24s %12s %12s %10s\n" "hook dispatch" "calls" "total ms" "avg ns";
               List.iter
@@ -586,6 +595,20 @@ let profile_cmd =
                 (Obs.Clock.ns_to_ms hook_ns)
                 (if Int64.equal wall_ns 0L then 0.0
                   else 100.0 *. Int64.to_float hook_ns /. Int64.to_float wall_ns)
+            end;
+            if phases <> [] then begin
+              let phase_ns =
+                List.fold_left (fun acc (_, _, ns) -> Int64.add acc ns) 0L phases
+              in
+              Printf.printf "%-24s %12s %12s %10s\n" "dispatch phase" "calls" "total ms" "share";
+              List.iter
+                (fun (key, calls, ns) ->
+                   Printf.printf "%-24s %12d %12.3f %9.1f%%\n" key calls
+                     (Obs.Clock.ns_to_ms ns)
+                     (if Int64.equal phase_ns 0L then 0.0
+                      else 100.0 *. Int64.to_float ns /. Int64.to_float phase_ns))
+                phases;
+              print_newline ()
             end;
             print_hook_stats hm);
          (* folded stacks, one workload's paths prefixed by its name *)

@@ -5,7 +5,7 @@
 open Wasabi
 
 type t = {
-  counts : (string, int) Hashtbl.t;
+  counts : (string, int ref) Hashtbl.t;
   mutable total : int;
 }
 
@@ -13,9 +13,37 @@ let create () = { counts = Hashtbl.create 64; total = 0 }
 
 let groups = Hook.all
 
+(* The hook-dispatch fast path makes the analysis callback itself the
+   dominant cost for this analysis, so the counters avoid per-event
+   allocation: one hash lookup per bump (int ref cells instead of
+   find + replace) and statically allocated keys for the block/const
+   shapes that would otherwise concatenate a fresh string per event. *)
 let bump t key =
   t.total <- t.total + 1;
-  Hashtbl.replace t.counts key (1 + Option.value ~default:0 (Hashtbl.find_opt t.counts key))
+  match Hashtbl.find_opt t.counts key with
+  | Some cell -> incr cell
+  | None -> Hashtbl.add t.counts key (ref 1)
+
+let begin_key = function
+  | Hook.Bfunction -> "begin_function"
+  | Bblock -> "begin_block"
+  | Bloop -> "begin_loop"
+  | Bif -> "begin_if"
+  | Belse -> "begin_else"
+
+let end_key = function
+  | Hook.Bfunction -> "end_function"
+  | Bblock -> "end_block"
+  | Bloop -> "end_loop"
+  | Bif -> "end_if"
+  | Belse -> "end_else"
+
+let const_key v =
+  match Wasm.Value.type_of v with
+  | Wasm.Types.I32T -> "i32.const"
+  | I64T -> "i64.const"
+  | F32T -> "f32.const"
+  | F64T -> "f64.const"
 
 let analysis (t : t) : Analysis.t =
   {
@@ -26,9 +54,9 @@ let analysis (t : t) : Analysis.t =
     br = (fun _ _ -> bump t "br");
     br_if = (fun _ _ _ -> bump t "br_if");
     br_table = (fun _ _ _ _ -> bump t "br_table");
-    begin_ = (fun _ k -> bump t ("begin_" ^ Hook.block_kind_name k));
-    end_ = (fun _ k _ -> bump t ("end_" ^ Hook.block_kind_name k));
-    const = (fun _ v -> bump t (Wasm.Types.string_of_value_type (Wasm.Value.type_of v) ^ ".const"));
+    begin_ = (fun _ k -> bump t (begin_key k));
+    end_ = (fun _ k _ -> bump t (end_key k));
+    const = (fun _ v -> bump t (const_key v));
     drop = (fun _ _ -> bump t "drop");
     select = (fun _ _ _ _ -> bump t "select");
     unary = (fun _ op _ _ -> bump t op);
@@ -39,17 +67,21 @@ let analysis (t : t) : Analysis.t =
     store = (fun _ op _ _ -> bump t op);
     memory_size = (fun _ _ -> bump t "memory.size");
     memory_grow = (fun _ _ _ -> bump t "memory.grow");
-    call_pre = (fun _ _ _ ti -> bump t (if ti = None then "call" else "call_indirect"));
+    call_pre =
+      (fun _ _ _ ti ->
+         bump t (match ti with None -> "call" | Some _ -> "call_indirect"));
     return_ = (fun _ _ -> bump t "return");
     start = (fun _ -> bump t "start");
   }
 
-let count t key = Option.value ~default:0 (Hashtbl.find_opt t.counts key)
+let count t key =
+  match Hashtbl.find_opt t.counts key with Some c -> !c | None -> 0
+
 let total t = t.total
 
 (** Counts sorted by frequency, most frequent first. *)
 let sorted t =
-  Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.counts []
+  Hashtbl.fold (fun k v acc -> (k, !v) :: acc) t.counts []
   |> List.sort (fun (_, a) (_, b) -> Int.compare b a)
 
 let report t =

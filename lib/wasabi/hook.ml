@@ -226,6 +226,11 @@ let name (s : spec) : string =
   | S_return tys -> "return" ^ type_suffix tys
   | S_start -> "start"
 
+(** Flattened Wasm-level parameter count of the hook, including the two
+    location slots — the arity of a compiled dispatch decoder. *)
+let param_count ?split_i64 (s : spec) : int =
+  List.length (signature ?split_i64 s).params
+
 (** Import module name under which all hooks are imported. *)
 let import_module = "wasabi_hooks"
 

@@ -97,6 +97,10 @@ val signature : ?split_i64:bool -> spec -> Wasm.Types.func_type
     followed by the spec's arguments ([split_i64] defaults to [true], the
     JavaScript-compatible convention). *)
 
+val param_count : ?split_i64:bool -> spec -> int
+(** Flattened Wasm-level parameter count of {!signature}, including the
+    two location slots — the arity of a compiled dispatch decoder. *)
+
 val name : spec -> string
 (** Import name of the generated hook, e.g. ["i32.add"], ["drop_i64"],
     ["call_pre_i32_f64"], ["begin_loop"]. Distinct specs can share a name

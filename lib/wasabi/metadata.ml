@@ -53,6 +53,32 @@ let br_table_at t loc =
   | Some info -> info
   | None -> invalid_arg (Printf.sprintf "no br_table at %s" (Location.to_string loc))
 
+type br_table_index = br_table_info option array array
+
+(** Build the O(1) lookup structure from the location-keyed map in two
+    passes: size each per-function row by its largest instrumented
+    instruction index, then fill. Functions (or instruction prefixes)
+    without any [br_table] get empty rows, so lookups degrade to [None]
+    rather than allocate. *)
+let build_br_table_index t : br_table_index =
+  let max_func =
+    Location.Map.fold (fun (l : Location.t) _ acc -> max acc l.func) t.br_tables (-1)
+  in
+  let row_len = Array.make (max_func + 1) 0 in
+  Location.Map.iter
+    (fun (l : Location.t) _ -> row_len.(l.func) <- max row_len.(l.func) (l.instr + 1))
+    t.br_tables;
+  let idx = Array.init (max_func + 1) (fun f -> Array.make row_len.(f) None) in
+  Location.Map.iter (fun (l : Location.t) info -> idx.(l.func).(l.instr) <- Some info) t.br_tables;
+  idx
+
+let br_table_find (idx : br_table_index) ~func ~instr =
+  if func >= 0 && func < Array.length idx then begin
+    let row = Array.unsafe_get idx func in
+    if instr >= 0 && instr < Array.length row then Array.unsafe_get row instr else None
+  end
+  else None
+
 (** Static information about the original module, in the spirit of the
     [Wasabi.module.info] object available to analyses. *)
 let func_type t idx = Wasm.Ast.func_type_at t.original idx

@@ -45,6 +45,16 @@ type t = {
 val br_table_at : t -> Location.t -> br_table_info
 (** @raise Invalid_argument when no [br_table] was instrumented there. *)
 
+type br_table_index = br_table_info option array array
+(** O(1) per-location view of [br_tables]: indexed by original function
+    index, then instruction index. Built once per runtime binding so the
+    hot [br_table] hook never walks the map. *)
+
+val build_br_table_index : t -> br_table_index
+
+val br_table_find : br_table_index -> func:int -> instr:int -> br_table_info option
+(** Bounds-checked lookup; [None] where no [br_table] was instrumented. *)
+
 val func_type : t -> int -> Wasm.Types.func_type
 (** Type of an original function, by original index. *)
 

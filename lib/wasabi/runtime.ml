@@ -6,14 +6,36 @@
     decode their arguments (re-joining split i64 halves), attach
     pre-computed static information from {!Metadata} (resolved branch
     targets, [br_table] entries, indirect call targets) and invoke the
-    user's {!Analysis.t} callbacks. *)
+    user's {!Analysis.t} callbacks.
+
+    There are two decoder implementations:
+
+    - {b compiled} (the default): every monomorphized hook spec is
+      compiled {e once}, at runtime-binding time, into a specialized
+      closure — arity, argument slot offsets, i64 split/join, op-name
+      strings and [br_table] metadata are all pre-resolved, and arguments
+      are read straight out of the interpreter's operand-stack buffer
+      (the array ABI of {!Wasm.Interp.host_func_raw}), with no per-call
+      list allocation or map lookup;
+    - {b reference}: the original interpretive [take_*]-chain over an
+      argument list, kept as the debug path and as the oracle for the
+      differential decoder tests. Selected with [~decoder:`Reference] or
+      by setting the [WASABI_REFERENCE_DECODER] environment variable.
+
+    Both paths must produce identical high-level hook invocations;
+    [test/test_decoders.ml] checks this across the whole corpus. *)
 
 open Wasm
 open Wasm.Types
 
+type decoder_kind = [ `Compiled | `Reference ]
+
 type t = {
   metadata : Metadata.t;
   analysis : Analysis.t;
+  decoder : decoder_kind;
+  br_index : Metadata.br_table_index;
+      (** O(1) per-location [br_table] metadata, built once at creation *)
   mutable instance : Interp.instance option;
       (** the instrumented instance, needed to resolve indirect call
           targets through the table; set right after instantiation *)
@@ -23,12 +45,66 @@ type t = {
           applied, so entries never need invalidation. *)
   mutable prof : Obs.Profile.t option;
       (** when set, every hook dispatch is counted and timed under
-          ["hook.<group>"]; [None] costs one match per dispatch *)
+          ["hook.<group>"] plus the ["dispatch.decode"] /
+          ["dispatch.analysis"] split; [None] costs one match per
+          dispatch *)
+  mark : int64 ref;
+      (** timestamp of the first analysis-callback entry of the current
+          profiled dispatch, or [-1L]; separates marshalling time from
+          user analysis time *)
+  marked_analysis : Analysis.t;
+      (** [analysis] with every callback wrapped to record [mark]; only
+          dispatched to while a profiler is attached *)
 }
 
-let create (res : Instrument.result) (analysis : Analysis.t) : t =
-  { metadata = res.metadata; analysis; instance = None; indirect_cache = [||];
-    prof = None }
+exception Bad_hook_args = Error.Hook_error
+
+let bad fmt = Error.hook_error ~code:"bad-hook-args" fmt
+
+let mark_now mark = if !mark < 0L then mark := Obs.Clock.now_ns ()
+
+(** Wrap every callback so the first one entered during a dispatch
+    records its entry time: everything before it is argument decoding,
+    everything after it is the user's analysis code. *)
+let with_mark mark (a : Analysis.t) : Analysis.t =
+  {
+    Analysis.nop = (fun l -> mark_now mark; a.Analysis.nop l);
+    unreachable = (fun l -> mark_now mark; a.Analysis.unreachable l);
+    if_ = (fun l c -> mark_now mark; a.Analysis.if_ l c);
+    br = (fun l t -> mark_now mark; a.Analysis.br l t);
+    br_if = (fun l t c -> mark_now mark; a.Analysis.br_if l t c);
+    br_table = (fun l tbl d i -> mark_now mark; a.Analysis.br_table l tbl d i);
+    begin_ = (fun l k -> mark_now mark; a.Analysis.begin_ l k);
+    end_ = (fun l k b -> mark_now mark; a.Analysis.end_ l k b);
+    const = (fun l v -> mark_now mark; a.Analysis.const l v);
+    drop = (fun l v -> mark_now mark; a.Analysis.drop l v);
+    select = (fun l c x y -> mark_now mark; a.Analysis.select l c x y);
+    unary = (fun l op i r -> mark_now mark; a.Analysis.unary l op i r);
+    binary = (fun l op x y r -> mark_now mark; a.Analysis.binary l op x y r);
+    local = (fun l op i v -> mark_now mark; a.Analysis.local l op i v);
+    global = (fun l op i v -> mark_now mark; a.Analysis.global l op i v);
+    load = (fun l op ma v -> mark_now mark; a.Analysis.load l op ma v);
+    store = (fun l op ma v -> mark_now mark; a.Analysis.store l op ma v);
+    memory_size = (fun l s -> mark_now mark; a.Analysis.memory_size l s);
+    memory_grow = (fun l d p -> mark_now mark; a.Analysis.memory_grow l d p);
+    call_pre = (fun l f args ti -> mark_now mark; a.Analysis.call_pre l f args ti);
+    call_post = (fun l rs -> mark_now mark; a.Analysis.call_post l rs);
+    return_ = (fun l rs -> mark_now mark; a.Analysis.return_ l rs);
+    start = (fun l -> mark_now mark; a.Analysis.start l);
+  }
+
+let default_decoder () : decoder_kind =
+  match Sys.getenv_opt "WASABI_REFERENCE_DECODER" with
+  | Some s when s <> "" && s <> "0" -> `Reference
+  | _ -> `Compiled
+
+let create ?decoder (res : Instrument.result) (analysis : Analysis.t) : t =
+  let decoder = match decoder with Some d -> d | None -> default_decoder () in
+  let mark = ref (-1L) in
+  { metadata = res.metadata; analysis; decoder;
+    br_index = Metadata.build_br_table_index res.metadata;
+    instance = None; indirect_cache = [||]; prof = None;
+    mark; marked_analysis = with_mark mark analysis }
 
 (** Attach a profiler to both the runtime (hook-dispatch accounting) and
     the instrumented instance, when one is already present. *)
@@ -43,12 +119,13 @@ let join_i64 (lo : int32) (hi : int32) : int64 =
     (Int64.logand (Int64.of_int32 lo) 0xFFFFFFFFL)
     (Int64.shift_left (Int64.of_int32 hi) 32)
 
-exception Bad_hook_args of string
+(** {1 Reference decoders}
 
-let bad msg = raise (Bad_hook_args msg)
+    Argument decoding by folding over the argument list: consume values
+    according to declared types, re-joining i64 halves. This is the
+    original interpretive path, kept for debugging and as the oracle the
+    compiled decoders are differentially tested against. *)
 
-(** Argument decoding: consume values according to declared types,
-    re-joining i64 halves. *)
 let take_i32 = function
   | Value.I32 x :: rest -> (x, rest)
   | _ -> bad "expected i32"
@@ -133,164 +210,476 @@ let resolve_indirect rt (table_idx : int32) : int =
          end
        end)
 
-(** Build the host function implementing one low-level hook. *)
-let dispatch rt (spec : Hook.spec) : Value.t list -> Value.t list =
-  let a = rt.analysis in
+(** The reference dispatcher for one low-level hook: interpretive
+    [take_*] decoding over an argument list. *)
+let dispatch_reference rt (a : Analysis.t) (spec : Hook.spec) : Value.t list -> unit =
   let split = rt.metadata.Metadata.split_i64 in
   let take_value = take_value ~split in
   let take_values = take_values ~split in
-  let timer_key = "hook." ^ Hook.group_name (Hook.group_of_spec spec) in
-  let body args =
+  fun args ->
     let fidx, args = take_int args in
     let instr, args = take_int args in
     let loc = Location.make ~func:fidx ~instr in
-    (match spec with
-     | Hook.S_nop -> done_ args; a.nop loc
-     | S_unreachable -> done_ args; a.unreachable loc
-     | S_start -> done_ args; a.start loc
-     | S_if_cond ->
-       let cond, args = take_bool args in
-       done_ args;
-       a.if_ loc cond
-     | S_br ->
-       let label, args = take_int args in
-       let target, args = take_int args in
-       done_ args;
-       a.br loc { Metadata.label; target_loc = Location.make ~func:fidx ~instr:target }
-     | S_br_if ->
-       let label, args = take_int args in
-       let target, args = take_int args in
-       let cond, args = take_bool args in
-       done_ args;
-       a.br_if loc { Metadata.label; target_loc = Location.make ~func:fidx ~instr:target } cond
-     | S_br_table ->
-       let idx, args = take_int args in
-       done_ args;
-       let info = Metadata.br_table_at rt.metadata loc in
-       let targets = Array.map fst info.Metadata.bt_targets in
-       let default = fst info.Metadata.bt_default in
-       a.br_table loc targets default idx;
-       (* the blocks ended by the selected entry, known only at runtime *)
-       if Hook.Group_set.mem Hook.G_end rt.metadata.Metadata.groups then begin
-         (* the index is an unsigned i32: negative here means >= 2^31,
-            which is out of range and takes the default *)
-         let _, ended =
-           if idx >= 0 && idx < Array.length info.Metadata.bt_targets then
-             info.Metadata.bt_targets.(idx)
-           else info.Metadata.bt_default
-         in
-         List.iter
-           (fun (eb : Metadata.ended_block) ->
-              a.end_ eb.Metadata.eb_end_loc eb.eb_kind
-                (Location.make ~func:fidx ~instr:eb.eb_begin_instr))
-           ended
-       end
-     | S_begin kind -> done_ args; a.begin_ loc kind
-     | S_end kind ->
-       let begin_instr, args = take_int args in
-       done_ args;
-       a.end_ loc kind (Location.make ~func:fidx ~instr:begin_instr)
-     | S_const ty ->
-       let v, args = take_value ty args in
-       done_ args;
-       a.const loc v
-     | S_drop ty ->
-       let v, args = take_value ty args in
-       done_ args;
-       a.drop loc v
-     | S_select ty ->
-       let cond, args = take_bool args in
-       let v1, args = take_value ty args in
-       let v2, args = take_value ty args in
-       done_ args;
-       a.select loc cond v1 v2
-     | S_unary (op, ity, rty) ->
-       let input, args = take_value ity args in
-       let result, args = take_value rty args in
-       done_ args;
-       a.unary loc op input result
-     | S_binary (op, aty, bty, rty) ->
-       let x, args = take_value aty args in
-       let y, args = take_value bty args in
-       let r, args = take_value rty args in
-       done_ args;
-       a.binary loc op x y r
-     | S_local (op, ty) ->
-       let idx, args = take_int args in
-       let v, args = take_value ty args in
-       done_ args;
-       a.local loc (Hook.local_op_name op) idx v
-     | S_global (op, ty) ->
-       let idx, args = take_int args in
-       let v, args = take_value ty args in
-       done_ args;
-       a.global loc (Hook.global_op_name op) idx v
-     | S_load (op, ty) ->
-       let addr, args = take_i32 args in
-       let offset, args = take_int args in
-       let v, args = take_value ty args in
-       done_ args;
-       a.load loc op { Analysis.addr; offset } v
-     | S_store (op, ty) ->
-       let addr, args = take_i32 args in
-       let offset, args = take_int args in
-       let v, args = take_value ty args in
-       done_ args;
-       a.store loc op { Analysis.addr; offset } v
-     | S_memory_size ->
-       let size, args = take_int args in
-       done_ args;
-       a.memory_size loc size
-     | S_memory_grow ->
-       let delta, args = take_int args in
-       let prev, args = take_int args in
-       done_ args;
-       a.memory_grow loc delta prev
-     | S_call_pre (tys, indirect) ->
-       let callee_or_table, args = take_i32 args in
-       let vs, args = take_values tys args in
-       done_ args;
-       if indirect then
-         let callee = resolve_indirect rt callee_or_table in
-         a.call_pre loc callee vs (Some (Int32.to_int callee_or_table))
-       else a.call_pre loc (Int32.to_int callee_or_table) vs None
-     | S_call_post tys ->
-       let vs, args = take_values tys args in
-       done_ args;
-       a.call_post loc vs
-     | S_return tys ->
-       let vs, args = take_values tys args in
-       done_ args;
-       a.return_ loc vs);
+    match spec with
+    | Hook.S_nop -> done_ args; a.nop loc
+    | S_unreachable -> done_ args; a.unreachable loc
+    | S_start -> done_ args; a.start loc
+    | S_if_cond ->
+      let cond, args = take_bool args in
+      done_ args;
+      a.if_ loc cond
+    | S_br ->
+      let label, args = take_int args in
+      let target, args = take_int args in
+      done_ args;
+      a.br loc { Metadata.label; target_loc = Location.make ~func:fidx ~instr:target }
+    | S_br_if ->
+      let label, args = take_int args in
+      let target, args = take_int args in
+      let cond, args = take_bool args in
+      done_ args;
+      a.br_if loc { Metadata.label; target_loc = Location.make ~func:fidx ~instr:target } cond
+    | S_br_table ->
+      let idx, args = take_int args in
+      done_ args;
+      let info = Metadata.br_table_at rt.metadata loc in
+      let targets = Array.map fst info.Metadata.bt_targets in
+      let default = fst info.Metadata.bt_default in
+      a.br_table loc targets default idx;
+      (* the blocks ended by the selected entry, known only at runtime *)
+      if Hook.Group_set.mem Hook.G_end rt.metadata.Metadata.groups then begin
+        (* the index is an unsigned i32: negative here means >= 2^31,
+           which is out of range and takes the default *)
+        let _, ended =
+          if idx >= 0 && idx < Array.length info.Metadata.bt_targets then
+            info.Metadata.bt_targets.(idx)
+          else info.Metadata.bt_default
+        in
+        List.iter
+          (fun (eb : Metadata.ended_block) ->
+             a.end_ eb.Metadata.eb_end_loc eb.eb_kind
+               (Location.make ~func:fidx ~instr:eb.eb_begin_instr))
+          ended
+      end
+    | S_begin kind -> done_ args; a.begin_ loc kind
+    | S_end kind ->
+      let begin_instr, args = take_int args in
+      done_ args;
+      a.end_ loc kind (Location.make ~func:fidx ~instr:begin_instr)
+    | S_const ty ->
+      let v, args = take_value ty args in
+      done_ args;
+      a.const loc v
+    | S_drop ty ->
+      let v, args = take_value ty args in
+      done_ args;
+      a.drop loc v
+    | S_select ty ->
+      let cond, args = take_bool args in
+      let v1, args = take_value ty args in
+      let v2, args = take_value ty args in
+      done_ args;
+      a.select loc cond v1 v2
+    | S_unary (op, ity, rty) ->
+      let input, args = take_value ity args in
+      let result, args = take_value rty args in
+      done_ args;
+      a.unary loc op input result
+    | S_binary (op, aty, bty, rty) ->
+      let x, args = take_value aty args in
+      let y, args = take_value bty args in
+      let r, args = take_value rty args in
+      done_ args;
+      a.binary loc op x y r
+    | S_local (op, ty) ->
+      let idx, args = take_int args in
+      let v, args = take_value ty args in
+      done_ args;
+      a.local loc (Hook.local_op_name op) idx v
+    | S_global (op, ty) ->
+      let idx, args = take_int args in
+      let v, args = take_value ty args in
+      done_ args;
+      a.global loc (Hook.global_op_name op) idx v
+    | S_load (op, ty) ->
+      let addr, args = take_i32 args in
+      let offset, args = take_int args in
+      let v, args = take_value ty args in
+      done_ args;
+      a.load loc op { Analysis.addr; offset } v
+    | S_store (op, ty) ->
+      let addr, args = take_i32 args in
+      let offset, args = take_int args in
+      let v, args = take_value ty args in
+      done_ args;
+      a.store loc op { Analysis.addr; offset } v
+    | S_memory_size ->
+      let size, args = take_int args in
+      done_ args;
+      a.memory_size loc size
+    | S_memory_grow ->
+      let delta, args = take_int args in
+      let prev, args = take_int args in
+      done_ args;
+      a.memory_grow loc delta prev
+    | S_call_pre (tys, indirect) ->
+      let callee_or_table, args = take_i32 args in
+      let vs, args = take_values tys args in
+      done_ args;
+      if indirect then
+        let callee = resolve_indirect rt callee_or_table in
+        a.call_pre loc callee vs (Some (Int32.to_int callee_or_table))
+      else a.call_pre loc (Int32.to_int callee_or_table) vs None
+    | S_call_post tys ->
+      let vs, args = take_values tys args in
+      done_ args;
+      a.call_post loc vs
+    | S_return tys ->
+      let vs, args = take_values tys args in
+      done_ args;
+      a.return_ loc vs
+
+(** {1 Compiled decoders}
+
+    Slot readers, each specialized at compile time to a fixed slot [k]
+    relative to the argument base. The hook's wasm signature guarantees
+    exactly the declared slots are present ([Interp.call_host] enforces
+    the arity), so reads use [unsafe_get]. Slots 0 and 1 are always the
+    location (function index, instruction index). *)
+
+let read_int k args off =
+  match Array.unsafe_get args (off + k) with
+  | Value.I32 x -> Int32.to_int x
+  | _ -> bad "expected i32"
+
+let read_i32 k args off =
+  match Array.unsafe_get args (off + k) with
+  | Value.I32 x -> x
+  | _ -> bad "expected i32"
+
+let read_bool k args off =
+  match Array.unsafe_get args (off + k) with
+  | Value.I32 x -> not (Int32.equal x 0l)
+  | _ -> bad "expected i32"
+
+(** Reader for one typed value at slot [k]; returns the reader and the
+    number of slots consumed. The i64 split/join decision is resolved
+    here, once per spec, instead of per call. *)
+let read_value ~split ty k : (Value.t array -> int -> Value.t) * int =
+  match ty with
+  | I64T when split ->
+    ( (fun args off ->
+         match Array.unsafe_get args (off + k), Array.unsafe_get args (off + k + 1) with
+         | Value.I32 lo, Value.I32 hi -> Value.I64 (join_i64 lo hi)
+         | _ -> bad "hook argument type mismatch"),
+      2 )
+  | I64T ->
+    ( (fun args off ->
+         match Array.unsafe_get args (off + k) with
+         | Value.I64 _ as v -> v
+         | _ -> bad "hook argument type mismatch"),
+      1 )
+  | I32T ->
+    ( (fun args off ->
+         match Array.unsafe_get args (off + k) with
+         | Value.I32 _ as v -> v
+         | _ -> bad "hook argument type mismatch"),
+      1 )
+  | F32T ->
+    ( (fun args off ->
+         match Array.unsafe_get args (off + k) with
+         | Value.F32 _ as v -> v
+         | _ -> bad "hook argument type mismatch"),
+      1 )
+  | F64T ->
+    ( (fun args off ->
+         match Array.unsafe_get args (off + k) with
+         | Value.F64 _ as v -> v
+         | _ -> bad "hook argument type mismatch"),
+      1 )
+
+(** Reader for a typed argument tuple (call/return hooks): every
+    element's slot is pre-resolved; the returned closure builds the
+    [Value.t list] in one left-to-right pass with no reversal. *)
+let read_values ~split tys k0 : Value.t array -> int -> Value.t list =
+  let readers, _ =
+    List.fold_left
+      (fun (acc, k) ty ->
+         let r, w = read_value ~split ty k in
+         (r :: acc, k + w))
+      ([], k0) tys
+  in
+  match List.rev readers with
+  | [] -> fun _ _ -> []
+  | readers ->
+    let rec build rs args off =
+      match rs with
+      | [] -> []
+      | r :: rest ->
+        (* [let]-bound so elements are read first-to-last, exactly like
+           the reference [take_values] chain *)
+        let v = r args off in
+        v :: build rest args off
+    in
+    fun args off -> build readers args off
+
+(** Compile one monomorphized hook spec into its specialized decoder.
+    Arity, slot offsets, i64 joins, op-name strings and [br_table]
+    metadata lookups are all resolved here, once, at runtime-binding
+    time; the returned closure does no list traversal and no map walk.
+    Argument reads are [let]-bound in the reference decoder's order (not
+    inlined into the callback application, whose evaluation order OCaml
+    does not define), so the two paths are observationally identical. *)
+let compile rt (a : Analysis.t) (spec : Hook.spec) : Value.t array -> int -> unit =
+  let split = rt.metadata.Metadata.split_i64 in
+  let read_value ty k = read_value ~split ty k in
+  let read_values tys k = read_values ~split tys k in
+  let loc args off = Location.make ~func:(read_int 0 args off) ~instr:(read_int 1 args off) in
+  match spec with
+  | Hook.S_nop -> fun args off -> a.nop (loc args off)
+  | S_unreachable -> fun args off -> a.unreachable (loc args off)
+  | S_start -> fun args off -> a.start (loc args off)
+  | S_if_cond ->
+    fun args off ->
+      let l = loc args off in
+      let cond = read_bool 2 args off in
+      a.if_ l cond
+  | S_br ->
+    fun args off ->
+      let l = loc args off in
+      let label = read_int 2 args off in
+      let target = read_int 3 args off in
+      a.br l { Metadata.label; target_loc = Location.make ~func:l.Location.func ~instr:target }
+  | S_br_if ->
+    fun args off ->
+      let l = loc args off in
+      let label = read_int 2 args off in
+      let target = read_int 3 args off in
+      let cond = read_bool 4 args off in
+      a.br_if l { Metadata.label; target_loc = Location.make ~func:l.Location.func ~instr:target }
+        cond
+  | S_br_table ->
+    let want_end = Hook.Group_set.mem Hook.G_end rt.metadata.Metadata.groups in
+    let br_index = rt.br_index in
+    fun args off ->
+      let fidx = read_int 0 args off in
+      let instr = read_int 1 args off in
+      let l = Location.make ~func:fidx ~instr in
+      let idx = read_int 2 args off in
+      let info =
+        match Metadata.br_table_find br_index ~func:fidx ~instr with
+        | Some info -> info
+        | None -> invalid_arg (Printf.sprintf "no br_table at %s" (Location.to_string l))
+      in
+      let targets = Array.map fst info.Metadata.bt_targets in
+      let default = fst info.Metadata.bt_default in
+      a.br_table l targets default idx;
+      if want_end then begin
+        (* the index is an unsigned i32: negative here means >= 2^31,
+           which is out of range and takes the default *)
+        let _, ended =
+          if idx >= 0 && idx < Array.length info.Metadata.bt_targets then
+            info.Metadata.bt_targets.(idx)
+          else info.Metadata.bt_default
+        in
+        List.iter
+          (fun (eb : Metadata.ended_block) ->
+             a.end_ eb.Metadata.eb_end_loc eb.eb_kind
+               (Location.make ~func:fidx ~instr:eb.eb_begin_instr))
+          ended
+      end
+  | S_begin kind -> fun args off -> a.begin_ (loc args off) kind
+  | S_end kind ->
+    fun args off ->
+      let fidx = read_int 0 args off in
+      let instr = read_int 1 args off in
+      let begin_instr = read_int 2 args off in
+      a.end_ (Location.make ~func:fidx ~instr) kind (Location.make ~func:fidx ~instr:begin_instr)
+  | S_const ty ->
+    let rd, _ = read_value ty 2 in
+    fun args off ->
+      let l = loc args off in
+      let v = rd args off in
+      a.const l v
+  | S_drop ty ->
+    let rd, _ = read_value ty 2 in
+    fun args off ->
+      let l = loc args off in
+      let v = rd args off in
+      a.drop l v
+  | S_select ty ->
+    let rd1, w = read_value ty 3 in
+    let rd2, _ = read_value ty (3 + w) in
+    fun args off ->
+      let l = loc args off in
+      let cond = read_bool 2 args off in
+      let v1 = rd1 args off in
+      let v2 = rd2 args off in
+      a.select l cond v1 v2
+  | S_unary (op, ity, rty) ->
+    let rdi, wi = read_value ity 2 in
+    let rdr, _ = read_value rty (2 + wi) in
+    fun args off ->
+      let l = loc args off in
+      let input = rdi args off in
+      let result = rdr args off in
+      a.unary l op input result
+  | S_binary (op, aty, bty, rty) ->
+    let rda, wa = read_value aty 2 in
+    let rdb, wb = read_value bty (2 + wa) in
+    let rdr, _ = read_value rty (2 + wa + wb) in
+    fun args off ->
+      let l = loc args off in
+      let x = rda args off in
+      let y = rdb args off in
+      let r = rdr args off in
+      a.binary l op x y r
+  | S_local (op, ty) ->
+    let opn = Hook.local_op_name op in
+    let rd, _ = read_value ty 3 in
+    fun args off ->
+      let l = loc args off in
+      let idx = read_int 2 args off in
+      let v = rd args off in
+      a.local l opn idx v
+  | S_global (op, ty) ->
+    let opn = Hook.global_op_name op in
+    let rd, _ = read_value ty 3 in
+    fun args off ->
+      let l = loc args off in
+      let idx = read_int 2 args off in
+      let v = rd args off in
+      a.global l opn idx v
+  | S_load (op, ty) ->
+    let rd, _ = read_value ty 4 in
+    fun args off ->
+      let l = loc args off in
+      let addr = read_i32 2 args off in
+      let offset = read_int 3 args off in
+      let v = rd args off in
+      a.load l op { Analysis.addr; offset } v
+  | S_store (op, ty) ->
+    let rd, _ = read_value ty 4 in
+    fun args off ->
+      let l = loc args off in
+      let addr = read_i32 2 args off in
+      let offset = read_int 3 args off in
+      let v = rd args off in
+      a.store l op { Analysis.addr; offset } v
+  | S_memory_size ->
+    fun args off ->
+      let l = loc args off in
+      let size = read_int 2 args off in
+      a.memory_size l size
+  | S_memory_grow ->
+    fun args off ->
+      let l = loc args off in
+      let delta = read_int 2 args off in
+      let prev = read_int 3 args off in
+      a.memory_grow l delta prev
+  | S_call_pre (tys, indirect) ->
+    let rdv = read_values tys 3 in
+    if indirect then
+      fun args off ->
+        let l = loc args off in
+        let tbl_idx = read_i32 2 args off in
+        let vs = rdv args off in
+        let callee = resolve_indirect rt tbl_idx in
+        a.call_pre l callee vs (Some (Int32.to_int tbl_idx))
+    else
+      fun args off ->
+        let l = loc args off in
+        let callee = read_i32 2 args off in
+        let vs = rdv args off in
+        a.call_pre l (Int32.to_int callee) vs None
+  | S_call_post tys ->
+    let rdv = read_values tys 2 in
+    fun args off ->
+      let l = loc args off in
+      let vs = rdv args off in
+      a.call_post l vs
+  | S_return tys ->
+    let rdv = read_values tys 2 in
+    fun args off ->
+      let l = loc args off in
+      let vs = rdv args off in
+      a.return_ l vs
+
+(** {1 Hook host functions} *)
+
+(** Build the host function implementing one low-level hook: the selected
+    decoder body, plus — only while a profiler is attached — a timing
+    wrapper that splits total dispatch time into marshalling
+    (["dispatch.decode"]) and user analysis code (["dispatch.analysis"])
+    at the first analysis-callback entry. *)
+let make_hook rt (spec : Hook.spec) : Interp.extern =
+  let split_i64 = rt.metadata.Metadata.split_i64 in
+  let ft = Hook.signature ~split_i64 spec in
+  let nparams = List.length ft.params in
+  let body_of a =
+    match rt.decoder with
+    | `Compiled -> compile rt a spec
+    | `Reference ->
+      let d = dispatch_reference rt a spec in
+      fun args off ->
+        let rec build i acc = if i < 0 then acc else build (i - 1) (args.(off + i) :: acc) in
+        d (build (nparams - 1) [])
+  in
+  let fast = body_of rt.analysis in
+  let profiled = lazy (body_of rt.marked_analysis) in
+  let timer_key = "hook." ^ Hook.group_name (Hook.group_of_spec spec) in
+  let mark = rt.mark in
+  let h_fn args off =
+    (match rt.prof with
+     | None -> fast args off
+     | Some p ->
+       let t0 = Obs.Clock.now_ns () in
+       mark := -1L;
+       Lazy.force profiled args off;
+       let t2 = Obs.Clock.now_ns () in
+       let t1 = if !mark < 0L then t2 else !mark in
+       Obs.Profile.add_time p timer_key (Int64.sub t2 t0);
+       Obs.Profile.add_time p "dispatch.decode" (Int64.sub t1 t0);
+       Obs.Profile.add_time p "dispatch.analysis" (Int64.sub t2 t1));
     []
   in
-  fun args ->
-    match rt.prof with
-    | None -> body args
-    | Some p ->
-      let t0 = Obs.Clock.now_ns () in
-      let r = body args in
-      Obs.Profile.add_time p timer_key (Int64.sub (Obs.Clock.now_ns ()) t0);
-      r
+  Interp.host_func_raw ~name:(Hook.name spec) ~params:ft.params ~results:ft.results h_fn
+
+(** The dispatch table: one host function per generated hook, indexed by
+    hook ordinal (= import position minus the original import count). *)
+let hook_externs (rt : t) : Interp.extern array =
+  Array.map (make_hook rt) rt.metadata.Metadata.hook_specs
+
+let imports_of rt (hooks : Interp.extern array) : Interp.imports =
+  Array.to_list
+    (Array.mapi
+       (fun k ext -> (Hook.import_module, Hook.name rt.metadata.Metadata.hook_specs.(k), ext))
+       hooks)
 
 (** Import list providing every generated low-level hook. *)
-let imports (rt : t) : Interp.imports =
-  rt.metadata.Metadata.hook_specs
-  |> Array.to_list
-  |> List.map (fun spec ->
-    let ft = Hook.signature ~split_i64:rt.metadata.Metadata.split_i64 spec in
-    ( Hook.import_module,
-      Hook.name spec,
-      Interp.host_func ~name:(Hook.name spec) ~params:ft.params ~results:ft.results
-        (dispatch rt spec) ))
+let imports (rt : t) : Interp.imports = imports_of rt (hook_externs rt)
 
 (** Instantiate an instrumented module with the given analysis attached.
-    [extra_imports] supplies the program's own imports (if any). *)
-let instantiate ?fuel ?(extra_imports : Interp.imports = []) (res : Instrument.result)
+    [extra_imports] supplies the program's own imports (if any). The
+    instrumenter appends hook imports after the original imports in
+    ordinal order, so hooks are resolved positionally through the
+    dispatch table (O(1) per import) rather than by name scan; anything
+    else falls back to the name-keyed list. *)
+let instantiate ?fuel ?decoder ?(extra_imports : Interp.imports = []) (res : Instrument.result)
     (analysis : Analysis.t) : Interp.instance * t =
-  let rt = create res analysis in
+  let rt = create ?decoder res analysis in
+  let hooks = hook_externs rt in
+  let base = List.length rt.metadata.Metadata.original.Ast.imports in
+  let resolve_import i (imp : Ast.import) =
+    let k = i - base in
+    if k >= 0 && k < Array.length hooks && String.equal imp.module_name Hook.import_module then
+      Some (Array.unsafe_get hooks k)
+    else None
+  in
   let inst =
-    Interp.instantiate ?fuel ~imports:(imports rt @ extra_imports) res.Instrument.instrumented
+    Interp.instantiate ?fuel ~resolve_import
+      ~imports:(imports_of rt hooks @ extra_imports)
+      res.Instrument.instrumented
   in
   rt.instance <- Some inst;
   (inst, rt)

@@ -2,25 +2,49 @@
     dispatches them to the high-level analysis API, re-joining split i64
     halves, attaching pre-computed static information (resolved branch
     targets, [br_table] entries) and resolving indirect call targets
-    through the instance's table. *)
+    through the instance's table.
+
+    Each monomorphized hook spec is compiled once, at runtime-binding
+    time, into a specialized decoder closure that reads its arguments
+    straight off the interpreter's operand stack (zero per-call list
+    allocation, no map lookups); the original interpretive list-based
+    decoder is kept as a debug/reference path, selected with
+    [~decoder:`Reference] or the [WASABI_REFERENCE_DECODER] environment
+    variable. Both paths produce identical high-level hook invocations. *)
+
+type decoder_kind = [ `Compiled | `Reference ]
 
 type t = {
   metadata : Metadata.t;
   analysis : Analysis.t;
+  decoder : decoder_kind;
+  br_index : Metadata.br_table_index;
+      (** O(1) per-location [br_table] metadata, built once at creation *)
   mutable instance : Wasm.Interp.instance option;
   mutable indirect_cache : int array;
       (** per-table-slot resolution of indirect call targets, filled
           lazily (MVP tables are immutable after instantiation) *)
   mutable prof : Obs.Profile.t option;
       (** when set, every hook dispatch is counted and timed under
-          ["hook.<group>"] *)
+          ["hook.<group>"], plus the ["dispatch.decode"] /
+          ["dispatch.analysis"] marshalling-vs-analysis split *)
+  mark : int64 ref;
+      (** first analysis-callback entry time of the current profiled
+          dispatch, or [-1L] *)
+  marked_analysis : Analysis.t;
+      (** the analysis with mark-recording callback wrappers, dispatched
+          to only while a profiler is attached *)
 }
 
-exception Bad_hook_args of string
-(** A low-level hook received arguments inconsistent with its spec —
-    an internal error of the instrumentation. *)
+exception Bad_hook_args of Wasm.Error.t
+(** A low-level hook received arguments inconsistent with its spec — an
+    internal error of the instrumentation. Rebinding of
+    {!Wasm.Error.Hook_error} (phase [Run], code ["bad-hook-args"],
+    CLI exit code 9). *)
 
-val create : Instrument.result -> Analysis.t -> t
+val create : ?decoder:decoder_kind -> Instrument.result -> Analysis.t -> t
+(** [decoder] defaults to [`Compiled], or [`Reference] when the
+    [WASABI_REFERENCE_DECODER] environment variable is set non-empty. *)
 
 val attach_profiler : t -> Obs.Profile.t option -> unit
 (** Attach (or detach) a profiler to both the runtime (hook-dispatch
@@ -31,9 +55,13 @@ val imports : t -> Wasm.Interp.imports
 
 val instantiate :
   ?fuel:int ->
+  ?decoder:decoder_kind ->
   ?extra_imports:Wasm.Interp.imports ->
   Instrument.result ->
   Analysis.t ->
   Wasm.Interp.instance * t
 (** Instantiate an instrumented module with the analysis attached;
-    [extra_imports] supplies the program's own imports. *)
+    [extra_imports] supplies the program's own imports. Hook imports are
+    resolved positionally through the runtime's dispatch table (the
+    instrumenter appends them after the original imports in ordinal
+    order); everything else goes through the name-keyed import list. *)

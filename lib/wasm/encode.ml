@@ -239,35 +239,43 @@ let write_section buf id payload =
     Buffer.add_buffer buf payload
   end
 
-let write_vec_section buf id items write_item =
+(** [hint] estimates the payload bytes per element, so section buffers
+    start near their final size instead of doubling up from 256. *)
+let write_vec_section ?(hint = 8) buf id items write_item =
   if items <> [] then begin
-    let payload = Buffer.create 256 in
-    Leb128.write_uint payload (List.length items);
+    let n = List.length items in
+    let payload = Buffer.create (8 + (n * hint)) in
+    Leb128.write_uint payload n;
     List.iter (write_item payload) items;
     write_section buf id payload
   end
 
-(** Group consecutive equal local types into (count, type) runs, as
-    required by the code section encoding. *)
-let group_locals locals =
-  let rec go acc = function
-    | [] -> List.rev acc
-    | t :: rest ->
-      (match acc with
-       | (n, t') :: acc' when t' = t -> go ((n + 1, t) :: acc') rest
-       | _ -> go ((1, t) :: acc) rest)
+(** The code section encodes locals as (count, type) runs of consecutive
+    equal types. Both passes below walk the runs directly — no
+    intermediate group list is accumulated and reversed. *)
+let count_local_groups locals =
+  let rec go n prev = function
+    | [] -> n
+    | t :: rest -> if prev == t then go n prev rest else go (n + 1) t rest
   in
-  go [] locals
+  match locals with [] -> 0 | t :: rest -> go 1 t rest
+
+let write_local_groups body locals =
+  let rec run n t = function
+    | t' :: rest when t' == t -> run (n + 1) t rest
+    | rest ->
+      Leb128.write_uint body n;
+      write_value_type body t;
+      (match rest with [] -> () | t' :: rest' -> run 1 t' rest')
+  in
+  match locals with [] -> () | t :: rest -> run 1 t rest
 
 let write_code buf (f : func) =
-  let body = Buffer.create 64 in
-  let groups = group_locals f.locals in
-  Leb128.write_uint body (List.length groups);
-  List.iter
-    (fun (n, t) ->
-       Leb128.write_uint body n;
-       write_value_type body t)
-    groups;
+  (* size hint: instructions encode to a handful of bytes each, local
+     runs to two; undershooting only costs one final grow *)
+  let body = Buffer.create (16 + (2 * List.length f.locals) + (4 * List.length f.body)) in
+  Leb128.write_uint body (count_local_groups f.locals);
+  write_local_groups body f.locals;
   write_expr body f.body;
   Leb128.write_uint buf (Buffer.length body);
   Buffer.add_buffer buf body

@@ -68,9 +68,21 @@ exception Trap of string
 exception Exhaustion of string
 (** re-exported as [Interp.Exhaustion] *)
 
+exception Hook_error of t
+(** re-exported as [Wasabi.Runtime.Bad_hook_args]: a low-level hook
+    received arguments inconsistent with its spec — an internal error of
+    the instrumentation, carried structured (phase [Run], code
+    ["bad-hook-args"]) so the CLI and the fuzzing harness triage it apart
+    from program traps. *)
+
 let decode_error ~code ?offset fmt =
   Printf.ksprintf
     (fun message -> raise (Decode_error { phase = Decode; code; offset; message }))
+    fmt
+
+let hook_error ~code ?offset fmt =
+  Printf.ksprintf
+    (fun message -> raise (Hook_error { phase = Run; code; offset; message }))
     fmt
 
 (** Canonical codes of the spec-mandated trap messages, so fuzzing
@@ -103,6 +115,7 @@ let is_engine_bug e =
     the taxonomy — a bug on any untrusted-input path). *)
 let classify : exn -> t option = function
   | Decode_error e -> Some e
+  | Hook_error e -> Some e
   | Invalid message -> Some { phase = Validate; code = "invalid-module"; offset = None; message }
   | Link_error message -> Some { phase = Link; code = "link"; offset = None; message }
   | Trap message -> Some { phase = Run; code = trap_code message; offset = None; message }
@@ -118,10 +131,14 @@ let classify : exn -> t option = function
   | _ -> None
 
 (** Process exit code for a structured error, used by the CLI tools:
-    decode 3, validate 4, link 5, trap 6, exhaustion 7. *)
+    decode 3, validate 4, link 5, trap 6, exhaustion 7, hook-dispatch 9
+    (8 is taken by the instrumentation-soundness lint). *)
 let exit_code e =
   match e.phase with
   | Decode -> 3
   | Validate -> 4
   | Link -> 5
-  | Run -> if e.code = "out-of-fuel" || e.code = "call-stack-exhausted" then 7 else 6
+  | Run ->
+    if e.code = "out-of-fuel" || e.code = "call-stack-exhausted" then 7
+    else if e.code = "bad-hook-args" then 9
+    else 6

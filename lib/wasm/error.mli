@@ -34,8 +34,16 @@ exception Link_error of string
 exception Trap of string
 exception Exhaustion of string
 
+exception Hook_error of t
+(** re-exported as [Wasabi.Runtime.Bad_hook_args]: a low-level hook
+    received arguments inconsistent with its spec (phase [Run], code
+    ["bad-hook-args"]) — an instrumentation bug, not a program trap. *)
+
 val decode_error : code:string -> ?offset:int -> ('a, unit, string, 'b) format4 -> 'a
 (** Raise {!Decode_error} with a formatted message. *)
+
+val hook_error : code:string -> ?offset:int -> ('a, unit, string, 'b) format4 -> 'a
+(** Raise {!Hook_error} (phase [Run]) with a formatted message. *)
 
 val trap_code : string -> string
 (** Canonical code of a spec-mandated trap message (["trap"] otherwise). *)
@@ -50,4 +58,5 @@ val classify : exn -> t option
     untrusted-input handling). *)
 
 val exit_code : t -> int
-(** CLI exit code: decode 3, validate 4, link 5, trap 6, exhaustion 7. *)
+(** CLI exit code: decode 3, validate 4, link 5, trap 6, exhaustion 7,
+    hook-dispatch error 9 (8 is the instrumentation-soundness lint). *)

@@ -144,7 +144,15 @@ type func_inst =
 and host_func = {
   h_type : func_type;
   h_name : string;
-  h_fn : Value.t list -> Value.t list;
+  h_nparams : int;
+      (** [List.length h_type.params], precomputed so {!call_host} never
+          walks the type per call *)
+  h_fn : Value.t array -> int -> Value.t list;
+      (** [h_fn args off] reads its [h_nparams] arguments from
+          [args.(off) .. args.(off + h_nparams - 1)]. When called through
+          {!call_host} the array is the live operand-stack buffer (zero
+          copies), so the function must read every argument before it
+          (transitively) pushes onto any interpreter stack. *)
 }
 
 and table_inst = {
@@ -483,7 +491,10 @@ let default_fuel = max_int
 
 let rec invoke (f : func_inst) (args : Value.t list) : Value.t list =
   match f with
-  | Host_func h -> h.h_fn args
+  | Host_func h ->
+    if List.length args <> h.h_nparams then
+      raise (Value.Trap "argument count mismatch");
+    h.h_fn (Array.of_list args) 0
   | Wasm_func (idx, inst) ->
     let code = inst.inst_code.(idx) in
     if List.length args <> code.c_nparams then
@@ -528,9 +539,19 @@ and call_wasm (cinst : instance) (idx : int) (from_st : stack) : unit =
     st.size <- base
   end
 
+(* The arguments are handed to the host function in place: the stack is
+   shrunk below them first, and [h_fn] reads them straight out of the
+   buffer at the old base — no list, no copy. Values above [size] are
+   dead-but-intact until something pushes, and the [h_fn] contract
+   (see {!host_func}) requires all reads to happen before that. *)
 and call_host (h : host_func) (st : stack) : unit =
-  let args = pop_n st (List.length h.h_type.params) in
-  List.iter (push st) (h.h_fn args)
+  if st.size < h.h_nparams then
+    raise (Value.Trap "value stack underflow (engine bug)");
+  let base = st.size - h.h_nparams in
+  st.size <- base;
+  match h.h_fn st.data base with
+  | [] -> ()
+  | results -> List.iter (push st) results
 
 (** Run [code] with the operand base at the current stack size; on normal
     exit exactly [c_arity] results sit at that base. *)
@@ -909,7 +930,7 @@ let eval_const_expr (globals : global_inst array) = function
 (** Instantiate a module: resolve imports, allocate table/memory/globals,
     apply element and data segments, and run the start function. The
     module is assumed to be valid (run {!Validate.validate_module} first). *)
-let instantiate ?(fuel = default_fuel) ~(imports : imports) (m : module_) : instance =
+let instantiate ?(fuel = default_fuel) ?resolve_import ~(imports : imports) (m : module_) : instance =
   let inst =
     {
       inst_module = m;
@@ -929,9 +950,18 @@ let instantiate ?(fuel = default_fuel) ~(imports : imports) (m : module_) : inst
   in
   (* imported entities, in import order *)
   let imp_funcs = ref [] and imp_tables = ref [] and imp_mems = ref [] and imp_globals = ref [] in
-  List.iter
-    (fun imp ->
-       let ext = lookup_import imports imp.module_name imp.item_name in
+  List.iteri
+    (fun i imp ->
+       let ext =
+         (* positional resolution first (O(1) for the instrumenter's hook
+            imports), then the name-keyed list as the general fallback *)
+         match resolve_import with
+         | None -> lookup_import imports imp.module_name imp.item_name
+         | Some resolve ->
+           (match resolve i imp with
+            | Some ext -> ext
+            | None -> lookup_import imports imp.module_name imp.item_name)
+       in
        match imp.idesc, ext with
        | FuncImport ti, Extern_func f ->
          let expected = inst.inst_types.(ti) in
@@ -1057,6 +1087,22 @@ let export_global inst name =
 (** Call an exported function by name. *)
 let invoke_export inst name args = invoke (export_func inst name) args
 
-(** Wrap an OCaml function as an importable host function. *)
+(** Wrap an OCaml function as an importable host function. The wrapper
+    copies the argument slice into a list before calling [fn], so [fn]
+    may re-enter the interpreter freely. *)
 let host_func ~name ~params ~results fn =
-  Extern_func (Host_func { h_type = { params; results }; h_name = name; h_fn = fn })
+  let n = List.length params in
+  let h_fn args off =
+    let rec build i acc = if i < 0 then acc else build (i - 1) (args.(off + i) :: acc) in
+    fn (build (n - 1) [])
+  in
+  Extern_func (Host_func { h_type = { params; results }; h_name = name; h_nparams = n; h_fn })
+
+(** Array-ABI host function: [fn] receives the interpreter's operand-stack
+    buffer and the offset of its first argument directly — zero per-call
+    allocation. [fn] must read all its arguments before (transitively)
+    pushing onto any interpreter stack; see {!type:host_func}. *)
+let host_func_raw ~name ~params ~results fn =
+  Extern_func
+    (Host_func
+       { h_type = { params; results }; h_name = name; h_nparams = List.length params; h_fn = fn })

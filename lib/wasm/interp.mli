@@ -115,7 +115,16 @@ type func_inst =
 and host_func = {
   h_type : Types.func_type;
   h_name : string;
-  h_fn : Value.t list -> Value.t list;
+  h_nparams : int;
+      (** [List.length h_type.params], precomputed for the call path *)
+  h_fn : Value.t array -> int -> Value.t list;
+      (** [h_fn args off] reads its [h_nparams] arguments from
+          [args.(off) .. args.(off + h_nparams - 1)]. On the wasm call
+          path the array is the live operand-stack buffer (zero copies),
+          so the function must read every argument before it
+          (transitively) pushes onto any interpreter stack. Build
+          host functions with {!host_func} (copying, re-entrant list
+          ABI) or {!host_func_raw} (zero-copy array ABI). *)
 }
 
 and table_inst = {
@@ -196,9 +205,18 @@ type imports = (string * string * extern) list
 
 val default_fuel : int
 
-val instantiate : ?fuel:int -> imports:imports -> Ast.module_ -> instance
+val instantiate :
+  ?fuel:int ->
+  ?resolve_import:(int -> Ast.import -> extern option) ->
+  imports:imports ->
+  Ast.module_ ->
+  instance
 (** Resolve imports, allocate table/memory/globals, apply element and data
     segments, run the start function. The module must be valid.
+    [resolve_import] is consulted first with the import's position and
+    declaration — an O(1) dispatch-table path used by the Wasabi runtime
+    for its hook imports; [None] falls back to the name-keyed [imports]
+    list. Type checks apply to both paths.
     @raise Link_error on unresolvable or mismatching imports. *)
 
 val set_profiler : instance -> Obs.Profile.t option -> unit
@@ -219,4 +237,17 @@ val host_func :
   results:Types.value_type list ->
   (Value.t list -> Value.t list) ->
   extern
-(** Wrap an OCaml function as an importable host function. *)
+(** Wrap an OCaml function as an importable host function. The argument
+    slice is copied into a list before [fn] runs, so [fn] may re-enter
+    the interpreter freely. *)
+
+val host_func_raw :
+  name:string ->
+  params:Types.value_type list ->
+  results:Types.value_type list ->
+  (Value.t array -> int -> Value.t list) ->
+  extern
+(** Zero-copy array-ABI host function: [fn args off] reads its arguments
+    directly out of the interpreter's operand-stack buffer. [fn] must
+    read all arguments before (transitively) pushing onto any interpreter
+    stack; see {!type:host_func}. *)

@@ -10,6 +10,7 @@ let () =
       ("wasm:malformed", Test_malformed.suite);
       ("wasm:linking", Test_linking.suite);
       ("wasabi:hooks", Test_hooks.suite);
+      ("wasabi:decoders", Test_decoders.suite);
       ("wasabi:instrument", Test_instrument.suite);
       ("static", Test_static.suite);
       ("analyses", Test_analyses.suite);

@@ -1,0 +1,203 @@
+(** Differential regression test for the hook-dispatch fast path: for
+    every hook spec exercised by the corpus (and by a hand-built kitchen
+    sink covering the long tail — i64 splitting, br_table, indirect
+    calls, memory.grow), the compiled per-spec decoder and the retained
+    list-based reference decoder must produce byte-identical high-level
+    hook invocations, in the same order, with the same program result. *)
+
+open Minic.Mc_ast
+module W = Wasabi
+
+let case name fn = Alcotest.test_case name `Quick fn
+
+let corpus = lazy (Workloads.Corpus.make ~n:4 ())
+
+(* --- a recording analysis --------------------------------------------- *)
+
+(** Every callback appends one fully formatted line (location, operands,
+    resolved targets, ops) to a rolling digest, so transcripts of
+    millions of events compare in constant memory. *)
+let recorder () =
+  let buf = Buffer.create (1 lsl 16) in
+  let digest = ref "" in
+  let count = ref 0 in
+  let fold () =
+    digest := Digest.string (!digest ^ Digest.string (Buffer.contents buf));
+    Buffer.clear buf
+  in
+  let emit fmt =
+    incr count;
+    Printf.ksprintf
+      (fun s ->
+         Buffer.add_string buf s;
+         Buffer.add_char buf '\n';
+         if Buffer.length buf > 1 lsl 20 then fold ())
+      fmt
+  in
+  let final () = fold (); (!digest, !count) in
+  let loc = W.Location.to_string in
+  let value = Wasm.Value.to_string in
+  let values vs = String.concat "," (List.map value vs) in
+  let target (t : W.Metadata.target) =
+    Printf.sprintf "%d@%s" t.W.Metadata.label (loc t.W.Metadata.target_loc)
+  in
+  let kind = W.Hook.block_kind_name in
+  let analysis =
+    { W.Analysis.nop = (fun l -> emit "nop %s" (loc l));
+      unreachable = (fun l -> emit "unreachable %s" (loc l));
+      if_ = (fun l c -> emit "if %s %b" (loc l) c);
+      br = (fun l t -> emit "br %s %s" (loc l) (target t));
+      br_if = (fun l t c -> emit "br_if %s %s %b" (loc l) (target t) c);
+      br_table =
+        (fun l table default idx ->
+           emit "br_table %s [%s] %s %d" (loc l)
+             (String.concat ";" (Array.to_list (Array.map target table)))
+             (target default) idx);
+      begin_ = (fun l k -> emit "begin %s %s" (loc l) (kind k));
+      end_ = (fun l k b -> emit "end %s %s %s" (loc l) (kind k) (loc b));
+      const = (fun l x -> emit "const %s %s" (loc l) (value x));
+      drop = (fun l x -> emit "drop %s %s" (loc l) (value x));
+      select =
+        (fun l c a b -> emit "select %s %b %s %s" (loc l) c (value a) (value b));
+      unary =
+        (fun l op x r -> emit "unary %s %s %s %s" (loc l) op (value x) (value r));
+      binary =
+        (fun l op x y r ->
+           emit "binary %s %s %s %s %s" (loc l) op (value x) (value y) (value r));
+      local =
+        (fun l op idx x -> emit "local %s %s %d %s" (loc l) op idx (value x));
+      global =
+        (fun l op idx x -> emit "global %s %s %d %s" (loc l) op idx (value x));
+      load =
+        (fun l op m x ->
+           emit "load %s %s %ld+%d %s" (loc l) op m.W.Analysis.addr
+             m.W.Analysis.offset (value x));
+      store =
+        (fun l op m x ->
+           emit "store %s %s %ld+%d %s" (loc l) op m.W.Analysis.addr
+             m.W.Analysis.offset (value x));
+      memory_size = (fun l pages -> emit "memory_size %s %d" (loc l) pages);
+      memory_grow =
+        (fun l delta prev -> emit "memory_grow %s %d %d" (loc l) delta prev);
+      call_pre =
+        (fun l callee args tbl ->
+           emit "call_pre %s %d [%s] %s" (loc l) callee (values args)
+             (match tbl with None -> "-" | Some t -> string_of_int t));
+      call_post = (fun l rs -> emit "call_post %s [%s]" (loc l) (values rs));
+      return_ = (fun l rs -> emit "return %s [%s]" (loc l) (values rs));
+      start = (fun l -> emit "start %s" (loc l));
+    }
+  in
+  (analysis, final)
+
+(** Run an instrumented module's [run] export under one decoder; returns
+    (program results, transcript digest, event count). *)
+let transcript ~decoder (res : W.Instrument.result) =
+  let analysis, final = recorder () in
+  let inst, _rt = W.Runtime.instantiate ~decoder res analysis in
+  let results = Wasm.Interp.invoke_export inst "run" [] in
+  let digest, count = final () in
+  (List.map Wasm.Value.to_string results, digest, count)
+
+let check_identical name (res : W.Instrument.result) =
+  let r_c, d_c, n_c = transcript ~decoder:`Compiled res in
+  let r_r, d_r, n_r = transcript ~decoder:`Reference res in
+  Alcotest.(check (list string)) (name ^ ": results") r_r r_c;
+  Alcotest.(check int) (name ^ ": event count") n_r n_c;
+  Alcotest.(check string) (name ^ ": transcript") d_r d_c;
+  Alcotest.(check bool) (name ^ ": observed events") true (n_c > 0)
+
+(* --- corpus ----------------------------------------------------------- *)
+
+let test_corpus_differential () =
+  List.iter
+    (fun (e : Workloads.Corpus.entry) ->
+       check_identical e.name (W.Instrument.instrument e.module_))
+    (Lazy.force corpus)
+
+(* --- kitchen sink: the long tail the corpus may not reach ------------- *)
+
+(** i64 arithmetic (split across two i32 hook params), direct and
+    indirect calls with mixed-type arguments and results, [switch]
+    (br_table), [select], typed loads/stores, casts, memory.size/grow. *)
+let kitchen_sink () =
+  let open Dsl in
+  Minic.Mc_compile.compile
+    (program
+       ~globals:[ ("h", TLong, Long 0xcbf29ce484222325L); ("acc", TFloat, Float 0.0) ]
+       ~table:[ "ticks" ]
+       [ func "mixi" ~params:[ ("a", TInt); ("b", TLong) ] ~result:TLong
+           ~export:false
+           [ Return (Some (Binop (BXor, Cast (TLong, v "a"),
+                                  Binop (Mul, v "b", Long 0x100000001b3L)))) ];
+         func "mixf" ~params:[ ("x", TFloat); ("n", TInt) ] ~result:TFloat
+           ~export:false
+           [ Return (Some (v "x" * Cast (TFloat, v "n" + i 1))) ];
+         func "ticks" ~result:TLong ~export:false
+           [ Return (Some (Binop (BAnd, Global "h", Long 0xFFL))) ];
+         func "run" ~result:TFloat ~locals:[ ("k", TInt); ("t", TLong) ]
+           [ Expr (MemGrow (i 1));
+             For ("k", i 0, i 40,
+                  [ SetGlobal ("h", Binop (BXor, Global "h", Cast (TLong, v "k")));
+                    SetGlobal ("h", Binop (Mul, Global "h", Long 0x100000001b3L));
+                    Assign ("t", Call ("mixi", [ v "k"; Global "h" ]));
+                    Assign ("t", CallIndirect (i 0, [], Some TLong));
+                    If (Binop (BAnd, v "k", i 1) = i 0,
+                        [ SetGlobal ("acc", Call ("mixf", [ Global "acc"; v "k" ])) ],
+                        []);
+                    Switch (Binop (BAnd, v "k", i 3),
+                            [ [ SetGlobal ("acc", Global "acc" + f 1.0) ];
+                              [ istore (i 0) (Binop (BAnd, v "k", i 15))
+                                  (Cast (TInt, v "t")) ] ],
+                            [ SetGlobal ("acc",
+                                         Global "acc"
+                                         + Cast (TFloat,
+                                                 Select (v "k" < i 20,
+                                                         iload (i 0) (Binop (BAnd, v "k", i 15)),
+                                                         MemSize))) ]) ]);
+             Return (Some (Global "acc"
+                           + Cast (TFloat, Binop (BAnd, Global "h", Long 0xFFFFFL)))) ] ])
+
+let test_kitchen_sink_split () =
+  check_identical "kitchen-sink (split i64)"
+    (W.Instrument.instrument (kitchen_sink ()))
+
+let test_kitchen_sink_nosplit () =
+  check_identical "kitchen-sink (native i64)"
+    (W.Instrument.instrument ~split_i64:false (kitchen_sink ()))
+
+(* --- spec coverage sanity --------------------------------------------- *)
+
+(** The differential runs above are only as strong as the specs they
+    exercise: assert the tested modules, together, monomorphize hooks in
+    every group the instrumenter can target (minus the trap-only ones a
+    terminating corpus cannot execute). *)
+let test_spec_coverage () =
+  let groups = Hashtbl.create 32 in
+  let collect (res : W.Instrument.result) =
+    Array.iter
+      (fun s -> Hashtbl.replace groups (W.Hook.group_of_spec s) ())
+      res.W.Instrument.metadata.W.Metadata.hook_specs
+  in
+  List.iter
+    (fun (e : Workloads.Corpus.entry) ->
+       collect (W.Instrument.instrument e.module_))
+    (Lazy.force corpus);
+  collect (W.Instrument.instrument (kitchen_sink ()));
+  let expect =
+    [ W.Hook.G_if; G_br; G_br_if; G_br_table; G_begin; G_end; G_const;
+      G_drop; G_select; G_unary; G_binary; G_local; G_global; G_load;
+      G_store; G_memory_size; G_memory_grow; G_call; G_return ]
+  in
+  List.iter
+    (fun g ->
+       Alcotest.(check bool)
+         (Printf.sprintf "group %s monomorphized" (W.Hook.group_name g))
+         true (Hashtbl.mem groups g))
+    expect
+
+let suite =
+  [ case "corpus: compiled = reference" test_corpus_differential;
+    case "kitchen sink, split i64" test_kitchen_sink_split;
+    case "kitchen sink, native i64" test_kitchen_sink_nosplit;
+    case "spec coverage across tested modules" test_spec_coverage ]

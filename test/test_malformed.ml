@@ -148,7 +148,14 @@ let test_taxonomy () =
     [ ec (Validate.Invalid "x"); ec (Interp.Link_error "x");
       ec (Value.Trap "unreachable executed"); ec (Interp.Exhaustion "out of fuel") ];
   (try ignore (Decode.decode "") with Decode.Decode_error e ->
-    Alcotest.(check int) "decode exit code" 3 (Error.exit_code e))
+    Alcotest.(check int) "decode exit code" 3 (Error.exit_code e));
+  (* hook-dispatch argument errors: structured, own code and exit code *)
+  (try Error.hook_error ~code:"bad-hook-args" "hook %d: wrong arity" 3
+   with Wasabi.Runtime.Bad_hook_args e ->
+     Alcotest.(check string) "hook error code" "bad-hook-args" e.Error.code;
+     Alcotest.(check int) "hook exit code" 9 (Error.exit_code e);
+     Alcotest.(check string) "hook classify" "bad-hook-args"
+       (code (Error.Hook_error e)))
 
 let test_control_errors () =
   (* compute_jumps raises structured control errors on unbalanced bodies *)
