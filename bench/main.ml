@@ -531,49 +531,79 @@ let ablation () =
 (* Interpreter throughput microbenchmark                               *)
 (* ------------------------------------------------------------------ *)
 
-(** Instructions/second of the execution engine on the PolyBench corpus,
-    uninstrumented and fully instrumented (empty analysis). This is the
-    denominator of every RQ5-style overhead number, so EXPERIMENTS.md
-    tracks it across interpreter changes. *)
+(** Instructions/second of the execution engine on the PolyBench corpus:
+    the tier-0 dispatch loop, the tier-1 closure-compiled backend, and
+    the fully instrumented run (empty analysis). The uninstrumented
+    columns are the denominator of every RQ5-style overhead number, so
+    EXPERIMENTS.md tracks them across interpreter changes. Returns the
+    geomean tier-1 speedup for the [tier-check] gate. *)
 let interp_bench () =
   Support.hr "bench interp: interpreter throughput on PolyBench (Minstr/s)";
   let fast = Sys.getenv_opt "WASABI_BENCH_FAST" <> None in
   let target = if fast then 0.004 else 0.05 in
   let entries = Workloads.Corpus.polybench (Lazy.force corpus_fig9) in
-  Printf.printf "%-16s %12s %12s %10s\n" "Program" "uninstr" "instr-all" "slowdown";
+  Printf.printf "%-16s %10s %10s %8s %10s %9s\n" "Program" "tier0" "tier1" "speedup"
+    "instr-all" "slowdown";
   let tot_steps_u = ref 0 and tot_time_u = ref 0.0 in
+  let tot_steps_t = ref 0 and tot_time_t = ref 0.0 in
   let tot_steps_i = ref 0 and tot_time_i = ref 0.0 in
   let rates =
     List.map
       (fun (e : Workloads.Corpus.entry) ->
          let iters = Support.calibrated_iters e.module_ ~target in
          let base = Interp.instantiate ~imports:[] e.module_ in
+         let tiered = Interp.instantiate ~imports:[] e.module_ in
+         ignore (Tier1.compile_all tiered);
          let res = W.Instrument.instrument e.module_ in
          let instr, _ = W.Runtime.instantiate res W.Analysis.default in
          (* warm up, then measure *)
          ignore (Support.interp_rate base ~iters:1);
+         ignore (Support.interp_rate tiered ~iters:1);
          ignore (Support.interp_rate instr ~iters:1);
          let su, tu, ru = Support.interp_rate base ~iters in
+         let st, tt, rt = Support.interp_rate tiered ~iters in
          let si, ti, ri = Support.interp_rate instr ~iters in
          tot_steps_u := !tot_steps_u + su;
          tot_time_u := !tot_time_u +. tu;
+         tot_steps_t := !tot_steps_t + st;
+         tot_time_t := !tot_time_t +. tt;
          tot_steps_i := !tot_steps_i + si;
          tot_time_i := !tot_time_i +. ti;
-         Printf.printf "%-16s %12.2f %12.2f %9.2fx\n" e.name (ru /. 1e6) (ri /. 1e6)
+         Printf.printf "%-16s %10.2f %10.2f %7.2fx %10.2f %8.2fx\n" e.name (ru /. 1e6)
+           (rt /. 1e6) (rt /. ru) (ri /. 1e6)
            (ti /. float_of_int iters /. (tu /. float_of_int iters));
-         (ru, ri))
+         (ru, rt, ri))
       entries
   in
   let agg_u = float_of_int !tot_steps_u /. Float.max 1e-9 !tot_time_u in
+  let agg_t = float_of_int !tot_steps_t /. Float.max 1e-9 !tot_time_t in
   let agg_i = float_of_int !tot_steps_i /. Float.max 1e-9 !tot_time_i in
-  Printf.printf "%-16s %12.2f %12.2f\n" "aggregate" (agg_u /. 1e6) (agg_i /. 1e6);
-  Printf.printf "%-16s %12.2f %12.2f\n" "geomean"
-    (Support.geomean (List.map fst rates) /. 1e6)
-    (Support.geomean (List.map snd rates) /. 1e6);
+  Printf.printf "%-16s %10.2f %10.2f %7.2fx %10.2f\n" "aggregate" (agg_u /. 1e6)
+    (agg_t /. 1e6) (agg_t /. agg_u) (agg_i /. 1e6);
+  let geo_u = Support.geomean (List.map (fun (u, _, _) -> u) rates) in
+  let geo_t = Support.geomean (List.map (fun (_, t, _) -> t) rates) in
+  let geo_i = Support.geomean (List.map (fun (_, _, i) -> i) rates) in
+  let speedup = geo_t /. geo_u in
+  Printf.printf "%-16s %10.2f %10.2f %7.2fx %10.2f\n" "geomean" (geo_u /. 1e6) (geo_t /. 1e6)
+    speedup (geo_i /. 1e6);
   Printf.printf
-    "  (uninstrumented interpreted instructions/s; instrumented runs execute\n";
+    "  (uninstrumented interpreted instructions/s; tier1 = closure-compiled backend;\n";
   Printf.printf
-    "   the instrumented module's own instructions, hook calls excluded)\n"
+    "   instrumented runs execute the instrumented module's own instructions,\n";
+  Printf.printf "   hook calls excluded)\n";
+  speedup
+
+(** CI throughput-floor gate: the tier-1 backend must deliver at least
+    [min_speedup]x the tier-0 geomean on uninstrumented PolyBench, or
+    the closure compiler has regressed (exit 1). *)
+let tier_check min_speedup =
+  let speedup = interp_bench () in
+  Printf.printf "tier-check: tier-1 geomean speedup %.2fx (floor %.2fx)\n" speedup min_speedup;
+  if speedup < min_speedup then begin
+    Printf.eprintf "tier-check: FAIL — tier-1 speedup below the %.2fx floor\n" min_speedup;
+    exit 1
+  end
+  else print_endline "tier-check: OK"
 
 (* ------------------------------------------------------------------ *)
 (* Static analysis smoke: call graph, lint, selective instrumentation  *)
@@ -681,13 +711,19 @@ let () =
   | [| _; "fig9" |] -> fig9 ()
   | [| _; "ablation" |] -> ablation ()
   | [| _; "micro" |] -> micro ()
-  | [| _; "interp" |] -> interp_bench ()
+  | [| _; "interp" |] -> ignore (interp_bench ())
   | [| _; "static" |] -> static_bench ()
   | [| _; "overhead" |] -> overhead_bench None
   | [| _; "overhead"; path |] -> overhead_bench (Some path)
   | [| _; "overhead-check"; baseline |] -> overhead_check baseline
+  | [| _; "tier-check"; floor |] ->
+    (match float_of_string_opt floor with
+     | Some f when f > 0.0 -> tier_check f
+     | _ ->
+       Printf.eprintf "tier-check: MIN_SPEEDUP must be a positive number, got %S\n" floor;
+       exit 2)
   | [| _; "encode" |] -> encode_bench ()
   | _ ->
     prerr_endline
-      "usage: main.exe [table4|rq2|table5|fig8|monomorph|fig9|ablation|micro|interp|static|encode|overhead [FILE]|overhead-check BASELINE]";
+      "usage: main.exe [table4|rq2|table5|fig8|monomorph|fig9|ablation|micro|interp|static|encode|overhead [FILE]|overhead-check BASELINE|tier-check MIN_SPEEDUP]";
     exit 2

@@ -58,6 +58,23 @@ let hooks_arg =
 let input_arg =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"INPUT.wasm" ~doc:"Input binary")
 
+let tier_arg =
+  let doc =
+    "Tier-up threshold for the closure-compiled execution tier: a function is \
+     compiled to closures after $(docv) interpreted entries. 0 disables tiering. \
+     Defaults to the $(b,WASABI_TIER) environment variable (unset = disabled; \
+     $(b,on) = default threshold; a positive integer = that threshold)."
+  in
+  Arg.(value & opt (some int) None & info [ "tier" ] ~docv:"N" ~doc)
+
+(** Apply the tier policy requested by [--tier] (explicit) or
+    [WASABI_TIER] (ambient) to a fresh instance. *)
+let apply_tier tier inst =
+  match tier with
+  | Some 0 -> ()
+  | Some n -> Wasm.Tier1.enable ~threshold:n inst
+  | None -> Wasm.Tier1.enable_from_env inst
+
 (* --- instrument ------------------------------------------------------ *)
 
 let instrument_cmd =
@@ -156,7 +173,7 @@ let analyze_cmd =
   let invoke_arg =
     Arg.(value & opt string "run" & info [ "invoke" ] ~docv:"EXPORT" ~doc:"Exported function to call")
   in
-  let run input analysis_name invoke =
+  let run input analysis_name invoke tier =
     structured @@ fun () ->
     let m = read_module input in
     Wasm.Validate.validate_module m;
@@ -167,13 +184,14 @@ let analyze_cmd =
     | Some (Packaged a) ->
       let res = W.Instrument.instrument ~groups:a.groups m in
       let inst, _ = W.Runtime.instantiate res (a.analysis a.state) in
+      apply_tier tier inst;
       let results = Wasm.Interp.invoke_export inst invoke [] in
       Printf.printf "%s returned [%s]\n" invoke
         (String.concat "; " (List.map Wasm.Value.to_string results));
       print_string (a.report a.state)
   in
   let info = Cmd.info "analyze" ~doc:"Instrument, run, and report a bundled dynamic analysis" in
-  Cmd.v info Term.(const run $ input_arg $ analysis_arg $ invoke_arg)
+  Cmd.v info Term.(const run $ input_arg $ analysis_arg $ invoke_arg $ tier_arg)
 
 (* --- generate-js ------------------------------------------------------ *)
 
@@ -520,7 +538,7 @@ let profile_cmd =
              ~doc:"Write per-workload profile metrics to FILE: Prometheus text when it ends \
                    in .prom, JSON otherwise")
   in
-  let run input hooks corpus invoke top folded trace_out metrics_out =
+  let run input hooks corpus invoke top folded trace_out metrics_out tier =
     structured @@ fun () ->
     if trace_out <> None then begin
       Obs.Span.set_enabled true;
@@ -559,6 +577,7 @@ let profile_cmd =
              W.Runtime.attach_profiler rt (Some prof);
              (inst, Some res.W.Instrument.hook_map)
          in
+         apply_tier tier inst;
          let t0 = Obs.Clock.now_ns () in
          let results =
            Obs.Span.with_ "run" (fun () -> Wasm.Interp.invoke_export inst invoke [])
@@ -685,7 +704,7 @@ let profile_cmd =
   in
   Cmd.v info
     Term.(const run $ input_opt $ hooks_arg $ corpus_arg $ invoke_arg $ top_arg $ folded_arg
-          $ trace_out_arg $ metrics_out_arg)
+          $ trace_out_arg $ metrics_out_arg $ tier_arg)
 
 (* --- corpus ---------------------------------------------------------- *)
 

@@ -88,8 +88,13 @@ let check_generated ?metrics (info : Gen.info) : [ `Pass | `Skip | `Fail of stri
         | Oracle.Skip _ | Oracle.Pass ->
           (match timed "differential" (fun () -> Oracle.differential info) with
            | Oracle.Violation { kind; detail } -> `Fail (kind, detail)
-           | Oracle.Skip _ -> `Skip
-           | Oracle.Pass -> `Pass)))
+           | (Oracle.Skip _ | Oracle.Pass) as diff ->
+             (* tier parity runs even when the instrumentation
+                differential skipped: it compares out-of-fuel runs *)
+             (match timed "tier-parity" (fun () -> Oracle.tier_differential info) with
+              | Oracle.Violation { kind; detail } -> `Fail (kind, detail)
+              | Oracle.Skip _ | Oracle.Pass ->
+                (match diff with Oracle.Skip _ -> `Skip | _ -> `Pass)))))
 
 (** The mutated-binary pipeline: totality of decode; then, as far as the
     mutant remains meaningful, validate / round-trip / execute. Returns

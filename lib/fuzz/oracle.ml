@@ -1,7 +1,8 @@
-(** The four fuzzing oracles: totality, round-trip, differential
+(** The five fuzzing oracles: totality, round-trip, differential
     equivalence (paper, Section 4.2's observational-equivalence claim,
-    turned into an executable property), and static instrumentation
-    soundness.
+    turned into an executable property), static instrumentation
+    soundness, and tier parity (tier-0 dispatch loop vs the tier-1
+    closure compiler).
 
     {b Totality}: feeding any byte string through decode (and, when it
     decodes, validate / instantiate / execute) may only raise the
@@ -27,7 +28,15 @@
     instrumentation and once with call-graph-driven selective pruning —
     so the structural faithfulness invariants are checked on every
     generated case, not only the behavioural ones the differential
-    oracle can observe. *)
+    oracle can observe.
+
+    {b Tier parity}: executing a generated module on tier 0 and with
+    the tier-1 closure compiler forced on (threshold 1) must produce
+    the same result values, the same trap, and the same final memory
+    and exported globals — with the {e same} fuel. Tier 1 charges fuel
+    at exactly tier 0's boundaries, so unlike the instrumentation
+    differential this oracle does not skip out-of-fuel cases: both
+    tiers must exhaust at the same point with the same partial state. *)
 
 open Wasm
 
@@ -150,6 +159,29 @@ let run_plain (m : Ast.module_) ~fuel : (run_result, string) result =
      | Ok (Ok inst) -> Ok (snapshot m inst (Error err))
      | _ -> Ok { outcome = Error err; mem_digest = None; globals = [] })
 
+(** Like {!run_plain}, but with the tier-1 compiler forced on
+    (threshold 1: every function compiles on its first call). *)
+let run_tiered (m : Ast.module_) ~fuel : (run_result, string) result =
+  match
+    guarded (fun () ->
+      let inst = Interp.instantiate ~fuel ~imports:[] m in
+      Tier1.enable ~threshold:1 inst;
+      let vs = Interp.invoke_export inst "run" [] in
+      (inst, vs))
+  with
+  | Error crash -> Error crash
+  | Ok (Ok (inst, vs)) -> Ok (snapshot m inst (Ok vs))
+  | Ok (Error err) ->
+    (match
+       guarded (fun () ->
+         let inst = Interp.instantiate ~fuel ~imports:[] m in
+         Tier1.enable ~threshold:1 inst;
+         (try ignore (Interp.invoke_export inst "run" []) with _ -> ());
+         inst)
+     with
+     | Ok (Ok inst) -> Ok (snapshot m inst (Error err))
+     | _ -> Ok { outcome = Error err; mem_digest = None; globals = [] })
+
 let run_instrumented (m : Ast.module_) ~fuel : (run_result, string) result =
   match
     guarded (fun () ->
@@ -229,6 +261,48 @@ let differential (info : Gen.info) : verdict =
               | None -> "<missing>"
             in
             violation "differential" "global %s diverged: base %s vs instrumented %s" n
+              (Value.to_string v) v'))
+
+(** The tier-parity oracle for a generated module: tier 0 and tier 1
+    must agree outcome-for-outcome at identical fuel — including on
+    out-of-fuel exhaustion, which the charging-parity contract makes
+    comparable (both tiers cut off at the same instruction). *)
+let tier_differential (info : Gen.info) : verdict =
+  let m = info.Gen.module_ in
+  match run_plain m ~fuel:base_fuel with
+  | Error crash -> violation "totality-exec" "tier-0 run crashed: %s" crash
+  | Ok t0 ->
+    if engine_bug t0.outcome then
+      violation "engine-bug" "tier-0 run: %s" (string_of_outcome t0.outcome)
+    else (
+      match run_tiered m ~fuel:base_fuel with
+      | Error crash -> violation "totality-exec" "tier-1 run crashed: %s" crash
+      | Ok t1 ->
+        if engine_bug t1.outcome then
+          violation "engine-bug" "tier-1 run: %s" (string_of_outcome t1.outcome)
+        else if not (outcomes_agree t0.outcome t1.outcome) then
+          violation "tier-parity" "outcome diverged: tier0 %s vs tier1 %s"
+            (string_of_outcome t0.outcome) (string_of_outcome t1.outcome)
+        else if t0.mem_digest <> t1.mem_digest then
+          violation "tier-parity" "final memory diverged"
+        else (
+          let diverged =
+            List.filter
+              (fun (n, v) ->
+                 match List.assoc_opt n t1.globals with
+                 | Some v' -> not (Value.equal v v')
+                 | None -> true)
+              t0.globals
+          in
+          match diverged with
+          | [] -> Pass
+          | (n, v) :: _ ->
+            let v' =
+              match List.assoc_opt n t1.globals with
+              | Some v' -> Value.to_string v'
+              | None -> "<missing>"
+            in
+            violation "tier-parity" "global %s diverged: tier0 %s vs tier1 %s" n
               (Value.to_string v) v'))
 
 (** {1 Instrumentation soundness} *)

@@ -1,7 +1,8 @@
-(** The four fuzzing oracles: totality, round-trip, differential
+(** The five fuzzing oracles: totality, round-trip, differential
     equivalence (paper, Section 4.2's observational-equivalence claim,
-    turned into an executable property), and static instrumentation
-    soundness via {!Lint.check}. *)
+    turned into an executable property), static instrumentation
+    soundness via {!Lint.check}, and tier parity (tier-0 dispatch loop
+    vs the {!Wasm.Tier1} closure compiler). *)
 
 type verdict =
   | Pass
@@ -50,6 +51,13 @@ val differential : Gen.info -> verdict
     the no-op analysis): result values, trap identity, final memory and
     exported globals must agree. [Skip] when the base run exhausts its
     fuel (the two executions are then cut off at incomparable points). *)
+
+val tier_differential : Gen.info -> verdict
+(** Execute the module on tier 0 and with the tier-1 compiler forced on
+    (threshold 1), at identical fuel: result values, trap identity,
+    final memory and exported globals must agree. Tier 1 charges fuel
+    at exactly tier 0's boundaries, so out-of-fuel cases are compared,
+    never skipped. *)
 
 val lint_instrumented : Wasm.Ast.module_ -> verdict
 (** Instrument the module — once fully, once with call-graph-driven

@@ -142,6 +142,13 @@ let add_time t key ns =
     total := Int64.add !total ns
   | None -> Hashtbl.add t.timers key (ref 1, ref ns)
 
+(** Run [f] and record its wall time under [key] (exception-safe: the
+    time is charged even when [f] raises, e.g. a compiled body that
+    traps). *)
+let time t key f =
+  let t0 = t.clock () in
+  Fun.protect ~finally:(fun () -> add_time t key (Int64.sub (t.clock ()) t0)) f
+
 (** {1 Accessors} *)
 
 type func_row = { fr_fid : int; fr_calls : int; fr_self_ns : int64; fr_incl_ns : int64 }

@@ -34,6 +34,10 @@ val count : ?by:int -> t -> string -> unit
 val add_time : t -> string -> int64 -> unit
 (** [add_time t key ns] adds one timed event of [ns] under [key]. *)
 
+val time : t -> string -> (unit -> 'a) -> 'a
+(** [time t key f] runs [f] and records its wall time under [key];
+    exception-safe (the time is charged even when [f] raises). *)
+
 (** {1 Accessors} *)
 
 type func_row = { fr_fid : int; fr_calls : int; fr_self_ns : int64; fr_incl_ns : int64 }

@@ -9,6 +9,23 @@ let f32_un f v =
   | Value.F32 bits -> Value.f32 (f (Value.F32_repr.to_float bits))
   | _ -> type_error ()
 
+(* f32 NaN handling works directly on the stored bit pattern: routing a
+   single-precision NaN through an OCaml [float] (double) and back
+   quiets signalling NaNs and can lose payload bits, so sign-only
+   operators (abs/neg/copysign) are pure bit operations and the
+   remaining unary operators return the input NaN with the quiet bit
+   forced — an arithmetic NaN with the payload preserved. *)
+let f32_is_nan (bits : int32) =
+  Int32.equal (Int32.logand bits 0x7F80_0000l) 0x7F80_0000l
+  && not (Int32.equal (Int32.logand bits 0x007F_FFFFl) 0l)
+
+let f32_quiet (bits : int32) = Int32.logor bits 0x0040_0000l
+let f32_abs_bits (bits : int32) = Int32.logand bits Int32.max_int
+let f32_neg_bits (bits : int32) = Int32.logxor bits Int32.min_int
+
+let f32_copysign_bits (a : int32) (b : int32) =
+  Int32.logor (Int32.logand a Int32.max_int) (Int32.logand b Int32.min_int)
+
 let f64_un f v =
   match v with
   | Value.F64 x -> Value.F64 (f x)
@@ -44,6 +61,9 @@ let eval_unop (op : unop) (v : Value.t) : Value.t =
   | IUn (S64, Clz), Value.I64 x -> Value.I64 (Int64.of_int (Value.I64_ops.clz x))
   | IUn (S64, Ctz), Value.I64 x -> Value.I64 (Int64.of_int (Value.I64_ops.ctz x))
   | IUn (S64, Popcnt), Value.I64 x -> Value.I64 (Int64.of_int (Value.I64_ops.popcnt x))
+  | FUn (SF32, Abs), Value.F32 b -> Value.F32 (f32_abs_bits b)
+  | FUn (SF32, Neg), Value.F32 b -> Value.F32 (f32_neg_bits b)
+  | FUn (SF32, _), Value.F32 b when f32_is_nan b -> Value.F32 (f32_quiet b)
   | FUn (SF32, fop), (Value.F32 _ as v) -> f32_un (funop_impl fop) v
   | FUn (SF64, fop), (Value.F64 _ as v) -> f64_un (funop_impl fop) v
   | _ -> type_error ()
@@ -100,6 +120,7 @@ let eval_binop (op : binop) (a : Value.t) (b : Value.t) : Value.t =
   match op, a, b with
   | IBin (S32, iop), Value.I32 x, Value.I32 y -> Value.I32 (ibinop_i32 iop x y)
   | IBin (S64, iop), Value.I64 x, Value.I64 y -> Value.I64 (ibinop_i64 iop x y)
+  | FBin (SF32, CopySign), Value.F32 x, Value.F32 y -> Value.F32 (f32_copysign_bits x y)
   | FBin (SF32, fop), Value.F32 x, Value.F32 y ->
     Value.f32 (fbinop_impl fop (Value.F32_repr.to_float x) (Value.F32_repr.to_float y))
   | FBin (SF64, fop), Value.F64 x, Value.F64 y -> Value.F64 (fbinop_impl fop x y)
@@ -194,3 +215,156 @@ let eval_cvtop (op : cvtop) (v : Value.t) : Value.t =
   | I64TruncSatF64S, F64 f -> I64 (Cvt.i64_trunc_sat_s f)
   | I64TruncSatF64U, F64 f -> I64 (Cvt.i64_trunc_sat_u f)
   | _ -> type_error ()
+
+(** {1 Compile-time operator tables (tier 1)}
+
+    Per-operator closures with the operator dispatch hoisted out: the
+    closure compiler ({!Tier1}) resolves each operator once at compile
+    time instead of matching per execution. The semantics are by
+    construction those of the [*_impl] dispatchers above — in
+    particular shift/rotate counts are masked modulo the bit width
+    through the same {!Value.I32_ops} / {!Value.I64_ops} functions, and
+    trapping operators (division, remainder) trap identically. *)
+
+let ibinop_i32_fn : ibinop -> int32 -> int32 -> int32 = function
+  | Add -> Int32.add
+  | Sub -> Int32.sub
+  | Mul -> Int32.mul
+  | DivS -> Value.I32_ops.div_s
+  | DivU -> Value.I32_ops.div_u
+  | RemS -> Value.I32_ops.rem_s
+  | RemU -> Value.I32_ops.rem_u
+  | And -> Int32.logand
+  | Or -> Int32.logor
+  | Xor -> Int32.logxor
+  | Shl -> Value.I32_ops.shl
+  | ShrS -> Value.I32_ops.shr_s
+  | ShrU -> Value.I32_ops.shr_u
+  | Rotl -> Value.I32_ops.rotl
+  | Rotr -> Value.I32_ops.rotr
+
+let ibinop_i64_fn : ibinop -> int64 -> int64 -> int64 = function
+  | Add -> Int64.add
+  | Sub -> Int64.sub
+  | Mul -> Int64.mul
+  | DivS -> Value.I64_ops.div_s
+  | DivU -> Value.I64_ops.div_u
+  | RemS -> Value.I64_ops.rem_s
+  | RemU -> Value.I64_ops.rem_u
+  | And -> Int64.logand
+  | Or -> Int64.logor
+  | Xor -> Int64.logxor
+  | Shl -> Value.I64_ops.shl
+  | ShrS -> Value.I64_ops.shr_s
+  | ShrU -> Value.I64_ops.shr_u
+  | Rotl -> Value.I64_ops.rotl
+  | Rotr -> Value.I64_ops.rotr
+
+let fbinop_fn : fbinop -> float -> float -> float = function
+  | FAdd -> ( +. )
+  | FSub -> ( -. )
+  | FMul -> ( *. )
+  | FDiv -> ( /. )
+  | Min -> Value.F_ops.fmin
+  | Max -> Value.F_ops.fmax
+  | CopySign -> Value.F_ops.copysign
+
+let irelop_i32_fn : irelop -> int32 -> int32 -> bool = function
+  | Eq -> Int32.equal
+  | Ne -> (fun a b -> not (Int32.equal a b))
+  | LtS -> (fun a b -> Int32.compare a b < 0)
+  | LtU -> Value.I32_ops.lt_u
+  | GtS -> (fun a b -> Int32.compare a b > 0)
+  | GtU -> Value.I32_ops.gt_u
+  | LeS -> (fun a b -> Int32.compare a b <= 0)
+  | LeU -> Value.I32_ops.le_u
+  | GeS -> (fun a b -> Int32.compare a b >= 0)
+  | GeU -> Value.I32_ops.ge_u
+
+let irelop_i64_fn : irelop -> int64 -> int64 -> bool = function
+  | Eq -> Int64.equal
+  | Ne -> (fun a b -> not (Int64.equal a b))
+  | LtS -> (fun a b -> Int64.compare a b < 0)
+  | LtU -> Value.I64_ops.lt_u
+  | GtS -> (fun a b -> Int64.compare a b > 0)
+  | GtU -> Value.I64_ops.gt_u
+  | LeS -> (fun a b -> Int64.compare a b <= 0)
+  | LeU -> Value.I64_ops.le_u
+  | GeS -> (fun a b -> Int64.compare a b >= 0)
+  | GeU -> Value.I64_ops.ge_u
+
+let frelop_fn : frelop -> float -> float -> bool = function
+  | FEq -> (fun (a : float) b -> a = b)
+  | FNe -> (fun (a : float) b -> a <> b)
+  | FLt -> (fun (a : float) b -> a < b)
+  | FGt -> (fun (a : float) b -> a > b)
+  | FLe -> (fun (a : float) b -> a <= b)
+  | FGe -> (fun (a : float) b -> a >= b)
+
+(** {1 Int-domain i32 operators (tier 1)}
+
+    The closure compiler represents i32 values as sign-extended native
+    ints ("canonical form": bits 31..62 replicate bit 31), which makes
+    the hot integer paths allocation-free. These operators take and
+    return canonical ints and replicate {!Value.I32_ops} semantics bit
+    for bit — same masked shift/rotate counts, same trap conditions and
+    messages — as checked by the numeric regression tests and the
+    tier-parity fuzz oracle. *)
+
+(** Sign-extend the low 32 bits into canonical form. *)
+let norm32 (x : int) : int = (x lsl 31) asr 31
+
+(** The unsigned value of a canonical i32. *)
+let uns32 (x : int) : int = x land 0xFFFFFFFF
+
+let i32_min = -0x8000_0000
+
+let ibinop_i32_int : ibinop -> int -> int -> int = function
+  | Add -> fun a b -> norm32 (a + b)
+  | Sub -> fun a b -> norm32 (a - b)
+  | Mul -> fun a b -> norm32 (a * b)
+  | DivS ->
+    fun a b ->
+      if b = 0 then raise (Value.Trap "integer divide by zero")
+      else if a = i32_min && b = -1 then raise (Value.Trap "integer overflow")
+      else a / b
+  | DivU ->
+    fun a b ->
+      if b = 0 then raise (Value.Trap "integer divide by zero")
+      else norm32 (uns32 a / uns32 b)
+  | RemS ->
+    fun a b ->
+      if b = 0 then raise (Value.Trap "integer divide by zero")
+      else a mod b (* i32_min mod -1 is 0, as Int32.rem; no trap *)
+  | RemU ->
+    fun a b ->
+      if b = 0 then raise (Value.Trap "integer divide by zero")
+      else norm32 (uns32 a mod uns32 b)
+  | And -> ( land )
+  | Or -> ( lor )
+  | Xor -> ( lxor )
+  | Shl -> fun a b -> norm32 (a lsl (b land 31))
+  | ShrS -> fun a b -> a asr (b land 31)
+  | ShrU -> fun a b -> norm32 (uns32 a lsr (b land 31))
+  | Rotl ->
+    fun a b ->
+      let n = b land 31 in
+      let u = uns32 a in
+      norm32 ((u lsl n) lor (u lsr (32 - n)))
+  | Rotr ->
+    fun a b ->
+      let n = b land 31 in
+      let u = uns32 a in
+      norm32 ((u lsr n) lor (u lsl (32 - n)))
+
+let irelop_i32_int : irelop -> int -> int -> bool = function
+  | Eq -> fun (a : int) b -> a = b
+  | Ne -> fun (a : int) b -> a <> b
+  | LtS -> fun (a : int) b -> a < b
+  | LtU -> fun a b -> uns32 a < uns32 b
+  | GtS -> fun (a : int) b -> a > b
+  | GtU -> fun a b -> uns32 a > uns32 b
+  | LeS -> fun (a : int) b -> a <= b
+  | LeU -> fun a b -> uns32 a <= uns32 b
+  | GeS -> fun (a : int) b -> a >= b
+  | GeU -> fun a b -> uns32 a >= uns32 b

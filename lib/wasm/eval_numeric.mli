@@ -22,3 +22,33 @@ val irelop_impl_i32 : Ast.irelop -> int32 -> int32 -> bool
 val irelop_impl_i64 : Ast.irelop -> int64 -> int64 -> bool
 val frelop_impl : Ast.frelop -> float -> float -> bool
 val funop_impl : Ast.funop -> float -> float
+
+(** {1 Compile-time operator tables (tier 1)}
+
+    Per-operator closures with the operator dispatch hoisted out, for
+    the closure compiler ({!Tier1}): resolving the operator once at
+    compile time yields the exact semantics of the [*_impl] dispatchers
+    above (same masked shift/rotate counts, same traps). *)
+
+val ibinop_i32_fn : Ast.ibinop -> int32 -> int32 -> int32
+val ibinop_i64_fn : Ast.ibinop -> int64 -> int64 -> int64
+val fbinop_fn : Ast.fbinop -> float -> float -> float
+val irelop_i32_fn : Ast.irelop -> int32 -> int32 -> bool
+val irelop_i64_fn : Ast.irelop -> int64 -> int64 -> bool
+val frelop_fn : Ast.frelop -> float -> float -> bool
+
+(** {1 Int-domain i32 operators (tier 1)}
+
+    The closure compiler's canonical i32 representation is a
+    sign-extended native int (bits 31..62 replicate bit 31). These
+    mirror {!ibinop_i32}/[irelop_impl_i32] exactly — same masked
+    shift/rotate counts, same traps — on that representation. *)
+
+val norm32 : int -> int
+(** Sign-extend the low 32 bits into canonical form. *)
+
+val uns32 : int -> int
+(** The unsigned value of a canonical i32. *)
+
+val ibinop_i32_int : Ast.ibinop -> int -> int -> int
+val irelop_i32_int : Ast.irelop -> int -> int -> bool

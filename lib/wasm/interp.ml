@@ -196,6 +196,29 @@ and code = {
   c_run_len : int array;
       (** instructions from pc to the next control transfer, inclusive;
           the granularity of batched fuel accounting *)
+  mutable c_tier : tier_state;
+  mutable c_hot : int;  (** calls observed while still on tier 0 *)
+}
+
+(** A compiled (tier-1) function body. Called with the frame's locals;
+    operands live on the instance stack with the frame base at the
+    current [size]; on normal return exactly [c_arity] results sit at
+    that base (same contract as [exec_body]). *)
+and compiled_body = instance -> Value.t array -> unit
+
+and tier_state =
+  | T_interp  (** not (yet) compiled; runs on the tier-0 dispatch loop *)
+  | T_compiled of compiled_body
+  | T_unsupported
+      (** the compiler declined this body; stop counting and stay on
+          tier 0 permanently *)
+
+(** Tier-up policy installed on an instance: once a function has been
+    entered [tp_threshold] times, [tp_compile] is asked for a compiled
+    body ([None] marks the function unsupported). *)
+and tier_policy = {
+  tp_threshold : int;
+  tp_compile : instance -> int -> compiled_body option;
 }
 
 and instance = {
@@ -214,6 +237,9 @@ and instance = {
   mutable inst_prof : Obs.Profile.t option;
       (** when set, the interpreter feeds it call and per-site execution
           counts; [None] costs one match per call / per straight-line run *)
+  mutable inst_tier : tier_policy option;
+      (** when set, hot functions are compiled to closures and entered
+          through them; [None] (the default) keeps everything on tier 0 *)
 }
 
 (** Wasm implementations limit call depth; ours traps with the spec's
@@ -450,6 +476,8 @@ let prepare_code (types : func_type array) (f : Ast.func) : code =
     c_frame_size = nparams + Array.length local_defaults;
     c_br_tables = br_tables;
     c_run_len = run_len;
+    c_tier = T_interp;
+    c_hot = 0;
   }
 
 (** {1 Execution} *)
@@ -462,6 +490,11 @@ let grow_stack st =
   let data = Array.make (2 * Array.length st.data) dummy_value in
   Array.blit st.data 0 data 0 st.size;
   st.data <- data
+
+(** Grow the backing array until it holds at least [cap] slots. Tier-1
+    bodies reserve their whole frame up front so compiled slot accesses
+    need no per-operation bounds checks. *)
+let stack_reserve st cap = while Array.length st.data < cap do grow_stack st done
 
 let push st v =
   if st.size = Array.length st.data then grow_stack st;
@@ -523,7 +556,7 @@ and call_wasm (cinst : instance) (idx : int) (from_st : stack) : unit =
   let base = st.size in
   cinst.call_depth <- cinst.call_depth + 1;
   (match cinst.inst_prof with None -> () | Some p -> Obs.Profile.enter p idx);
-  (try exec_body cinst idx code locals with
+  (try enter_body cinst idx code locals with
    | e ->
      (match cinst.inst_prof with None -> () | Some p -> Obs.Profile.leave p);
      cinst.call_depth <- cinst.call_depth - 1;
@@ -538,6 +571,46 @@ and call_wasm (cinst : instance) (idx : int) (from_st : stack) : unit =
     done;
     st.size <- base
   end
+
+(** Tier dispatch: run the compiled body when one is cached, otherwise
+    count the call against the instance's tier policy and compile at the
+    threshold. Tier state lives on [code], so one compilation serves
+    every future call. *)
+and enter_body cinst (idx : int) (code : code) (locals : Value.t array) : unit =
+  match code.c_tier with
+  | T_compiled f ->
+    (match cinst.inst_prof with
+     | None -> f cinst locals
+     | Some p -> Obs.Profile.time p "tier.execute" (fun () -> f cinst locals))
+  | T_unsupported -> exec_body cinst idx code locals
+  | T_interp ->
+    (match cinst.inst_tier with
+     | None -> exec_body cinst idx code locals
+     | Some tp ->
+       let hot = code.c_hot + 1 in
+       code.c_hot <- hot;
+       if hot < tp.tp_threshold then exec_body cinst idx code locals
+       else begin
+         let compiled =
+           match cinst.inst_prof with
+           | None -> tp.tp_compile cinst idx
+           | Some p -> Obs.Profile.time p "tier.compile" (fun () -> tp.tp_compile cinst idx)
+         in
+         match compiled with
+         | Some f ->
+           code.c_tier <- T_compiled f;
+           (match cinst.inst_prof with
+            | None -> f cinst locals
+            | Some p ->
+              Obs.Profile.count p "tier.up";
+              Obs.Profile.time p "tier.execute" (fun () -> f cinst locals))
+         | None ->
+           code.c_tier <- T_unsupported;
+           (match cinst.inst_prof with
+            | None -> ()
+            | Some p -> Obs.Profile.count p "tier.unsupported");
+           exec_body cinst idx code locals
+       end)
 
 (* The arguments are handed to the host function in place: the stack is
    shrunk below them first, and [h_fn] reads them straight out of the
@@ -946,6 +1019,7 @@ let instantiate ?(fuel = default_fuel) ?resolve_import ~(imports : imports) (m :
       steps = 0;
       call_depth = 0;
       inst_prof = None;
+      inst_tier = None;
     }
   in
   (* imported entities, in import order *)
@@ -1063,6 +1137,18 @@ let instantiate ?(fuel = default_fuel) ?resolve_import ~(imports : imports) (m :
 (** {1 Convenience API} *)
 
 let set_profiler inst p = inst.inst_prof <- p
+
+(** Install (or remove) a tier-up policy. Cached compiled bodies and hot
+    counts are discarded so a policy change takes effect from the next
+    call — in particular [set_tier inst None] is a full deopt back to
+    the reference interpreter. *)
+let set_tier inst policy =
+  inst.inst_tier <- policy;
+  Array.iter
+    (fun c ->
+       c.c_tier <- T_interp;
+       c.c_hot <- 0)
+    inst.inst_code
 
 let export inst name =
   match List.assoc_opt name inst.inst_exports with

@@ -170,6 +170,27 @@ and code = {
           elsewhere *)
   c_run_len : int array;
       (** instructions from pc to the next control transfer, inclusive *)
+  mutable c_tier : tier_state;
+  mutable c_hot : int;  (** calls observed while still on tier 0 *)
+}
+
+(** A compiled (tier-1) function body: called with the frame's locals,
+    operands on the instance stack with the frame base at the current
+    [size]; on normal return exactly [c_arity] results sit at that base
+    (the [exec_body] contract). See {!Tier1}. *)
+and compiled_body = instance -> Value.t array -> unit
+
+and tier_state =
+  | T_interp  (** not (yet) compiled; runs on the tier-0 dispatch loop *)
+  | T_compiled of compiled_body
+  | T_unsupported  (** the compiler declined this body; stays on tier 0 *)
+
+(** Tier-up policy: once a function has been entered [tp_threshold]
+    times, [tp_compile] is asked for a compiled body ([None] marks it
+    unsupported and stops the counting). *)
+and tier_policy = {
+  tp_threshold : int;
+  tp_compile : instance -> int -> compiled_body option;
 }
 
 and instance = {
@@ -188,6 +209,9 @@ and instance = {
   mutable inst_prof : Obs.Profile.t option;
       (** attached profiler; [None] (the default) costs one match per
           call and per straight-line run *)
+  mutable inst_tier : tier_policy option;
+      (** tier-up policy; [None] (the default) keeps everything on the
+          tier-0 dispatch loop *)
 }
 
 val max_call_depth : int
@@ -223,6 +247,27 @@ val set_profiler : instance -> Obs.Profile.t option -> unit
 (** Attach (or detach) a profiler; subsequent execution feeds it
     per-function call counts, self/inclusive times and per-site
     execution counts. *)
+
+val set_tier : instance -> tier_policy option -> unit
+(** Install (or remove) a tier-up policy. Cached compiled bodies and hot
+    counts are discarded, so [set_tier inst None] is a full deopt back to
+    the reference interpreter. Use {!Tier1.enable} for the standard
+    closure-compiling policy. *)
+
+val call_wasm : instance -> int -> stack -> unit
+(** Call function [idx] of the instance with its arguments on top of the
+    given stack; afterwards the results are there instead. Exposed for
+    compiled (tier-1) bodies, which re-enter the engine through it. *)
+
+val call_host : host_func -> stack -> unit
+(** Invoke a host function with its arguments on top of the stack
+    (zero-copy array ABI); results replace them. Exposed for compiled
+    bodies. *)
+
+val stack_reserve : stack -> int -> unit
+(** Grow the stack's backing array until it holds at least the given
+    number of slots (the size is unchanged). Compiled bodies reserve
+    their full frame up front and then access slots unchecked. *)
 
 val invoke : func_inst -> Value.t list -> Value.t list
 val export : instance -> string -> extern

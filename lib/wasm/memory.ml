@@ -79,6 +79,33 @@ let store_f64 t (base : int32) (offset : int) (v : float) =
 
 let store_f32_bits = store_i32
 
+(** {1 Int-domain accessors (tier 1)}
+
+    The closure compiler keeps i32 values as sign-extended native ints
+    and f64 values unboxed; these variants take the {e unsigned} base
+    address as an int (callers mask their canonical signed form with
+    [land 0xFFFFFFFF]) and return i32 results sign-extended, so the hot
+    load/store paths compile without intermediate [int32] boxes. Bounds
+    checks, trap message and byte order are identical to the [int32]
+    accessors above. *)
+
+let effective_address_u t (ubase : int) (offset : int) (width : int) : int =
+  let ea = ubase + offset in
+  if ea + width > Bytes.length t.data then out_of_bounds ();
+  ea
+
+let load_i32_u t (ubase : int) (offset : int) : int =
+  Int32.to_int (Bytes.get_int32_le t.data (effective_address_u t ubase offset 4))
+
+let load_f64_u t (ubase : int) (offset : int) : float =
+  Int64.float_of_bits (Bytes.get_int64_le t.data (effective_address_u t ubase offset 8))
+
+let store_i32_u t (ubase : int) (offset : int) (v : int) =
+  Bytes.set_int32_le t.data (effective_address_u t ubase offset 4) (Int32.of_int v)
+
+let store_f64_u t (ubase : int) (offset : int) (v : float) =
+  Bytes.set_int64_le t.data (effective_address_u t ubase offset 8) (Int64.bits_of_float v)
+
 (** {1 Generic operator execution} — packed and unpacked. *)
 
 (** Execute a load instruction: [addr] is the dynamic base address. *)

@@ -38,6 +38,19 @@ val store_i64 : t -> int32 -> int -> int64 -> unit
 val store_f64 : t -> int32 -> int -> float -> unit
 val store_f32_bits : t -> int32 -> int -> int32 -> unit
 
+(** {1 Int-domain accessors (tier 1)}
+
+    Unboxed variants for the closure compiler: the base address is the
+    {e unsigned} value of the i32 as a native int (mask a sign-extended
+    canonical form with [land 0xFFFFFFFF]); i32 results come back
+    sign-extended. Bounds checks and traps are identical to the [int32]
+    accessors. *)
+
+val load_i32_u : t -> int -> int -> int
+val load_f64_u : t -> int -> int -> float
+val store_i32_u : t -> int -> int -> int -> unit
+val store_f64_u : t -> int -> int -> float -> unit
+
 val load : t -> Ast.loadop -> int32 -> Value.t
 (** Execute a load at the dynamic base address. *)
 

@@ -1,0 +1,1847 @@
+(** Tier-1 execution: closure compilation of pre-decoded function bodies.
+
+    Each function's xinstr stream is translated — once, when the
+    tier-up policy decides the function is hot — into a tree of
+    direct-threaded OCaml closures: one chained closure per basic
+    block, with branches pre-resolved to the target block's closure
+    and taken as OCaml tail calls. The tier-0 dispatch loop
+    ({!Interp.exec_body}) remains the reference and deopt path; any
+    body the compiler cannot handle stays on it permanently.
+
+    What makes the compiled form faster than the dispatch loop:
+
+    - {b No dispatch.} The per-instruction [match] disappears; each
+      operation is a closure invoked in a straight chain, and operator
+      sub-dispatch (which [ibinop]? which relop?) is resolved at
+      compile time — the hottest operators are inlined directly into
+      the emitted closure, the rest go through {!Eval_numeric}'s
+      operator tables.
+    - {b Unboxed slots.} In a validated module both the operand-stack
+      height {e and} the value type at every program point are
+      compile-time constants, so each stack slot and local is pinned
+      to a typed scratch array: i32 values live as sign-extended
+      native [int]s in [id]/[il], f64 values as unboxed [float]s in
+      [fd]/[fl], and only the rare i64/f32 values keep their boxed
+      {!Value.t} form on the instance stack. Straight-line arithmetic,
+      comparisons, loads and stores therefore run allocation-free;
+      boxing happens only at call boundaries, returns, globals and the
+      generic fallback operators.
+    - {b No label stack.} Branch targets, the values they carry and
+      the heights they cut back to are all static; a taken branch is a
+      (possibly empty) slot copy followed by a tail call. Loop
+      back-edges jump to the target closure directly (blocks are
+      compiled in increasing order, so a back-edge target is final);
+      forward edges go through the target's cell.
+
+    The i32 representation invariant: a slot of type i32 holds the
+    value sign-extended to the native int (bits 31..62 replicate bit
+    31). {!Eval_numeric.norm32} re-canonicalises after arithmetic,
+    [land 0xFFFFFFFF] produces the unsigned reading for addresses and
+    unsigned comparisons, and [Int32.of_int]/[Int32.to_int] convert
+    exactly at the boxed boundary.
+
+    Fuel, step counts and profiler site counts are charged with
+    exactly the tier-0 boundaries: a block entered at position [sb]
+    charges [c_run_len.(sb)] if and only if [sb >= charged], where
+    [charged] mirrors the interpreter's [charged_upto] (taken branches
+    reset it, fall-through edges keep it). Out-of-fuel exhaustion
+    therefore cuts both tiers off at the same instruction, which is
+    what lets the differential oracle compare exhausted runs too.
+
+    The deopt contract: compiled bodies implement the [exec_body]
+    calling convention exactly (boxed locals array in, boxed results
+    at the frame base on return, traps/exhaustion raised as the same
+    exceptions), so tier-0 and tier-1 frames interleave freely on one
+    call stack — a compiled function calling an interpreted one and
+    vice versa. *)
+
+open Types
+open Interp
+
+(** Raised (internally) when a body uses a shape the compiler does not
+    handle; {!compile} turns it into [None] and the function stays on
+    tier 0. *)
+exception Unsupported
+
+let default_threshold = 32
+
+(** Per-activation execution context threaded through every compiled
+    closure. [base] is the frame's operand base (the stack size on
+    entry); [charged] mirrors tier 0's [charged_upto]. The typed
+    scratch arrays are indexed by static slot/local index directly:
+    [id]/[fd] hold i32/f64 operand slots, [il]/[fl] hold i32/f64
+    locals; i64 and f32 slots stay boxed at [st.data.(base + slot)]
+    and i64/f32 locals in [locals]. *)
+type ectx = {
+  st : stack;
+  locals : Value.t array;
+  il : int array;
+  fl : float array;
+  id : int array;
+  fd : float array;
+  base : int;
+  mutable charged : int;
+}
+
+type label = {
+  l_target : int;  (** branch target: absolute instruction index *)
+  l_height : int;  (** operand height the branch cuts back to *)
+  l_ty : value_type option;  (** type of the single carried value *)
+}
+
+type frame = {
+  f_label : label;
+  f_bt : Ast.block_type;  (** result type of the block *)
+  f_ts : value_type list;  (** type stack below the label at entry *)
+  f_entry_dead : bool;
+  f_loop : bool;
+}
+
+let bt_arity : Ast.block_type -> int = function None -> 0 | Some _ -> 1
+
+let type_of_value : Value.t -> value_type = function
+  | Value.I32 _ -> I32T
+  | Value.I64 _ -> I64T
+  | Value.F32 _ -> F32T
+  | Value.F64 _ -> F64T
+
+(** Source and destination types of a conversion operator. *)
+let cvt_types : Ast.cvtop -> value_type * value_type = function
+  | Ast.I32WrapI64 -> (I64T, I32T)
+  | Ast.I32TruncF32S | Ast.I32TruncF32U | Ast.I32TruncSatF32S
+  | Ast.I32TruncSatF32U ->
+    (F32T, I32T)
+  | Ast.I32TruncF64S | Ast.I32TruncF64U | Ast.I32TruncSatF64S
+  | Ast.I32TruncSatF64U ->
+    (F64T, I32T)
+  | Ast.I64ExtendI32S | Ast.I64ExtendI32U -> (I32T, I64T)
+  | Ast.I64TruncF32S | Ast.I64TruncF32U | Ast.I64TruncSatF32S
+  | Ast.I64TruncSatF32U ->
+    (F32T, I64T)
+  | Ast.I64TruncF64S | Ast.I64TruncF64U | Ast.I64TruncSatF64S
+  | Ast.I64TruncSatF64U ->
+    (F64T, I64T)
+  | Ast.F32ConvertI32S | Ast.F32ConvertI32U -> (I32T, F32T)
+  | Ast.F32ConvertI64S | Ast.F32ConvertI64U -> (I64T, F32T)
+  | Ast.F32DemoteF64 -> (F64T, F32T)
+  | Ast.F64ConvertI32S | Ast.F64ConvertI32U -> (I32T, F64T)
+  | Ast.F64ConvertI64S | Ast.F64ConvertI64U -> (I64T, F64T)
+  | Ast.F64PromoteF32 -> (F32T, F64T)
+  | Ast.I32ReinterpretF32 -> (F32T, I32T)
+  | Ast.I64ReinterpretF64 -> (F64T, I64T)
+  | Ast.F32ReinterpretI32 -> (I32T, F32T)
+  | Ast.F64ReinterpretI64 -> (I64T, F64T)
+
+(** {1 Pass 1: static heights and types}
+
+    A validator-style walk over the original instruction stream
+    computing, for every reachable instruction boundary, the operand
+    stack height, the type stack (top first) and the enclosing label
+    environment. Heights are [-1] on unreachable boundaries; blocks
+    starting there compile to an engine-bug trap (nothing can jump to
+    them). Dead stretches are revived at the [End] of a block/if frame
+    exactly as in validation, because branches may still target the
+    block's end. *)
+let analyze (inst : instance) (code : code) :
+  int array * value_type list array * frame list array * int =
+  let body = code.c_body in
+  let n = Array.length body in
+  let end_of = code.c_jumps.end_of in
+  let ltypes = Array.of_list (code.c_type.params @ code.c_func.Ast.locals) in
+  let heights = Array.make (n + 1) (-1) in
+  let types_at = Array.make (max n 1) [] in
+  let frames_at = Array.make (max n 1) [] in
+  let frames = ref [] in
+  let h = ref 0 in
+  let ts = ref [] in
+  let dead = ref false in
+  let max_h = ref 0 in
+  let arities ft = (List.length ft.params, List.length ft.results) in
+  let pop_ts () =
+    match !ts with [] -> raise Unsupported | x :: r -> ts := r; x
+  in
+  let popn k = for _ = 1 to k do ignore (pop_ts ()) done in
+  let push t = ts := t :: !ts in
+  for pc = 0 to n - 1 do
+    if not !dead then begin
+      heights.(pc) <- !h;
+      types_at.(pc) <- !ts;
+      frames_at.(pc) <- !frames;
+      if !h > !max_h then max_h := !h
+    end;
+    (match body.(pc) with
+     | Ast.Unreachable -> dead := true
+     | Ast.Nop -> ()
+     | Ast.Block bt ->
+       frames :=
+         { f_label = { l_target = end_of.(pc) + 1; l_height = !h; l_ty = bt };
+           f_bt = bt; f_ts = !ts; f_entry_dead = !dead; f_loop = false }
+         :: !frames
+     | Ast.Loop bt ->
+       (* a loop label carries no values in the MVP *)
+       frames :=
+         { f_label = { l_target = pc + 1; l_height = !h; l_ty = None };
+           f_bt = bt; f_ts = !ts; f_entry_dead = !dead; f_loop = true }
+         :: !frames
+     | Ast.If bt ->
+       h := !h - 1;
+       if not !dead then popn 1;
+       frames :=
+         { f_label = { l_target = end_of.(pc) + 1; l_height = !h; l_ty = bt };
+           f_bt = bt; f_ts = !ts; f_entry_dead = !dead; f_loop = false }
+         :: !frames
+     | Ast.Else ->
+       (match !frames with
+        | f :: _ ->
+          h := f.f_label.l_height;
+          ts := f.f_ts;
+          dead := f.f_entry_dead
+        | [] -> raise Unsupported)
+     | Ast.End ->
+       (match !frames with
+        | f :: rest ->
+          frames := rest;
+          if !dead && not f.f_loop then begin
+            (* the end can still be reached by branches to the label *)
+            h := f.f_label.l_height + bt_arity f.f_bt;
+            ts := (match f.f_bt with Some t -> t :: f.f_ts | None -> f.f_ts);
+            dead := f.f_entry_dead
+          end
+          (* a dead loop end stays dead: nothing targets a loop's end *)
+        | [] -> raise Unsupported)
+     | Ast.Br _ -> dead := true
+     | Ast.BrIf _ ->
+       h := !h - 1;
+       if not !dead then popn 1
+     | Ast.BrTable _ ->
+       h := !h - 1;
+       if not !dead then popn 1;
+       dead := true
+     | Ast.Return -> dead := true
+     | Ast.Call fidx ->
+       let ft = func_type_of inst.inst_funcs.(fidx) in
+       let np, nr = arities ft in
+       h := !h - np + nr;
+       if not !dead then begin
+         popn np;
+         List.iter push ft.results
+       end
+     | Ast.CallIndirect tidx ->
+       let ft = inst.inst_types.(tidx) in
+       let np, nr = arities ft in
+       h := !h - 1 - np + nr;
+       if not !dead then begin
+         popn (1 + np);
+         List.iter push ft.results
+       end
+     | Ast.Drop ->
+       h := !h - 1;
+       if not !dead then popn 1
+     | Ast.Select ->
+       h := !h - 2;
+       if not !dead then begin
+         ignore (pop_ts ());
+         let t = pop_ts () in
+         ignore (pop_ts ());
+         push t
+       end
+     | Ast.LocalGet x ->
+       h := !h + 1;
+       if not !dead then
+         if x < Array.length ltypes then push ltypes.(x) else raise Unsupported
+     | Ast.LocalSet _ ->
+       h := !h - 1;
+       if not !dead then popn 1
+     | Ast.LocalTee _ -> ()
+     | Ast.GlobalGet x ->
+       h := !h + 1;
+       if not !dead then push inst.inst_globals.(x).g_type.content
+     | Ast.GlobalSet _ ->
+       h := !h - 1;
+       if not !dead then popn 1
+     | Ast.Load op ->
+       if not !dead then begin
+         ignore (pop_ts ());
+         push op.Ast.lty
+       end
+     | Ast.Store _ ->
+       h := !h - 2;
+       if not !dead then popn 2
+     | Ast.MemorySize ->
+       h := !h + 1;
+       if not !dead then push I32T
+     | Ast.MemoryGrow ->
+       if not !dead then begin
+         ignore (pop_ts ());
+         push I32T
+       end
+     | Ast.Const v ->
+       h := !h + 1;
+       if not !dead then push (type_of_value v)
+     | Ast.Test _ ->
+       if not !dead then begin
+         ignore (pop_ts ());
+         push I32T
+       end
+     | Ast.Compare _ ->
+       h := !h - 1;
+       if not !dead then begin
+         popn 2;
+         push I32T
+       end
+     | Ast.Unary _ -> ()
+     | Ast.Convert op ->
+       if not !dead then begin
+         ignore (pop_ts ());
+         push (snd (cvt_types op))
+       end
+     | Ast.Binary _ ->
+       h := !h - 1;
+       if not !dead then popn 1);
+    if not !dead then begin
+      if !h < 0 then raise Unsupported;
+      (* the two stacks must stay in lock step: a divergence here would
+         make the typed-slot codegen write out of bounds *)
+      if List.length !ts <> !h then raise Unsupported
+    end
+  done;
+  if not !dead then begin
+    heights.(n) <- !h;
+    if !h > !max_h then max_h := !h
+  end;
+  (heights, types_at, frames_at, !max_h)
+
+(** {1 Slot marshalling}
+
+    The boxed/unboxed boundary, used by generic (rare) operators, call
+    argument staging, result unpacking, branch value copies and
+    returns. i32 slots read/write [ctx.id], f64 slots [ctx.fd], i64
+    and f32 slots the boxed instance stack. *)
+
+let read_val (ty : value_type) (s : int) : ectx -> Value.t =
+  match ty with
+  | I32T -> fun ctx -> Value.I32 (Int32.of_int (Array.unsafe_get ctx.id s))
+  | F64T -> fun ctx -> Value.F64 (Array.unsafe_get ctx.fd s)
+  | I64T | F32T -> fun ctx -> Array.unsafe_get ctx.st.data (ctx.base + s)
+
+let write_val (ty : value_type) (s : int) : ectx -> Value.t -> unit =
+  match ty with
+  | I32T ->
+    fun ctx v -> Array.unsafe_set ctx.id s (Int32.to_int (Value.as_i32 v))
+  | F64T -> fun ctx v -> Array.unsafe_set ctx.fd s (Value.as_f64 v)
+  | I64T | F32T -> fun ctx v -> Array.unsafe_set ctx.st.data (ctx.base + s) v
+
+let copy_slot (ty : value_type) ~(src : int) ~(dst : int) : ectx -> unit =
+  match ty with
+  | I32T ->
+    fun ctx -> Array.unsafe_set ctx.id dst (Array.unsafe_get ctx.id src)
+  | F64T ->
+    fun ctx -> Array.unsafe_set ctx.fd dst (Array.unsafe_get ctx.fd src)
+  | I64T | F32T ->
+    fun ctx ->
+      let d = ctx.st.data in
+      Array.unsafe_set d (ctx.base + dst) (Array.unsafe_get d (ctx.base + src))
+
+(** Box an unboxed slot onto the instance stack (call arguments,
+    returns); [None] when the slot is already boxed. *)
+let box_slot (ty : value_type) (s : int) : (ectx -> unit) option =
+  match ty with
+  | I32T ->
+    Some
+      (fun ctx ->
+         Array.unsafe_set ctx.st.data (ctx.base + s)
+           (Value.I32 (Int32.of_int (Array.unsafe_get ctx.id s))))
+  | F64T ->
+    Some
+      (fun ctx ->
+         Array.unsafe_set ctx.st.data (ctx.base + s)
+           (Value.F64 (Array.unsafe_get ctx.fd s)))
+  | I64T | F32T -> None
+
+(** Unpack a boxed stack slot into the typed scratch array (call
+    results); [None] when the slot stays boxed. *)
+let unbox_slot (ty : value_type) (s : int) : (ectx -> unit) option =
+  match ty with
+  | I32T ->
+    Some
+      (fun ctx ->
+         Array.unsafe_set ctx.id s
+           (Int32.to_int (Value.as_i32 (Array.unsafe_get ctx.st.data (ctx.base + s)))))
+  | F64T ->
+    Some
+      (fun ctx ->
+         Array.unsafe_set ctx.fd s
+           (Value.as_f64 (Array.unsafe_get ctx.st.data (ctx.base + s))))
+  | I64T | F32T -> None
+
+let rec chain (fs : (ectx -> unit) list) : (ectx -> unit) option =
+  match fs with
+  | [] -> None
+  | [ f ] -> Some f
+  | f :: rest ->
+    (match chain rest with
+     | None -> Some f
+     | Some g ->
+       Some
+         (fun ctx ->
+            f ctx;
+            g ctx))
+
+(** Compose straight-line operations in execution order in front of the
+    terminator, unrolled four per closure. The terminator call stays in
+    tail position. *)
+let rec seq (ops : (ectx -> unit) list) (k : ectx -> unit) : ectx -> unit =
+  match ops with
+  | [] -> k
+  | [ f1 ] ->
+    fun ctx ->
+      f1 ctx;
+      k ctx
+  | [ f1; f2 ] ->
+    fun ctx ->
+      f1 ctx;
+      f2 ctx;
+      k ctx
+  | [ f1; f2; f3 ] ->
+    fun ctx ->
+      f1 ctx;
+      f2 ctx;
+      f3 ctx;
+      k ctx
+  | f1 :: f2 :: f3 :: f4 :: rest ->
+    let k' = seq rest k in
+    fun ctx ->
+      f1 ctx;
+      f2 ctx;
+      f3 ctx;
+      f4 ctx;
+      k' ctx
+
+(** {1 Pass 2: code generation} *)
+
+let engine_bug : ectx -> unit =
+ fun _ -> raise (Value.Trap "tier1 reached an unreachable block (engine bug)")
+
+let empty_ints : int array = [||]
+let empty_floats : float array = [||]
+
+let compile_exn (inst : instance) (fid : int) : compiled_body =
+  let code = inst.inst_code.(fid) in
+  let body = code.c_body in
+  let xbody = code.c_xbody in
+  let run_len = code.c_run_len in
+  let end_of = code.c_jumps.end_of in
+  let n = Array.length body in
+  let results = code.c_type.results in
+  let ltypes = Array.of_list (code.c_type.params @ code.c_func.Ast.locals) in
+  let nlocals = Array.length ltypes in
+  let local_ty x = if x < nlocals then ltypes.(x) else raise Unsupported in
+  let want_local ty x = if local_ty x <> ty then raise Unsupported in
+  let heights, types_at, frames_at, max_h = analyze inst code in
+  (* basic blocks: a block starts at 0, after every control transfer,
+     and at every label target (= tier 0's fresh-charge points plus the
+     positions branches resolve to) *)
+  let is_start = Array.make (n + 1) false in
+  is_start.(0) <- true;
+  is_start.(n) <- true;
+  for pc = 0 to n - 1 do
+    (match body.(pc) with
+     | Ast.If _ | Ast.Else | Ast.Br _ | Ast.BrIf _ | Ast.BrTable _
+     | Ast.Return | Ast.Unreachable ->
+       is_start.(pc + 1) <- true
+     | _ -> ());
+    match body.(pc) with
+    | Ast.Block _ | Ast.If _ -> is_start.(end_of.(pc) + 1) <- true
+    | Ast.Loop _ ->
+      is_start.(pc + 1) <- true;
+      is_start.(end_of.(pc) + 1) <- true
+    | _ -> ()
+  done;
+  (* fusion never spans a leader, so no block may start on a fused
+     interior; bail to tier 0 if one somehow does *)
+  for pc = 0 to n - 1 do
+    if is_start.(pc) && xbody.(pc) = XFusedTail then raise Unsupported
+  done;
+  let block_of = Array.make (n + 1) (-1) in
+  let nblocks = ref 0 in
+  for pc = 0 to n do
+    if is_start.(pc) then begin
+      block_of.(pc) <- !nblocks;
+      incr nblocks
+    end
+  done;
+  let starts = Array.make !nblocks 0 in
+  for pc = n downto 0 do
+    if is_start.(pc) then starts.(block_of.(pc)) <- pc
+  done;
+  let cells : (ectx -> unit) ref array =
+    Array.init !nblocks (fun _ -> ref engine_bug)
+  in
+  (* blocks are compiled in increasing index order, so a back-edge
+     (the loop case) can capture the final target closure directly;
+     forward and self edges go through the target's cell *)
+  let jump_to ~cur (target : int) : ectx -> unit =
+    let bi = block_of.(target) in
+    if bi < 0 then raise Unsupported;
+    if bi < cur then !(cells.(bi))
+    else begin
+      let cell = cells.(bi) in
+      fun ctx -> !cell ctx
+    end
+  in
+  (* returning: box the result (if any) at the frame base and
+     materialise the stack size; ends the tail-call chain *)
+  let ret_edge ~from_h : ectx -> unit =
+    match results with
+    | [] ->
+      if from_h < 0 then raise Unsupported;
+      fun ctx -> ctx.st.size <- ctx.base
+    | [ ty ] ->
+      let src = from_h - 1 in
+      if src < 0 then raise Unsupported;
+      (match ty with
+       | I32T ->
+         fun ctx ->
+           Array.unsafe_set ctx.st.data ctx.base
+             (Value.I32 (Int32.of_int (Array.unsafe_get ctx.id src)));
+           ctx.st.size <- ctx.base + 1
+       | F64T ->
+         fun ctx ->
+           Array.unsafe_set ctx.st.data ctx.base
+             (Value.F64 (Array.unsafe_get ctx.fd src));
+           ctx.st.size <- ctx.base + 1
+       | I64T | F32T ->
+         if src = 0 then fun ctx -> ctx.st.size <- ctx.base + 1
+         else
+           fun ctx ->
+             let d = ctx.st.data in
+             Array.unsafe_set d ctx.base (Array.unsafe_get d (ctx.base + src));
+             ctx.st.size <- ctx.base + 1)
+    | _ -> raise Unsupported
+  in
+  (* a taken branch: copy the carried value down to the label height,
+     reset the charge mark, tail-jump to the target block *)
+  let label_edge ~cur ~from_h (l : label) : ectx -> unit =
+    let jmp = jump_to ~cur l.l_target in
+    match l.l_ty with
+    | None ->
+      if from_h < l.l_height then raise Unsupported;
+      fun ctx ->
+        ctx.charged <- 0;
+        jmp ctx
+    | Some ty ->
+      let src = from_h - 1
+      and dst = l.l_height in
+      if src < 0 || dst < 0 || src < dst then raise Unsupported;
+      if src = dst then
+        fun ctx ->
+          ctx.charged <- 0;
+          jmp ctx
+      else begin
+        let cp = copy_slot ty ~src ~dst in
+        fun ctx ->
+          cp ctx;
+          ctx.charged <- 0;
+          jmp ctx
+      end
+  in
+  (* relative label [k] at a branch site: label if in range, else the
+     function return (tier 0's [branch] does the same) *)
+  let branch_edge ~cur ~from_h frames k : ectx -> unit =
+    match List.nth_opt frames k with
+    | Some f -> label_edge ~cur ~from_h f.f_label
+    | None -> ret_edge ~from_h
+  in
+  let with_mem (k : Memory.t -> ectx -> unit) : ectx -> unit =
+    match inst.inst_memory with
+    | Some m -> k m
+    | None -> fun _ -> raise (Value.Trap "no memory")
+  in
+  let compile_block cur : ectx -> unit =
+    let sb = starts.(cur) in
+    if sb = n then
+      if heights.(n) >= 0 then ret_edge ~from_h:heights.(n) else engine_bug
+    else if heights.(sb) < 0 then engine_bug
+    else begin
+      let eb =
+        let i = ref (sb + 1) in
+        while not is_start.(!i) do
+          incr i
+        done;
+        !i
+      in
+      let h = ref heights.(sb) in
+      let ops : (ectx -> unit) list ref = ref [] in
+      let term : (ectx -> unit) option ref = ref None in
+      let emit f = ops := f :: !ops in
+      let finish t = term := Some t in
+      let pc = ref sb in
+      while Option.is_none !term && !pc < eb do
+        let p = !pc in
+        if heights.(p) >= 0 && heights.(p) <> !h then raise Unsupported;
+        let step len = pc := p + len in
+        (match xbody.(p) with
+         (* no-ops at run time: all control bookkeeping is static *)
+         | XNop | XBlock _ | XLoop | XEnd -> step 1
+         | XDrop ->
+           h := !h - 1;
+           step 1
+         | XSelect ->
+           let s = !h - 3 in
+           let ty =
+             match types_at.(p) with
+             | _cond :: ty :: _ -> ty
+             | _ -> raise Unsupported
+           in
+           (match ty with
+            | I32T ->
+              emit (fun ctx ->
+                let id = ctx.id in
+                if Array.unsafe_get id (s + 2) = 0 then
+                  Array.unsafe_set id s (Array.unsafe_get id (s + 1)))
+            | F64T ->
+              emit (fun ctx ->
+                if Array.unsafe_get ctx.id (s + 2) = 0 then
+                  Array.unsafe_set ctx.fd s (Array.unsafe_get ctx.fd (s + 1)))
+            | I64T | F32T ->
+              emit (fun ctx ->
+                if Array.unsafe_get ctx.id (s + 2) = 0 then begin
+                  let d = ctx.st.data in
+                  let b = ctx.base + s in
+                  Array.unsafe_set d b (Array.unsafe_get d (b + 1))
+                end));
+           h := !h - 2;
+           step 1
+         | XLocalGet x ->
+           let s = !h in
+           (match local_ty x with
+            | I32T ->
+              emit (fun ctx ->
+                Array.unsafe_set ctx.id s (Array.unsafe_get ctx.il x))
+            | F64T ->
+              emit (fun ctx ->
+                Array.unsafe_set ctx.fd s (Array.unsafe_get ctx.fl x))
+            | I64T | F32T ->
+              emit (fun ctx ->
+                Array.unsafe_set ctx.st.data (ctx.base + s)
+                  (Array.unsafe_get ctx.locals x)));
+           h := !h + 1;
+           step 1
+         | XLocalSet x ->
+           let s = !h - 1 in
+           (match local_ty x with
+            | I32T ->
+              emit (fun ctx ->
+                Array.unsafe_set ctx.il x (Array.unsafe_get ctx.id s))
+            | F64T ->
+              emit (fun ctx ->
+                Array.unsafe_set ctx.fl x (Array.unsafe_get ctx.fd s))
+            | I64T | F32T ->
+              emit (fun ctx ->
+                Array.unsafe_set ctx.locals x
+                  (Array.unsafe_get ctx.st.data (ctx.base + s))));
+           h := !h - 1;
+           step 1
+         | XLocalTee x ->
+           let s = !h - 1 in
+           (match local_ty x with
+            | I32T ->
+              emit (fun ctx ->
+                Array.unsafe_set ctx.il x (Array.unsafe_get ctx.id s))
+            | F64T ->
+              emit (fun ctx ->
+                Array.unsafe_set ctx.fl x (Array.unsafe_get ctx.fd s))
+            | I64T | F32T ->
+              emit (fun ctx ->
+                Array.unsafe_set ctx.locals x
+                  (Array.unsafe_get ctx.st.data (ctx.base + s))));
+           step 1
+         | XGlobalGet x ->
+           let g = inst.inst_globals.(x) in
+           let s = !h in
+           (match g.g_type.content with
+            | I32T ->
+              emit (fun ctx ->
+                Array.unsafe_set ctx.id s (Int32.to_int (Value.as_i32 g.g_value)))
+            | F64T ->
+              emit (fun ctx ->
+                Array.unsafe_set ctx.fd s (Value.as_f64 g.g_value))
+            | I64T | F32T ->
+              emit (fun ctx ->
+                Array.unsafe_set ctx.st.data (ctx.base + s) g.g_value));
+           h := !h + 1;
+           step 1
+         | XGlobalSet x ->
+           let g = inst.inst_globals.(x) in
+           let s = !h - 1 in
+           (match g.g_type.content with
+            | I32T ->
+              emit (fun ctx ->
+                g.g_value <- Value.I32 (Int32.of_int (Array.unsafe_get ctx.id s)))
+            | F64T ->
+              emit (fun ctx -> g.g_value <- Value.F64 (Array.unsafe_get ctx.fd s))
+            | I64T | F32T ->
+              emit (fun ctx ->
+                g.g_value <- Array.unsafe_get ctx.st.data (ctx.base + s)));
+           h := !h - 1;
+           step 1
+         | XConst v ->
+           let s = !h in
+           (match v with
+            | Value.I32 c ->
+              let ci = Int32.to_int c in
+              emit (fun ctx -> Array.unsafe_set ctx.id s ci)
+            | Value.F64 f -> emit (fun ctx -> Array.unsafe_set ctx.fd s f)
+            | Value.I64 _ | Value.F32 _ ->
+              emit (fun ctx -> Array.unsafe_set ctx.st.data (ctx.base + s) v));
+           h := !h + 1;
+           step 1
+         | XI32Load off ->
+           let s = !h - 1 in
+           emit
+             (with_mem (fun m ctx ->
+                let id = ctx.id in
+                Array.unsafe_set id s
+                  (Memory.load_i32_u m (Array.unsafe_get id s land 0xFFFFFFFF) off)));
+           step 1
+         | XI64Load off ->
+           let s = !h - 1 in
+           emit
+             (with_mem (fun m ctx ->
+                let addr = Int32.of_int (Array.unsafe_get ctx.id s) in
+                Array.unsafe_set ctx.st.data (ctx.base + s)
+                  (Value.I64 (Memory.load_i64 m addr off))));
+           step 1
+         | XF32Load off ->
+           let s = !h - 1 in
+           emit
+             (with_mem (fun m ctx ->
+                let addr = Int32.of_int (Array.unsafe_get ctx.id s) in
+                Array.unsafe_set ctx.st.data (ctx.base + s)
+                  (Value.F32 (Memory.load_f32_bits m addr off))));
+           step 1
+         | XF64Load off ->
+           let s = !h - 1 in
+           emit
+             (with_mem (fun m ctx ->
+                Array.unsafe_set ctx.fd s
+                  (Memory.load_f64_u m
+                     (Array.unsafe_get ctx.id s land 0xFFFFFFFF)
+                     off)));
+           step 1
+         | XI32Store off ->
+           let s = !h - 2 in
+           emit
+             (with_mem (fun m ctx ->
+                let id = ctx.id in
+                Memory.store_i32_u m
+                  (Array.unsafe_get id s land 0xFFFFFFFF)
+                  off
+                  (Array.unsafe_get id (s + 1))));
+           h := !h - 2;
+           step 1
+         | XI64Store off ->
+           let s = !h - 2 in
+           emit
+             (with_mem (fun m ctx ->
+                let addr = Int32.of_int (Array.unsafe_get ctx.id s) in
+                Memory.store_i64 m addr off
+                  (Value.as_i64 (Array.unsafe_get ctx.st.data (ctx.base + s + 1)))));
+           h := !h - 2;
+           step 1
+         | XF32Store off ->
+           let s = !h - 2 in
+           emit
+             (with_mem (fun m ctx ->
+                let addr = Int32.of_int (Array.unsafe_get ctx.id s) in
+                Memory.store_f32_bits m addr off
+                  (Value.as_f32_bits
+                     (Array.unsafe_get ctx.st.data (ctx.base + s + 1)))));
+           h := !h - 2;
+           step 1
+         | XF64Store off ->
+           let s = !h - 2 in
+           emit
+             (with_mem (fun m ctx ->
+                Memory.store_f64_u m
+                  (Array.unsafe_get ctx.id s land 0xFFFFFFFF)
+                  off
+                  (Array.unsafe_get ctx.fd (s + 1))));
+           h := !h - 2;
+           step 1
+         | XLoadGen op ->
+           let s = !h - 1 in
+           (match op.Ast.lty with
+            | I32T ->
+              emit
+                (with_mem (fun m ctx ->
+                   let id = ctx.id in
+                   let addr = Int32.of_int (Array.unsafe_get id s) in
+                   Array.unsafe_set id s
+                     (Int32.to_int (Value.as_i32 (Memory.load m op addr)))))
+            | F64T ->
+              emit
+                (with_mem (fun m ctx ->
+                   let addr = Int32.of_int (Array.unsafe_get ctx.id s) in
+                   Array.unsafe_set ctx.fd s (Value.as_f64 (Memory.load m op addr))))
+            | I64T | F32T ->
+              emit
+                (with_mem (fun m ctx ->
+                   let addr = Int32.of_int (Array.unsafe_get ctx.id s) in
+                   Array.unsafe_set ctx.st.data (ctx.base + s)
+                     (Memory.load m op addr))));
+           step 1
+         | XStoreGen op ->
+           let s = !h - 2 in
+           (match op.Ast.sty with
+            | I32T ->
+              emit
+                (with_mem (fun m ctx ->
+                   let id = ctx.id in
+                   Memory.store m op
+                     (Int32.of_int (Array.unsafe_get id s))
+                     (Value.I32 (Int32.of_int (Array.unsafe_get id (s + 1))))))
+            | F64T ->
+              emit
+                (with_mem (fun m ctx ->
+                   Memory.store m op
+                     (Int32.of_int (Array.unsafe_get ctx.id s))
+                     (Value.F64 (Array.unsafe_get ctx.fd (s + 1)))))
+            | I64T | F32T ->
+              emit
+                (with_mem (fun m ctx ->
+                   Memory.store m op
+                     (Int32.of_int (Array.unsafe_get ctx.id s))
+                     (Array.unsafe_get ctx.st.data (ctx.base + s + 1)))));
+           h := !h - 2;
+           step 1
+         | XMemorySize ->
+           let s = !h in
+           emit
+             (with_mem (fun m ctx ->
+                Array.unsafe_set ctx.id s (Memory.size_pages m)));
+           h := !h + 1;
+           step 1
+         | XMemoryGrow ->
+           let s = !h - 1 in
+           emit
+             (with_mem (fun m ctx ->
+                let id = ctx.id in
+                Array.unsafe_set id s (Memory.grow m (Array.unsafe_get id s))));
+           step 1
+         | XI32Eqz ->
+           let s = !h - 1 in
+           emit (fun ctx ->
+             let id = ctx.id in
+             Array.unsafe_set id s (if Array.unsafe_get id s = 0 then 1 else 0));
+           step 1
+         | XI32Bin op ->
+           let s = !h - 2 in
+           (match op with
+            | Ast.Add ->
+              emit (fun ctx ->
+                let id = ctx.id in
+                Array.unsafe_set id s
+                  (Eval_numeric.norm32
+                     (Array.unsafe_get id s + Array.unsafe_get id (s + 1))))
+            | Ast.Sub ->
+              emit (fun ctx ->
+                let id = ctx.id in
+                Array.unsafe_set id s
+                  (Eval_numeric.norm32
+                     (Array.unsafe_get id s - Array.unsafe_get id (s + 1))))
+            | Ast.Mul ->
+              emit (fun ctx ->
+                let id = ctx.id in
+                Array.unsafe_set id s
+                  (Eval_numeric.norm32
+                     (Array.unsafe_get id s * Array.unsafe_get id (s + 1))))
+            | Ast.And ->
+              emit (fun ctx ->
+                let id = ctx.id in
+                Array.unsafe_set id s
+                  (Array.unsafe_get id s land Array.unsafe_get id (s + 1)))
+            | Ast.Or ->
+              emit (fun ctx ->
+                let id = ctx.id in
+                Array.unsafe_set id s
+                  (Array.unsafe_get id s lor Array.unsafe_get id (s + 1)))
+            | Ast.Xor ->
+              emit (fun ctx ->
+                let id = ctx.id in
+                Array.unsafe_set id s
+                  (Array.unsafe_get id s lxor Array.unsafe_get id (s + 1)))
+            | Ast.Shl ->
+              emit (fun ctx ->
+                let id = ctx.id in
+                Array.unsafe_set id s
+                  (Eval_numeric.norm32
+                     (Array.unsafe_get id s lsl (Array.unsafe_get id (s + 1) land 31))))
+            | Ast.ShrS ->
+              emit (fun ctx ->
+                let id = ctx.id in
+                Array.unsafe_set id s
+                  (Array.unsafe_get id s asr (Array.unsafe_get id (s + 1) land 31)))
+            | Ast.ShrU ->
+              emit (fun ctx ->
+                let id = ctx.id in
+                Array.unsafe_set id s
+                  (Eval_numeric.norm32
+                     ((Array.unsafe_get id s land 0xFFFFFFFF)
+                      lsr (Array.unsafe_get id (s + 1) land 31))))
+            | Ast.DivS | Ast.DivU | Ast.RemS | Ast.RemU | Ast.Rotl | Ast.Rotr ->
+              let f = Eval_numeric.ibinop_i32_int op in
+              emit (fun ctx ->
+                let id = ctx.id in
+                Array.unsafe_set id s
+                  (f (Array.unsafe_get id s) (Array.unsafe_get id (s + 1)))));
+           h := !h - 1;
+           step 1
+         | XI32Rel r ->
+           let s = !h - 2 in
+           (match r with
+            | Ast.Eq ->
+              emit (fun ctx ->
+                let id = ctx.id in
+                Array.unsafe_set id s
+                  (if Array.unsafe_get id s = Array.unsafe_get id (s + 1) then 1
+                   else 0))
+            | Ast.Ne ->
+              emit (fun ctx ->
+                let id = ctx.id in
+                Array.unsafe_set id s
+                  (if Array.unsafe_get id s <> Array.unsafe_get id (s + 1) then 1
+                   else 0))
+            | Ast.LtS ->
+              emit (fun ctx ->
+                let id = ctx.id in
+                Array.unsafe_set id s
+                  (if Array.unsafe_get id s < Array.unsafe_get id (s + 1) then 1
+                   else 0))
+            | Ast.LtU ->
+              emit (fun ctx ->
+                let id = ctx.id in
+                Array.unsafe_set id s
+                  (if
+                     Array.unsafe_get id s land 0xFFFFFFFF
+                     < Array.unsafe_get id (s + 1) land 0xFFFFFFFF
+                   then 1
+                   else 0))
+            | Ast.GtS ->
+              emit (fun ctx ->
+                let id = ctx.id in
+                Array.unsafe_set id s
+                  (if Array.unsafe_get id s > Array.unsafe_get id (s + 1) then 1
+                   else 0))
+            | Ast.GtU ->
+              emit (fun ctx ->
+                let id = ctx.id in
+                Array.unsafe_set id s
+                  (if
+                     Array.unsafe_get id s land 0xFFFFFFFF
+                     > Array.unsafe_get id (s + 1) land 0xFFFFFFFF
+                   then 1
+                   else 0))
+            | Ast.LeS ->
+              emit (fun ctx ->
+                let id = ctx.id in
+                Array.unsafe_set id s
+                  (if Array.unsafe_get id s <= Array.unsafe_get id (s + 1) then 1
+                   else 0))
+            | Ast.LeU ->
+              emit (fun ctx ->
+                let id = ctx.id in
+                Array.unsafe_set id s
+                  (if
+                     Array.unsafe_get id s land 0xFFFFFFFF
+                     <= Array.unsafe_get id (s + 1) land 0xFFFFFFFF
+                   then 1
+                   else 0))
+            | Ast.GeS ->
+              emit (fun ctx ->
+                let id = ctx.id in
+                Array.unsafe_set id s
+                  (if Array.unsafe_get id s >= Array.unsafe_get id (s + 1) then 1
+                   else 0))
+            | Ast.GeU ->
+              emit (fun ctx ->
+                let id = ctx.id in
+                Array.unsafe_set id s
+                  (if
+                     Array.unsafe_get id s land 0xFFFFFFFF
+                     >= Array.unsafe_get id (s + 1) land 0xFFFFFFFF
+                   then 1
+                   else 0)));
+           h := !h - 1;
+           step 1
+         | XI64Bin op ->
+           let f = Eval_numeric.ibinop_i64_fn op in
+           let s = !h - 2 in
+           emit (fun ctx ->
+             let d = ctx.st.data in
+             let b = ctx.base + s in
+             Array.unsafe_set d b
+               (Value.I64
+                  (f
+                     (Value.as_i64 (Array.unsafe_get d b))
+                     (Value.as_i64 (Array.unsafe_get d (b + 1))))));
+           h := !h - 1;
+           step 1
+         | XI64Rel r ->
+           let f = Eval_numeric.irelop_i64_fn r in
+           let s = !h - 2 in
+           emit (fun ctx ->
+             let d = ctx.st.data in
+             let b = ctx.base + s in
+             Array.unsafe_set ctx.id s
+               (if
+                  f
+                    (Value.as_i64 (Array.unsafe_get d b))
+                    (Value.as_i64 (Array.unsafe_get d (b + 1)))
+                then 1
+                else 0));
+           h := !h - 1;
+           step 1
+         | XF64Bin op ->
+           let s = !h - 2 in
+           (match op with
+            | Ast.FAdd ->
+              emit (fun ctx ->
+                let fd = ctx.fd in
+                Array.unsafe_set fd s
+                  (Array.unsafe_get fd s +. Array.unsafe_get fd (s + 1)))
+            | Ast.FSub ->
+              emit (fun ctx ->
+                let fd = ctx.fd in
+                Array.unsafe_set fd s
+                  (Array.unsafe_get fd s -. Array.unsafe_get fd (s + 1)))
+            | Ast.FMul ->
+              emit (fun ctx ->
+                let fd = ctx.fd in
+                Array.unsafe_set fd s
+                  (Array.unsafe_get fd s *. Array.unsafe_get fd (s + 1)))
+            | Ast.FDiv ->
+              emit (fun ctx ->
+                let fd = ctx.fd in
+                Array.unsafe_set fd s
+                  (Array.unsafe_get fd s /. Array.unsafe_get fd (s + 1)))
+            | Ast.Min | Ast.Max | Ast.CopySign ->
+              let f = Eval_numeric.fbinop_fn op in
+              emit (fun ctx ->
+                let fd = ctx.fd in
+                Array.unsafe_set fd s
+                  (f (Array.unsafe_get fd s) (Array.unsafe_get fd (s + 1)))));
+           h := !h - 1;
+           step 1
+         | XF64Rel r ->
+           let s = !h - 2 in
+           (match r with
+            | Ast.FEq ->
+              emit (fun ctx ->
+                let fd = ctx.fd in
+                Array.unsafe_set ctx.id s
+                  (if Array.unsafe_get fd s = Array.unsafe_get fd (s + 1) then 1
+                   else 0))
+            | Ast.FNe ->
+              emit (fun ctx ->
+                let fd = ctx.fd in
+                Array.unsafe_set ctx.id s
+                  (if Array.unsafe_get fd s <> Array.unsafe_get fd (s + 1) then 1
+                   else 0))
+            | Ast.FLt ->
+              emit (fun ctx ->
+                let fd = ctx.fd in
+                Array.unsafe_set ctx.id s
+                  (if Array.unsafe_get fd s < Array.unsafe_get fd (s + 1) then 1
+                   else 0))
+            | Ast.FGt ->
+              emit (fun ctx ->
+                let fd = ctx.fd in
+                Array.unsafe_set ctx.id s
+                  (if Array.unsafe_get fd s > Array.unsafe_get fd (s + 1) then 1
+                   else 0))
+            | Ast.FLe ->
+              emit (fun ctx ->
+                let fd = ctx.fd in
+                Array.unsafe_set ctx.id s
+                  (if Array.unsafe_get fd s <= Array.unsafe_get fd (s + 1) then 1
+                   else 0))
+            | Ast.FGe ->
+              emit (fun ctx ->
+                let fd = ctx.fd in
+                Array.unsafe_set ctx.id s
+                  (if Array.unsafe_get fd s >= Array.unsafe_get fd (s + 1) then 1
+                   else 0)));
+           h := !h - 1;
+           step 1
+         | XF64Un u ->
+           let s = !h - 1 in
+           (match u with
+            | Ast.Abs ->
+              emit (fun ctx ->
+                Array.unsafe_set ctx.fd s (abs_float (Array.unsafe_get ctx.fd s)))
+            | Ast.Neg ->
+              emit (fun ctx ->
+                Array.unsafe_set ctx.fd s (-.Array.unsafe_get ctx.fd s))
+            | Ast.Sqrt ->
+              emit (fun ctx ->
+                Array.unsafe_set ctx.fd s (sqrt (Array.unsafe_get ctx.fd s)))
+            | Ast.Ceil | Ast.Floor | Ast.Trunc | Ast.Nearest ->
+              let f = Eval_numeric.funop_impl u in
+              emit (fun ctx ->
+                Array.unsafe_set ctx.fd s (f (Array.unsafe_get ctx.fd s))));
+           step 1
+         | XF64ConvertI32S ->
+           let s = !h - 1 in
+           emit (fun ctx ->
+             Array.unsafe_set ctx.fd s (float_of_int (Array.unsafe_get ctx.id s)));
+           step 1
+         | XI32TruncF64S ->
+           let s = !h - 1 in
+           emit (fun ctx ->
+             Array.unsafe_set ctx.id s
+               (Int32.to_int (Value.Cvt.i32_trunc_s (Array.unsafe_get ctx.fd s))));
+           step 1
+         | XTestGen op ->
+           let s = !h - 1 in
+           (match op with
+            | Ast.IEqz S32 ->
+              emit (fun ctx ->
+                let id = ctx.id in
+                Array.unsafe_set id s (if Array.unsafe_get id s = 0 then 1 else 0))
+            | Ast.IEqz S64 ->
+              emit (fun ctx ->
+                Array.unsafe_set ctx.id s
+                  (if
+                     Int64.equal
+                       (Value.as_i64 (Array.unsafe_get ctx.st.data (ctx.base + s)))
+                       0L
+                   then 1
+                   else 0)));
+           step 1
+         | XCompareGen op ->
+           let s = !h - 2 in
+           (match op with
+            | Ast.IRel (S32, r) ->
+              let f = Eval_numeric.irelop_i32_int r in
+              emit (fun ctx ->
+                let id = ctx.id in
+                Array.unsafe_set id s
+                  (if f (Array.unsafe_get id s) (Array.unsafe_get id (s + 1))
+                   then 1
+                   else 0))
+            | Ast.IRel (S64, r) ->
+              let f = Eval_numeric.irelop_i64_fn r in
+              emit (fun ctx ->
+                let d = ctx.st.data in
+                let b = ctx.base + s in
+                Array.unsafe_set ctx.id s
+                  (if
+                     f
+                       (Value.as_i64 (Array.unsafe_get d b))
+                       (Value.as_i64 (Array.unsafe_get d (b + 1)))
+                   then 1
+                   else 0))
+            | Ast.FRel (SF64, r) ->
+              let f = Eval_numeric.frelop_fn r in
+              emit (fun ctx ->
+                let fd = ctx.fd in
+                Array.unsafe_set ctx.id s
+                  (if f (Array.unsafe_get fd s) (Array.unsafe_get fd (s + 1))
+                   then 1
+                   else 0))
+            | Ast.FRel (SF32, _) ->
+              emit (fun ctx ->
+                let d = ctx.st.data in
+                let b = ctx.base + s in
+                Array.unsafe_set ctx.id s
+                  (Int32.to_int
+                     (Value.as_i32
+                        (Eval_numeric.eval_relop op (Array.unsafe_get d b)
+                           (Array.unsafe_get d (b + 1)))))));
+           h := !h - 1;
+           step 1
+         | XUnaryGen op ->
+           let s = !h - 1 in
+           (match op with
+            | Ast.IUn (S32, _) ->
+              emit (fun ctx ->
+                let v =
+                  Eval_numeric.eval_unop op
+                    (Value.I32 (Int32.of_int (Array.unsafe_get ctx.id s)))
+                in
+                Array.unsafe_set ctx.id s (Int32.to_int (Value.as_i32 v)))
+            | Ast.FUn (SF64, u) ->
+              let f = Eval_numeric.funop_impl u in
+              emit (fun ctx ->
+                Array.unsafe_set ctx.fd s (f (Array.unsafe_get ctx.fd s)))
+            | Ast.IUn (S64, _) | Ast.FUn (SF32, _) ->
+              emit (fun ctx ->
+                let d = ctx.st.data in
+                let b = ctx.base + s in
+                Array.unsafe_set d b
+                  (Eval_numeric.eval_unop op (Array.unsafe_get d b))));
+           step 1
+         | XBinaryGen op ->
+           let s = !h - 2 in
+           (match op with
+            | Ast.IBin (S32, bop) ->
+              let f = Eval_numeric.ibinop_i32_int bop in
+              emit (fun ctx ->
+                let id = ctx.id in
+                Array.unsafe_set id s
+                  (f (Array.unsafe_get id s) (Array.unsafe_get id (s + 1))))
+            | Ast.IBin (S64, bop) ->
+              let f = Eval_numeric.ibinop_i64_fn bop in
+              emit (fun ctx ->
+                let d = ctx.st.data in
+                let b = ctx.base + s in
+                Array.unsafe_set d b
+                  (Value.I64
+                     (f
+                        (Value.as_i64 (Array.unsafe_get d b))
+                        (Value.as_i64 (Array.unsafe_get d (b + 1))))))
+            | Ast.FBin (SF64, bop) ->
+              let f = Eval_numeric.fbinop_fn bop in
+              emit (fun ctx ->
+                let fd = ctx.fd in
+                Array.unsafe_set fd s
+                  (f (Array.unsafe_get fd s) (Array.unsafe_get fd (s + 1))))
+            | Ast.FBin (SF32, _) ->
+              emit (fun ctx ->
+                let d = ctx.st.data in
+                let b = ctx.base + s in
+                Array.unsafe_set d b
+                  (Eval_numeric.eval_binop op (Array.unsafe_get d b)
+                     (Array.unsafe_get d (b + 1)))));
+           h := !h - 1;
+           step 1
+         | XConvertGen op ->
+           let s = !h - 1 in
+           let src, dst = cvt_types op in
+           let rv = read_val src s
+           and wv = write_val dst s in
+           emit (fun ctx -> wv ctx (Eval_numeric.eval_cvtop op (rv ctx)));
+           step 1
+         | XCall fidx ->
+           (* box the unboxed arguments, materialise the stack size,
+              re-enter the engine, unpack the results; the callee may
+              be tier 0, tier 1 or a host function *)
+           let callee = inst.inst_funcs.(fidx) in
+           let ft = func_type_of callee in
+           let np = List.length ft.params
+           and nr = List.length ft.results in
+           let hh = !h in
+           let abase = hh - np in
+           if abase < 0 then raise Unsupported;
+           let pre =
+             chain
+               (List.concat
+                  (List.mapi
+                     (fun j ty ->
+                        match box_slot ty (abase + j) with
+                        | Some f -> [ f ]
+                        | None -> [])
+                     ft.params))
+           and post =
+             chain
+               (List.concat
+                  (List.mapi
+                     (fun r ty ->
+                        match unbox_slot ty (abase + r) with
+                        | Some f -> [ f ]
+                        | None -> [])
+                     ft.results))
+           in
+           let invoke : ectx -> unit =
+             match callee with
+             | Wasm_func (j, ci) ->
+               fun ctx ->
+                 ctx.st.size <- ctx.base + hh;
+                 call_wasm ci j ctx.st
+             | Host_func hf ->
+               fun ctx ->
+                 ctx.st.size <- ctx.base + hh;
+                 call_host hf ctx.st
+           in
+           (match (pre, post) with
+            | None, None -> emit invoke
+            | Some f, None ->
+              emit (fun ctx ->
+                f ctx;
+                invoke ctx)
+            | None, Some g ->
+              emit (fun ctx ->
+                invoke ctx;
+                g ctx)
+            | Some f, Some g ->
+              emit (fun ctx ->
+                f ctx;
+                invoke ctx;
+                g ctx));
+           h := hh - np + nr;
+           step 1
+         | XCallIndirect tidx ->
+           let expected = inst.inst_types.(tidx) in
+           let np = List.length expected.params
+           and nr = List.length expected.results in
+           let hh = !h in
+           let abase = hh - 1 - np in
+           if abase < 0 then raise Unsupported;
+           let si = hh - 1 in
+           (match inst.inst_table with
+            | None -> emit (fun _ -> raise (Value.Trap "no table"))
+            | Some table ->
+              let pre =
+                chain
+                  (List.concat
+                     (List.mapi
+                        (fun j ty ->
+                           match box_slot ty (abase + j) with
+                           | Some f -> [ f ]
+                           | None -> [])
+                        expected.params))
+              and post =
+                chain
+                  (List.concat
+                     (List.mapi
+                        (fun r ty ->
+                           match unbox_slot ty (abase + r) with
+                           | Some f -> [ f ]
+                           | None -> [])
+                        expected.results))
+              in
+              let invoke ctx =
+                let st = ctx.st in
+                let i = Array.unsafe_get ctx.id si land 0xFFFFFFFF in
+                st.size <- ctx.base + si;
+                let elems = table.t_elems in
+                if i >= Array.length elems then
+                  raise (Value.Trap "undefined element");
+                match Array.unsafe_get elems i with
+                | None -> raise (Value.Trap "uninitialized element")
+                | Some callee ->
+                  if not (equal_func_type (func_type_of callee) expected) then
+                    raise (Value.Trap "indirect call type mismatch");
+                  (match callee with
+                   | Wasm_func (j, ci) -> call_wasm ci j st
+                   | Host_func hf -> call_host hf st)
+              in
+              (match (pre, post) with
+               | None, None -> emit invoke
+               | Some f, None ->
+                 emit (fun ctx ->
+                   f ctx;
+                   invoke ctx)
+               | None, Some g ->
+                 emit (fun ctx ->
+                   invoke ctx;
+                   g ctx)
+               | Some f, Some g ->
+                 emit (fun ctx ->
+                   f ctx;
+                   invoke ctx;
+                   g ctx)));
+           h := hh - 1 - np + nr;
+           step 1
+         (* fused superinstructions (straight-line forms) *)
+         | XI32BinLL (op, a, b) ->
+           want_local I32T a;
+           want_local I32T b;
+           let s = !h in
+           (match op with
+            | Ast.Add ->
+              emit (fun ctx ->
+                let il = ctx.il in
+                Array.unsafe_set ctx.id s
+                  (Eval_numeric.norm32
+                     (Array.unsafe_get il a + Array.unsafe_get il b)))
+            | _ ->
+              let f = Eval_numeric.ibinop_i32_int op in
+              emit (fun ctx ->
+                let il = ctx.il in
+                Array.unsafe_set ctx.id s
+                  (f (Array.unsafe_get il a) (Array.unsafe_get il b))));
+           h := !h + 1;
+           step 3
+         | XI32BinLC (op, a, c) ->
+           want_local I32T a;
+           let ci = Int32.to_int c in
+           let s = !h in
+           (match op with
+            | Ast.Add ->
+              emit (fun ctx ->
+                Array.unsafe_set ctx.id s
+                  (Eval_numeric.norm32 (Array.unsafe_get ctx.il a + ci)))
+            | _ ->
+              let f = Eval_numeric.ibinop_i32_int op in
+              emit (fun ctx ->
+                Array.unsafe_set ctx.id s (f (Array.unsafe_get ctx.il a) ci)));
+           h := !h + 1;
+           step 3
+         | XI32BinSL (op, b) ->
+           want_local I32T b;
+           let s = !h - 1 in
+           (match op with
+            | Ast.Add ->
+              emit (fun ctx ->
+                let id = ctx.id in
+                Array.unsafe_set id s
+                  (Eval_numeric.norm32
+                     (Array.unsafe_get id s + Array.unsafe_get ctx.il b)))
+            | _ ->
+              let f = Eval_numeric.ibinop_i32_int op in
+              emit (fun ctx ->
+                let id = ctx.id in
+                Array.unsafe_set id s
+                  (f (Array.unsafe_get id s) (Array.unsafe_get ctx.il b))));
+           step 2
+         | XI32BinSC (op, c) ->
+           let ci = Int32.to_int c in
+           let s = !h - 1 in
+           (match op with
+            | Ast.Add ->
+              emit (fun ctx ->
+                let id = ctx.id in
+                Array.unsafe_set id s
+                  (Eval_numeric.norm32 (Array.unsafe_get id s + ci)))
+            | _ ->
+              let f = Eval_numeric.ibinop_i32_int op in
+              emit (fun ctx ->
+                let id = ctx.id in
+                Array.unsafe_set id s (f (Array.unsafe_get id s) ci)));
+           step 2
+         | XF64BinLL (op, a, b) ->
+           want_local F64T a;
+           want_local F64T b;
+           let s = !h in
+           (match op with
+            | Ast.FAdd ->
+              emit (fun ctx ->
+                let fl = ctx.fl in
+                Array.unsafe_set ctx.fd s
+                  (Array.unsafe_get fl a +. Array.unsafe_get fl b))
+            | Ast.FSub ->
+              emit (fun ctx ->
+                let fl = ctx.fl in
+                Array.unsafe_set ctx.fd s
+                  (Array.unsafe_get fl a -. Array.unsafe_get fl b))
+            | Ast.FMul ->
+              emit (fun ctx ->
+                let fl = ctx.fl in
+                Array.unsafe_set ctx.fd s
+                  (Array.unsafe_get fl a *. Array.unsafe_get fl b))
+            | Ast.FDiv ->
+              emit (fun ctx ->
+                let fl = ctx.fl in
+                Array.unsafe_set ctx.fd s
+                  (Array.unsafe_get fl a /. Array.unsafe_get fl b))
+            | Ast.Min | Ast.Max | Ast.CopySign ->
+              let f = Eval_numeric.fbinop_fn op in
+              emit (fun ctx ->
+                let fl = ctx.fl in
+                Array.unsafe_set ctx.fd s
+                  (f (Array.unsafe_get fl a) (Array.unsafe_get fl b))));
+           h := !h + 1;
+           step 3
+         | XF64BinSL (op, b) ->
+           want_local F64T b;
+           let s = !h - 1 in
+           (match op with
+            | Ast.FAdd ->
+              emit (fun ctx ->
+                let fd = ctx.fd in
+                Array.unsafe_set fd s
+                  (Array.unsafe_get fd s +. Array.unsafe_get ctx.fl b))
+            | Ast.FSub ->
+              emit (fun ctx ->
+                let fd = ctx.fd in
+                Array.unsafe_set fd s
+                  (Array.unsafe_get fd s -. Array.unsafe_get ctx.fl b))
+            | Ast.FMul ->
+              emit (fun ctx ->
+                let fd = ctx.fd in
+                Array.unsafe_set fd s
+                  (Array.unsafe_get fd s *. Array.unsafe_get ctx.fl b))
+            | Ast.FDiv ->
+              emit (fun ctx ->
+                let fd = ctx.fd in
+                Array.unsafe_set fd s
+                  (Array.unsafe_get fd s /. Array.unsafe_get ctx.fl b))
+            | Ast.Min | Ast.Max | Ast.CopySign ->
+              let f = Eval_numeric.fbinop_fn op in
+              emit (fun ctx ->
+                let fd = ctx.fd in
+                Array.unsafe_set fd s
+                  (f (Array.unsafe_get fd s) (Array.unsafe_get ctx.fl b))));
+           step 2
+         | XF64BinSC (op, c) ->
+           let s = !h - 1 in
+           (match op with
+            | Ast.FAdd ->
+              emit (fun ctx ->
+                let fd = ctx.fd in
+                Array.unsafe_set fd s (Array.unsafe_get fd s +. c))
+            | Ast.FSub ->
+              emit (fun ctx ->
+                let fd = ctx.fd in
+                Array.unsafe_set fd s (Array.unsafe_get fd s -. c))
+            | Ast.FMul ->
+              emit (fun ctx ->
+                let fd = ctx.fd in
+                Array.unsafe_set fd s (Array.unsafe_get fd s *. c))
+            | Ast.FDiv ->
+              emit (fun ctx ->
+                let fd = ctx.fd in
+                Array.unsafe_set fd s (Array.unsafe_get fd s /. c))
+            | Ast.Min | Ast.Max | Ast.CopySign ->
+              let f = Eval_numeric.fbinop_fn op in
+              emit (fun ctx ->
+                let fd = ctx.fd in
+                Array.unsafe_set fd s (f (Array.unsafe_get fd s) c)));
+           step 2
+         | XIncrL (x, c) ->
+           want_local I32T x;
+           let ci = Int32.to_int c in
+           emit (fun ctx ->
+             let il = ctx.il in
+             Array.unsafe_set il x
+               (Eval_numeric.norm32 (Array.unsafe_get il x + ci)));
+           step 4
+         | XI32LoadScaled (c, off) ->
+           let ci = Int32.to_int c in
+           let s = !h - 2 in
+           emit
+             (with_mem (fun m ctx ->
+                let id = ctx.id in
+                let addr =
+                  (Array.unsafe_get id s + (Array.unsafe_get id (s + 1) * ci))
+                  land 0xFFFFFFFF
+                in
+                Array.unsafe_set id s (Memory.load_i32_u m addr off)));
+           h := !h - 1;
+           step 4
+         | XF64LoadScaled (c, off) ->
+           let ci = Int32.to_int c in
+           let s = !h - 2 in
+           emit
+             (with_mem (fun m ctx ->
+                let id = ctx.id in
+                let addr =
+                  (Array.unsafe_get id s + (Array.unsafe_get id (s + 1) * ci))
+                  land 0xFFFFFFFF
+                in
+                Array.unsafe_set ctx.fd s (Memory.load_f64_u m addr off)));
+           h := !h - 1;
+           step 4
+         | XI32LoadL (a, off) ->
+           want_local I32T a;
+           let s = !h in
+           emit
+             (with_mem (fun m ctx ->
+                Array.unsafe_set ctx.id s
+                  (Memory.load_i32_u m
+                     (Array.unsafe_get ctx.il a land 0xFFFFFFFF)
+                     off)));
+           h := !h + 1;
+           step 2
+         | XF64LoadL (a, off) ->
+           want_local I32T a;
+           let s = !h in
+           emit
+             (with_mem (fun m ctx ->
+                Array.unsafe_set ctx.fd s
+                  (Memory.load_f64_u m
+                     (Array.unsafe_get ctx.il a land 0xFFFFFFFF)
+                     off)));
+           h := !h + 1;
+           step 2
+         (* terminators: every control transfer ends the block *)
+         | XUnreachable ->
+           finish (fun _ -> raise (Value.Trap "unreachable executed"))
+         | XIf (end_target, larity) ->
+           if larity <> 0 then raise Unsupported;
+           let s = !h - 1 in
+           let then_edge = jump_to ~cur (p + 1)
+           and else_edge = jump_to ~cur end_target in
+           finish (fun ctx ->
+             if Array.unsafe_get ctx.id s = 0 then begin
+               ctx.charged <- 0;
+               else_edge ctx
+             end
+             else then_edge ctx)
+         | XIfElse (else_target, _, _) ->
+           let s = !h - 1 in
+           let then_edge = jump_to ~cur (p + 1)
+           and else_edge = jump_to ~cur else_target in
+           finish (fun ctx ->
+             if Array.unsafe_get ctx.id s = 0 then begin
+               ctx.charged <- 0;
+               else_edge ctx
+             end
+             else then_edge ctx)
+         | XElse end_target ->
+           let edge = jump_to ~cur end_target in
+           finish (fun ctx ->
+             ctx.charged <- 0;
+             edge ctx)
+         | XBr k -> finish (branch_edge ~cur ~from_h:!h frames_at.(p) k)
+         | XBrIf k ->
+           let s = !h - 1 in
+           let taken = branch_edge ~cur ~from_h:(!h - 1) frames_at.(p) k in
+           let next = jump_to ~cur (p + 1) in
+           finish (fun ctx ->
+             if Array.unsafe_get ctx.id s = 0 then next ctx else taken ctx)
+         | XBrTable tbl ->
+           let s = !h - 1 in
+           let from_h = !h - 1 in
+           let edges =
+             Array.map (fun k -> branch_edge ~cur ~from_h frames_at.(p) k) tbl
+           in
+           let last = Array.length tbl - 1 in
+           finish (fun ctx ->
+             let i = Array.unsafe_get ctx.id s land 0xFFFFFFFF in
+             (if i < last then Array.unsafe_get edges i
+              else Array.unsafe_get edges last)
+               ctx)
+         | XReturn -> finish (ret_edge ~from_h:!h)
+         | XBrIfRelLL (r, a, b, k) ->
+           want_local I32T a;
+           want_local I32T b;
+           let taken = branch_edge ~cur ~from_h:!h frames_at.(p) k in
+           let next = jump_to ~cur (p + 4) in
+           (* the loop-controlling comparison: every relop inlined so
+              the back-edge test costs no closure call *)
+           (match r with
+            | Ast.Eq ->
+              finish (fun ctx ->
+                if Array.unsafe_get ctx.il a = Array.unsafe_get ctx.il b then
+                  taken ctx
+                else next ctx)
+            | Ast.Ne ->
+              finish (fun ctx ->
+                if Array.unsafe_get ctx.il a <> Array.unsafe_get ctx.il b then
+                  taken ctx
+                else next ctx)
+            | Ast.LtS ->
+              finish (fun ctx ->
+                if Array.unsafe_get ctx.il a < Array.unsafe_get ctx.il b then
+                  taken ctx
+                else next ctx)
+            | Ast.LtU ->
+              finish (fun ctx ->
+                if
+                  Array.unsafe_get ctx.il a land 0xFFFFFFFF
+                  < Array.unsafe_get ctx.il b land 0xFFFFFFFF
+                then taken ctx
+                else next ctx)
+            | Ast.GtS ->
+              finish (fun ctx ->
+                if Array.unsafe_get ctx.il a > Array.unsafe_get ctx.il b then
+                  taken ctx
+                else next ctx)
+            | Ast.GtU ->
+              finish (fun ctx ->
+                if
+                  Array.unsafe_get ctx.il a land 0xFFFFFFFF
+                  > Array.unsafe_get ctx.il b land 0xFFFFFFFF
+                then taken ctx
+                else next ctx)
+            | Ast.LeS ->
+              finish (fun ctx ->
+                if Array.unsafe_get ctx.il a <= Array.unsafe_get ctx.il b then
+                  taken ctx
+                else next ctx)
+            | Ast.LeU ->
+              finish (fun ctx ->
+                if
+                  Array.unsafe_get ctx.il a land 0xFFFFFFFF
+                  <= Array.unsafe_get ctx.il b land 0xFFFFFFFF
+                then taken ctx
+                else next ctx)
+            | Ast.GeS ->
+              finish (fun ctx ->
+                if Array.unsafe_get ctx.il a >= Array.unsafe_get ctx.il b then
+                  taken ctx
+                else next ctx)
+            | Ast.GeU ->
+              finish (fun ctx ->
+                if
+                  Array.unsafe_get ctx.il a land 0xFFFFFFFF
+                  >= Array.unsafe_get ctx.il b land 0xFFFFFFFF
+                then taken ctx
+                else next ctx))
+         | XBrIfRelLC (r, a, c, k) ->
+           want_local I32T a;
+           let ci = Int32.to_int c in
+           let cu = ci land 0xFFFFFFFF in
+           let taken = branch_edge ~cur ~from_h:!h frames_at.(p) k in
+           let next = jump_to ~cur (p + 4) in
+           (match r with
+            | Ast.Eq ->
+              finish (fun ctx ->
+                if Array.unsafe_get ctx.il a = ci then taken ctx else next ctx)
+            | Ast.Ne ->
+              finish (fun ctx ->
+                if Array.unsafe_get ctx.il a <> ci then taken ctx else next ctx)
+            | Ast.LtS ->
+              finish (fun ctx ->
+                if Array.unsafe_get ctx.il a < ci then taken ctx else next ctx)
+            | Ast.LtU ->
+              finish (fun ctx ->
+                if Array.unsafe_get ctx.il a land 0xFFFFFFFF < cu then taken ctx
+                else next ctx)
+            | Ast.GtS ->
+              finish (fun ctx ->
+                if Array.unsafe_get ctx.il a > ci then taken ctx else next ctx)
+            | Ast.GtU ->
+              finish (fun ctx ->
+                if Array.unsafe_get ctx.il a land 0xFFFFFFFF > cu then taken ctx
+                else next ctx)
+            | Ast.LeS ->
+              finish (fun ctx ->
+                if Array.unsafe_get ctx.il a <= ci then taken ctx else next ctx)
+            | Ast.LeU ->
+              finish (fun ctx ->
+                if Array.unsafe_get ctx.il a land 0xFFFFFFFF <= cu then taken ctx
+                else next ctx)
+            | Ast.GeS ->
+              finish (fun ctx ->
+                if Array.unsafe_get ctx.il a >= ci then taken ctx else next ctx)
+            | Ast.GeU ->
+              finish (fun ctx ->
+                if Array.unsafe_get ctx.il a land 0xFFFFFFFF >= cu then taken ctx
+                else next ctx))
+         | XBrIfRel (r, k) ->
+           let f = Eval_numeric.irelop_i32_int r in
+           let s = !h - 2 in
+           let taken = branch_edge ~cur ~from_h:(!h - 2) frames_at.(p) k in
+           let next = jump_to ~cur (p + 2) in
+           finish (fun ctx ->
+             let id = ctx.id in
+             if f (Array.unsafe_get id s) (Array.unsafe_get id (s + 1)) then
+               taken ctx
+             else next ctx)
+         | XBrIfEqz k ->
+           let s = !h - 1 in
+           let taken = branch_edge ~cur ~from_h:(!h - 1) frames_at.(p) k in
+           let next = jump_to ~cur (p + 2) in
+           finish (fun ctx ->
+             if Array.unsafe_get ctx.id s = 0 then taken ctx else next ctx)
+         | XFusedTail -> raise Unsupported)
+      done;
+      let term_closure =
+        match !term with
+        | Some t -> t
+        | None ->
+          (* fall through to the next block (a label target), keeping
+             the charge mark — tier 0 does not recharge here either *)
+          if eb = n then ret_edge ~from_h:!h else jump_to ~cur eb
+      in
+      let body_cl = seq (List.rev !ops) term_closure in
+      (* the charge prologue replicates tier 0's batched fuel/step
+         accounting bit for bit: same condition, same amounts, same
+         profiler run credit *)
+      let len = run_len.(sb) in
+      fun ctx ->
+        if sb >= ctx.charged then begin
+          if inst.fuel <= 0 then raise (Exhaustion "out of fuel");
+          inst.steps <- inst.steps + len;
+          inst.fuel <- inst.fuel - len;
+          ctx.charged <- sb + len;
+          match inst.inst_prof with
+          | None -> ()
+          | Some pr -> Obs.Profile.bump_run pr ~fid ~body_len:n ~pc:sb ~len
+        end;
+        body_cl ctx
+    end
+  in
+  (* increasing order: back-edge targets are final when referenced *)
+  for b = 0 to !nblocks - 1 do
+    cells.(b) := compile_block b
+  done;
+  let entry = !(cells.(0)) in
+  let nparams = code.c_nparams in
+  let has_il = Array.exists (fun t -> t = I32T) ltypes in
+  let has_fl = Array.exists (fun t -> t = F64T) ltypes in
+  let i32_params = ref []
+  and f64_params = ref [] in
+  for j = nparams - 1 downto 0 do
+    match ltypes.(j) with
+    | I32T -> i32_params := j :: !i32_params
+    | F64T -> f64_params := j :: !f64_params
+    | I64T | F32T -> ()
+  done;
+  let i32_params = Array.of_list !i32_params in
+  let f64_params = Array.of_list !f64_params in
+  fun _inst locals ->
+    let st = inst.inst_stack in
+    stack_reserve st (st.size + max_h);
+    (* fresh typed scratch per activation; declared locals default to
+       zero, matching [c_local_defaults] *)
+    let il = if has_il then Array.make nlocals 0 else empty_ints in
+    let fl = if has_fl then Array.make nlocals 0.0 else empty_floats in
+    Array.iter
+      (fun j ->
+         Array.unsafe_set il j
+           (Int32.to_int (Value.as_i32 (Array.unsafe_get locals j))))
+      i32_params;
+    Array.iter
+      (fun j -> Array.unsafe_set fl j (Value.as_f64 (Array.unsafe_get locals j)))
+      f64_params;
+    let id = if max_h = 0 then empty_ints else Array.make max_h 0 in
+    let fd = if max_h = 0 then empty_floats else Array.make max_h 0.0 in
+    let ctx = { st; locals; il; fl; id; fd; base = st.size; charged = 0 } in
+    entry ctx
+
+(** {1 Public API} *)
+
+let compile (inst : instance) (fid : int) : compiled_body option =
+  try Some (compile_exn inst fid) with Unsupported -> None
+
+let policy ?(threshold = default_threshold) () : tier_policy =
+  { tp_threshold = max 1 threshold; tp_compile = compile }
+
+let enable ?threshold inst = set_tier inst (Some (policy ?threshold ()))
+let disable inst = set_tier inst None
+
+(** Eagerly compile every function body, marking the rest unsupported;
+    returns the number compiled. Installs a threshold-1 policy if none
+    is present (so functions instantiated later still tier up). *)
+let compile_all inst =
+  (match inst.inst_tier with
+   | Some _ -> ()
+   | None -> set_tier inst (Some (policy ~threshold:1 ())));
+  let ok = ref 0 in
+  Array.iteri
+    (fun i c ->
+       match compile inst i with
+       | Some f ->
+         c.c_tier <- T_compiled f;
+         incr ok
+       | None -> c.c_tier <- T_unsupported)
+    inst.inst_code;
+  !ok
+
+(** Tier threshold requested via the [WASABI_TIER] environment
+    variable: unset / ["0"] / ["off"] / ["none"] disable tier-up,
+    ["on"] / ["default"] select {!default_threshold}, a positive
+    integer is used as the threshold directly. *)
+let env_threshold () =
+  match Sys.getenv_opt "WASABI_TIER" with
+  | None -> None
+  | Some s ->
+    (match String.lowercase_ascii (String.trim s) with
+     | "" | "0" | "off" | "none" -> None
+     | "on" | "default" -> Some default_threshold
+     | s ->
+       (match int_of_string_opt s with
+        | Some k when k > 0 -> Some k
+        | _ -> None))
+
+(** Apply the environment policy: enable tier-up iff [WASABI_TIER]
+    requests it. *)
+let enable_from_env inst =
+  match env_threshold () with
+  | Some threshold -> enable ~threshold inst
+  | None -> ()

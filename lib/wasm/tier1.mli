@@ -1,0 +1,42 @@
+(** Tier-1 execution: closure compilation of pre-decoded function
+    bodies, with the tier-0 dispatch loop as reference and deopt path.
+
+    A compiled body implements {!Interp.compiled_body} — the exact
+    [exec_body] calling convention (locals in, results at the frame
+    base, same exceptions) — so tier-0 and tier-1 frames interleave
+    freely, and fuel/step/profile charging matches tier 0 boundary for
+    boundary. *)
+
+val default_threshold : int
+(** Calls observed on tier 0 before a function is compiled when no
+    explicit threshold is given (and for [WASABI_TIER=on]). *)
+
+val compile : Interp.instance -> int -> Interp.compiled_body option
+(** [compile inst fid] closure-compiles function [fid] of [inst];
+    [None] when the body uses a shape the compiler does not support
+    (the function then stays on tier 0 permanently). *)
+
+val policy : ?threshold:int -> unit -> Interp.tier_policy
+(** A tier-up policy compiling with {!compile} after [threshold]
+    tier-0 calls (clamped to ≥ 1; default {!default_threshold}). *)
+
+val enable : ?threshold:int -> Interp.instance -> unit
+(** Install a {!policy} on the instance (resets all tier state). *)
+
+val disable : Interp.instance -> unit
+(** Remove the tier policy and reset every function to tier 0. *)
+
+val compile_all : Interp.instance -> int
+(** Eagerly compile every body, marking unsupported ones so they stay
+    on tier 0; returns the number compiled. Installs a threshold-1
+    policy if none is present. *)
+
+val env_threshold : unit -> int option
+(** The tier-up threshold requested by the [WASABI_TIER] environment
+    variable: [None] when unset / ["0"] / ["off"] / ["none"] (or
+    unparseable), {!default_threshold} for ["on"] / ["default"], the
+    integer itself for a positive number. *)
+
+val enable_from_env : Interp.instance -> unit
+(** {!enable} with {!env_threshold}'s value, a no-op when the
+    environment does not request tiering. *)

@@ -28,6 +28,16 @@ let run_f ?(imports = []) ?(externs = []) ?memory ~params ~results ~locals body 
   let inst = Interp.instantiate ~imports:externs m in
   Interp.invoke_export inst "f" args
 
+(** As {!run_f}, but with every body eagerly compiled to tier 1, so the
+    same program exercises the closure-compiled backend. *)
+let run_f_tiered ?(imports = []) ?(externs = []) ?memory ?fuel ~params ~results ~locals body
+    args =
+  let m = single_func ~imports ?memory ~params ~results ~locals body in
+  Validate.validate_module m;
+  let inst = Interp.instantiate ?fuel ~imports:externs m in
+  ignore (Tier1.compile_all inst);
+  Interp.invoke_export inst "f" args
+
 let i32 = Value.i32_of_int
 let i64 x = Value.I64 (Int64.of_int x)
 let f64 x = Value.F64 x

@@ -72,6 +72,27 @@ let test_regressions () =
          Alcotest.failf "regression (seed %d, index %d): [%s] %s" seed index oracle detail)
     [ (1, 93); (1, 124) ]
 
+(* Tier parity at scale: the tier-1 closure compiler must agree with
+   the tier-0 dispatch loop — outcome, trap identity, final memory,
+   exported globals, and the exact out-of-fuel cut-off point — on 2000
+   generated modules. This is the fifth oracle run in isolation, with a
+   count high enough to exercise every xinstr shape the generator can
+   emit. *)
+let test_tier_parity_smoke () =
+  let violations = ref [] in
+  for index = 0 to 1999 do
+    let info = Fuzz.Harness.gen_case ~seed:1 ~index in
+    match Fuzz.Oracle.tier_differential info with
+    | Fuzz.Oracle.Pass | Fuzz.Oracle.Skip _ -> ()
+    | Fuzz.Oracle.Violation { kind; detail } ->
+      violations := (index, kind, detail) :: !violations
+  done;
+  match List.rev !violations with
+  | [] -> ()
+  | (index, kind, detail) :: _ ->
+    Alcotest.failf "%d tier-parity violations; first at (seed 1, index %d): [%s] %s"
+      (List.length !violations) index kind detail
+
 let test_minimizer () =
   (* a passing input has nothing to minimize *)
   let ok = Wasm.Encode.encode (Fuzz.Harness.gen_case ~seed:3 ~index:0).Fuzz.Gen.module_ in
@@ -99,6 +120,7 @@ let suite =
     case "generator validity" test_generator_validity;
     case "smoke campaign" test_smoke_campaign;
     case "fuzz-found regressions" test_regressions;
+    case "tier parity smoke (2000 cases)" test_tier_parity_smoke;
     case "minimizer" test_minimizer;
     case "mutator reaches structure" test_mutator_reaches_structure;
   ]

@@ -197,6 +197,80 @@ let test_profile_sites_and_counters () =
    | [ ("hook.load", 2, 150L) ] -> ()
    | _ -> Alcotest.fail "timer accumulation")
 
+let test_profile_fused_site_attribution () =
+  (* fused superinstructions charge every original site exactly once.
+     The loop body below fuses (local.get i / const / add / local.set i
+     is one XIncrL slot, the back-edge compare another group), yet the
+     per-site counts must equal those of an unfused reference — which,
+     for site attribution, is simply "each executed original
+     instruction counts once per execution". Both tiers must agree with
+     it. *)
+  let module B = Wasm.Builder in
+  let open Wasm.Ast in
+  let mk () =
+    let bld = B.create () in
+    (* for (i = 0; i != 10; i++) acc += i; return acc *)
+    let body =
+      B.block
+        (B.loop
+           ([ B.local_get 0; B.i32 10; Compare (IRel (Wasm.Types.S32, Eq)); BrIf 1 ]
+            @ [ B.local_get 1; B.local_get 0; B.i32_add; B.local_set 1 ]
+            @ [ B.local_get 0; B.i32 1; B.i32_add; B.local_set 0 ]
+            @ [ Br 0 ]))
+      @ [ B.local_get 1 ]
+    in
+    let f =
+      B.add_func bld ~params:[] ~results:[ Wasm.Types.I32T ]
+        ~locals:[ Wasm.Types.I32T; Wasm.Types.I32T ] ~body
+    in
+    B.export_func bld ~name:"f" f;
+    let m = B.build bld in
+    Wasm.Validate.validate_module m;
+    m
+  in
+  let profile tiered =
+    let inst = Wasm.Interp.instantiate ~imports:[] (mk ()) in
+    if tiered then ignore (Wasm.Tier1.compile_all inst);
+    let p = Obs.Profile.create () in
+    Wasm.Interp.set_profiler inst (Some p);
+    Helpers.check_values "result" [ Helpers.i32 45 ]
+      (Wasm.Interp.invoke_export inst "f" []);
+    (inst, p)
+  in
+  let inst, p = profile false in
+  let fid =
+    (* the only defined function *)
+    Array.length inst.Wasm.Interp.inst_code - 1
+  in
+  let counts =
+    match Obs.Profile.site_counts p fid with
+    | Some c -> c
+    | None -> Alcotest.fail "no site counts recorded"
+  in
+  let xbody = inst.Wasm.Interp.inst_code.(fid).Wasm.Interp.c_xbody in
+  Alcotest.(check bool) "the loop body actually fused" true
+    (Array.exists (fun x -> x = Wasm.Interp.XFusedTail) xbody);
+  (* the reference, per original site: block/loop entry once; the header
+     compare (local.get/const/eq/br_if — a fused group) 11 times, ten
+     failing passes plus the exit pass; the two fused groups in the loop
+     body (acc += i and the i++ increment) 10 times each at every
+     original position; the two end instructions never (the br_if exits
+     over them); the epilogue once *)
+  let expected =
+    [| 1; 1; 11; 11; 11; 11; 10; 10; 10; 10; 10; 10; 10; 10; 10; 0; 0; 1 |]
+  in
+  Alcotest.(check (array int)) "fused sites charge like the unfused reference"
+    expected counts;
+  Alcotest.(check int) "site counts sum to retired instructions"
+    inst.Wasm.Interp.steps (Array.fold_left ( + ) 0 counts);
+  (* and the compiled tier produces the identical profile *)
+  let inst1, p1 = profile true in
+  Alcotest.(check int) "tiers retire the same instruction count"
+    inst.Wasm.Interp.steps inst1.Wasm.Interp.steps;
+  (match Obs.Profile.site_counts p1 fid with
+   | Some c1 -> Alcotest.(check (array int)) "tier-1 site counts match tier 0" counts c1
+   | None -> Alcotest.fail "no tier-1 site counts recorded")
+
 (* --- profiler through the interpreter -------------------------------- *)
 
 (** Two-function workload: [run] calls [helper] 50 times. *)
@@ -340,6 +414,8 @@ let suite =
     Alcotest.test_case "profile: self/inclusive with fake clock" `Quick test_profile_self_incl;
     Alcotest.test_case "profile: recursion-safe inclusive time" `Quick test_profile_recursion;
     Alcotest.test_case "profile: site counts and counters" `Quick test_profile_sites_and_counters;
+    Alcotest.test_case "profile: fused site attribution (t0 = reference = t1)" `Quick
+      test_profile_fused_site_attribution;
     Alcotest.test_case "interp: end-to-end profiling" `Quick test_interp_profiler;
     Alcotest.test_case "runtime: hook dispatch timing" `Quick test_hook_dispatch_profiling;
     Alcotest.test_case "hooks: monomorphization-cache stats" `Quick test_hook_map_stats;

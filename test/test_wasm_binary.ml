@@ -184,6 +184,96 @@ let test_custom_sections_skipped () =
   let m' = Decode.decode with_custom in
   Alcotest.(check int) "function preserved" 1 (List.length m'.Ast.funcs)
 
+(* --- NaN bit patterns -------------------------------------------------- *)
+
+(* Float constants travel as raw bit patterns: crafted NaN payloads
+   (signalling and quiet, either sign) must survive encode -> decode ->
+   encode byte-exactly, reach the interpreter unchanged, and pass
+   bit-exactly through the sign-only operators (copysign) and through
+   nearest, which returns NaN inputs as-is. *)
+
+let run_expr ~result body =
+  let bld = B.create () in
+  let f = B.add_func bld ~params:[] ~results:[ result ] ~locals:[] ~body in
+  B.export_func bld ~name:"f" f;
+  let m = B.build bld in
+  Validate.validate_module m;
+  match Interp.invoke_export (Interp.instantiate ~imports:[] m) "f" [] with
+  | [ v ] -> v
+  | vs -> Alcotest.failf "expected one result, got %d" (List.length vs)
+
+let reencode_expr ~result body =
+  let bld = B.create () in
+  let f = B.add_func bld ~params:[] ~results:[ result ] ~locals:[] ~body in
+  B.export_func bld ~name:"f" f;
+  let m = B.build bld in
+  let bin = Encode.encode m in
+  Alcotest.(check bool) "nan payload re-encodes byte-identically" true
+    (String.equal bin (Encode.encode (Decode.decode bin)))
+
+let as_f32_bits = function
+  | Value.F32 b -> b
+  | v -> Alcotest.failf "expected f32, got %s" (Format.asprintf "%a" Value.pp v)
+
+let as_f64_bits = function
+  | Value.F64 f -> Int64.bits_of_float f
+  | v -> Alcotest.failf "expected f64, got %s" (Format.asprintf "%a" Value.pp v)
+
+let test_nan_payload_roundtrip () =
+  (* sNaN (quiet bit clear, payload set), qNaN with payload, negative qNaN *)
+  let payloads32 = [ 0x7FA0_0001l; 0x7FC0_1234l; 0xFFC0_BEEFl ] in
+  let payloads64 =
+    [ 0x7FF4_0000_0000_0001L; 0x7FF8_0000_DEAD_BEEFL; 0xFFF8_0000_0000_0099L ]
+  in
+  List.iter
+    (fun bits ->
+       reencode_expr ~result:Types.F32T [ Ast.Const (Value.F32 bits) ];
+       Alcotest.(check int32)
+         (Printf.sprintf "f32 payload 0x%lX reaches execution intact" bits)
+         bits
+         (as_f32_bits (run_expr ~result:Types.F32T [ Ast.Const (Value.F32 bits) ])))
+    payloads32;
+  List.iter
+    (fun bits ->
+       let v = Value.F64 (Int64.float_of_bits bits) in
+       reencode_expr ~result:Types.F64T [ Ast.Const v ];
+       Alcotest.(check int64)
+         (Printf.sprintf "f64 payload 0x%LX reaches execution intact" bits)
+         bits
+         (as_f64_bits (run_expr ~result:Types.F64T [ Ast.Const v ])))
+    payloads64
+
+let test_nan_payload_ops () =
+  let open Ast in
+  (* f64 copysign keeps the payload, only the sign bit moves *)
+  let nan64 = 0x7FF4_0000_0000_0001L in
+  Alcotest.(check int64) "f64 copysign(NaN, -1) keeps payload"
+    (Int64.logor nan64 Int64.min_int)
+    (as_f64_bits
+       (run_expr ~result:Types.F64T
+          [ Const (Value.F64 (Int64.float_of_bits nan64)); Const (Value.F64 (-1.0));
+            Binary (FBin (Types.SF64, CopySign)) ]));
+  (* f64 nearest returns a NaN input unchanged *)
+  Alcotest.(check int64) "f64 nearest(NaN) keeps payload" nan64
+    (as_f64_bits
+       (run_expr ~result:Types.F64T
+          [ Const (Value.F64 (Int64.float_of_bits nan64));
+            Unary (FUn (Types.SF64, Nearest)) ]));
+  (* f32 copysign is a pure bit operation, even on a signalling NaN *)
+  let snan32 = 0x7FA0_0001l in
+  Alcotest.(check int32) "f32 copysign(sNaN, -2) keeps payload"
+    (Int32.logor snan32 Int32.min_int)
+    (as_f32_bits
+       (run_expr ~result:Types.F32T
+          [ Const (Value.F32 snan32); Const (Value.f32 (-2.0));
+            Binary (FBin (Types.SF32, CopySign)) ]));
+  (* a non-sign f32 unary operator on a NaN quiets it but keeps the payload *)
+  Alcotest.(check int32) "f32 nearest(sNaN) = quieted payload"
+    (Int32.logor snan32 0x0040_0000l)
+    (as_f32_bits
+       (run_expr ~result:Types.F32T
+          [ Const (Value.F32 snan32); Unary (FUn (Types.SF32, Nearest)) ]))
+
 (* random expression modules for property-based round trips *)
 let gen_const_instr =
   QCheck.Gen.(
@@ -263,5 +353,7 @@ let suite =
     case "round trip preserves structure" test_roundtrip_preserves_structure;
     case "malformed binaries rejected" test_bad_binaries_rejected;
     case "custom sections skipped" test_custom_sections_skipped;
+    case "NaN payload round trips" test_nan_payload_roundtrip;
+    case "NaN payload through copysign/nearest" test_nan_payload_ops;
   ]
   @ qcheck_cases

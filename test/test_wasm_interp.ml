@@ -380,6 +380,101 @@ let test_br_table_large () =
   check_values "100 (one past the end) -> default" [ i32 300 ] (run 100);
   check_values "-1 (unsigned huge) -> default" [ i32 300 ] (run (-1))
 
+let test_shift_masking () =
+  (* shift and rotate counts use only the low log2(width) bits: counts
+     at or beyond the width, and negative counts (huge unsigned), must
+     wrap — identically on the dispatch loop and the compiled tier *)
+  let run32 tier op x c =
+    let body = [ B.i32' x; B.i32' c; Binary (IBin (Types.S32, op)) ] in
+    (if tier then run_f_tiered ?fuel:None else run_f)
+      ~params:[] ~results:[ Types.I32T ] ~locals:[] body []
+  in
+  let run64 tier op x c =
+    let body = [ B.i64 x; B.i64 c; Binary (IBin (Types.S64, op)) ] in
+    (if tier then run_f_tiered ?fuel:None else run_f)
+      ~params:[] ~results:[ Types.I64T ] ~locals:[] body []
+  in
+  List.iter
+    (fun tier ->
+       let t = if tier then "t1" else "t0" in
+       let chk name expect op x c =
+         check_values (t ^ " i32 " ^ name) [ Value.I32 expect ] (run32 tier op x c)
+       in
+       chk "shl by 32 is identity" 1l Shl 1l 32l;
+       chk "shl by 33 shifts by 1" 2l Shl 1l 33l;
+       chk "shl by -1 shifts by 31" 0x80000000l Shl 1l (-1l);
+       chk "shr_u by 32 is identity" 0x80000000l ShrU 0x80000000l 32l;
+       chk "shr_s by 33 shifts by 1" (-2l) ShrS (-4l) 33l;
+       chk "shr_u by -1 shifts by 31" 1l ShrU 0x80000000l (-1l);
+       chk "rotl by 36 rotates by 4" 0xFl Rotl 0xF0000000l 36l;
+       chk "rotr by 36 rotates by 4" 0xF0000000l Rotr 0xFl 36l;
+       let chk name expect op x c =
+         check_values (t ^ " i64 " ^ name) [ Value.I64 expect ] (run64 tier op x c)
+       in
+       chk "shl by 64 is identity" 1L Shl 1L 64L;
+       chk "shl by 65 shifts by 1" 2L Shl 1L 65L;
+       chk "shl by -1 shifts by 63" Int64.min_int Shl 1L (-1L);
+       chk "shr_u by 64 is identity" Int64.min_int ShrU Int64.min_int 64L;
+       chk "shr_s by 65 shifts by 1" (-2L) ShrS (-4L) 65L;
+       chk "shr_u by -1 shifts by 63" 1L ShrU Int64.min_int (-1L);
+       chk "rotl by 68 rotates by 4" 0xFL Rotl 0xF000000000000000L 68L;
+       chk "rotr by 68 rotates by 4" 0xF000000000000000L Rotr 0xFL 68L)
+    [ false; true ]
+
+let test_tier1_traps () =
+  (* traps and exhaustion must carry the same identity out of compiled
+     frames as out of the dispatch loop *)
+  check_traps "t1 div by zero" "divide by zero" (fun () ->
+    run_f_tiered ~params:[] ~results:[ Types.I32T ] ~locals:[]
+      [ B.i32 1; B.i32 0; B.i32_div_s ] []);
+  check_traps "t1 div overflow" "integer overflow" (fun () ->
+    run_f_tiered ~params:[] ~results:[ Types.I32T ] ~locals:[]
+      [ B.i32' Int32.min_int; B.i32' (-1l); B.i32_div_s ] []);
+  check_traps "t1 oob load" "out of bounds" (fun () ->
+    run_f_tiered ~memory:1 ~params:[] ~results:[ Types.I32T ] ~locals:[]
+      [ B.i32 65536; B.i32_load () ] []);
+  check_traps "t1 oob straddling end" "out of bounds" (fun () ->
+    run_f_tiered ~memory:1 ~params:[] ~results:[ Types.I32T ] ~locals:[]
+      [ B.i32 65533; B.i32_load () ] []);
+  check_traps "t1 unreachable" "unreachable executed" (fun () ->
+    run_f_tiered ~params:[] ~results:[] ~locals:[] [ Unreachable ] []);
+  (* call-depth exhaustion with every frame compiled *)
+  let bld = B.create () in
+  let fh = B.declare_func bld ~params:[] ~results:[ Types.I32T ] in
+  B.set_body fh ~locals:[] ~body:[ Call fh.B.fh_index ];
+  B.export_func bld ~name:"f" fh.B.fh_index;
+  let m = B.build bld in
+  Validate.validate_module m;
+  let inst = Interp.instantiate ~imports:[] m in
+  ignore (Tier1.compile_all inst);
+  Alcotest.check_raises "t1 deep recursion" (Interp.Exhaustion "call stack exhausted")
+    (fun () -> ignore (Interp.invoke_export inst "f" []));
+  Alcotest.(check int) "t1 depth restored" 0 inst.Interp.call_depth
+
+let test_tier1_fuel_parity () =
+  (* out of fuel must cut both tiers at exactly the same instruction:
+     the same exception and the same step count *)
+  let mk () =
+    let bld = B.create () in
+    let f =
+      B.add_func bld ~params:[ Types.I32T ] ~results:[ Types.I32T ] ~locals:[ Types.I32T ]
+        ~body:loop_sum_body
+    in
+    B.export_func bld ~name:"f" f;
+    B.build bld
+  in
+  let run tiered =
+    let m = mk () in
+    Validate.validate_module m;
+    let inst = Interp.instantiate ~fuel:1_000 ~imports:[] m in
+    if tiered then ignore (Tier1.compile_all inst);
+    (match Interp.invoke_export inst "f" [ i32 1_000_000 ] with
+     | _ -> Alcotest.fail "expected exhaustion"
+     | exception Interp.Exhaustion "out of fuel" -> ());
+    inst.Interp.steps
+  in
+  Alcotest.(check int) "same steps at exhaustion" (run false) (run true)
+
 let test_deep_operand_stack () =
   (* push 3000 constants before consuming any: the shared operand stack
      must grow well past its initial capacity and keep every slot *)
@@ -421,5 +516,8 @@ let suite =
     case "i64 memory" test_i64_memory;
     case "multi-arg ordering (call / call_indirect)" test_multi_arg_ordering;
     case "br_table with 100 entries" test_br_table_large;
+    case "shift/rotate count masking (t0 and t1)" test_shift_masking;
+    case "tier-1 traps" test_tier1_traps;
+    case "tier-1 out-of-fuel parity" test_tier1_fuel_parity;
     case "deep operand stack" test_deep_operand_stack;
   ]
