@@ -606,6 +606,56 @@ let tier_check min_speedup =
   else print_endline "tier-check: OK"
 
 (* ------------------------------------------------------------------ *)
+(* bench restore: snapshot/restore throughput in pages/s               *)
+(* ------------------------------------------------------------------ *)
+
+(** Measure [Snapshot.capture] and [Snapshot.restore] over instances
+    with progressively larger memories (dirtied so the copies are not
+    trivially zero pages), reporting pages/s per direction — the cost
+    model of reusing a pooled instance instead of re-instantiating. *)
+let restore_bench () =
+  Support.hr "bench restore: instance snapshot/restore throughput (pages/s)";
+  let fast = Sys.getenv_opt "WASABI_BENCH_FAST" <> None in
+  let sizes = if fast then [ 1; 16; 64 ] else [ 1; 16; 64; 256; 1024 ] in
+  let iters pages = max 8 (if fast then 2048 / pages else 16384 / pages) in
+  Printf.printf "%-10s %8s %14s %14s %12s\n" "memory" "iters" "capture" "restore" "restore-ms";
+  List.iter
+    (fun pages ->
+       let m =
+         { Ast.empty_module with
+           Ast.memories =
+             [ { Types.mem_limits = { Types.lim_min = pages; Types.lim_max = Some pages } } ] }
+       in
+       let inst = Interp.instantiate ~imports:[] m in
+       (match inst.Interp.inst_memory with
+        | Some mem ->
+          (* dirty one word per page so restore really writes *)
+          for p = 0 to pages - 1 do
+            Memory.store_i32 mem (Int32.of_int (p * 65536)) 0 0xDEADBEEFl
+          done
+        | None -> ());
+       let n = iters pages in
+       let t0 = Obs.Clock.now_ns () in
+       let snap = ref (Snapshot.capture inst) in
+       for _ = 2 to n do
+         snap := Snapshot.capture inst
+       done;
+       let t1 = Obs.Clock.now_ns () in
+       for _ = 1 to n do
+         Snapshot.restore !snap inst
+       done;
+       let t2 = Obs.Clock.now_ns () in
+       let cap_s = Obs.Clock.ns_to_s (Int64.sub t1 t0) in
+       let res_s = Obs.Clock.ns_to_s (Int64.sub t2 t1) in
+       let rate secs = float_of_int (pages * n) /. Float.max 1e-9 secs in
+       Printf.printf "%7d pg %8d %12.2e %12.2e %12.4f\n" pages n (rate cap_s) (rate res_s)
+         (res_s /. float_of_int n *. 1000.0);
+       ignore (Snapshot.pages !snap))
+    sizes;
+  Printf.printf "  (capture = full-memory copy; restore = in-place blit + globals/table/\n";
+  Printf.printf "   interpreter-state rewind; restore-ms = mean wall time per restore)\n"
+
+(* ------------------------------------------------------------------ *)
 (* Static analysis smoke: call graph, lint, selective instrumentation  *)
 (* ------------------------------------------------------------------ *)
 
@@ -723,7 +773,8 @@ let () =
        Printf.eprintf "tier-check: MIN_SPEEDUP must be a positive number, got %S\n" floor;
        exit 2)
   | [| _; "encode" |] -> encode_bench ()
+  | [| _; "restore" |] -> restore_bench ()
   | _ ->
     prerr_endline
-      "usage: main.exe [table4|rq2|table5|fig8|monomorph|fig9|ablation|micro|interp|static|encode|overhead [FILE]|overhead-check BASELINE|tier-check MIN_SPEEDUP]";
+      "usage: main.exe [table4|rq2|table5|fig8|monomorph|fig9|ablation|micro|interp|static|encode|restore|overhead [FILE]|overhead-check BASELINE|tier-check MIN_SPEEDUP]";
     exit 2

@@ -75,6 +75,37 @@ let apply_tier tier inst =
   | Some n -> Wasm.Tier1.enable ~threshold:n inst
   | None -> Wasm.Tier1.enable_from_env inst
 
+(* resource-governor flags: per-run budgets beyond fuel, each violation
+   exiting with its own code (deadline 10, growth cap 11, call budget 12) *)
+let deadline_arg =
+  Arg.(value & opt (some float) None
+       & info [ "deadline-ms" ] ~docv:"MS"
+           ~doc:"Per-run wall-clock deadline in milliseconds, checked at fuel-batch \
+                 boundaries (exit code 10 when exceeded)")
+
+let max_grow_arg =
+  Arg.(value & opt (some int) None
+       & info [ "max-grow-pages" ] ~docv:"PAGES"
+           ~doc:"Per-run memory-growth cap: total pages memory.grow may acquire, on top of \
+                 the module's declared maximum (exit code 11 when exceeded)")
+
+let host_call_budget_arg =
+  Arg.(value & opt (some int) None
+       & info [ "host-call-budget" ] ~docv:"N"
+           ~doc:"Per-run host-call budget, counting analysis hook calls and imported host \
+                 functions (exit code 12 when exceeded)")
+
+(** Attach and arm a governor when any budget flag is set; compiled
+    bodies then also deopt to tier 0 on a governor kill. *)
+let apply_governor ~deadline_ms ~max_grow_pages ~host_call_budget inst =
+  match deadline_ms, max_grow_pages, host_call_budget with
+  | None, None, None -> ()
+  | _ ->
+    let gov = Wasm.Governor.create ?deadline_ms ?max_grow_pages ?host_call_budget () in
+    Wasm.Interp.set_governor inst (Some gov);
+    Wasm.Interp.set_deopt_on_fault inst true;
+    Wasm.Governor.arm gov
+
 (* --- instrument ------------------------------------------------------ *)
 
 let instrument_cmd =
@@ -173,7 +204,7 @@ let analyze_cmd =
   let invoke_arg =
     Arg.(value & opt string "run" & info [ "invoke" ] ~docv:"EXPORT" ~doc:"Exported function to call")
   in
-  let run input analysis_name invoke tier =
+  let run input analysis_name invoke tier deadline_ms max_grow_pages host_call_budget =
     structured @@ fun () ->
     let m = read_module input in
     Wasm.Validate.validate_module m;
@@ -185,13 +216,16 @@ let analyze_cmd =
       let res = W.Instrument.instrument ~groups:a.groups m in
       let inst, _ = W.Runtime.instantiate res (a.analysis a.state) in
       apply_tier tier inst;
+      apply_governor ~deadline_ms ~max_grow_pages ~host_call_budget inst;
       let results = Wasm.Interp.invoke_export inst invoke [] in
       Printf.printf "%s returned [%s]\n" invoke
         (String.concat "; " (List.map Wasm.Value.to_string results));
       print_string (a.report a.state)
   in
   let info = Cmd.info "analyze" ~doc:"Instrument, run, and report a bundled dynamic analysis" in
-  Cmd.v info Term.(const run $ input_arg $ analysis_arg $ invoke_arg $ tier_arg)
+  Cmd.v info
+    Term.(const run $ input_arg $ analysis_arg $ invoke_arg $ tier_arg $ deadline_arg
+          $ max_grow_arg $ host_call_budget_arg)
 
 (* --- generate-js ------------------------------------------------------ *)
 
@@ -447,13 +481,21 @@ let fuzz_cmd =
   let quiet_arg =
     Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Suppress progress output")
   in
+  let faults_arg =
+    Arg.(value & flag
+         & info [ "faults" ]
+             ~doc:"Run every generated case through the restore-equivalence oracle under a \
+                   deterministic host-fault plan (hook traps, corrupt returns, budget burns) \
+                   derived from (seed, index); failure dumps record the plan and replay with \
+                   this flag")
+  in
   let metrics_out_arg =
     Arg.(value & opt (some string) None
          & info [ "metrics-out" ] ~docv:"FILE"
              ~doc:"Write campaign metrics (cases/s, per-oracle timing histograms) to FILE: \
                    Prometheus text when it ends in .prom, JSON otherwise")
   in
-  let run seed gen mut out replay quiet metrics_out =
+  let run seed gen mut out replay quiet faults metrics_out =
     match replay with
     | Some spec ->
       let case, index =
@@ -464,17 +506,18 @@ let fuzz_cmd =
           Printf.eprintf "bad --replay spec %S (expected gen:INDEX or mut:INDEX)\n" spec;
           exit 2
       in
-      let disposition = Fuzz.Harness.replay ~seed ~index case in
-      Printf.printf "seed %d, %s case %d: %s\n" seed
+      let disposition = Fuzz.Harness.replay ~faults ~seed ~index case in
+      Printf.printf "seed %d, %s case %d%s: %s\n" seed
         (match case with Fuzz.Harness.Generated -> "generated" | Fuzz.Harness.Mutated -> "mutated")
         index
+        (if faults then " (with faults)" else "")
         (Fuzz.Harness.disposition_to_string disposition);
       (match disposition with Fuzz.Harness.Fail _ -> exit 1 | Fuzz.Harness.Pass _ | Fuzz.Harness.Skip _ -> ())
     | None ->
       let log = if quiet then fun _ -> () else fun s -> Printf.eprintf "%s\n%!" s in
       let metrics = Option.map (fun _ -> Obs.Metrics.create ()) metrics_out in
       let stats, failures =
-        Fuzz.Harness.run ~log ~out_dir:out ?metrics ~seed ~gen_count:gen ~mut_count:mut ()
+        Fuzz.Harness.run ~log ~out_dir:out ?metrics ~faults ~seed ~gen_count:gen ~mut_count:mut ()
       in
       (match metrics_out, metrics with
        | Some path, Some reg ->
@@ -488,22 +531,23 @@ let fuzz_cmd =
       Printf.printf "%s\n" (Fuzz.Harness.summary stats);
       List.iter
         (fun (f : Fuzz.Harness.failure) ->
-           Printf.printf "  FAIL [%s] replay with: wasabi fuzz --seed %d --replay %s:%d\n"
+           Printf.printf "  FAIL [%s] replay with: wasabi fuzz --seed %d --replay %s:%d%s\n"
              f.Fuzz.Harness.oracle seed
              (match f.Fuzz.Harness.case with
               | Fuzz.Harness.Generated -> "gen"
               | Fuzz.Harness.Mutated -> "mut")
-             f.Fuzz.Harness.index)
+             f.Fuzz.Harness.index
+             (if f.Fuzz.Harness.fault_plan = None then "" else " --faults"))
         failures;
       if failures <> [] then exit 1
   in
   let info =
     Cmd.info "fuzz"
-      ~doc:"Differential fuzzing: generated + mutated modules against the totality, round-trip, instrumentation-soundness and differential-equivalence oracles"
+      ~doc:"Differential fuzzing: generated + mutated modules against the totality, round-trip, instrumentation-soundness, differential-equivalence, tier-parity and (with --faults) restore-equivalence oracles"
   in
   Cmd.v info
     Term.(const run $ seed_arg $ gen_arg $ mut_arg $ out_arg $ replay_arg $ quiet_arg
-          $ metrics_out_arg)
+          $ faults_arg $ metrics_out_arg)
 
 (* --- profile --------------------------------------------------------- *)
 

@@ -1,0 +1,42 @@
+(** Deterministic host fault injection: a seeded, replayable plan that
+    wraps bound host functions to trap (["injected-fault"]), return
+    corrupt-but-well-typed values, or burn the fuel/deadline budgets on
+    the k-th armed host call. A plan is a pure function of
+    [(seed, index)] over its own disjoint case-index space, so a repro
+    line replays byte-identically. *)
+
+open Wasm
+
+type action = Trap | Corrupt | Burn
+
+type t
+
+val index_base : int
+(** Offset of the fault-plan index space ([0x2000_0000]): disjoint from
+    generated ([0..]) and mutated ([0x4000_0000..]) case indices. *)
+
+val plan : seed:int -> index:int -> t
+(** The fault plan for case [index] of campaign [seed]: one to three
+    events, biased toward early host-call indices. Deterministic. *)
+
+val wrap : t -> Interp.host_func -> Interp.host_func
+(** Wrap a host function: while the plan is armed, each call is counted
+    and the planned fault (if any) fires instead of / around the real
+    function. Unarmed calls pass straight through uncounted. One plan
+    may wrap any number of host functions — the call counter is shared,
+    matching "the k-th host call of the run" semantics. *)
+
+val arm : t -> unit
+(** Reset the call counter and start counting/injecting. *)
+
+val disarm : t -> unit
+(** Stop injecting; wrapped functions pass through again. *)
+
+val attach : t -> Interp.instance -> unit
+(** Instance whose fuel/governor a [Burn] event drains. *)
+
+val injected : t -> int
+(** Faults fired since the plan was created (not reset by {!arm}). *)
+
+val describe : t -> string
+(** Human-readable plan summary for logs and repro dumps. *)

@@ -22,6 +22,9 @@ type failure = {
   detail : string;
   input : string;  (** the offending binary *)
   minimized : string option;
+  fault_plan : string option;
+      (** rendered {!Faults.describe} when the campaign ran with fault
+          injection; the plan itself replays from [(seed, index)] *)
 }
 
 type stats = {
@@ -29,12 +32,14 @@ type stats = {
   mutable mut_cases : int;
   mutable mut_decoded : int;  (** mutants that still decoded *)
   mutable mut_valid : int;  (** mutants that still validated *)
+  mutable faulted : int;  (** cases run through the restore-equivalence oracle *)
   mutable skips : int;
   mutable violations : int;
 }
 
 let fresh_stats () =
-  { gen_cases = 0; mut_cases = 0; mut_decoded = 0; mut_valid = 0; skips = 0; violations = 0 }
+  { gen_cases = 0; mut_cases = 0; mut_decoded = 0; mut_valid = 0; faulted = 0; skips = 0;
+    violations = 0 }
 
 (* generator cases use the index directly; mutation cases are offset so
    the two streams never share a per-case RNG *)
@@ -70,10 +75,20 @@ let timed metrics oracle f =
     r
 
 (** First violation of the generated-module pipeline, or the skip/pass
-    disposition. *)
-let check_generated ?metrics (info : Gen.info) : [ `Pass | `Skip | `Fail of string * string ] =
+    disposition. [restore] supplies the case's [(seed, index)] pair and
+    runs the restore-equivalence (fault-injection) oracle as the final
+    stage. *)
+let check_generated ?metrics ?restore (info : Gen.info) : [ `Pass | `Skip | `Fail of string * string ] =
   let timed oracle f = timed metrics oracle f in
   let m = info.Gen.module_ in
+  let restore_stage fallthrough =
+    match restore with
+    | None -> fallthrough
+    | Some (seed, index) ->
+      (match timed "restore" (fun () -> Oracle.restore_equivalence ~seed ~index info) with
+       | Oracle.Violation { kind; detail } -> `Fail (kind, detail)
+       | Oracle.Skip _ | Oracle.Pass -> fallthrough)
+  in
   match timed "totality-validate" (fun () -> Oracle.validate_total m) with
   | Error crash -> `Fail ("totality-validate", crash)
   | Ok false -> `Fail ("gen-invalid", "generator produced an invalid module")
@@ -94,7 +109,7 @@ let check_generated ?metrics (info : Gen.info) : [ `Pass | `Skip | `Fail of stri
              (match timed "tier-parity" (fun () -> Oracle.tier_differential info) with
               | Oracle.Violation { kind; detail } -> `Fail (kind, detail)
               | Oracle.Skip _ | Oracle.Pass ->
-                (match diff with Oracle.Skip _ -> `Skip | _ -> `Pass)))))
+                restore_stage (match diff with Oracle.Skip _ -> `Skip | _ -> `Pass)))))
 
 (** The mutated-binary pipeline: totality of decode; then, as far as the
     mutant remains meaningful, validate / round-trip / execute. Returns
@@ -174,16 +189,23 @@ let dump_failure ~out_dir (f : failure) =
     let stem = Printf.sprintf "%s/failure-%s-seed%d-case%d" dir (kind_name f.case) f.seed f.index in
     write_file (stem ^ ".wasm") f.input;
     (match f.minimized with Some m -> write_file (stem ^ ".min.wasm") m | None -> ());
+    let fault_lines =
+      match f.fault_plan with
+      | None -> ""
+      | Some plan -> Printf.sprintf "fault-plan: %s\n" plan
+    in
     write_file (stem ^ ".txt")
-      (Printf.sprintf "case: %s\nseed: %d\nindex: %d\noracle: %s\ndetail: %s\nreplay: wasabi fuzz --seed %d --replay %s:%d\n"
-         (kind_name f.case) f.seed f.index f.oracle f.detail f.seed (kind_name f.case) f.index)
+      (Printf.sprintf "case: %s\nseed: %d\nindex: %d\noracle: %s\ndetail: %s\n%sreplay: wasabi fuzz --seed %d --replay %s:%d%s\n"
+         (kind_name f.case) f.seed f.index f.oracle f.detail fault_lines f.seed (kind_name f.case)
+         f.index
+         (if f.fault_plan = None then "" else " --faults"))
 
 (** {1 The campaign} *)
 
 let default_seed = 0x5EED
 
-let run ?(log = fun (_ : string) -> ()) ?out_dir ?metrics ~seed ~gen_count ~mut_count () :
-  stats * failure list =
+let run ?(log = fun (_ : string) -> ()) ?out_dir ?metrics ?(faults = false) ~seed ~gen_count
+    ~mut_count () : stats * failure list =
   let stats = fresh_stats () in
   let failures = ref [] in
   let campaign_start = Obs.Clock.now_ns () in
@@ -196,9 +218,9 @@ let run ?(log = fun (_ : string) -> ()) ?out_dir ?metrics ~seed ~gen_count ~mut_
   in
   let gen_counter = case_counter "gen" and mut_counter = case_counter "mut" in
   let bump = function None -> () | Some c -> Obs.Metrics.inc c in
-  let record case index oracle detail input minimized =
+  let record ?fault_plan case index oracle detail input minimized =
     stats.violations <- stats.violations + 1;
-    let f = { case; seed; index; oracle; detail; input; minimized } in
+    let f = { case; seed; index; oracle; detail; input; minimized; fault_plan } in
     failures := f :: !failures;
     dump_failure ~out_dir f;
     log
@@ -209,11 +231,16 @@ let run ?(log = fun (_ : string) -> ()) ?out_dir ?metrics ~seed ~gen_count ~mut_
     stats.gen_cases <- stats.gen_cases + 1;
     bump gen_counter;
     let info = gen_case ~seed ~index in
-    (match check_generated ?metrics info with
+    let restore = if faults then Some (seed, index) else None in
+    if faults then stats.faulted <- stats.faulted + 1;
+    (match check_generated ?metrics ?restore info with
      | `Pass -> ()
      | `Skip -> stats.skips <- stats.skips + 1
      | `Fail (oracle, detail) ->
-       record Generated index oracle detail (Encode.encode info.Gen.module_) None);
+       let fault_plan =
+         if faults then Some (Faults.describe (Faults.plan ~seed ~index)) else None
+       in
+       record ?fault_plan Generated index oracle detail (Encode.encode info.Gen.module_) None);
     if (index + 1) mod 1000 = 0 then log (Printf.sprintf "gen: %d/%d" (index + 1) gen_count)
   done;
   for index = 0 to mut_count - 1 do
@@ -258,12 +285,16 @@ let disposition_to_string = function
   | Skip why -> Printf.sprintf "skip (%s)" why
   | Fail { oracle; detail } -> Printf.sprintf "FAIL [%s]: %s" oracle detail
 
-(** Re-run a single case. *)
-let replay ~seed ~index (case : case_kind) : disposition =
+(** Re-run a single case. [faults] must match the failing campaign's
+    flag: the fault plan is re-derived from the same [(seed, index)]
+    pair, so the replay is byte-identical — same faults, same actions,
+    at the same host-call indices. *)
+let replay ?(faults = false) ~seed ~index (case : case_kind) : disposition =
   match case with
   | Generated ->
     let info = gen_case ~seed ~index in
-    (match check_generated info with
+    let restore = if faults then Some (seed, index) else None in
+    (match check_generated ?restore info with
      | `Pass -> Pass ""
      | `Skip -> Skip "base run exhausted its fuel"
      | `Fail (oracle, detail) -> Fail { oracle; detail })
@@ -278,5 +309,6 @@ let replay ~seed ~index (case : case_kind) : disposition =
 
 let summary (s : stats) =
   Printf.sprintf
-    "%d generated + %d mutated cases: %d violations, %d skips (mutants: %d decoded, %d valid)"
+    "%d generated + %d mutated cases: %d violations, %d skips (mutants: %d decoded, %d valid)%s"
     s.gen_cases s.mut_cases s.violations s.skips s.mut_decoded s.mut_valid
+    (if s.faulted = 0 then "" else Printf.sprintf "; %d fault-injected" s.faulted)

@@ -18,6 +18,9 @@ type failure = {
   detail : string;
   input : string;  (** the offending binary *)
   minimized : string option;
+  fault_plan : string option;
+      (** rendered fault plan when the campaign ran with [~faults:true];
+          the plan replays from [(seed, index)] alone *)
 }
 
 type stats = {
@@ -25,6 +28,7 @@ type stats = {
   mutable mut_cases : int;
   mutable mut_decoded : int;  (** mutants that still decoded *)
   mutable mut_valid : int;  (** mutants that still validated *)
+  mutable faulted : int;  (** cases run through the restore-equivalence oracle *)
   mutable skips : int;
   mutable violations : int;
 }
@@ -44,11 +48,14 @@ val mut_case : seed:int -> index:int -> string
 (** {1 Oracles per case} *)
 
 val check_generated :
-  ?metrics:Obs.Metrics.registry -> Gen.info -> [ `Pass | `Skip | `Fail of string * string ]
+  ?metrics:Obs.Metrics.registry -> ?restore:int * int ->
+  Gen.info -> [ `Pass | `Skip | `Fail of string * string ]
 (** The generated-module pipeline — validate, round-trip, static
     instrumentation lint, differential execution — stopping at the first
     violation [(kind, detail)]. [?metrics] records each oracle's wall
-    time under [fuzz_oracle_seconds{oracle=...}]. *)
+    time under [fuzz_oracle_seconds{oracle=...}]. [?restore] supplies
+    the case's [(seed, index)] and appends the restore-equivalence
+    (fault-injection) oracle as the final stage. *)
 
 val check_mutated :
   ?metrics:Obs.Metrics.registry ->
@@ -69,12 +76,16 @@ val default_seed : int
 
 val run :
   ?log:(string -> unit) -> ?out_dir:string -> ?metrics:Obs.Metrics.registry ->
+  ?faults:bool ->
   seed:int -> gen_count:int -> mut_count:int -> unit -> stats * failure list
 (** Run a campaign of [gen_count] generated and [mut_count] mutated
     cases. Failures are returned in case order and, when [out_dir] is
     given, dumped there ([.wasm], minimized [.min.wasm], and a [.txt]
     replay recipe each). [?metrics] records case counters, per-oracle
-    timing histograms and the campaign's cases/second. *)
+    timing histograms and the campaign's cases/second. [?faults]
+    (default off) runs every generated case through the
+    restore-equivalence oracle under its deterministic host-fault plan;
+    failure dumps then record the plan and a [--faults] replay line. *)
 
 (** Structured outcome of replaying one case. *)
 type disposition =
@@ -84,8 +95,10 @@ type disposition =
 
 val disposition_to_string : disposition -> string
 
-val replay : seed:int -> index:int -> case_kind -> disposition
-(** Re-run a single case. *)
+val replay : ?faults:bool -> seed:int -> index:int -> case_kind -> disposition
+(** Re-run a single case. Pass [~faults:true] iff the failing campaign
+    ran with fault injection: the fault plan is re-derived from the same
+    [(seed, index)] pair, so the replay is byte-identical. *)
 
 val summary : stats -> string
 (** One-line campaign summary. *)

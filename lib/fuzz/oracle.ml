@@ -216,7 +216,7 @@ let outcomes_agree a b =
   | _ -> false
 
 let is_out_of_fuel = function
-  | Error (e : Error.t) -> e.Error.code = "out-of-fuel"
+  | Error (e : Error.t) -> e.Error.code = "resource-exhausted" && e.Error.message = "out of fuel"
   | Ok _ -> false
 
 let engine_bug = function
@@ -304,6 +304,117 @@ let tier_differential (info : Gen.info) : verdict =
             in
             violation "tier-parity" "global %s diverged: tier0 %s vs tier1 %s" n
               (Value.to_string v) v'))
+
+(** {1 Restore equivalence}
+
+    The fault-containment property, as an executable oracle: take an
+    instrumented instance, snapshot it pristine, batter it with a
+    seeded host-fault plan (hook trap / corrupt return / budget burn),
+    restore, run clean — the restored run must be indistinguishable
+    (outcome, memory digest, exported globals) from a run on a fresh
+    instance. Half the cases run with the tier-1 compiler forced on and
+    deopt-on-fault enabled, so compiled-body unwinding and permanent
+    deopt are exercised under the same equivalence. *)
+
+let compare_runs ~kind ~left ~right (a : run_result) (b : run_result) : verdict =
+  if not (outcomes_agree a.outcome b.outcome) then
+    violation kind "outcome diverged: %s %s vs %s %s" left (string_of_outcome a.outcome) right
+      (string_of_outcome b.outcome)
+  else if a.mem_digest <> b.mem_digest then violation kind "final memory diverged"
+  else (
+    let diverged =
+      List.filter
+        (fun (n, v) ->
+           match List.assoc_opt n b.globals with
+           | Some v' -> not (Value.equal v v')
+           | None -> true)
+        a.globals
+    in
+    match diverged with
+    | [] -> Pass
+    | (n, v) :: _ ->
+      let v' =
+        match List.assoc_opt n b.globals with
+        | Some v' -> Value.to_string v'
+        | None -> "<missing>"
+      in
+      violation kind "global %s diverged: %s %s vs %s %s" n left (Value.to_string v) right v')
+
+let restore_equivalence ~seed ~index (info : Gen.info) : verdict =
+  let m = info.Gen.module_ in
+  let fuel = base_fuel * hook_fuel_scale in
+  let tiered = index land 1 = 0 in
+  let fplan = Faults.plan ~seed ~index in
+  (* [guarded] wraps each phase separately so a crash names its phase;
+     the instance stays in hand after a structured failure, so post-trap
+     state is read directly (no two-phase re-run) *)
+  let instantiate_faulted () =
+    guarded (fun () ->
+      let res = Wasabi.Instrument.instrument m in
+      let inst, _rt =
+        Wasabi.Runtime.instantiate ~fuel ~wrap_host:(Faults.wrap fplan) res
+          Wasabi.Analysis.default
+      in
+      if tiered then begin
+        Tier1.enable ~threshold:1 inst;
+        Interp.set_deopt_on_fault inst true
+      end;
+      let gov = Governor.create () in
+      Interp.set_governor inst (Some gov);
+      Governor.arm gov;
+      (inst, gov))
+  in
+  let run_on inst =
+    match guarded (fun () -> Interp.invoke_export inst "run" []) with
+    | Error crash -> Error crash
+    | Ok (Ok vs) -> Ok (snapshot m inst (Ok vs))
+    | Ok (Error err) -> Ok (snapshot m inst (Error err))
+  in
+  match instantiate_faulted () with
+  | Error crash -> violation "totality-exec" "faulted instantiation crashed: %s" crash
+  | Ok (Error err) ->
+    (* instantiation failed before any fault was armed — nothing to
+       restore; the generator only emits instantiable modules, so treat
+       a structured failure here as a skip, not a violation *)
+    Skip (Printf.sprintf "instantiation failed: %s" (Error.to_string err))
+  | Ok (Ok (inst, gov)) ->
+    let pristine = Snapshot.capture inst in
+    Faults.attach fplan inst;
+    Faults.arm fplan;
+    (match run_on inst with
+     | Error crash -> violation "totality-exec" "faulted run crashed (%s): %s" (Faults.describe fplan) crash
+     | Ok faulted ->
+       if engine_bug faulted.outcome then
+         violation "engine-bug" "faulted run (%s): %s" (Faults.describe fplan)
+           (string_of_outcome faulted.outcome)
+       else begin
+         Faults.disarm fplan;
+         Snapshot.restore pristine inst;
+         Governor.arm gov;
+         match run_on inst with
+         | Error crash ->
+           violation "totality-exec" "post-restore run crashed (%s): %s" (Faults.describe fplan)
+             crash
+         | Ok restored ->
+           (* reference: the same module on a fresh instance, same fuel,
+              same tier setting, no faults *)
+           (match
+              guarded (fun () ->
+                let res = Wasabi.Instrument.instrument m in
+                let inst', _rt = Wasabi.Runtime.instantiate ~fuel res Wasabi.Analysis.default in
+                if tiered then Tier1.enable ~threshold:1 inst';
+                inst')
+            with
+            | Error crash -> violation "totality-exec" "fresh instantiation crashed: %s" crash
+            | Ok (Error err) ->
+              violation "restore" "fresh instantiation failed after faulted one succeeded: %s"
+                (Error.to_string err)
+            | Ok (Ok fresh_inst) ->
+              (match run_on fresh_inst with
+               | Error crash -> violation "totality-exec" "fresh run crashed: %s" crash
+               | Ok fresh ->
+                 compare_runs ~kind:"restore" ~left:"restored" ~right:"fresh" restored fresh))
+       end)
 
 (** {1 Instrumentation soundness} *)
 

@@ -1,8 +1,10 @@
-(** The five fuzzing oracles: totality, round-trip, differential
+(** The six fuzzing oracles: totality, round-trip, differential
     equivalence (paper, Section 4.2's observational-equivalence claim,
     turned into an executable property), static instrumentation
-    soundness via {!Lint.check}, and tier parity (tier-0 dispatch loop
-    vs the {!Wasm.Tier1} closure compiler). *)
+    soundness via {!Lint.check}, tier parity (tier-0 dispatch loop
+    vs the {!Wasm.Tier1} closure compiler), and restore equivalence
+    (fault containment: snapshot → seeded host faults → restore →
+    clean run ≡ fresh instance). *)
 
 type verdict =
   | Pass
@@ -58,6 +60,15 @@ val tier_differential : Gen.info -> verdict
     final memory and exported globals must agree. Tier 1 charges fuel
     at exactly tier 0's boundaries, so out-of-fuel cases are compared,
     never skipped. *)
+
+val restore_equivalence : seed:int -> index:int -> Gen.info -> verdict
+(** The fault-containment oracle: instantiate instrumented, snapshot the
+    pristine state, run under the deterministic host-fault plan for
+    [(seed, index)] ({!Faults.plan}) with a governor attached, restore,
+    run clean — outcome, memory digest and exported globals must match a
+    run on a fresh instance at the same fuel. Every odd [index] runs on
+    tier 0; every even one forces the tier-1 compiler on (threshold 1)
+    with deopt-on-fault enabled, exercising compiled-body unwinding. *)
 
 val lint_instrumented : Wasm.Ast.module_ -> verdict
 (** Instrument the module — once fully, once with call-graph-driven

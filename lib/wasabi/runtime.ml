@@ -664,11 +664,27 @@ let imports (rt : t) : Interp.imports = imports_of rt (hook_externs rt)
     instrumenter appends hook imports after the original imports in
     ordinal order, so hooks are resolved positionally through the
     dispatch table (O(1) per import) rather than by name scan; anything
-    else falls back to the name-keyed list. *)
-let instantiate ?fuel ?decoder ?(extra_imports : Interp.imports = []) (res : Instrument.result)
-    (analysis : Analysis.t) : Interp.instance * t =
+    else falls back to the name-keyed list.
+
+    [wrap_host] is applied to every bound host function — the generated
+    hooks and any [Host_func] among [extra_imports] — before binding;
+    the fuzzing harness uses it to interpose its fault-injection plan. *)
+let instantiate ?fuel ?decoder ?wrap_host ?(extra_imports : Interp.imports = [])
+    (res : Instrument.result) (analysis : Analysis.t) : Interp.instance * t =
   let rt = create ?decoder res analysis in
   let hooks = hook_externs rt in
+  let wrap_extern ext =
+    match wrap_host, ext with
+    | Some w, Interp.Extern_func (Interp.Host_func h) ->
+      Interp.Extern_func (Interp.Host_func (w h))
+    | _ -> ext
+  in
+  let hooks = match wrap_host with None -> hooks | Some _ -> Array.map wrap_extern hooks in
+  let extra_imports =
+    match wrap_host with
+    | None -> extra_imports
+    | Some _ -> List.map (fun (m, n, ext) -> (m, n, wrap_extern ext)) extra_imports
+  in
   let base = List.length rt.metadata.Metadata.original.Ast.imports in
   let resolve_import i (imp : Ast.import) =
     let k = i - base in

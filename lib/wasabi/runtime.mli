@@ -56,6 +56,7 @@ val imports : t -> Wasm.Interp.imports
 val instantiate :
   ?fuel:int ->
   ?decoder:decoder_kind ->
+  ?wrap_host:(Wasm.Interp.host_func -> Wasm.Interp.host_func) ->
   ?extra_imports:Wasm.Interp.imports ->
   Instrument.result ->
   Analysis.t ->
@@ -64,4 +65,6 @@ val instantiate :
     [extra_imports] supplies the program's own imports. Hook imports are
     resolved positionally through the runtime's dispatch table (the
     instrumenter appends them after the original imports in ordinal
-    order); everything else goes through the name-keyed import list. *)
+    order); everything else goes through the name-keyed import list.
+    [wrap_host] interposes on every bound host function (hooks and
+    [Host_func] extra imports) — the fault-injection seam. *)

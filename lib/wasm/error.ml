@@ -75,6 +75,14 @@ exception Hook_error of t
     ["bad-hook-args"]) so the CLI and the fuzzing harness triage it apart
     from program traps. *)
 
+exception Governor_limit of t
+(** A resource-governor budget was violated during execution: the
+    per-run wall-clock deadline (code ["deadline-exceeded"]), the
+    per-run memory-growth cap (["memory-growth-limit"]) or the host-call
+    budget (["host-call-budget"]). Always phase [Run]. Distinct from
+    {!Exhaustion}: fuel and call depth are engine-intrinsic limits,
+    governor budgets are operator policy applied to a specific run. *)
+
 let decode_error ~code ?offset fmt =
   Printf.ksprintf
     (fun message -> raise (Decode_error { phase = Decode; code; offset; message }))
@@ -83,6 +91,11 @@ let decode_error ~code ?offset fmt =
 let hook_error ~code ?offset fmt =
   Printf.ksprintf
     (fun message -> raise (Hook_error { phase = Run; code; offset; message }))
+    fmt
+
+let governor_error ~code fmt =
+  Printf.ksprintf
+    (fun message -> raise (Governor_limit { phase = Run; code; offset = None; message }))
     fmt
 
 (** Canonical codes of the spec-mandated trap messages, so fuzzing
@@ -99,6 +112,7 @@ let trap_code msg =
   | "indirect call type mismatch" -> "indirect-call-mismatch"
   | "no memory" -> "no-memory"
   | "no table" -> "no-table"
+  | "injected host fault" -> "injected-fault"
   | _ -> "trap"
 
 (** [true] iff the error message indicates an internal invariant
@@ -116,29 +130,31 @@ let is_engine_bug e =
 let classify : exn -> t option = function
   | Decode_error e -> Some e
   | Hook_error e -> Some e
+  | Governor_limit e -> Some e
   | Invalid message -> Some { phase = Validate; code = "invalid-module"; offset = None; message }
   | Link_error message -> Some { phase = Link; code = "link"; offset = None; message }
   | Trap message -> Some { phase = Run; code = trap_code message; offset = None; message }
   | Exhaustion message ->
-    Some
-      {
-        phase = Run;
-        code =
-          (if message = "call stack exhausted" then "call-stack-exhausted" else "out-of-fuel");
-        offset = None;
-        message;
-      }
+    (* one stable code for both engine-intrinsic limits (fuel, call
+       depth); the message still says which resource ran out *)
+    Some { phase = Run; code = "resource-exhausted"; offset = None; message }
   | _ -> None
 
 (** Process exit code for a structured error, used by the CLI tools:
-    decode 3, validate 4, link 5, trap 6, exhaustion 7, hook-dispatch 9
-    (8 is taken by the instrumentation-soundness lint). *)
+    decode 3, validate 4, link 5, trap 6, resource exhaustion 7,
+    hook-dispatch 9, governor deadline 10, governor memory-growth cap 11,
+    governor host-call budget 12 (8 is taken by the
+    instrumentation-soundness lint). *)
 let exit_code e =
   match e.phase with
   | Decode -> 3
   | Validate -> 4
   | Link -> 5
   | Run ->
-    if e.code = "out-of-fuel" || e.code = "call-stack-exhausted" then 7
-    else if e.code = "bad-hook-args" then 9
-    else 6
+    (match e.code with
+     | "resource-exhausted" -> 7
+     | "bad-hook-args" -> 9
+     | "deadline-exceeded" -> 10
+     | "memory-growth-limit" -> 11
+     | "host-call-budget" -> 12
+     | _ -> 6)

@@ -39,11 +39,22 @@ exception Hook_error of t
     received arguments inconsistent with its spec (phase [Run], code
     ["bad-hook-args"]) — an instrumentation bug, not a program trap. *)
 
+exception Governor_limit of t
+(** A resource-governor budget was violated (phase [Run]): per-run
+    wall-clock deadline (code ["deadline-exceeded"]), memory-growth cap
+    (["memory-growth-limit"]) or host-call budget (["host-call-budget"]).
+    Distinct from {!Exhaustion} (engine-intrinsic fuel / call-depth
+    limits, code ["resource-exhausted"]): governor budgets are operator
+    policy applied to one run. *)
+
 val decode_error : code:string -> ?offset:int -> ('a, unit, string, 'b) format4 -> 'a
 (** Raise {!Decode_error} with a formatted message. *)
 
 val hook_error : code:string -> ?offset:int -> ('a, unit, string, 'b) format4 -> 'a
 (** Raise {!Hook_error} (phase [Run]) with a formatted message. *)
+
+val governor_error : code:string -> ('a, unit, string, 'b) format4 -> 'a
+(** Raise {!Governor_limit} (phase [Run]) with a formatted message. *)
 
 val trap_code : string -> string
 (** Canonical code of a spec-mandated trap message (["trap"] otherwise). *)
@@ -58,5 +69,7 @@ val classify : exn -> t option
     untrusted-input handling). *)
 
 val exit_code : t -> int
-(** CLI exit code: decode 3, validate 4, link 5, trap 6, exhaustion 7,
-    hook-dispatch error 9 (8 is the instrumentation-soundness lint). *)
+(** CLI exit code: decode 3, validate 4, link 5, trap 6, resource
+    exhaustion 7, hook-dispatch error 9, governor deadline 10, governor
+    memory-growth cap 11, governor host-call budget 12 (8 is the
+    instrumentation-soundness lint). *)

@@ -1,0 +1,110 @@
+(** Per-run resource governor: operator-policy budgets beyond fuel.
+
+    Fuel bounds the number of executed instructions, but a production
+    instance farm needs three more knobs: a wall-clock deadline (an
+    instrumented run can burn arbitrary time per fuel unit inside host
+    hooks), a cap on memory *growth* (a run may only acquire so many
+    fresh pages regardless of the module's declared maximum), and a
+    budget on host calls (a runaway analysis loop is a host-call loop).
+
+    Design constraints, in order:
+
+    - {b free when disabled}: the interpreter and the tier-1 compiled
+      bodies consult the governor only at the existing fuel-batch
+      boundaries (one [option] match per straight-line run), and
+      [Memory.grow] / host-call sites pay one match each — all cold
+      paths. No per-instruction cost anywhere.
+    - {b cheap when enabled}: the deadline check reads the monotonic
+      clock only every [check_stride] batches; growth and host-call
+      budgets are a single decrement + compare.
+    - {b structured violations}: every budget violation raises
+      {!Error.Governor_limit} with its own stable code
+      (["deadline-exceeded"], ["memory-growth-limit"],
+      ["host-call-budget"]) and CLI exit code (10/11/12), so callers
+      triage governor kills apart from traps and fuel exhaustion.
+
+    A governor is re-armable: [arm] resets all budgets to their
+    configured values, so one governor serves every run of a pooled
+    instance (pairs with [Snapshot.restore]). *)
+
+(* clock reads are ~25ns but batch boundaries can be hit every handful
+   of instructions in call-heavy code; amortize over a stride. *)
+let check_stride = 64
+
+type t = {
+  deadline_budget_ns : int64;  (** per-run budget; [Int64.max_int] = none *)
+  grow_pages_budget : int;  (** per-run growable pages; [max_int] = none *)
+  host_call_budget : int;  (** per-run host calls; [max_int] = none *)
+  mutable deadline_ns : int64;  (** absolute monotonic deadline of this run *)
+  mutable grow_pages_left : int;
+  mutable host_calls_left : int;
+  mutable countdown : int;  (** batches until the next clock read *)
+  mutable expired : bool;  (** forced-expiry latch, set by fault injection *)
+}
+
+let create ?deadline_ms ?max_grow_pages ?host_call_budget () =
+  let deadline_budget_ns =
+    match deadline_ms with
+    | None -> Int64.max_int
+    | Some ms -> Int64.of_float (ms *. 1e6)
+  in
+  {
+    deadline_budget_ns;
+    grow_pages_budget = (match max_grow_pages with None -> max_int | Some n -> n);
+    host_call_budget = (match host_call_budget with None -> max_int | Some n -> n);
+    deadline_ns = Int64.max_int;
+    grow_pages_left = max_int;
+    host_calls_left = max_int;
+    countdown = check_stride;
+    expired = false;
+  }
+
+let arm t =
+  t.grow_pages_left <- t.grow_pages_budget;
+  t.host_calls_left <- t.host_call_budget;
+  t.countdown <- check_stride;
+  t.expired <- false;
+  t.deadline_ns <-
+    (if t.deadline_budget_ns = Int64.max_int then Int64.max_int
+     else Int64.add (Obs.Clock.now_ns ()) t.deadline_budget_ns)
+
+let expire t = t.expired <- true
+
+let deadline_violation t =
+  t.expired <- true;
+  Error.governor_error ~code:"deadline-exceeded" "wall-clock deadline exceeded (budget %.3f ms)"
+    (Int64.to_float t.deadline_budget_ns /. 1e6)
+
+(* called from the fuel-batch prologue of both tiers; must stay cheap *)
+let check_batch t =
+  if t.expired then deadline_violation t
+  else if t.deadline_ns <> Int64.max_int then begin
+    t.countdown <- t.countdown - 1;
+    if t.countdown <= 0 then begin
+      t.countdown <- check_stride;
+      if Obs.Clock.now_ns () > t.deadline_ns then deadline_violation t
+    end
+  end
+
+let count_host_call t =
+  if t.host_calls_left <> max_int then begin
+    if t.host_calls_left <= 0 then
+      Error.governor_error ~code:"host-call-budget" "host-call budget exceeded (budget %d)"
+        t.host_call_budget;
+    t.host_calls_left <- t.host_calls_left - 1
+  end
+
+(* Composes with both the instance's declared maximum and the engine's
+   absolute page cap, which [Memory.grow] itself enforces atomically
+   (allocate-then-swap): the budget is checked *before* delegating, and
+   debited only on success, so a rejected grow — by either layer — never
+   partially commits pages or consumes budget. *)
+let governed_grow t mem delta =
+  if delta > 0 && delta > t.grow_pages_left then
+    Error.governor_error ~code:"memory-growth-limit"
+      "memory growth of %d pages exceeds remaining per-run budget of %d (budget %d)" delta
+      t.grow_pages_left t.grow_pages_budget;
+  let old = Memory.grow mem delta in
+  if old >= 0 && delta > 0 && t.grow_pages_left <> max_int then
+    t.grow_pages_left <- t.grow_pages_left - delta;
+  old

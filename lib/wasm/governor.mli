@@ -1,0 +1,44 @@
+(** Per-run resource governor: operator-policy budgets beyond fuel —
+    wall-clock deadline, memory-growth cap and host-call budget.
+
+    Attach one to an instance with [Interp.set_governor]; it is
+    consulted only at the existing fuel-batch boundaries (deadline), at
+    [memory.grow] (growth cap) and at host-call dispatch (call budget),
+    so the uninstrumented hot path is untouched and an instance without
+    a governor pays a single [option] match per straight-line run.
+
+    Violations raise {!Error.Governor_limit} with stable codes
+    ["deadline-exceeded"] / ["memory-growth-limit"] /
+    ["host-call-budget"] (CLI exit codes 10/11/12). *)
+
+type t
+
+val create : ?deadline_ms:float -> ?max_grow_pages:int -> ?host_call_budget:int -> unit -> t
+(** A governor with the given per-run budgets; omitted budgets are
+    unlimited. The configuration is fixed; budgets are re-armable. *)
+
+val arm : t -> unit
+(** Reset all budgets to their configured values and start the deadline
+    clock for a new run. Call once per run, before execution. *)
+
+val expire : t -> unit
+(** Force the deadline to be considered exceeded at the next batch
+    check, regardless of the clock. Used by deterministic fault
+    injection ([Fuzz.Faults]) to make deadline kills replayable. *)
+
+val check_batch : t -> unit
+(** Deadline check, called from the fuel-batch prologue of both tiers.
+    Reads the monotonic clock only every few dozen batches.
+    @raise Error.Governor_limit code ["deadline-exceeded"]. *)
+
+val count_host_call : t -> unit
+(** Debit one host call.
+    @raise Error.Governor_limit code ["host-call-budget"] when the
+    budget is already spent. *)
+
+val governed_grow : t -> Memory.t -> int -> int
+(** [governed_grow t mem delta] is [Memory.grow mem delta] guarded by
+    the per-run growth budget: the budget is checked before delegating
+    and debited only on success, so a grow rejected by any layer (budget,
+    declared maximum, absolute cap) never partially commits pages.
+    @raise Error.Governor_limit code ["memory-growth-limit"]. *)

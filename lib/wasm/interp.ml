@@ -240,11 +240,33 @@ and instance = {
   mutable inst_tier : tier_policy option;
       (** when set, hot functions are compiled to closures and entered
           through them; [None] (the default) keeps everything on tier 0 *)
+  mutable inst_gov : Governor.t option;
+      (** when set, per-run budgets (deadline, growth cap, host-call
+          budget) are enforced at batch boundaries / grow / host calls;
+          [None] costs one match at each of those cold points *)
+  mutable inst_deopt_on_fault : bool;
+      (** when set, a compiled body unwound by a governor violation or
+          an injected host fault is deopted back to tier 0 permanently *)
 }
 
 (** Wasm implementations limit call depth; ours traps with the spec's
     "call stack exhausted" well before the OCaml stack overflows. *)
 let max_call_depth = 10_000
+
+(** Environmental unwinds — governor budget violations and injected host
+    faults — are not properties of the compiled code, but a body crossed
+    by one may have been cut mid-block with its scratch state abandoned;
+    when [inst_deopt_on_fault] is set such bodies are sent back to tier 0
+    permanently rather than trusted again. *)
+let is_fault_exn = function
+  | Error.Governor_limit _ -> true
+  | Value.Trap "injected host fault" -> true
+  | _ -> false
+
+let deopt_total =
+  lazy
+    (Obs.Metrics.counter "wasabi_deopt_total"
+       ~help:"Compiled bodies deopted back to tier 0 after a governor violation or injected host fault")
 
 let func_type_of = function
   | Wasm_func (idx, inst) -> inst.inst_code.(idx).c_type
@@ -578,10 +600,22 @@ and call_wasm (cinst : instance) (idx : int) (from_st : stack) : unit =
     every future call. *)
 and enter_body cinst (idx : int) (code : code) (locals : Value.t array) : unit =
   match code.c_tier with
-  | T_compiled f ->
+  | T_compiled f when not cinst.inst_deopt_on_fault ->
     (match cinst.inst_prof with
      | None -> f cinst locals
      | Some p -> Obs.Profile.time p "tier.execute" (fun () -> f cinst locals))
+  | T_compiled f ->
+    (* deopt-on-fault: every compiled frame on the unwind path of a
+       governor violation or injected host fault goes back to tier 0 *)
+    (try
+       match cinst.inst_prof with
+       | None -> f cinst locals
+       | Some p -> Obs.Profile.time p "tier.execute" (fun () -> f cinst locals)
+     with e when is_fault_exn e ->
+       code.c_tier <- T_unsupported;
+       Obs.Metrics.inc (Lazy.force deopt_total);
+       (match cinst.inst_prof with None -> () | Some p -> Obs.Profile.count p "tier.deopt");
+       raise e)
   | T_unsupported -> exec_body cinst idx code locals
   | T_interp ->
     (match cinst.inst_tier with
@@ -617,7 +651,8 @@ and enter_body cinst (idx : int) (code : code) (locals : Value.t array) : unit =
    buffer at the old base — no list, no copy. Values above [size] are
    dead-but-intact until something pushes, and the [h_fn] contract
    (see {!host_func}) requires all reads to happen before that. *)
-and call_host (h : host_func) (st : stack) : unit =
+and call_host (inst : instance) (h : host_func) (st : stack) : unit =
+  (match inst.inst_gov with None -> () | Some g -> Governor.count_host_call g);
   if st.size < h.h_nparams then
     raise (Value.Trap "value stack underflow (engine bug)");
   let base = st.size - h.h_nparams in
@@ -684,6 +719,7 @@ and exec_body inst (fid : int) (code : code) (locals : Value.t array) : unit =
     else begin
       if !pc >= !charged_upto then begin
         if inst.fuel <= 0 then raise (Exhaustion "out of fuel");
+        (match inst.inst_gov with None -> () | Some g -> Governor.check_batch g);
         let k = Array.unsafe_get run_len !pc in
         inst.steps <- inst.steps + k;
         inst.fuel <- inst.fuel - k;
@@ -744,7 +780,7 @@ and exec_body inst (fid : int) (code : code) (locals : Value.t array) : unit =
       | XCall fidx ->
         (match inst.inst_funcs.(fidx) with
          | Wasm_func (j, ci) -> call_wasm ci j st
-         | Host_func h -> call_host h st);
+         | Host_func h -> call_host inst h st);
         incr pc
       | XCallIndirect tidx ->
         let expected = inst.inst_types.(tidx) in
@@ -764,7 +800,7 @@ and exec_body inst (fid : int) (code : code) (locals : Value.t array) : unit =
              raise (Value.Trap "indirect call type mismatch");
            (match callee with
             | Wasm_func (j, ci) -> call_wasm ci j st
-            | Host_func h -> call_host h st));
+            | Host_func h -> call_host inst h st));
         incr pc
       | XDrop ->
         ignore (pop st);
@@ -840,7 +876,12 @@ and exec_body inst (fid : int) (code : code) (locals : Value.t array) : unit =
         incr pc
       | XMemoryGrow ->
         let delta = Int32.to_int (pop_i32 st) in
-        push st (Value.i32_of_int (Memory.grow (memory ()) delta));
+        let old =
+          match inst.inst_gov with
+          | None -> Memory.grow (memory ()) delta
+          | Some g -> Governor.governed_grow g (memory ()) delta
+        in
+        push st (Value.i32_of_int old);
         incr pc
       | XI32Eqz ->
         push st (Value.i32_of_bool (Int32.equal (pop_i32 st) 0l));
@@ -1020,6 +1061,8 @@ let instantiate ?(fuel = default_fuel) ?resolve_import ~(imports : imports) (m :
       call_depth = 0;
       inst_prof = None;
       inst_tier = None;
+      inst_gov = None;
+      inst_deopt_on_fault = false;
     }
   in
   (* imported entities, in import order *)
@@ -1137,6 +1180,8 @@ let instantiate ?(fuel = default_fuel) ?resolve_import ~(imports : imports) (m :
 (** {1 Convenience API} *)
 
 let set_profiler inst p = inst.inst_prof <- p
+let set_governor inst g = inst.inst_gov <- g
+let set_deopt_on_fault inst b = inst.inst_deopt_on_fault <- b
 
 (** Install (or remove) a tier-up policy. Cached compiled bodies and hot
     counts are discarded so a policy change takes effect from the next

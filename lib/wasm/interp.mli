@@ -212,6 +212,12 @@ and instance = {
   mutable inst_tier : tier_policy option;
       (** tier-up policy; [None] (the default) keeps everything on the
           tier-0 dispatch loop *)
+  mutable inst_gov : Governor.t option;
+      (** attached resource governor; [None] (the default) costs one
+          match per batch boundary / grow / host call *)
+  mutable inst_deopt_on_fault : bool;
+      (** when set, compiled bodies unwound by a governor violation or
+          injected host fault deopt back to tier 0 permanently *)
 }
 
 val max_call_depth : int
@@ -254,15 +260,25 @@ val set_tier : instance -> tier_policy option -> unit
     the reference interpreter. Use {!Tier1.enable} for the standard
     closure-compiling policy. *)
 
+val set_governor : instance -> Governor.t option -> unit
+(** Attach (or detach) a resource governor. The caller is responsible
+    for [Governor.arm] before each governed run. *)
+
+val set_deopt_on_fault : instance -> bool -> unit
+(** When enabled, a compiled (tier-1) body unwound by a governor
+    violation or an injected host fault is deopted back to tier 0
+    permanently and [wasabi_deopt_total] is incremented. *)
+
 val call_wasm : instance -> int -> stack -> unit
 (** Call function [idx] of the instance with its arguments on top of the
     given stack; afterwards the results are there instead. Exposed for
     compiled (tier-1) bodies, which re-enter the engine through it. *)
 
-val call_host : host_func -> stack -> unit
+val call_host : instance -> host_func -> stack -> unit
 (** Invoke a host function with its arguments on top of the stack
-    (zero-copy array ABI); results replace them. Exposed for compiled
-    bodies. *)
+    (zero-copy array ABI); results replace them. The instance is the
+    caller, consulted for the governor's host-call budget. Exposed for
+    compiled bodies. *)
 
 val stack_reserve : stack -> int -> unit
 (** Grow the stack's backing array until it holds at least the given

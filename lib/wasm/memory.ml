@@ -156,6 +156,22 @@ let store t (op : Ast.storeop) (addr : int32) (v : Value.t) =
   | Types.I64T, Some Pack32, Value.I64 x -> store_i32 t addr op.soffset (Int64.to_int32 x)
   | _ -> raise (Value.Trap "type mismatch in store operation")
 
+(** {1 Snapshot primitives} — bulk capture/restore of the whole array,
+    for [Snapshot]. *)
+
+let snapshot_bytes t = Bytes.copy t.data
+
+(** Restore a previously captured image. When the current size matches
+    the image (no intervening grow) the image is blitted into the live
+    array; otherwise the memory is re-pointed at a fresh copy, which also
+    shrinks a grown memory back to its snapshot size. Either way the
+    restored state is byte-identical to capture time. *)
+let restore_bytes t (img : bytes) =
+  if Bytes.length t.data = Bytes.length img then Bytes.blit img 0 t.data 0 (Bytes.length img)
+  else t.data <- Bytes.copy img
+
+let digest t = Digest.bytes t.data
+
 (** Raw byte access, for data segment initialisation and tests. *)
 let store_string t ~(at : int) (s : string) =
   if at < 0 || at + String.length s > size_bytes t then out_of_bounds ();

@@ -56,6 +56,19 @@ val load : t -> Ast.loadop -> int32 -> Value.t
 
 val store : t -> Ast.storeop -> int32 -> Value.t -> unit
 
+(** {1 Snapshot primitives} — bulk capture/restore for [Snapshot]. *)
+
+val snapshot_bytes : t -> bytes
+(** A private copy of the entire contents (capture is O(size)). *)
+
+val restore_bytes : t -> bytes -> unit
+(** Restore a captured image: blits in place when the size is unchanged,
+    re-points the array otherwise (undoing intervening grows). The
+    restored state is byte-identical to capture time. *)
+
+val digest : t -> Digest.t
+(** MD5 of the entire contents. *)
+
 val store_string : t -> at:int -> string -> unit
 (** Raw byte write (data segments, tests). *)
 

@@ -1,0 +1,108 @@
+(** Instance snapshot/restore: the state-isolation substrate for reusing
+    one instance across adversarial runs.
+
+    A snapshot captures everything a run can mutate: the linear memory
+    image, global values, table entries, and the interpreter's mutable
+    bookkeeping ([fuel], [steps], [call_depth], the operand-stack
+    pointer, per-function tier-up hot counts). [restore] rewinds all of
+    it, so a run that trapped, exhausted its fuel, hit a governor budget
+    or absorbed an injected host fault leaves no residue for the next
+    run — restore ≡ fresh [instantiate] up to observable state.
+
+    Deliberately {e not} captured:
+
+    - compiled tier state ([c_tier]): compiled closures are pure code,
+      and a deopt ([T_unsupported]) records distrust of a body that a
+      restore of {e data} should not reinstate. Hot counts are rewound
+      so tier-up pressure restarts from the snapshot point.
+    - the attached profiler / governor / tier policy: engine
+      attachments, not run state; the caller re-arms its governor.
+
+    Cost model: capture and restore are both O(memory size) single
+    [Bytes] copies plus O(globals + table) array copies — no per-page
+    bookkeeping, no write barriers on the hot path, nothing at all
+    unless a snapshot is actually taken. Restore of an un-grown memory
+    blits in place (no allocation); after a grow it re-points the array,
+    which also undoes the grow. [bench restore] measures both directions
+    in pages/s. *)
+
+open Interp
+
+type t = {
+  s_mem : bytes option;
+  s_globals : Value.t array;
+  s_table : func_inst option array option;
+  s_fuel : int;
+  s_steps : int;
+  s_call_depth : int;
+  s_stack_size : int;
+  s_hot : int array;
+}
+
+let restore_seconds =
+  lazy
+    (Obs.Metrics.histogram "wasabi_restore_seconds"
+       ~help:"Time to restore an instance from a snapshot")
+
+let capture (inst : instance) : t =
+  {
+    s_mem = Option.map Memory.snapshot_bytes inst.inst_memory;
+    s_globals = Array.map (fun g -> g.g_value) inst.inst_globals;
+    s_table = Option.map (fun tb -> Array.copy tb.t_elems) inst.inst_table;
+    s_fuel = inst.fuel;
+    s_steps = inst.steps;
+    s_call_depth = inst.call_depth;
+    s_stack_size = inst.inst_stack.size;
+    s_hot = Array.map (fun c -> c.c_hot) inst.inst_code;
+  }
+
+let pages t = match t.s_mem with None -> 0 | Some img -> Bytes.length img / Types.page_size
+
+let restore (t : t) (inst : instance) : unit =
+  let t0 = Obs.Clock.now_ns () in
+  (match t.s_mem, inst.inst_memory with
+   | Some img, Some mem -> Memory.restore_bytes mem img
+   | None, _ | _, None -> ());
+  (* global_inst records are shared with exports and cross-instance
+     references: write values back in place, never replace the records *)
+  Array.iteri (fun i g -> g.g_value <- t.s_globals.(i)) inst.inst_globals;
+  (match t.s_table, inst.inst_table with
+   | Some elems, Some tb ->
+     if Array.length tb.t_elems = Array.length elems then
+       Array.blit elems 0 tb.t_elems 0 (Array.length elems)
+     else tb.t_elems <- Array.copy elems
+   | None, _ | _, None -> ());
+  inst.fuel <- t.s_fuel;
+  inst.steps <- t.s_steps;
+  inst.call_depth <- t.s_call_depth;
+  inst.inst_stack.size <- t.s_stack_size;
+  let codes = inst.inst_code in
+  for i = 0 to Array.length codes - 1 do
+    codes.(i).c_hot <- t.s_hot.(i)
+  done;
+  Obs.Metrics.observe (Lazy.force restore_seconds)
+    (Obs.Clock.ns_to_s (Int64.sub (Obs.Clock.now_ns ()) t0))
+
+(** A digest of everything [capture] would capture of the {e guest}
+    state (memory, globals, table occupancy — not engine bookkeeping),
+    for restore-idempotence checks: two instances with equal digests are
+    indistinguishable to the next run's guest code. *)
+let state_digest (inst : instance) : string =
+  let buf = Buffer.create 256 in
+  (match inst.inst_memory with
+   | None -> Buffer.add_string buf "mem:none;"
+   | Some m -> Buffer.add_string buf (Printf.sprintf "mem:%s;" (Digest.to_hex (Memory.digest m))));
+  Array.iter (fun g -> Buffer.add_string buf (Value.to_string g.g_value); Buffer.add_char buf ';')
+    inst.inst_globals;
+  (match inst.inst_table with
+   | None -> Buffer.add_string buf "table:none"
+   | Some tb ->
+     Array.iter
+       (fun slot ->
+          Buffer.add_string buf
+            (match slot with
+             | None -> "."
+             | Some (Wasm_func (j, _)) -> Printf.sprintf "f%d," j
+             | Some (Host_func h) -> Printf.sprintf "h%s," h.h_name))
+       tb.t_elems);
+  Digest.to_hex (Digest.string (Buffer.contents buf))

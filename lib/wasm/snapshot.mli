@@ -1,0 +1,32 @@
+(** Instance snapshot/restore: capture everything a run can mutate —
+    linear memory, globals, table entries, and interpreter bookkeeping
+    (fuel, steps, call depth, operand-stack pointer, tier-up hot
+    counts) — and rewind it, so one instance is safely reusable across
+    adversarial runs: restore after a trap / exhaustion / governor kill
+    / injected fault ≡ a fresh [instantiate], up to observable state.
+
+    Not captured: compiled tier state (closures are pure code, and a
+    deopt should survive restore) and engine attachments (profiler,
+    governor, tier policy — the caller re-arms its governor).
+
+    Capture and restore are single bulk copies: O(memory) +
+    O(globals + table), no hot-path cost when unused. Each restore
+    observes [wasabi_restore_seconds] in the default metrics registry. *)
+
+type t
+
+val capture : Interp.instance -> t
+(** Snapshot the instance's mutable state, typically right after
+    [instantiate] (pristine state) or before an untrusted run. *)
+
+val restore : t -> Interp.instance -> unit
+(** Rewind the instance to the captured state. Globals are written back
+    into their shared records; an intervening [memory.grow] is undone. *)
+
+val pages : t -> int
+(** Size of the captured memory image in 64 KiB pages (0 if none). *)
+
+val state_digest : Interp.instance -> string
+(** Hex digest of the guest-observable state (memory contents, global
+    values, table occupancy): equal digests ⇒ indistinguishable to the
+    next run. For restore-idempotence checks and oracles. *)

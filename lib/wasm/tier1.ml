@@ -827,7 +827,12 @@ let compile_exn (inst : instance) (fid : int) : compiled_body =
            emit
              (with_mem (fun m ctx ->
                 let id = ctx.id in
-                Array.unsafe_set id s (Memory.grow m (Array.unsafe_get id s))));
+                let old =
+                  match inst.inst_gov with
+                  | None -> Memory.grow m (Array.unsafe_get id s)
+                  | Some g -> Governor.governed_grow g m (Array.unsafe_get id s)
+                in
+                Array.unsafe_set id s old));
            step 1
          | XI32Eqz ->
            let s = !h - 1 in
@@ -1262,7 +1267,7 @@ let compile_exn (inst : instance) (fid : int) : compiled_body =
              | Host_func hf ->
                fun ctx ->
                  ctx.st.size <- ctx.base + hh;
-                 call_host hf ctx.st
+                 call_host inst hf ctx.st
            in
            (match (pre, post) with
             | None, None -> emit invoke
@@ -1325,7 +1330,7 @@ let compile_exn (inst : instance) (fid : int) : compiled_body =
                     raise (Value.Trap "indirect call type mismatch");
                   (match callee with
                    | Wasm_func (j, ci) -> call_wasm ci j st
-                   | Host_func hf -> call_host hf st)
+                   | Host_func hf -> call_host inst hf st)
               in
               (match (pre, post) with
                | None, None -> emit invoke
@@ -1746,6 +1751,7 @@ let compile_exn (inst : instance) (fid : int) : compiled_body =
       fun ctx ->
         if sb >= ctx.charged then begin
           if inst.fuel <= 0 then raise (Exhaustion "out of fuel");
+          (match inst.inst_gov with None -> () | Some g -> Governor.check_batch g);
           inst.steps <- inst.steps + len;
           inst.fuel <- inst.fuel - len;
           ctx.charged <- sb + len;

@@ -20,5 +20,6 @@ let () =
       ("workloads", Test_workloads.suite);
       ("bench:support", Test_bench.suite);
       ("fuzz", Test_fuzz.suite);
+      ("robust", Test_robust.suite);
       ("obs", Test_obs.suite);
     ]

@@ -135,8 +135,8 @@ let test_taxonomy () =
   (* classify covers the full structured surface, and nothing else *)
   let code e = match Error.classify e with Some t -> t.Error.code | None -> "<crash>" in
   Alcotest.(check string) "trap" "divide-by-zero" (code (Value.Trap "integer divide by zero"));
-  Alcotest.(check string) "exhaustion" "out-of-fuel" (code (Interp.Exhaustion "out of fuel"));
-  Alcotest.(check string) "call depth" "call-stack-exhausted"
+  Alcotest.(check string) "exhaustion" "resource-exhausted" (code (Interp.Exhaustion "out of fuel"));
+  Alcotest.(check string) "call depth" "resource-exhausted"
     (code (Interp.Exhaustion "call stack exhausted"));
   Alcotest.(check string) "invalid" "invalid-module" (code (Validate.Invalid "x"));
   Alcotest.(check string) "link" "link" (code (Interp.Link_error "x"));

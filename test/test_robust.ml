@@ -1,0 +1,367 @@
+(** Fault containment: the resource governor (deadline / memory-growth /
+    host-call budgets and their structured exit codes), instance
+    snapshot/restore idempotence over the fuzz corpus on both tiers,
+    tier-1 deopt after a contained fault, and the restore-equivalence
+    fault-injection campaign (the acceptance gate: 2000 fixed-seed
+    cases, zero violations). *)
+
+open Wasm
+
+let case name fn = Alcotest.test_case name `Quick fn
+
+let classify_exn e =
+  match Error.classify e with
+  | Some t -> t
+  | None -> Alcotest.failf "unclassified exception: %s" (Printexc.to_string e)
+
+let raised f =
+  match f () with
+  | _ -> Alcotest.fail "expected an exception"
+  | exception e -> e
+
+let instantiate_wat ?fuel ?(imports = []) src =
+  let m = Wat_parse.parse src in
+  Validate.validate_module m;
+  Interp.instantiate ?fuel ~imports m
+
+(* ------------------------------------------------------------------ *)
+(* Taxonomy: codes and exit codes of the new failure modes             *)
+(* ------------------------------------------------------------------ *)
+
+let test_error_codes () =
+  let fuel = classify_exn (Interp.Exhaustion "out of fuel") in
+  Alcotest.(check string) "fuel code" "resource-exhausted" fuel.Error.code;
+  Alcotest.(check int) "fuel exit" 7 (Error.exit_code fuel);
+  let depth = classify_exn (Interp.Exhaustion "call stack exhausted") in
+  Alcotest.(check string) "call-depth code" "resource-exhausted" depth.Error.code;
+  Alcotest.(check int) "call-depth exit" 7 (Error.exit_code depth);
+  Alcotest.(check bool) "messages still distinguish the two" true
+    (not (String.equal fuel.Error.message depth.Error.message));
+  let gov code = classify_exn (raised (fun () -> Error.governor_error ~code "boom")) in
+  List.iter
+    (fun (code, exit) ->
+       let t = gov code in
+       Alcotest.(check string) (code ^ " code") code t.Error.code;
+       Alcotest.(check int) (code ^ " exit") exit (Error.exit_code t))
+    [ ("deadline-exceeded", 10); ("memory-growth-limit", 11); ("host-call-budget", 12) ];
+  let inj = classify_exn (Value.Trap "injected host fault") in
+  Alcotest.(check string) "injected fault code" "injected-fault" inj.Error.code;
+  Alcotest.(check int) "injected fault is a trap" 6 (Error.exit_code inj)
+
+(* ------------------------------------------------------------------ *)
+(* Governor: deadline                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let loop_src =
+  {|(module
+      (func (export "run")
+        (local i32)
+        (block
+          (loop
+            (local.set 0 (i32.add (local.get 0) (i32.const 1)))
+            (br_if 1 (i32.ge_s (local.get 0) (i32.const 1000000)))
+            (br 0)))))|}
+
+let test_deadline () =
+  let inst = instantiate_wat ~fuel:50_000_000 loop_src in
+  let gov = Governor.create ~deadline_ms:60_000.0 () in
+  Interp.set_governor inst (Some gov);
+  (* a generous deadline does not interfere *)
+  Governor.arm gov;
+  ignore (Interp.invoke_export inst "run" []);
+  (* a forced expiry kills the run at the next batch boundary *)
+  Governor.arm gov;
+  Governor.expire gov;
+  (match raised (fun () -> Interp.invoke_export inst "run" []) with
+   | Error.Governor_limit t ->
+     Alcotest.(check string) "expired code" "deadline-exceeded" t.Error.code
+   | e -> Alcotest.failf "expected Governor_limit, got %s" (Printexc.to_string e));
+  (* a real zero deadline is hit by the clock inside one long run *)
+  inst.Interp.fuel <- 50_000_000;
+  let zero = Governor.create ~deadline_ms:0.0 () in
+  Interp.set_governor inst (Some zero);
+  Governor.arm zero;
+  (match raised (fun () -> Interp.invoke_export inst "run" []) with
+   | Error.Governor_limit t ->
+     Alcotest.(check string) "clock code" "deadline-exceeded" t.Error.code
+   | e -> Alcotest.failf "expected Governor_limit, got %s" (Printexc.to_string e));
+  (* re-arming recovers the instance for governed use *)
+  Interp.set_governor inst (Some gov);
+  Governor.arm gov;
+  inst.Interp.fuel <- 50_000_000;
+  inst.Interp.inst_stack.Interp.size <- 0;
+  inst.Interp.call_depth <- 0;
+  ignore (Interp.invoke_export inst "run" [])
+
+(* ------------------------------------------------------------------ *)
+(* Governor: host-call budget                                          *)
+(* ------------------------------------------------------------------ *)
+
+let tick_src =
+  {|(module
+      (import "env" "tick" (func $tick))
+      (func (export "run") (call $tick) (call $tick) (call $tick)))|}
+
+let tick_import calls =
+  ( "env",
+    "tick",
+    Interp.host_func ~name:"tick" ~params:[] ~results:[]
+      (fun _ -> incr calls; []) )
+
+let test_host_call_budget () =
+  let calls = ref 0 in
+  let inst = instantiate_wat ~imports:[ tick_import calls ] tick_src in
+  (* budget of 3 covers the run exactly *)
+  let enough = Governor.create ~host_call_budget:3 () in
+  Interp.set_governor inst (Some enough);
+  Governor.arm enough;
+  ignore (Interp.invoke_export inst "run" []);
+  Alcotest.(check int) "all three calls made" 3 !calls;
+  (* budget of 2: the third dispatch is rejected before the host runs *)
+  calls := 0;
+  let tight = Governor.create ~host_call_budget:2 () in
+  Interp.set_governor inst (Some tight);
+  Governor.arm tight;
+  (match raised (fun () -> Interp.invoke_export inst "run" []) with
+   | Error.Governor_limit t ->
+     Alcotest.(check string) "budget code" "host-call-budget" t.Error.code
+   | e -> Alcotest.failf "expected Governor_limit, got %s" (Printexc.to_string e));
+  Alcotest.(check int) "host ran only inside the budget" 2 !calls;
+  (* arm resets the budget *)
+  calls := 0;
+  inst.Interp.inst_stack.Interp.size <- 0;
+  inst.Interp.call_depth <- 0;
+  Interp.set_governor inst (Some enough);
+  Governor.arm enough;
+  ignore (Interp.invoke_export inst "run" []);
+  Alcotest.(check int) "re-armed budget covers a fresh run" 3 !calls
+
+(* ------------------------------------------------------------------ *)
+(* Governor: memory-growth cap, composing with the declared maximum    *)
+(* ------------------------------------------------------------------ *)
+
+let test_grow_cap () =
+  let mem = Memory.create ~min_pages:1 ~max_pages:(Some 4) in
+  let gov = Governor.create ~max_grow_pages:2 () in
+  Governor.arm gov;
+  Alcotest.(check int) "first governed grow" 1 (Governor.governed_grow gov mem 1);
+  Alcotest.(check int) "second governed grow" 2 (Governor.governed_grow gov mem 1);
+  (* per-run budget exhausted: structured violation, no partial commit *)
+  (match raised (fun () -> Governor.governed_grow gov mem 1) with
+   | Error.Governor_limit t ->
+     Alcotest.(check string) "cap code" "memory-growth-limit" t.Error.code
+   | e -> Alcotest.failf "expected Governor_limit, got %s" (Printexc.to_string e));
+  Alcotest.(check int) "size unchanged after rejection" 3 (Memory.size_pages mem);
+  (* the declared maximum still applies underneath the budget, with wasm
+     semantics (-1), and a rejected grow does not debit the budget: the
+     100-page attempt fits the 100-page budget, so a debit would leave
+     nothing for the final 1-page grow *)
+  let roomy = Governor.create ~max_grow_pages:100 () in
+  Governor.arm roomy;
+  Memory.store_i32 mem 0l 0 0x1234l;
+  Alcotest.(check int) "declared max rejects" (-1) (Governor.governed_grow roomy mem 100);
+  Alcotest.(check int) "no partial commit" 3 (Memory.size_pages mem);
+  Alcotest.(check int32) "contents untouched" 0x1234l (Memory.load_i32 mem 0l 0);
+  Alcotest.(check int) "budget not debited by the failed grow" 3
+    (Governor.governed_grow roomy mem 1);
+  Alcotest.(check int) "final size" 4 (Memory.size_pages mem)
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot/restore: idempotence over the fuzz corpus, both tiers      *)
+(* ------------------------------------------------------------------ *)
+
+let outcome_of inst =
+  match Interp.invoke_export inst "run" [] with
+  | vs -> Ok (List.map Value.to_string vs)
+  | exception e ->
+    (match Error.classify e with
+     | Some t -> Error t.Error.code
+     | None -> raise e)
+
+let test_restore_idempotence () =
+  let cases = ref 0 in
+  for index = 0 to 149 do
+    let info = Fuzz.Harness.gen_case ~seed:21 ~index in
+    let fuel = Fuzz.Oracle.base_fuel in
+    match Interp.instantiate ~fuel ~imports:[] info.Fuzz.Gen.module_ with
+    | exception e when Error.classify e <> None -> ()
+    | inst ->
+      incr cases;
+      if index land 1 = 0 then Tier1.enable ~threshold:1 inst;
+      let snap = Snapshot.capture inst in
+      let pristine = Snapshot.state_digest inst in
+      let fuel0 = inst.Interp.fuel in
+      (* first run: success, trap or exhaustion — all must rewind *)
+      let out1 = outcome_of inst in
+      let after1 = Snapshot.state_digest inst in
+      Snapshot.restore snap inst;
+      Alcotest.(check string)
+        (Printf.sprintf "case %d: restore reaches the pristine digest" index)
+        pristine (Snapshot.state_digest inst);
+      Alcotest.(check int)
+        (Printf.sprintf "case %d: fuel rewound" index)
+        fuel0 inst.Interp.fuel;
+      Alcotest.(check int)
+        (Printf.sprintf "case %d: stack pointer rewound" index)
+        0 inst.Interp.inst_stack.Interp.size;
+      (* re-running from the restored state reproduces the first run *)
+      let out2 = outcome_of inst in
+      Alcotest.(check bool)
+        (Printf.sprintf "case %d: replayed outcome identical" index)
+        true (out1 = out2);
+      Alcotest.(check string)
+        (Printf.sprintf "case %d: replayed final state identical" index)
+        after1 (Snapshot.state_digest inst);
+      (* and restore is idempotent from any of those states *)
+      Snapshot.restore snap inst;
+      Alcotest.(check string)
+        (Printf.sprintf "case %d: second restore idempotent" index)
+        pristine (Snapshot.state_digest inst)
+  done;
+  Alcotest.(check bool) "corpus was not trivially skipped" true (!cases > 100)
+
+let test_restore_metric () =
+  let before = Obs.Metrics.histogram_count (Obs.Metrics.histogram "wasabi_restore_seconds") in
+  let inst = instantiate_wat {|(module (memory 1) (func (export "run")))|} in
+  let snap = Snapshot.capture inst in
+  Snapshot.restore snap inst;
+  let after = Obs.Metrics.histogram_count (Obs.Metrics.histogram "wasabi_restore_seconds") in
+  Alcotest.(check bool) "restore observed wasabi_restore_seconds" true (after > before)
+
+(* ------------------------------------------------------------------ *)
+(* Tier-1 deopt: a contained fault sends the body back to tier 0       *)
+(* ------------------------------------------------------------------ *)
+
+let run_code_of inst =
+  match Interp.export_func inst "run" with
+  | Interp.Wasm_func (ci, owner) -> owner.Interp.inst_code.(ci)
+  | Interp.Host_func _ -> Alcotest.fail "run is not a wasm function"
+
+let test_deopt_on_injected_fault () =
+  let calls = ref 0 in
+  let faulty =
+    ( "env",
+      "tick",
+      Interp.host_func ~name:"tick" ~params:[] ~results:[]
+        (fun _ ->
+           incr calls;
+           if !calls >= 2 then raise (Value.Trap "injected host fault");
+           []) )
+  in
+  let inst =
+    instantiate_wat ~imports:[ faulty ]
+      {|(module
+          (import "env" "tick" (func $tick))
+          (func (export "run") (call $tick)))|}
+  in
+  Tier1.enable ~threshold:1 inst;
+  Interp.set_deopt_on_fault inst true;
+  let deopts = Obs.Metrics.counter "wasabi_deopt_total" in
+  let before = Obs.Metrics.counter_value deopts in
+  ignore (Interp.invoke_export inst "run" []);
+  let code = run_code_of inst in
+  (match code.Interp.c_tier with
+   | Interp.T_compiled _ -> ()
+   | _ -> Alcotest.fail "body was not tiered up before the fault");
+  (match raised (fun () -> Interp.invoke_export inst "run" []) with
+   | Value.Trap "injected host fault" -> ()
+   | e -> Alcotest.failf "expected the injected trap, got %s" (Printexc.to_string e));
+  (match code.Interp.c_tier with
+   | Interp.T_unsupported -> ()
+   | _ -> Alcotest.fail "faulted compiled body did not deopt");
+  Alcotest.(check bool) "wasabi_deopt_total incremented" true
+    (Obs.Metrics.counter_value deopts > before);
+  (* the deopt is permanent: the body stays on tier 0 on later runs *)
+  calls := 0;
+  inst.Interp.inst_stack.Interp.size <- 0;
+  inst.Interp.call_depth <- 0;
+  ignore (Interp.invoke_export inst "run" []);
+  (match code.Interp.c_tier with
+   | Interp.T_unsupported -> ()
+   | _ -> Alcotest.fail "deopt did not stick")
+
+let test_deopt_on_governor_violation () =
+  let calls = ref 0 in
+  let inst = instantiate_wat ~imports:[ tick_import calls ] tick_src in
+  Tier1.enable ~threshold:1 inst;
+  Interp.set_deopt_on_fault inst true;
+  let gov = Governor.create ~host_call_budget:100 () in
+  Interp.set_governor inst (Some gov);
+  Governor.arm gov;
+  ignore (Interp.invoke_export inst "run" []);
+  let code = run_code_of inst in
+  (match code.Interp.c_tier with
+   | Interp.T_compiled _ -> ()
+   | _ -> Alcotest.fail "body was not tiered up");
+  let tight = Governor.create ~host_call_budget:1 () in
+  Interp.set_governor inst (Some tight);
+  Governor.arm tight;
+  (match raised (fun () -> Interp.invoke_export inst "run" []) with
+   | Error.Governor_limit t ->
+     Alcotest.(check string) "violation code" "host-call-budget" t.Error.code
+   | e -> Alcotest.failf "expected Governor_limit, got %s" (Printexc.to_string e));
+  (match code.Interp.c_tier with
+   | Interp.T_unsupported -> ()
+   | _ -> Alcotest.fail "governor-killed compiled body did not deopt")
+
+(* ------------------------------------------------------------------ *)
+(* Fault plans: determinism and replay                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_fault_plan_determinism () =
+  for index = 0 to 19 do
+    let a = Fuzz.Faults.describe (Fuzz.Faults.plan ~seed:9 ~index) in
+    let b = Fuzz.Faults.describe (Fuzz.Faults.plan ~seed:9 ~index) in
+    Alcotest.(check string) (Printf.sprintf "plan %d stable" index) a b
+  done;
+  let distinct =
+    List.sort_uniq compare
+      (List.init 20 (fun index -> Fuzz.Faults.describe (Fuzz.Faults.plan ~seed:9 ~index)))
+  in
+  Alcotest.(check bool) "plans vary across indices" true (List.length distinct > 1)
+
+let test_faulted_replay () =
+  List.iter
+    (fun index ->
+       let d1 = Fuzz.Harness.replay ~faults:true ~seed:1 ~index Fuzz.Harness.Generated in
+       let d2 = Fuzz.Harness.replay ~faults:true ~seed:1 ~index Fuzz.Harness.Generated in
+       Alcotest.(check string)
+         (Printf.sprintf "faulted replay of gen:%d deterministic" index)
+         (Fuzz.Harness.disposition_to_string d1)
+         (Fuzz.Harness.disposition_to_string d2);
+       (match d1 with
+        | Fuzz.Harness.Fail { oracle; detail } ->
+          Alcotest.failf "gen:%d failed under faults: [%s] %s" index oracle detail
+        | _ -> ()))
+    [ 0; 7; 42 ]
+
+(* ------------------------------------------------------------------ *)
+(* The acceptance gate: 2000-case restore-equivalence fault campaign   *)
+(* ------------------------------------------------------------------ *)
+
+let test_fault_campaign () =
+  let stats, failures = Fuzz.Harness.run ~faults:true ~seed:1 ~gen_count:2000 ~mut_count:0 () in
+  (match failures with
+   | [] -> ()
+   | f :: _ ->
+     Alcotest.failf "fault campaign: [%s] at (seed %d, index %d): %s%s" f.Fuzz.Harness.oracle
+       f.Fuzz.Harness.seed f.Fuzz.Harness.index f.Fuzz.Harness.detail
+       (match f.Fuzz.Harness.fault_plan with None -> "" | Some p -> " under " ^ p));
+  Alcotest.(check int) "violations" 0 stats.Fuzz.Harness.violations;
+  Alcotest.(check int) "all cases ran the restore-equivalence oracle" 2000
+    stats.Fuzz.Harness.faulted
+
+let suite =
+  [
+    case "error codes and exit codes" test_error_codes;
+    case "governor deadline" test_deadline;
+    case "governor host-call budget" test_host_call_budget;
+    case "governor memory-growth cap" test_grow_cap;
+    case "snapshot/restore idempotence (150 cases, both tiers)" test_restore_idempotence;
+    case "restore observes its histogram" test_restore_metric;
+    case "tier-1 deopt on injected fault" test_deopt_on_injected_fault;
+    case "tier-1 deopt on governor violation" test_deopt_on_governor_violation;
+    case "fault plan determinism" test_fault_plan_determinism;
+    case "faulted replay determinism" test_faulted_replay;
+    case "restore-equivalence fault campaign (2000 cases)" test_fault_campaign;
+  ]
