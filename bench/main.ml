@@ -662,7 +662,11 @@ let restore_bench () =
 (** Time the static subsystem over the whole corpus and demonstrate
     call-graph-driven selective instrumentation end to end: the lint
     must be clean everywhere, and pruning must shrink the real-world
-    binaries without changing their checksum. *)
+    binaries without changing their checksum. The precision table
+    compares the type-pool call graph against the abstract-
+    interpretation one ([~precise]) — the precise graph must never have
+    more indirect edges (exit 1 when it does) — and the size table adds
+    static hook folding ([~fold]) on top of pruning. *)
 let static_bench () =
   Support.hr "bench static: call graph + soundness lint over the corpus";
   let entries = Lazy.force corpus_fig9 in
@@ -686,23 +690,61 @@ let static_bench () =
   let lint_t = Sys.time () -. t0 in
   Printf.printf "  lint over every instrumented workload: %d errors in %.1f ms\n" !errs
     (lint_t *. 1000.0);
+  (* precision: pool vs abstract-interpretation call graph *)
+  let t0 = Sys.time () in
+  Printf.printf "\n  %-16s %9s %9s %9s %9s %9s\n" "precision" "ind-pool" "ind-absint" "dead-pool"
+    "dead-abs" "folded";
+  let imprecise = ref 0 in
+  List.iter
+    (fun (e : Workloads.Corpus.entry) ->
+       let pool = Static.Callgraph.build e.module_ in
+       let prec = Static.Callgraph.build ~precise:true e.module_ in
+       let ip = List.length (Static.Callgraph.indirect_edges pool) in
+       let ia = List.length (Static.Callgraph.indirect_edges prec) in
+       let fold = W.Instrument.instrument ~prune_unreachable:true ~fold:true e.module_ in
+       if ia > ip then incr imprecise;
+       Printf.printf "  %-16s %9d %9d %9d %9d %9d%s\n" e.name ip ia
+         (List.length (Static.Callgraph.dead_functions pool))
+         (List.length (Static.Callgraph.dead_functions prec))
+         (List.length fold.W.Instrument.metadata.W.Metadata.folded)
+         (if ia > ip then "  IMPRECISE" else if ia < ip then "  (narrowed)" else ""))
+    entries;
+  Printf.printf "  precision pass over %d workloads in %.1f ms\n" (List.length entries)
+    ((Sys.time () -. t0) *. 1000.0);
+  if !imprecise > 0 then begin
+    Printf.eprintf
+      "bench static: FAIL — precise call graph has MORE indirect edges than the pool one on %d workloads\n"
+      !imprecise;
+    exit 1
+  end;
+  Printf.printf "\n";
   List.iter
     (fun (e : Workloads.Corpus.entry) ->
        let full = W.Instrument.instrument e.module_ in
        let sel = W.Instrument.instrument ~prune_unreachable:true e.module_ in
+       let fold = W.Instrument.instrument ~prune_unreachable:true ~fold:true e.module_ in
        let fs = String.length (Encode.encode full.W.Instrument.instrumented) in
        let ss = String.length (Encode.encode sel.W.Instrument.instrumented) in
+       let ds = String.length (Encode.encode fold.W.Instrument.instrumented) in
        let reference = Workloads.Corpus.run_reference e in
        let inst, _ = W.Runtime.instantiate sel W.Analysis.default in
        let result =
          match Interp.invoke_export inst "run" [] with [ Value.F64 x ] -> x | _ -> nan
        in
+       let finst, _ = W.Runtime.instantiate fold W.Analysis.default in
+       let fresult =
+         match Interp.invoke_export finst "run" [] with [ Value.F64 x ] -> x | _ -> nan
+       in
+       let same x = Float.abs (reference -. x) < 1e-9 in
        Printf.printf
-         "  %-12s full %6d B, selective %6d B (-%.1f%%), %d pruned, behaviour %s\n" e.name fs
-         ss
+         "  %-12s full %6d B, selective %6d B (-%.1f%%), +fold %6d B (-%.1f%%), %d pruned, %d folded, behaviour %s\n"
+         e.name fs ss
          (Support.pct (float_of_int (fs - ss) /. float_of_int fs))
+         ds
+         (Support.pct (float_of_int (fs - ds) /. float_of_int fs))
          (List.length sel.W.Instrument.metadata.W.Metadata.pruned_funcs)
-         (if Float.abs (reference -. result) < 1e-9 then "identical" else "DIVERGED"))
+         (List.length fold.W.Instrument.metadata.W.Metadata.folded)
+         (if same result && same fresult then "identical" else "DIVERGED"))
     (Workloads.Corpus.realworld entries)
 
 (* ------------------------------------------------------------------ *)

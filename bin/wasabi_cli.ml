@@ -118,13 +118,20 @@ let instrument_cmd =
              ~doc:"Leave functions unreachable from any export/start root uninstrumented \
                    (static call-graph pruning; skipped indices are recorded in the metadata)")
   in
-  let run input output hooks selective =
+  let fold =
+    Arg.(value & flag
+         & info [ "fold" ]
+             ~doc:"Discharge hook sites statically from abstract-interpretation facts: \
+                   drop hooks at proven-unreachable sites and pass proven-constant hook \
+                   arguments as immediates (folded sites are recorded in the metadata)")
+  in
+  let run input output hooks selective fold =
     structured @@ fun () ->
     let m = read_module input in
     Wasm.Validate.validate_module m;
     let groups = parse_groups hooks in
     let t0 = Sys.time () in
-    let res = W.Instrument.instrument ~groups ~prune_unreachable:selective m in
+    let res = W.Instrument.instrument ~groups ~prune_unreachable:selective ~fold m in
     let dt = Sys.time () -. t0 in
     write_module output res.W.Instrument.instrumented;
     let meta = res.W.Instrument.metadata in
@@ -137,12 +144,22 @@ let instrument_cmd =
        Printf.printf "  %d statically-unreachable function%s left uninstrumented\n"
          (List.length pruned)
          (if List.length pruned = 1 then "" else "s"));
+    (match meta.W.Metadata.folded with
+     | [] -> ()
+     | folded ->
+       let dead, args =
+         List.partition (function W.Metadata.F_dead _ -> true | _ -> false) folded
+       in
+       Printf.printf "  %d hook site%s discharged statically (%d dead, %d constant-args)\n"
+         (List.length folded)
+         (if List.length folded = 1 then "" else "s")
+         (List.length dead) (List.length args));
     Printf.printf "  original %d B, instrumented %d B\n"
       (String.length (Wasm.Encode.encode m))
       (String.length (Wasm.Encode.encode res.W.Instrument.instrumented))
   in
   let info = Cmd.info "instrument" ~doc:"Insert analysis hook calls into a Wasm binary" in
-  Cmd.v info Term.(const run $ input_arg $ output $ hooks_arg $ selective)
+  Cmd.v info Term.(const run $ input_arg $ output $ hooks_arg $ selective $ fold)
 
 (* --- analyze --------------------------------------------------------- *)
 
@@ -341,11 +358,17 @@ let callgraph_cmd =
              ~doc:"Skip the constant-stack analysis that resolves constant-index indirect \
                    calls exactly (faster, coarser)")
   in
-  let run input dot out no_tighten =
+  let precise_arg =
+    Arg.(value & flag
+         & info [ "precise" ]
+             ~doc:"Resolve indirect edges with the interprocedural abstract interpreter \
+                   (value-set table indices) instead of type pools")
+  in
+  let run input dot out no_tighten precise =
     structured @@ fun () ->
     let m = read_module input in
     Wasm.Validate.validate_module m;
-    let cg = Static.Callgraph.build ~tighten:(not no_tighten) m in
+    let cg = Static.Callgraph.build ~tighten:(not no_tighten) ~precise m in
     let text =
       if dot then Static.Callgraph.to_dot cg
       else begin
@@ -381,7 +404,105 @@ let callgraph_cmd =
       ~doc:"Static call graph: direct and type/table-resolved indirect edges, export-rooted \
             reachability, unreachable-function report"
   in
-  Cmd.v info Term.(const run $ input_arg $ dot_arg $ out_arg $ no_tighten_arg)
+  Cmd.v info Term.(const run $ input_arg $ dot_arg $ out_arg $ no_tighten_arg $ precise_arg)
+
+(* --- absint ----------------------------------------------------------- *)
+
+let absint_cmd =
+  let summary_arg =
+    Arg.(value & flag & info [ "summary" ] ~doc:"Print only the one-line module summary")
+  in
+  let func_arg =
+    Arg.(value & opt (some int) None
+         & info [ "func" ] ~docv:"N" ~doc:"Dump facts for function N only")
+  in
+  let stacks_arg =
+    Arg.(value & flag
+         & info [ "stacks" ] ~doc:"Include the per-instruction abstract stack in the dump")
+  in
+  let dot_arg =
+    Arg.(value & flag
+         & info [ "dot" ] ~doc:"Emit the precise call graph as GraphViz DOT instead of facts")
+  in
+  let out_arg =
+    Arg.(value & opt (some string) None
+         & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write to FILE instead of stdout")
+  in
+  let corpus_arg =
+    Arg.(value & flag
+         & info [ "corpus" ]
+             ~doc:"Analyze every workload of the built-in benchmark corpus (one summary \
+                   line each) instead of a file")
+  in
+  let run input summary func stacks dot out corpus =
+    structured @@ fun () ->
+    if corpus then begin
+      List.iter
+        (fun (e : Workloads.Corpus.entry) ->
+           let fx = Static.Absint.analyze e.module_ in
+           Printf.printf "%-16s %s\n" e.name (Static.Absint.summary fx))
+        (Workloads.Corpus.make ());
+      exit 0
+    end;
+    let m =
+      match input with
+      | Some path -> read_module path
+      | None ->
+        Printf.eprintf "wasabi absint: need INPUT.wasm or --corpus\n";
+        exit 2
+    in
+    Wasm.Validate.validate_module m;
+    let text =
+      if dot then Static.Callgraph.to_dot (Static.Callgraph.build ~precise:true m)
+      else begin
+        let fx = Static.Absint.analyze m in
+        if summary then Static.Absint.summary fx ^ "\n"
+        else begin
+          let buf = Buffer.create 1024 in
+          Buffer.add_string buf (Static.Absint.summary fx);
+          Buffer.add_char buf '\n';
+          let n_globals =
+            Wasm.Ast.num_imported_globals m + List.length m.Wasm.Ast.globals
+          in
+          if n_globals > 0 then begin
+            Buffer.add_string buf "globals:";
+            for g = 0 to n_globals - 1 do
+              Buffer.add_string buf
+                (Printf.sprintf " g%d=%s" g
+                   (Static.Interval.to_string (Static.Absint.global_fact fx g)))
+            done;
+            Buffer.add_char buf '\n'
+          end;
+          let dump f = Buffer.add_string buf (Static.Absint.dump_func ~stacks fx f) in
+          (match func with
+           | Some f -> dump f
+           | None ->
+             let n_imp = Wasm.Ast.num_imported_funcs m in
+             for f = n_imp to Wasm.Ast.num_funcs m - 1 do
+               dump f
+             done);
+          Buffer.contents buf
+        end
+      end
+    in
+    match out with
+    | Some path ->
+      write_file path text;
+      Printf.printf "wrote %s\n" path
+    | None -> print_string text
+  in
+  let info =
+    Cmd.info "absint"
+      ~doc:"Whole-module abstract interpretation: per-function value-set facts (parameter \
+            and result summaries, global cells, resolved indirect-call target sets, dead \
+            code), or (--dot) the precise call graph"
+  in
+  let input_opt =
+    Arg.(value & pos 0 (some file) None & info [] ~docv:"INPUT.wasm" ~doc:"Input binary")
+  in
+  Cmd.v info
+    Term.(const run $ input_opt $ summary_arg $ func_arg $ stacks_arg $ dot_arg $ out_arg
+          $ corpus_arg)
 
 (* --- lint ------------------------------------------------------------ *)
 
@@ -396,6 +517,12 @@ let lint_cmd =
   let selective_arg =
     Arg.(value & flag
          & info [ "selective" ] ~doc:"Instrument with static call-graph pruning before linting")
+  in
+  let fold_arg =
+    Arg.(value & flag
+         & info [ "fold" ]
+             ~doc:"Instrument with static hook folding before linting (folded sites are \
+                   verified against recomputed abstract-interpretation facts)")
   in
   let corpus_arg =
     Arg.(value & flag
@@ -412,13 +539,13 @@ let lint_cmd =
     Arg.(value & opt int Fuzz.Harness.default_seed
          & info [ "seed" ] ~docv:"SEED" ~doc:"Seed for --fuzz module generation")
   in
-  let run input hooks selective corpus fuzz seed =
+  let run input hooks selective fold corpus fuzz seed =
     structured @@ fun () ->
     let groups = parse_groups hooks in
     let errors = ref 0 in
     let lint_one label m =
       Wasm.Validate.validate_module m;
-      let res = W.Instrument.instrument ~groups ~prune_unreachable:selective m in
+      let res = W.Instrument.instrument ~groups ~prune_unreachable:selective ~fold m in
       match Lint.check res with
       | [] -> Printf.printf "%s: clean\n" label
       | findings ->
@@ -455,7 +582,8 @@ let lint_cmd =
             specs, sections unchanged up to remapping); soundness errors exit 8"
   in
   Cmd.v info
-    Term.(const run $ input_opt $ hooks_arg $ selective_arg $ corpus_arg $ fuzz_arg $ seed_arg)
+    Term.(const run $ input_opt $ hooks_arg $ selective_arg $ fold_arg $ corpus_arg $ fuzz_arg
+          $ seed_arg)
 
 (* --- fuzz ------------------------------------------------------------ *)
 
@@ -478,6 +606,11 @@ let fuzz_cmd =
     let doc = "Replay a single case instead of running a campaign: $(docv) is gen:INDEX or mut:INDEX." in
     Arg.(value & opt (some string) None & info [ "replay" ] ~docv:"CASE" ~doc)
   in
+  let dump_arg =
+    Arg.(value & opt (some string) None
+         & info [ "dump" ] ~docv:"FILE"
+             ~doc:"With --replay: also write the case's input bytes to FILE (corpus promotion)")
+  in
   let quiet_arg =
     Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Suppress progress output")
   in
@@ -495,7 +628,7 @@ let fuzz_cmd =
              ~doc:"Write campaign metrics (cases/s, per-oracle timing histograms) to FILE: \
                    Prometheus text when it ends in .prom, JSON otherwise")
   in
-  let run seed gen mut out replay quiet faults metrics_out =
+  let run seed gen mut out replay dump quiet faults metrics_out =
     match replay with
     | Some spec ->
       let case, index =
@@ -506,6 +639,17 @@ let fuzz_cmd =
           Printf.eprintf "bad --replay spec %S (expected gen:INDEX or mut:INDEX)\n" spec;
           exit 2
       in
+      (match dump with
+       | None -> ()
+       | Some path ->
+         let bytes =
+           match case with
+           | Fuzz.Harness.Generated ->
+             Wasm.Encode.encode (Fuzz.Harness.gen_case ~seed ~index).Fuzz.Gen.module_
+           | Fuzz.Harness.Mutated -> Fuzz.Harness.mut_case ~seed ~index
+         in
+         write_file path bytes;
+         Printf.eprintf "wrote %s (%d bytes)\n" path (String.length bytes));
       let disposition = Fuzz.Harness.replay ~faults ~seed ~index case in
       Printf.printf "seed %d, %s case %d%s: %s\n" seed
         (match case with Fuzz.Harness.Generated -> "generated" | Fuzz.Harness.Mutated -> "mutated")
@@ -546,8 +690,8 @@ let fuzz_cmd =
       ~doc:"Differential fuzzing: generated + mutated modules against the totality, round-trip, instrumentation-soundness, differential-equivalence, tier-parity and (with --faults) restore-equivalence oracles"
   in
   Cmd.v info
-    Term.(const run $ seed_arg $ gen_arg $ mut_arg $ out_arg $ replay_arg $ quiet_arg
-          $ faults_arg $ metrics_out_arg)
+    Term.(const run $ seed_arg $ gen_arg $ mut_arg $ out_arg $ replay_arg $ dump_arg
+          $ quiet_arg $ faults_arg $ metrics_out_arg)
 
 (* --- profile --------------------------------------------------------- *)
 
@@ -773,5 +917,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ instrument_cmd; analyze_cmd; generate_js_cmd; hooks_cmd; callgraph_cmd; lint_cmd;
-            fuzz_cmd; profile_cmd; corpus_cmd ]))
+          [ instrument_cmd; analyze_cmd; generate_js_cmd; hooks_cmd; callgraph_cmd; absint_cmd;
+            lint_cmd; fuzz_cmd; profile_cmd; corpus_cmd ]))

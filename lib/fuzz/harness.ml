@@ -109,7 +109,13 @@ let check_generated ?metrics ?restore (info : Gen.info) : [ `Pass | `Skip | `Fai
              (match timed "tier-parity" (fun () -> Oracle.tier_differential info) with
               | Oracle.Violation { kind; detail } -> `Fail (kind, detail)
               | Oracle.Skip _ | Oracle.Pass ->
-                restore_stage (match diff with Oracle.Skip _ -> `Skip | _ -> `Pass)))))
+                (* static over-approximation soundness: observed execution
+                   vs abstract-interpretation facts, and folded vs unfolded
+                   instrumentation equivalence *)
+                (match timed "absint-soundness" (fun () -> Oracle.absint_soundness info) with
+                 | Oracle.Violation { kind; detail } -> `Fail (kind, detail)
+                 | Oracle.Skip _ | Oracle.Pass ->
+                   restore_stage (match diff with Oracle.Skip _ -> `Skip | _ -> `Pass))))))
 
 (** The mutated-binary pipeline: totality of decode; then, as far as the
     mutant remains meaningful, validate / round-trip / execute. Returns
@@ -130,7 +136,18 @@ let check_mutated ?metrics (bin : string) : [ `Pass of [ `Rejected | `Decoded | 
           (match timed "execution" (fun () -> Oracle.execution_total m) with
            | Oracle.Violation { kind; detail } -> `Fail (kind, detail)
            | Oracle.Skip _ -> `Skip
-           | Oracle.Pass -> `Pass `Valid)))
+           | Oracle.Pass ->
+             (* a fully-valid mutant also exercises the static
+                over-approximation oracle: mutated tables and element
+                segments stress the indirect-call resolution *)
+             let info =
+               { Gen.module_ = m;
+                 has_memory = m.Ast.memories <> [];
+                 n_globals = List.length m.Ast.globals }
+             in
+             (match timed "absint-soundness" (fun () -> Oracle.absint_soundness info) with
+              | Oracle.Violation { kind; detail } -> `Fail (kind, detail)
+              | Oracle.Skip _ | Oracle.Pass -> `Pass `Valid))))
 
 (** {1 Minimization}
 

@@ -1,8 +1,10 @@
-(** The five fuzzing oracles: totality, round-trip, differential
+(** The seven fuzzing oracles: totality, round-trip, differential
     equivalence (paper, Section 4.2's observational-equivalence claim,
     turned into an executable property), static instrumentation
-    soundness, and tier parity (tier-0 dispatch loop vs the tier-1
-    closure compiler).
+    soundness, tier parity (tier-0 dispatch loop vs the tier-1
+    closure compiler), restore equivalence (fault containment), and
+    static over-approximation soundness (abstract-interpretation facts
+    vs observed execution, plus folded-instrumentation equivalence).
 
     {b Totality}: feeding any byte string through decode (and, when it
     decodes, validate / instantiate / execute) may only raise the
@@ -419,14 +421,15 @@ let restore_equivalence ~seed ~index (info : Gen.info) : verdict =
 (** {1 Instrumentation soundness} *)
 
 (** Instrument the module and run the static soundness lint over the
-    result, once with full instrumentation and once with selective
-    pruning. Any [Error]-severity finding — or an instrument/lint crash
-    outside the error taxonomy — is a violation. *)
+    result — with full instrumentation, with selective pruning, and with
+    static hook folding on top (whose discharged sites the lint verifies
+    against recomputed facts). Any [Error]-severity finding — or an
+    instrument/lint crash outside the error taxonomy — is a violation. *)
 let lint_instrumented (m : Ast.module_) : verdict =
-  let one ~prune_unreachable tag =
+  let one ~prune_unreachable ~fold tag =
     match
       guarded (fun () ->
-        Lint.errors (Lint.check (Wasabi.Instrument.instrument ~prune_unreachable m)))
+        Lint.errors (Lint.check (Wasabi.Instrument.instrument ~prune_unreachable ~fold m)))
     with
     | Error crash -> violation "totality-lint" "%s: instrument/lint crashed: %s" tag crash
     | Ok (Error err) ->
@@ -437,9 +440,245 @@ let lint_instrumented (m : Ast.module_) : verdict =
         (if List.length errs = 1 then "" else "s")
         (Lint.to_string f)
   in
-  match one ~prune_unreachable:false "full" with
-  | Pass -> one ~prune_unreachable:true "pruned"
+  match one ~prune_unreachable:false ~fold:false "full" with
+  | Pass ->
+    (match one ~prune_unreachable:true ~fold:false "pruned" with
+     | Pass -> one ~prune_unreachable:true ~fold:true "pruned+folded"
+     | v -> v)
   | v -> v
+
+(** {1 Static over-approximation soundness}
+
+    The abstract interpretation ({!Static.Absint}) claims its facts
+    over-approximate every execution. This oracle tests the claim
+    end-to-end: run the module instrumented with an {e observing}
+    analysis and assert that every dynamically observed indirect-call
+    target and table index, branch condition, [br_table] index, binary
+    operand and global value is contained in the corresponding static
+    fact — and that no hook fires at a site the analysis reports dead.
+    Then run once more with [~fold] instrumentation and require the
+    folded module to produce the {e identical} hook-event stream and
+    final state, which exercises every statically-discharged site
+    against reality. *)
+
+(** An analysis that renders every hook event as one line into [buf]
+    (deterministic: locations, op names and values only). *)
+let recording_analysis buf : Wasabi.Analysis.t =
+  let l (loc : Wasabi.Location.t) =
+    Printf.sprintf "%d:%d" loc.Wasabi.Location.func loc.Wasabi.Location.instr
+  in
+  let p fmt = Printf.ksprintf (fun s -> Buffer.add_string buf s; Buffer.add_char buf '\n') fmt in
+  let v = Value.to_string in
+  let vs xs = String.concat "," (List.map v xs) in
+  let bk = function
+    | Wasabi.Hook.Bfunction -> "fn"
+    | Wasabi.Hook.Bblock -> "blk"
+    | Wasabi.Hook.Bloop -> "loop"
+    | Wasabi.Hook.Bif -> "if"
+    | Wasabi.Hook.Belse -> "else"
+  in
+  {
+    Wasabi.Analysis.nop = (fun loc -> p "nop %s" (l loc));
+    unreachable = (fun loc -> p "unreachable %s" (l loc));
+    if_ = (fun loc c -> p "if %s %b" (l loc) c);
+    br = (fun loc t -> p "br %s ->%s" (l loc) (l t.Wasabi.Metadata.target_loc));
+    br_if = (fun loc t c -> p "br_if %s ->%s %b" (l loc) (l t.Wasabi.Metadata.target_loc) c);
+    br_table = (fun loc _targets _default i -> p "br_table %s %d" (l loc) i);
+    begin_ = (fun loc k -> p "begin %s %s" (l loc) (bk k));
+    end_ = (fun loc k b -> p "end %s %s %s" (l loc) (bk k) (l b));
+    const = (fun loc x -> p "const %s %s" (l loc) (v x));
+    drop = (fun loc x -> p "drop %s %s" (l loc) (v x));
+    select = (fun loc c a b -> p "select %s %b %s %s" (l loc) c (v a) (v b));
+    unary = (fun loc op a r -> p "unary %s %s %s %s" (l loc) op (v a) (v r));
+    binary = (fun loc op a b r -> p "binary %s %s %s %s %s" (l loc) op (v a) (v b) (v r));
+    local = (fun loc op x a -> p "local %s %s %d %s" (l loc) op x (v a));
+    global = (fun loc op x a -> p "global %s %s %d %s" (l loc) op x (v a));
+    load =
+      (fun loc op ma a ->
+         p "load %s %s %ld+%d %s" (l loc) op ma.Wasabi.Analysis.addr ma.Wasabi.Analysis.offset (v a));
+    store =
+      (fun loc op ma a ->
+         p "store %s %s %ld+%d %s" (l loc) op ma.Wasabi.Analysis.addr ma.Wasabi.Analysis.offset (v a));
+    memory_size = (fun loc s -> p "memory_size %s %d" (l loc) s);
+    memory_grow = (fun loc d pr -> p "memory_grow %s %d %d" (l loc) d pr);
+    call_pre =
+      (fun loc callee args ti ->
+         p "call_pre %s %d [%s]%s" (l loc) callee (vs args)
+           (match ti with None -> "" | Some i -> Printf.sprintf " tbl:%d" i));
+    call_post = (fun loc rs -> p "call_post %s [%s]" (l loc) (vs rs));
+    return_ = (fun loc rs -> p "return %s [%s]" (l loc) (vs rs));
+    start = (fun loc -> p "start %s" (l loc));
+  }
+
+(** Run the module instrumented (optionally [~fold]ed) under [analysis],
+    which may write into [buf]; on the two-phase post-trap re-run the
+    buffer is cleared so events are not recorded twice. *)
+let run_observed (m : Ast.module_) ~fold ~fuel ~analysis ~buf : (run_result, string) result =
+  match
+    guarded (fun () ->
+      let res = Wasabi.Instrument.instrument ~fold m in
+      let inst, _rt = Wasabi.Runtime.instantiate ~fuel res analysis in
+      let vs = Interp.invoke_export inst "run" [] in
+      (inst, vs))
+  with
+  | Error crash -> Error crash
+  | Ok (Ok (inst, vs)) -> Ok (snapshot m inst (Ok vs))
+  | Ok (Error err) ->
+    Buffer.clear buf;
+    (match
+       guarded (fun () ->
+         let res = Wasabi.Instrument.instrument ~fold m in
+         let inst, _rt = Wasabi.Runtime.instantiate ~fuel res analysis in
+         (try ignore (Interp.invoke_export inst "run" []) with _ -> ());
+         inst)
+     with
+     | Ok (Ok inst) -> Ok (snapshot m inst (Error err))
+     | _ -> Ok { outcome = Error err; mem_digest = None; globals = [] })
+
+let first_stream_diff a b =
+  let la = String.split_on_char '\n' a and lb = String.split_on_char '\n' b in
+  let rec go i pair =
+    match pair with
+    | x :: xs, y :: ys ->
+      if String.equal x y then go (i + 1) (xs, ys)
+      else Printf.sprintf "event %d: %S vs %S" i x y
+    | [], y :: _ -> Printf.sprintf "event %d: <end> vs %S" i y
+    | x :: _, [] -> Printf.sprintf "event %d: %S vs <end>" i x
+    | [], [] -> "identical"
+  in
+  go 0 (la, lb)
+
+let absint_soundness (info : Gen.info) : verdict =
+  let m = info.Gen.module_ in
+  match guarded (fun () -> Static.Absint.analyze m) with
+  | Error crash -> violation "totality-absint" "abstract interpretation crashed: %s" crash
+  | Ok (Error err) ->
+    violation "totality-absint" "abstract interpretation raised: %s" (Error.to_string err)
+  | Ok (Ok fx) ->
+    (match run_plain m ~fuel:base_fuel with
+     | Error crash -> violation "totality-exec" "uninstrumented run crashed: %s" crash
+     | Ok base ->
+       if is_out_of_fuel base.outcome then Skip "base-exhausted"
+       else begin
+         let bad = ref None in
+         let note (loc : Wasabi.Location.t) what detail =
+           if !bad = None then
+             bad :=
+               Some
+                 (Printf.sprintf "%s at f%d@%d: %s" what loc.Wasabi.Location.func
+                    loc.Wasabi.Location.instr detail)
+         in
+         let fact ?(depth = 0) (loc : Wasabi.Location.t) =
+           Static.Absint.value_at fx ~func:loc.Wasabi.Location.func
+             ~pc:loc.Wasabi.Location.instr ~depth
+         in
+         let n_imp = Ast.num_imported_funcs m in
+         let bodies = Array.of_list m.Ast.funcs in
+         let instr_at (loc : Wasabi.Location.t) =
+           let i = loc.Wasabi.Location.func - n_imp in
+           if i < 0 || i >= Array.length bodies then None
+           else List.nth_opt bodies.(i).Ast.body loc.Wasabi.Location.instr
+         in
+         (* the call_pre hook fires before the call dispatches, so the
+            static target set is only binding when the dispatch will
+            succeed: a resolved callee of the site's exact type (empty or
+            type-mismatched slots trap right after the hook) *)
+         let dispatches (loc : Wasabi.Location.t) callee =
+           callee >= 0
+           && (match instr_at loc with
+               | Some (Ast.CallIndirect ti) ->
+                 (match List.nth_opt m.Ast.types ti with
+                  | Some ft -> Types.equal_func_type ft (Ast.func_type_at m callee)
+                  | None -> false)
+               | _ -> false)
+         in
+         let check_live (loc : Wasabi.Location.t) what =
+           if
+             not
+               (Static.Absint.live fx ~func:loc.Wasabi.Location.func
+                  ~pc:loc.Wasabi.Location.instr)
+           then note loc what "event observed at a statically-dead site"
+         in
+         let check_contains loc what v f =
+           if not (Static.Interval.contains f v) then
+             note loc what
+               (Printf.sprintf "observed %s outside %s" (Value.to_string v)
+                  (Static.Interval.to_string f))
+         in
+         let check_cond loc what c =
+           check_live loc what;
+           let f = fact loc in
+           let ok =
+             if c then Static.Interval.may_be_nonzero f else Static.Interval.may_be_zero f
+           in
+           if not ok then
+             note loc what
+               (Printf.sprintf "observed condition %b outside %s" c
+                  (Static.Interval.to_string f))
+         in
+         let checker =
+           {
+             Wasabi.Analysis.default with
+             if_ = (fun loc c -> check_cond loc "if-cond" c);
+             br_if = (fun loc _t c -> check_cond loc "br-if" c);
+             br_table =
+               (fun loc _targets _default i ->
+                  check_live loc "br-table";
+                  check_contains loc "br-table" (Value.I32 (Int32.of_int i)) (fact loc));
+             binary =
+               (fun loc _op a b _r ->
+                  check_live loc "binary";
+                  check_contains loc "binary-lhs" a (fact ~depth:1 loc);
+                  check_contains loc "binary-rhs" b (fact loc));
+             global =
+               (fun loc _op x v ->
+                  check_contains loc "global" v (Static.Absint.global_fact fx x));
+             call_pre =
+               (fun loc callee _args ti ->
+                  match ti with
+                  | None -> ()
+                  | Some tbl ->
+                    (match
+                       Static.Absint.indirect_site fx ~func:loc.Wasabi.Location.func
+                         ~pc:loc.Wasabi.Location.instr
+                     with
+                     | None ->
+                       note loc "call-indirect" "executed a statically-dead indirect call site"
+                     | Some (iv, targets) ->
+                       check_contains loc "call-indirect-index" (Value.I32 (Int32.of_int tbl)) iv;
+                       if dispatches loc callee && not (List.mem callee targets) then
+                         note loc "call-indirect"
+                           (Printf.sprintf "callee %d outside static target set {%s}" callee
+                              (String.concat " " (List.map string_of_int targets)))));
+           }
+         in
+         let fuel = base_fuel * hook_fuel_scale in
+         let buf0 = Buffer.create 1024 and buf1 = Buffer.create 1024 in
+         let observed =
+           run_observed m ~fold:false ~fuel
+             ~analysis:(Wasabi.Analysis.combine checker (recording_analysis buf0))
+             ~buf:buf0
+         in
+         match observed with
+         | Error crash -> violation "totality-exec" "observed run crashed: %s" crash
+         | Ok r0 ->
+           (match !bad with
+            | Some detail -> violation "absint-soundness" "%s" detail
+            | None ->
+              if is_out_of_fuel r0.outcome then Skip "instrumented-exhausted"
+              else (
+                match
+                  run_observed m ~fold:true ~fuel ~analysis:(recording_analysis buf1) ~buf:buf1
+                with
+                | Error crash -> violation "totality-exec" "folded run crashed: %s" crash
+                | Ok r1 ->
+                  if is_out_of_fuel r1.outcome then Skip "folded-exhausted"
+                  else if not (String.equal (Buffer.contents buf0) (Buffer.contents buf1)) then
+                    violation "absint-fold" "hook-event streams diverged: %s"
+                      (first_stream_diff (Buffer.contents buf0) (Buffer.contents buf1))
+                  else
+                    compare_runs ~kind:"absint-fold" ~left:"unfolded" ~right:"folded" r0 r1))
+       end)
 
 (** Execution totality for an arbitrary valid module (mutation pipeline):
     instantiating with no imports and invoking the first nullary exported

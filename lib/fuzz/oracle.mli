@@ -1,10 +1,14 @@
-(** The six fuzzing oracles: totality, round-trip, differential
+(** The seven fuzzing oracles: totality, round-trip, differential
     equivalence (paper, Section 4.2's observational-equivalence claim,
     turned into an executable property), static instrumentation
     soundness via {!Lint.check}, tier parity (tier-0 dispatch loop
-    vs the {!Wasm.Tier1} closure compiler), and restore equivalence
+    vs the {!Wasm.Tier1} closure compiler), restore equivalence
     (fault containment: snapshot → seeded host faults → restore →
-    clean run ≡ fresh instance). *)
+    clean run ≡ fresh instance), and static over-approximation
+    soundness (every dynamically observed indirect-call target, branch
+    outcome, operand and global value must be contained in the
+    {!Static.Absint} fact, and [~fold]-instrumented execution must be
+    event-for-event identical to the unfolded one). *)
 
 type verdict =
   | Pass
@@ -72,8 +76,20 @@ val restore_equivalence : seed:int -> index:int -> Gen.info -> verdict
 
 val lint_instrumented : Wasm.Ast.module_ -> verdict
 (** Instrument the module — once fully, once with call-graph-driven
-    selective pruning — and run the static soundness lint over each
-    result; any [Error]-severity finding is a violation. *)
+    selective pruning, once with static hook folding on top — and run
+    the static soundness lint over each result; any [Error]-severity
+    finding is a violation. *)
+
+val absint_soundness : Gen.info -> verdict
+(** The static over-approximation soundness oracle. Runs the module
+    instrumented with an observing analysis and asserts every observed
+    indirect-call target and table index, branch condition, [br_table]
+    index, binary operand and global value is contained in the
+    corresponding {!Static.Absint} fact (and that no hook fires at a
+    statically-dead site); then re-runs with [~fold] instrumentation
+    and requires an identical hook-event stream, outcome, final memory
+    and exported globals. [Skip] when the base run exhausts its fuel or
+    an instrumented run does. *)
 
 val execution_total : Wasm.Ast.module_ -> verdict
 (** Execution totality for an arbitrary valid module (mutation

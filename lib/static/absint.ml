@@ -1,0 +1,840 @@
+(** Whole-module abstract interpretation (see absint.mli). *)
+
+open Wasm
+open Wasm.Ast
+
+(* ------------------------------------------------------------------ *)
+(* Table layout                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let table_layout (m : module_) ~escapes =
+  if escapes || m.tables = [] then None
+  else
+    let constant_offset e =
+      match e.eoffset with [ Const (Value.I32 c) ] -> Some c | _ -> None
+    in
+    let offsets = List.map constant_offset m.elems in
+    if List.exists Option.is_none offsets then None
+    else begin
+      let size =
+        List.fold_left2
+          (fun acc e off -> max acc (Int32.to_int (Option.get off) + List.length e.einit))
+          0 m.elems offsets
+      in
+      let slots = Array.make size None in
+      List.iter2
+        (fun e off ->
+           List.iteri (fun i f -> slots.(Int32.to_int (Option.get off) + i) <- Some f) e.einit)
+        m.elems offsets;
+      Some slots
+    end
+
+(* ------------------------------------------------------------------ *)
+(* Abstract machine                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Like {!Stackval}'s machine, the abstract stack may be shorter than the
+   real one: missing lower slots mean Top, which turns joins of
+   mismatched heights (branch unwinding) into truncation. *)
+type machine = { locals : Interval.t array; stack : Interval.t list }
+type state = Unreached | S of machine
+
+module Lattice = struct
+  type t = state
+
+  let bottom = Unreached
+
+  let rec join_stack s1 s2 =
+    match s1, s2 with
+    | a :: r1, b :: r2 -> Interval.join a b :: join_stack r1 r2
+    | _, [] | [], _ -> []
+
+  let join a b =
+    match a, b with
+    | Unreached, x | x, Unreached -> x
+    | S m1, S m2 ->
+      S { locals = Array.map2 Interval.join m1.locals m2.locals;
+          stack = join_stack m1.stack m2.stack }
+
+  let equal a b =
+    match a, b with
+    | Unreached, Unreached -> true
+    | S m1, S m2 ->
+      Array.for_all2 Interval.equal m1.locals m2.locals
+      && List.length m1.stack = List.length m2.stack
+      && List.for_all2 Interval.equal m1.stack m2.stack
+    | _ -> false
+end
+
+module Solver = Dataflow.Make (Lattice)
+
+let pop k stack =
+  let rec go k stack acc =
+    if k = 0 then (List.rev acc, stack)
+    else
+      match stack with
+      | v :: rest -> go (k - 1) rest (v :: acc)
+      | [] -> go (k - 1) [] (Interval.top :: acc)
+  in
+  go k stack []
+
+(* The interprocedural environment a function executes in. Facts flow
+   out (argument / global joins) and in (global cells, callee result
+   summaries) through these callbacks; the intraprocedural engine uses
+   an uninformative instance. *)
+type env = {
+  e_global : int -> Interval.t;
+  e_global_set : int -> Interval.t -> unit;
+  e_call : int -> Interval.t list -> Interval.t list;
+      (** callee, argument facts in parameter order -> result facts *)
+  e_indirect : int -> Interval.t -> Interval.t list -> Interval.t list;
+      (** type index, table-index fact, argument facts -> result facts *)
+}
+
+(* Pointwise operator folding over finite value sets, dropping pairs
+   that trap: a trapping evaluation reaches no program point after the
+   instruction, so it contributes no value (all-trap folds to Bot). *)
+
+let lift1 f v =
+  match Interval.values v with
+  | Some vs ->
+    Interval.of_values
+      (List.filter_map (fun x -> try Some (f x) with Value.Trap _ -> None) vs)
+  | None -> Interval.top
+
+let lift2 f a b =
+  match Interval.values a, Interval.values b with
+  | Some va, Some vb ->
+    Some
+      (Interval.of_values
+         (List.concat_map
+            (fun x ->
+               List.filter_map (fun y -> try Some (f x y) with Value.Trap _ -> None) vb)
+            va))
+  | _ -> None
+
+(* Range refinements for the operators table-index computations are
+   built from; everything else falls back to Top / the boolean set. *)
+let binary_fact op a b =
+  if Interval.is_bot a || Interval.is_bot b then Interval.bot
+  else
+    match lift2 (Eval_numeric.eval_binop op) a b with
+    | Some r -> r
+    | None ->
+      let const_divisors b =
+        match Interval.values b with
+        | Some vs when vs <> [] -> Some vs
+        | _ -> None
+      in
+      (match op with
+       | IBin (S32, And) ->
+         (* x land y <= min m when either operand lies in [0, m] *)
+         (match Interval.nonneg_max_i32 a, Interval.nonneg_max_i32 b with
+          | Some m, Some m' -> Interval.i32_range 0l (min m m')
+          | Some m, None | None, Some m -> Interval.i32_range 0l m
+          | None, None -> Interval.top)
+       | IBin (S32, RemS) ->
+         (* |x rem c| < |c|; a non-negative dividend keeps the result
+            non-negative. min_int divisors are excluded (|min_int|
+            overflows). *)
+         (match const_divisors b with
+          | Some divs
+            when List.for_all
+                (function Value.I32 k -> k <> 0l && k <> Int32.min_int | _ -> false)
+                divs ->
+            let m =
+              List.fold_left
+                (fun acc v ->
+                   match v with Value.I32 k -> max acc (Int32.abs k) | _ -> acc)
+                1l divs
+            in
+            let m = Int32.sub m 1l in
+            if Option.is_some (Interval.nonneg_max_i32 a) then Interval.i32_range 0l m
+            else Interval.i32_range (Int32.neg m) m
+          | _ -> Interval.top)
+       | IBin (S32, RemU) ->
+         (match const_divisors b with
+          | Some divs
+            when List.for_all (function Value.I32 k -> k > 0l | _ -> false) divs ->
+            let m =
+              List.fold_left
+                (fun acc v -> match v with Value.I32 k -> max acc k | _ -> acc)
+                1l divs
+            in
+            Interval.i32_range 0l (Int32.sub m 1l)
+          | _ -> Interval.top)
+       | IBin (S32, (DivU | ShrU | ShrS)) ->
+         (* unsigned quotients and right shifts of a value in [0, m]
+            stay in [0, m] *)
+         (match Interval.nonneg_max_i32 a with
+          | Some m -> Interval.i32_range 0l m
+          | None -> Interval.top)
+       | _ -> Interval.top)
+
+let compare_fact op a b =
+  if Interval.is_bot a || Interval.is_bot b then Interval.bot
+  else
+    match lift2 (Eval_numeric.eval_relop op) a b with
+    | Some r -> r
+    | None -> Interval.bool01
+
+let test_fact op a =
+  if Interval.is_bot a then Interval.bot
+  else match Interval.values a with Some _ -> lift1 (Eval_numeric.eval_testop op) a | None -> Interval.bool01
+
+let step (ctx : Validate.Module_ctx.t) (env : env) (m : machine) (ins : instr) : machine =
+  let set_local i v =
+    let locals = Array.copy m.locals in
+    locals.(i) <- v;
+    locals
+  in
+  let types = ctx.Validate.Module_ctx.types in
+  let func_types = ctx.Validate.Module_ctx.func_types in
+  match ins with
+  | Nop | Block _ | Loop _ | End | Else | Br _ | Return | Unreachable -> m
+  | If _ | BrIf _ | BrTable _ | Drop ->
+    let _, stack = pop 1 m.stack in
+    { m with stack }
+  | GlobalSet g ->
+    (match pop 1 m.stack with
+     | [ v ], stack ->
+       env.e_global_set g v;
+       { m with stack }
+     | _ -> assert false)
+  | GlobalGet g -> { m with stack = env.e_global g :: m.stack }
+  | Call f ->
+    let ft = func_types.(f) in
+    let args, stack = pop (List.length ft.Types.params) m.stack in
+    let results = env.e_call f (List.rev args) in
+    { m with stack = List.rev results @ stack }
+  | CallIndirect ti ->
+    let ft = types.(ti) in
+    (match pop 1 m.stack with
+     | [ idx ], stack ->
+       let args, stack = pop (List.length ft.Types.params) stack in
+       let results = env.e_indirect ti idx (List.rev args) in
+       { m with stack = List.rev results @ stack }
+     | _ -> assert false)
+  | Select ->
+    (match pop 3 m.stack with
+     | [ c; b; a ], stack ->
+       let v =
+         if Interval.is_bot c then Interval.bot
+         else
+           match Interval.may_be_nonzero c, Interval.may_be_zero c with
+           | true, false -> a
+           | false, true -> b
+           | _ -> Interval.join a b
+       in
+       { m with stack = v :: stack }
+     | _ -> assert false)
+  | LocalGet x -> { m with stack = m.locals.(x) :: m.stack }
+  | LocalSet x ->
+    (match pop 1 m.stack with
+     | [ v ], stack -> { locals = set_local x v; stack }
+     | _ -> assert false)
+  | LocalTee x ->
+    (match m.stack with
+     | v :: _ -> { m with locals = set_local x v }
+     | [] -> { m with locals = set_local x Interval.top })
+  | MemorySize -> { m with stack = Interval.top :: m.stack }
+  | Load _ | MemoryGrow ->
+    let _, stack = pop 1 m.stack in
+    { m with stack = Interval.top :: stack }
+  | Store _ ->
+    let _, stack = pop 2 m.stack in
+    { m with stack }
+  | Const v -> { m with stack = Interval.of_value v :: m.stack }
+  | Test op ->
+    (match pop 1 m.stack with
+     | [ a ], stack -> { m with stack = test_fact op a :: stack }
+     | _ -> assert false)
+  | Unary op ->
+    (match pop 1 m.stack with
+     | [ a ], stack ->
+       let r = if Interval.is_bot a then Interval.bot else lift1 (Eval_numeric.eval_unop op) a in
+       { m with stack = r :: stack }
+     | _ -> assert false)
+  | Convert op ->
+    (match pop 1 m.stack with
+     | [ a ], stack ->
+       let r = if Interval.is_bot a then Interval.bot else lift1 (Eval_numeric.eval_cvtop op) a in
+       { m with stack = r :: stack }
+     | _ -> assert false)
+  | Compare op ->
+    (match pop 2 m.stack with
+     | [ b; a ], stack -> { m with stack = compare_fact op a b :: stack }
+     | _ -> assert false)
+  | Binary op ->
+    (match pop 2 m.stack with
+     | [ b; a ], stack -> { m with stack = binary_fact op a b :: stack }
+     | _ -> assert false)
+
+let transfer ctx env (cfg : Cfg.t) id (st : state) : state =
+  match st with
+  | Unreached -> Unreached
+  | S m ->
+    let b = cfg.Cfg.blocks.(id) in
+    let m = ref m in
+    for pc = b.Cfg.first to b.Cfg.last do
+      m := step ctx env !m cfg.Cfg.body.(pc)
+    done;
+    S !m
+
+let edge_adjust (e : Cfg.edge) (st : state) : state =
+  match st, e.Cfg.carried with
+  | Unreached, _ | _, None -> st
+  | S m, Some a ->
+    let carried, _ = pop (min a (List.length m.stack)) m.stack in
+    S { m with stack = carried }
+
+(* ------------------------------------------------------------------ *)
+(* Intraprocedural runs: solve, tighten, re-solve, record              *)
+(* ------------------------------------------------------------------ *)
+
+type intra = {
+  icfg : Cfg.t;  (* with contradicted branch edges removed *)
+  istacks : Interval.t list option array;
+      (* per-pc abstract stack (top first) just before the pc; index
+         [body length] holds the exit point; None = unreachable *)
+}
+
+let tighten_edges value_at (cfg : Cfg.t) : Cfg.t =
+  (* hoisted out of the keep-closure: [restrict] evaluates it per edge *)
+  let n_cases =
+    Array.map
+      (function BrTable (ls, _) -> List.length ls | _ -> 0)
+      cfg.Cfg.body
+  in
+  Cfg.restrict cfg ~keep:(fun pc (e : Cfg.edge) ->
+    match cfg.Cfg.body.(pc) with
+    | BrIf _ ->
+      let c = value_at pc 0 in
+      (match e.Cfg.kind with
+       | Cfg.Taken -> Interval.may_be_nonzero c
+       | Cfg.NotTaken -> Interval.may_be_zero c
+       | _ -> true)
+    | BrTable _ ->
+      let c = value_at pc 0 in
+      (match e.Cfg.kind with
+       | Cfg.Case i -> Interval.may_select_case c i
+       | Cfg.Default -> Interval.may_select_default c ~n_cases:n_cases.(pc)
+       | _ -> true)
+    | _ -> true)
+
+let record_stacks ctx env (cfg : Cfg.t) (res : Solver.result) =
+  let n = Array.length cfg.Cfg.body in
+  let stacks = Array.make (n + 1) None in
+  Array.iter
+    (fun (b : Cfg.block) ->
+       match res.Solver.before.(b.Cfg.id) with
+       | Unreached -> ()
+       | S m ->
+         if b.Cfg.id = cfg.Cfg.exit_ then stacks.(n) <- Some m.stack
+         else begin
+           let m = ref m in
+           for pc = b.Cfg.first to b.Cfg.last do
+             stacks.(pc) <- Some !m.stack;
+             m := step ctx env !m cfg.Cfg.body.(pc)
+           done
+         end)
+    cfg.Cfg.blocks;
+  stacks
+
+let run ctx env (cfg : Cfg.t) ~(params : Interval.t array) : intra * state =
+  let init =
+    let locals =
+      Array.init cfg.Cfg.nlocals (fun i ->
+        if i < cfg.Cfg.nparams then
+          (if i < Array.length params then params.(i) else Interval.top)
+        else
+          let ty = List.nth cfg.Cfg.func.locals (i - cfg.Cfg.nparams) in
+          Interval.of_value (Value.default ty))
+    in
+    S { locals; stack = [] }
+  in
+  let solve cfg = Solver.solve ~edge:edge_adjust cfg ~init ~transfer:(transfer ctx env) in
+  let res = solve cfg in
+  let stacks = record_stacks ctx env cfg res in
+  let value_at pc depth =
+    match stacks.(pc) with
+    | None -> Interval.bot
+    | Some st -> (match List.nth_opt st depth with Some v -> v | None -> Interval.top)
+  in
+  let cfg' = tighten_edges value_at cfg in
+  let res' = solve cfg' in
+  let stacks' = record_stacks ctx env cfg' res' in
+  ({ icfg = cfg'; istacks = stacks' }, res'.Solver.before.(cfg'.Cfg.exit_))
+
+let intra_value_at (i : intra) ~pc ~depth =
+  if pc < 0 || pc >= Array.length i.istacks then Interval.top
+  else
+    match i.istacks.(pc) with
+    | None -> Interval.bot
+    | Some st -> (match List.nth_opt st depth with Some v -> v | None -> Interval.top)
+
+let intra_live (i : intra) ~pc =
+  pc >= 0 && pc < Array.length i.istacks && i.istacks.(pc) <> None
+
+let uninformative_env (ctx : Validate.Module_ctx.t) : env =
+  let func_types = ctx.Validate.Module_ctx.func_types in
+  let types = ctx.Validate.Module_ctx.types in
+  {
+    e_global = (fun _ -> Interval.top);
+    e_global_set = (fun _ _ -> ());
+    e_call =
+      (fun f _ -> List.map (fun _ -> Interval.top) func_types.(f).Types.results);
+    e_indirect =
+      (fun ti _ _ -> List.map (fun _ -> Interval.top) types.(ti).Types.results);
+  }
+
+let analyze_intra ctx (cfg : Cfg.t) : intra =
+  let params = Array.make cfg.Cfg.nparams Interval.top in
+  fst (run ctx (uninformative_env ctx) cfg ~params)
+
+(* ------------------------------------------------------------------ *)
+(* Interprocedural analysis                                            *)
+(* ------------------------------------------------------------------ *)
+
+type t = {
+  ctx : Validate.Module_ctx.t;
+  n_imports : int;
+  n_funcs : int;
+  escapes : bool;
+  globals_ : Interval.t array;
+  params_ : Interval.t array array;
+  results_ : Interval.t array array;
+  reached_ : bool array;
+  intra_ : intra option array;  (* indexed by f - n_imports *)
+  sites_ : (int * int, Interval.t * int list) Hashtbl.t;
+  n_sccs_ : int;
+}
+
+(* Tarjan's SCC algorithm over a successor array; returns the component
+   index of each node, components numbered in reverse topological order
+   (callees before callers). *)
+let sccs (succ : int list array) : int array * int =
+  let n = Array.length succ in
+  let index = Array.make n (-1) in
+  let lowlink = Array.make n 0 in
+  let on_stack = Array.make n false in
+  let stack = ref [] in
+  let counter = ref 0 in
+  let comp = Array.make n (-1) in
+  let n_comps = ref 0 in
+  let rec strongconnect v =
+    index.(v) <- !counter;
+    lowlink.(v) <- !counter;
+    incr counter;
+    stack := v :: !stack;
+    on_stack.(v) <- true;
+    List.iter
+      (fun w ->
+         if index.(w) < 0 then begin
+           strongconnect w;
+           lowlink.(v) <- min lowlink.(v) lowlink.(w)
+         end
+         else if on_stack.(w) then lowlink.(v) <- min lowlink.(v) index.(w))
+      succ.(v);
+    if lowlink.(v) = index.(v) then begin
+      let c = !n_comps in
+      incr n_comps;
+      let rec popc () =
+        match !stack with
+        | w :: rest ->
+          stack := rest;
+          on_stack.(w) <- false;
+          comp.(w) <- c;
+          if w <> v then popc ()
+        | [] -> ()
+      in
+      popc ()
+    end
+  in
+  for v = 0 to n - 1 do
+    if index.(v) < 0 then strongconnect v
+  done;
+  (comp, !n_comps)
+
+let analyze (m : module_) : t =
+  let ctx = Validate.Module_ctx.create m in
+  let func_types = ctx.Validate.Module_ctx.func_types in
+  let types = ctx.Validate.Module_ctx.types in
+  let has_table = ctx.Validate.Module_ctx.has_table in
+  let n_imports = num_imported_funcs m in
+  let n_funcs = Array.length func_types in
+  let n_defined = n_funcs - n_imports in
+  let escapes =
+    List.exists (fun e -> match e.edesc with TableExport _ -> true | _ -> false) m.exports
+    || List.exists (fun i -> match i.idesc with TableImport _ -> true | _ -> false) m.imports
+  in
+  let layout = table_layout m ~escapes in
+  let elem_funcs = List.sort_uniq compare (List.concat_map (fun e -> e.einit) m.elems) in
+  let export_roots =
+    List.filter_map (fun e -> match e.edesc with FuncExport i -> Some i | _ -> None) m.exports
+  in
+  let funcs = Array.of_list m.funcs in
+  let cfgs = Array.make (max n_defined 1) None in
+  let cfg_of f =
+    let fi = f - n_imports in
+    match cfgs.(fi) with
+    | Some c -> c
+    | None ->
+      let c = Cfg.build ctx funcs.(fi) in
+      cfgs.(fi) <- Some c;
+      c
+  in
+  (* global cells *)
+  let n_gimp = num_imported_globals m in
+  let n_globals = Array.length ctx.Validate.Module_ctx.global_types in
+  let exported_global g =
+    List.exists (fun e -> match e.edesc with GlobalExport i -> i = g | _ -> false) m.exports
+  in
+  let globals_ =
+    Array.init n_globals (fun g ->
+      if g < n_gimp then Interval.top
+      else
+        let gl = List.nth m.globals (g - n_gimp) in
+        let init =
+          match gl.ginit with [ Const v ] -> Interval.of_value v | _ -> Interval.top
+        in
+        match gl.gtype.Types.mutability with
+        | Types.Immutable -> init
+        | Types.Mutable -> if exported_global g then Interval.top else init)
+  in
+  let params_ =
+    Array.init n_funcs (fun f ->
+      Array.make (List.length func_types.(f).Types.params) Interval.bot)
+  in
+  let results_ =
+    Array.init n_funcs (fun f ->
+      Array.make (List.length func_types.(f).Types.results)
+        (if f < n_imports then Interval.top else Interval.bot))
+  in
+  let reached_ = Array.make (max n_funcs 1) false in
+  let intra_ = Array.make (max n_defined 1) None in
+  let sites_ = Hashtbl.create 16 in
+  (* worklist: dirty functions, drained in SCC-condensation order *)
+  let dirty = Array.make (max n_funcs 1) false in
+  let enqueue f = if f >= n_imports && f < n_funcs then dirty.(f) <- true in
+  (* dependency records *)
+  let g_readers = Array.make (max n_globals 1) [] in
+  let f_dependents = Array.make (max n_funcs 1) [] in
+  let add_once arr i f = if not (List.mem f arr.(i)) then arr.(i) <- f :: arr.(i) in
+  let join_params callee args =
+    let arr = params_.(callee) in
+    List.iteri
+      (fun i a ->
+         if i < Array.length arr then begin
+           let j = Interval.join arr.(i) a in
+           if not (Interval.equal j arr.(i)) then begin
+             arr.(i) <- j;
+             enqueue callee
+           end
+         end)
+      args
+  in
+  (* indirect resolution against the inferred index fact *)
+  let pool ft =
+    if not has_table then []
+    else
+      let base = if escapes then List.sort_uniq compare (export_roots @ elem_funcs) else elem_funcs in
+      List.filter (fun f -> Types.equal_func_type func_types.(f) ft) base
+  in
+  let resolve ti idx =
+    let ft = types.(ti) in
+    match layout with
+    | Some slots ->
+      let n = Array.length slots in
+      let keep_all =
+        n > 4096 && (match idx with Interval.Set _ -> false | _ -> true)
+      in
+      if keep_all then pool ft
+      else
+        List.sort_uniq compare
+          (List.filter_map
+             (fun k ->
+                if Interval.contains idx (Value.I32 (Int32.of_int k)) then
+                  match slots.(k) with
+                  | Some callee when Types.equal_func_type func_types.(callee) ft ->
+                    Some callee
+                  | _ -> None  (* empty or mismatched slot: the call traps *)
+                else None)
+             (List.init n Fun.id))
+    | None -> pool ft
+  in
+  let live_env f : env =
+    {
+      e_global =
+        (fun g ->
+           add_once g_readers g f;
+           globals_.(g));
+      e_global_set =
+        (fun g v ->
+           let j = Interval.join globals_.(g) v in
+           if not (Interval.equal j globals_.(g)) then begin
+             globals_.(g) <- j;
+             List.iter enqueue g_readers.(g)
+           end);
+      e_call =
+        (fun callee args ->
+           if callee < n_imports then Array.to_list results_.(callee)
+           else begin
+             add_once f_dependents callee f;
+             join_params callee args;
+             (* parameter joins only enqueue on growth; a nullary (or
+                already-saturated) callee still needs its first run *)
+             if not reached_.(callee) then enqueue callee;
+             Array.to_list results_.(callee)
+           end);
+      e_indirect =
+        (fun ti idx args ->
+           let ts = resolve ti idx in
+           List.iter
+             (fun callee ->
+                if callee >= n_imports then begin
+                  add_once f_dependents callee f;
+                  join_params callee args;
+                  if not reached_.(callee) then enqueue callee
+                end)
+             ts;
+           let ft = types.(ti) in
+           if escapes then List.map (fun _ -> Interval.top) ft.Types.results
+           else
+             List.mapi
+               (fun i _ ->
+                  List.fold_left
+                    (fun acc callee ->
+                       Interval.join acc
+                         (if callee < n_imports then Interval.top
+                          else results_.(callee).(i)))
+                    Interval.bot ts)
+               ft.Types.results);
+    }
+  in
+  (* effect-free environment for recording functions the fixpoint never
+     reached: read current facts, contribute nothing *)
+  let frozen_env f : env =
+    let live = live_env f in
+    {
+      e_global = (fun g -> globals_.(g));
+      e_global_set = (fun _ _ -> ());
+      e_call =
+        (fun callee _ -> Array.to_list results_.(callee));
+      e_indirect = (fun ti idx _ -> live.e_indirect ti idx []);
+    }
+  in
+  let process f =
+    reached_.(f) <- true;
+    let cfg = cfg_of f in
+    let intra, exit_state = run ctx (live_env f) cfg ~params:params_.(f) in
+    intra_.(f - n_imports) <- Some intra;
+    (match exit_state with
+     | Unreached -> ()  (* no path returns: results stay Bot *)
+     | S mch ->
+       let n = Array.length results_.(f) in
+       let vs, _ = pop n mch.stack in
+       let vs = List.rev vs in
+       let grew = ref false in
+       List.iteri
+         (fun i v ->
+            let j = Interval.join results_.(f).(i) v in
+            if not (Interval.equal j results_.(f).(i)) then begin
+              results_.(f).(i) <- j;
+              grew := true
+            end)
+         vs;
+       if !grew then List.iter enqueue f_dependents.(f))
+  in
+  (* roots: host-callable entry points get Top parameters *)
+  let roots =
+    List.sort_uniq compare
+      (export_roots @ Option.to_list m.start @ (if escapes then elem_funcs else []))
+  in
+  List.iter
+    (fun f ->
+       if f >= n_imports && f < n_funcs then begin
+         Array.fill params_.(f) 0 (Array.length params_.(f)) Interval.top;
+         enqueue f
+       end)
+    roots;
+  (* coarse call graph (direct + type-pool indirect) for SCC-guided
+     processing order: callers first, so parameter summaries settle
+     before their consumers run *)
+  let coarse_succ = Array.make (max n_funcs 1) [] in
+  Array.iteri
+    (fun fi (f : func) ->
+       let callees =
+         List.concat_map
+           (function
+             | Call c -> [ c ]
+             | CallIndirect ti -> pool types.(ti)
+             | _ -> [])
+           f.body
+       in
+       coarse_succ.(n_imports + fi) <- List.sort_uniq compare callees)
+    funcs;
+  let comp, n_sccs_ = sccs coarse_succ in
+  (* Tarjan numbers components callees-first; sort descending for a
+     callers-first sweep, so parameter summaries settle before their
+     consumers run *)
+  let order =
+    List.sort (fun a b -> compare comp.(b) comp.(a)) (List.init n_funcs Fun.id)
+  in
+  let drain () =
+    let again = ref true in
+    while !again do
+      again := false;
+      List.iter
+        (fun f ->
+           if dirty.(f) then begin
+             dirty.(f) <- false;
+             again := true;
+             process f
+           end)
+        order
+    done
+  in
+  drain ();
+  (* final recording passes: at the fixpoint re-running a function can
+     grow nothing, but guard with a stabilization loop anyway *)
+  let rec finalize budget =
+    for f = n_imports to n_funcs - 1 do
+      if reached_.(f) then begin
+        let intra, _ = run ctx (live_env f) (cfg_of f) ~params:params_.(f) in
+        intra_.(f - n_imports) <- Some intra
+      end
+    done;
+    if Array.exists Fun.id dirty && budget > 0 then begin
+      drain ();
+      finalize (budget - 1)
+    end
+  in
+  finalize 8;
+  (* functions the fixpoint never reached still get facts (with Top
+     parameters, effect-free) so queries are total *)
+  for f = n_imports to n_funcs - 1 do
+    if not reached_.(f) then begin
+      let cfg = cfg_of f in
+      let params = Array.make cfg.Cfg.nparams Interval.top in
+      let intra, _ = run ctx (frozen_env f) cfg ~params in
+      intra_.(f - n_imports) <- Some intra
+    end
+  done;
+  (* record indirect-call sites from the final facts *)
+  for f = n_imports to n_funcs - 1 do
+    match intra_.(f - n_imports) with
+    | None -> ()
+    | Some intra ->
+      Array.iteri
+        (fun pc ins ->
+           match ins with
+           | CallIndirect ti ->
+             (match intra.istacks.(pc) with
+              | None -> ()  (* dead site *)
+              | Some st ->
+                let idx = match st with v :: _ -> v | [] -> Interval.top in
+                Hashtbl.replace sites_ (f, pc) (idx, resolve ti idx))
+           | _ -> ())
+        intra.icfg.Cfg.body
+  done;
+  { ctx; n_imports; n_funcs; escapes; globals_; params_; results_; reached_;
+    intra_; sites_; n_sccs_ }
+
+(* ------------------------------------------------------------------ *)
+(* Queries                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let intra_of t f =
+  if f < t.n_imports || f >= t.n_funcs then None else t.intra_.(f - t.n_imports)
+
+let value_at t ~func ~pc ~depth =
+  match intra_of t func with
+  | None -> Interval.top
+  | Some i -> intra_value_at i ~pc ~depth
+
+let live t ~func ~pc =
+  match intra_of t func with None -> false | Some i -> intra_live i ~pc
+
+let indirect_site t ~func ~pc = Hashtbl.find_opt t.sites_ (func, pc)
+
+let global_fact t g =
+  if g < 0 || g >= Array.length t.globals_ then Interval.top else t.globals_.(g)
+
+let param_facts t f =
+  if f < 0 || f >= t.n_funcs then [] else Array.to_list t.params_.(f)
+
+let result_facts t f =
+  if f < 0 || f >= t.n_funcs then [] else Array.to_list t.results_.(f)
+
+let reached t f = f >= 0 && f < t.n_funcs && t.reached_.(f)
+let table_escapes t = t.escapes
+let n_sccs t = t.n_sccs_
+
+(* ------------------------------------------------------------------ *)
+(* Reporting                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let string_of_facts vs =
+  "[" ^ String.concat " " (List.map Interval.to_string vs) ^ "]"
+
+let dump_func ?(stacks = false) t f =
+  let buf = Buffer.create 256 in
+  Printf.bprintf buf "func %d%s: params %s -> results %s%s\n" f
+    (if t.reached_.(f) then "" else " (unreached)")
+    (string_of_facts (param_facts t f))
+    (string_of_facts (result_facts t f))
+    (if f < t.n_imports then " (import)" else "");
+  (match intra_of t f with
+   | None -> ()
+   | Some i ->
+     let body = i.icfg.Cfg.body in
+     Array.iteri
+       (fun pc ins ->
+          let dead = not (intra_live i ~pc) in
+          (match ins with
+           | CallIndirect _ when not dead ->
+             (match indirect_site t ~func:f ~pc with
+              | Some (idx, ts) ->
+                Printf.bprintf buf "  pc %d %s: index %s -> {%s}%s\n" pc
+                  (Ast.string_of_instr ins) (Interval.to_string idx)
+                  (String.concat " " (List.map string_of_int ts))
+                  (if t.escapes then " (+host)" else "")
+              | None -> ())
+           | _ -> ());
+          if dead then Printf.bprintf buf "  pc %d %s: dead\n" pc (Ast.string_of_instr ins)
+          else if stacks then
+            match i.istacks.(pc) with
+            | Some st ->
+              Printf.bprintf buf "  pc %d %s: stack %s\n" pc (Ast.string_of_instr ins)
+                (string_of_facts st)
+            | None -> ())
+       body);
+  Buffer.contents buf
+
+let summary t =
+  let n_defined = t.n_funcs - t.n_imports in
+  let n_reached = Array.fold_left (fun a r -> if r then a + 1 else a) 0 t.reached_ in
+  let n_sites = Hashtbl.length t.sites_ in
+  let exact =
+    Hashtbl.fold
+      (fun _ (idx, _) acc -> if Interval.values idx <> None then acc + 1 else acc)
+      t.sites_ 0
+  in
+  let dead_pcs = ref 0 and total_pcs = ref 0 in
+  Array.iter
+    (function
+      | None -> ()
+      | Some i ->
+        let n = Array.length i.icfg.Cfg.body in
+        total_pcs := !total_pcs + n;
+        for pc = 0 to n - 1 do
+          if not (intra_live i ~pc) then incr dead_pcs
+        done)
+    t.intra_;
+  Printf.sprintf
+    "%d functions (%d imported, %d defined), %d reached, %d SCCs, %d indirect sites \
+     (%d with finite index sets)%s, %d/%d instructions dead"
+    t.n_funcs t.n_imports n_defined n_reached t.n_sccs_ n_sites exact
+    (if t.escapes then ", table escapes" else "")
+    !dead_pcs !total_pcs

@@ -1,0 +1,98 @@
+(** Whole-module abstract interpretation over the {!Interval} value-set
+    domain (after Paccamiccio et al., "Building Call Graph of WebAssembly
+    Programs via Abstract Semantics").
+
+    The analysis runs the {!Dataflow} solver intraprocedurally per
+    function (solve, tighten infeasible branch edges with the inferred
+    facts, re-solve) and connects functions through a worklist over the
+    SCC condensation of a coarse call graph: argument facts join into
+    callee parameter summaries, return facts join back into callers,
+    and module globals are modelled as per-index abstract cells.
+    [call_indirect] targets are resolved through the static table layout
+    against the inferred index fact, which is what makes the precise
+    call-graph mode ({!Callgraph.build}[ ~precise]) and hook folding
+    ({!val:Wasabi.Instrument.instrument}[ ~fold]) possible.
+
+    Soundness contract (checked end-to-end by the fuzzer's
+    absint-soundness oracle): for every dynamically reachable program
+    point, every concrete value is {!Interval.contains}-ed in the
+    corresponding fact, every executed indirect call's table index and
+    resolved target are contained in the recorded site, and every block
+    the analysis reports dead never executes.
+
+    Host escape hatches are over-approximated: imported and
+    exported-mutable globals are [Top] cells; exported functions and —
+    when the table escapes — element-segment entries are analyzed with
+    [Top] parameters; calls into imports return [Top]. When the table
+    escapes, indirect targets additionally include every export and
+    element entry of the site's type (in the MVP the embedder can only
+    obtain function references from exports and element segments), and
+    such sites may also reach host functions, so their results are
+    [Top]. *)
+
+open Wasm
+
+val table_layout : Ast.module_ -> escapes:bool -> int option array option
+(** Static table layout: [Some slots] when every element segment has a
+    constant offset into a non-escaping table, so slot contents cannot
+    change at run time. [None] slots are uninitialised (calls trap). *)
+
+(** {1 Intraprocedural engine}
+
+    The same abstract machine with an uninformative environment (globals,
+    call results and indirect targets all [Top]); {!Stackval} is a thin
+    wrapper over this. *)
+
+type intra
+
+val analyze_intra : Validate.Module_ctx.t -> Cfg.t -> intra
+val intra_value_at : intra -> pc:int -> depth:int -> Interval.t
+val intra_live : intra -> pc:int -> bool
+
+val tighten_edges : (int -> int -> Interval.t) -> Cfg.t -> Cfg.t
+(** [tighten_edges value_at cfg] drops [br_if] / [br_table] terminator
+    edges contradicted by the condition / index fact ([value_at pc depth],
+    depth 0 = top of stack just before [pc]). *)
+
+(** {1 Whole-module analysis} *)
+
+type t
+
+val analyze : Ast.module_ -> t
+(** The module must be valid. Runs the interprocedural fixpoint and a
+    final per-function recording pass; functions the fixpoint never
+    reached are still analyzed (with [Top] parameters, effect-free) so
+    every query below is total. *)
+
+val value_at : t -> func:int -> pc:int -> depth:int -> Interval.t
+(** Fact for the operand-stack slot [depth] (0 = top) just before
+    executing [pc] of [func]. [Bot] when the point is unreachable, [Top]
+    below the known stack or for imported functions. [pc] = body length
+    addresses the function's exit point. *)
+
+val live : t -> func:int -> pc:int -> bool
+(** Whether the analysis considers the program point reachable. Imported
+    functions and out-of-range pcs are not live. *)
+
+val indirect_site : t -> func:int -> pc:int -> (Interval.t * int list) option
+(** The inferred table-index fact and resolved target set of the
+    [call_indirect] at [(func, pc)]; [None] when there is no such site or
+    it is unreachable. The target list covers only module functions —
+    when {!table_escapes}, sites may additionally reach host functions. *)
+
+val global_fact : t -> int -> Interval.t
+val param_facts : t -> int -> Interval.t list
+val result_facts : t -> int -> Interval.t list
+
+val reached : t -> int -> bool
+(** Whether the interprocedural fixpoint reached the function (a sound
+    over-approximation of "some export transitively calls it"). *)
+
+val table_escapes : t -> bool
+val n_sccs : t -> int
+
+val dump_func : ?stacks:bool -> t -> int -> string
+(** Per-function fact dump: signature summaries, indirect-call sites,
+    dead pcs; [stacks] adds the per-pc abstract stack. *)
+
+val summary : t -> string

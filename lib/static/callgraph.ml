@@ -21,33 +21,7 @@ type t = {
   names : (int, string) Hashtbl.t;
 }
 
-(** Static table layout: [Some slots] when every element segment has a
-    constant offset into a module-defined, non-escaping table, so slot
-    contents cannot change at run time. *)
-let table_layout (m : module_) ~escapes =
-  let imported_table =
-    List.exists (fun i -> match i.idesc with TableImport _ -> true | _ -> false) m.imports
-  in
-  if escapes || imported_table || m.tables = [] then None
-  else
-    let constant_offset e = match e.eoffset with [ Const (Value.I32 c) ] -> Some c | _ -> None in
-    let offsets = List.map constant_offset m.elems in
-    if List.exists Option.is_none offsets then None
-    else begin
-      let size =
-        List.fold_left2
-          (fun acc e off -> max acc (Int32.to_int (Option.get off) + List.length e.einit))
-          0 m.elems offsets
-      in
-      let slots = Array.make size None in
-      List.iter2
-        (fun e off ->
-           List.iteri (fun i f -> slots.(Int32.to_int (Option.get off) + i) <- Some f) e.einit)
-        m.elems offsets;
-      Some slots
-    end
-
-let build ?(tighten = true) (m : module_) : t =
+let build ?(tighten = true) ?(precise = false) (m : module_) : t =
   let ctx = Validate.Module_ctx.create m in
   let func_types = ctx.Validate.Module_ctx.func_types in
   let types = ctx.Validate.Module_ctx.types in
@@ -60,7 +34,7 @@ let build ?(tighten = true) (m : module_) : t =
     List.exists (fun i -> match i.idesc with TableImport _ -> true | _ -> false) m.imports
   in
   let table_escapes_ = exported_table || imported_table in
-  let layout = table_layout m ~escapes:table_escapes_ in
+  let layout = Absint.table_layout m ~escapes:table_escapes_ in
   let elem_funcs = List.sort_uniq compare (List.concat_map (fun e -> e.einit) m.elems) in
   let has_table = ctx.Validate.Module_ctx.has_table in
   let candidates_of_type ft =
@@ -71,41 +45,59 @@ let build ?(tighten = true) (m : module_) : t =
       in
       List.filter (fun f -> Types.equal_func_type func_types.(f) ft) pool
   in
+  (* precise mode: whole-module abstract interpretation resolves indirect
+     targets from inferred table-index sets and drops call sites in
+     statically-dead code *)
+  let facts = if precise then Some (Absint.analyze m) else None in
   let direct = ref Pair_set.empty in
   let indirect = ref Pair_set.empty in
   List.iteri
     (fun i (f : func) ->
        let caller = n_imports + i in
        let sv =
-         if tighten && List.exists (function CallIndirect _ -> true | _ -> false) f.body
+         if facts = None && tighten
+            && List.exists (function CallIndirect _ -> true | _ -> false) f.body
          then Some (Stackval.analyze ctx (Cfg.build ctx f))
          else None
        in
        List.iteri
          (fun pc ins ->
             match ins with
-            | Call callee -> direct := Pair_set.add (caller, callee) !direct
+            | Call callee ->
+              let dead_site =
+                match facts with
+                | Some fx -> not (Absint.live fx ~func:caller ~pc)
+                | None -> false
+              in
+              if not dead_site then direct := Pair_set.add (caller, callee) !direct
             | CallIndirect ti ->
               let ft = types.(ti) in
-              let exact =
-                match layout, sv with
-                | Some slots, Some sv ->
-                  (match Stackval.top_of_stack sv pc with
-                   | Some (Value.I32 k) ->
-                     let k = Int32.to_int k in
-                     if k >= 0 && k < Array.length slots then
-                       (* out-of-range or type-mismatched slots trap: no edge *)
-                       Some
-                         (match slots.(k) with
-                          | Some callee when Types.equal_func_type func_types.(callee) ft ->
-                            [ callee ]
-                          | _ -> [])
-                     else Some []
-                   | _ -> None)
-                | _ -> None
-              in
               let targets =
-                match exact with Some ts -> ts | None -> candidates_of_type ft
+                match facts with
+                | Some fx ->
+                  (match Absint.indirect_site fx ~func:caller ~pc with
+                   | Some (_, ts) -> ts
+                   | None -> []  (* dead site *))
+                | None ->
+                  let exact =
+                    match layout, sv with
+                    | Some slots, Some sv ->
+                      (match Stackval.top_of_stack sv pc with
+                       | Some (Value.I32 k) ->
+                         let k = Int32.to_int k in
+                         if k >= 0 && k < Array.length slots then
+                           (* out-of-range or type-mismatched slots trap: no edge *)
+                           Some
+                             (match slots.(k) with
+                              | Some callee
+                                when Types.equal_func_type func_types.(callee) ft ->
+                                [ callee ]
+                              | _ -> [])
+                         else Some []
+                       | _ -> None)
+                    | _ -> None
+                  in
+                  (match exact with Some ts -> ts | None -> candidates_of_type ft)
               in
               List.iter
                 (fun callee -> indirect := Pair_set.add (caller, callee) !indirect)

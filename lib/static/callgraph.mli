@@ -8,18 +8,24 @@
     function of type [ft] at all when the table escapes (is imported or
     exported, so the host can repopulate it). When the table layout is
     fully static and {!Stackval} proves the index constant, the target is
-    resolved exactly. The graph is therefore a sound superset of any
-    dynamically observed call graph, and functions unreachable from the
-    roots (function exports, the start function, escaping table entries)
-    can safely be skipped by selective instrumentation. *)
+    resolved exactly; in [~precise] mode the whole-module abstract
+    interpreter ({!Absint}) narrows every site to the table slots its
+    inferred index {e set} can select and drops sites in statically-dead
+    code. The graph is therefore a sound superset of any dynamically
+    observed call graph, and functions unreachable from the roots
+    (function exports, the start function, escaping table entries) can
+    safely be skipped by selective instrumentation. *)
 
 open Wasm
 
 type t
 
-val build : ?tighten:bool -> Ast.module_ -> t
+val build : ?tighten:bool -> ?precise:bool -> Ast.module_ -> t
 (** [tighten] (default [true]) runs {!Stackval} per function to resolve
-    constant-index indirect calls exactly. The module must be valid. *)
+    constant-index indirect calls exactly. [precise] (default [false])
+    runs the interprocedural {!Absint} analysis instead, resolving
+    indirect edges from inferred table-index sets; the result has at most
+    the edges of the default mode. The module must be valid. *)
 
 val n_funcs : t -> int
 (** Size of the function index space (imports first). *)

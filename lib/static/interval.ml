@@ -1,0 +1,217 @@
+open Wasm
+
+type t =
+  | Bot
+  | Set of Value.t list
+  | I32R of int32 * int32
+  | I64R of int64 * int64
+  | Top
+
+let max_set = 8
+let top = Top
+let bot = Bot
+let of_value v = Set [ v ]
+
+(* Threshold ladders: interval bounds are always rounded outward onto
+   these, so the set of representable intervals is finite and joins
+   terminate without a dedicated widening operator. The small powers of
+   two (and 2^k - 1 masks) are the values bitmask- and modulus-style
+   table index computations actually produce. *)
+
+let thresholds32 =
+  [|
+    Int32.min_int; -65536l; -4096l; -256l; -64l; -16l; -8l; -4l; -2l; -1l; 0l;
+    1l; 2l; 3l; 4l; 7l; 8l; 15l; 16l; 31l; 32l; 63l; 64l; 127l; 128l; 255l;
+    256l; 1023l; 1024l; 4095l; 4096l; 65535l; 65536l; Int32.max_int;
+  |]
+
+let thresholds64 =
+  [|
+    Int64.min_int; -65536L; -4096L; -256L; -64L; -16L; -8L; -4L; -2L; -1L; 0L;
+    1L; 2L; 3L; 4L; 7L; 8L; 15L; 16L; 31L; 32L; 63L; 64L; 127L; 128L; 255L;
+    256L; 1023L; 1024L; 4095L; 4096L; 65535L; 65536L; Int64.max_int;
+  |]
+
+let round_lo32 x =
+  let best = ref Int32.min_int in
+  Array.iter (fun th -> if th <= x && th > !best then best := th) thresholds32;
+  !best
+
+let round_hi32 x =
+  let best = ref Int32.max_int in
+  Array.iter (fun th -> if th >= x && th < !best then best := th) thresholds32;
+  !best
+
+let round_lo64 x =
+  let best = ref Int64.min_int in
+  Array.iter (fun th -> if th <= x && th > !best then best := th) thresholds64;
+  !best
+
+let round_hi64 x =
+  let best = ref Int64.max_int in
+  Array.iter (fun th -> if th >= x && th < !best then best := th) thresholds64;
+  !best
+
+let i32_range lo hi =
+  if lo > hi then Bot
+  else
+    let lo = round_lo32 lo and hi = round_hi32 hi in
+    if Int32.equal lo hi then Set [ Value.I32 lo ] else I32R (lo, hi)
+
+let i64_range lo hi =
+  if lo > hi then Bot
+  else
+    let lo = round_lo64 lo and hi = round_hi64 hi in
+    if Int64.equal lo hi then Set [ Value.I64 lo ] else I64R (lo, hi)
+
+(* Sorted-distinct invariant for [Set]. [contains] tests membership with
+   the bit-exact [Value.equal], so the dedup order must distinguish the
+   same bit patterns: Stdlib.compare on [F64 of float] is numeric and
+   would merge -0.0 with +0.0 (losing one of them from a join). F32
+   already carries its raw bits as an int32. *)
+let val_compare a b =
+  match (a, b) with
+  | Value.F64 x, Value.F64 y ->
+      Int64.compare (Int64.bits_of_float x) (Int64.bits_of_float y)
+  | _ -> Stdlib.compare a b
+
+let norm_values vs = List.sort_uniq val_compare vs
+
+let all_i32 vs =
+  List.for_all (function Value.I32 _ -> true | _ -> false) vs
+
+let all_i64 vs =
+  List.for_all (function Value.I64 _ -> true | _ -> false) vs
+
+let of_values vs =
+  match norm_values vs with
+  | [] -> Bot
+  | vs when List.length vs <= max_set -> Set vs
+  | vs when all_i32 vs ->
+      let ks = List.map (function Value.I32 k -> k | _ -> assert false) vs in
+      let lo = List.fold_left min Int32.max_int ks
+      and hi = List.fold_left max Int32.min_int ks in
+      i32_range lo hi
+  | vs when all_i64 vs ->
+      let ks = List.map (function Value.I64 k -> k | _ -> assert false) vs in
+      let lo = List.fold_left min Int64.max_int ks
+      and hi = List.fold_left max Int64.min_int ks in
+      i64_range lo hi
+  | _ -> Top
+
+let bool01 = Set [ Value.I32 0l; Value.I32 1l ]
+
+(* Hull of a value set with an i32/i64 interval; None when types mix. *)
+let hull32 lo hi vs =
+  if not (all_i32 vs) then None
+  else
+    let lo, hi =
+      List.fold_left
+        (fun (lo, hi) v ->
+          match v with
+          | Value.I32 k -> (min lo k, max hi k)
+          | _ -> (lo, hi))
+        (lo, hi) vs
+    in
+    Some (i32_range lo hi)
+
+let hull64 lo hi vs =
+  if not (all_i64 vs) then None
+  else
+    let lo, hi =
+      List.fold_left
+        (fun (lo, hi) v ->
+          match v with
+          | Value.I64 k -> (min lo k, max hi k)
+          | _ -> (lo, hi))
+        (lo, hi) vs
+    in
+    Some (i64_range lo hi)
+
+let join a b =
+  match (a, b) with
+  | Bot, x | x, Bot -> x
+  | Top, _ | _, Top -> Top
+  | Set va, Set vb -> of_values (va @ vb)
+  | (Set vs, I32R (lo, hi)) | (I32R (lo, hi), Set vs) -> (
+      match hull32 lo hi vs with Some r -> r | None -> Top)
+  | (Set vs, I64R (lo, hi)) | (I64R (lo, hi), Set vs) -> (
+      match hull64 lo hi vs with Some r -> r | None -> Top)
+  | I32R (a0, a1), I32R (b0, b1) -> i32_range (min a0 b0) (max a1 b1)
+  | I64R (a0, a1), I64R (b0, b1) -> i64_range (min a0 b0) (max a1 b1)
+  | I32R _, I64R _ | I64R _, I32R _ -> Top
+
+let equal a b =
+  match (a, b) with
+  | Bot, Bot | Top, Top -> true
+  | Set va, Set vb ->
+      List.length va = List.length vb && List.for_all2 Value.equal va vb
+  | I32R (a0, a1), I32R (b0, b1) -> Int32.equal a0 b0 && Int32.equal a1 b1
+  | I64R (a0, a1), I64R (b0, b1) -> Int64.equal a0 b0 && Int64.equal a1 b1
+  | _ -> false
+
+let is_bot t = t = Bot
+
+let contains t v =
+  match (t, v) with
+  | Bot, _ -> false
+  | Top, _ -> true
+  | Set vs, _ -> List.exists (Value.equal v) vs
+  | I32R (lo, hi), Value.I32 k -> lo <= k && k <= hi
+  | I64R (lo, hi), Value.I64 k -> lo <= k && k <= hi
+  | (I32R _ | I64R _), _ -> false
+
+let singleton = function Set [ v ] -> Some v | _ -> None
+let values = function Set vs -> Some vs | Bot -> Some [] | _ -> None
+
+let may_be_zero = function
+  | Bot -> false
+  | Top -> true
+  | Set vs ->
+      List.exists
+        (function Value.I32 0l -> true | Value.I32 _ -> false | _ -> true)
+        vs
+  | I32R (lo, hi) -> lo <= 0l && 0l <= hi
+  | I64R _ -> true
+
+let may_be_nonzero = function
+  | Bot -> false
+  | Top -> true
+  | Set vs ->
+      List.exists (function Value.I32 0l -> false | _ -> true) vs
+  | I32R (lo, hi) -> not (Int32.equal lo 0l && Int32.equal hi 0l)
+  | I64R _ -> true
+
+let may_select_case t i = contains t (Value.I32 (Int32.of_int i))
+
+(* br_table interprets the index as unsigned: every negative i32 also
+   selects the default. *)
+let may_select_default t ~n_cases =
+  let n = Int32.of_int n_cases in
+  match t with
+  | Bot -> false
+  | Top -> true
+  | Set vs ->
+      List.exists
+        (function Value.I32 k -> k < 0l || k >= n | _ -> true)
+        vs
+  | I32R (lo, hi) -> lo < 0l || hi >= n
+  | I64R _ -> true
+
+let nonneg_max_i32 = function
+  | Set vs when all_i32 vs ->
+      List.fold_left
+        (fun acc v ->
+          match (acc, v) with
+          | Some m, Value.I32 k when k >= 0l -> Some (max m k)
+          | _ -> None)
+        (Some 0l) vs
+  | I32R (lo, hi) when lo >= 0l -> Some hi
+  | _ -> None
+
+let to_string = function
+  | Bot -> "bot"
+  | Top -> "top"
+  | Set vs -> "{" ^ String.concat "," (List.map Value.to_string vs) ^ "}"
+  | I32R (lo, hi) -> Printf.sprintf "i32:[%ld,%ld]" lo hi
+  | I64R (lo, hi) -> Printf.sprintf "i64:[%Ld,%Ld]" lo hi

@@ -1,0 +1,75 @@
+(** The abstract value domain of the whole-module abstract interpreter
+    ({!Absint}): small value sets refined with threshold-bounded signed
+    intervals for i32/i64 (after Paccamiccio et al., "Building Call
+    Graph of WebAssembly Programs via Abstract Semantics").
+
+    An element over-approximates the set of runtime {!Wasm.Value.t}s a
+    program point may hold. Sets stay exact up to {!max_set} values;
+    integer sets that overflow widen to an interval whose bounds are
+    drawn from a fixed, finite threshold ladder, so every ascending
+    chain is finite and the {!Dataflow} solver terminates without a
+    separate widening pass. [Bot] is the value of unreachable code. *)
+
+open Wasm
+
+type t =
+  | Bot  (** no value reaches this point (unreachable) *)
+  | Set of Value.t list
+      (** 1..{!max_set} values, sorted, distinct, all of one type *)
+  | I32R of int32 * int32  (** signed bounds from the threshold ladder *)
+  | I64R of int64 * int64
+  | Top
+
+val max_set : int
+(** Largest exact value set kept before widening (8). *)
+
+val top : t
+val bot : t
+val of_value : Value.t -> t
+
+val of_values : Value.t list -> t
+(** Normalize an arbitrary (possibly unsorted, duplicated) collection:
+    [Bot] when empty, a {!Set} when small, a threshold-widened interval
+    when an integer set overflows, [Top] otherwise. *)
+
+val i32_range : int32 -> int32 -> t
+(** Interval with the bounds rounded outward to the threshold ladder
+    (collapses to a {!Set} when the rounded range is a single value). *)
+
+val i64_range : int64 -> int64 -> t
+
+val bool01 : t
+(** The result set of comparisons and tests: {[0; 1]}. *)
+
+val join : t -> t -> t
+val equal : t -> t -> bool
+val is_bot : t -> bool
+
+val contains : t -> Value.t -> bool
+(** Soundness predicate: may this abstract value take the concrete
+    value? [Bot] contains nothing, [Top] everything. *)
+
+val singleton : t -> Value.t option
+(** The value, when the element is a one-value set. *)
+
+val values : t -> Value.t list option
+(** All concrete values, when the element is a finite set. *)
+
+val may_be_zero : t -> bool
+(** May an i32 condition with this fact be zero? ([Top] and non-i32
+    elements answer [true]; [Bot] answers [false].) *)
+
+val may_be_nonzero : t -> bool
+
+val may_select_case : t -> int -> bool
+(** May a [br_table] index with this fact select case [i] (unsigned
+    interpretation, [i >= 0])? *)
+
+val may_select_default : t -> n_cases:int -> bool
+(** May the unsigned index be [>= n_cases], selecting the default? *)
+
+val nonneg_max_i32 : t -> int32 option
+(** [Some m] when every concrete value is an i32 in [[0, m]]; the basis
+    of the bitmask / unsigned-division range refinements. *)
+
+val to_string : t -> string

@@ -271,16 +271,62 @@ let check (r : W.Instrument.result) : finding list =
            else add (check_func ~ctx_o ~ctx_i ~remap ~is_hook ~fidx f g))
         (List.combine orig.funcs inst.funcs)
   end;
-  (* selective instrumentation must only prune statically-dead functions *)
+  (* selective instrumentation must only prune statically-dead functions;
+     with [~fold] the pruner uses the abstract-interpretation call graph,
+     so a function reachable in the type-pool graph is re-checked against
+     the precise one before being flagged *)
   if md.W.Metadata.pruned_funcs <> [] then begin
     let cg = Static.Callgraph.build orig in
+    let pcg = lazy (Static.Callgraph.build ~precise:true orig) in
     List.iter
       (fun fidx ->
-         if Static.Callgraph.is_reachable cg fidx then
+         if Static.Callgraph.is_reachable cg fidx
+            && Static.Callgraph.is_reachable (Lazy.force pcg) fidx
+         then
            add
              [ finding Error "pruned" ~func:fidx
                  "pruned function is reachable from an export/start root" ])
       md.W.Metadata.pruned_funcs
+  end;
+  (* every statically-discharged hook site must be justified by the facts
+     recomputed from the original module *)
+  if md.W.Metadata.folded <> [] then begin
+    let fx = Static.Absint.analyze orig in
+    let bodies = Array.of_list orig.funcs in
+    let instr_at (loc : W.Location.t) =
+      let i = loc.W.Location.func - n_imp in
+      if i < 0 || i >= Array.length bodies then None
+      else List.nth_opt bodies.(i).body loc.W.Location.instr
+    in
+    List.iter
+      (fun site ->
+         match site with
+         | W.Metadata.F_dead loc ->
+           if Static.Absint.live fx ~func:loc.W.Location.func ~pc:loc.W.Location.instr
+           then
+             add
+               [ finding Error "fold" ~func:loc.W.Location.func ~at:loc.W.Location.instr
+                   "dead-folded site is live in the recomputed facts" ]
+         | W.Metadata.F_args (loc, vs) ->
+           (match instr_at loc with
+            | None ->
+              add
+                [ finding Error "fold" ~func:loc.W.Location.func ~at:loc.W.Location.instr
+                    "folded site does not exist in the original module" ]
+            | Some ins ->
+              let agree =
+                match
+                  W.Instrument.static_fold_args fx ~func:loc.W.Location.func
+                    ~at:loc.W.Location.instr ins
+                with
+                | Some vs' -> List.length vs = List.length vs' && List.for_all2 eq vs vs'
+                | None -> false
+              in
+              if not agree then
+                add
+                  [ finding Error "fold" ~func:loc.W.Location.func ~at:loc.W.Location.instr
+                      "folded constant arguments disagree with the recomputed facts" ]))
+      md.W.Metadata.folded
   end;
   List.iter
     (fun (loc : W.Location.t) ->

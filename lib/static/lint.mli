@@ -21,7 +21,13 @@
       around conditional end-hooks;
     - functions pruned by selective instrumentation are kept verbatim
       (calls remapped only) and are indeed unreachable in the static call
-      graph.
+      graph (the precise, abstract-interpretation-based graph when the
+      type-pool one disagrees, since [~fold] prunes against the former);
+    - hook sites discharged statically by [~fold] instrumentation
+      ([Metadata.folded]) are re-justified against freshly recomputed
+      abstract-interpretation facts: dead-folded sites must be
+      unreachable, and folded constant arguments must match
+      [Instrument.static_fold_args] on the original module.
 
     Branch/return sites the instrumenter skipped inside
     statically-unreachable code ([Metadata.dead_skipped]) are surfaced as

@@ -1,218 +1,20 @@
 (** Constant / stack-value analysis (see stackval.mli).
 
-    The lattice element is a per-block machine state: one abstract value
-    per local plus an abstract operand stack. The stack representation is
-    allowed to be {e shorter} than the real stack — missing lower slots
-    mean "unknown" — which makes joining stacks of mismatched height (and
-    the unwinding a taken branch performs) a simple truncation: a branch
-    edge carries only the label's result values ({!Cfg.edge.carried});
-    everything below becomes unknown at the target. *)
+    Since the introduction of {!Absint} this is a thin wrapper over its
+    intraprocedural engine: the same abstract machine over the
+    {!Interval} value-set domain, run with an uninformative environment
+    (globals and call results are [Top]). The historical two-point
+    lattice ([Known v | Top]) is subsumed by {!Interval.singleton}. *)
 
 open Wasm
-open Wasm.Ast
 
-type aval = Top | Known of Value.t
-
-let join_aval a b =
-  match a, b with
-  | Known x, Known y when Value.equal x y -> a
-  | _ -> Top
-
-let equal_aval a b =
-  match a, b with
-  | Top, Top -> true
-  | Known x, Known y -> Value.equal x y
-  | _ -> false
-
-type machine = { locals : aval array; stack : aval list }
-type state = Unreached | S of machine
-
-module Lattice = struct
-  type t = state
-
-  let bottom = Unreached
-
-  let rec join_stack s1 s2 =
-    match s1, s2 with
-    | a :: r1, b :: r2 -> join_aval a b :: join_stack r1 r2
-    | _, [] | [], _ -> []  (* height mismatch: below this, unknown *)
-
-  let join a b =
-    match a, b with
-    | Unreached, x | x, Unreached -> x
-    | S m1, S m2 ->
-      S { locals = Array.map2 join_aval m1.locals m2.locals;
-          stack = join_stack m1.stack m2.stack }
-
-  let equal a b =
-    match a, b with
-    | Unreached, Unreached -> true
-    | S m1, S m2 ->
-      Array.for_all2 equal_aval m1.locals m2.locals
-      && List.length m1.stack = List.length m2.stack
-      && List.for_all2 equal_aval m1.stack m2.stack
-    | _ -> false
-end
-
-module Solver = Dataflow.Make (Lattice)
-
-(** Pop [k] abstract values (top first), padding with [Top] when the
-    abstract stack is shorter than the real one. *)
-let pop k stack =
-  let rec go k stack acc =
-    if k = 0 then (List.rev acc, stack)
-    else
-      match stack with
-      | v :: rest -> go (k - 1) rest (v :: acc)
-      | [] -> go (k - 1) [] (Top :: acc)
-  in
-  go k stack []
-
-let fold1 f v = match v with Known x -> (try Known (f x) with Value.Trap _ -> Top) | Top -> Top
-
-let fold2 f a b =
-  match a, b with
-  | Known x, Known y -> (try Known (f x y) with Value.Trap _ -> Top)
-  | _ -> Top
-
-let step (ctx : Validate.Module_ctx.t) (m : machine) (ins : instr) : machine =
-  let set_local i v =
-    let locals = Array.copy m.locals in
-    locals.(i) <- v;
-    locals
-  in
-  let types = ctx.Validate.Module_ctx.types in
-  let func_types = ctx.Validate.Module_ctx.func_types in
-  match ins with
-  | Nop | Block _ | Loop _ | End | Else | Br _ | Return | Unreachable -> m
-  | If _ | BrIf _ | BrTable _ | Drop | GlobalSet _ ->
-    let _, stack = pop 1 m.stack in
-    { m with stack }
-  | Call f ->
-    let ft = func_types.(f) in
-    let _, stack = pop (List.length ft.Types.params) m.stack in
-    { m with stack = List.map (fun _ -> Top) ft.Types.results @ stack }
-  | CallIndirect ti ->
-    let ft = types.(ti) in
-    let _, stack = pop (1 + List.length ft.Types.params) m.stack in
-    { m with stack = List.map (fun _ -> Top) ft.Types.results @ stack }
-  | Select ->
-    (match pop 3 m.stack with
-     | [ c; b; a ], stack ->
-       let v =
-         match c with
-         | Known (Value.I32 k) -> if k <> 0l then a else b
-         | _ -> join_aval a b
-       in
-       { m with stack = v :: stack }
-     | _ -> assert false)
-  | LocalGet x -> { m with stack = m.locals.(x) :: m.stack }
-  | LocalSet x ->
-    (match pop 1 m.stack with
-     | [ v ], stack -> { locals = set_local x v; stack }
-     | _ -> assert false)
-  | LocalTee x ->
-    (match m.stack with
-     | v :: _ -> { m with locals = set_local x v }
-     | [] -> { m with locals = set_local x Top })
-  | GlobalGet _ | MemorySize -> { m with stack = Top :: m.stack }
-  | Load _ | MemoryGrow ->
-    let _, stack = pop 1 m.stack in
-    { m with stack = Top :: stack }
-  | Store _ ->
-    let _, stack = pop 2 m.stack in
-    { m with stack }
-  | Const v -> { m with stack = Known v :: m.stack }
-  | Test op ->
-    (match pop 1 m.stack with
-     | [ a ], stack -> { m with stack = fold1 (Eval_numeric.eval_testop op) a :: stack }
-     | _ -> assert false)
-  | Unary op ->
-    (match pop 1 m.stack with
-     | [ a ], stack -> { m with stack = fold1 (Eval_numeric.eval_unop op) a :: stack }
-     | _ -> assert false)
-  | Convert op ->
-    (match pop 1 m.stack with
-     | [ a ], stack -> { m with stack = fold1 (Eval_numeric.eval_cvtop op) a :: stack }
-     | _ -> assert false)
-  | Compare op ->
-    (match pop 2 m.stack with
-     | [ b; a ], stack -> { m with stack = fold2 (Eval_numeric.eval_relop op) a b :: stack }
-     | _ -> assert false)
-  | Binary op ->
-    (match pop 2 m.stack with
-     | [ b; a ], stack -> { m with stack = fold2 (Eval_numeric.eval_binop op) a b :: stack }
-     | _ -> assert false)
-
-let transfer ctx (cfg : Cfg.t) id (st : state) : state =
-  match st with
-  | Unreached -> Unreached
-  | S m ->
-    let b = cfg.Cfg.blocks.(id) in
-    let m = ref m in
-    for pc = b.Cfg.first to b.Cfg.last do
-      m := step ctx !m cfg.Cfg.body.(pc)
-    done;
-    S !m
-
-let edge_adjust (e : Cfg.edge) (st : state) : state =
-  match st, e.Cfg.carried with
-  | Unreached, _ | _, None -> st
-  | S m, Some a ->
-    let carried, _ = pop (min a (List.length m.stack)) m.stack in
-    S { m with stack = carried }
-
-type t = {
-  cfg : Cfg.t;
-  tops : Value.t option array;  (** known top-of-stack just before each pc *)
-}
+type t = Absint.intra
 
 let analyze (ctx : Validate.Module_ctx.t) (cfg : Cfg.t) : t =
-  let init =
-    let locals =
-      Array.init cfg.Cfg.nlocals (fun i ->
-        if i < cfg.Cfg.nparams then Top
-        else
-          (* declared locals are zero-initialised *)
-          let ty = List.nth cfg.Cfg.func.locals (i - cfg.Cfg.nparams) in
-          Known (Value.default ty))
-    in
-    S { locals; stack = [] }
-  in
-  let res = Solver.solve ~edge:edge_adjust cfg ~init ~transfer:(transfer ctx) in
-  let n = Array.length cfg.Cfg.body in
-  let tops = Array.make (max n 1) None in
-  Array.iter
-    (fun (b : Cfg.block) ->
-       match res.Solver.before.(b.Cfg.id) with
-       | Unreached -> ()
-       | S m ->
-         let m = ref m in
-         for pc = b.Cfg.first to b.Cfg.last do
-           (match !m.stack with
-            | Known v :: _ -> tops.(pc) <- Some v
-            | _ -> ());
-           m := step ctx !m cfg.Cfg.body.(pc)
-         done)
-    cfg.Cfg.blocks;
-  { cfg; tops }
+  Absint.analyze_intra ctx cfg
 
-let top_of_stack t pc =
-  if pc >= 0 && pc < Array.length t.cfg.Cfg.body then t.tops.(pc) else None
+let value_at t pc depth = Absint.intra_value_at t ~pc ~depth
+let top_of_stack t pc = Interval.singleton (value_at t pc 0)
 
 let tighten t (cfg : Cfg.t) : Cfg.t =
-  Cfg.restrict cfg ~keep:(fun pc (e : Cfg.edge) ->
-    match cfg.Cfg.body.(pc), top_of_stack t pc with
-    | BrIf _, Some (Value.I32 k) ->
-      (match e.Cfg.kind with
-       | Cfg.Taken -> k <> 0l
-       | Cfg.NotTaken -> k = 0l
-       | _ -> true)
-    | BrTable (ls, _), Some (Value.I32 k) ->
-      let n_cases = List.length ls in
-      (* the index is interpreted as unsigned: out of range selects the default *)
-      let selected =
-        if k >= 0l && k < Int32.of_int n_cases then Cfg.Case (Int32.to_int k) else Cfg.Default
-      in
-      e.Cfg.kind = selected
-    | _ -> true)
+  Absint.tighten_edges (fun pc depth -> value_at t pc depth) cfg

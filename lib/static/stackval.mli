@@ -1,12 +1,13 @@
-(** Constant / stack-value analysis: an abstract interpretation over
-    {!Dataflow} that tracks statically-known constants through locals and
-    the operand stack (folding pure numeric operators with the
-    interpreter's own {!Wasm.Eval_numeric} semantics).
+(** Constant / stack-value analysis: the intraprocedural face of the
+    {!Absint} abstract interpreter, tracking {!Interval} value sets
+    through locals and the operand stack (folding pure numeric operators
+    with the interpreter's own {!Wasm.Eval_numeric} semantics).
 
-    Its product is the statically-known top-of-stack value at every
-    program point, which tightens [br_table] / [br_if] edge sets
-    ({!tighten}) and resolves constant-index [call_indirect] targets
-    exactly (used by {!Callgraph}). *)
+    Its product is a per-program-point abstract stack, which tightens
+    [br_table] / [br_if] edge sets ({!tighten}) and resolves
+    constant-index [call_indirect] targets exactly (used by
+    {!Callgraph}). For whole-module facts (function summaries, global
+    cells, indirect-call target sets) use {!Absint.analyze}. *)
 
 open Wasm
 
@@ -14,14 +15,20 @@ type t
 
 val analyze : Validate.Module_ctx.t -> Cfg.t -> t
 
+val value_at : t -> int -> int -> Interval.t
+(** [value_at t pc depth] is the fact for the operand-stack slot at
+    [depth] (0 = top) just before executing the instruction at [pc]:
+    {!Interval.bot} when the point is unreachable, {!Interval.top} below
+    the known portion of the stack. *)
+
 val top_of_stack : t -> int -> Value.t option
 (** [top_of_stack t pc] is the statically-known value on top of the
     operand stack just before executing the instruction at [pc], if the
     analysis proved it constant on every path. *)
 
 val tighten : t -> Cfg.t -> Cfg.t
-(** Narrow terminator edges using known constants: a [br_if] whose
-    condition is constant keeps only its taken (or not-taken) edge, a
-    [br_table] with a constant index keeps only the selected case. The
-    result exposes statically-dead successors via
+(** Narrow terminator edges using the inferred facts: a [br_if] whose
+    condition cannot be zero (or nonzero) keeps only the corresponding
+    edge, a [br_table] keeps only the cases its index set can select.
+    The result exposes statically-dead successors via
     {!Cfg.unreachable_blocks}. *)

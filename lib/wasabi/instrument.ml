@@ -62,6 +62,12 @@ type fctx = {
   mutable dead_skipped : int list;
       (** instruction indices where instrumentation was skipped because the
           stack type is polymorphic (statically-unreachable code) *)
+  facts : Static.Absint.t option;
+      (** whole-module abstract-interpretation facts ([~fold] mode);
+          read-only, so safe to share across instrumentation domains *)
+  mutable folded : (int * Value.t list option) list;
+      (** hook sites discharged statically: [(at, None)] = proven dead,
+          [(at, Some vs)] = hook value arguments proven constant *)
 }
 
 (** A branch/return in statically-unreachable code: its operand types are
@@ -107,6 +113,43 @@ let push_const_split ?(split = true) v =
     [ Const v; Convert I32WrapI64;
       Const v; Const (Value.I64 32L); Binary (IBin (S64, ShrS)); Convert I32WrapI64 ]
   | _ -> [ Const v ]
+
+(** Hook value arguments provable constant at instruction [at] from
+    whole-module abstract-interpretation facts, in hook-argument order.
+    [None] when the arguments are not all singletons or the instruction's
+    hook takes no foldable value arguments. Facts {e before} [at] describe
+    the operands an instruction consumes; facts before [at + 1] describe
+    the value it pushes (joins at block boundaries only widen, so a
+    singleton there is still exact). Shared with {!Lint}, which recomputes
+    this on the original module to verify [Metadata.F_args] claims. *)
+let static_fold_args fx ~func ~at (ins : instr) : Value.t list option =
+  let v depth = Static.Interval.singleton (Static.Absint.value_at fx ~func ~pc:at ~depth) in
+  let next depth =
+    Static.Interval.singleton (Static.Absint.value_at fx ~func ~pc:(at + 1) ~depth)
+  in
+  match ins with
+  | If _ | BrIf _ | BrTable _ | Drop | LocalSet _ | LocalTee _ | GlobalSet _ | Return ->
+    (* the consumed operand: top of stack before the instruction *)
+    (match v 0 with Some x -> Some [ x ] | None -> None)
+  | LocalGet _ | GlobalGet _ ->
+    (* the produced value: top of stack after the instruction *)
+    (match next 0 with Some x -> Some [ x ] | None -> None)
+  | Test _ | Unary _ | Convert _ ->
+    (match v 0, next 0 with Some a, Some r -> Some [ a; r ] | _ -> None)
+  | Compare _ | Binary _ ->
+    (match v 1, v 0, next 0 with
+     | Some a, Some b, Some r -> Some [ a; b; r ]
+     | _ -> None)
+  | _ -> None
+
+(** Constant hook arguments for this site, when folding is on and the
+    abstract-interpretation facts pin every runtime value argument. *)
+let fold_args c ~at ins =
+  match c.facts with
+  | None -> None
+  | Some fx -> static_fold_args fx ~func:c.fidx ~at ins
+
+let record_fold c ~at vs = c.folded <- (at, Some vs) :: c.folded
 
 (** Call hook [spec] at source location [at], with [args] already
     flattened (each element pushes the corresponding hook arguments). *)
@@ -194,7 +237,7 @@ let instrument_call c ~at ~(ft : func_type) ~callee_arg ~indirect ~original =
     replacement sequence. Must be called before [Tracker.step] for this
     instruction (it inspects the abstract stack), and takes care of the
     control-stack bookkeeping itself. *)
-let instrument_instr c ~at (ins : instr) (jumps : Interp.jump_info) : instr list =
+let instrument_instr_live c ~at (ins : instr) (jumps : Interp.jump_info) : instr list =
   let plain = [ ins ] in
   match ins with
   | Nop ->
@@ -211,11 +254,17 @@ let instrument_instr c ~at (ins : instr) (jumps : Interp.jump_info) : instr list
   | If _ ->
     let cond_hook =
       if enabled c G_if then
-        match known_peek c 0 with
-        | Some _ ->
-          let tc = temp c I32T 0 in
-          LocalTee tc :: hook_call c ~at S_if_cond [ [ LocalGet tc ] ]
-        | None -> []
+        match fold_args c ~at ins with
+        | Some [ k ] ->
+          (* constant condition: pass it as an immediate, no duplication *)
+          record_fold c ~at [ k ];
+          hook_call c ~at S_if_cond [ [ Const k ] ]
+        | _ ->
+          (match known_peek c 0 with
+           | Some _ ->
+             let tc = temp c I32T 0 in
+             LocalTee tc :: hook_call c ~at S_if_cond [ [ LocalGet tc ] ]
+           | None -> [])
       else []
     in
     c.ctrl <- { ce_kind = Bif; ce_begin = at; ce_end = jumps.Interp.end_of.(at) } :: c.ctrl;
@@ -258,6 +307,26 @@ let instrument_instr c ~at (ins : instr) (jumps : Interp.jump_info) : instr list
     let need_cond = enabled c G_br_if || enabled c G_end in
     if not need_cond then plain
     else begin
+      match fold_args c ~at ins with
+      | Some [ Value.I32 k as kv ] ->
+        (* constant condition: the branch outcome is statically decided,
+           so the end hooks need no runtime guard *)
+        record_fold c ~at [ kv ];
+        let hook =
+          if enabled c G_br_if then
+            let t = resolve_target c l in
+            hook_call c ~at S_br_if
+              [ [ iconst l ];
+                [ iconst t.Metadata.target_loc.Location.instr ];
+                [ Const kv ] ]
+          else []
+        in
+        let ends =
+          if enabled c G_end && k <> 0l then end_hook_calls c (ended_blocks c l)
+          else []
+        in
+        hook @ ends @ plain
+      | _ ->
       match known_peek c 0 with
       | None -> skip_dead c ~at plain
       | Some _ ->
@@ -292,9 +361,14 @@ let instrument_instr c ~at (ins : instr) (jumps : Interp.jump_info) : instr list
       | None -> skip_dead c ~at plain
       | Some _ ->
         c.br_tables <- info :: c.br_tables;
-        let ti = temp c I32T 0 in
         (* end hooks are selected and called at runtime from the metadata *)
-        (LocalTee ti :: hook_call c ~at S_br_table [ [ LocalGet ti ] ]) @ plain
+        (match fold_args c ~at ins with
+         | Some [ kv ] ->
+           record_fold c ~at [ kv ];
+           hook_call c ~at S_br_table [ [ Const kv ] ] @ plain
+         | _ ->
+           let ti = temp c I32T 0 in
+           (LocalTee ti :: hook_call c ~at S_br_table [ [ LocalGet ti ] ]) @ plain)
     end
     else plain
   | Return ->
@@ -310,7 +384,17 @@ let instrument_instr c ~at (ins : instr) (jumps : Interp.jump_info) : instr list
         | [] -> Some ([], [], fun () -> hook_call c ~at (Hook.S_return []) [])
         | _ when not want_ret -> Some ([], [], fun () -> [])
         | [ rt ] ->
-          (match known_peek c 0 with
+          (match fold_args c ~at ins with
+           | Some [ v ] ->
+             (* constant result: no save/restore around the hook *)
+             record_fold c ~at [ v ];
+             Some
+               ( [], [],
+                 fun () ->
+                   hook_call c ~at (Hook.S_return [ rt ])
+                     [ push_const_split ~split:c.split_i64 v ] )
+           | _ ->
+           match known_peek c 0 with
            | None ->
              c.dead_skipped <- at :: c.dead_skipped;
              None
@@ -350,9 +434,14 @@ let instrument_instr c ~at (ins : instr) (jumps : Interp.jump_info) : instr list
       match known_peek c 0 with
       | None -> plain
       | Some ty ->
-        let t = temp c ty 0 in
-        (* the hook consumes the value in place of the drop (Table 3, row 4) *)
-        LocalSet t :: hook_call c ~at (S_drop ty) [ push_local ~split:c.split_i64 ty t ]
+        (match fold_args c ~at ins with
+         | Some [ v ] ->
+           record_fold c ~at [ v ];
+           ins :: hook_call c ~at (S_drop ty) [ push_const_split ~split:c.split_i64 v ]
+         | _ ->
+           let t = temp c ty 0 in
+           (* the hook consumes the value in place of the drop (Table 3, row 4) *)
+           LocalSet t :: hook_call c ~at (S_drop ty) [ push_local ~split:c.split_i64 ty t ])
     else plain
   | Select ->
     if enabled c G_select then
@@ -367,34 +456,54 @@ let instrument_instr c ~at (ins : instr) (jumps : Interp.jump_info) : instr list
         @ [ LocalGet t1; LocalGet t2; LocalGet tc; Select ]
       | None, None -> plain
     else plain
-  | LocalGet x ->
-    if enabled c G_local then
+  | LocalGet x | LocalSet x | LocalTee x ->
+    if enabled c G_local then begin
       let ty = Tracker.local_type c.tracker x in
-      ins :: hook_call c ~at (S_local (Lget, ty)) [ [ iconst x ]; push_local ~split:c.split_i64 ty x ]
-    else plain
-  | LocalSet x ->
-    if enabled c G_local then
-      let ty = Tracker.local_type c.tracker x in
-      ins :: hook_call c ~at (S_local (Lset, ty)) [ [ iconst x ]; push_local ~split:c.split_i64 ty x ]
-    else plain
-  | LocalTee x ->
-    if enabled c G_local then
-      let ty = Tracker.local_type c.tracker x in
-      ins :: hook_call c ~at (S_local (Ltee, ty)) [ [ iconst x ]; push_local ~split:c.split_i64 ty x ]
+      let op =
+        match ins with
+        | LocalGet _ -> Lget
+        | LocalSet _ -> Lset
+        | _ -> Ltee
+      in
+      let value_arg =
+        match fold_args c ~at ins with
+        | Some [ v ] ->
+          record_fold c ~at [ v ];
+          push_const_split ~split:c.split_i64 v
+        | _ -> push_local ~split:c.split_i64 ty x
+      in
+      ins :: hook_call c ~at (S_local (op, ty)) [ [ iconst x ]; value_arg ]
+    end
     else plain
   | GlobalGet x ->
-    if enabled c G_global then
+    if enabled c G_global then begin
       let ty = (Tracker.global_type c.tracker x).content in
-      let t = temp c ty 0 in
-      [ ins; LocalTee t ]
-      @ hook_call c ~at (S_global (Gget, ty)) [ [ iconst x ]; push_local ~split:c.split_i64 ty t ]
+      match fold_args c ~at ins with
+      | Some [ v ] ->
+        record_fold c ~at [ v ];
+        ins
+        :: hook_call c ~at (S_global (Gget, ty))
+             [ [ iconst x ]; push_const_split ~split:c.split_i64 v ]
+      | _ ->
+        let t = temp c ty 0 in
+        [ ins; LocalTee t ]
+        @ hook_call c ~at (S_global (Gget, ty)) [ [ iconst x ]; push_local ~split:c.split_i64 ty t ]
+    end
     else plain
   | GlobalSet x ->
-    if enabled c G_global then
+    if enabled c G_global then begin
       let ty = (Tracker.global_type c.tracker x).content in
-      let t = temp c ty 0 in
-      [ LocalTee t; ins ]
-      @ hook_call c ~at (S_global (Gset, ty)) [ [ iconst x ]; push_local ~split:c.split_i64 ty t ]
+      match fold_args c ~at ins with
+      | Some [ v ] ->
+        record_fold c ~at [ v ];
+        ins
+        :: hook_call c ~at (S_global (Gset, ty))
+             [ [ iconst x ]; push_const_split ~split:c.split_i64 v ]
+      | _ ->
+        let t = temp c ty 0 in
+        [ LocalTee t; ins ]
+        @ hook_call c ~at (S_global (Gset, ty)) [ [ iconst x ]; push_local ~split:c.split_i64 ty t ]
+    end
     else plain
   | Load op ->
     if enabled c G_load then
@@ -440,11 +549,19 @@ let instrument_instr c ~at (ins : instr) (jumps : Interp.jump_info) : instr list
           (f, t)
         | _ -> assert false
       in
-      let t_in = temp c it 0 in
-      let t_res = temp c rt 1 in
-      [ LocalTee t_in; ins; LocalTee t_res ]
-      @ hook_call c ~at (S_unary (string_of_instr ins, it, rt))
-          [ push_local ~split:c.split_i64 it t_in; push_local ~split:c.split_i64 rt t_res ]
+      match fold_args c ~at ins with
+      | Some [ vin; vres ] ->
+        record_fold c ~at [ vin; vres ];
+        ins
+        :: hook_call c ~at (S_unary (string_of_instr ins, it, rt))
+             [ push_const_split ~split:c.split_i64 vin;
+               push_const_split ~split:c.split_i64 vres ]
+      | _ ->
+        let t_in = temp c it 0 in
+        let t_res = temp c rt 1 in
+        [ LocalTee t_in; ins; LocalTee t_res ]
+        @ hook_call c ~at (S_unary (string_of_instr ins, it, rt))
+            [ push_local ~split:c.split_i64 it t_in; push_local ~split:c.split_i64 rt t_res ]
     end
     else plain
   | Compare _ | Binary _ ->
@@ -457,17 +574,64 @@ let instrument_instr c ~at (ins : instr) (jumps : Interp.jump_info) : instr list
         | Binary (FBin (sz, _)) -> (num_type_of_fsize sz, num_type_of_fsize sz)
         | _ -> assert false
       in
-      let ta = temp c ot 0 in
-      let tb = temp c ot 1 in
-      let tr = temp c rt 2 in
-      [ LocalSet tb; LocalTee ta; LocalGet tb; ins; LocalTee tr ]
-      @ hook_call c ~at (S_binary (string_of_instr ins, ot, ot, rt))
-          [ push_local ~split:c.split_i64 ot ta; push_local ~split:c.split_i64 ot tb; push_local ~split:c.split_i64 rt tr ]
+      match fold_args c ~at ins with
+      | Some [ va; vb; vr ] ->
+        record_fold c ~at [ va; vb; vr ];
+        ins
+        :: hook_call c ~at (S_binary (string_of_instr ins, ot, ot, rt))
+             [ push_const_split ~split:c.split_i64 va;
+               push_const_split ~split:c.split_i64 vb;
+               push_const_split ~split:c.split_i64 vr ]
+      | _ ->
+        let ta = temp c ot 0 in
+        let tb = temp c ot 1 in
+        let tr = temp c rt 2 in
+        [ LocalSet tb; LocalTee ta; LocalGet tb; ins; LocalTee tr ]
+        @ hook_call c ~at (S_binary (string_of_instr ins, ot, ot, rt))
+            [ push_local ~split:c.split_i64 ot ta; push_local ~split:c.split_i64 ot tb; push_local ~split:c.split_i64 rt tr ]
     end
     else plain
 
+(** Would any enabled group emit hooks at this instruction? Used to
+    decide whether dropping the hooks of a statically-dead site is worth
+    recording. Structured control instructions are excluded: their arms
+    also maintain the control stack, so they are never dead-folded. *)
+let would_hook c = function
+  | Block _ | Loop _ | If _ | Else | End -> false
+  | Nop -> enabled c G_nop
+  | Unreachable -> enabled c G_unreachable
+  | Br _ -> enabled c G_br || enabled c G_end
+  | BrIf _ -> enabled c G_br_if || enabled c G_end
+  | BrTable _ -> enabled c G_br_table || enabled c G_end
+  | Return -> enabled c G_return || enabled c G_end
+  | Call _ | CallIndirect _ -> enabled c G_call
+  | Drop -> enabled c G_drop
+  | Select -> enabled c G_select
+  | LocalGet _ | LocalSet _ | LocalTee _ -> enabled c G_local
+  | GlobalGet _ | GlobalSet _ -> enabled c G_global
+  | Load _ -> enabled c G_load
+  | Store _ -> enabled c G_store
+  | MemorySize -> enabled c G_memory_size
+  | MemoryGrow -> enabled c G_memory_grow
+  | Const _ -> enabled c G_const
+  | Test _ | Unary _ | Convert _ -> enabled c G_unary
+  | Compare _ | Binary _ -> enabled c G_binary
+
+(** In [~fold] mode a site the abstract interpretation proves unreachable
+    keeps its instruction verbatim: no hook can ever fire there, so none
+    is emitted ([Metadata.F_dead], verified by the lint against the
+    recomputed facts). Everything else goes through the normal per-arm
+    instrumentation (which may still fold constant arguments). *)
+let instrument_instr c ~at (ins : instr) (jumps : Interp.jump_info) : instr list =
+  match c.facts with
+  | Some fx when would_hook c ins && not (Static.Absint.live fx ~func:c.fidx ~pc:at) ->
+    c.folded <- (at, None) :: c.folded;
+    [ ins ]
+  | _ -> instrument_instr_live c ~at ins jumps
+
 let instrument_func ~groups ~hooks ~placeholder_base ~split_i64 ~vctx ~fidx ~is_start
-    (f : func) : func * Metadata.br_table_info list * int list =
+    ~facts (f : func)
+    : func * Metadata.br_table_info list * int list * (int * Value.t list option) list =
   let body = Array.of_list f.body in
   let jumps = Interp.compute_jumps body in
   let params = vctx.Validate.Module_ctx.types.(f.ftype).params in
@@ -487,6 +651,8 @@ let instrument_func ~groups ~hooks ~placeholder_base ~split_i64 ~vctx ~fidx ~is_
     split_i64;
     br_tables = [];
     dead_skipped = [];
+    facts;
+    folded = [];
   } in
   let out = ref [] in
   let emit is = out := List.rev_append is !out in
@@ -507,7 +673,7 @@ let instrument_func ~groups ~hooks ~placeholder_base ~split_i64 ~vctx ~fidx ~is_
   } in
   Hook.Map.note_requests hooks
     (Hashtbl.fold (fun s r acc -> (s, !r) :: acc) c.req_counts []);
-  (f', c.br_tables, List.rev c.dead_skipped)
+  (f', c.br_tables, List.rev c.dead_skipped, List.rev c.folded)
 
 (** Remap a function index after hook imports have been inserted.
     [n_imp] original imported functions keep their indices; the [h] hooks
@@ -528,7 +694,7 @@ let remap_instr remap = function
     monomorphization map (paper, Section 3). Results are kept in function
     order regardless of scheduling. *)
 let instrument_functions ~groups ~hooks ~split_i64 ~vctx ~n_imp ~n_orig ~start ~domains
-    ~instrument_fidx funcs =
+    ~instrument_fidx ~facts funcs =
   let arr = Array.of_list funcs in
   let results = Array.make (Array.length arr) None in
   let one i f =
@@ -537,11 +703,11 @@ let instrument_functions ~groups ~hooks ~split_i64 ~vctx ~n_imp ~n_orig ~start ~
       Some
         (if instrument_fidx fidx then
            instrument_func ~groups ~hooks ~placeholder_base:n_orig ~split_i64 ~vctx ~fidx
-             ~is_start:(start = Some fidx) f
+             ~is_start:(start = Some fidx) ~facts f
          else
            (* pruned: the body is kept verbatim; the final remapping pass
               still fixes its call sites for the shifted index space *)
-           (f, [], []))
+           (f, [], [], []))
   in
   if domains <= 1 || Array.length arr < 2 then Array.iteri one arr
   else begin
@@ -567,30 +733,38 @@ let instrument_functions ~groups ~hooks ~split_i64 ~vctx ~n_imp ~n_orig ~start ~
     depend on scheduling, but the output is always valid and equivalent).
     The input module must be valid. *)
 let instrument ?(groups = Hook.all) ?(split_i64 = true) ?(domains = 1)
-    ?(prune_unreachable = false) (m : module_) : result =
+    ?(prune_unreachable = false) ?(fold = false) (m : module_) : result =
   Obs.Span.with_ "instrument" @@ fun () ->
   let hooks = Hook.Map.create () in
   let vctx = Validate.Module_ctx.create m in
   let n_imp = num_imported_funcs m in
   let n_orig = num_funcs m in
+  let facts =
+    if fold then
+      Some (Obs.Span.with_ "instrument.absint" @@ fun () -> Static.Absint.analyze m)
+    else None
+  in
   let pruned_funcs =
     if prune_unreachable then
       Obs.Span.with_ "instrument.prune" @@ fun () ->
-      Static.Callgraph.dead_functions (Static.Callgraph.build m)
+      (* with folding on, prune against the abstract-interpretation call
+         graph: resolved indirect targets expose more dead functions *)
+      Static.Callgraph.dead_functions (Static.Callgraph.build ~precise:fold m)
     else []
   in
   let instrument_fidx fidx = not (List.mem fidx pruned_funcs) in
   let br_tables = ref Location.Map.empty in
   let dead_skipped = ref [] in
+  let folded_sites = ref [] in
   let instrumented_funcs =
     Obs.Span.with_ "instrument.functions" @@ fun () ->
     instrument_functions ~groups ~hooks ~split_i64 ~vctx ~n_imp ~n_orig ~start:m.start ~domains
-      ~instrument_fidx m.funcs
+      ~instrument_fidx ~facts m.funcs
   in
   Obs.Span.with_ "instrument.assemble" @@ fun () ->
   let funcs' =
     List.mapi
-      (fun i (f', bts, dead) ->
+      (fun i (f', bts, dead, folded) ->
          List.iter
            (fun (bt : Metadata.br_table_info) ->
               br_tables := Location.Map.add bt.bt_loc bt !br_tables)
@@ -599,6 +773,15 @@ let instrument ?(groups = Hook.all) ?(split_i64 = true) ?(domains = 1)
            (fun at ->
               dead_skipped := Location.make ~func:(n_imp + i) ~instr:at :: !dead_skipped)
            dead;
+         List.iter
+           (fun (at, args) ->
+              let loc = Location.make ~func:(n_imp + i) ~instr:at in
+              folded_sites :=
+                (match args with
+                 | None -> Metadata.F_dead loc
+                 | Some vs -> Metadata.F_args (loc, vs))
+                :: !folded_sites)
+           folded;
          f')
       instrumented_funcs
   in
@@ -657,5 +840,6 @@ let instrument ?(groups = Hook.all) ?(split_i64 = true) ?(domains = 1)
     func_names = Metadata.extract_func_names m;
     dead_skipped = List.rev !dead_skipped;
     pruned_funcs;
+    folded = List.rev !folded_sites;
   } in
   { instrumented; metadata; hook_map = hooks }

@@ -11,7 +11,7 @@ type result = {
 
 val instrument :
   ?groups:Hook.Group_set.t -> ?split_i64:bool -> ?domains:int ->
-  ?prune_unreachable:bool -> Wasm.Ast.module_ -> result
+  ?prune_unreachable:bool -> ?fold:bool -> Wasm.Ast.module_ -> result
 (** Instrument for the given hook groups (default: all). [split_i64]
     (default [true]) splits i64 hook arguments into two i32 halves, as
     required when the analysis host is JavaScript; [false] is the
@@ -21,9 +21,23 @@ val instrument :
     (default [false]) consults the static call graph and leaves functions
     unreachable from any export/start root uninstrumented (their bodies
     are kept verbatim, only call sites are remapped); the skipped indices
-    are recorded in [Metadata.pruned_funcs]. The input module must be
+    are recorded in [Metadata.pruned_funcs]. [fold] (default [false]) runs
+    the whole-module abstract interpretation ({!Static.Absint}) first and
+    discharges hook sites statically: sites proven unreachable keep their
+    instruction verbatim with no hooks, and hook value arguments proven
+    constant are passed as immediates instead of being duplicated through
+    temp locals ([Metadata.folded]; with [prune_unreachable] it also
+    prunes against the precise call graph). The input module must be
     valid; the output module validates and imports its hooks from
     [Hook.import_module]. *)
+
+val static_fold_args :
+  Static.Absint.t -> func:int -> at:int -> Wasm.Ast.instr -> Wasm.Value.t list option
+(** Hook value arguments provable constant at [func:at] from
+    abstract-interpretation facts, in hook-argument order; [None] when
+    they are not all singletons (or the instruction's hook takes no
+    foldable value arguments). Exposed so {!Lint} can recompute and check
+    every [Metadata.F_args] claim against the original module. *)
 
 val remap_index : n_imp:int -> n_orig:int -> h:int -> int -> int
 (** The function-index remapping applied after hook imports are inserted

@@ -30,6 +30,16 @@ type br_table_info = {
   bt_default : target * ended_block list;
 }
 
+(** One hook site discharged statically by abstract-interpretation
+    facts ({!Static.Absint}) during [~fold] instrumentation. *)
+type fold_site =
+  | F_dead of Location.t
+      (** the site is statically unreachable: the instruction was kept
+          verbatim with no hook calls *)
+  | F_args of Location.t * Wasm.Value.t list
+      (** the hook's runtime value arguments were proven constant and
+          passed as immediates (no duplication through temp locals) *)
+
 type t = {
   original : Wasm.Ast.module_;
   groups : Hook.Group_set.t;  (** groups that were instrumented *)
@@ -46,6 +56,9 @@ type t = {
   pruned_funcs : int list;
       (** original indices of functions selective instrumentation skipped
           entirely (statically unreachable from any export/start root) *)
+  folded : fold_site list;
+      (** hook sites discharged statically by [~fold] instrumentation,
+          verified against the recomputed facts by the lint *)
 }
 
 let br_table_at t loc =

@@ -27,6 +27,13 @@ type br_table_info = {
   bt_default : target * ended_block list;
 }
 
+(** One hook site discharged statically during [~fold] instrumentation:
+    either proven unreachable (no hooks emitted) or with its runtime
+    value arguments proven constant (passed as immediates). *)
+type fold_site =
+  | F_dead of Location.t
+  | F_args of Location.t * Wasm.Value.t list
+
 type t = {
   original : Wasm.Ast.module_;
   groups : Hook.Group_set.t;
@@ -40,6 +47,8 @@ type t = {
       (** statically-unreachable branch/return sites left uninstrumented *)
   pruned_funcs : int list;
       (** original indices of functions skipped by selective instrumentation *)
+  folded : fold_site list;
+      (** hook sites discharged statically by [~fold] instrumentation *)
 }
 
 val br_table_at : t -> Location.t -> br_table_info

@@ -271,9 +271,10 @@ let zen_garden ?(verts = 60) ?(particles = 40) ?(frames = 4) () =
           Expr (Call ("rasterize", []));
           (* alternate the two effects through the table *)
           Expr (CallIndirect (Binop (Rem, v "t", i 2), [], None)) ];
-      (* dead engine code: an unused trig helper, an effect that was
-         never registered in the table, and a culling pass the demo's
-         camera never needs — all reachable only from each other *)
+      (* dead engine code: an unused trig helper, an effect that is
+         registered in the table but never selected (the frame loop only
+         alternates slots 0 and 1), and a culling pass the demo's camera
+         never needs *)
       func "tan_approx" ~params:[ ("x", TFloat) ] ~result:TFloat ~export:false
         [ Return (Some (Call ("sin_approx", [ v "x" ]) / Call ("cos_approx", [ v "x" ]))) ];
       func "effect_invert" ~params:[] ~export:false ~locals:[ ("k", TInt) ]
@@ -304,7 +305,7 @@ let zen_garden ?(verts = 60) ?(particles = 40) ?(frames = 4) () =
   program
     ~globals:[ ("rng", TLong, Long 1L) ]
     ~memory_pages:1
-    ~table:[ "effect_blur"; "effect_fade" ]
+    ~table:[ "effect_blur"; "effect_fade"; "effect_invert" ]
     funcs
 
 (** Both real-world stand-ins, compiled. *)

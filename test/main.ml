@@ -13,6 +13,7 @@ let () =
       ("wasabi:decoders", Test_decoders.suite);
       ("wasabi:instrument", Test_instrument.suite);
       ("static", Test_static.suite);
+      ("absint", Test_absint.suite);
       ("analyses", Test_analyses.suite);
       ("minic", Test_minic.suite);
       ("faithfulness", Test_faithfulness.suite);

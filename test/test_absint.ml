@@ -1,0 +1,429 @@
+(** Tests for the whole-module abstract interpreter and its consumers:
+    the {!Static.Interval} value-set domain, backward dataflow (a
+    liveness analysis over diamond and loop CFGs), the all-slots
+    {!Static.Stackval.value_at} view, interprocedural {!Static.Absint}
+    facts (masked indirect-call indices, global cells, function
+    summaries), static hook folding ([~fold]) with its lint
+    verification, and the promoted fuzz corpus of indirect-call-heavy
+    modules under the soundness oracle. *)
+
+open Wasm
+open Wasm.Ast
+module B = Builder
+module W = Wasabi
+module Cfg = Static.Cfg
+module Interval = Static.Interval
+module Absint = Static.Absint
+module Callgraph = Static.Callgraph
+
+let interval = Alcotest.testable (Fmt.of_to_string Interval.to_string) Interval.equal
+
+(* ------------------------------------------------------------------ *)
+(* The interval domain                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_interval_sets () =
+  let s = Interval.of_values [ Helpers.i32 3; Helpers.i32 1; Helpers.i32 3 ] in
+  Alcotest.(check interval) "dedup + sort" (Interval.Set [ Helpers.i32 1; Helpers.i32 3 ]) s;
+  Alcotest.(check bool) "contains member" true (Interval.contains s (Helpers.i32 3));
+  Alcotest.(check bool) "rejects non-member" false (Interval.contains s (Helpers.i32 2));
+  Alcotest.(check (option Helpers.value)) "two values are no singleton" None
+    (Interval.singleton s);
+  Alcotest.(check (option Helpers.value)) "one value is" (Some (Helpers.i32 7))
+    (Interval.singleton (Interval.of_value (Helpers.i32 7)))
+
+let test_interval_widening () =
+  (* more than max_set i32s widen to a threshold-rounded interval *)
+  let vs = List.init (Interval.max_set + 1) (fun i -> Helpers.i32 i) in
+  (match Interval.of_values vs with
+   | Interval.I32R (lo, hi) ->
+     Alcotest.(check int32) "low bound on the ladder" 0l lo;
+     Alcotest.(check bool) "high bound rounded outward" true (hi >= 8l)
+   | t -> Alcotest.failf "expected an i32 interval, got %s" (Interval.to_string t));
+  let r = Interval.i32_range 5l 9l in
+  Alcotest.(check bool) "rounding keeps every member" true
+    (List.for_all (fun k -> Interval.contains r (Value.I32 k)) [ 5l; 6l; 7l; 8l; 9l ]);
+  (* a collapsed range is an exact set again *)
+  Alcotest.(check interval) "one-point range collapses" (Interval.of_value (Helpers.i32 7))
+    (Interval.i32_range 7l 7l)
+
+let test_interval_signed_zero () =
+  (* regression: Stdlib.compare on floats is numeric, so a sort_uniq-based
+     join used to collapse {+0.0, -0.0} to one element while [contains]
+     stays bit-exact — an unsound join *)
+  let j = Interval.join (Interval.of_value (Value.F64 0.0)) (Interval.of_value (Value.F64 (-0.0))) in
+  Alcotest.(check bool) "+0.0 survives the join" true (Interval.contains j (Value.F64 0.0));
+  Alcotest.(check bool) "-0.0 survives the join" true (Interval.contains j (Value.F64 (-0.0)));
+  Alcotest.(check (option Helpers.value)) "and the join is not a singleton" None
+    (Interval.singleton j)
+
+let test_interval_branch_predicates () =
+  Alcotest.(check bool) "bool01 may be zero" true (Interval.may_be_zero Interval.bool01);
+  Alcotest.(check bool) "bool01 may be nonzero" true (Interval.may_be_nonzero Interval.bool01);
+  let one = Interval.of_value (Helpers.i32 1) in
+  Alcotest.(check bool) "constant 1 cannot be zero" false (Interval.may_be_zero one);
+  Alcotest.(check bool) "case 1 selectable" true (Interval.may_select_case Interval.bool01 1);
+  Alcotest.(check bool) "case 2 not selectable" false
+    (Interval.may_select_case Interval.bool01 2);
+  Alcotest.(check bool) "in-range set avoids the default" false
+    (Interval.may_select_default Interval.bool01 ~n_cases:2);
+  Alcotest.(check bool) "out-of-range value selects it" true
+    (Interval.may_select_default Interval.bool01 ~n_cases:1);
+  (* br_table indices are unsigned: negative i32s select the default *)
+  Alcotest.(check bool) "negative bound selects the default" true
+    (Interval.may_select_default (Interval.i32_range (-1l) 0l) ~n_cases:4)
+
+(* ------------------------------------------------------------------ *)
+(* Backward dataflow: live locals over diamond and loop CFGs           *)
+(* ------------------------------------------------------------------ *)
+
+(* live-local sets as sorted int lists *)
+module Live = Static.Dataflow.Make (struct
+  type t = int list
+  let bottom = []
+  let join a b = List.sort_uniq compare (a @ b)
+  let equal = ( = )
+end)
+
+(* gen/kill by scanning the block's instructions backward *)
+let liveness cfg =
+  let transfer (c : Cfg.t) id fact =
+    let b = c.Cfg.blocks.(id) in
+    let live = ref fact in
+    for pc = b.Cfg.last downto b.Cfg.first do
+      if pc >= 0 && pc < Array.length c.Cfg.body then
+        match c.Cfg.body.(pc) with
+        | LocalGet x -> live := List.sort_uniq compare (x :: !live)
+        | LocalSet x -> live := List.filter (( <> ) x) !live
+        | LocalTee x -> live := List.sort_uniq compare (x :: List.filter (( <> ) x) !live)
+        | _ -> ()
+    done;
+    !live
+  in
+  Live.solve ~direction:Static.Dataflow.Backward cfg ~init:[] ~transfer
+
+let cfg_of ~params ~results ~locals body =
+  let m = Helpers.single_func ~params ~results ~locals body in
+  Validate.validate_module m;
+  Cfg.build (Validate.Module_ctx.create m) (List.hd m.funcs)
+
+let test_liveness_diamond () =
+  (* 0:get0 1:if 2:get1 3:set2 4:else 5:const 6:set2 7:end 8:get2 9:drop
+     local 1 is live only into the then-arm; local 2 is dead at entry
+     (both arms define it) but live out of each arm *)
+  let body =
+    LocalGet 0
+    :: B.if_
+         ~then_:[ LocalGet 1; LocalSet 2 ]
+         ~else_:[ B.i32 7; LocalSet 2 ]
+         ()
+    @ [ LocalGet 2; Drop ]
+  in
+  let cfg =
+    cfg_of ~params:[ Types.I32T; Types.I32T ] ~results:[] ~locals:[ Types.I32T ] body
+  in
+  let r = liveness cfg in
+  (* backward: [after] is the fact at block entry (live-in), [before] the
+     fact at block exit (live-out) *)
+  let then_b = cfg.Cfg.block_at.(2) and else_b = cfg.Cfg.block_at.(5) in
+  Alcotest.(check (list int)) "live-in of then-arm uses local 1" [ 1 ] r.Live.after.(then_b);
+  Alcotest.(check (list int)) "live-in of else-arm uses nothing" [] r.Live.after.(else_b);
+  Alcotest.(check (list int)) "both arms keep local 2 live out" [ 2 ] r.Live.before.(then_b);
+  Alcotest.(check (list int)) "function entry needs locals 0 and 1" [ 0; 1 ]
+    r.Live.after.(cfg.Cfg.entry);
+  Alcotest.(check (list int)) "nothing live at the exit" [] r.Live.before.(cfg.Cfg.exit_)
+
+let test_liveness_loop () =
+  (* 0:block 1:loop 2:get0 3:const1 4:sub 5:tee0 6:br_if(loop) 7:end 8:end
+     the counter is live around the back edge, so the fixpoint must
+     propagate it into the loop header's live-out — one pass is not
+     enough *)
+  let body = [ Block None; Loop None; LocalGet 0; B.i32 1; B.i32_sub; LocalTee 0; BrIf 0; End; End ] in
+  let cfg = cfg_of ~params:[ Types.I32T ] ~results:[] ~locals:[] body in
+  let r = liveness cfg in
+  let header = cfg.Cfg.block_at.(2) in
+  Alcotest.(check (list int)) "counter live into the loop" [ 0 ] r.Live.after.(header);
+  Alcotest.(check (list int)) "counter live around the back edge" [ 0 ] r.Live.before.(header);
+  Alcotest.(check (list int)) "counter live at function entry" [ 0 ]
+    r.Live.after.(cfg.Cfg.entry)
+
+(* ------------------------------------------------------------------ *)
+(* Stackval: the all-slots view                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_stackval_all_slots () =
+  let body = [ B.i32 3; B.i32 4; B.i32_add; Drop ] in
+  let m = Helpers.single_func ~params:[] ~results:[] ~locals:[] body in
+  Validate.validate_module m;
+  let ctx = Validate.Module_ctx.create m in
+  let cfg = Cfg.build ctx (List.hd m.funcs) in
+  let sv = Static.Stackval.analyze ctx cfg in
+  Alcotest.(check interval) "depth 0 before the add" (Interval.of_value (Helpers.i32 4))
+    (Static.Stackval.value_at sv 2 0);
+  Alcotest.(check interval) "depth 1 before the add" (Interval.of_value (Helpers.i32 3))
+    (Static.Stackval.value_at sv 2 1);
+  Alcotest.(check interval) "folded sum on top before the drop"
+    (Interval.of_value (Helpers.i32 7))
+    (Static.Stackval.value_at sv 3 0)
+
+(* ------------------------------------------------------------------ *)
+(* Whole-module absint facts                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_absint_masked_indirect () =
+  (* index = host-controlled param & 3 over a non-escaping 4-slot table:
+     the site must narrow to exactly those four targets *)
+  let b = B.create () in
+  let mk k = B.add_func b ~params:[] ~results:[ Types.I32T ] ~locals:[] ~body:[ B.i32 k ] in
+  let g0 = mk 10 and g1 = mk 20 and g2 = mk 30 and g3 = mk 40 in
+  let ty = B.add_type b { Types.params = []; results = [ Types.I32T ] } in
+  let main =
+    B.add_func b ~params:[ Types.I32T ] ~results:[ Types.I32T ] ~locals:[]
+      ~body:[ LocalGet 0; B.i32 3; B.i32_and; CallIndirect ty ]
+  in
+  B.add_table b ~min_size:4 ~max_size:None;
+  B.add_elem b ~offset:0 ~funcs:[ g0; g1; g2; g3 ];
+  B.export_func b ~name:"main" main;
+  let m = B.build b in
+  Validate.validate_module m;
+  let fx = Absint.analyze m in
+  (match Absint.indirect_site fx ~func:main ~pc:3 with
+   | None -> Alcotest.fail "call_indirect site not recorded"
+   | Some (idx, targets) ->
+     List.iter
+       (fun k ->
+          Alcotest.(check bool)
+            (Printf.sprintf "masked index may be %ld" k)
+            true
+            (Interval.contains idx (Value.I32 k)))
+       [ 0l; 1l; 2l; 3l ];
+     Alcotest.(check bool) "but not 4" false (Interval.contains idx (Value.I32 4l));
+     Alcotest.(check (list int)) "targets are the four table slots" [ g0; g1; g2; g3 ]
+       (List.sort compare targets));
+  (* the precise call graph sees exactly those edges *)
+  let cg = Callgraph.build ~precise:true m in
+  List.iter
+    (fun g ->
+       Alcotest.(check bool) (Printf.sprintf "precise edge main -> f%d" g) true
+         (Callgraph.has_edge cg main g))
+    [ g0; g1; g2; g3 ]
+
+let test_absint_narrows_constant_index () =
+  (* constant index: the precise graph keeps one edge where the type-pool
+     graph keeps every type-compatible elem entry *)
+  let b = B.create () in
+  let mk k = B.add_func b ~params:[] ~results:[ Types.I32T ] ~locals:[] ~body:[ B.i32 k ] in
+  let g0 = mk 10 and g1 = mk 20 in
+  let ty = B.add_type b { Types.params = []; results = [ Types.I32T ] } in
+  let main =
+    B.add_func b ~params:[] ~results:[ Types.I32T ] ~locals:[]
+      ~body:[ B.i32 0; B.i32 1; B.i32_and; CallIndirect ty ]
+  in
+  B.add_table b ~min_size:2 ~max_size:None;
+  B.add_elem b ~offset:0 ~funcs:[ g0; g1 ];
+  B.export_func b ~name:"main" main;
+  let m = B.build b in
+  Validate.validate_module m;
+  let prec = Callgraph.build ~precise:true m in
+  Alcotest.(check bool) "slot 0 kept" true (Callgraph.has_edge prec main g0);
+  Alcotest.(check bool) "slot 1 dropped" false (Callgraph.has_edge prec main g1);
+  Alcotest.(check (list int)) "unselected slot is dead" [ g1 ] (Callgraph.dead_functions prec)
+
+let test_absint_global_cells () =
+  (* a private mutable global only ever holds its init or one stored
+     constant *)
+  let b = B.create () in
+  let g = B.add_global b ~ty:Types.I32T ~mutable_:true ~init:(Helpers.i32 5) in
+  let main =
+    B.add_func b ~params:[ Types.I32T ] ~results:[ Types.I32T ] ~locals:[]
+      ~body:
+        (LocalGet 0
+         :: B.if_ ~then_:[ B.i32 10; GlobalSet g ] ~else_:[] ()
+         @ [ GlobalGet g ])
+  in
+  B.export_func b ~name:"main" main;
+  let m = B.build b in
+  Validate.validate_module m;
+  let fx = Absint.analyze m in
+  let cell = Absint.global_fact fx g in
+  Alcotest.(check bool) "init value possible" true (Interval.contains cell (Helpers.i32 5));
+  Alcotest.(check bool) "stored value possible" true (Interval.contains cell (Helpers.i32 10));
+  Alcotest.(check bool) "other values are not" false (Interval.contains cell (Helpers.i32 11))
+
+let test_absint_interprocedural_summaries () =
+  (* every call site passes a constant, so the callee's parameter summary
+     is the set of those constants and its result flows back *)
+  let b = B.create () in
+  let callee =
+    B.add_func b ~params:[ Types.I32T ] ~results:[ Types.I32T ] ~locals:[]
+      ~body:[ LocalGet 0; B.i32 1; B.i32_add ]
+  in
+  let main =
+    B.add_func b ~params:[] ~results:[ Types.I32T ] ~locals:[]
+      ~body:[ B.i32 4; Call callee; Drop; B.i32 6; Call callee ]
+  in
+  B.export_func b ~name:"main" main;
+  let m = B.build b in
+  Validate.validate_module m;
+  let fx = Absint.analyze m in
+  (match Absint.param_facts fx callee with
+   | [ p ] ->
+     Alcotest.(check bool) "4 flows in" true (Interval.contains p (Helpers.i32 4));
+     Alcotest.(check bool) "6 flows in" true (Interval.contains p (Helpers.i32 6));
+     Alcotest.(check bool) "5 does not" false (Interval.contains p (Helpers.i32 5))
+   | ps -> Alcotest.failf "expected one parameter summary, got %d" (List.length ps));
+  (match Absint.result_facts fx callee with
+   | [ r ] ->
+     Alcotest.(check bool) "result may be 5" true (Interval.contains r (Helpers.i32 5));
+     Alcotest.(check bool) "result may be 7" true (Interval.contains r (Helpers.i32 7))
+   | rs -> Alcotest.failf "expected one result summary, got %d" (List.length rs));
+  (* the return value of the second call is on the stack at the exit *)
+  let body_len = List.length (List.nth m.funcs 1).body in
+  let at_exit = Absint.value_at fx ~func:main ~pc:body_len ~depth:0 in
+  Alcotest.(check bool) "exit fact contains 7" true (Interval.contains at_exit (Helpers.i32 7))
+
+(* ------------------------------------------------------------------ *)
+(* Static hook folding                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_fold_discharges_and_lints () =
+  (* the br_if condition is constant-true, so edge tightening proves the
+     fall-through arm dead (its hooks are dropped) and the br_if / add
+     hooks get their operands as immediates *)
+  let body =
+    (Block (Some Types.I32T)
+     :: B.i32 2 :: B.i32 3 :: B.i32_add
+     :: B.i32 1 :: BrIf 0
+     :: [ Drop; B.i32 9; B.i32 9; B.i32_mul; End ])
+  in
+  let m = Helpers.single_func ~params:[] ~results:[ Types.I32T ] ~locals:[] body in
+  Validate.validate_module m;
+  let res = W.Instrument.instrument ~fold:true m in
+  let md = res.W.Instrument.metadata in
+  let dead, const_args =
+    List.partition (function W.Metadata.F_dead _ -> true | W.Metadata.F_args _ -> false)
+      md.W.Metadata.folded
+  in
+  Alcotest.(check bool) "dead-arm hooks dropped" true (List.length dead > 0);
+  Alcotest.(check bool) "constant hook arguments folded" true (List.length const_args > 0);
+  Validate.validate_module res.W.Instrument.instrumented;
+  (match Lint.errors (Lint.check res) with
+   | [] -> ()
+   | f :: _ -> Alcotest.failf "lint rejects the folded module: %s" (Lint.to_string f));
+  let inst, _ = W.Runtime.instantiate res W.Analysis.default in
+  Helpers.check_values "folded module still takes the branch" [ Helpers.i32 5 ]
+    (Interp.invoke_export inst "f" [])
+
+let test_fold_lint_catches_bogus_fold () =
+  (* claiming a live site was dead-folded must be flagged *)
+  let m =
+    Helpers.single_func ~params:[] ~results:[] ~locals:[] [ B.i32 1; Drop; B.i32 2; Drop ]
+  in
+  Validate.validate_module m;
+  let res = W.Instrument.instrument ~fold:true m in
+  let md = res.W.Instrument.metadata in
+  let forged =
+    { md with W.Metadata.folded = [ W.Metadata.F_dead (W.Location.make ~func:0 ~instr:0) ] }
+  in
+  let findings = Lint.check { res with W.Instrument.metadata = forged } in
+  Alcotest.(check bool) "forged dead-fold reported" true
+    (List.exists (fun (f : Lint.finding) -> f.Lint.code = "fold") (Lint.errors findings))
+
+let corpus = lazy (Workloads.Corpus.make ~n:2 ())
+
+let test_fold_realworld () =
+  List.iter
+    (fun (e : Workloads.Corpus.entry) ->
+       let res = W.Instrument.instrument ~prune_unreachable:true ~fold:true e.module_ in
+       Alcotest.(check bool) (e.name ^ ": some hook sites discharged") true
+         (res.W.Instrument.metadata.W.Metadata.folded <> []);
+       (match Lint.errors (Lint.check res) with
+        | [] -> ()
+        | f :: _ -> Alcotest.failf "%s: lint rejects folding: %s" e.name (Lint.to_string f));
+       let reference = Workloads.Corpus.run_reference e in
+       let inst, _ = W.Runtime.instantiate res W.Analysis.default in
+       match Interp.invoke_export inst "run" [] with
+       | [ Value.F64 x ] ->
+         Alcotest.(check (float 1e-9)) (e.name ^ ": checksum unchanged") reference x
+       | vs -> Alcotest.failf "%s: run returned %d values" e.name (List.length vs))
+    (Workloads.Corpus.realworld (Lazy.force corpus))
+
+(* ------------------------------------------------------------------ *)
+(* Promoted fuzz corpus: indirect-call-heavy generated modules         *)
+(* ------------------------------------------------------------------ *)
+
+let corpus_files =
+  [ "corpus/indirect-mixed.wasm";
+    "corpus/indirect-top-index.wasm";
+    "corpus/indirect-many-sites.wasm" ]
+
+let read_module path =
+  let bin = In_channel.with_open_bin path In_channel.input_all in
+  let m = Decode.decode bin in
+  Validate.validate_module m;
+  m
+
+let test_corpus_modules_sound () =
+  List.iter
+    (fun path ->
+       let m = read_module path in
+       let n_indirect =
+         List.fold_left
+           (fun acc (f : func) ->
+              acc
+              + List.length
+                  (List.filter (function CallIndirect _ -> true | _ -> false) f.body))
+           0 m.funcs
+       in
+       Alcotest.(check bool) (path ^ ": stresses call_indirect") true (n_indirect > 0);
+       let info =
+         { Fuzz.Gen.module_ = m;
+           has_memory = m.memories <> [];
+           n_globals = List.length m.globals }
+       in
+       (match Fuzz.Oracle.absint_soundness info with
+        | Fuzz.Oracle.Pass | Fuzz.Oracle.Skip _ -> ()
+        | Fuzz.Oracle.Violation { kind; detail } ->
+          Alcotest.failf "%s: [%s] %s" path kind detail);
+       (match Fuzz.Oracle.lint_instrumented m with
+        | Fuzz.Oracle.Pass | Fuzz.Oracle.Skip _ -> ()
+        | Fuzz.Oracle.Violation { kind; detail } ->
+          Alcotest.failf "%s: [%s] %s" path kind detail))
+    corpus_files
+
+let test_corpus_precise_graph_narrower () =
+  List.iter
+    (fun path ->
+       let m = read_module path in
+       let pool = List.length (Callgraph.indirect_edges (Callgraph.build m)) in
+       let prec = List.length (Callgraph.indirect_edges (Callgraph.build ~precise:true m)) in
+       Alcotest.(check bool)
+         (Printf.sprintf "%s: precise <= pool (%d <= %d)" path prec pool)
+         true (prec <= pool))
+    corpus_files
+
+let suite =
+  [
+    Alcotest.test_case "interval: sets" `Quick test_interval_sets;
+    Alcotest.test_case "interval: threshold widening" `Quick test_interval_widening;
+    Alcotest.test_case "interval: signed-zero join" `Quick test_interval_signed_zero;
+    Alcotest.test_case "interval: branch predicates" `Quick test_interval_branch_predicates;
+    Alcotest.test_case "dataflow: liveness over a diamond" `Quick test_liveness_diamond;
+    Alcotest.test_case "dataflow: liveness around a loop" `Quick test_liveness_loop;
+    Alcotest.test_case "stackval: all stack slots" `Quick test_stackval_all_slots;
+    Alcotest.test_case "absint: masked indirect index" `Quick test_absint_masked_indirect;
+    Alcotest.test_case "absint: constant index narrows the graph" `Quick
+      test_absint_narrows_constant_index;
+    Alcotest.test_case "absint: global cells" `Quick test_absint_global_cells;
+    Alcotest.test_case "absint: interprocedural summaries" `Quick
+      test_absint_interprocedural_summaries;
+    Alcotest.test_case "fold: discharge + lint + behaviour" `Quick
+      test_fold_discharges_and_lints;
+    Alcotest.test_case "fold: lint catches a forged fold" `Quick
+      test_fold_lint_catches_bogus_fold;
+    Alcotest.test_case "fold: real-world workloads" `Slow test_fold_realworld;
+    Alcotest.test_case "corpus: promoted indirect modules are sound" `Slow
+      test_corpus_modules_sound;
+    Alcotest.test_case "corpus: precise graph never wider" `Quick
+      test_corpus_precise_graph_narrower;
+  ]
