@@ -316,11 +316,14 @@ let fig9 () =
 (* bench overhead: the paper-style overhead report, machine-readable   *)
 (* ------------------------------------------------------------------ *)
 
-(** Per-hook-group overhead (paper, Section 6.2 / Figure 9) over the
-    whole corpus, emitted as JSON: for every workload, the paired
-    uninstrumented-vs-instrumented runtime ratio under each single hook
-    group plus "all". The human-readable progress goes to stderr so
-    stdout stays a clean JSON document (or use [overhead FILE]). *)
+(** The three-way overhead matrix (paper, Section 6.2 / Figure 9,
+    extended with the engine-probe backend) over the whole corpus,
+    emitted as JSON: for every workload and every single hook group plus
+    "all", the paired runtime ratio of (a) the AOT-rewritten module and
+    (b) the original module under engine probes, both against the same
+    uninstrumented baseline instance. The human-readable progress goes
+    to stderr so stdout stays a clean JSON document (or use
+    [overhead FILE]). *)
 let overhead_matrix () =
   let fast = Sys.getenv_opt "WASABI_BENCH_FAST" <> None in
   let target = if fast then 0.002 else 0.006 in
@@ -330,7 +333,8 @@ let overhead_matrix () =
     List.map (fun g -> (H.group_name g, H.Group_set.singleton g)) group_columns
     @ [ ("all", H.all) ]
   in
-  Printf.eprintf "bench overhead: %d workloads x %d hook groups (reps %d, target %.3fs)\n%!"
+  Printf.eprintf
+    "bench overhead: %d workloads x %d hook groups x {aot, probe} (reps %d, target %.3fs)\n%!"
     (List.length entries) (List.length columns) reps target;
   let results =
     List.map
@@ -338,56 +342,75 @@ let overhead_matrix () =
          let m = e.module_ in
          let iters = Support.calibrated_iters m ~target in
          let base = Interp.instantiate ~imports:[] m in
+         let probed = Interp.instantiate ~imports:[] m in
+         let ctrl = W.Runtime.Probe.create probed W.Analysis.default in
          let cells =
            List.map
              (fun (name, groups) ->
                 let res = instrument_for groups m in
                 let inst, _ = W.Runtime.instantiate res W.Analysis.default in
-                (name, Support.paired_overhead ~reps ~iters base inst))
+                let aot = Support.paired_overhead ~reps ~iters base inst in
+                let entry =
+                  W.Runtime.Probe.attach ctrl
+                    { Obs.Probe.sp_groups = (if name = "all" then [] else [ name ]);
+                      sp_func = None; sp_loc = None; sp_nth = 1 }
+                in
+                let probe = Support.paired_overhead ~reps ~iters base probed in
+                W.Runtime.Probe.detach ctrl entry;
+                (name, (aot, probe)))
              columns
          in
-         Printf.eprintf "  %-16s iters %4d   all %6.2fx\n%!" e.name iters
-           (List.assoc "all" cells);
+         let all_aot, all_probe = List.assoc "all" cells in
+         Printf.eprintf "  %-16s iters %4d   all aot %6.2fx  probe %6.2fx\n%!" e.name iters
+           all_aot all_probe;
          (e, iters, cells))
       entries
   in
-  let geomeans =
+  let geomean_of pick =
     List.map
       (fun (name, _) ->
-         (name, Support.geomean (List.map (fun (_, _, cells) -> List.assoc name cells) results)))
+         (name,
+          Support.geomean
+            (List.map (fun (_, _, cells) -> pick (List.assoc name cells)) results)))
       columns
   in
-  Printf.eprintf "  %-16s %17s %6.2fx\n%!" "geomean" "" (List.assoc "all" geomeans);
-  (fast, reps, target, columns, results, geomeans)
+  let geomeans = geomean_of fst in
+  let probe_geomeans = geomean_of snd in
+  Printf.eprintf "  %-16s %17s aot %6.2fx  probe %6.2fx\n%!" "geomean" ""
+    (List.assoc "all" geomeans) (List.assoc "all" probe_geomeans);
+  (fast, reps, target, columns, results, geomeans, probe_geomeans)
 
 let overhead_bench out_path =
-  let fast, reps, target, columns, results, geomeans = overhead_matrix () in
+  let fast, reps, target, columns, results, geomeans, probe_geomeans = overhead_matrix () in
   let b = Buffer.create 4096 in
   let num v = if Float.is_finite v then Printf.sprintf "%.4f" v else "null" in
+  let obj cells = String.concat ", " (List.map (fun (n, v) -> Printf.sprintf "\"%s\": %s" n (num v)) cells) in
   Buffer.add_string b "{\n";
   Buffer.add_string b "  \"benchmark\": \"overhead\",\n";
+  Buffer.add_string b "  \"matrix\": \"three-way\",\n";
   Buffer.add_string b
     (Printf.sprintf "  \"config\": {\"fast\": %b, \"reps\": %d, \"target_seconds\": %g},\n"
        fast reps target);
   Buffer.add_string b
     (Printf.sprintf "  \"hook_groups\": [%s],\n"
        (String.concat ", " (List.map (fun (n, _) -> "\"" ^ n ^ "\"") columns)));
+  Buffer.add_string b "  \"backends\": [\"aot\", \"probe\"],\n";
   Buffer.add_string b "  \"workloads\": [";
   List.iteri
     (fun i ((e : Workloads.Corpus.entry), iters, cells) ->
        if i > 0 then Buffer.add_char b ',';
        Buffer.add_string b
-         (Printf.sprintf "\n    {\"name\": \"%s\", \"kind\": \"%s\", \"iters\": %d, \"overheads\": {%s}}"
+         (Printf.sprintf
+            "\n    {\"name\": \"%s\", \"kind\": \"%s\", \"iters\": %d, \"overheads\": {%s}, \"probe_overheads\": {%s}}"
             e.name
             (match e.kind with Workloads.Corpus.Polybench -> "polybench" | Workloads.Corpus.Realworld -> "realworld")
             iters
-            (String.concat ", "
-               (List.map (fun (n, v) -> Printf.sprintf "\"%s\": %s" n (num v)) cells))))
+            (obj (List.map (fun (n, (a, _)) -> (n, a)) cells))
+            (obj (List.map (fun (n, (_, p)) -> (n, p)) cells))))
     results;
   Buffer.add_string b "\n  ],\n";
-  Buffer.add_string b
-    (Printf.sprintf "  \"geomean\": {%s}\n"
-       (String.concat ", " (List.map (fun (n, v) -> Printf.sprintf "\"%s\": %s" n (num v)) geomeans)));
+  Buffer.add_string b (Printf.sprintf "  \"geomean\": {%s},\n" (obj geomeans));
+  Buffer.add_string b (Printf.sprintf "  \"probe_geomean\": {%s}\n" (obj probe_geomeans));
   Buffer.add_string b "}\n";
   match out_path with
   | None -> print_string (Buffer.contents b)
@@ -397,11 +420,12 @@ let overhead_bench out_path =
       (fun () -> output_string oc (Buffer.contents b));
     Printf.eprintf "wrote %s\n" path
 
-(** Extract [geomean.all] from an overhead JSON document written by
+(** Extract [<key>.all] from an overhead JSON document written by
     {!overhead_bench}, with a small string scan — the bench links no JSON
-    library. The scan anchors on the ["geomean"] object so the per-
-    workload ["all"] cells are skipped. *)
-let parse_baseline_geomean path =
+    library. The scan anchors on the quoted [key] object (["geomean"] or
+    ["probe_geomean"]; the quotes keep the two from shadowing each
+    other) so the per-workload ["all"] cells are skipped. *)
+let parse_baseline_key ~key path =
   let s = In_channel.with_open_bin path In_channel.input_all in
   let find pat from =
     let n = String.length s and k = String.length pat in
@@ -410,7 +434,7 @@ let parse_baseline_geomean path =
     in
     go from
   in
-  match find "\"geomean\"" 0 with
+  match find ("\"" ^ key ^ "\"") 0 with
   | None -> None
   | Some g ->
     (match find "\"all\":" g with
@@ -426,28 +450,46 @@ let parse_baseline_geomean path =
        done;
        float_of_string_opt (String.trim (String.sub s start (!stop - start))))
 
-(** CI regression gate: recompute the overhead matrix and fail (exit 1)
-    when the full-hook geomean slowdown regresses more than 10% over the
-    committed baseline. The matrix is made of paired same-machine ratios,
-    so baseline and fresh numbers are comparable across hosts. *)
+(** CI regression gate: recompute the three-way overhead matrix and fail
+    (exit 1) when the full-hook geomean slowdown of either backend — the
+    AOT rewriter or the engine-probe path — regresses more than 10% over
+    the committed baseline. The matrix is made of paired same-machine
+    ratios, so baseline and fresh numbers are comparable across hosts.
+    A pre-three-way baseline (no [probe_geomean]) gates only the AOT
+    column, with a warning. *)
 let overhead_check baseline_path =
   let baseline =
-    match parse_baseline_geomean baseline_path with
+    match parse_baseline_key ~key:"geomean" baseline_path with
     | Some v when Float.is_finite v && v > 0.0 -> v
     | _ ->
       Printf.eprintf "overhead-check: cannot parse geomean.all from %s\n" baseline_path;
       exit 2
   in
-  let _, _, _, _, _, geomeans = overhead_matrix () in
-  let fresh = List.assoc "all" geomeans in
-  let ratio = fresh /. baseline in
-  Printf.printf "overhead-check: baseline %.2fx, current %.2fx (%+.1f%% vs baseline)\n" baseline
-    fresh ((ratio -. 1.0) *. 100.0);
-  if ratio > 1.10 then begin
-    Printf.eprintf "overhead-check: FAIL — full-hook geomean regressed more than 10%%\n";
-    exit 1
-  end
-  else print_endline "overhead-check: OK"
+  let probe_baseline =
+    match parse_baseline_key ~key:"probe_geomean" baseline_path with
+    | Some v when Float.is_finite v && v > 0.0 -> Some v
+    | _ ->
+      Printf.eprintf
+        "overhead-check: warning — baseline has no probe_geomean; gating the AOT column only\n";
+      None
+  in
+  let _, _, _, _, _, geomeans, probe_geomeans = overhead_matrix () in
+  let failed = ref false in
+  let gate label baseline fresh =
+    let ratio = fresh /. baseline in
+    Printf.printf "overhead-check: %-5s baseline %.2fx, current %.2fx (%+.1f%% vs baseline)\n"
+      label baseline fresh ((ratio -. 1.0) *. 100.0);
+    if ratio > 1.10 then begin
+      Printf.eprintf "overhead-check: FAIL — %s full-hook geomean regressed more than 10%%\n"
+        label;
+      failed := true
+    end
+  in
+  gate "aot" baseline (List.assoc "all" geomeans);
+  (match probe_baseline with
+   | Some b -> gate "probe" b (List.assoc "all" probe_geomeans)
+   | None -> ());
+  if !failed then exit 1 else print_endline "overhead-check: OK"
 
 (* ------------------------------------------------------------------ *)
 (* Encoder throughput                                                  *)
@@ -806,6 +848,8 @@ let () =
   | [| _; "interp" |] -> ignore (interp_bench ())
   | [| _; "static" |] -> static_bench ()
   | [| _; "overhead" |] -> overhead_bench None
+  | [| _; "overhead"; "--matrix"; "three-way" |] -> overhead_bench None
+  | [| _; "overhead"; "--matrix"; "three-way"; path |] -> overhead_bench (Some path)
   | [| _; "overhead"; path |] -> overhead_bench (Some path)
   | [| _; "overhead-check"; baseline |] -> overhead_check baseline
   | [| _; "tier-check"; floor |] ->
@@ -818,5 +862,5 @@ let () =
   | [| _; "restore" |] -> restore_bench ()
   | _ ->
     prerr_endline
-      "usage: main.exe [table4|rq2|table5|fig8|monomorph|fig9|ablation|micro|interp|static|encode|restore|overhead [FILE]|overhead-check BASELINE|tier-check MIN_SPEEDUP]";
+      "usage: main.exe [table4|rq2|table5|fig8|monomorph|fig9|ablation|micro|interp|static|encode|restore|overhead [--matrix three-way] [FILE]|overhead-check BASELINE|tier-check MIN_SPEEDUP]";
     exit 2

@@ -687,7 +687,7 @@ let fuzz_cmd =
   in
   let info =
     Cmd.info "fuzz"
-      ~doc:"Differential fuzzing: generated + mutated modules against the totality, round-trip, instrumentation-soundness, differential-equivalence, tier-parity and (with --faults) restore-equivalence oracles"
+      ~doc:"Differential fuzzing: generated + mutated modules against the totality, round-trip, instrumentation-soundness, differential-equivalence, tier-parity, probe-parity, absint-soundness and (with --faults) restore-equivalence oracles"
   in
   Cmd.v info
     Term.(const run $ seed_arg $ gen_arg $ mut_arg $ out_arg $ replay_arg $ dump_arg
@@ -894,6 +894,139 @@ let profile_cmd =
     Term.(const run $ input_opt $ hooks_arg $ corpus_arg $ invoke_arg $ top_arg $ folded_arg
           $ trace_out_arg $ metrics_out_arg $ tier_arg)
 
+(* --- probe ------------------------------------------------------------ *)
+
+let probe_cmd =
+  let analysis_arg =
+    let doc = "Bundled analysis the probes deliver events to (same registry as $(b,wasabi analyze))" in
+    Arg.(value & opt string "instruction-mix" & info [ "analysis" ] ~docv:"NAME" ~doc)
+  in
+  let invoke_arg =
+    Arg.(value & opt string "run" & info [ "invoke" ] ~docv:"EXPORT" ~doc:"Exported function to call")
+  in
+  let attach_arg =
+    Arg.(value & opt_all string []
+         & info [ "attach" ] ~docv:"SPEC"
+             ~doc:"Attach a probe: $(i,GROUPS)[@func=N][@loc=F:I][@nth=K], where GROUPS is \
+                   $(b,all) or comma-separated hook group names. Repeatable. Default when \
+                   none given: $(b,all)")
+  in
+  let probe_at_arg =
+    Arg.(value & opt (some string) None
+         & info [ "probe-at" ] ~docv:"step=N"
+             ~doc:"Defer every --attach until the instance's step counter first reaches N \
+                   (checked at fuel-batch boundaries on every tier)")
+  in
+  let detach_at_arg =
+    Arg.(value & opt (some int) None
+         & info [ "detach-at" ] ~docv:"N"
+             ~doc:"Detach all probes once the step counter reaches N")
+  in
+  let list_arg =
+    Arg.(value & flag & info [ "list" ] ~doc:"Print the armed probe set before running")
+  in
+  let stats_arg =
+    Arg.(value & flag
+         & info [ "stats" ]
+             ~doc:"After the run, print per-probe hit/fire counts and the \
+                   attached/fired/detached totals")
+  in
+  let run input analysis_name invoke attach_specs probe_at detach_at list_probes stats tier =
+    structured @@ fun () ->
+    let m = read_module input in
+    Wasm.Validate.validate_module m;
+    match List.assoc_opt analysis_name (bundled_analyses ()) with
+    | None ->
+      Printf.eprintf "unknown analysis %S\n" analysis_name;
+      exit 2
+    | Some (Packaged a) ->
+      let module P = W.Runtime.Probe in
+      let inst = Wasm.Interp.instantiate ~fuel:max_int ~imports:[] m in
+      let c = P.create inst (a.analysis a.state) in
+      let specs = if attach_specs = [] then [ "all" ] else attach_specs in
+      let probe_at_step =
+        match probe_at with
+        | None -> None
+        | Some s ->
+          let n =
+            if String.length s > 5 && String.sub s 0 5 = "step=" then
+              int_of_string_opt (String.sub s 5 (String.length s - 5))
+            else None
+          in
+          (match n with
+           | Some n when n >= 0 -> Some n
+           | _ ->
+             Printf.eprintf "wasabi probe: --probe-at expects step=N, got %S\n" s;
+             exit 2)
+      in
+      List.iter
+        (fun raw ->
+           match P.validate_spec raw with
+           | Error e ->
+             Printf.eprintf "wasabi probe: bad --attach %S: %s\n" raw e;
+             exit 2
+           | Ok spec ->
+             (match probe_at_step with
+              | None -> ignore (P.attach c spec)
+              | Some step -> P.attach_at c ~step spec))
+        specs;
+      (match detach_at with
+       | None -> ()
+       | Some step -> Wasm.Interp.add_step_trigger inst ~at:step (fun () -> P.detach_all c));
+      if list_probes then begin
+        (match P.entries c with
+         | [] ->
+           (match probe_at_step with
+            | Some step ->
+              List.iter
+                (fun raw -> Printf.printf "probe (armed at step %d)  %s\n" step raw)
+                specs
+            | None -> print_endline "no probes attached")
+         | entries ->
+           List.iter
+             (fun (e : Obs.Probe.entry) ->
+                Printf.printf "probe %d  %s\n" e.Obs.Probe.e_id
+                  (Obs.Probe.spec_to_string e.Obs.Probe.e_spec))
+             entries)
+      end;
+      apply_tier tier inst;
+      let results = Wasm.Interp.invoke_export inst invoke [] in
+      Printf.printf "%s returned [%s]\n" invoke
+        (String.concat "; " (List.map Wasm.Value.to_string results));
+      print_string (a.report a.state);
+      if stats then begin
+        let mgr = P.manager c in
+        print_newline ();
+        List.iter
+          (fun (e : Obs.Probe.entry) ->
+             Printf.printf "probe %d  %-40s %s  hits %d  fired %d\n" e.Obs.Probe.e_id
+               (Obs.Probe.spec_to_string e.Obs.Probe.e_spec)
+               (if e.Obs.Probe.e_active then "active  " else "detached")
+               e.Obs.Probe.e_hits e.Obs.Probe.e_fired)
+          (P.all_entries c);
+        Printf.printf "attached %d  fired %d  detached %d\n"
+          (Obs.Probe.attached_total mgr) (Obs.Probe.fired_total mgr)
+          (Obs.Probe.detached_total mgr)
+      end
+  in
+  let info =
+    Cmd.info "probe"
+      ~doc:"Run a bundled analysis via live engine probes (no binary rewrite)"
+      ~man:
+        [ `S Manpage.s_description;
+          `P "Instead of rewriting the module ahead of time ($(b,wasabi analyze)), \
+              $(b,probe) instantiates the original binary and installs in-engine \
+              instruction-stream probes that dispatch to the same analysis callbacks. \
+              Probes attach and detach live: $(b,--probe-at) arms them mid-run at a step \
+              count, $(b,--detach-at) disarms them, and a probe attached from inside a \
+              host call takes effect at the next function entry. Tier-1 compiled \
+              functions deopt to probed tier-0 execution while a probe matches them and \
+              re-tier after detach." ]
+  in
+  Cmd.v info
+    Term.(const run $ input_arg $ analysis_arg $ invoke_arg $ attach_arg $ probe_at_arg
+          $ detach_at_arg $ list_arg $ stats_arg $ tier_arg)
+
 (* --- corpus ---------------------------------------------------------- *)
 
 let corpus_cmd =
@@ -918,4 +1051,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ instrument_cmd; analyze_cmd; generate_js_cmd; hooks_cmd; callgraph_cmd; absint_cmd;
-            lint_cmd; fuzz_cmd; profile_cmd; corpus_cmd ]))
+            lint_cmd; fuzz_cmd; profile_cmd; probe_cmd; corpus_cmd ]))

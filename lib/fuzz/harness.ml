@@ -77,8 +77,10 @@ let timed metrics oracle f =
 (** First violation of the generated-module pipeline, or the skip/pass
     disposition. [restore] supplies the case's [(seed, index)] pair and
     runs the restore-equivalence (fault-injection) oracle as the final
-    stage. *)
-let check_generated ?metrics ?restore (info : Gen.info) : [ `Pass | `Skip | `Fail of string * string ] =
+    stage. [probe_index] round-robins the probe-parity variant (full
+    attach / tiered / mid-run attach / mid-run detach) across the
+    campaign — pass the case index. *)
+let check_generated ?metrics ?restore ?(probe_index = 0) (info : Gen.info) : [ `Pass | `Skip | `Fail of string * string ] =
   let timed oracle f = timed metrics oracle f in
   let m = info.Gen.module_ in
   let restore_stage fallthrough =
@@ -109,13 +111,19 @@ let check_generated ?metrics ?restore (info : Gen.info) : [ `Pass | `Skip | `Fai
              (match timed "tier-parity" (fun () -> Oracle.tier_differential info) with
               | Oracle.Violation { kind; detail } -> `Fail (kind, detail)
               | Oracle.Skip _ | Oracle.Pass ->
-                (* static over-approximation soundness: observed execution
-                   vs abstract-interpretation facts, and folded vs unfolded
-                   instrumentation equivalence *)
-                (match timed "absint-soundness" (fun () -> Oracle.absint_soundness info) with
+                (* engine-probe backend vs the AOT rewriter on the full
+                   hook-event stream, incl. mid-run attach/detach and
+                   tier-1 deopt variants *)
+                (match timed "probe-parity" (fun () -> Oracle.probe_parity ~index:probe_index info) with
                  | Oracle.Violation { kind; detail } -> `Fail (kind, detail)
                  | Oracle.Skip _ | Oracle.Pass ->
-                   restore_stage (match diff with Oracle.Skip _ -> `Skip | _ -> `Pass))))))
+                   (* static over-approximation soundness: observed execution
+                      vs abstract-interpretation facts, and folded vs unfolded
+                      instrumentation equivalence *)
+                   (match timed "absint-soundness" (fun () -> Oracle.absint_soundness info) with
+                    | Oracle.Violation { kind; detail } -> `Fail (kind, detail)
+                    | Oracle.Skip _ | Oracle.Pass ->
+                      restore_stage (match diff with Oracle.Skip _ -> `Skip | _ -> `Pass)))))))
 
 (** The mutated-binary pipeline: totality of decode; then, as far as the
     mutant remains meaningful, validate / round-trip / execute. Returns
@@ -250,7 +258,7 @@ let run ?(log = fun (_ : string) -> ()) ?out_dir ?metrics ?(faults = false) ~see
     let info = gen_case ~seed ~index in
     let restore = if faults then Some (seed, index) else None in
     if faults then stats.faulted <- stats.faulted + 1;
-    (match check_generated ?metrics ?restore info with
+    (match check_generated ?metrics ?restore ~probe_index:index info with
      | `Pass -> ()
      | `Skip -> stats.skips <- stats.skips + 1
      | `Fail (oracle, detail) ->
@@ -311,7 +319,7 @@ let replay ?(faults = false) ~seed ~index (case : case_kind) : disposition =
   | Generated ->
     let info = gen_case ~seed ~index in
     let restore = if faults then Some (seed, index) else None in
-    (match check_generated ?restore info with
+    (match check_generated ?restore ~probe_index:index info with
      | `Pass -> Pass ""
      | `Skip -> Skip "base run exhausted its fuel"
      | `Fail (oracle, detail) -> Fail { oracle; detail })

@@ -48,14 +48,17 @@ val mut_case : seed:int -> index:int -> string
 (** {1 Oracles per case} *)
 
 val check_generated :
-  ?metrics:Obs.Metrics.registry -> ?restore:int * int ->
+  ?metrics:Obs.Metrics.registry -> ?restore:int * int -> ?probe_index:int ->
   Gen.info -> [ `Pass | `Skip | `Fail of string * string ]
 (** The generated-module pipeline — validate, round-trip, static
-    instrumentation lint, differential execution — stopping at the first
-    violation [(kind, detail)]. [?metrics] records each oracle's wall
-    time under [fuzz_oracle_seconds{oracle=...}]. [?restore] supplies
-    the case's [(seed, index)] and appends the restore-equivalence
-    (fault-injection) oracle as the final stage. *)
+    instrumentation lint, differential execution, tier parity, probe
+    parity, absint soundness — stopping at the first violation
+    [(kind, detail)]. [?metrics] records each oracle's wall time under
+    [fuzz_oracle_seconds{oracle=...}]. [?restore] supplies the case's
+    [(seed, index)] and appends the restore-equivalence
+    (fault-injection) oracle as the final stage. [?probe_index]
+    (default 0) round-robins the probe-parity variant; the campaign
+    passes the case index. *)
 
 val check_mutated :
   ?metrics:Obs.Metrics.registry ->

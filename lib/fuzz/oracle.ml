@@ -1,10 +1,12 @@
-(** The seven fuzzing oracles: totality, round-trip, differential
+(** The eight fuzzing oracles: totality, round-trip, differential
     equivalence (paper, Section 4.2's observational-equivalence claim,
     turned into an executable property), static instrumentation
     soundness, tier parity (tier-0 dispatch loop vs the tier-1
-    closure compiler), restore equivalence (fault containment), and
+    closure compiler), restore equivalence (fault containment),
     static over-approximation soundness (abstract-interpretation facts
-    vs observed execution, plus folded-instrumentation equivalence).
+    vs observed execution, plus folded-instrumentation equivalence),
+    and probe parity (the engine-probe backend vs the AOT rewriter on
+    the full hook-event stream).
 
     {b Totality}: feeding any byte string through decode (and, when it
     decodes, validate / instantiate / execute) may only raise the
@@ -679,6 +681,189 @@ let absint_soundness (info : Gen.info) : verdict =
                   else
                     compare_runs ~kind:"absint-fold" ~left:"unfolded" ~right:"folded" r0 r1))
        end)
+
+(** {1 Probe parity}
+
+    The engine-probe backend ({!Wasabi.Runtime.Probe}) and the AOT
+    rewriter are two implementations of one observability contract:
+    the same analysis must see the same hook events either way. This
+    oracle runs a generated module three times — uninstrumented, AOT
+    instrumented with a recording analysis, and uninstrumented with
+    engine probes delivering to the same recording analysis — and
+    requires:
+
+    - the probed run's outcome, final memory and exported globals to
+      equal the {e plain} run's (probes must not perturb execution, and
+      they charge fuel at tier-0 parity, so both run at [base_fuel]);
+    - with all hook groups attached for the whole run (tier 0 or with
+      the tier-1 compiler forced on, so attach-deopt is exercised), the
+      probe event stream to be byte-identical to the AOT stream;
+    - with a mid-run attach or detach (a step trigger at half the plain
+      run's step count), the probe stream to be an order-preserving
+      subsequence of the AOT stream — live attachment may only narrow
+      the observation window, never reorder or invent events.
+
+    Both recorded runs drop events emitted during instantiation (the
+    start function): probes attach after [instantiate] returns, so the
+    comparable window starts at the [run] invocation. *)
+
+(** How the probed run attaches its all-groups probe. *)
+type probe_variant =
+  | P_plain  (** attach before the run, tier 0 throughout *)
+  | P_tiered  (** attach before the run, tier-1 compiler forced on *)
+  | P_attach_mid of int  (** tiered; attach once [steps] reaches [n] *)
+  | P_detach_mid of int  (** attached from the start, detached at [n] *)
+
+(** Uninstrumented run that also reports the final step count (the
+    anchor for mid-run trigger placement). The invoke is guarded
+    inline so the instance stays in hand after a structured trap. *)
+let run_plain_steps (m : Ast.module_) ~fuel : (run_result * int, string) result =
+  match
+    guarded (fun () ->
+      let inst = Interp.instantiate ~fuel ~imports:[] m in
+      let outcome =
+        try Ok (Interp.invoke_export inst "run" [])
+        with e ->
+          (match Error.classify e with Some err -> Error err | None -> raise e)
+      in
+      (inst, outcome))
+  with
+  | Error crash -> Error crash
+  | Ok (Ok (inst, outcome)) -> Ok (snapshot m inst outcome, inst.Interp.steps)
+  | Ok (Error err) -> Ok ({ outcome = Error err; mem_digest = None; globals = [] }, 0)
+
+(** AOT-instrumented run recording the hook-event stream into [buf],
+    cleared right after instantiation so start-function events (which
+    the probe run cannot observe — it attaches afterwards) are not
+    part of the comparison. *)
+let run_recorded_aot (m : Ast.module_) ~fuel ~buf : (run_result, string) result =
+  match
+    guarded (fun () ->
+      let res = Wasabi.Instrument.instrument m in
+      let inst, _rt = Wasabi.Runtime.instantiate ~fuel res (recording_analysis buf) in
+      Buffer.clear buf;
+      let outcome =
+        try Ok (Interp.invoke_export inst "run" [])
+        with e ->
+          (match Error.classify e with Some err -> Error err | None -> raise e)
+      in
+      (inst, outcome))
+  with
+  | Error crash -> Error crash
+  | Ok (Ok (inst, outcome)) -> Ok (snapshot m inst outcome)
+  | Ok (Error err) -> Ok { outcome = Error err; mem_digest = None; globals = [] }
+
+(** Engine-probe run on the {e original} module, recording into [buf].
+    A fresh metrics registry keeps campaign iterations from sharing
+    probe counters. *)
+let run_probed (m : Ast.module_) ~fuel ~variant ~buf : (run_result, string) result =
+  match
+    guarded (fun () ->
+      let inst = Interp.instantiate ~fuel ~imports:[] m in
+      let c =
+        Wasabi.Runtime.Probe.create ~registry:(Obs.Metrics.create ()) inst
+          (recording_analysis buf)
+      in
+      Buffer.clear buf;
+      let all =
+        { Obs.Probe.sp_groups = []; sp_func = None; sp_loc = None; sp_nth = 1 }
+      in
+      (match variant with
+       | P_plain -> ignore (Wasabi.Runtime.Probe.attach c all)
+       | P_tiered ->
+         Tier1.enable ~threshold:1 inst;
+         ignore (Wasabi.Runtime.Probe.attach c all)
+       | P_attach_mid n ->
+         Tier1.enable ~threshold:1 inst;
+         Wasabi.Runtime.Probe.attach_at c ~step:n all
+       | P_detach_mid n ->
+         let e = Wasabi.Runtime.Probe.attach c all in
+         Wasabi.Runtime.Probe.detach_at c ~step:n e);
+      let outcome =
+        try Ok (Interp.invoke_export inst "run" [])
+        with e ->
+          (match Error.classify e with Some err -> Error err | None -> raise e)
+      in
+      (inst, outcome))
+  with
+  | Error crash -> Error crash
+  | Ok (Ok (inst, outcome)) -> Ok (snapshot m inst outcome)
+  | Ok (Error err) -> Ok { outcome = Error err; mem_digest = None; globals = [] }
+
+(** First line of [sub] (as [(index, line)]) that cannot be matched by
+    an order-preserving scan of [of_]; [None] when [sub] is a
+    subsequence. *)
+let subsequence_failure ~sub ~of_ =
+  let rec drop_until x = function
+    | [] -> None
+    | y :: ys -> if String.equal x y then Some ys else drop_until x ys
+  in
+  let rec go i sub full =
+    match sub with
+    | [] -> None
+    | x :: xs ->
+      (match drop_until x full with
+       | Some rest -> go (i + 1) xs rest
+       | None -> Some (i, x))
+  in
+  go 0 (String.split_on_char '\n' sub) (String.split_on_char '\n' of_)
+
+(** The probe-parity oracle. [index] picks the variant (round-robin),
+    so a campaign interleaves full-attach exactness with mid-run
+    attach/detach and tier-1 deopt cases. *)
+let probe_parity ~index (info : Gen.info) : verdict =
+  let m = info.Gen.module_ in
+  match run_plain_steps m ~fuel:base_fuel with
+  | Error crash -> violation "totality-exec" "uninstrumented run crashed: %s" crash
+  | Ok (base, steps) ->
+    if engine_bug base.outcome then
+      violation "engine-bug" "uninstrumented run: %s" (string_of_outcome base.outcome)
+    else if is_out_of_fuel base.outcome then Skip "base-exhausted"
+    else begin
+      let buf_aot = Buffer.create 1024 in
+      match run_recorded_aot m ~fuel:(base_fuel * hook_fuel_scale) ~buf:buf_aot with
+      | Error crash -> violation "totality-exec" "AOT recorded run crashed: %s" crash
+      | Ok aot ->
+        if engine_bug aot.outcome then
+          violation "engine-bug" "AOT recorded run: %s" (string_of_outcome aot.outcome)
+        else if is_out_of_fuel aot.outcome then Skip "instrumented-exhausted"
+        else begin
+          let mid = max 1 (steps / 2) in
+          let variant, vname =
+            match index mod 4 with
+            | 0 -> (P_plain, "attach-all")
+            | 1 -> (P_tiered, "tiered attach-all")
+            | 2 -> (P_attach_mid mid, "tiered mid-run attach")
+            | _ -> (P_detach_mid mid, "mid-run detach")
+          in
+          let buf_p = Buffer.create 1024 in
+          match run_probed m ~fuel:base_fuel ~variant ~buf:buf_p with
+          | Error crash -> violation "totality-exec" "probed run (%s) crashed: %s" vname crash
+          | Ok probed ->
+            if engine_bug probed.outcome then
+              violation "engine-bug" "probed run (%s): %s" vname
+                (string_of_outcome probed.outcome)
+            else begin
+              match compare_runs ~kind:"probe-parity" ~left:"plain" ~right:vname base probed with
+              | Pass ->
+                let sa = Buffer.contents buf_aot and sp = Buffer.contents buf_p in
+                (match variant with
+                 | P_plain | P_tiered ->
+                   if String.equal sa sp then Pass
+                   else
+                     violation "probe-parity" "hook-event streams diverged (%s): %s" vname
+                       (first_stream_diff sa sp)
+                 | P_attach_mid _ | P_detach_mid _ ->
+                   (match subsequence_failure ~sub:sp ~of_:sa with
+                    | None -> Pass
+                    | Some (i, line) ->
+                      violation "probe-parity"
+                        "probe event %d (%s) absent from the AOT stream in order: %S" i vname
+                        line))
+              | v -> v
+            end
+        end
+    end
 
 (** Execution totality for an arbitrary valid module (mutation pipeline):
     instantiating with no imports and invoking the first nullary exported

@@ -1,14 +1,17 @@
-(** The seven fuzzing oracles: totality, round-trip, differential
+(** The eight fuzzing oracles: totality, round-trip, differential
     equivalence (paper, Section 4.2's observational-equivalence claim,
     turned into an executable property), static instrumentation
     soundness via {!Lint.check}, tier parity (tier-0 dispatch loop
     vs the {!Wasm.Tier1} closure compiler), restore equivalence
     (fault containment: snapshot → seeded host faults → restore →
-    clean run ≡ fresh instance), and static over-approximation
+    clean run ≡ fresh instance), static over-approximation
     soundness (every dynamically observed indirect-call target, branch
     outcome, operand and global value must be contained in the
     {!Static.Absint} fact, and [~fold]-instrumented execution must be
-    event-for-event identical to the unfolded one). *)
+    event-for-event identical to the unfolded one), and probe parity
+    (the engine-probe backend must deliver the same hook-event stream
+    as the AOT rewriter, including under mid-run attach/detach and
+    tier-1 deopt). *)
 
 type verdict =
   | Pass
@@ -90,6 +93,20 @@ val absint_soundness : Gen.info -> verdict
     and requires an identical hook-event stream, outcome, final memory
     and exported globals. [Skip] when the base run exhausts its fuel or
     an instrumented run does. *)
+
+val probe_parity : index:int -> Gen.info -> verdict
+(** The engine-probe vs AOT-rewrite differential. Runs the module
+    plain, AOT-instrumented with a recording analysis, and with engine
+    probes delivering to the same recording analysis. The probed run's
+    outcome, final memory and exported globals must equal the plain
+    run's; the probe event stream must be byte-identical to the AOT
+    stream when all groups are attached for the whole run, and an
+    order-preserving subsequence of it under mid-run attach/detach.
+    [index mod 4] selects the variant: full attach on tier 0, full
+    attach with the tier-1 compiler forced on (attach-deopt), tiered
+    mid-run attach (step trigger at half the plain run's step count),
+    mid-run detach. [Skip] when the base or the AOT run exhausts its
+    fuel. *)
 
 val execution_total : Wasm.Ast.module_ -> verdict
 (** Execution totality for an arbitrary valid module (mutation

@@ -699,3 +699,562 @@ let instantiate ?fuel ?decoder ?wrap_host ?(extra_imports : Interp.imports = [])
   in
   rt.instance <- Some inst;
   (inst, rt)
+
+(** {1 The engine-probe backend}
+
+    The second way to run an analysis: instead of rewriting the binary
+    ahead of time, probes are patched into the {e original} module's
+    pre-decoded instruction stream inside the engine ([Interp.probe_function]).
+    No re-encode, no i64 splitting, no argument marshalling through wasm
+    locals — event closures peek operands directly off the live operand
+    stack and invoke the same {!Analysis.t} callbacks the AOT hook path
+    dispatches to, so every analysis runs unmodified under either
+    backend.
+
+    Event synthesis mirrors the instrumenter's contract exactly
+    (location values, event order, [end] events of every block a branch
+    exits, [br_table] runtime selection, call argument/result capture);
+    the probe-parity differential fuzz oracle holds the two backends to
+    an identical hook-event stream.
+
+    Probes attach and detach while the instance runs. Attach takes
+    effect at the next entry of each function (frames already on the
+    stack finish on the code they entered with); detach silences the
+    already-installed closures immediately via the entry's active flag.
+    Attaching deopts tier-1-compiled bodies back to the probed tier-0
+    loop; detaching lets them re-tier naturally. *)
+module Probe = struct
+  open Wasm.Interp
+  open Wasm.Ast
+
+  (** Static control-stack entry of the probe builder's walk, the
+      analogue of the instrumenter's [ctrl_entry]. *)
+  type pctrl = {
+    k : Hook.block_kind;
+    cb : int;  (** begin instruction index; -1 for the function *)
+    ce : int;  (** matching [End] index; body length for the function *)
+  }
+
+  type controller = {
+    pc_inst : instance;  (** an instance of the {e original} module *)
+    pc_analysis : Analysis.t;
+    pc_marked : Analysis.t;  (** mark-wrapped, dispatched under a profiler *)
+    pc_mark : int64 ref;
+    pc_mgr : Obs.Probe.t;
+    mutable pc_prof : Obs.Profile.t option;
+    mutable pc_indirect : int array;  (** per-table-slot callee resolution *)
+    pc_n_imp : int;  (** imported functions: defined j ↔ index n_imp + j *)
+    pc_start : int option;
+    pc_xbodies : xinstr array option array;  (** unfused re-decodes, cached *)
+  }
+
+  let target_instr (e : pctrl) =
+    match e.k with
+    | Hook.Bloop -> e.cb + 1
+    | Hook.Bfunction -> e.ce
+    | Hook.Bblock | Hook.Bif | Hook.Belse -> e.ce + 1
+
+  (** Original-module function index of a table slot's callee, -1 when
+      null / foreign; cached per slot (MVP tables are immutable). *)
+  let resolve_indirect_orig c (tbl : int32) : int =
+    match c.pc_inst.inst_table with
+    | None -> -1
+    | Some table ->
+      let elems = table.t_elems in
+      let i = Int64.to_int (Int64.logand (Int64.of_int32 tbl) 0xFFFFFFFFL) in
+      if i >= Array.length elems then -1
+      else begin
+        if Array.length c.pc_indirect <> Array.length elems then
+          c.pc_indirect <- Array.make (Array.length elems) unresolved;
+        let cached = c.pc_indirect.(i) in
+        if cached <> unresolved then cached
+        else begin
+          let r =
+            match elems.(i) with
+            | None -> -1
+            | Some (Wasm_func (j, owner)) when owner == c.pc_inst -> c.pc_n_imp + j
+            | Some f ->
+              let rec scan i =
+                if i >= c.pc_n_imp then -1
+                else if c.pc_inst.inst_funcs.(i) == f then i
+                else scan (i + 1)
+              in
+              scan 0
+          in
+          c.pc_indirect.(i) <- r;
+          r
+        end
+      end
+
+  let xbody_of c j =
+    match c.pc_xbodies.(j) with
+    | Some x -> x
+    | None ->
+      let x = unfused_xbody c.pc_inst.inst_code.(j) in
+      c.pc_xbodies.(j) <- Some x;
+      x
+
+  (** Build the probed body of defined function [j] from the currently
+      attached probe set: [None] when no active probe matches any event
+      site in the function. Every synthesized event closure is a gate
+      (the statically-matching probe entries' dynamic [should_fire])
+      around the analysis callback, wrapped — only while a profiler is
+      attached — in the ["hook.<group>"] / ["dispatch.probe"] /
+      ["dispatch.analysis"] timing split. *)
+  let build_hooks c ~(j : int) : probe_hooks option =
+    let inst = c.pc_inst in
+    let code = inst.inst_code.(j) in
+    let fidx = c.pc_n_imp + j in
+    let body = code.c_body in
+    let n = Array.length body in
+    let jumps = code.c_jumps in
+    let st = inst.inst_stack in
+    let peek d = Array.unsafe_get st.data (st.size - 1 - d) in
+    let loc at = Location.make ~func:fidx ~instr:at in
+    let mk_event ~group ~at (build : Analysis.t -> Value.t array -> unit) :
+        (Value.t array -> unit) option =
+      let gname = Hook.group_name group in
+      match
+        List.filter
+          (fun (e : Obs.Probe.entry) ->
+             Obs.Probe.site_matches e.Obs.Probe.e_spec ~group:gname ~func:fidx ~instr:at)
+          (Obs.Probe.entries c.pc_mgr)
+      with
+      | [] -> None
+      | es ->
+        let fast = build c.pc_analysis in
+        let profiled = lazy (build c.pc_marked) in
+        let timer_key = "hook." ^ gname in
+        let fired = Obs.Probe.fired_counter c.pc_mgr in
+        Some
+          (fun locals ->
+             (* every matching entry counts the occurrence (no
+                short-circuit): the [@nth] counters stay exact even
+                when another entry already fires the event *)
+             let fire =
+               List.fold_left
+                 (fun acc e -> Obs.Probe.should_fire e ~fired || acc)
+                 false es
+             in
+             if fire then
+               match c.pc_prof with
+               | None -> fast locals
+               | Some p ->
+                 let t0 = Obs.Clock.now_ns () in
+                 c.pc_mark := -1L;
+                 (Lazy.force profiled) locals;
+                 let t2 = Obs.Clock.now_ns () in
+                 let t1 = if !(c.pc_mark) < 0L then t2 else !(c.pc_mark) in
+                 Obs.Profile.add_time p timer_key (Int64.sub t2 t0);
+                 Obs.Profile.add_time p "dispatch.probe" (Int64.sub t1 t0);
+                 Obs.Profile.add_time p "dispatch.analysis" (Int64.sub t2 t1))
+    in
+    let pre = Array.make n [] and post = Array.make n [] in
+    let any = ref false in
+    let add_pre i f =
+      any := true;
+      pre.(i) <- f :: pre.(i)
+    in
+    let add_post i f =
+      any := true;
+      post.(i) <- f :: post.(i)
+    in
+    let add_pre_event i = function None -> () | Some f -> add_pre i f in
+    let add_post_event i = function None -> () | Some f -> add_post i f in
+    let ctrl = ref [ { k = Hook.Bfunction; cb = -1; ce = n } ] in
+    let resolve_target l : Metadata.target =
+      let e = List.nth !ctrl l in
+      { Metadata.label = l; target_loc = loc (target_instr e) }
+    in
+    let ended_blocks l : Metadata.ended_block list =
+      List.filteri (fun i _ -> i <= l) !ctrl
+      |> List.map (fun e ->
+        { Metadata.eb_kind = e.k; eb_end_loc = loc e.ce; eb_begin_instr = e.cb })
+    in
+    (* gated end-event closures of the blocks a branch exits, innermost
+       first — each gated at its own reported location *)
+    let end_events ended =
+      List.filter_map
+        (fun (eb : Metadata.ended_block) ->
+           mk_event ~group:Hook.G_end ~at:eb.Metadata.eb_end_loc.Location.instr
+             (fun a _ ->
+                a.Analysis.end_ eb.Metadata.eb_end_loc eb.Metadata.eb_kind
+                  (loc eb.Metadata.eb_begin_instr)))
+        ended
+    in
+    let cond_of v = not (Int32.equal (Value.as_i32 v) 0l) in
+    Array.iteri
+      (fun at ins ->
+         match ins with
+         | Nop ->
+           add_post_event at
+             (mk_event ~group:Hook.G_nop ~at (fun a _ -> a.Analysis.nop (loc at)))
+         | Unreachable ->
+           add_pre_event at
+             (mk_event ~group:Hook.G_unreachable ~at (fun a _ ->
+                a.Analysis.unreachable (loc at)))
+         | Block _ ->
+           ctrl := { k = Hook.Bblock; cb = at; ce = jumps.end_of.(at) } :: !ctrl;
+           add_post_event at
+             (mk_event ~group:Hook.G_begin ~at (fun a _ ->
+                a.Analysis.begin_ (loc at) Hook.Bblock))
+         | Loop _ ->
+           ctrl := { k = Hook.Bloop; cb = at; ce = jumps.end_of.(at) } :: !ctrl;
+           (* on the loop-head slot, the back-branch target: fires once
+              per iteration, like the AOT hook inside the loop *)
+           add_pre_event (at + 1)
+             (mk_event ~group:Hook.G_begin ~at (fun a _ ->
+                a.Analysis.begin_ (loc at) Hook.Bloop))
+         | If _ ->
+           add_pre_event at
+             (mk_event ~group:Hook.G_if ~at (fun a _ ->
+                a.Analysis.if_ (loc at) (cond_of (peek 0))));
+           ctrl := { k = Hook.Bif; cb = at; ce = jumps.end_of.(at) } :: !ctrl;
+           (* first slot of the then-branch: fires only when the
+              condition was true, like the AOT hook inside the branch *)
+           add_pre_event (at + 1)
+             (mk_event ~group:Hook.G_begin ~at (fun a _ ->
+                a.Analysis.begin_ (loc at) Hook.Bif))
+         | Else ->
+           let e, rest =
+             match !ctrl with
+             | e :: rest -> (e, rest)
+             | [] -> invalid_arg "else without open block"
+           in
+           ctrl := { e with k = Hook.Belse; cb = at } :: rest;
+           (* reached only by the then-branch falling through *)
+           add_pre_event at
+             (mk_event ~group:Hook.G_end ~at (fun a _ ->
+                a.Analysis.end_ (loc at) Hook.Bif (loc e.cb)));
+           (* first slot of the else-branch: false-condition path only *)
+           add_pre_event (at + 1)
+             (mk_event ~group:Hook.G_begin ~at (fun a _ ->
+                a.Analysis.begin_ (loc at) Hook.Belse))
+         | End ->
+           let e, rest =
+             match !ctrl with
+             | e :: rest -> (e, rest)
+             | [] -> invalid_arg "unbalanced end"
+           in
+           ctrl := rest;
+           add_pre_event at
+             (mk_event ~group:Hook.G_end ~at (fun a _ ->
+                a.Analysis.end_ (loc at) e.k (loc e.cb)))
+         | Br l ->
+           let t = resolve_target l in
+           add_pre_event at
+             (mk_event ~group:Hook.G_br ~at (fun a _ -> a.Analysis.br (loc at) t));
+           List.iter (add_pre at) (end_events (ended_blocks l))
+         | BrIf l ->
+           let t = resolve_target l in
+           add_pre_event at
+             (mk_event ~group:Hook.G_br_if ~at (fun a _ ->
+                a.Analysis.br_if (loc at) t (cond_of (peek 0))));
+           (match end_events (ended_blocks l) with
+            | [] -> ()
+            | evs ->
+              (* end events fire only when the branch is taken *)
+              add_pre at (fun locals ->
+                if cond_of (peek 0) then List.iter (fun f -> f locals) evs))
+         | BrTable (ls, d) ->
+           let entry l = (resolve_target l, ended_blocks l) in
+           let targets_info = Array.of_list (List.map entry ls) in
+           let default_info = entry d in
+           let targets = Array.map fst targets_info in
+           let default_t = fst default_info in
+           let bt_event =
+             mk_event ~group:Hook.G_br_table ~at (fun a _ ->
+               a.Analysis.br_table (loc at) targets default_t
+                 (Int32.to_int (Value.as_i32 (peek 0))))
+           in
+           let entry_ends = Array.map (fun (_, ended) -> end_events ended) targets_info in
+           let default_ends = end_events (snd default_info) in
+           let have_ends =
+             (match default_ends with [] -> false | _ -> true)
+             || Array.exists (function [] -> false | _ -> true) entry_ends
+           in
+           if bt_event <> None || have_ends then
+             add_pre at (fun locals ->
+               (match bt_event with None -> () | Some f -> f locals);
+               if have_ends then begin
+                 (* signed read, like the AOT dispatcher: a negative
+                    index is >= 2^31 unsigned, out of range, default *)
+                 let idx = Int32.to_int (Value.as_i32 (peek 0)) in
+                 let ends =
+                   if idx >= 0 && idx < Array.length entry_ends then entry_ends.(idx)
+                   else default_ends
+                 in
+                 List.iter (fun f -> f locals) ends
+               end)
+         | Return ->
+           let arity = code.c_arity in
+           add_pre_event at
+             (mk_event ~group:Hook.G_return ~at (fun a _ ->
+                a.Analysis.return_ (loc at) (if arity = 0 then [] else [ peek 0 ])));
+           List.iter (add_pre at) (end_events (ended_blocks (List.length !ctrl - 1)))
+         | Call fi ->
+           let ft = func_type_of inst.inst_funcs.(fi) in
+           let np = List.length ft.Types.params in
+           let nr = List.length ft.Types.results in
+           add_pre_event at
+             (mk_event ~group:Hook.G_call ~at (fun a _ ->
+                let args = List.init np (fun i -> peek (np - 1 - i)) in
+                a.Analysis.call_pre (loc at) fi args None));
+           add_post_event at
+             (mk_event ~group:Hook.G_call ~at (fun a _ ->
+                a.Analysis.call_post (loc at) (if nr = 0 then [] else [ peek 0 ])))
+         | CallIndirect ti ->
+           let ft = inst.inst_types.(ti) in
+           let np = List.length ft.Types.params in
+           let nr = List.length ft.Types.results in
+           add_pre_event at
+             (mk_event ~group:Hook.G_call ~at (fun a _ ->
+                let tbl = Value.as_i32 (peek 0) in
+                let args = List.init np (fun i -> peek (np - i)) in
+                a.Analysis.call_pre (loc at) (resolve_indirect_orig c tbl) args
+                  (Some (Int32.to_int tbl))));
+           add_post_event at
+             (mk_event ~group:Hook.G_call ~at (fun a _ ->
+                a.Analysis.call_post (loc at) (if nr = 0 then [] else [ peek 0 ])))
+         | Drop ->
+           add_pre_event at
+             (mk_event ~group:Hook.G_drop ~at (fun a _ -> a.Analysis.drop (loc at) (peek 0)))
+         | Select ->
+           add_pre_event at
+             (mk_event ~group:Hook.G_select ~at (fun a _ ->
+                a.Analysis.select (loc at) (cond_of (peek 0)) (peek 2) (peek 1)))
+         | LocalGet x | LocalSet x | LocalTee x ->
+           let opn =
+             Hook.local_op_name
+               (match ins with
+                | LocalGet _ -> Hook.Lget
+                | LocalSet _ -> Hook.Lset
+                | _ -> Hook.Ltee)
+           in
+           (* after the instruction the local holds the reported value
+              for all three ops, like the AOT [local.get x] argument *)
+           add_post_event at
+             (mk_event ~group:Hook.G_local ~at (fun a locals ->
+                a.Analysis.local (loc at) opn x locals.(x)))
+         | GlobalGet x ->
+           add_post_event at
+             (mk_event ~group:Hook.G_global ~at (fun a _ ->
+                a.Analysis.global (loc at) (Hook.global_op_name Hook.Gget) x (peek 0)))
+         | GlobalSet x ->
+           add_post_event at
+             (mk_event ~group:Hook.G_global ~at (fun a _ ->
+                a.Analysis.global (loc at) (Hook.global_op_name Hook.Gset) x
+                  inst.inst_globals.(x).g_value))
+         | Load op ->
+           let opn = string_of_instr ins in
+           let addr = ref 0l in
+           (match
+              mk_event ~group:Hook.G_load ~at (fun a _ ->
+                a.Analysis.load (loc at) opn
+                  { Analysis.addr = !addr; offset = op.loffset }
+                  (peek 0))
+            with
+            | None -> ()
+            | Some ev ->
+              add_pre at (fun _ -> addr := Value.as_i32 (peek 0));
+              add_post at ev)
+         | Store op ->
+           let opn = string_of_instr ins in
+           let addr = ref 0l in
+           let v = ref (Value.I32 0l) in
+           (match
+              mk_event ~group:Hook.G_store ~at (fun a _ ->
+                a.Analysis.store (loc at) opn
+                  { Analysis.addr = !addr; offset = op.soffset }
+                  !v)
+            with
+            | None -> ()
+            | Some ev ->
+              add_pre at (fun _ ->
+                v := peek 0;
+                addr := Value.as_i32 (peek 1));
+              add_post at ev)
+         | MemorySize ->
+           add_post_event at
+             (mk_event ~group:Hook.G_memory_size ~at (fun a _ ->
+                a.Analysis.memory_size (loc at) (Int32.to_int (Value.as_i32 (peek 0)))))
+         | MemoryGrow ->
+           let delta = ref 0 in
+           (match
+              mk_event ~group:Hook.G_memory_grow ~at (fun a _ ->
+                a.Analysis.memory_grow (loc at) !delta
+                  (Int32.to_int (Value.as_i32 (peek 0))))
+            with
+            | None -> ()
+            | Some ev ->
+              add_pre at (fun _ -> delta := Int32.to_int (Value.as_i32 (peek 0)));
+              add_post at ev)
+         | Const v ->
+           add_post_event at
+             (mk_event ~group:Hook.G_const ~at (fun a _ -> a.Analysis.const (loc at) v))
+         | Test _ | Unary _ | Convert _ ->
+           let opn = string_of_instr ins in
+           let input = ref (Value.I32 0l) in
+           (match
+              mk_event ~group:Hook.G_unary ~at (fun a _ ->
+                a.Analysis.unary (loc at) opn !input (peek 0))
+            with
+            | None -> ()
+            | Some ev ->
+              add_pre at (fun _ -> input := peek 0);
+              add_post at ev)
+         | Compare _ | Binary _ ->
+           let opn = string_of_instr ins in
+           let xa = ref (Value.I32 0l) in
+           let xb = ref (Value.I32 0l) in
+           (match
+              mk_event ~group:Hook.G_binary ~at (fun a _ ->
+                a.Analysis.binary (loc at) opn !xa !xb (peek 0))
+            with
+            | None -> ()
+            | Some ev ->
+              add_pre at (fun _ ->
+                xb := peek 0;
+                xa := peek 1);
+              add_post at ev))
+      body;
+    let enter_evs =
+      (if c.pc_start = Some fidx then
+         match
+           mk_event ~group:Hook.G_start ~at:(-1) (fun a _ -> a.Analysis.start (loc (-1)))
+         with
+         | None -> []
+         | Some f -> [ f ]
+       else [])
+      @
+      match
+        mk_event ~group:Hook.G_begin ~at:(-1) (fun a _ ->
+          a.Analysis.begin_ (loc (-1)) Hook.Bfunction)
+      with
+      | None -> []
+      | Some f -> [ f ]
+    in
+    let exit_ev =
+      mk_event ~group:Hook.G_end ~at:n (fun a _ ->
+        a.Analysis.end_ (loc n) Hook.Bfunction (loc (-1)))
+    in
+    match (!any, enter_evs, exit_ev) with
+    | false, [], None -> None
+    | _ ->
+      let compose = function
+        | [] -> None
+        | [ f ] -> Some f
+        | fs -> Some (fun locals -> List.iter (fun f -> f locals) fs)
+      in
+      Some
+        {
+          pp_body = xbody_of c j;
+          pp_pre = Array.map (fun fs -> compose (List.rev fs)) pre;
+          pp_post = Array.map (fun fs -> compose (List.rev fs)) post;
+          pp_enter = compose enter_evs;
+          pp_exit = exit_ev;
+        }
+
+  (** Re-derive every probed body from the current probe set. Functions
+      with at least one matching event site get a probed body (deopting
+      any tier-1 closure); the rest return to normal tiered execution. *)
+  let rebuild c =
+    Array.iteri
+      (fun j _ ->
+         match build_hooks c ~j with
+         | Some ph -> probe_function c.pc_inst j ph
+         | None -> unprobe_function c.pc_inst j)
+      c.pc_inst.inst_code
+
+  let detach_all c =
+    Obs.Probe.detach_all c.pc_mgr;
+    rebuild c
+
+  (** Create a probe controller for an instance of an {e uninstrumented}
+      module and register its snapshot-facing view on the instance:
+      [Snapshot.capture] records the attached spec set, restore re-arms
+      exactly that set (fresh hit counters). *)
+  let create ?registry (inst : instance) (analysis : Analysis.t) : controller =
+    let mark = ref (-1L) in
+    let c =
+      {
+        pc_inst = inst;
+        pc_analysis = analysis;
+        pc_marked = with_mark mark analysis;
+        pc_mark = mark;
+        pc_mgr = Obs.Probe.create ?registry ();
+        pc_prof = None;
+        pc_indirect = [||];
+        pc_n_imp = num_imported_funcs inst.inst_module;
+        pc_start = inst.inst_module.start;
+        pc_xbodies = Array.make (Array.length inst.inst_code) None;
+      }
+    in
+    set_probes inst
+      (Some
+         {
+           ps_capture =
+             (fun () ->
+                let specs =
+                  List.map (fun (e : Obs.Probe.entry) -> e.Obs.Probe.e_spec)
+                    (Obs.Probe.entries c.pc_mgr)
+                in
+                fun () ->
+                  Obs.Probe.detach_all c.pc_mgr;
+                  List.iter (fun sp -> ignore (Obs.Probe.attach c.pc_mgr sp)) specs;
+                  rebuild c);
+           ps_detach_all = (fun () -> detach_all c);
+         });
+    c
+
+  let attach c spec =
+    let e = Obs.Probe.attach c.pc_mgr spec in
+    rebuild c;
+    e
+
+  let detach c e =
+    Obs.Probe.detach c.pc_mgr e;
+    rebuild c
+
+  (** Parse and validate a probe spec: syntax via {!Obs.Probe.parse_spec},
+      group names against the hook vocabulary. *)
+  let validate_spec (s : string) : (Obs.Probe.spec, string) result =
+    match Obs.Probe.parse_spec s with
+    | Error m -> Error m
+    | Ok sp ->
+      let unknown =
+        List.filter
+          (fun g ->
+             match Hook.group_of_name g with
+             | exception Invalid_argument _ -> true
+             | _ -> false)
+          sp.Obs.Probe.sp_groups
+      in
+      (match unknown with
+       | [] -> Ok sp
+       | g :: _ -> Error (Printf.sprintf "unknown hook group %S" g))
+
+  let attach_spec c s =
+    match validate_spec s with
+    | Error _ as e -> e
+    | Ok sp -> Ok (attach c sp)
+
+  (** Attach [spec] once the instance's step counter first reaches
+      [step] (checked at batch charge boundaries on every tier). *)
+  let attach_at c ~step spec =
+    add_step_trigger c.pc_inst ~at:step (fun () -> ignore (attach c spec))
+
+  let detach_at c ~step e = add_step_trigger c.pc_inst ~at:step (fun () -> detach c e)
+
+  (** Attach (or detach) a profiler to the controller's dispatch timing
+      and to the instance (per-function and per-run accounting). Probe
+      dispatch splits into ["dispatch.probe"] (gate + operand capture up
+      to the first analysis-callback entry) and ["dispatch.analysis"]. *)
+  let attach_profiler c p =
+    c.pc_prof <- p;
+    set_profiler c.pc_inst p
+
+  let entries c = Obs.Probe.entries c.pc_mgr
+  let all_entries c = Obs.Probe.all_entries c.pc_mgr
+  let manager c = c.pc_mgr
+end

@@ -68,3 +68,70 @@ val instantiate :
     order); everything else goes through the name-keyed import list.
     [wrap_host] interposes on every bound host function (hooks and
     [Host_func] extra imports) — the fault-injection seam. *)
+
+(** The engine-probe observability backend: run an analysis on an
+    {e uninstrumented} module by patching event closures directly into
+    the engine's pre-decoded instruction streams. No binary rewrite, no
+    i64 splitting, no argument marshalling — closures peek operands off
+    the live operand stack and call the same {!Analysis.t} callbacks
+    the AOT path dispatches to, with the exact same event placement and
+    payloads (held to the AOT stream by the probe-parity fuzz oracle).
+
+    Probes attach and detach while the instance runs: attach takes
+    effect at the next entry of each affected function (and deopts its
+    tier-1 closure); detach silences events immediately and lets bodies
+    re-tier. Specs select sites Whamm-style:
+    ["GROUPS\[@func=N\]\[@loc=F:I\]\[@nth=K\]"] — comma-separated hook
+    groups (or ["all"]), optional per-function / per-site filters, and
+    a fire-every-kth-match count predicate. *)
+module Probe : sig
+  type controller
+
+  val create :
+    ?registry:Obs.Metrics.registry ->
+    Wasm.Interp.instance ->
+    Analysis.t ->
+    controller
+  (** Create a probe controller for an instance of the {e original}
+      (uninstrumented) module, and register its capture/detach view on
+      the instance so {!Wasm.Snapshot} restores the probe set
+      explicitly. No probes are attached yet. *)
+
+  val attach : controller -> Obs.Probe.spec -> Obs.Probe.entry
+  (** Attach a probe and rebuild the probed bodies it matches. Counted
+      by [wasabi_probe_attached_total]; spans a [probe.attach] phase. *)
+
+  val attach_spec : controller -> string -> (Obs.Probe.entry, string) result
+  (** [attach] from concrete spec syntax, validating hook-group names. *)
+
+  val validate_spec : string -> (Obs.Probe.spec, string) result
+
+  val detach : controller -> Obs.Probe.entry -> unit
+  (** Stop the probe firing immediately and re-derive probed bodies;
+      functions left without matching probes return to tiered
+      execution. Idempotent. *)
+
+  val detach_all : controller -> unit
+
+  val attach_at : controller -> step:int -> Obs.Probe.spec -> unit
+  (** Attach once the instance's step counter first reaches [step]
+      (checked at batch-charge boundaries on every tier, immediate when
+      already past) — the [--probe-at step=N] trigger. *)
+
+  val detach_at : controller -> step:int -> Obs.Probe.entry -> unit
+
+  val attach_profiler : controller -> Obs.Profile.t option -> unit
+  (** Attach (or detach) a profiler to probe dispatch and the instance.
+      Probe dispatch time splits into ["hook.<group>"],
+      ["dispatch.probe"] (gate + operand capture before the analysis
+      callback) and ["dispatch.analysis"]. *)
+
+  val entries : controller -> Obs.Probe.entry list
+  (** Currently attached (active) probes. *)
+
+  val all_entries : controller -> Obs.Probe.entry list
+  (** Every probe ever attached, including detached ones (for
+      [--stats]). *)
+
+  val manager : controller -> Obs.Probe.t
+end

@@ -137,6 +137,37 @@ type stack = {
   mutable size : int;
 }
 
+(** Engine-probe instrumentation installed on one function body: a
+    re-decoded, {e unfused} copy of the instruction stream (so every
+    original instruction index is executed individually and can carry
+    hooks) plus per-slot pre/post event closures and frame enter/exit
+    events. Closures receive the frame's locals; everything else
+    (instance, operand stack, static site information) is baked in when
+    the probes are compiled. [None] in a slot costs one match. *)
+type probe_hooks = {
+  pp_body : xinstr array;
+      (** unfused re-decode of the body, same indexing as [c_xbody] *)
+  pp_pre : (Value.t array -> unit) option array;
+      (** fired before the slot's instruction executes *)
+  pp_post : (Value.t array -> unit) option array;
+      (** fired after the slot's instruction completes without trapping
+          and falls through; only installed on fall-through instructions *)
+  pp_enter : (Value.t array -> unit) option;  (** frame entry *)
+  pp_exit : (Value.t array -> unit) option;
+      (** implicit fall-off function exit only; explicit [return] and
+          branches to the function label fire their events via [pp_pre] *)
+}
+
+(** Registration handle of a probe controller, so snapshot/restore can
+    treat probe state explicitly: [ps_capture] returns a thunk that
+    re-arms exactly the probe set attached at capture time, and
+    [ps_detach_all] detaches everything (used when restoring a snapshot
+    that was taken with no probes attached). *)
+type probe_set = {
+  ps_capture : unit -> unit -> unit;
+  ps_detach_all : unit -> unit;
+}
+
 type func_inst =
   | Wasm_func of int * instance  (** index into [instance.code], closing instance *)
   | Host_func of host_func
@@ -198,6 +229,11 @@ and code = {
           the granularity of batched fuel accounting *)
   mutable c_tier : tier_state;
   mutable c_hot : int;  (** calls observed while still on tier 0 *)
+  mutable c_probe : probe_hooks option;
+      (** engine probes installed on this body; frames entered while set
+          run on the probed dispatch loop ([exec_probed]) regardless of
+          tier state, and tier-up is suspended. [None] costs one match
+          per call. *)
 }
 
 (** A compiled (tier-1) function body. Called with the frame's locals;
@@ -247,6 +283,15 @@ and instance = {
   mutable inst_deopt_on_fault : bool;
       (** when set, a compiled body unwound by a governor violation or
           an injected host fault is deopted back to tier 0 permanently *)
+  mutable inst_triggers : (int * (unit -> unit)) list;
+      (** pending step triggers, sorted by step count: each fires once
+          when [steps] first reaches its threshold, checked at batch
+          charge boundaries on every tier; [[]] costs one match per
+          batch. The probe controller uses them for [--probe-at step=N]
+          live attach/detach. *)
+  mutable inst_probes : probe_set option;
+      (** the probe controller registered on this instance, if any, so
+          {!Snapshot} can capture and re-arm probe state explicitly *)
 }
 
 (** Wasm implementations limit call depth; ours traps with the spec's
@@ -303,6 +348,81 @@ let compute_jumps (body : instr array) : jump_info =
 
 let bt_arity : block_type -> int = function None -> 0 | Some _ -> 1
 
+(** The end target of each [Else]: just past the [End] of its matching
+    [If]. Shared by {!prepare_code} and {!unfused_xbody}. *)
+let compute_else_end (body : instr array) (end_of : int array) : int array =
+  let n = Array.length body in
+  let else_end = Array.make (max n 1) 0 in
+  let open_blocks = ref [] in
+  for pc = 0 to n - 1 do
+    match body.(pc) with
+    | Block _ | Loop _ | If _ -> open_blocks := pc :: !open_blocks
+    | Else ->
+      (match !open_blocks with
+       | open_pc :: _ -> else_end.(pc) <- end_of.(open_pc) + 1
+       | [] -> ())
+    | End -> (match !open_blocks with _ :: rest -> open_blocks := rest | [] -> ())
+    | _ -> ()
+  done;
+  else_end
+
+(** Single-instruction decode: resolve operators and jump targets. Used
+    per-slot by {!prepare_code} (before fusion) and by {!unfused_xbody}
+    (the probed bodies, which skip fusion entirely). *)
+let decode_instr ~(end_of : int array) ~(else_of : int array)
+    ~(else_end : int array) ~(br_tables : int array array) pc (i : instr) : xinstr =
+  match i with
+  | Unreachable -> XUnreachable
+  | Nop -> XNop
+  | Block bt -> XBlock (end_of.(pc) + 1, bt_arity bt)
+  | Loop _ -> XLoop
+  | If bt ->
+    if else_of.(pc) >= 0 then XIfElse (else_of.(pc) + 1, end_of.(pc) + 1, bt_arity bt)
+    else XIf (end_of.(pc) + 1, bt_arity bt)
+  | Else -> XElse else_end.(pc)
+  | End -> XEnd
+  | Br k -> XBr k
+  | BrIf k -> XBrIf k
+  | BrTable _ -> XBrTable br_tables.(pc)
+  | Return -> XReturn
+  | Call fidx -> XCall fidx
+  | CallIndirect tidx -> XCallIndirect tidx
+  | Drop -> XDrop
+  | Select -> XSelect
+  | LocalGet x -> XLocalGet x
+  | LocalSet x -> XLocalSet x
+  | LocalTee x -> XLocalTee x
+  | GlobalGet x -> XGlobalGet x
+  | GlobalSet x -> XGlobalSet x
+  | Const v -> XConst v
+  | Load { lty = I32T; loffset; lpack = None; _ } -> XI32Load loffset
+  | Load { lty = I64T; loffset; lpack = None; _ } -> XI64Load loffset
+  | Load { lty = F32T; loffset; lpack = None; _ } -> XF32Load loffset
+  | Load { lty = F64T; loffset; lpack = None; _ } -> XF64Load loffset
+  | Load op -> XLoadGen op
+  | Store { sty = I32T; soffset; spack = None; _ } -> XI32Store soffset
+  | Store { sty = I64T; soffset; spack = None; _ } -> XI64Store soffset
+  | Store { sty = F32T; soffset; spack = None; _ } -> XF32Store soffset
+  | Store { sty = F64T; soffset; spack = None; _ } -> XF64Store soffset
+  | Store op -> XStoreGen op
+  | MemorySize -> XMemorySize
+  | MemoryGrow -> XMemoryGrow
+  | Test (IEqz S32) -> XI32Eqz
+  | Test op -> XTestGen op
+  | Compare (IRel (S32, r)) -> XI32Rel r
+  | Compare (IRel (S64, r)) -> XI64Rel r
+  | Compare (FRel (SF64, r)) -> XF64Rel r
+  | Compare op -> XCompareGen op
+  | Unary (FUn (SF64, u)) -> XF64Un u
+  | Unary op -> XUnaryGen op
+  | Binary (IBin (S32, op)) -> XI32Bin op
+  | Binary (IBin (S64, op)) -> XI64Bin op
+  | Binary (FBin (SF64, op)) -> XF64Bin op
+  | Binary op -> XBinaryGen op
+  | Convert F64ConvertI32S -> XF64ConvertI32S
+  | Convert I32TruncF64S -> XI32TruncF64S
+  | Convert op -> XConvertGen op
+
 (** Pre-compute everything the dispatch loop needs about one function:
     side tables, and the pre-decoded (operator-resolved, partially fused)
     instruction array that execution actually runs over. *)
@@ -325,19 +445,7 @@ let prepare_code (types : func_type array) (f : Ast.func) : code =
     | If _ | Else | Br _ | BrIf _ | Return | Unreachable -> ()
     | _ -> if pc < n - 1 then run_len.(pc) <- run_len.(pc + 1) + 1
   done;
-  (* the end target of each Else: just past the End of its matching If *)
-  let else_end = Array.make (max n 1) 0 in
-  let open_blocks = ref [] in
-  for pc = 0 to n - 1 do
-    match body.(pc) with
-    | Block _ | Loop _ | If _ -> open_blocks := pc :: !open_blocks
-    | Else ->
-      (match !open_blocks with
-       | open_pc :: _ -> else_end.(pc) <- end_of.(open_pc) + 1
-       | [] -> ())
-    | End -> (match !open_blocks with _ :: rest -> open_blocks := rest | [] -> ())
-    | _ -> ()
-  done;
+  let else_end = compute_else_end body end_of in
   (* leaders: every position a jump can target (label targets and else
      branches); a fused group must not contain one except as its head *)
   let leader = Array.make (n + 1) false in
@@ -352,60 +460,7 @@ let prepare_code (types : func_type array) (f : Ast.func) : code =
       leader.(end_of.(pc) + 1) <- true
     | _ -> ()
   done;
-  (* single-instruction decode: resolve operators and jump targets *)
-  let decode1 pc (i : instr) : xinstr =
-    match i with
-    | Unreachable -> XUnreachable
-    | Nop -> XNop
-    | Block bt -> XBlock (end_of.(pc) + 1, bt_arity bt)
-    | Loop _ -> XLoop
-    | If bt ->
-      if else_of.(pc) >= 0 then XIfElse (else_of.(pc) + 1, end_of.(pc) + 1, bt_arity bt)
-      else XIf (end_of.(pc) + 1, bt_arity bt)
-    | Else -> XElse else_end.(pc)
-    | End -> XEnd
-    | Br k -> XBr k
-    | BrIf k -> XBrIf k
-    | BrTable _ -> XBrTable br_tables.(pc)
-    | Return -> XReturn
-    | Call fidx -> XCall fidx
-    | CallIndirect tidx -> XCallIndirect tidx
-    | Drop -> XDrop
-    | Select -> XSelect
-    | LocalGet x -> XLocalGet x
-    | LocalSet x -> XLocalSet x
-    | LocalTee x -> XLocalTee x
-    | GlobalGet x -> XGlobalGet x
-    | GlobalSet x -> XGlobalSet x
-    | Const v -> XConst v
-    | Load { lty = I32T; loffset; lpack = None; _ } -> XI32Load loffset
-    | Load { lty = I64T; loffset; lpack = None; _ } -> XI64Load loffset
-    | Load { lty = F32T; loffset; lpack = None; _ } -> XF32Load loffset
-    | Load { lty = F64T; loffset; lpack = None; _ } -> XF64Load loffset
-    | Load op -> XLoadGen op
-    | Store { sty = I32T; soffset; spack = None; _ } -> XI32Store soffset
-    | Store { sty = I64T; soffset; spack = None; _ } -> XI64Store soffset
-    | Store { sty = F32T; soffset; spack = None; _ } -> XF32Store soffset
-    | Store { sty = F64T; soffset; spack = None; _ } -> XF64Store soffset
-    | Store op -> XStoreGen op
-    | MemorySize -> XMemorySize
-    | MemoryGrow -> XMemoryGrow
-    | Test (IEqz S32) -> XI32Eqz
-    | Test op -> XTestGen op
-    | Compare (IRel (S32, r)) -> XI32Rel r
-    | Compare (IRel (S64, r)) -> XI64Rel r
-    | Compare (FRel (SF64, r)) -> XF64Rel r
-    | Compare op -> XCompareGen op
-    | Unary (FUn (SF64, u)) -> XF64Un u
-    | Unary op -> XUnaryGen op
-    | Binary (IBin (S32, op)) -> XI32Bin op
-    | Binary (IBin (S64, op)) -> XI64Bin op
-    | Binary (FBin (SF64, op)) -> XF64Bin op
-    | Binary op -> XBinaryGen op
-    | Convert F64ConvertI32S -> XF64ConvertI32S
-    | Convert I32TruncF64S -> XI32TruncF64S
-    | Convert op -> XConvertGen op
-  in
+  let decode1 pc i = decode_instr ~end_of ~else_of ~else_end ~br_tables pc i in
   (* fusion: longest window first; interior positions must not be leaders *)
   let xbody = Array.make n XNop in
   let fusible p len =
@@ -500,7 +555,21 @@ let prepare_code (types : func_type array) (f : Ast.func) : code =
     c_run_len = run_len;
     c_tier = T_interp;
     c_hot = 0;
+    c_probe = None;
   }
+
+(** Re-decode one function body without superinstruction fusion: every
+    original instruction index holds its own executable slot, so the
+    probed dispatch loop can fire per-instruction events at exact code
+    locations. Fuel/step accounting is unaffected (it is batched over
+    [c_run_len], which fusion never changes). *)
+let unfused_xbody (code : code) : xinstr array =
+  let body = code.c_body in
+  let end_of = code.c_jumps.end_of and else_of = code.c_jumps.else_of in
+  let else_end = compute_else_end body end_of in
+  Array.mapi
+    (decode_instr ~end_of ~else_of ~else_end ~br_tables:code.c_br_tables)
+    body
 
 (** {1 Execution} *)
 
@@ -543,6 +612,18 @@ let pop_n st n =
 let pop_i32 st = Value.as_i32 (pop st)
 
 let default_fuel = max_int
+
+(** Fire every pending step trigger whose threshold has been reached.
+    A trigger is removed {e before} it runs, so a trigger that attaches
+    or detaches probes (or schedules further triggers) is safe. Called
+    at batch charge boundaries on all tiers. *)
+let rec fire_triggers inst =
+  match inst.inst_triggers with
+  | (at, f) :: rest when at <= inst.steps ->
+    inst.inst_triggers <- rest;
+    f ();
+    fire_triggers inst
+  | _ -> ()
 
 let rec invoke (f : func_inst) (args : Value.t list) : Value.t list =
   match f with
@@ -599,6 +680,13 @@ and call_wasm (cinst : instance) (idx : int) (from_st : stack) : unit =
     threshold. Tier state lives on [code], so one compilation serves
     every future call. *)
 and enter_body cinst (idx : int) (code : code) (locals : Value.t array) : unit =
+  match code.c_probe with
+  | Some ph ->
+    (* engine probes force interpretation: the frame runs on the probed
+       dispatch loop regardless of tier state, and tier-up counting is
+       suspended until the probes are detached *)
+    exec_probed cinst idx code ph locals
+  | None ->
   match code.c_tier with
   | T_compiled f when not cinst.inst_deopt_on_fault ->
     (match cinst.inst_prof with
@@ -724,9 +812,12 @@ and exec_body inst (fid : int) (code : code) (locals : Value.t array) : unit =
         inst.steps <- inst.steps + k;
         inst.fuel <- inst.fuel - k;
         charged_upto := !pc + k;
-        match inst.inst_prof with
-        | None -> ()
-        | Some p -> Obs.Profile.bump_run p ~fid ~body_len:n ~pc:!pc ~len:k
+        (match inst.inst_prof with
+         | None -> ()
+         | Some p -> Obs.Profile.bump_run p ~fid ~body_len:n ~pc:!pc ~len:k);
+        match inst.inst_triggers with
+        | [] -> ()
+        | _ -> fire_triggers inst
       end;
       match Array.unsafe_get xbody !pc with
       | XNop -> incr pc
@@ -1023,6 +1114,314 @@ and exec_body inst (fid : int) (code : code) (locals : Value.t array) : unit =
     end
   done
 
+(** The probed dispatch loop: a cold copy of {!exec_body} over the
+    unfused [pp_body], with per-slot pre/post event closures and frame
+    enter/exit events. Kept separate so the uninstrumented hot loop pays
+    {e nothing} for the probe machinery (one [c_probe] match per call in
+    {!enter_body} is the entire attach cost when no probes are set).
+    Semantic equality with {!exec_body} — outcome, trap identity, fuel
+    cut-off, final memory/globals — is enforced by the probe-parity
+    differential fuzz oracle.
+
+    Pre events fire before the slot's instruction, post events after it
+    completes without trapping; post closures are only installed on
+    fall-through instructions, so a taken branch never fires one. *)
+and exec_probed inst (fid : int) (code : code) (ph : probe_hooks)
+    (locals : Value.t array) : unit =
+  let xbody = ph.pp_body in
+  let pre = ph.pp_pre and post = ph.pp_post in
+  let run_len = code.c_run_len in
+  let n = Array.length xbody in
+  let arity = code.c_arity in
+  let st = inst.inst_stack in
+  let base = st.size in
+  let lbl = Array.make (4 * code.c_jumps.max_depth) 0 in
+  let nlbl = ref 0 in
+  let pc = ref 0 in
+  let running = ref true in
+  let charged_upto = ref 0 in
+  let mem = inst.inst_memory in
+  let memory () =
+    match mem with Some m -> m | None -> raise (Value.Trap "no memory")
+  in
+  let ret () =
+    if st.size - arity < base then
+      raise (Value.Trap "value stack underflow (engine bug)");
+    Array.blit st.data (st.size - arity) st.data base arity;
+    st.size <- base + arity;
+    running := false
+  in
+  let push_label target height larity is_loop =
+    let o = 4 * !nlbl in
+    lbl.(o) <- target;
+    lbl.(o + 1) <- height;
+    lbl.(o + 2) <- larity;
+    lbl.(o + 3) <- is_loop;
+    incr nlbl
+  in
+  let branch k =
+    if k >= !nlbl then ret ()
+    else begin
+      let o = 4 * (!nlbl - 1 - k) in
+      let height = lbl.(o + 1) and larity = lbl.(o + 2) in
+      Array.blit st.data (st.size - larity) st.data height larity;
+      st.size <- height + larity;
+      nlbl := !nlbl - k - 1 + lbl.(o + 3);
+      pc := lbl.(o);
+      charged_upto := 0
+    end
+  in
+  (match ph.pp_enter with None -> () | Some f -> f locals);
+  while !running do
+    if !pc >= n then begin
+      (* implicit end of the function body: the only place the
+         fall-off function-exit event fires (explicit [return] and
+         branches to the function label fire theirs via [pp_pre]) *)
+      (match ph.pp_exit with None -> () | Some f -> f locals);
+      ret ()
+    end
+    else begin
+      if !pc >= !charged_upto then begin
+        if inst.fuel <= 0 then raise (Exhaustion "out of fuel");
+        (match inst.inst_gov with None -> () | Some g -> Governor.check_batch g);
+        let k = Array.unsafe_get run_len !pc in
+        inst.steps <- inst.steps + k;
+        inst.fuel <- inst.fuel - k;
+        charged_upto := !pc + k;
+        (match inst.inst_prof with
+         | None -> ()
+         | Some p -> Obs.Profile.bump_run p ~fid ~body_len:n ~pc:!pc ~len:k);
+        match inst.inst_triggers with
+        | [] -> ()
+        | _ -> fire_triggers inst
+      end;
+      let at = !pc in
+      (match Array.unsafe_get pre at with None -> () | Some f -> f locals);
+      (match Array.unsafe_get xbody at with
+       | XNop -> incr pc
+       | XUnreachable -> raise (Value.Trap "unreachable executed")
+       | XBlock (target, larity) ->
+         push_label target st.size larity 0;
+         incr pc
+       | XLoop ->
+         push_label (!pc + 1) st.size 0 1;
+         incr pc
+       | XIf (end_target, larity) ->
+         let cond = pop_i32 st in
+         if not (Int32.equal cond 0l) then begin
+           push_label end_target st.size larity 0;
+           incr pc
+         end
+         else begin
+           pc := end_target;
+           charged_upto := 0
+         end
+       | XIfElse (else_target, end_target, larity) ->
+         let cond = pop_i32 st in
+         push_label end_target st.size larity 0;
+         if not (Int32.equal cond 0l) then incr pc
+         else begin
+           pc := else_target;
+           charged_upto := 0
+         end
+       | XElse end_target ->
+         if !nlbl = 0 then raise (Value.Trap "else without label (engine bug)");
+         decr nlbl;
+         pc := end_target;
+         charged_upto := 0
+       | XEnd ->
+         if !nlbl = 0 then raise (Value.Trap "end without label (engine bug)");
+         decr nlbl;
+         incr pc
+       | XBr k -> branch k
+       | XBrIf k ->
+         let cond = pop_i32 st in
+         if Int32.equal cond 0l then incr pc else branch k
+       | XBrTable tbl ->
+         let idx32 = pop_i32 st in
+         let idx = Int64.to_int (Int64.logand (Int64.of_int32 idx32) 0xFFFFFFFFL) in
+         let last = Array.length tbl - 1 in
+         branch (if idx < last then tbl.(idx) else tbl.(last))
+       | XReturn -> ret ()
+       | XCall fidx ->
+         (match inst.inst_funcs.(fidx) with
+          | Wasm_func (j, ci) -> call_wasm ci j st
+          | Host_func h -> call_host inst h st);
+         incr pc
+       | XCallIndirect tidx ->
+         let expected = inst.inst_types.(tidx) in
+         let i = pop_i32 st in
+         let table =
+           match inst.inst_table with
+           | Some t -> t
+           | None -> raise (Value.Trap "no table")
+         in
+         let i = Int64.to_int (Int64.logand (Int64.of_int32 i) 0xFFFFFFFFL) in
+         if i >= Array.length table.t_elems then
+           raise (Value.Trap "undefined element");
+         (match table.t_elems.(i) with
+          | None -> raise (Value.Trap "uninitialized element")
+          | Some callee ->
+            if not (equal_func_type (func_type_of callee) expected) then
+              raise (Value.Trap "indirect call type mismatch");
+            (match callee with
+             | Wasm_func (j, ci) -> call_wasm ci j st
+             | Host_func h -> call_host inst h st));
+         incr pc
+       | XDrop ->
+         ignore (pop st);
+         incr pc
+       | XSelect ->
+         let cond = pop_i32 st in
+         let b = pop st in
+         let a = pop st in
+         push st (if Int32.equal cond 0l then b else a);
+         incr pc
+       | XLocalGet x ->
+         push st locals.(x);
+         incr pc
+       | XLocalSet x ->
+         locals.(x) <- pop st;
+         incr pc
+       | XLocalTee x ->
+         if st.size = 0 then raise (Value.Trap "stack underflow (engine bug)");
+         locals.(x) <- st.data.(st.size - 1);
+         incr pc
+       | XGlobalGet x ->
+         push st inst.inst_globals.(x).g_value;
+         incr pc
+       | XGlobalSet x ->
+         inst.inst_globals.(x).g_value <- pop st;
+         incr pc
+       | XConst v ->
+         push st v;
+         incr pc
+       | XI32Load off ->
+         push st (Value.I32 (Memory.load_i32 (memory ()) (pop_i32 st) off));
+         incr pc
+       | XI64Load off ->
+         push st (Value.I64 (Memory.load_i64 (memory ()) (pop_i32 st) off));
+         incr pc
+       | XF32Load off ->
+         push st (Value.F32 (Memory.load_f32_bits (memory ()) (pop_i32 st) off));
+         incr pc
+       | XF64Load off ->
+         push st (Value.F64 (Memory.load_f64 (memory ()) (pop_i32 st) off));
+         incr pc
+       | XI32Store off ->
+         let v = pop_i32 st in
+         let addr = pop_i32 st in
+         Memory.store_i32 (memory ()) addr off v;
+         incr pc
+       | XI64Store off ->
+         let v = Value.as_i64 (pop st) in
+         let addr = pop_i32 st in
+         Memory.store_i64 (memory ()) addr off v;
+         incr pc
+       | XF32Store off ->
+         let v = Value.as_f32_bits (pop st) in
+         let addr = pop_i32 st in
+         Memory.store_f32_bits (memory ()) addr off v;
+         incr pc
+       | XF64Store off ->
+         let v = Value.as_f64 (pop st) in
+         let addr = pop_i32 st in
+         Memory.store_f64 (memory ()) addr off v;
+         incr pc
+       | XLoadGen op ->
+         let addr = pop_i32 st in
+         push st (Memory.load (memory ()) op addr);
+         incr pc
+       | XStoreGen op ->
+         let v = pop st in
+         let addr = pop_i32 st in
+         Memory.store (memory ()) op addr v;
+         incr pc
+       | XMemorySize ->
+         push st (Value.i32_of_int (Memory.size_pages (memory ())));
+         incr pc
+       | XMemoryGrow ->
+         let delta = Int32.to_int (pop_i32 st) in
+         let old =
+           match inst.inst_gov with
+           | None -> Memory.grow (memory ()) delta
+           | Some g -> Governor.governed_grow g (memory ()) delta
+         in
+         push st (Value.i32_of_int old);
+         incr pc
+       | XI32Eqz ->
+         push st (Value.i32_of_bool (Int32.equal (pop_i32 st) 0l));
+         incr pc
+       | XI32Bin op ->
+         let b = pop_i32 st in
+         let a = pop_i32 st in
+         push st (Value.I32 (Eval_numeric.ibinop_i32 op a b));
+         incr pc
+       | XI32Rel r ->
+         let b = pop_i32 st in
+         let a = pop_i32 st in
+         push st (Value.i32_of_bool (Eval_numeric.irelop_impl_i32 r a b));
+         incr pc
+       | XI64Bin op ->
+         let b = Value.as_i64 (pop st) in
+         let a = Value.as_i64 (pop st) in
+         push st (Value.I64 (Eval_numeric.ibinop_i64 op a b));
+         incr pc
+       | XI64Rel r ->
+         let b = Value.as_i64 (pop st) in
+         let a = Value.as_i64 (pop st) in
+         push st (Value.i32_of_bool (Eval_numeric.irelop_impl_i64 r a b));
+         incr pc
+       | XF64Bin op ->
+         let b = Value.as_f64 (pop st) in
+         let a = Value.as_f64 (pop st) in
+         push st (Value.F64 (Eval_numeric.fbinop_impl op a b));
+         incr pc
+       | XF64Rel r ->
+         let b = Value.as_f64 (pop st) in
+         let a = Value.as_f64 (pop st) in
+         push st (Value.i32_of_bool (Eval_numeric.frelop_impl r a b));
+         incr pc
+       | XF64Un u ->
+         push st (Value.F64 (Eval_numeric.funop_impl u (Value.as_f64 (pop st))));
+         incr pc
+       | XF64ConvertI32S ->
+         push st (Value.F64 (Int32.to_float (pop_i32 st)));
+         incr pc
+       | XI32TruncF64S ->
+         push st (Value.I32 (Value.Cvt.i32_trunc_s (Value.as_f64 (pop st))));
+         incr pc
+       | XTestGen op ->
+         let v = pop st in
+         push st (Eval_numeric.eval_testop op v);
+         incr pc
+       | XCompareGen op ->
+         let b = pop st in
+         let a = pop st in
+         push st (Eval_numeric.eval_relop op a b);
+         incr pc
+       | XUnaryGen op ->
+         let v = pop st in
+         push st (Eval_numeric.eval_unop op v);
+         incr pc
+       | XBinaryGen op ->
+         let b = pop st in
+         let a = pop st in
+         push st (Eval_numeric.eval_binop op a b);
+         incr pc
+       | XConvertGen op ->
+         let v = pop st in
+         push st (Eval_numeric.eval_cvtop op v);
+         incr pc
+       | XI32BinLL _ | XI32BinLC _ | XI32BinSL _ | XI32BinSC _ | XF64BinLL _
+       | XF64BinSL _ | XF64BinSC _ | XIncrL _ | XBrIfRelLL _ | XBrIfRelLC _
+       | XBrIfRel _ | XBrIfEqz _ | XI32LoadScaled _ | XF64LoadScaled _
+       | XI32LoadL _ | XF64LoadL _ | XFusedTail ->
+         raise (Value.Trap "fused instruction in probed body (engine bug)"));
+      match Array.unsafe_get post at with None -> () | Some f -> f locals
+    end
+  done
+
 (** {1 Instantiation} *)
 
 (** Import resolution: maps (module name, item name) to an extern. *)
@@ -1063,6 +1462,8 @@ let instantiate ?(fuel = default_fuel) ?resolve_import ~(imports : imports) (m :
       inst_tier = None;
       inst_gov = None;
       inst_deopt_on_fault = false;
+      inst_triggers = [];
+      inst_probes = None;
     }
   in
   (* imported entities, in import order *)
@@ -1194,6 +1595,55 @@ let set_tier inst policy =
        c.c_tier <- T_interp;
        c.c_hot <- 0)
     inst.inst_code
+
+(** {1 Engine probes}
+
+    Attach/detach of hooked bodies on defined functions. Indexing is by
+    {e defined}-function index (the [inst_code] index), not the original
+    module function index — the layer that owns the import space
+    ([Wasabi.Runtime.Probe]) translates. *)
+
+(** Install a probed body on defined function [j]. The function deopts:
+    any compiled tier-1 closure is discarded and tier-up counting is
+    suspended (the probed dispatch loop runs instead) until
+    {!unprobe_function}. Takes effect at the next entry into the
+    function; frames already on the stack finish on the code they
+    entered with. *)
+let probe_function inst j (ph : probe_hooks) =
+  let c = inst.inst_code.(j) in
+  c.c_probe <- Some ph;
+  c.c_tier <- T_interp;
+  c.c_hot <- 0
+
+(** Remove the probed body from defined function [j]. The hotness
+    counter restarts from zero, so the function re-tiers naturally under
+    whatever tier policy is installed. *)
+let unprobe_function inst j =
+  let c = inst.inst_code.(j) in
+  c.c_probe <- None;
+  c.c_hot <- 0
+
+(** Register [f] to run once when [inst.steps] first reaches [at].
+    Triggers are checked at batch charge boundaries on every tier
+    (tier 0, probed tier 0 and tier-1 prologues), so they fire within
+    one basic block of the requested step count. *)
+let add_step_trigger inst ~at f =
+  let rec ins = function
+    | [] -> [ (at, f) ]
+    | (a, _) as hd :: tl when a <= at -> hd :: ins tl
+    | rest -> (at, f) :: rest
+  in
+  inst.inst_triggers <- ins inst.inst_triggers;
+  (* already past the threshold: fire on the spot rather than never *)
+  if inst.steps >= at then fire_triggers inst
+
+let clear_step_triggers inst = inst.inst_triggers <- []
+
+(** Register the snapshot-facing view of an attached probe controller.
+    [Snapshot.capture] uses [ps_capture] to record a re-arm thunk and
+    [Snapshot.restore] uses [ps_detach_all] when restoring a snapshot
+    that predates any probes. *)
+let set_probes inst ps = inst.inst_probes <- ps
 
 let export inst name =
   match List.assoc_opt name inst.inst_exports with

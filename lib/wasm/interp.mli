@@ -108,6 +108,35 @@ type xinstr =
   | XF64LoadL of int * int  (** [local.get a; f64.load off] (2) *)
   | XFusedTail  (** interior of a fused group; unreachable *)
 
+(** The hooked variant of a function body that the engine-probe backend
+    installs: an {e unfused} re-decode of the body (same indexing as the
+    original instruction stream, no superinstructions — every original
+    instruction is its own slot) plus per-slot event closures. Each
+    closure receives the frame's locals; operands are peeked directly
+    off the instance stack. [pp_pre] closures run before their slot's
+    instruction; [pp_post] closures run after it completes without
+    trapping and are only installed on fall-through instructions (a
+    taken branch never reaches one). [pp_enter] runs on frame entry,
+    [pp_exit] only on the implicit fall-off-the-end function exit
+    (explicit [return]s and branches to the function label report theirs
+    through [pp_pre]). *)
+type probe_hooks = {
+  pp_body : xinstr array;
+  pp_pre : (Value.t array -> unit) option array;
+  pp_post : (Value.t array -> unit) option array;
+  pp_enter : (Value.t array -> unit) option;
+  pp_exit : (Value.t array -> unit) option;
+}
+
+(** The snapshot-facing view of an attached probe controller (see
+    {!set_probes}): [ps_capture ()] returns a thunk that re-arms the
+    currently attached probe set when run, [ps_detach_all ()] detaches
+    everything. *)
+type probe_set = {
+  ps_capture : unit -> unit -> unit;
+  ps_detach_all : unit -> unit;
+}
+
 type func_inst =
   | Wasm_func of int * instance  (** index into [inst_code], owning instance *)
   | Host_func of host_func
@@ -172,6 +201,10 @@ and code = {
       (** instructions from pc to the next control transfer, inclusive *)
   mutable c_tier : tier_state;
   mutable c_hot : int;  (** calls observed while still on tier 0 *)
+  mutable c_probe : probe_hooks option;
+      (** when set, the function runs on the probed dispatch loop over
+          [pp_body] (engine-probe backend); tier state is ignored until
+          the probe is removed *)
 }
 
 (** A compiled (tier-1) function body: called with the frame's locals,
@@ -218,6 +251,12 @@ and instance = {
   mutable inst_deopt_on_fault : bool;
       (** when set, compiled bodies unwound by a governor violation or
           injected host fault deopt back to tier 0 permanently *)
+  mutable inst_triggers : (int * (unit -> unit)) list;
+      (** pending step triggers, sorted by step count; each fires once
+          when [steps] first reaches its threshold, checked at batch
+          charge boundaries on every tier *)
+  mutable inst_probes : probe_set option;
+      (** the attached probe controller's snapshot-facing view, if any *)
 }
 
 val max_call_depth : int
@@ -268,6 +307,43 @@ val set_deopt_on_fault : instance -> bool -> unit
 (** When enabled, a compiled (tier-1) body unwound by a governor
     violation or an injected host fault is deopted back to tier 0
     permanently and [wasabi_deopt_total] is incremented. *)
+
+val unfused_xbody : code -> xinstr array
+(** Re-decode the function body {e without} superinstruction fusion:
+    every original instruction is its own slot, same indexing and
+    [c_run_len] batching as the fused [c_xbody]. This is the execution
+    stream probed bodies run on, so per-slot event closures line up
+    one-to-one with original instructions. *)
+
+val probe_function : instance -> int -> probe_hooks -> unit
+(** Install a probed body on defined function [j] (an [inst_code]
+    index). The function deopts: any compiled tier-1 closure is
+    discarded and tier-up counting is suspended until
+    {!unprobe_function}. Takes effect at the next entry into the
+    function; frames already on the stack finish on the code they
+    entered with. *)
+
+val unprobe_function : instance -> int -> unit
+(** Remove the probed body from defined function [j]; the hotness
+    counter restarts from zero so the function re-tiers naturally under
+    the installed tier policy. *)
+
+val add_step_trigger : instance -> at:int -> (unit -> unit) -> unit
+(** Register a thunk to run once when [steps] first reaches [at],
+    checked at batch charge boundaries on every tier (so it fires
+    within one straight-line run of the requested count). If [steps]
+    is already past [at] the thunk fires immediately. *)
+
+val clear_step_triggers : instance -> unit
+
+val fire_triggers : instance -> unit
+(** Fire every pending trigger whose threshold has been reached, in
+    order. Exposed for the tier-1 charge prologue; tier 0 calls it
+    internally. *)
+
+val set_probes : instance -> probe_set option -> unit
+(** Register (or clear) the snapshot-facing view of an attached probe
+    controller; see {!Snapshot}. *)
 
 val call_wasm : instance -> int -> stack -> unit
 (** Call function [idx] of the instance with its arguments on top of the

@@ -9,6 +9,13 @@
     or absorbed an injected host fault leaves no residue for the next
     run — restore ≡ fresh [instantiate] up to observable state.
 
+    Probe state is restored {e explicitly}: capture records a re-arm
+    thunk from the registered probe controller ([inst_probes]) and
+    restore runs it, re-arming exactly the probe set that was attached
+    at capture time (or detaching everything when the snapshot predates
+    the probes). See [snapshot.mli] for the full audit of what restore
+    does and does not touch.
+
     Deliberately {e not} captured:
 
     - compiled tier state ([c_tier]): compiled closures are pure code,
@@ -17,6 +24,9 @@
       so tier-up pressure restarts from the snapshot point.
     - the attached profiler / governor / tier policy: engine
       attachments, not run state; the caller re-arms its governor.
+    - pending step triggers ([inst_triggers]): one-shot alarms keyed to
+      the live [steps] counter; the party that registered them re-arms
+      against the restored count if it still wants them.
 
     Cost model: capture and restore are both O(memory size) single
     [Bytes] copies plus O(globals + table) array copies — no per-page
@@ -37,6 +47,9 @@ type t = {
   s_call_depth : int;
   s_stack_size : int;
   s_hot : int array;
+  s_probes : (unit -> unit) option;
+      (** re-arms the probe set that was attached at capture time;
+          [None] when no probe controller was registered *)
 }
 
 let restore_seconds =
@@ -54,6 +67,7 @@ let capture (inst : instance) : t =
     s_call_depth = inst.call_depth;
     s_stack_size = inst.inst_stack.size;
     s_hot = Array.map (fun c -> c.c_hot) inst.inst_code;
+    s_probes = Option.map (fun ps -> ps.ps_capture ()) inst.inst_probes;
   }
 
 let pages t = match t.s_mem with None -> 0 | Some img -> Bytes.length img / Types.page_size
@@ -80,6 +94,14 @@ let restore (t : t) (inst : instance) : unit =
   for i = 0 to Array.length codes - 1 do
     codes.(i).c_hot <- t.s_hot.(i)
   done;
+  (* probe state is restored explicitly, never left implicit: re-arm the
+     probe set captured with the snapshot, or — if probes were attached
+     after a probe-free capture — detach them all, so the restored
+     instance observes exactly what the captured one did *)
+  (match t.s_probes, inst.inst_probes with
+   | Some rearm, _ -> rearm ()
+   | None, Some ps -> ps.ps_detach_all ()
+   | None, None -> ());
   Obs.Metrics.observe (Lazy.force restore_seconds)
     (Obs.Clock.ns_to_s (Int64.sub (Obs.Clock.now_ns ()) t0))
 

@@ -1,13 +1,52 @@
-(** Instance snapshot/restore: capture everything a run can mutate —
-    linear memory, globals, table entries, and interpreter bookkeeping
-    (fuel, steps, call depth, operand-stack pointer, tier-up hot
-    counts) — and rewind it, so one instance is safely reusable across
-    adversarial runs: restore after a trap / exhaustion / governor kill
-    / injected fault ≡ a fresh [instantiate], up to observable state.
+(** Instance snapshot/restore: capture everything a run can mutate and
+    rewind it, so one instance is safely reusable across adversarial
+    runs: restore after a trap / exhaustion / governor kill / injected
+    fault ≡ a fresh [instantiate], up to observable state.
 
-    Not captured: compiled tier state (closures are pure code, and a
-    deopt should survive restore) and engine attachments (profiler,
-    governor, tier policy — the caller re-arms its governor).
+    {2 Restore audit}
+
+    Exactly what [restore] puts back, and what it deliberately leaves
+    alone. Anything mutable on an instance falls in one of these lists;
+    when adding instance state, extend one of them.
+
+    {b Captured and restored:}
+
+    - linear memory contents and size (an intervening [memory.grow] is
+      undone);
+    - global values (written back into the shared [global_inst]
+      records, which exports and cross-instance references alias);
+    - table entries;
+    - fuel, steps, call depth, operand-stack pointer;
+    - per-function tier-up hot counts ([c_hot]) — tier-up {e pressure}
+      rewinds to the snapshot point;
+    - the attached probe set: capture asks the registered probe
+      controller ([inst_probes]) for a re-arm thunk and restore runs
+      it, so exactly the probes attached at capture time are active
+      afterwards — probes attached later are detached, probes detached
+      later are re-armed (fresh hit counters, same specs). If the
+      snapshot predates any probe controller, restore detaches every
+      probe the now-registered controller has. Probe restoration is
+      {e explicit} state transfer, never an implicit survival of
+      whatever happened to be attached.
+
+    {b Deliberately not restored:}
+
+    - compiled tier state ([c_tier]): compiled closures are pure code,
+      and a deopt ([T_unsupported]) records distrust of a body that a
+      restore of {e data} should not reinstate;
+    - engine attachments: profiler ([inst_prof]), governor
+      ([inst_gov]), tier policy ([inst_tier]), deopt-on-fault flag,
+      the probe controller registration itself ([inst_probes]) — these
+      are configuration, not run state; the caller re-arms its
+      governor;
+    - pending step triggers ([inst_triggers]): one-shot alarms keyed
+      to the live [steps] counter; whoever registered them decides
+      whether they still apply against the restored count;
+    - host-side state (anything a host function closed over) and the
+      operand-stack {e contents} above the restored pointer (dead
+      slots, unobservable by construction);
+    - metrics and spans already emitted — observability output is
+      append-only history, not instance state.
 
     Capture and restore are single bulk copies: O(memory) +
     O(globals + table), no hot-path cost when unused. Each restore

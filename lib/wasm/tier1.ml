@@ -1755,9 +1755,12 @@ let compile_exn (inst : instance) (fid : int) : compiled_body =
           inst.steps <- inst.steps + len;
           inst.fuel <- inst.fuel - len;
           ctx.charged <- sb + len;
-          match inst.inst_prof with
-          | None -> ()
-          | Some pr -> Obs.Profile.bump_run pr ~fid ~body_len:n ~pc:sb ~len
+          (match inst.inst_prof with
+           | None -> ()
+           | Some pr -> Obs.Profile.bump_run pr ~fid ~body_len:n ~pc:sb ~len);
+          match inst.inst_triggers with
+          | [] -> ()
+          | _ -> fire_triggers inst
         end;
         body_cl ctx
     end
@@ -1821,11 +1824,16 @@ let compile_all inst =
   let ok = ref 0 in
   Array.iteri
     (fun i c ->
-       match compile inst i with
-       | Some f ->
-         c.c_tier <- T_compiled f;
-         incr ok
-       | None -> c.c_tier <- T_unsupported)
+       (* probed functions stay on the probed dispatch loop; leave their
+          tier state alone so detaching re-tiers them naturally *)
+       match c.c_probe with
+       | Some _ -> ()
+       | None ->
+         match compile inst i with
+         | Some f ->
+           c.c_tier <- T_compiled f;
+           incr ok
+         | None -> c.c_tier <- T_unsupported)
     inst.inst_code;
   !ok
 

@@ -20,6 +20,7 @@ let () =
       ("extensions", Test_extensions.suite);
       ("workloads", Test_workloads.suite);
       ("bench:support", Test_bench.suite);
+      ("probes", Test_probes.suite);
       ("fuzz", Test_fuzz.suite);
       ("robust", Test_robust.suite);
       ("obs", Test_obs.suite);

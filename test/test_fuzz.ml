@@ -93,6 +93,29 @@ let test_tier_parity_smoke () =
     Alcotest.failf "%d tier-parity violations; first at (seed 1, index %d): [%s] %s"
       (List.length !violations) index kind detail
 
+(* Probe parity at scale: the engine-probe backend must deliver the
+   same hook-event stream as the AOT rewriter — byte-identical under
+   full attach (tier 0 and with tier-1 forced on, exercising
+   attach-deopt), an order-preserving subsequence under mid-run
+   attach/detach step triggers — and must not perturb execution
+   (outcome, memory digest, exported globals vs the plain run). The
+   variant round-robins over the index, so this covers 500 cases of
+   each of the four shapes. *)
+let test_probe_parity_smoke () =
+  let violations = ref [] in
+  for index = 0 to 1999 do
+    let info = Fuzz.Harness.gen_case ~seed:1 ~index in
+    match Fuzz.Oracle.probe_parity ~index info with
+    | Fuzz.Oracle.Pass | Fuzz.Oracle.Skip _ -> ()
+    | Fuzz.Oracle.Violation { kind; detail } ->
+      violations := (index, kind, detail) :: !violations
+  done;
+  match List.rev !violations with
+  | [] -> ()
+  | (index, kind, detail) :: _ ->
+    Alcotest.failf "%d probe-parity violations; first at (seed 1, index %d): [%s] %s"
+      (List.length !violations) index kind detail
+
 let test_minimizer () =
   (* a passing input has nothing to minimize *)
   let ok = Wasm.Encode.encode (Fuzz.Harness.gen_case ~seed:3 ~index:0).Fuzz.Gen.module_ in
@@ -121,6 +144,7 @@ let suite =
     case "smoke campaign" test_smoke_campaign;
     case "fuzz-found regressions" test_regressions;
     case "tier parity smoke (2000 cases)" test_tier_parity_smoke;
+    case "probe parity smoke (2000 cases)" test_probe_parity_smoke;
     case "minimizer" test_minimizer;
     case "mutator reaches structure" test_mutator_reaches_structure;
   ]
