@@ -628,7 +628,13 @@ let fuzz_cmd =
              ~doc:"Write campaign metrics (cases/s, per-oracle timing histograms) to FILE: \
                    Prometheus text when it ends in .prom, JSON otherwise")
   in
-  let run seed gen mut out replay dump quiet faults metrics_out =
+  let jobs_arg =
+    Arg.(value & opt int 1
+         & info [ "jobs"; "j" ] ~docv:"N"
+             ~doc:"Shard cases across N domains. Every case is determined by (seed, index) \
+                   alone, so the findings are byte-identical for any job count")
+  in
+  let run seed gen mut out replay dump quiet faults metrics_out jobs =
     match replay with
     | Some spec ->
       let case, index =
@@ -661,7 +667,8 @@ let fuzz_cmd =
       let log = if quiet then fun _ -> () else fun s -> Printf.eprintf "%s\n%!" s in
       let metrics = Option.map (fun _ -> Obs.Metrics.create ()) metrics_out in
       let stats, failures =
-        Fuzz.Harness.run ~log ~out_dir:out ?metrics ~faults ~seed ~gen_count:gen ~mut_count:mut ()
+        Fuzz.Harness.run ~log ~out_dir:out ?metrics ~faults ~jobs ~seed ~gen_count:gen
+          ~mut_count:mut ()
       in
       (match metrics_out, metrics with
        | Some path, Some reg ->
@@ -691,7 +698,121 @@ let fuzz_cmd =
   in
   Cmd.v info
     Term.(const run $ seed_arg $ gen_arg $ mut_arg $ out_arg $ replay_arg $ dump_arg
-          $ quiet_arg $ faults_arg $ metrics_out_arg)
+          $ quiet_arg $ faults_arg $ metrics_out_arg $ jobs_arg)
+
+(* --- serve ----------------------------------------------------------- *)
+
+let serve_cmd =
+  let entry_arg =
+    Arg.(value & opt string "run" & info [ "entry" ] ~docv:"EXPORT" ~doc:"Exported function each run invokes")
+  in
+  let domains_arg =
+    Arg.(value & opt int 4 & info [ "domains" ] ~docv:"N" ~doc:"Worker domains serving runs")
+  in
+  let runs_arg =
+    Arg.(value & opt int 1000 & info [ "runs" ] ~docv:"N" ~doc:"Total executions to serve")
+  in
+  let mode_arg =
+    Arg.(value & opt (enum [ ("sync", `Sync); ("async", `Async) ]) `Sync
+         & info [ "mode" ] ~docv:"MODE"
+             ~doc:"Analysis dispatch: $(b,sync) runs callbacks inline in the workers \
+                   (reference semantics); $(b,async) ships reified events through \
+                   per-worker rings to consumer domains")
+  in
+  let consumers_arg =
+    Arg.(value & opt int 1
+         & info [ "consumers" ] ~docv:"N" ~doc:"Consumer domains draining rings (async mode)")
+  in
+  let capacity_arg =
+    Arg.(value & opt int 1024
+         & info [ "ring-capacity" ] ~docv:"N"
+             ~doc:"Per-worker ring capacity in events, rounded up to a power of two; a full \
+                   ring blocks its producer (backpressure, async mode)")
+  in
+  let analysis_arg =
+    let doc = "Bundled analysis every run feeds (instruction-mix, basic-blocks, coverage, call-graph, cryptominer, memory-trace, taint, trace)" in
+    Arg.(value & opt string "instruction-mix" & info [ "analysis" ] ~docv:"NAME" ~doc)
+  in
+  let verify_arg =
+    Arg.(value & flag
+         & info [ "verify" ]
+             ~doc:"Before serving, differentially check that the async event stream equals \
+                   the sync stream for this module and entry (exit 13 on mismatch)")
+  in
+  let metrics_out_arg =
+    Arg.(value & opt (some string) None
+         & info [ "metrics-out" ] ~docv:"FILE"
+             ~doc:"Write farm metrics (runs, faults, instances/s, event-latency histogram) \
+                   to FILE: Prometheus text when it ends in .prom, JSON otherwise")
+  in
+  let run input entry domains runs mode consumers capacity analysis_name verify tier
+      deadline_ms max_grow_pages host_call_budget metrics_out =
+    structured @@ fun () ->
+    let m = read_module input in
+    Wasm.Validate.validate_module m;
+    match List.assoc_opt analysis_name (bundled_analyses ()) with
+    | None ->
+      Printf.eprintf "unknown analysis %S\n" analysis_name;
+      exit 2
+    | Some (Packaged a) ->
+      let groups = a.groups in
+      let res = W.Instrument.instrument ~groups m in
+      if verify && not (Serve.Farm.verify_stream_equality ~entry res) then begin
+        Printf.eprintf "wasabi serve: async event stream differs from sync reference\n";
+        exit 13
+      end;
+      let mode =
+        match mode with
+        | `Sync -> Serve.Farm.Sync
+        | `Async -> Serve.Farm.Async { consumers; capacity }
+      in
+      let tier1 = match tier with Some n when n > 0 -> true | _ -> false in
+      let make_governor =
+        match deadline_ms, max_grow_pages, host_call_budget with
+        | None, None, None -> None
+        | _ ->
+          Some (fun () -> Wasm.Governor.create ?deadline_ms ?max_grow_pages ?host_call_budget ())
+      in
+      (* fresh analysis state per worker: each is touched by exactly one
+         domain, so the bundled analyses need no locking *)
+      let make_analysis _w =
+        match List.assoc analysis_name (bundled_analyses ()) with
+        | Packaged b -> b.analysis b.state
+      in
+      let st =
+        Serve.Farm.run ~tier1 ?make_governor ~mode ~domains ~runs ~entry ~make_analysis res
+      in
+      Printf.printf "served %d runs (%d contained faults) on %d domains [%s]\n"
+        st.Serve.Farm.st_runs st.Serve.Farm.st_faults st.Serve.Farm.st_domains
+        st.Serve.Farm.st_mode;
+      Printf.printf "  %.1f instances/s over %.3f s\n" st.Serve.Farm.st_instances_per_sec
+        st.Serve.Farm.st_elapsed_s;
+      if st.Serve.Farm.st_events > 0 then
+        Printf.printf "  %d events shipped; sampled delivery latency p50 %.1f us, p99 %.1f us\n"
+          st.Serve.Farm.st_events
+          (st.Serve.Farm.st_lat_p50_ns /. 1e3)
+          (st.Serve.Farm.st_lat_p99_ns /. 1e3);
+      (match metrics_out with
+       | None -> ()
+       | Some path ->
+         let reg = Obs.Metrics.default in
+         let text =
+           if Filename.check_suffix path ".prom" then Obs.Metrics.to_prometheus reg
+           else Obs.Metrics.to_json reg
+         in
+         write_file path text;
+         Printf.eprintf "wrote %s\n" path)
+  in
+  let info =
+    Cmd.info "serve"
+      ~doc:"Serve repeated isolated executions from one instrumented instance across domains \
+            (decode/instrument/compile once, fork + snapshot-restore per run), with sync or \
+            async analysis dispatch"
+  in
+  Cmd.v info
+    Term.(const run $ input_arg $ entry_arg $ domains_arg $ runs_arg $ mode_arg
+          $ consumers_arg $ capacity_arg $ analysis_arg $ verify_arg $ tier_arg
+          $ deadline_arg $ max_grow_arg $ host_call_budget_arg $ metrics_out_arg)
 
 (* --- profile --------------------------------------------------------- *)
 
@@ -1051,4 +1172,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ instrument_cmd; analyze_cmd; generate_js_cmd; hooks_cmd; callgraph_cmd; absint_cmd;
-            lint_cmd; fuzz_cmd; profile_cmd; probe_cmd; corpus_cmd ]))
+            lint_cmd; fuzz_cmd; serve_cmd; profile_cmd; probe_cmd; corpus_cmd ]))

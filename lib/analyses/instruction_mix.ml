@@ -74,6 +74,19 @@ let analysis (t : t) : Analysis.t =
     start = (fun _ -> bump t "start");
   }
 
+(** Absorb [src] into [into]: per-key counts and the total are summed.
+    The ref-cell counters are single-domain state, so parallel runs
+    (serve workers, fuzz jobs) each count into their own [t] and merge
+    at report time. [src] is left unchanged. *)
+let merge ~into src =
+  Hashtbl.iter
+    (fun key cell ->
+       match Hashtbl.find_opt into.counts key with
+       | Some dst -> dst := !dst + !cell
+       | None -> Hashtbl.add into.counts key (ref !cell))
+    src.counts;
+  into.total <- into.total + src.total
+
 let count t key =
   match Hashtbl.find_opt t.counts key with Some c -> !c | None -> 0
 

@@ -10,6 +10,11 @@ val analysis : t -> Wasabi.Analysis.t
 val count : t -> string -> int
 (** Executions of one mnemonic, e.g. ["i32.add"]. *)
 
+val merge : into:t -> t -> unit
+(** Sum [src]'s counts into [into] (per-key and total). Parallel runs
+    count into per-domain values and merge at report time; the source
+    is left unchanged. *)
+
 val total : t -> int
 val sorted : t -> (string * int) list
 (** Counts sorted by frequency, most frequent first. *)

@@ -229,10 +229,28 @@ let dump_failure ~out_dir (f : failure) =
 
 let default_seed = 0x5EED
 
-let run ?(log = fun (_ : string) -> ()) ?out_dir ?metrics ?(faults = false) ~seed ~gen_count
-    ~mut_count () : stats * failure list =
-  let stats = fresh_stats () in
-  let failures = ref [] in
+(** Run the campaign, optionally sharded across [jobs] domains.
+
+    Parallelism changes {e nothing} about the findings: every case is
+    already fully determined by [(seed, index)] ({!Rng.for_case} derives
+    a fresh splitmix64 stream per case), so job [j] simply takes the
+    indices congruent to [j] mod [jobs] from both streams, and the
+    merged report — stats sums, failures in (generated, then mutated,
+    each by ascending index) order, dump files keyed by [(seed, index)]
+    — is byte-identical for any job count, including [jobs = 1]'s
+    sequential order. Only the interleaving of progress log lines
+    differs; [log] itself is serialized under a mutex. Metrics are safe
+    to share: counters are atomic, histogram observations mutex-guarded,
+    registration registry-locked. *)
+let run ?(log = fun (_ : string) -> ()) ?out_dir ?metrics ?(faults = false) ?(jobs = 1)
+    ~seed ~gen_count ~mut_count () : stats * failure list =
+  let jobs = max 1 jobs in
+  (* created up front: job domains dump failures directly *)
+  (match out_dir with
+   | Some dir when not (Sys.file_exists dir) -> Sys.mkdir dir 0o755
+   | _ -> ());
+  let log_lock = Mutex.create () in
+  let log s = Mutex.protect log_lock (fun () -> log s) in
   let campaign_start = Obs.Clock.now_ns () in
   let case_counter kind =
     Option.map
@@ -243,45 +261,84 @@ let run ?(log = fun (_ : string) -> ()) ?out_dir ?metrics ?(faults = false) ~see
   in
   let gen_counter = case_counter "gen" and mut_counter = case_counter "mut" in
   let bump = function None -> () | Some c -> Obs.Metrics.inc c in
-  let record ?fault_plan case index oracle detail input minimized =
-    stats.violations <- stats.violations + 1;
-    let f = { case; seed; index; oracle; detail; input; minimized; fault_plan } in
-    failures := f :: !failures;
-    dump_failure ~out_dir f;
-    log
-      (Printf.sprintf "FAIL [%s] (seed %d, index %d): %s — %s" oracle seed index
-         (kind_name case) detail)
+  (* one job's share: indices ≡ job (mod jobs), with job-private stats
+     and failure accumulation *)
+  let run_slice job : stats * failure list =
+    let stats = fresh_stats () in
+    let failures = ref [] in
+    let record ?fault_plan case index oracle detail input minimized =
+      stats.violations <- stats.violations + 1;
+      let f = { case; seed; index; oracle; detail; input; minimized; fault_plan } in
+      failures := f :: !failures;
+      dump_failure ~out_dir f;
+      log
+        (Printf.sprintf "FAIL [%s] (seed %d, index %d): %s — %s" oracle seed index
+           (kind_name case) detail)
+    in
+    let i = ref job in
+    while !i < gen_count do
+      let index = !i in
+      stats.gen_cases <- stats.gen_cases + 1;
+      bump gen_counter;
+      let info = gen_case ~seed ~index in
+      let restore = if faults then Some (seed, index) else None in
+      if faults then stats.faulted <- stats.faulted + 1;
+      (match check_generated ?metrics ?restore ~probe_index:index info with
+       | `Pass -> ()
+       | `Skip -> stats.skips <- stats.skips + 1
+       | `Fail (oracle, detail) ->
+         let fault_plan =
+           if faults then Some (Faults.describe (Faults.plan ~seed ~index)) else None
+         in
+         record ?fault_plan Generated index oracle detail (Encode.encode info.Gen.module_) None);
+      if jobs = 1 && (index + 1) mod 1000 = 0 then
+        log (Printf.sprintf "gen: %d/%d" (index + 1) gen_count);
+      i := index + jobs
+    done;
+    let i = ref job in
+    while !i < mut_count do
+      let index = !i in
+      stats.mut_cases <- stats.mut_cases + 1;
+      bump mut_counter;
+      let bin = mut_case ~seed ~index in
+      (match check_mutated ?metrics bin with
+       | `Pass `Rejected -> ()
+       | `Pass `Decoded -> stats.mut_decoded <- stats.mut_decoded + 1
+       | `Pass `Valid ->
+         stats.mut_decoded <- stats.mut_decoded + 1;
+         stats.mut_valid <- stats.mut_valid + 1
+       | `Skip -> stats.skips <- stats.skips + 1
+       | `Fail (oracle, detail) -> record Mutated index oracle detail bin (minimize bin));
+      if jobs = 1 && (index + 1) mod 1000 = 0 then
+        log (Printf.sprintf "mut: %d/%d" (index + 1) mut_count);
+      i := index + jobs
+    done;
+    (stats, List.rev !failures)
   in
-  for index = 0 to gen_count - 1 do
-    stats.gen_cases <- stats.gen_cases + 1;
-    bump gen_counter;
-    let info = gen_case ~seed ~index in
-    let restore = if faults then Some (seed, index) else None in
-    if faults then stats.faulted <- stats.faulted + 1;
-    (match check_generated ?metrics ?restore ~probe_index:index info with
-     | `Pass -> ()
-     | `Skip -> stats.skips <- stats.skips + 1
-     | `Fail (oracle, detail) ->
-       let fault_plan =
-         if faults then Some (Faults.describe (Faults.plan ~seed ~index)) else None
-       in
-       record ?fault_plan Generated index oracle detail (Encode.encode info.Gen.module_) None);
-    if (index + 1) mod 1000 = 0 then log (Printf.sprintf "gen: %d/%d" (index + 1) gen_count)
-  done;
-  for index = 0 to mut_count - 1 do
-    stats.mut_cases <- stats.mut_cases + 1;
-    bump mut_counter;
-    let bin = mut_case ~seed ~index in
-    (match check_mutated ?metrics bin with
-     | `Pass `Rejected -> ()
-     | `Pass `Decoded -> stats.mut_decoded <- stats.mut_decoded + 1
-     | `Pass `Valid ->
-       stats.mut_decoded <- stats.mut_decoded + 1;
-       stats.mut_valid <- stats.mut_valid + 1
-     | `Skip -> stats.skips <- stats.skips + 1
-     | `Fail (oracle, detail) -> record Mutated index oracle detail bin (minimize bin));
-    if (index + 1) mod 1000 = 0 then log (Printf.sprintf "mut: %d/%d" (index + 1) mut_count)
-  done;
+  let results =
+    if jobs = 1 then [| run_slice 0 |]
+    else Array.map Domain.join (Array.init jobs (fun j -> Domain.spawn (fun () -> run_slice j)))
+  in
+  let stats = fresh_stats () in
+  Array.iter
+    (fun ((s : stats), _) ->
+       stats.gen_cases <- stats.gen_cases + s.gen_cases;
+       stats.mut_cases <- stats.mut_cases + s.mut_cases;
+       stats.mut_decoded <- stats.mut_decoded + s.mut_decoded;
+       stats.mut_valid <- stats.mut_valid + s.mut_valid;
+       stats.faulted <- stats.faulted + s.faulted;
+       stats.skips <- stats.skips + s.skips;
+       stats.violations <- stats.violations + s.violations)
+    results;
+  (* deterministic merged order regardless of job count: generated
+     failures by ascending index, then mutated failures likewise —
+     exactly the sequential campaign's order *)
+  let by_kind k =
+    Array.to_list results
+    |> List.concat_map (fun (_, fs) -> List.filter (fun f -> f.case = k) fs)
+    |> List.sort (fun a b -> compare a.index b.index)
+  in
+  let failures = by_kind Generated @ by_kind Mutated in
   (match metrics with
    | None -> ()
    | Some registry ->
@@ -295,7 +352,7 @@ let run ?(log = fun (_ : string) -> ()) ?out_dir ?metrics ?(faults = false) ~see
        (Obs.Metrics.counter ~registry ~help:"Oracle violations" "fuzz_violations_total");
      Obs.Metrics.inc ~by:(Float.of_int stats.skips)
        (Obs.Metrics.counter ~registry ~help:"Skipped cases" "fuzz_skips_total"));
-  (stats, List.rev !failures)
+  (stats, failures)
 
 (** Structured outcome of replaying one case: the caller decides on exit
     codes and formatting instead of sniffing a rendered string. *)

@@ -79,7 +79,7 @@ val default_seed : int
 
 val run :
   ?log:(string -> unit) -> ?out_dir:string -> ?metrics:Obs.Metrics.registry ->
-  ?faults:bool ->
+  ?faults:bool -> ?jobs:int ->
   seed:int -> gen_count:int -> mut_count:int -> unit -> stats * failure list
 (** Run a campaign of [gen_count] generated and [mut_count] mutated
     cases. Failures are returned in case order and, when [out_dir] is
@@ -88,7 +88,12 @@ val run :
     timing histograms and the campaign's cases/second. [?faults]
     (default off) runs every generated case through the
     restore-equivalence oracle under its deterministic host-fault plan;
-    failure dumps then record the plan and a [--faults] replay line. *)
+    failure dumps then record the plan and a [--faults] replay line.
+    [?jobs] (default 1) shards case indices across that many domains;
+    since every case is determined by [(seed, index)] alone, the
+    returned stats and failures — and the dump files — are identical
+    for any job count. [log] is serialized; only the interleaving of
+    progress lines differs under parallel runs. *)
 
 (** Structured outcome of replaying one case. *)
 type disposition =

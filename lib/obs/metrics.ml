@@ -4,9 +4,11 @@
     A metric is identified by its name plus its label set; registering the
     same (name, labels) pair twice returns the existing metric, so call
     sites can look metrics up on the hot path without threading handles
-    around. Registration is mutex-guarded (the instrumenter may run on
-    several domains); increments on an already-registered metric are plain
-    mutations — the consumers here are single-writer.
+    around. Every operation is domain-safe: registration is mutex-guarded,
+    counters and gauges are atomics (increments from concurrent fuzz jobs
+    or serve workers never lose updates), and histogram observations take
+    a per-histogram mutex — so one registry can absorb the whole domain
+    pool's accounting and still expose exact totals.
 
     Exposition is deterministic: metrics appear in first-registration
     order, grouped into families by name, which lets tests compare the
@@ -19,11 +21,12 @@ type histogram = {
   h_buckets : int array;  (** length [Array.length h_bounds + 1]; last is +Inf *)
   mutable h_sum : float;
   mutable h_count : int;
+  h_lock : Mutex.t;  (** guards buckets/sum/count against concurrent observers *)
 }
 
 type kind =
-  | Counter of float ref
-  | Gauge of float ref
+  | Counter of float Atomic.t
+  | Gauge of float Atomic.t
   | Histogram of histogram
 
 type metric = {
@@ -50,8 +53,8 @@ let default = create ()
 let default_time_bounds =
   Array.init 27 (fun i -> 1e-6 *. Float.of_int (1 lsl i))
 
-type counter = float ref
-type gauge = float ref
+type counter = float Atomic.t
+type gauge = float Atomic.t
 
 let register reg ~name ~help ~labels ~make ~cast =
   Mutex.lock reg.lock;
@@ -69,14 +72,14 @@ let register reg ~name ~help ~labels ~make ~cast =
 
 let counter ?(registry = default) ?(help = "") ?(labels = []) name : counter =
   register registry ~name ~help ~labels
-    ~make:(fun () -> Counter (ref 0.0))
+    ~make:(fun () -> Counter (Atomic.make 0.0))
     ~cast:(function
       | Counter c -> c
       | _ -> invalid_arg (name ^ ": registered with a different metric type"))
 
 let gauge ?(registry = default) ?(help = "") ?(labels = []) name : gauge =
   register registry ~name ~help ~labels
-    ~make:(fun () -> Gauge (ref 0.0))
+    ~make:(fun () -> Gauge (Atomic.make 0.0))
     ~cast:(function
       | Gauge g -> g
       | _ -> invalid_arg (name ^ ": registered with a different metric type"))
@@ -89,16 +92,22 @@ let histogram ?(registry = default) ?(help = "") ?(labels = [])
         { h_bounds = bounds;
           h_buckets = Array.make (Array.length bounds + 1) 0;
           h_sum = 0.0;
-          h_count = 0 })
+          h_count = 0;
+          h_lock = Mutex.create () })
     ~cast:(function
       | Histogram h -> h
       | _ -> invalid_arg (name ^ ": registered with a different metric type"))
 
-let inc ?(by = 1.0) (c : counter) = c := !c +. by
-let counter_value (c : counter) = !c
+(* lock-free add: CAS loop over the boxed float *)
+let rec atomic_add (c : float Atomic.t) by =
+  let cur = Atomic.get c in
+  if not (Atomic.compare_and_set c cur (cur +. by)) then atomic_add c by
 
-let set (g : gauge) v = g := v
-let gauge_value (g : gauge) = !g
+let inc ?(by = 1.0) (c : counter) = atomic_add c by
+let counter_value (c : counter) = Atomic.get c
+
+let set (g : gauge) v = Atomic.set g v
+let gauge_value (g : gauge) = Atomic.get g
 
 (** Index of the first bound >= v (binary search over few elements would
     not pay off; bucket arrays are short). *)
@@ -108,12 +117,23 @@ let observe (h : histogram) v =
   while !i < n && v > h.h_bounds.(!i) do
     incr i
   done;
+  Mutex.lock h.h_lock;
   h.h_buckets.(!i) <- h.h_buckets.(!i) + 1;
   h.h_sum <- h.h_sum +. v;
-  h.h_count <- h.h_count + 1
+  h.h_count <- h.h_count + 1;
+  Mutex.unlock h.h_lock
 
-let histogram_count (h : histogram) = h.h_count
-let histogram_sum (h : histogram) = h.h_sum
+let histogram_count (h : histogram) =
+  Mutex.lock h.h_lock;
+  let c = h.h_count in
+  Mutex.unlock h.h_lock;
+  c
+
+let histogram_sum (h : histogram) =
+  Mutex.lock h.h_lock;
+  let s = h.h_sum in
+  Mutex.unlock h.h_lock;
+  s
 
 let metrics reg = List.rev reg.order
 
@@ -177,8 +197,13 @@ let to_prometheus reg =
               match m'.m_kind with
               | Counter v | Gauge v ->
                 Buffer.add_string b
-                  (Printf.sprintf "%s%s %s\n" m'.m_name (prom_labels m'.m_labels) (fmt_num !v))
+                  (Printf.sprintf "%s%s %s\n" m'.m_name (prom_labels m'.m_labels)
+                     (fmt_num (Atomic.get v)))
               | Histogram h ->
+                Mutex.lock h.h_lock;
+                let buckets = Array.copy h.h_buckets in
+                let sum = h.h_sum and count = h.h_count in
+                Mutex.unlock h.h_lock;
                 let cum = ref 0 in
                 Array.iteri
                   (fun i c ->
@@ -189,13 +214,13 @@ let to_prometheus reg =
                      Buffer.add_string b
                        (Printf.sprintf "%s_bucket%s %d\n" m'.m_name
                           (prom_labels_le m'.m_labels le) !cum))
-                  h.h_buckets;
+                  buckets;
                 Buffer.add_string b
                   (Printf.sprintf "%s_sum%s %s\n" m'.m_name (prom_labels m'.m_labels)
-                     (fmt_num h.h_sum));
+                     (fmt_num sum));
                 Buffer.add_string b
                   (Printf.sprintf "%s_count%s %d\n" m'.m_name (prom_labels m'.m_labels)
-                     h.h_count))
+                     count))
            family
        end)
     all;
@@ -239,11 +264,15 @@ let to_json reg =
        Buffer.add_string b (Printf.sprintf ", \"labels\": %s" (json_labels m.m_labels));
        (match m.m_kind with
         | Counter v | Gauge v ->
-          Buffer.add_string b (Printf.sprintf ", \"value\": %s" (fmt_num !v))
+          Buffer.add_string b (Printf.sprintf ", \"value\": %s" (fmt_num (Atomic.get v)))
         | Histogram h ->
+          Mutex.lock h.h_lock;
+          let buckets = Array.copy h.h_buckets in
+          let sum = h.h_sum and count = h.h_count in
+          Mutex.unlock h.h_lock;
           Buffer.add_string b
-            (Printf.sprintf ", \"count\": %d, \"sum\": %s, \"buckets\": [" h.h_count
-               (fmt_num h.h_sum));
+            (Printf.sprintf ", \"count\": %d, \"sum\": %s, \"buckets\": [" count
+               (fmt_num sum));
           Array.iteri
             (fun i c ->
                if i > 0 then Buffer.add_string b ", ";
@@ -251,7 +280,7 @@ let to_json reg =
                  if i < Array.length h.h_bounds then fmt_num h.h_bounds.(i) else "\"+Inf\""
                in
                Buffer.add_string b (Printf.sprintf "{\"le\": %s, \"count\": %d}" le c))
-            h.h_buckets;
+            buckets;
           Buffer.add_char b ']');
        Buffer.add_char b '}')
     (metrics reg);

@@ -4,7 +4,12 @@
     A metric is identified by (name, label set); registering the same pair
     twice returns the existing metric. Exposition order is deterministic
     (first-registration order, grouped into families by name), so tests can
-    compare serialized output against golden files byte for byte. *)
+    compare serialized output against golden files byte for byte.
+
+    All operations are domain-safe: counters and gauges are atomics,
+    histogram observations take a per-histogram mutex, and registration
+    is guarded by the registry lock — so concurrent serve workers and
+    fuzz jobs can share one registry without losing updates. *)
 
 type labels = (string * string) list
 
@@ -24,6 +29,7 @@ type histogram = {
   h_buckets : int array;  (** per-bucket counts; last bucket is +Inf *)
   mutable h_sum : float;
   mutable h_count : int;
+  h_lock : Mutex.t;  (** guards buckets/sum/count against concurrent observers *)
 }
 
 val default_time_bounds : float array

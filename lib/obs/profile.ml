@@ -149,6 +149,56 @@ let time t key f =
   let t0 = t.clock () in
   Fun.protect ~finally:(fun () -> add_time t key (Int64.sub (t.clock ()) t0)) f
 
+(** Absorb [src]'s accounting into [into]. Used by the serve farm and
+    parallel fuzz jobs: each domain profiles into its own [t] (a profile
+    value is single-domain, like the instance that carries it), and the
+    coordinator merges them at report time. Shadow-stack state is not
+    merged — both profiles should be quiescent (no frames in flight). *)
+let merge ~into src =
+  Hashtbl.iter
+    (fun fid s ->
+       let d = func_stat into fid in
+       d.calls <- d.calls + s.calls;
+       d.self_ns <- Int64.add d.self_ns s.self_ns;
+       d.incl_ns <- Int64.add d.incl_ns s.incl_ns)
+    src.funcs;
+  Hashtbl.iter
+    (fun key ns ->
+       match Hashtbl.find_opt into.folded key with
+       | Some r -> r := Int64.add !r !ns
+       | None -> Hashtbl.add into.folded key (ref !ns))
+    src.folded;
+  Hashtbl.iter
+    (fun fid arr ->
+       match Hashtbl.find_opt into.sites fid with
+       | Some dst ->
+         let dst =
+           if Array.length dst >= Array.length arr then dst
+           else begin
+             let grown = Array.make (Array.length arr) 0 in
+             Array.blit dst 0 grown 0 (Array.length dst);
+             Hashtbl.replace into.sites fid grown;
+             grown
+           end
+         in
+         Array.iteri (fun i c -> dst.(i) <- dst.(i) + c) arr
+       | None -> Hashtbl.add into.sites fid (Array.copy arr))
+    src.sites;
+  Hashtbl.iter
+    (fun key r ->
+       match Hashtbl.find_opt into.counters key with
+       | Some d -> d := !d + !r
+       | None -> Hashtbl.add into.counters key (ref !r))
+    src.counters;
+  Hashtbl.iter
+    (fun key (c, ns) ->
+       match Hashtbl.find_opt into.timers key with
+       | Some (dc, dns) ->
+         dc := !dc + !c;
+         dns := Int64.add !dns !ns
+       | None -> Hashtbl.add into.timers key (ref !c, ref !ns))
+    src.timers
+
 (** {1 Accessors} *)
 
 type func_row = { fr_fid : int; fr_calls : int; fr_self_ns : int64; fr_incl_ns : int64 }

@@ -38,6 +38,12 @@ val time : t -> string -> (unit -> 'a) -> 'a
 (** [time t key f] runs [f] and records its wall time under [key];
     exception-safe (the time is charged even when [f] raises). *)
 
+val merge : into:t -> t -> unit
+(** [merge ~into src] sums [src]'s function stats, folded stacks, site
+    counts, counters and timers into [into]. Used to combine per-domain
+    profiles at report time; both profiles must be quiescent (no shadow
+    frames in flight). [src] is left unchanged. *)
+
 (** {1 Accessors} *)
 
 type func_row = { fr_fid : int; fr_calls : int; fr_self_ns : int64; fr_incl_ns : int64 }

@@ -12,7 +12,10 @@
     come from deep inside library code, and threading a collector through
     every decode/validate/instrument signature would put an observability
     concern into every API. A mutex guards the buffer so parallel
-    instrumentation domains can trace safely. *)
+    instrumentation domains can trace safely; the enabled flag is an
+    atomic and span nesting depth lives in domain-local storage, so
+    concurrent serve workers nest their own spans without interleaving
+    each other's depths. *)
 
 type event = {
   ev_name : string;
@@ -22,23 +25,26 @@ type event = {
 }
 
 type state = {
-  mutable enabled : bool;
+  enabled : bool Atomic.t;
   mutable events : event list;  (** reversed *)
-  mutable depth : int;
   mutable epoch : int64 option;  (** raw clock of the trace's first span *)
   lock : Mutex.t;
 }
 
 let state =
-  { enabled = false; events = []; depth = 0; epoch = None; lock = Mutex.create () }
+  { enabled = Atomic.make false; events = []; epoch = None; lock = Mutex.create () }
 
-let set_enabled on = state.enabled <- on
-let enabled () = state.enabled
+(* Nesting depth is per-domain: spans opened on one worker must not shift
+   the depth another worker's spans are recorded at. *)
+let depth_key = Domain.DLS.new_key (fun () -> ref 0)
+
+let set_enabled on = Atomic.set state.enabled on
+let enabled () = Atomic.get state.enabled
 
 let reset () =
   Mutex.lock state.lock;
   state.events <- [];
-  state.depth <- 0;
+  Domain.DLS.get depth_key := 0;
   state.epoch <- None;
   Mutex.unlock state.lock
 
@@ -62,16 +68,17 @@ let add_complete ?(depth = 0) ~name ~ts_ns ~dur_ns () =
   add_event { ev_name = name; ev_ts_ns = ts_ns; ev_dur_ns = dur_ns; ev_depth = depth }
 
 let with_ name f =
-  if not state.enabled then f ()
+  if not (Atomic.get state.enabled) then f ()
   else begin
     Mutex.lock state.lock;
     let t0 = rebase_locked (Clock.now_ns ()) in
-    let depth = state.depth in
-    state.depth <- depth + 1;
     Mutex.unlock state.lock;
+    let depth_cell = Domain.DLS.get depth_key in
+    let depth = !depth_cell in
+    depth_cell := depth + 1;
     let finish () =
       let t1 = Int64.sub (Clock.now_ns ()) (Option.value ~default:0L state.epoch) in
-      state.depth <- depth;
+      depth_cell := depth;
       add_event
         { ev_name = name; ev_ts_ns = t0; ev_dur_ns = Int64.sub t1 t0; ev_depth = depth }
     in

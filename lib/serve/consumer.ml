@@ -1,0 +1,79 @@
+(** The analysis consumer: drains hook-event rings and replays each
+    event into the unmodified {!Wasabi.Analysis.t} callbacks via
+    {!Wasabi.Analysis.apply}.
+
+    A consumer owns one or more (ring, analysis) pairs — worker [w]'s
+    ring goes to consumer [w mod consumers] — and each pair's analysis
+    state is touched only by this consumer domain, so user analyses need
+    no locking. A single-ring consumer blocks on {!Ring.pop}; a
+    multi-ring consumer round-robins {!Ring.try_pop} in bounded batches
+    (fairness between rings) with a spin-then-sleep backoff when every
+    ring is empty, since one cannot block on several conditions at once.
+
+    Latency samples ([Ev_t]) are measured at application time: the
+    reported delivery latency is production-to-{e applied}, the figure
+    that tells you how stale the analysis's view of the execution is. *)
+
+type outcome = {
+  c_events : int;  (** events applied *)
+  c_lat_ns : int64 list;  (** sampled production-to-applied latencies *)
+}
+
+let apply_msg a events lats = function
+  | Worker.Ev ev ->
+    incr events;
+    Wasabi.Analysis.apply a ev;
+    false
+  | Worker.Ev_t (t0, ev) ->
+    incr events;
+    Wasabi.Analysis.apply a ev;
+    lats := Int64.sub (Obs.Clock.now_ns ()) t0 :: !lats;
+    false
+  | Worker.Done -> true
+
+(** Drain every ring to its [Done] marker. Call from inside the
+    consumer's own domain. *)
+let drain (pairs : (Worker.msg Ring.t * Wasabi.Analysis.t) array) : outcome =
+  let events = ref 0 and lats = ref [] in
+  (match pairs with
+   | [| (ring, a) |] ->
+     (* sole ring: block on it directly *)
+     let rec loop () = if not (apply_msg a events lats (Ring.pop ring)) then loop () in
+     loop ()
+   | _ ->
+     let n = Array.length pairs in
+     let finished = Array.make n false in
+     let remaining = ref n in
+     let idle_sweeps = ref 0 in
+     while !remaining > 0 do
+       let progressed = ref false in
+       Array.iteri
+         (fun i (ring, a) ->
+            if not finished.(i) then begin
+              (* bounded batch per sweep so one busy ring cannot starve
+                 the others' backpressure *)
+              let budget = ref 256 in
+              let continue_ = ref true in
+              while !continue_ && !budget > 0 do
+                match Ring.try_pop ring with
+                | None -> continue_ := false
+                | Some msg ->
+                  progressed := true;
+                  decr budget;
+                  if apply_msg a events lats msg then begin
+                    finished.(i) <- true;
+                    decr remaining;
+                    continue_ := false
+                  end
+              done
+            end)
+         pairs;
+       if !progressed then idle_sweeps := 0
+       else begin
+         incr idle_sweeps;
+         (* spin briefly for latency, then yield the core: on machines
+            with fewer cores than domains the producers need it *)
+         if !idle_sweeps < 64 then Domain.cpu_relax () else Unix.sleepf 0.0002
+       end
+     done);
+  { c_events = !events; c_lat_ns = !lats }

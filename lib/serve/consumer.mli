@@ -1,0 +1,15 @@
+(** The analysis consumer: drains hook-event rings and replays each
+    event into unmodified {!Wasabi.Analysis.t} callbacks. Each (ring,
+    analysis) pair's state is touched only by the consumer domain
+    draining it, so user analyses need no locking. *)
+
+type outcome = {
+  c_events : int;  (** events applied *)
+  c_lat_ns : int64 list;  (** sampled production-to-applied latencies *)
+}
+
+val drain : (Worker.msg Ring.t * Wasabi.Analysis.t) array -> outcome
+(** Drain every ring to its [Done] marker, applying events in order per
+    ring. A sole ring is blocked on directly; several are round-robined
+    in bounded batches with spin-then-sleep backoff. Call from inside
+    the consumer's own domain. *)

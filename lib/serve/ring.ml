@@ -1,0 +1,105 @@
+(** A bounded single-producer single-consumer ring buffer: the hook-event
+    channel between one interpreter worker domain and its analysis
+    consumer domain.
+
+    The fast path is lock-free: [head] (consumed count) and [tail]
+    (produced count) are monotonically increasing SC atomics, and slot
+    contents are published by the [tail] store (an atomic write an atomic
+    read observes carries a happens-before edge over the preceding plain
+    slot write, per the OCaml 5 memory model). The mutex and conditions
+    exist only to {e block}: a full push or empty pop parks on a
+    condition instead of spinning, which matters on machines with fewer
+    cores than domains — a spin-only ring would starve the very consumer
+    it is waiting for.
+
+    Lost-wakeup freedom is the classic Dekker argument over SC atomics:
+    a sleeper increments [sleepers] (under the lock) {e before}
+    re-checking the indices, and a waker updates its index {e before}
+    reading [sleepers] — so either the waker sees the sleeper and
+    broadcasts under the lock, or the sleeper's re-check sees the new
+    index and never sleeps.
+
+    Backpressure is the contract, not an accident: [push] blocks when the
+    ring is full, so a slow analysis throttles its producer instead of
+    dropping events — the async event stream stays {e equal} to the
+    synchronous one, just decoupled in time. *)
+
+type 'a t = {
+  buf : 'a array;
+  mask : int;  (** capacity - 1; capacity is a power of two *)
+  dummy : 'a;  (** parks in consumed slots so events are not retained *)
+  head : int Atomic.t;  (** total elements consumed *)
+  tail : int Atomic.t;  (** total elements produced *)
+  lock : Mutex.t;
+  not_empty : Condition.t;
+  not_full : Condition.t;
+  sleepers : int Atomic.t;  (** threads parked on either condition *)
+}
+
+let rec next_pow2 n k = if k >= n then k else next_pow2 n (k * 2)
+
+let create ~dummy capacity =
+  if capacity < 1 then invalid_arg "Ring.create: capacity must be positive";
+  let cap = next_pow2 capacity 1 in
+  {
+    buf = Array.make cap dummy;
+    mask = cap - 1;
+    dummy;
+    head = Atomic.make 0;
+    tail = Atomic.make 0;
+    lock = Mutex.create ();
+    not_empty = Condition.create ();
+    not_full = Condition.create ();
+    sleepers = Atomic.make 0;
+  }
+
+let capacity t = t.mask + 1
+let length t = Atomic.get t.tail - Atomic.get t.head
+
+(* Broadcast [cond] if anyone may be parked. The broadcast happens under
+   the lock, after the index update: a sleeper is either already in
+   [Condition.wait] (and is woken) or still holds the lock pre-wait (the
+   waker blocks on the mutex until the sleeper releases it by waiting). *)
+let wake t cond =
+  if Atomic.get t.sleepers > 0 then begin
+    Mutex.lock t.lock;
+    Condition.broadcast cond;
+    Mutex.unlock t.lock
+  end
+
+(* Park until [ready ()]; counted in [sleepers] so wakers broadcast. *)
+let park t cond ready =
+  Mutex.lock t.lock;
+  Atomic.incr t.sleepers;
+  while not (ready ()) do
+    Condition.wait cond t.lock
+  done;
+  Atomic.decr t.sleepers;
+  Mutex.unlock t.lock
+
+let push t v =
+  let tail = Atomic.get t.tail in
+  if tail - Atomic.get t.head > t.mask then
+    park t t.not_full (fun () -> tail - Atomic.get t.head <= t.mask);
+  t.buf.(tail land t.mask) <- v;
+  Atomic.set t.tail (tail + 1);
+  wake t t.not_empty
+
+(* Single consumer: only [pop]/[try_pop] advance [head]. *)
+let take t head =
+  let i = head land t.mask in
+  let v = t.buf.(i) in
+  t.buf.(i) <- t.dummy;
+  Atomic.set t.head (head + 1);
+  wake t t.not_full;
+  v
+
+let pop t =
+  let head = Atomic.get t.head in
+  if Atomic.get t.tail = head then
+    park t t.not_empty (fun () -> Atomic.get t.tail <> head);
+  take t head
+
+let try_pop t =
+  let head = Atomic.get t.head in
+  if Atomic.get t.tail = head then None else Some (take t head)

@@ -1,0 +1,32 @@
+(** A bounded single-producer single-consumer ring buffer — the
+    hook-event channel between one interpreter worker domain and its
+    analysis consumer. Lock-free on the fast path (SC atomic indices
+    publish plain slot writes); a mutex/condition pair exists only to
+    block on full/empty, so the ring behaves on boxes with fewer cores
+    than domains. [push] blocking on a full ring is the backpressure
+    contract: a slow analysis throttles its producer, it never loses
+    events.
+
+    Exactly one domain may push and exactly one may pop; the two may
+    differ. *)
+
+type 'a t
+
+val create : dummy:'a -> int -> 'a t
+(** [create ~dummy capacity]: capacity is rounded up to a power of two.
+    [dummy] fills unused slots so consumed events are not retained.
+    @raise Invalid_argument when [capacity < 1]. *)
+
+val capacity : 'a t -> int
+val length : 'a t -> int
+(** Elements currently buffered (racy by nature; exact when quiescent). *)
+
+val push : 'a t -> 'a -> unit
+(** Enqueue, blocking while the ring is full (producer side only). *)
+
+val pop : 'a t -> 'a
+(** Dequeue, blocking while the ring is empty (consumer side only). *)
+
+val try_pop : 'a t -> 'a option
+(** Dequeue if an element is ready, never blocking (consumer side only).
+    Lets one consumer multiplex several rings. *)

@@ -1,0 +1,87 @@
+(** One serving worker: a copy-on-write fork of the farm's template
+    runtime, run for a batch of governed executions with restore-per-run
+    isolation.
+
+    Setup per worker (once, amortized over the batch): [Runtime.fork]
+    rebinds the shared instrumented module's hook imports to this
+    worker's own runtime — pre-decoded code, hook specs and [br_table]
+    metadata stay shared with every other worker — then optionally
+    tier-1-compiles the fork's bodies and captures a pristine
+    {!Wasm.Snapshot}. Each run restores the snapshot, re-arms the
+    governor and invokes the entry export; traps, fuel exhaustion and
+    governor kills are contained per run (the next restore erases them).
+
+    Dispatch is pluggable: [`Sync a] binds the analysis callbacks
+    directly into the hooks (the reference path); [`Async ring] binds a
+    reifying sink that ships {!Wasabi.Analysis.event}s through the
+    worker's SPSC ring to a consumer domain, stamping every
+    {!sample_every}-th event with its production time so consumers can
+    report hook-event delivery latency percentiles. *)
+
+open Wasm
+
+type msg =
+  | Ev of Wasabi.Analysis.event
+  | Ev_t of int64 * Wasabi.Analysis.event
+      (** latency sample: production timestamp (ns) + the event *)
+  | Done  (** the worker's batch is complete; no more events follow *)
+
+(** Every 64th event carries a timestamp: cheap enough to leave on, dense
+    enough for stable p50/p99 estimates. *)
+let sample_every = 64
+
+type dispatch = Sync of Wasabi.Analysis.t | Async of msg Ring.t
+
+type outcome = {
+  w_runs : int;  (** completed runs (including contained faults) *)
+  w_faults : int;  (** runs that trapped / exhausted / hit a budget *)
+  w_events : int;  (** events produced (async mode; 0 in sync mode) *)
+  w_profile : Obs.Profile.t option;
+}
+
+(** Faults contained per run: anything restore erases. *)
+let is_contained = function
+  | Value.Trap _ | Interp.Exhaustion _ | Error.Governor_limit _ -> true
+  | e -> Interp.is_fault_exn e
+
+(** The worker body. Runs inside its own domain; everything it touches
+    after the fork is worker-private except the ring (SPSC by
+    construction: this worker is the only producer). *)
+let run ~(template : Wasabi.Runtime.t) ~dispatch ~tier1 ?make_governor
+    ?(profile = false) ~entry ~args ~runs () : outcome =
+  let events = ref 0 in
+  let sink, analysis =
+    match dispatch with
+    | Sync a -> (None, a)
+    | Async ring ->
+      let push ev =
+        let n = !events in
+        events := n + 1;
+        if n mod sample_every = 0 then
+          Ring.push ring (Ev_t (Obs.Clock.now_ns (), ev))
+        else Ring.push ring (Ev ev)
+      in
+      (Some push, Wasabi.Analysis.default)
+  in
+  let inst, rt = Wasabi.Runtime.fork ?sink template analysis in
+  if tier1 then ignore (Tier1.compile_all inst : int);
+  let prof =
+    match profile with
+    | false -> None
+    | true ->
+      let p = Obs.Profile.create () in
+      Wasabi.Runtime.attach_profiler rt (Some p);
+      Some p
+  in
+  let gov = Option.map (fun mk -> mk ()) make_governor in
+  Interp.set_governor inst gov;
+  let snap = Snapshot.capture inst in
+  let faults = ref 0 in
+  for _ = 1 to runs do
+    Snapshot.restore snap inst;
+    Option.iter Governor.arm gov;
+    try ignore (Interp.invoke_export inst entry args : Value.t list)
+    with e when is_contained e -> incr faults
+  done;
+  (match dispatch with Async ring -> Ring.push ring Done | Sync _ -> ());
+  { w_runs = runs; w_faults = !faults; w_events = !events; w_profile = prof }

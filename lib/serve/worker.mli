@@ -1,0 +1,44 @@
+(** One serving worker: a copy-on-write fork of the farm's template
+    runtime, run for a batch of executions with restore-per-run
+    isolation. Sync dispatch binds the analysis callbacks directly into
+    the hooks; async dispatch reifies events into the worker's SPSC ring
+    for a consumer domain, sampling production timestamps for latency
+    percentiles. *)
+
+type msg =
+  | Ev of Wasabi.Analysis.event
+  | Ev_t of int64 * Wasabi.Analysis.event
+      (** latency sample: production timestamp (ns) + the event *)
+  | Done  (** the worker's batch is complete; no more events follow *)
+
+val sample_every : int
+(** Every [sample_every]-th event is pushed as [Ev_t]. *)
+
+type dispatch = Sync of Wasabi.Analysis.t | Async of msg Ring.t
+
+type outcome = {
+  w_runs : int;  (** completed runs (including contained faults) *)
+  w_faults : int;  (** runs that trapped / exhausted / hit a budget *)
+  w_events : int;  (** events produced (async mode; 0 in sync mode) *)
+  w_profile : Obs.Profile.t option;
+}
+
+val is_contained : exn -> bool
+(** Faults a restore erases: traps, fuel exhaustion, governor kills,
+    injected host faults. Anything else propagates out of the worker. *)
+
+val run :
+  template:Wasabi.Runtime.t ->
+  dispatch:dispatch ->
+  tier1:bool ->
+  ?make_governor:(unit -> Wasm.Governor.t) ->
+  ?profile:bool ->
+  entry:string ->
+  args:Wasm.Value.t list ->
+  runs:int ->
+  unit ->
+  outcome
+(** Fork the template, optionally tier-1 compile and attach a fresh
+    profiler, capture a pristine snapshot, then execute [runs]
+    restore-isolated invocations of [entry]. Call from inside the
+    worker's own domain. In async mode, pushes [Done] after the batch. *)

@@ -273,10 +273,18 @@ module Map = struct
     Mutex.unlock t.lock;
     k
 
-  let count t = t.next
+  let count t =
+    Mutex.lock t.lock;
+    let n = t.next in
+    Mutex.unlock t.lock;
+    n
 
   (** All generated specs, in ordinal order. *)
-  let specs t = Array.of_list (List.rev t.order)
+  let specs t =
+    Mutex.lock t.lock;
+    let order = t.order in
+    Mutex.unlock t.lock;
+    Array.of_list (List.rev order)
 
   (** Record a batch of per-spec request counts (one instrumented
       function's worth) under a single lock acquisition, so the parallel
@@ -291,22 +299,31 @@ module Map = struct
       batch;
     Mutex.unlock t.lock
 
-  (** Requests per generated spec, in ordinal order. *)
+  (** Requests per generated spec, in ordinal order. Readers take the
+      lock too: these run while parallel instrumentation domains may
+      still be noting requests. *)
   let requests t =
-    Array.of_list
-      (List.rev_map
-         (fun s ->
-            (s, match Hashtbl.find_opt t.reqs s with Some r -> !r | None -> 0))
-         t.order)
+    Mutex.lock t.lock;
+    let rows =
+      List.rev_map
+        (fun s ->
+           (s, match Hashtbl.find_opt t.reqs s with Some r -> !r | None -> 0))
+        t.order
+    in
+    Mutex.unlock t.lock;
+    Array.of_list rows
 
   let total_requests t =
-    Hashtbl.fold (fun _ r acc -> acc + !r) t.reqs 0
+    Mutex.lock t.lock;
+    let n = Hashtbl.fold (fun _ r acc -> acc + !r) t.reqs 0 in
+    Mutex.unlock t.lock;
+    n
 
   (** Cache hits: sites that found their hook already generated. *)
-  let hits t = max 0 (total_requests t - t.next)
+  let hits t = max 0 (total_requests t - count t)
 
   (** Cache misses, i.e. hooks actually generated. *)
-  let misses t = t.next
+  let misses t = count t
 end
 
 (** Number of monomorphic hooks eager generation would need for calls with

@@ -98,8 +98,15 @@ let default_decoder () : decoder_kind =
   | Some s when s <> "" && s <> "0" -> `Reference
   | _ -> `Compiled
 
-let create ?decoder (res : Instrument.result) (analysis : Analysis.t) : t =
+let create ?decoder ?sink (res : Instrument.result) (analysis : Analysis.t) : t =
   let decoder = match decoder with Some d -> d | None -> default_decoder () in
+  (* a sink interposes at the analysis boundary: hooks still decode
+     their arguments as usual, but the decoded invocation is reified as
+     an [Analysis.event] and handed to [sink] instead of running the
+     callbacks inline — the serve layer's async dispatch path *)
+  let analysis =
+    match sink with None -> analysis | Some push -> Analysis.reify push
+  in
   let mark = ref (-1L) in
   { metadata = res.metadata; analysis; decoder;
     br_index = Metadata.build_br_table_index res.metadata;
@@ -669,9 +676,9 @@ let imports (rt : t) : Interp.imports = imports_of rt (hook_externs rt)
     [wrap_host] is applied to every bound host function — the generated
     hooks and any [Host_func] among [extra_imports] — before binding;
     the fuzzing harness uses it to interpose its fault-injection plan. *)
-let instantiate ?fuel ?decoder ?wrap_host ?(extra_imports : Interp.imports = [])
+let instantiate ?fuel ?decoder ?sink ?wrap_host ?(extra_imports : Interp.imports = [])
     (res : Instrument.result) (analysis : Analysis.t) : Interp.instance * t =
-  let rt = create ?decoder res analysis in
+  let rt = create ?decoder ?sink res analysis in
   let hooks = hook_externs rt in
   let wrap_extern ext =
     match wrap_host, ext with
@@ -699,6 +706,49 @@ let instantiate ?fuel ?decoder ?wrap_host ?(extra_imports : Interp.imports = [])
   in
   rt.instance <- Some inst;
   (inst, rt)
+
+(** Fork an instantiated runtime: a copy-on-write clone of the instance
+    ([Interp.fork]) paired with a fresh runtime that owns its own hook
+    host functions, analysis binding, indirect-call cache and profiler
+    slot, while sharing the immutable per-module work (metadata, the
+    [br_table] index, hook specs). Hook imports in the forked instance
+    are rebound to the new runtime's hooks, so events dispatch to
+    [analysis] (or reify into [sink]), never to the source runtime's.
+
+    The fork starts de-tiered; callers that want tier-1 run
+    [Tier1.compile_all] on the forked instance. This is the serve farm's
+    worker setup: one instrument+instantiate, then one [fork] per worker
+    domain. *)
+let fork ?sink (rt : t) (analysis : Analysis.t) : Interp.instance * t =
+  let src =
+    match rt.instance with
+    | Some i -> i
+    | None -> invalid_arg "Runtime.fork: runtime has no instance"
+  in
+  let analysis =
+    match sink with None -> analysis | Some push -> Analysis.reify push
+  in
+  let mark = ref (-1L) in
+  let rt' =
+    { metadata = rt.metadata; analysis; decoder = rt.decoder;
+      br_index = rt.br_index; instance = None; indirect_cache = [||];
+      prof = None; mark; marked_analysis = with_mark mark analysis }
+  in
+  let hooks = hook_externs rt' in
+  (* hook ordinal [k] sits at function index [num_original_func_imports + k]
+     (the instrumenter appends hook imports after the original ones) *)
+  let fbase = rt.metadata.Metadata.num_original_func_imports in
+  let wrap_import i (h : Interp.host_func) =
+    let k = i - fbase in
+    if k >= 0 && k < Array.length hooks then
+      match hooks.(k) with
+      | Interp.Extern_func (Interp.Host_func h') -> h'
+      | _ -> h
+    else h
+  in
+  let inst = Interp.fork ~wrap_import src in
+  rt'.instance <- Some inst;
+  (inst, rt')
 
 (** {1 The engine-probe backend}
 

@@ -1578,6 +1578,79 @@ let instantiate ?(fuel = default_fuel) ?resolve_import ~(imports : imports) (m :
    | Some f -> ignore (invoke inst.inst_funcs.(f) []));
   inst
 
+(** Fork a cheap copy-on-write clone of [src]: the module, type table,
+    pre-decoded instruction streams and all per-function side tables
+    (jump maps, br_table layouts, run lengths, local defaults) are shared
+    — they are immutable after {!instantiate} — while everything mutable
+    (memory, globals, table, operand stack, fuel/step accounting) is
+    copied. Function references owned by [src] are remapped to the fork,
+    so calls inside the fork execute against the fork's state.
+
+    The fork starts de-tiered (fresh [code] records with [T_interp] /
+    zero hotness) and without profiler, governor, triggers or probes:
+    tier-1 closures and probed bodies close over their compile-time
+    instance and must be re-established per fork (e.g. via
+    [Tier1.compile_all]). [?wrap_import] substitutes imported host
+    functions by overall function index — the serve layer uses it to
+    rebind hook imports to the fork's own runtime. The start function is
+    not re-run: the fork reproduces [src]'s current state, not a fresh
+    instantiation. *)
+let fork ?wrap_import (src : instance) : instance =
+  let inst =
+    {
+      inst_module = src.inst_module;
+      inst_types = src.inst_types;
+      inst_funcs = [||];
+      inst_code =
+        Array.map (fun c -> { c with c_tier = T_interp; c_hot = 0; c_probe = None })
+          src.inst_code;
+      inst_table = None;
+      inst_memory = Option.map Memory.clone src.inst_memory;
+      inst_globals =
+        Array.map (fun g -> { g_type = g.g_type; g_value = g.g_value }) src.inst_globals;
+      inst_exports = [];
+      inst_stack = create_stack ();
+      fuel = src.fuel;
+      steps = src.steps;
+      call_depth = 0;
+      inst_prof = None;
+      inst_tier = None;
+      inst_gov = None;
+      inst_deopt_on_fault = src.inst_deopt_on_fault;
+      inst_triggers = [];
+      inst_probes = None;
+    }
+  in
+  let remap_owner = function
+    | Wasm_func (j, owner) when owner == src -> Wasm_func (j, inst)
+    | f -> f
+  in
+  inst.inst_funcs <-
+    Array.mapi
+      (fun i f ->
+         match f, wrap_import with
+         | Host_func h, Some wrap -> Host_func (wrap i h)
+         | _ -> remap_owner f)
+      src.inst_funcs;
+  inst.inst_table <-
+    Option.map
+      (fun tb ->
+         { t_elems = Array.map (Option.map remap_owner) tb.t_elems; t_max = tb.t_max })
+      src.inst_table;
+  inst.inst_exports <-
+    List.map
+      (fun e ->
+         let ext =
+           match e.edesc with
+           | FuncExport i -> Extern_func inst.inst_funcs.(i)
+           | TableExport _ -> Extern_table (Option.get inst.inst_table)
+           | MemoryExport _ -> Extern_memory (Option.get inst.inst_memory)
+           | GlobalExport i -> Extern_global inst.inst_globals.(i)
+         in
+         (e.name, ext))
+      src.inst_module.exports;
+  inst
+
 (** {1 Convenience API} *)
 
 let set_profiler inst p = inst.inst_prof <- p

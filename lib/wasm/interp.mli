@@ -288,6 +288,17 @@ val instantiate :
     list. Type checks apply to both paths.
     @raise Link_error on unresolvable or mismatching imports. *)
 
+val fork : ?wrap_import:(int -> host_func -> host_func) -> instance -> instance
+(** A cheap copy-on-write clone: pre-decoded code and per-function side
+    tables are shared (immutable after {!instantiate}), memory / globals
+    / table / stack / fuel accounting are copied, and function references
+    owned by the source are remapped to the fork. The fork starts
+    de-tiered and without profiler / governor / triggers / probes (tier-1
+    closures close over their instance and must be recompiled per fork).
+    [?wrap_import] substitutes imported host functions by overall
+    function index — used to rebind hook imports to a per-fork runtime.
+    The start function is not re-run. *)
+
 val set_profiler : instance -> Obs.Profile.t option -> unit
 (** Attach (or detach) a profiler; subsequent execution feeds it
     per-function call counts, self/inclusive times and per-site
@@ -307,6 +318,10 @@ val set_deopt_on_fault : instance -> bool -> unit
 (** When enabled, a compiled (tier-1) body unwound by a governor
     violation or an injected host fault is deopted back to tier 0
     permanently and [wasabi_deopt_total] is incremented. *)
+
+val is_fault_exn : exn -> bool
+(** Environmental unwinds — governor budget violations and injected
+    host faults — as opposed to properties of the guest code itself. *)
 
 val unfused_xbody : code -> xinstr array
 (** Re-decode the function body {e without} superinstruction fusion:

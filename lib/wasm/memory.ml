@@ -25,6 +25,10 @@ let create ~min_pages ~max_pages =
 let size_pages t = Bytes.length t.data / page_size
 let size_bytes t = Bytes.length t.data
 
+(** An independent memory with the same contents and limits — the basis
+    of instance forking: one [Bytes.copy], no shared mutable state. *)
+let clone t = { data = Bytes.copy t.data; max_pages = t.max_pages }
+
 (** Grow by [delta] pages. Returns the previous size in pages, or [-1] if
     growing would exceed the maximum (the Wasm failure convention). *)
 let grow t delta =

@@ -12,6 +12,10 @@ val create : min_pages:int -> max_pages:int option -> t
 val size_pages : t -> int
 val size_bytes : t -> int
 
+val clone : t -> t
+(** An independent memory with the same contents and limits; the two
+    share no mutable state afterwards. *)
+
 val grow : t -> int -> int
 (** [grow t delta] grows by [delta] pages; returns the previous size in
     pages, or [-1] if the maximum would be exceeded (the Wasm failure

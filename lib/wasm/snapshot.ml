@@ -39,6 +39,10 @@
 open Interp
 
 type t = {
+  s_source : instance;
+      (** the instance the snapshot was taken from — restoring into a
+          different (forked) instance remaps source-owned function
+          references in the table to the target *)
   s_mem : bytes option;
   s_globals : Value.t array;
   s_table : func_inst option array option;
@@ -59,6 +63,7 @@ let restore_seconds =
 
 let capture (inst : instance) : t =
   {
+    s_source = inst;
     s_mem = Option.map Memory.snapshot_bytes inst.inst_memory;
     s_globals = Array.map (fun g -> g.g_value) inst.inst_globals;
     s_table = Option.map (fun tb -> Array.copy tb.t_elems) inst.inst_table;
@@ -74,17 +79,32 @@ let pages t = match t.s_mem with None -> 0 | Some img -> Bytes.length img / Type
 
 let restore (t : t) (inst : instance) : unit =
   let t0 = Obs.Clock.now_ns () in
+  let cross = not (inst == t.s_source) in
   (match t.s_mem, inst.inst_memory with
    | Some img, Some mem -> Memory.restore_bytes mem img
    | None, _ | _, None -> ());
   (* global_inst records are shared with exports and cross-instance
      references: write values back in place, never replace the records *)
   Array.iteri (fun i g -> g.g_value <- t.s_globals.(i)) inst.inst_globals;
+  (* restoring into a fork: function references owned by the snapshot's
+     source must point at the target, or calls through the table would
+     execute against the source's memory *)
+  let remap slot =
+    match slot with
+    | Some (Wasm_func (j, owner)) when cross && owner == t.s_source ->
+      Some (Wasm_func (j, inst))
+    | _ -> slot
+  in
   (match t.s_table, inst.inst_table with
    | Some elems, Some tb ->
-     if Array.length tb.t_elems = Array.length elems then
-       Array.blit elems 0 tb.t_elems 0 (Array.length elems)
-     else tb.t_elems <- Array.copy elems
+     let n = Array.length elems in
+     if Array.length tb.t_elems = n && not cross then
+       Array.blit elems 0 tb.t_elems 0 n
+     else if Array.length tb.t_elems = n then
+       for i = 0 to n - 1 do
+         tb.t_elems.(i) <- remap elems.(i)
+       done
+     else tb.t_elems <- Array.map remap elems
    | None, _ | _, None -> ());
   inst.fuel <- t.s_fuel;
   inst.steps <- t.s_steps;
@@ -97,11 +117,13 @@ let restore (t : t) (inst : instance) : unit =
   (* probe state is restored explicitly, never left implicit: re-arm the
      probe set captured with the snapshot, or — if probes were attached
      after a probe-free capture — detach them all, so the restored
-     instance observes exactly what the captured one did *)
+     instance observes exactly what the captured one did. A re-arm thunk
+     operates on the snapshot's source; restoring into a fork instead
+     detaches whatever the fork has (its probe set is its own affair). *)
   (match t.s_probes, inst.inst_probes with
-   | Some rearm, _ -> rearm ()
-   | None, Some ps -> ps.ps_detach_all ()
-   | None, None -> ());
+   | Some rearm, _ when not cross -> rearm ()
+   | _, Some ps -> ps.ps_detach_all ()
+   | _ -> ());
   Obs.Metrics.observe (Lazy.force restore_seconds)
     (Obs.Clock.ns_to_s (Int64.sub (Obs.Clock.now_ns ()) t0))
 

@@ -60,7 +60,15 @@ val capture : Interp.instance -> t
 
 val restore : t -> Interp.instance -> unit
 (** Rewind the instance to the captured state. Globals are written back
-    into their shared records; an intervening [memory.grow] is undone. *)
+    into their shared records; an intervening [memory.grow] is undone.
+
+    Restore is re-entrant across instances: the target may be a fork
+    (see [Interp.fork]) of the instance the snapshot was captured from,
+    and many forks may restore from one capture concurrently — the
+    snapshot itself is never mutated. On a cross-instance restore,
+    table entries owned by the capture source are remapped to the
+    target, and the probe re-arm thunk (which operates on the source)
+    is skipped: the target's probes, if any, are detached instead. *)
 
 val pages : t -> int
 (** Size of the captured memory image in 64 KiB pages (0 if none). *)

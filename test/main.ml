@@ -24,4 +24,5 @@ let () =
       ("fuzz", Test_fuzz.suite);
       ("robust", Test_robust.suite);
       ("obs", Test_obs.suite);
+      ("serve", Test_serve.suite);
     ]
